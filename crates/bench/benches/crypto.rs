@@ -1,0 +1,80 @@
+//! Criterion benchmarks for the from-scratch AES-GCM substrate: the real
+//! (wall-clock) cost of sealing and opening at the transfer sizes the
+//! serving engines move.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pipellm_crypto::channel::{ChannelKeys, SecureChannel};
+use pipellm_crypto::gcm::AesGcm;
+use std::hint::black_box;
+
+fn bench_gcm_seal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gcm_seal");
+    let gcm = AesGcm::new(&[7u8; 32]).expect("32-byte key");
+    for size in [1usize << 10, 64 << 10, 1 << 20] {
+        let plaintext = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &plaintext, |b, pt| {
+            let mut iv = 0u64;
+            b.iter(|| {
+                iv += 1;
+                let mut nonce = [0u8; 12];
+                nonce[4..].copy_from_slice(&iv.to_be_bytes());
+                black_box(gcm.seal(&nonce, b"", pt))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gcm_open(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gcm_open");
+    let gcm = AesGcm::new(&[7u8; 32]).expect("32-byte key");
+    for size in [64usize << 10, 1 << 20] {
+        let plaintext = vec![0xcdu8; size];
+        let nonce = [9u8; 12];
+        let sealed = gcm.seal(&nonce, b"", &plaintext);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &sealed, |b, ct| {
+            b.iter(|| black_box(gcm.open(&nonce, b"", ct).expect("authentic")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_channel_roundtrip(c: &mut Criterion) {
+    c.bench_function("channel_seal_open_64KiB", |b| {
+        let payload = vec![1u8; 64 << 10];
+        b.iter_batched(
+            || SecureChannel::new(ChannelKeys::from_seed(1)),
+            |mut ch| {
+                let sealed = ch.host_mut().seal(&payload).expect("fresh channel");
+                black_box(ch.device_mut().open(&sealed).expect("in order"))
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_speculative_seal_commit(c: &mut Criterion) {
+    c.bench_function("speculative_seal_then_commit_4KiB", |b| {
+        let payload = vec![2u8; 4 << 10];
+        b.iter_batched(
+            || SecureChannel::new(ChannelKeys::from_seed(2)),
+            |mut ch| {
+                let iv = ch.host().tx().next_iv();
+                let sealed =
+                    ch.host().tx().seal_speculative(iv, b"", &payload).expect("future IV");
+                ch.host_mut().tx_mut().commit(&sealed).expect("exact IV");
+                black_box(ch.device_mut().open(&sealed).expect("lockstep"))
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gcm_seal, bench_gcm_open, bench_channel_roundtrip, bench_speculative_seal_commit
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the full experiment kernels: how long the
+//! simulator takes (wall-clock) to run each paper workload at quick scale.
+//! These guard the harness against performance regressions that would make
+//! the `--paper` scale impractical.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipellm_bench::runners::{run_flexgen, run_vllm, Scale};
+use pipellm_bench::System;
+use pipellm_llm::ModelSpec;
+use pipellm_serving::FlexGenConfig;
+use pipellm_workloads::Dataset;
+use std::hint::black_box;
+
+fn bench_flexgen_pipellm(c: &mut Criterion) {
+    c.bench_function("flexgen_opt66b_pipellm_quick", |b| {
+        b.iter(|| {
+            black_box(run_flexgen(
+                &System::pipellm(8),
+                FlexGenConfig::opt_66b(32, 8),
+                Scale::Quick,
+            ))
+        });
+    });
+}
+
+fn bench_vllm_three_systems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vllm_opt30b_sharegpt_p6_quick");
+    for system in [System::cc_off(), System::cc(), System::pipellm(2)] {
+        group.bench_function(system.label(), |b| {
+            b.iter(|| {
+                black_box(run_vllm(
+                    &system,
+                    ModelSpec::opt_30b(),
+                    Dataset::ShareGpt,
+                    0.8,
+                    6,
+                    Scale::Quick,
+                    42,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_flexgen_pipellm, bench_vllm_three_systems
+}
+criterion_main!(benches);

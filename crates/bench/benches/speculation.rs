@@ -1,0 +1,83 @@
+//! Criterion benchmarks for PipeLLM's speculation machinery: predictor
+//! inference and the end-to-end interposed swap path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipellm::{PipeLlmConfig, PipeLlmRuntime, Predictor};
+use pipellm_gpu::memory::{HostAddr, HostRegion, Payload};
+use pipellm_gpu::runtime::GpuRuntime;
+use pipellm_sim::time::SimTime;
+use std::hint::black_box;
+
+fn chunk(n: u64) -> HostRegion {
+    HostRegion { addr: HostAddr(0x10_0000 * n), len: 1 << 20 }
+}
+
+fn bench_predictor_repetitive(c: &mut Criterion) {
+    let mut p = Predictor::new(512);
+    for _ in 0..8 {
+        for layer in 0..48u64 {
+            p.observe_swap_in(chunk(layer));
+        }
+    }
+    c.bench_function("predictor_sequence_repetitive_48layers", |b| {
+        b.iter(|| black_box(p.predict_sequence(6, &[])));
+    });
+}
+
+fn bench_predictor_lifo(c: &mut Criterion) {
+    let mut p = Predictor::new(512);
+    for round in 0..32u64 {
+        let a = chunk(round * 2 + 1);
+        let b = chunk(round * 2 + 2);
+        p.observe_swap_out(a);
+        p.observe_swap_out(b);
+        p.observe_swap_in(b);
+        p.observe_swap_in(a);
+    }
+    for n in 100..130u64 {
+        p.observe_swap_out(chunk(n));
+    }
+    c.bench_function("predictor_sequence_lifo_30outstanding", |b| {
+        b.iter(|| black_box(p.predict_sequence(6, &[])));
+    });
+}
+
+/// One complete speculative swap cycle: swap out two chunks, reload LIFO.
+fn bench_pipelined_swap_cycle(c: &mut Criterion) {
+    const LEN: u64 = 256 * 1024;
+    c.bench_function("pipellm_swap_cycle_2x256KiB", |b| {
+        let mut rt = PipeLlmRuntime::new(PipeLlmConfig {
+            device_capacity: 1 << 30,
+            ..PipeLlmConfig::default()
+        });
+        b.iter(|| {
+            let mut now = SimTime::ZERO;
+            let mut chunks = Vec::new();
+            for _ in 0..2 {
+                let dev = rt.alloc_device(LEN).expect("capacity");
+                let host = rt.alloc_host(Payload::virtual_of(LEN));
+                now = rt.memcpy_dtoh(now, host, dev).expect("swap out");
+                rt.free_device(dev).expect("live");
+                chunks.push(host);
+            }
+            now = rt.synchronize(now);
+            for host in chunks.iter().rev() {
+                let dev = rt.alloc_device(LEN).expect("capacity");
+                now = rt.memcpy_htod(now, dev, *host).expect("swap in");
+                now = rt.synchronize(now);
+                rt.free_device(dev).expect("live");
+            }
+            for host in chunks {
+                rt.free_host(host.addr).expect("live");
+            }
+            black_box(now)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_predictor_repetitive, bench_predictor_lifo, bench_pipelined_swap_cycle
+}
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Runs the beyond-the-paper ablations (depth, threads, speculation value,
+//! IV slack).
+
+fn main() {
+    let scale = pipellm_bench::scale_from_args();
+    for table in pipellm_bench::ablations::run(scale) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 3: the motivating CC-vs-w/o-CC overhead study.
+
+fn main() {
+    let scale = pipellm_bench::scale_from_args();
+    let case = std::env::args().skip_while(|a| a != "--case").nth(1);
+    let tables = match case.as_deref() {
+        Some("flexgen") => vec![pipellm_bench::fig03::run_flexgen(scale)],
+        Some("vllm") => vec![pipellm_bench::fig03::run_vllm(scale)],
+        Some("peft") => vec![pipellm_bench::fig03::run_peft(scale)],
+        _ => pipellm_bench::fig03::run(scale),
+    };
+    for table in tables {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7: model offloading under w/o CC, CC, and PipeLLM.
+
+fn main() {
+    let scale = pipellm_bench::scale_from_args();
+    for table in pipellm_bench::fig07::run(scale) {
+        println!("{table}");
+    }
+}

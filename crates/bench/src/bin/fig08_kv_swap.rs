@@ -1,0 +1,17 @@
+//! Regenerates Figure 8: vLLM KV-cache swapping, six panels.
+
+use pipellm_bench::fig08;
+use pipellm_llm::ModelSpec;
+
+fn main() {
+    let scale = pipellm_bench::scale_from_args();
+    let model = if std::env::args().any(|a| a == "--model=opt-13b") {
+        ModelSpec::opt_13b()
+    } else {
+        ModelSpec::opt_30b()
+    };
+    let systems = fig08::default_systems();
+    for panel in fig08::paper_panels() {
+        println!("{}", fig08::run_panel(&model, &panel, &systems, scale));
+    }
+}

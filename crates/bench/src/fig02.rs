@@ -1,0 +1,149 @@
+//! Figure 2: host→device memcpy latency and throughput vs I/O size,
+//! CC-enabled vs CC-disabled.
+//!
+//! Paper values (H100, Intel Xeon 8462Y+):
+//!
+//! | I/O size | 32 B | 128 KiB | 1 MiB | 32 MiB |
+//! |---|---|---|---|---|
+//! | latency CC-off (µs) | 1.43 | 1.17 | 1.19 | 1.43 |
+//! | latency CC-on (µs) | 14.93 | 22.8 | 162.5 | 5252 |
+//! | throughput CC-off (GB/s) | – | 27.2 | 48.2 | 55.3 |
+//! | throughput CC-on (GB/s) | – | 3.32 | 5.82 | 5.83 |
+//!
+//! The claims under test: CC-on API latency grows proportionally with size
+//! (encryption is inside the call) while CC-off stays flat, and CC-on
+//! throughput sits roughly an order of magnitude below CC-off.
+
+use crate::table::Table;
+use pipellm_gpu::context::{CcMode, ContextConfig, CudaContext};
+use pipellm_sim::time::SimTime;
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+
+/// The paper's four I/O sizes.
+pub const SIZES: [u64; 4] = [32, 128 * KIB, MIB, 32 * MIB];
+
+/// Result of the microbenchmark for one mode.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroRow {
+    /// Transfer size in bytes.
+    pub bytes: u64,
+    /// Single-op API latency in microseconds.
+    pub latency_us: f64,
+    /// Sustained throughput over `reps` back-to-back transfers, GB/s.
+    pub throughput_gbps: f64,
+}
+
+fn context(cc: CcMode) -> CudaContext {
+    CudaContext::new(ContextConfig { cc, device_capacity: 1 << 40, ..ContextConfig::default() })
+}
+
+/// Measures one mode at one size with `reps` back-to-back transfers.
+pub fn measure(cc: CcMode, bytes: u64, reps: u32) -> MicroRow {
+    let mut ctx = context(cc);
+    let src = ctx.host_mut().alloc_virtual(bytes);
+    let dst = ctx.alloc_device(bytes).expect("capacity is ample");
+
+    // Latency: one isolated call. The paper measures "time from the
+    // invocation to the return of the host-to-device CUDA API"; with CC on
+    // that includes the coupled encryption, with CC off it is the fixed
+    // enqueue/doorbell cost (we report the per-op link latency).
+    let timing = ctx.memcpy_htod_async(SimTime::ZERO, dst, src).expect("valid transfer");
+    let latency = match cc {
+        CcMode::Off => ctx.timing().pcie_latency,
+        CcMode::On => timing
+            .api_return
+            .saturating_since(SimTime::ZERO)
+            .max(ctx.timing().cc_control),
+    };
+
+    // Throughput: `reps` transfers, each issued when the API returns.
+    let mut ctx = context(cc);
+    let src = ctx.host_mut().alloc_virtual(bytes);
+    let dst = ctx.alloc_device(bytes).expect("capacity is ample");
+    let mut now = SimTime::ZERO;
+    for _ in 0..reps {
+        let t = ctx.memcpy_htod_async(now, dst, src).expect("valid transfer");
+        now = t.api_return;
+    }
+    let done = ctx.synchronize(now);
+    let secs = done.as_secs_f64().max(f64::MIN_POSITIVE);
+    MicroRow {
+        bytes,
+        latency_us: latency.as_secs_f64() * 1e6,
+        throughput_gbps: (bytes * u64::from(reps)) as f64 / secs / 1e9,
+    }
+}
+
+/// Runs the full Figure 2 grid.
+pub fn run(reps: u32) -> Table {
+    let mut table = Table::new(
+        "Figure 2: H2D memcpy latency / throughput vs I/O size",
+        &["metric", "32B", "128KB", "1MB", "32MB"],
+    );
+    let fmt_lat = |r: &MicroRow| format!("{:.2}us", r.latency_us);
+    let fmt_tp = |r: &MicroRow| {
+        if r.bytes <= 32 {
+            "-".to_string() // control-plane dominated, as in the paper
+        } else {
+            format!("{:.2}GB/s", r.throughput_gbps)
+        }
+    };
+    for (mode, name) in [(CcMode::Off, "CC-disabled"), (CcMode::On, "CC-enabled")] {
+        let rows: Vec<MicroRow> = SIZES.iter().map(|&b| measure(mode, b, reps)).collect();
+        let mut lat = vec![format!("latency {name}")];
+        lat.extend(rows.iter().map(fmt_lat));
+        table.push(lat);
+    }
+    for (mode, name) in [(CcMode::Off, "CC-disabled"), (CcMode::On, "CC-enabled")] {
+        let rows: Vec<MicroRow> = SIZES.iter().map(|&b| measure(mode, b, reps)).collect();
+        let mut tp = vec![format!("throughput {name}")];
+        tp.extend(rows.iter().map(fmt_tp));
+        table.push(tp);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cc_on_latency_grows_with_size_cc_off_stays_flat() {
+        let off_small = measure(CcMode::Off, 32, 8);
+        let off_big = measure(CcMode::Off, 32 * MIB, 8);
+        let on_small = measure(CcMode::On, 32, 8);
+        let on_big = measure(CcMode::On, 32 * MIB, 8);
+        assert!(
+            (off_big.latency_us - off_small.latency_us).abs() < 1.0,
+            "CC-off latency is flat: {} vs {}",
+            off_small.latency_us,
+            off_big.latency_us
+        );
+        assert!(
+            on_big.latency_us > 100.0 * on_small.latency_us,
+            "CC-on latency scales with size: {} vs {}",
+            on_small.latency_us,
+            on_big.latency_us
+        );
+    }
+
+    #[test]
+    fn cc_on_throughput_an_order_of_magnitude_below() {
+        let off = measure(CcMode::Off, 32 * MIB, 64);
+        let on = measure(CcMode::On, 32 * MIB, 64);
+        let ratio = off.throughput_gbps / on.throughput_gbps;
+        assert!((5.0..20.0).contains(&ratio), "ratio {ratio:.1}");
+        // Ballpark the paper's absolute numbers.
+        assert!((40.0..70.0).contains(&off.throughput_gbps), "{}", off.throughput_gbps);
+        assert!((3.0..9.0).contains(&on.throughput_gbps), "{}", on.throughput_gbps);
+    }
+
+    #[test]
+    fn table_has_four_rows() {
+        let t = run(8);
+        assert_eq!(t.rows().len(), 4);
+        assert_eq!(t.cell("throughput CC-disabled", "32B"), Some("-"));
+    }
+}

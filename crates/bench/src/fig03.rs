@@ -1,0 +1,72 @@
+//! Figure 3: the motivating overhead study (§3) — CC vs w/o CC only.
+//!
+//! (a) FlexGen OPT-66B throughput (up to 88.2% drop),
+//! (b) vLLM OPT-30B latency vs rate (52.8% capability drop, parallel 6),
+//! (c) PEFT OPT-30B/13B fine-tuning throughput (36.2% / 14.0% drop).
+//!
+//! These are the same workloads as Figures 7/8 restricted to the two
+//! baseline systems, so this module delegates to those grids.
+
+use crate::runners::Scale;
+use crate::systems::System;
+use crate::table::Table;
+use crate::{fig07, fig08};
+use pipellm_llm::ModelSpec;
+use pipellm_workloads::Dataset;
+
+/// The two baseline systems of the motivation study.
+pub fn baseline_systems() -> Vec<System> {
+    vec![System::cc_off(), System::cc()]
+}
+
+/// Figure 3a: FlexGen OPT-66B, input/output 32/128 and 256/32.
+pub fn run_flexgen(scale: Scale) -> Table {
+    let full = fig07::run_flexgen_panel(&baseline_systems(), scale);
+    // Only the OPT-66B rows belong to Figure 3a; retitle for clarity.
+    let mut out = Table::new(
+        "Figure 3a: FlexGen OPT-66B throughput, CC vs w/o CC",
+        &["case", "system", "tokens/s", "overhead vs w/o CC", "stall", "nops"],
+    );
+    for row in full.rows().iter().filter(|r| r[0].starts_with("OPT-66B")) {
+        out.push(row.clone());
+    }
+    out
+}
+
+/// Figure 3b: vLLM OPT-30B normalized latency vs rate, parallel size 6.
+pub fn run_vllm(scale: Scale) -> Table {
+    let panel = fig08::Panel {
+        dataset: Dataset::Alpaca,
+        parallel: 6,
+        rates: vec![0.5, 2.0, 4.0, 6.0, 8.0],
+    };
+    let mut table = fig08::run_panel(&ModelSpec::opt_30b(), &panel, &baseline_systems(), scale);
+    table.set_title(
+        "Figure 3b: vLLM OPT-30B Alpaca p=6 — normalized latency, CC vs w/o CC",
+    );
+    table
+}
+
+/// Figure 3c: PEFT OPT-30B/13B fine-tuning throughput.
+pub fn run_peft(scale: Scale) -> Table {
+    fig07::run_peft_panel(&baseline_systems(), scale)
+}
+
+/// The full motivation study.
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![run_flexgen(scale), run_vllm(scale), run_peft(scale)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flexgen_table_contains_only_66b() {
+        let t = run_flexgen(Scale::Quick);
+        assert!(!t.rows().is_empty());
+        assert!(t.rows().iter().all(|r| r[0].starts_with("OPT-66B")));
+        // Two configs × two systems.
+        assert_eq!(t.rows().len(), 4);
+    }
+}

@@ -1,0 +1,132 @@
+//! Figure 7: model offloading — FlexGen (OPT-66B, OPT-175B-int4) and PEFT
+//! (OPT-30B, OPT-13B) under w/o CC, CC, and PipeLLM.
+//!
+//! Paper shapes: enabling CC drops FlexGen throughput 82.8-88.2% and PEFT
+//! up to 36.2%; PipeLLM recovers to <19.6% overhead, the residual owed to
+//! the ≈40 GB/s CC staging ceiling. PipeLLM uses multiple crypto threads
+//! here so ciphertext production keeps up with PCIe (§7.1: "PipeLLM would
+//! utilize multiple CPU threads dedicated to encryption").
+
+use crate::runners::{run_flexgen, run_peft, Scale};
+use crate::systems::System;
+use crate::table::{overhead_pct, Table};
+use pipellm_llm::ModelSpec;
+use pipellm_serving::FlexGenConfig;
+
+/// Crypto threads PipeLLM dedicates to offloading workloads.
+pub const OFFLOAD_THREADS: usize = 8;
+
+/// The systems compared in Figure 7.
+pub fn default_systems() -> Vec<System> {
+    vec![System::cc_off(), System::cc(), System::pipellm(OFFLOAD_THREADS)]
+}
+
+/// FlexGen panel (7a: OPT-66B, 7b: OPT-175B-int4), one row per
+/// (model, prompt/output, system).
+pub fn run_flexgen_panel(systems: &[System], scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 7a/7b: FlexGen throughput with model offloading (tokens/s)",
+        &["case", "system", "tokens/s", "overhead vs w/o CC", "stall", "nops"],
+    );
+    type ConfigFn = fn(u32, u32) -> FlexGenConfig;
+    let cases: [(&str, ConfigFn); 2] =
+        [("OPT-66B", FlexGenConfig::opt_66b), ("OPT-175B-int4", FlexGenConfig::opt_175b_int4)];
+    for (model_name, make) in cases {
+        for (prompt, output) in [(32, 128), (256, 32)] {
+            let mut baseline = 0.0;
+            for system in systems {
+                let report = run_flexgen(system, make(prompt, output), scale);
+                if matches!(system, System::CcOff) {
+                    baseline = report.tokens_per_sec;
+                }
+                table.push(vec![
+                    format!("{model_name} {prompt}/{output}"),
+                    system.label(),
+                    format!("{:.2}", report.tokens_per_sec),
+                    format!("{:+.1}%", overhead_pct(baseline, report.tokens_per_sec)),
+                    format!("{:.1?}", report.gpu_io_stall),
+                    report.io.nops.to_string(),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// PEFT panel (7c): LoRA fine-tuning throughput for OPT-30B and OPT-13B.
+pub fn run_peft_panel(systems: &[System], scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 7c: PEFT LoRA fine-tuning throughput (sequences/s)",
+        &["model", "system", "seq/s", "overhead vs w/o CC", "stall"],
+    );
+    for model in [ModelSpec::opt_30b(), ModelSpec::opt_13b()] {
+        let mut baseline = 0.0;
+        for system in systems {
+            let report = run_peft(system, model.clone(), scale, 0xfee1);
+            if matches!(system, System::CcOff) {
+                baseline = report.sequences_per_sec;
+            }
+            table.push(vec![
+                model.name.clone(),
+                system.label(),
+                format!("{:.3}", report.sequences_per_sec),
+                format!("{:+.1}%", overhead_pct(baseline, report.sequences_per_sec)),
+                format!("{:.1?}", report.gpu_io_stall),
+            ]);
+        }
+    }
+    table
+}
+
+/// Both panels with the default three systems.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let systems = default_systems();
+    vec![run_flexgen_panel(&systems, scale), run_peft_panel(&systems, scale)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runners::run_flexgen;
+
+    /// The headline result: CC craters FlexGen throughput; PipeLLM recovers
+    /// most of it.
+    #[test]
+    fn flexgen_66b_shape_matches_paper() {
+        let config = || FlexGenConfig::opt_66b(32, 16);
+        let off = run_flexgen(&System::cc_off(), config(), Scale::Quick).tokens_per_sec;
+        let cc = run_flexgen(&System::cc(), config(), Scale::Quick).tokens_per_sec;
+        let pipellm =
+            run_flexgen(&System::pipellm(OFFLOAD_THREADS), config(), Scale::Quick).tokens_per_sec;
+        let cc_drop = overhead_pct(off, cc);
+        let pipe_drop = overhead_pct(off, pipellm);
+        assert!(cc_drop > 60.0, "CC drop {cc_drop:.1}% (paper: 82.8-88.2%)");
+        assert!(pipe_drop < 25.0, "PipeLLM drop {pipe_drop:.1}% (paper: <19.6%)");
+        assert!(pipellm > cc * 2.0, "PipeLLM well above CC: {pipellm:.1} vs {cc:.1}");
+    }
+
+    #[test]
+    fn peft_shape_matches_paper() {
+        let off = run_peft(&System::cc_off(), ModelSpec::opt_30b(), Scale::Quick, 1);
+        let cc = run_peft(&System::cc(), ModelSpec::opt_30b(), Scale::Quick, 1);
+        let pipellm =
+            run_peft(&System::pipellm(OFFLOAD_THREADS), ModelSpec::opt_30b(), Scale::Quick, 1);
+        let cc_drop = overhead_pct(off.sequences_per_sec, cc.sequences_per_sec);
+        let pipe_drop = overhead_pct(off.sequences_per_sec, pipellm.sequences_per_sec);
+        assert!(cc_drop > 10.0, "CC drop {cc_drop:.1}% (paper: 36.2%)");
+        assert!(pipe_drop < cc_drop, "PipeLLM {pipe_drop:.1}% below CC {cc_drop:.1}%");
+    }
+
+    #[test]
+    fn smaller_model_has_less_overhead() {
+        // §3: "The overhead is smaller on OPT-13B because it contains fewer
+        // parameters ... requiring less I/O."
+        let off30 = run_peft(&System::cc_off(), ModelSpec::opt_30b(), Scale::Quick, 2);
+        let cc30 = run_peft(&System::cc(), ModelSpec::opt_30b(), Scale::Quick, 2);
+        let off13 = run_peft(&System::cc_off(), ModelSpec::opt_13b(), Scale::Quick, 2);
+        let cc13 = run_peft(&System::cc(), ModelSpec::opt_13b(), Scale::Quick, 2);
+        let drop30 = overhead_pct(off30.sequences_per_sec, cc30.sequences_per_sec);
+        let drop13 = overhead_pct(off13.sequences_per_sec, cc13.sequences_per_sec);
+        assert!(drop13 < drop30, "13B drop {drop13:.1}% < 30B drop {drop30:.1}%");
+    }
+}

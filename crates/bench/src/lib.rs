@@ -1,0 +1,36 @@
+//! Experiment harness for the PipeLLM reproduction.
+//!
+//! One module per table/figure of the paper's evaluation (§3, §7). Each
+//! module exposes a `run` function returning printable rows, so the same
+//! code drives the `fig*` binaries, the integration tests, and
+//! EXPERIMENTS.md. Absolute numbers come from the calibrated simulator
+//! ([`pipellm_gpu::IoTimingModel`]); the claims under test are *shapes*:
+//! who wins, by what factor, and where the crossovers sit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig02;
+pub mod fig03;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod ablations;
+pub mod runners;
+pub mod systems;
+pub mod table;
+
+pub use runners::Scale;
+pub use systems::System;
+pub use table::Table;
+
+/// Parses the common CLI convention of the `fig*` binaries: `--paper`
+/// selects paper-sized traces, anything else (or nothing) the quick scale.
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Quick
+    }
+}

@@ -1,0 +1,138 @@
+//! Shared engine runners: one function per serving engine, parameterized by
+//! [`System`], so every figure module drives identical engine code — the
+//! transparency property the paper's evaluation relies on.
+
+use crate::systems::{System, H100_BYTES};
+use pipellm_llm::ModelSpec;
+use pipellm_serving::{
+    FlexGenConfig, FlexGenEngine, PeftConfig, PeftEngine, ServingReport, VllmConfig, VllmEngine,
+};
+use pipellm_workloads::{ultrachat_like, Dataset, TraceConfig};
+
+/// Scale knob for experiment runs: `Quick` keeps every figure's runtime in
+/// seconds for CI; `Paper` approaches the paper's trace sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Short traces (tens of seconds simulated, hundreds of requests).
+    Quick,
+    /// Paper-sized traces (the paper serves 1000 requests / 30-min traces).
+    Paper,
+}
+
+impl Scale {
+    /// vLLM trace duration in simulated seconds.
+    pub fn vllm_duration_secs(self) -> f64 {
+        match self {
+            Scale::Quick => 300.0,
+            Scale::Paper => 1800.0,
+        }
+    }
+
+    /// vLLM trace request cap.
+    pub fn vllm_max_requests(self) -> usize {
+        match self {
+            Scale::Quick => 4000,
+            Scale::Paper => 50_000,
+        }
+    }
+
+    /// FlexGen request count (paper: 1000).
+    pub fn flexgen_requests(self) -> u64 {
+        match self {
+            Scale::Quick => 640,
+            Scale::Paper => 1000,
+        }
+    }
+
+    /// PEFT fine-tuning samples (paper: one epoch ≈ 6k sequences).
+    pub fn peft_samples(self) -> usize {
+        match self {
+            Scale::Quick => 256,
+            Scale::Paper => 6000,
+        }
+    }
+}
+
+/// Runs a FlexGen-style model-offloading workload on `system`.
+pub fn run_flexgen(system: &System, mut config: FlexGenConfig, scale: Scale) -> ServingReport {
+    config.requests = scale.flexgen_requests();
+    let rt = system.build(H100_BYTES);
+    let mut engine = FlexGenEngine::load(rt, config).expect("FlexGen config must load");
+    let mut report = engine.run().expect("FlexGen run cannot fail");
+    report.system = system.label();
+    report
+}
+
+/// Runs a vLLM-style KV-swapping workload on `system`.
+pub fn run_vllm(
+    system: &System,
+    model: ModelSpec,
+    dataset: Dataset,
+    rate_rps: f64,
+    parallel: u32,
+    scale: Scale,
+    seed: u64,
+) -> ServingReport {
+    let trace = TraceConfig::new(dataset, rate_rps)
+        .duration_secs(scale.vllm_duration_secs())
+        .parallel(parallel)
+        .max_requests(scale.vllm_max_requests())
+        .seed(seed)
+        .generate();
+    let rt = system.build(H100_BYTES);
+    let label = format!("vLLM {} {} p={parallel} {rate_rps}r/s", model.name, dataset.name());
+    let mut engine =
+        VllmEngine::load(rt, VllmConfig::new(model), label).expect("model fits on the GPU");
+    let mut report = engine.serve(&trace).expect("vLLM serve cannot fail");
+    report.system = system.label();
+    report
+}
+
+/// Runs a PEFT/LoRA fine-tuning workload on `system`.
+pub fn run_peft(system: &System, model: ModelSpec, scale: Scale, seed: u64) -> ServingReport {
+    let samples = ultrachat_like(scale.peft_samples(), seed);
+    let rt = system.build(H100_BYTES);
+    let mut engine =
+        PeftEngine::load(rt, PeftConfig::new(model)).expect("PEFT config must load");
+    let mut report = engine.train(&samples).expect("PEFT train cannot fail");
+    report.system = system.label();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flexgen_quick_run_produces_tokens() {
+        let report = run_flexgen(
+            &System::cc_off(),
+            FlexGenConfig::opt_66b(32, 8),
+            Scale::Quick,
+        );
+        assert!(report.tokens_per_sec > 0.0);
+        assert_eq!(report.system, "w/o CC");
+    }
+
+    #[test]
+    fn vllm_quick_run_completes() {
+        let report = run_vllm(
+            &System::pipellm(2),
+            ModelSpec::opt_13b(),
+            Dataset::Alpaca,
+            1.0,
+            2,
+            Scale::Quick,
+            7,
+        );
+        assert!(report.completed > 0);
+        assert_eq!(report.system, "PipeLLM");
+    }
+
+    #[test]
+    fn peft_quick_run_completes() {
+        let report = run_peft(&System::cc(), ModelSpec::opt_13b(), Scale::Quick, 3);
+        assert!(report.sequences_per_sec > 0.0);
+        assert_eq!(report.system, "CC");
+    }
+}

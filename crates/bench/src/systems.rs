@@ -1,0 +1,123 @@
+//! The three systems every experiment compares, as a runtime factory.
+
+use pipellm::{PipeLlmConfig, PipeLlmRuntime, SpecFailureMode};
+use pipellm_gpu::runtime::{CcNativeRuntime, CcOffRuntime, GpuRuntime};
+use pipellm_gpu::IoTimingModel;
+
+/// H100-SXM device memory in bytes (as marketed: 80 GB).
+pub const H100_BYTES: u64 = 80 * 1_000_000_000;
+
+/// Which runtime an experiment runs on.
+#[derive(Debug, Clone)]
+pub enum System {
+    /// Confidential computing disabled — the paper's "w/o CC" baseline.
+    CcOff,
+    /// Native NVIDIA CC with on-the-fly encryption on `threads` CPU
+    /// threads — the paper's "CC" baseline ("CC-4t" with `threads = 4`).
+    Cc {
+        /// CPU threads gang-encrypting each transfer.
+        threads: usize,
+    },
+    /// PipeLLM with speculative pipelined encryption.
+    PipeLlm {
+        /// Crypto worker threads feeding the pipeline.
+        threads: usize,
+        /// Prediction behaviour (the Figure 10 ablation knob).
+        failure_mode: SpecFailureMode,
+    },
+}
+
+impl System {
+    /// The "w/o CC" baseline.
+    pub fn cc_off() -> Self {
+        System::CcOff
+    }
+
+    /// Native CC with a single encryption thread (the paper's default).
+    pub fn cc() -> Self {
+        System::Cc { threads: 1 }
+    }
+
+    /// Native CC with `threads` encryption threads ("CC-4t" in Figure 9).
+    pub fn cc_threads(threads: usize) -> Self {
+        System::Cc { threads }
+    }
+
+    /// PipeLLM with `threads` crypto workers (2 for vLLM, more for
+    /// offloading-heavy workloads, per §7.1).
+    pub fn pipellm(threads: usize) -> Self {
+        System::PipeLlm { threads, failure_mode: SpecFailureMode::Accurate }
+    }
+
+    /// PipeLLM with forced 0% sequence-prediction success ("PipeLLM-0").
+    pub fn pipellm_zero(threads: usize) -> Self {
+        System::PipeLlm { threads, failure_mode: SpecFailureMode::WrongOrder }
+    }
+
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> String {
+        match self {
+            System::CcOff => "w/o CC".to_string(),
+            System::Cc { threads: 1 } => "CC".to_string(),
+            System::Cc { threads } => format!("CC-{threads}t"),
+            System::PipeLlm { failure_mode: SpecFailureMode::WrongOrder, .. } => {
+                "PipeLLM-0".to_string()
+            }
+            System::PipeLlm { .. } => "PipeLLM".to_string(),
+        }
+    }
+
+    /// Builds the runtime with `capacity` bytes of device memory and the
+    /// default calibration.
+    pub fn build(&self, capacity: u64) -> Box<dyn GpuRuntime> {
+        let timing = IoTimingModel::default();
+        match *self {
+            System::CcOff => Box::new(CcOffRuntime::new(timing, capacity, 1)),
+            System::Cc { threads } => Box::new(CcNativeRuntime::new(timing, capacity, threads)),
+            System::PipeLlm { threads, failure_mode } => {
+                Box::new(PipeLlmRuntime::new(PipeLlmConfig {
+                    timing,
+                    device_capacity: capacity,
+                    crypto_threads: threads,
+                    // Keep every crypto worker fed: the queue must hold at
+                    // least ~2 chunks per worker for ciphertext production
+                    // to sustain the PCIe rate (§7.1).
+                    spec_depth: (threads * 2).max(6),
+                    failure_mode,
+                    ..PipeLlmConfig::default()
+                }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(System::cc_off().label(), "w/o CC");
+        assert_eq!(System::cc().label(), "CC");
+        assert_eq!(System::cc_threads(4).label(), "CC-4t");
+        assert_eq!(System::pipellm(2).label(), "PipeLLM");
+        assert_eq!(System::pipellm_zero(2).label(), "PipeLLM-0");
+    }
+
+    #[test]
+    fn build_produces_matching_runtime_labels() {
+        for system in [System::cc_off(), System::cc(), System::pipellm(2)] {
+            let rt = system.build(H100_BYTES);
+            assert_eq!(rt.label(), system.label());
+            assert_eq!(rt.device_capacity(), H100_BYTES);
+        }
+    }
+
+    #[test]
+    fn cc_4t_runtime_label_is_plain_cc() {
+        // The runtime reports "CC"; the "-4t" suffix is the experiment's
+        // naming, carried by `System::label`.
+        let rt = System::cc_threads(4).build(H100_BYTES);
+        assert_eq!(rt.label(), "CC");
+    }
+}

@@ -1,0 +1,146 @@
+//! Transfer classification from low-level size information.
+//!
+//! PipeLLM has no application-level hints (user transparency), but the
+//! paper's §4.2 observes that sizes alone separate the traffic classes:
+//!
+//! 1. memory swaps are large (usually > 128 KiB) while control traffic —
+//!    input/output tokens, sampling parameters — is small (< 8 KiB);
+//! 2. model-offload chunks and KV-cache chunks have sizes computable ahead
+//!    of time from the (known) model definition, so the two swap kinds are
+//!    distinguishable with high confidence.
+
+/// Classification of one transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferClass {
+    /// A memory swap that should be pipelined.
+    Swap(SwapKind),
+    /// Small control traffic: encrypted on the fly, never predicted.
+    Small,
+}
+
+/// Which kind of swap a large transfer looks like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwapKind {
+    /// Matches the model's per-layer weight size: model offloading.
+    ModelWeights,
+    /// A multiple of the KV block size: KV-cache swapping.
+    KvCache,
+    /// Large, but matching neither signature.
+    Unknown,
+}
+
+/// Size-based classifier (paper §4.2 observations (1) and (2)).
+#[derive(Debug, Clone)]
+pub struct SizeClassifier {
+    /// Transfers at or above this size are swap candidates (128 KiB).
+    pub swap_threshold: u64,
+    /// Known per-layer weight sizes (one per model variant in use).
+    layer_sizes: Vec<u64>,
+    /// Known KV bytes per token (to recognize KV chunks as multiples).
+    kv_per_token: Vec<u64>,
+    /// Relative tolerance when matching sizes.
+    tolerance: f64,
+}
+
+impl Default for SizeClassifier {
+    fn default() -> Self {
+        SizeClassifier {
+            swap_threshold: 128 * 1024,
+            layer_sizes: Vec::new(),
+            kv_per_token: Vec::new(),
+            tolerance: 0.02,
+        }
+    }
+}
+
+impl SizeClassifier {
+    /// Creates a classifier with the default 128 KiB swap threshold.
+    pub fn new() -> Self {
+        SizeClassifier::default()
+    }
+
+    /// Registers a model's signature sizes (layer weight bytes, KV bytes
+    /// per token). PipeLLM assumes models are known (§4.2: "We assume LLM
+    /// models are known").
+    pub fn register_model(&mut self, layer_weight_bytes: u64, kv_bytes_per_token: u64) {
+        self.layer_sizes.push(layer_weight_bytes);
+        self.kv_per_token.push(kv_bytes_per_token);
+    }
+
+    /// Classifies a transfer of `len` bytes.
+    pub fn classify(&self, len: u64) -> TransferClass {
+        if len < self.swap_threshold {
+            return TransferClass::Small;
+        }
+        for &layer in &self.layer_sizes {
+            let err = (len as f64 - layer as f64).abs() / layer as f64;
+            if err <= self.tolerance {
+                return TransferClass::Swap(SwapKind::ModelWeights);
+            }
+        }
+        for &per_token in &self.kv_per_token {
+            if per_token > 0 && len.is_multiple_of(per_token) {
+                return TransferClass::Swap(SwapKind::KvCache);
+            }
+        }
+        TransferClass::Swap(SwapKind::Unknown)
+    }
+
+    /// Whether a transfer of `len` bytes should enter the pipeline.
+    pub fn is_swap(&self, len: u64) -> bool {
+        matches!(self.classify(len), TransferClass::Swap(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_traffic_is_never_pipelined() {
+        let c = SizeClassifier::new();
+        for len in [1u64, 512, 8 * 1024, 127 * 1024] {
+            assert_eq!(c.classify(len), TransferClass::Small, "{len}");
+        }
+    }
+
+    #[test]
+    fn threshold_boundary() {
+        let c = SizeClassifier::new();
+        assert_eq!(c.classify(128 * 1024 - 1), TransferClass::Small);
+        assert!(c.is_swap(128 * 1024));
+    }
+
+    #[test]
+    fn layer_sizes_match_with_tolerance() {
+        let mut c = SizeClassifier::new();
+        let layer = 2_038_460_416u64; // ≈ OPT-66B layer
+        c.register_model(layer, 2_359_296);
+        assert_eq!(c.classify(layer), TransferClass::Swap(SwapKind::ModelWeights));
+        // 1% off still matches.
+        assert_eq!(
+            c.classify(layer + layer / 100),
+            TransferClass::Swap(SwapKind::ModelWeights)
+        );
+        // 10% off does not.
+        assert_ne!(
+            c.classify(layer + layer / 10),
+            TransferClass::Swap(SwapKind::ModelWeights)
+        );
+    }
+
+    #[test]
+    fn kv_chunks_match_as_multiples() {
+        let mut c = SizeClassifier::new();
+        let per_token = 1_376_256u64; // ≈ OPT-30B KV bytes/token
+        c.register_model(1_233_155_072, per_token);
+        assert_eq!(c.classify(per_token * 160), TransferClass::Swap(SwapKind::KvCache));
+        assert_eq!(c.classify(per_token * 160 + 7), TransferClass::Swap(SwapKind::Unknown));
+    }
+
+    #[test]
+    fn unknown_large_transfers_are_still_swaps() {
+        let c = SizeClassifier::new();
+        assert_eq!(c.classify(10 << 20), TransferClass::Swap(SwapKind::Unknown));
+    }
+}

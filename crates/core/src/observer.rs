@@ -1,0 +1,180 @@
+//! The §8.1 side-channel, made concrete: what a host-level attacker can
+//! infer from PipeLLM's wire metadata.
+//!
+//! The paper acknowledges that mis-speculation "introduces side channels in
+//! NOP transfers": (1) observing NOPs reveals that the system is currently
+//! swapping, and (2) the frequency of NOPs profiles the application's
+//! prediction-failure rate. This module plays the attacker: it consumes
+//! only ciphertext *metadata* — lengths and completion times of transfers
+//! (from [`pipellm_gpu::context::CudaContext::trace`]) and of NOPs (from
+//! [`pipellm_gpu::context::CudaContext::nop_log`]) — and produces the
+//! inferences the paper warns about. The security tests assert both that
+//! these inferences work (the channel is real) and that they are all the
+//! attacker gets (payload contents never influence the observation).
+
+use pipellm_gpu::context::TransferRecord;
+use pipellm_sim::time::SimTime;
+use std::time::Duration;
+
+/// What the attacker inferred from wire metadata alone.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WireObservation {
+    /// Transfers large enough to be memory swaps (inference 1: the system
+    /// is swapping).
+    pub swap_transfers: u64,
+    /// Small control transfers.
+    pub small_transfers: u64,
+    /// Total NOPs observed.
+    pub nops: u64,
+    /// Maximal runs of back-to-back NOPs (each run ≈ one recovered
+    /// misprediction — inference 2).
+    pub nop_bursts: u64,
+    /// NOPs per swap transfer: the attacker's estimate of the victim's
+    /// prediction-failure profile.
+    pub nops_per_swap: f64,
+}
+
+/// A passive observer of CVM-shared-memory traffic.
+///
+/// `swap_threshold` mirrors the classifier's 128 KiB boundary — the
+/// attacker can apply the same size heuristic PipeLLM itself uses, since
+/// AES-GCM does not hide lengths. `burst_gap` bounds how far apart two
+/// NOPs may complete and still count as one recovery burst.
+#[derive(Debug, Clone)]
+pub struct SideChannelObserver {
+    /// Ciphertext length at or above which a transfer is read as a swap.
+    pub swap_threshold: u64,
+    /// Maximum completion gap within one NOP burst.
+    pub burst_gap: Duration,
+}
+
+impl Default for SideChannelObserver {
+    fn default() -> Self {
+        SideChannelObserver {
+            swap_threshold: 128 * 1024,
+            burst_gap: Duration::from_millis(1),
+        }
+    }
+}
+
+impl SideChannelObserver {
+    /// Creates an observer with the default parameters.
+    pub fn new() -> Self {
+        SideChannelObserver::default()
+    }
+
+    /// Analyzes the wire metadata of one run.
+    pub fn analyze(&self, trace: &[TransferRecord], nops: &[SimTime]) -> WireObservation {
+        let mut obs = WireObservation::default();
+        for record in trace {
+            if record.len >= self.swap_threshold {
+                obs.swap_transfers += 1;
+            } else {
+                obs.small_transfers += 1;
+            }
+        }
+        obs.nops = nops.len() as u64;
+        let mut sorted: Vec<SimTime> = nops.to_vec();
+        sorted.sort_unstable();
+        let mut last: Option<SimTime> = None;
+        for &at in &sorted {
+            let new_burst = match last {
+                Some(prev) => at.saturating_since(prev) > self.burst_gap,
+                None => true,
+            };
+            if new_burst {
+                obs.nop_bursts += 1;
+            }
+            last = Some(at);
+        }
+        obs.nops_per_swap = if obs.swap_transfers == 0 {
+            0.0
+        } else {
+            obs.nops as f64 / obs.swap_transfers as f64
+        };
+        obs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{PipeLlmConfig, PipeLlmRuntime, SpecFailureMode};
+    use pipellm_gpu::memory::Payload;
+    use pipellm_gpu::runtime::GpuRuntime;
+
+    const CHUNK: u64 = 256 * 1024;
+
+    /// Drives a few LIFO swap episodes and returns the attacker's view.
+    fn observed(mode: SpecFailureMode, fill: u8) -> WireObservation {
+        let mut rt = PipeLlmRuntime::new(PipeLlmConfig {
+            device_capacity: 1 << 30,
+            failure_mode: mode,
+            ..PipeLlmConfig::default()
+        });
+        let mut now = pipellm_sim::time::SimTime::ZERO;
+        for _ in 0..4 {
+            let mut chunks = Vec::new();
+            for _ in 0..3 {
+                let dev = rt.alloc_device(CHUNK).expect("capacity");
+                let host = rt.alloc_host(Payload::Real(vec![fill; CHUNK as usize]));
+                now = rt.memcpy_dtoh(now, host, dev).expect("swap out");
+                rt.free_device(dev).expect("live");
+                chunks.push(host);
+            }
+            now = rt.synchronize(now);
+            for host in chunks.iter().rev() {
+                let dev = rt.alloc_device(CHUNK).expect("capacity");
+                now = rt.memcpy_htod(now, dev, *host).expect("swap in");
+                now = rt.synchronize(now);
+                rt.free_device(dev).expect("live");
+            }
+            for host in chunks {
+                rt.free_host(host.addr).expect("live");
+            }
+        }
+        SideChannelObserver::new().analyze(rt.context().trace(), rt.context().nop_log())
+    }
+
+    #[test]
+    fn swapping_is_visible_from_lengths_alone() {
+        let obs = observed(SpecFailureMode::Accurate, 1);
+        assert!(obs.swap_transfers >= 24, "{obs:?}");
+    }
+
+    #[test]
+    fn misprediction_frequency_is_profiled_by_nops() {
+        // Inference 2: the attacker distinguishes an accurate predictor
+        // from a failing one purely by NOP frequency.
+        let good = observed(SpecFailureMode::Accurate, 1);
+        let bad = observed(SpecFailureMode::WrongOrder, 1);
+        assert!(
+            bad.nops_per_swap > good.nops_per_swap + 0.2,
+            "failing predictions must be observable: good {:.2} vs bad {:.2}",
+            good.nops_per_swap,
+            bad.nops_per_swap
+        );
+        assert!(bad.nop_bursts > good.nop_bursts, "good {good:?} bad {bad:?}");
+    }
+
+    #[test]
+    fn payload_contents_do_not_influence_the_observation() {
+        // The side channel leaks *metadata only*: two runs that differ
+        // solely in plaintext bytes produce the identical observation.
+        let a = observed(SpecFailureMode::Accurate, 0x00);
+        let b = observed(SpecFailureMode::Accurate, 0xff);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn burst_counting_groups_adjacent_nops() {
+        let observer = SideChannelObserver::new();
+        let t = |us: u64| pipellm_sim::time::SimTime::from_micros(us);
+        // Two bursts: {10, 11, 12} µs and {5000} µs.
+        let obs = observer.analyze(&[], &[t(10), t(11), t(12), t(5000)]);
+        assert_eq!(obs.nops, 4);
+        assert_eq!(obs.nop_bursts, 2);
+        assert_eq!(obs.swap_transfers, 0);
+        assert_eq!(obs.nops_per_swap, 0.0);
+    }
+}

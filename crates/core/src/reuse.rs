@@ -1,0 +1,394 @@
+//! The §8.2 ciphertext-reuse strawman as a full runtime — the "what if we
+//! never re-encrypted swap data" design the paper discusses and rejects.
+//!
+//! Idea: swapped-out data is never modified on the CPU, so retain its
+//! sealed form and re-send it verbatim on every reload. Swap-ins of
+//! unmodified chunks then cost **zero CPU crypto time**; only the first
+//! seal of each chunk version pays. Swap-outs keep the ciphertext and defer
+//! decryption indefinitely (the CPU never needs the plaintext unless the
+//! application touches it).
+//!
+//! The price is the security regression demonstrated in
+//! [`pipellm_crypto::reuse`] and `tests/security.rs`: deterministic
+//! per-chunk nonces make transfers linkable and replayable. This runtime
+//! exists so the `ablations` bench can put a number on what that insecurity
+//! would buy over PipeLLM — the paper's argument is exactly that the gap is
+//! not worth it.
+//!
+//! Functionally the runtime is honest: chunks are really sealed with
+//! [`StaticSealer`] keyed by their stable chunk tag, the cache is
+//! invalidated on plaintext writes (detected with the same page-protection
+//! registry PipeLLM uses), and reloads decrypt the cached ciphertext on the
+//! simulated device.
+
+use pipellm_crypto::reuse::StaticSealer;
+use pipellm_gpu::context::{ContextConfig, CudaContext, GpuError, IoStats};
+use pipellm_gpu::memory::{DevicePtr, HostAddr, HostRegion, Payload};
+use pipellm_gpu::pages::Protection;
+use pipellm_gpu::runtime::GpuRuntime;
+use pipellm_gpu::{CcMode, IoTimingModel};
+use pipellm_sim::time::SimTime;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+use crate::classify::SizeClassifier;
+
+/// Counters for the reuse cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Swap-ins served from cached ciphertext (no CPU crypto).
+    pub cache_hits: u64,
+    /// Swap-ins that had to (re)seal because the plaintext changed or was
+    /// never cached.
+    pub reseals: u64,
+    /// Cache entries invalidated by plaintext writes.
+    pub invalidations: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CachedSeal {
+    /// Sealed bytes (or just their length for virtual payloads).
+    sealed_len: u64,
+    /// Fingerprint of the plaintext the seal encodes.
+    fingerprint: u64,
+    /// Ciphertext, kept for functional verification on real payloads.
+    sealed: Vec<u8>,
+}
+
+/// Configuration for [`ReuseRuntime`].
+#[derive(Debug, Clone)]
+pub struct ReuseConfig {
+    /// Platform timing calibration.
+    pub timing: IoTimingModel,
+    /// Device memory capacity in bytes.
+    pub device_capacity: u64,
+    /// Crypto threads gang-sharding the (rare) reseals.
+    pub crypto_threads: usize,
+    /// Static-seal key seed.
+    pub seed: u64,
+}
+
+impl Default for ReuseConfig {
+    fn default() -> Self {
+        ReuseConfig {
+            timing: IoTimingModel::default(),
+            device_capacity: 80 * 1_000_000_000,
+            crypto_threads: 2,
+            seed: 0x5ea1,
+        }
+    }
+}
+
+/// The ciphertext-reuse runtime. Insecure by design; see the module docs.
+pub struct ReuseRuntime {
+    ctx: CudaContext,
+    sealer: StaticSealer,
+    classifier: SizeClassifier,
+    cache: HashMap<u64, CachedSeal>,
+    /// Cookie → chunk-tag mapping for write-fault invalidation.
+    cookie_tags: HashMap<u64, u64>,
+    next_cookie: u64,
+    crypto_threads: usize,
+    stats: ReuseStats,
+}
+
+impl fmt::Debug for ReuseRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReuseRuntime")
+            .field("cached", &self.cache.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ReuseRuntime {
+    /// Creates the runtime.
+    pub fn new(config: ReuseConfig) -> Self {
+        // CC mode Off for the transport: this design replaces the channel's
+        // IV discipline wholesale (that is its flaw). The link still runs at
+        // the CC staging bandwidth because the data path through CVM shared
+        // memory is unchanged.
+        let timing = IoTimingModel {
+            pcie_off_gbps: config.timing.pcie_cc_gbps,
+            ..config.timing
+        };
+        let mut key = [0u8; 32];
+        key[..8].copy_from_slice(&config.seed.to_le_bytes());
+        ReuseRuntime {
+            ctx: CudaContext::new(ContextConfig {
+                cc: CcMode::Off,
+                timing,
+                device_capacity: config.device_capacity,
+                crypto_threads: config.crypto_threads,
+                seed: config.seed,
+            }),
+            sealer: StaticSealer::new(&key).expect("32-byte key"),
+            classifier: SizeClassifier::new(),
+            cache: HashMap::new(),
+            cookie_tags: HashMap::new(),
+            next_cookie: 1,
+            crypto_threads: config.crypto_threads.max(1),
+            stats: ReuseStats::default(),
+        }
+    }
+
+    /// Cache statistics.
+    pub fn reuse_stats(&self) -> ReuseStats {
+        self.stats
+    }
+
+    /// Number of chunk versions currently cached.
+    pub fn cached_chunks(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The stable tag of a chunk: its host address (stable for the chunk's
+    /// lifetime — exactly the stability the static nonce depends on).
+    fn tag_of(region: HostRegion) -> u64 {
+        region.addr.0
+    }
+
+    fn drain_invalidations(&mut self) {
+        for cookie in self.ctx.drain_faults() {
+            if let Some(tag) = self.cookie_tags.remove(&cookie) {
+                if self.cache.remove(&tag).is_some() {
+                    self.stats.invalidations += 1;
+                }
+            }
+        }
+    }
+
+    /// Seals (or reuses) `src` and returns when the ciphertext is ready.
+    fn ensure_sealed(&mut self, now: SimTime, src: HostRegion) -> Result<SimTime, GpuError> {
+        self.drain_invalidations();
+        let tag = Self::tag_of(src);
+        let payload = self.ctx.host().get(src.addr)?.payload().clone();
+        let fingerprint = payload.fingerprint();
+        if let Some(cached) = self.cache.get(&tag) {
+            if cached.fingerprint == fingerprint {
+                self.stats.cache_hits += 1;
+                return Ok(now); // ciphertext already on hand: zero crypto
+            }
+        }
+        // (Re)seal: pays gang-sharded encryption once per chunk version.
+        let sealed = match &payload {
+            Payload::Real(bytes) => self.sealer.seal(tag, bytes),
+            Payload::Virtual { len, version } => {
+                let mut stand_in = Vec::with_capacity(16);
+                stand_in.extend_from_slice(&len.to_be_bytes());
+                stand_in.extend_from_slice(&version.to_be_bytes());
+                self.sealer.seal(tag, &stand_in)
+            }
+        };
+        let seal_time =
+            self.ctx.timing().crypto.seal_time(src.len) / self.crypto_threads as u32;
+        let reservation = self.ctx.crypto_pool_mut().reserve(now, seal_time);
+        self.cache.insert(tag, CachedSeal { sealed_len: src.len, fingerprint, sealed });
+        let cookie = self.next_cookie;
+        self.next_cookie += 1;
+        self.cookie_tags.insert(cookie, tag);
+        self.ctx.pages_mut().protect(src, Protection::WriteProtected, cookie);
+        self.stats.reseals += 1;
+        Ok(reservation.end)
+    }
+}
+
+impl GpuRuntime for ReuseRuntime {
+    fn label(&self) -> &str {
+        "Reuse (insecure)"
+    }
+
+    fn alloc_host(&mut self, payload: Payload) -> HostRegion {
+        self.ctx.host_mut().alloc(payload)
+    }
+
+    fn free_host(&mut self, addr: HostAddr) -> Result<(), GpuError> {
+        let region = self.ctx.host().get(addr)?.region();
+        self.cache.remove(&Self::tag_of(region));
+        self.ctx.pages_mut().unprotect(region);
+        Ok(self.ctx.host_mut().free(addr)?)
+    }
+
+    fn alloc_device(&mut self, len: u64) -> Result<DevicePtr, GpuError> {
+        self.ctx.alloc_device(len)
+    }
+
+    fn free_device(&mut self, ptr: DevicePtr) -> Result<(), GpuError> {
+        self.ctx.free_device(ptr)
+    }
+
+    fn memcpy_htod(
+        &mut self,
+        now: SimTime,
+        dst: DevicePtr,
+        src: HostRegion,
+    ) -> Result<SimTime, GpuError> {
+        let ready = if self.classifier.is_swap(src.len) {
+            // Verify the cached ciphertext really decrypts (functional
+            // honesty), then ride the CC-Off transport for the wire time.
+            let ready = self.ensure_sealed(now, src)?;
+            let tag = Self::tag_of(src);
+            let cached = self.cache.get(&tag).expect("just ensured");
+            debug_assert_eq!(cached.sealed_len, src.len);
+            debug_assert!(self.sealer.open(tag, &cached.sealed).is_ok());
+            ready
+        } else {
+            // Small control traffic: sealed fresh each time (cheap).
+            let seal =
+                self.ctx.timing().crypto.seal_time(src.len) / self.crypto_threads as u32;
+            self.ctx.crypto_pool_mut().reserve(now, seal).end
+        };
+        let timing = self.ctx.memcpy_htod_async(ready, dst, src)?;
+        Ok(now.max(timing.api_return))
+    }
+
+    fn memcpy_dtoh(
+        &mut self,
+        now: SimTime,
+        dst: HostRegion,
+        src: DevicePtr,
+    ) -> Result<SimTime, GpuError> {
+        // The CPU keeps the (conceptually sealed) bytes without decrypting:
+        // wire time only. The cached entry for this region is refreshed so
+        // the next reload is a guaranteed hit.
+        self.drain_invalidations();
+        let timing = self.ctx.memcpy_dtoh_async(now, dst, src)?;
+        let tag = Self::tag_of(dst);
+        let payload = self.ctx.host().get(dst.addr)?.payload().clone();
+        let fingerprint = payload.fingerprint();
+        let sealed = match &payload {
+            Payload::Real(bytes) => self.sealer.seal(tag, bytes),
+            Payload::Virtual { len, version } => {
+                let mut stand_in = Vec::with_capacity(16);
+                stand_in.extend_from_slice(&len.to_be_bytes());
+                stand_in.extend_from_slice(&version.to_be_bytes());
+                self.sealer.seal(tag, &stand_in)
+            }
+        };
+        self.cache.insert(tag, CachedSeal { sealed_len: dst.len, fingerprint, sealed });
+        let cookie = self.next_cookie;
+        self.next_cookie += 1;
+        self.cookie_tags.insert(cookie, tag);
+        self.ctx.pages_mut().protect(dst, Protection::WriteProtected, cookie);
+        Ok(timing.api_return)
+    }
+
+    fn synchronize(&mut self, now: SimTime) -> SimTime {
+        self.ctx.synchronize(now)
+    }
+
+    fn launch_compute(&mut self, ready: SimTime, duration: Duration) -> SimTime {
+        self.ctx.launch_compute(ready, duration).end
+    }
+
+    fn host_touch(&mut self, now: SimTime, addr: HostAddr) -> Result<SimTime, GpuError> {
+        self.ctx.host_touch(addr)?;
+        self.drain_invalidations();
+        Ok(now)
+    }
+
+    fn host_read(&mut self, now: SimTime, region: HostRegion) -> Result<SimTime, GpuError> {
+        self.ctx.host_read(region)?;
+        self.drain_invalidations();
+        Ok(now)
+    }
+
+    fn device_free_bytes(&self) -> u64 {
+        self.ctx.device_memory().free_bytes()
+    }
+
+    fn device_capacity(&self) -> u64 {
+        self.ctx.device_memory().capacity()
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.ctx.stats()
+    }
+
+    fn gpu_io_stall(&self) -> Duration {
+        self.ctx.gpu_engine().io_stall_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHUNK: u64 = 256 * 1024;
+
+    fn runtime() -> ReuseRuntime {
+        ReuseRuntime::new(ReuseConfig { device_capacity: 1 << 30, ..ReuseConfig::default() })
+    }
+
+    #[test]
+    fn repeated_reloads_hit_the_cache() {
+        let mut rt = runtime();
+        let layer = rt.alloc_host(Payload::Real(vec![5u8; CHUNK as usize]));
+        let mut now = SimTime::ZERO;
+        for _ in 0..4 {
+            let dev = rt.alloc_device(CHUNK).unwrap();
+            now = rt.memcpy_htod(now, dev, layer).unwrap();
+            now = rt.synchronize(now);
+            rt.free_device(dev).unwrap();
+        }
+        let stats = rt.reuse_stats();
+        assert_eq!(stats.reseals, 1, "{stats:?}");
+        assert_eq!(stats.cache_hits, 3, "{stats:?}");
+    }
+
+    #[test]
+    fn plaintext_write_invalidates_the_cache() {
+        let mut rt = runtime();
+        let layer = rt.alloc_host(Payload::Real(vec![5u8; CHUNK as usize]));
+        let mut now = SimTime::ZERO;
+        let dev = rt.alloc_device(CHUNK).unwrap();
+        now = rt.memcpy_htod(now, dev, layer).unwrap();
+        now = rt.host_touch(now, layer.addr).unwrap();
+        now = rt.memcpy_htod(now, dev, layer).unwrap();
+        rt.synchronize(now);
+        let stats = rt.reuse_stats();
+        assert_eq!(stats.reseals, 2, "mutation forces a reseal: {stats:?}");
+        assert_eq!(stats.invalidations, 1, "{stats:?}");
+        // The device sees the mutated bytes.
+        let Payload::Real(bytes) = rt.ctx.device_memory().get(dev).unwrap() else {
+            panic!("real payload expected");
+        };
+        assert_eq!(bytes[0], 5 ^ 0xff);
+    }
+
+    #[test]
+    fn swap_out_primes_the_cache() {
+        let mut rt = runtime();
+        let dev = rt.alloc_device(CHUNK).unwrap();
+        rt.ctx.device_memory_mut().store(dev, Payload::Real(vec![9u8; CHUNK as usize])).unwrap();
+        let host = rt.alloc_host(Payload::Real(vec![0u8; CHUNK as usize]));
+        let mut now = rt.memcpy_dtoh(SimTime::ZERO, host, dev).unwrap();
+        now = rt.synchronize(now);
+        // Reload: must be a pure cache hit.
+        now = rt.memcpy_htod(now, dev, host).unwrap();
+        rt.synchronize(now);
+        let stats = rt.reuse_stats();
+        assert_eq!(stats.cache_hits, 1, "{stats:?}");
+        assert_eq!(stats.reseals, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn reuse_is_faster_than_fresh_encryption() {
+        // Timing comparison on one warm reload of a large chunk.
+        let big = 32u64 << 20;
+        let mut rt = ReuseRuntime::new(ReuseConfig {
+            device_capacity: 1 << 31,
+            ..ReuseConfig::default()
+        });
+        let layer = rt.alloc_host(Payload::virtual_of(big));
+        let dev = rt.alloc_device(big).unwrap();
+        let warm = rt.memcpy_htod(SimTime::ZERO, dev, layer).unwrap();
+        let warm_done = rt.synchronize(warm);
+        let again = rt.memcpy_htod(warm_done, dev, layer).unwrap();
+        let again_done = rt.synchronize(again);
+        let cold = warm_done.saturating_since(SimTime::ZERO);
+        let hot = again_done.saturating_since(warm_done);
+        assert!(hot < cold, "warm reload {hot:?} must beat cold seal {cold:?}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Runtime statistics for PipeLLM's speculation machinery.
+
+use std::fmt;
+
+/// Counters describing how the speculation pipeline behaved during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipeLlmStats {
+    /// Swap requests served directly from valid pre-encrypted ciphertext
+    /// at the exactly-matching IV.
+    pub spec_hits: u64,
+    /// Swap requests whose entry was ahead of the IV stream and was
+    /// committed after NOP padding (recoverable misprediction).
+    pub nop_recoveries: u64,
+    /// Swap requests suspended and served out of submission order within
+    /// their batch (swap re-ordering, §5.3).
+    pub reorders: u64,
+    /// Swap requests that forced a pipeline relinquish (irrecoverable
+    /// misprediction: no entry, invalidated entry, or stale IV).
+    pub relinquishes: u64,
+    /// Pre-encrypted entries invalidated by plaintext writes (§5.2).
+    pub write_invalidations: u64,
+    /// Pre-encrypted entries discarded unused (skipped by NOP padding or
+    /// dropped at relinquish).
+    pub wasted_entries: u64,
+    /// Asynchronous decryptions performed in the background (§5.4).
+    pub async_decrypts: u64,
+    /// Page faults from the application touching data before its
+    /// background decryption finished (forces synchronous decryption).
+    pub decrypt_faults: u64,
+    /// Chunks speculatively encrypted in total.
+    pub speculated: u64,
+}
+
+impl PipeLlmStats {
+    /// Sequence-prediction success rate over all pipelined swap-ins.
+    pub fn success_rate(&self) -> f64 {
+        let served = self.spec_hits + self.nop_recoveries + self.reorders + self.relinquishes;
+        if served == 0 {
+            return 1.0;
+        }
+        (self.spec_hits + self.reorders) as f64 / served as f64
+    }
+}
+
+impl fmt::Display for PipeLlmStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "spec_hits={} reorders={} nop_recoveries={} relinquishes={} \
+             invalidations={} wasted={} async_dec={} dec_faults={} success={:.1}%",
+            self.spec_hits,
+            self.reorders,
+            self.nop_recoveries,
+            self.relinquishes,
+            self.write_invalidations,
+            self.wasted_entries,
+            self.async_decrypts,
+            self.decrypt_faults,
+            self.success_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_rate_math() {
+        let stats = PipeLlmStats {
+            spec_hits: 90,
+            reorders: 5,
+            nop_recoveries: 3,
+            relinquishes: 2,
+            ..PipeLlmStats::default()
+        };
+        assert!((stats.success_rate() - 0.95).abs() < 1e-9);
+        // Empty stats report perfect success (nothing mispredicted).
+        assert_eq!(PipeLlmStats::default().success_rate(), 1.0);
+    }
+
+    #[test]
+    fn display_contains_counters() {
+        let stats = PipeLlmStats { spec_hits: 7, ..Default::default() };
+        let text = stats.to_string();
+        assert!(text.contains("spec_hits=7"));
+        assert!(text.contains("success="));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the predictor: whatever it observes, its output must
+//! be safe to pre-encrypt — well-formed, drawn from real chunks, and
+//! consistent with the elected policy.
+
+use pipellm::{Pattern, Predictor};
+use pipellm_gpu::memory::{HostAddr, HostRegion};
+use proptest::prelude::*;
+
+fn chunk(n: u8) -> HostRegion {
+    HostRegion { addr: HostAddr(0x10_000 * (u64::from(n) + 1)), len: 1 << 20 }
+}
+
+/// Random observation streams: swap-outs and swap-ins over 8 chunk ids.
+#[derive(Debug, Clone, Copy)]
+enum Obs {
+    Out(u8),
+    In(u8),
+}
+
+fn obs_strategy() -> impl Strategy<Value = Obs> {
+    prop_oneof![(0u8..8).prop_map(Obs::Out), (0u8..8).prop_map(Obs::In)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Predicted sequences never contain duplicates for FIFO/LIFO, only
+    /// draw from the outstanding set, and honour the exclusion list.
+    #[test]
+    fn predictions_are_well_formed(
+        stream in proptest::collection::vec(obs_strategy(), 0..120),
+        depth in 1usize..8,
+        exclude_ids in proptest::collection::vec(0u8..8, 0..4),
+    ) {
+        let mut p = Predictor::new(64);
+        let mut outstanding: Vec<HostRegion> = Vec::new();
+        for obs in stream {
+            match obs {
+                Obs::Out(i) => {
+                    let c = chunk(i);
+                    outstanding.retain(|x| *x != c);
+                    outstanding.push(c);
+                    p.observe_swap_out(c);
+                }
+                Obs::In(i) => {
+                    let c = chunk(i);
+                    outstanding.retain(|x| *x != c);
+                    p.observe_swap_in(c);
+                }
+            }
+        }
+        let exclude: Vec<HostRegion> = exclude_ids.iter().map(|&i| chunk(i)).collect();
+        let sequence = p.predict_sequence(depth, &exclude);
+        prop_assert!(sequence.len() <= depth);
+        match p.pattern() {
+            Pattern::Fifo | Pattern::Lifo => {
+                for (i, c) in sequence.iter().enumerate() {
+                    prop_assert!(outstanding.contains(c), "predicted a resident chunk");
+                    prop_assert!(!exclude.contains(c), "predicted an excluded chunk");
+                    prop_assert!(
+                        !sequence[..i].contains(c),
+                        "duplicate in a FIFO/LIFO sequence"
+                    );
+                }
+            }
+            Pattern::Repetitive => {
+                // Repetitive walks may revisit chunks (cycles), but can
+                // only ever predict chunks seen in history.
+                for c in &sequence {
+                    prop_assert!(
+                        (0u8..8).map(chunk).any(|k| k == *c),
+                        "predicted an unknown chunk"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A pure LIFO workload is always predicted as LIFO, and the predicted
+    /// order is the exact reverse of the outstanding order.
+    #[test]
+    fn pure_lifo_is_learned_exactly(rounds in 2usize..12, batch in 2u8..6) {
+        let mut p = Predictor::new(128);
+        for r in 0..rounds {
+            let base = (r as u8 % 4) * 8;
+            for i in 0..batch {
+                p.observe_swap_out(chunk(base / 8 + i));
+            }
+            for i in (0..batch).rev() {
+                p.observe_swap_in(chunk(base / 8 + i));
+            }
+        }
+        for i in 0..batch {
+            p.observe_swap_out(chunk(i));
+        }
+        prop_assert_eq!(p.pattern(), Pattern::Lifo);
+        let expected: Vec<HostRegion> = (0..batch).rev().map(chunk).collect();
+        prop_assert_eq!(p.predict_sequence(batch as usize, &[]), expected);
+    }
+
+    /// Forgetting a chunk removes it from every future prediction.
+    #[test]
+    fn forget_is_permanent_until_reobserved(
+        stream in proptest::collection::vec(obs_strategy(), 1..60),
+        victim in 0u8..8,
+    ) {
+        let mut p = Predictor::new(64);
+        for obs in &stream {
+            match *obs {
+                Obs::Out(i) => p.observe_swap_out(chunk(i)),
+                Obs::In(i) => p.observe_swap_in(chunk(i)),
+            }
+        }
+        p.forget(&chunk(victim));
+        if matches!(p.pattern(), Pattern::Fifo | Pattern::Lifo) {
+            let sequence = p.predict_sequence(8, &[]);
+            prop_assert!(
+                !sequence.contains(&chunk(victim)),
+                "forgotten chunk predicted: {sequence:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! The AES block cipher (FIPS-197), supporting 128- and 256-bit keys.
+//!
+//! Two implementations share the key schedule: a straightforward
+//! byte-oriented reference (S-box constant, xtime MixColumns) that mirrors
+//! FIPS-197 operation by operation, and a T-table fast path (one 1 KiB
+//! table plus rotations) that the hot [`Aes::encrypt_block`] uses and that
+//! is tested byte-identical to the reference. Neither is constant-time nor
+//! intended to protect real secrets — they exist so the PipeLLM
+//! reproduction exercises genuine AES-GCM semantics (real tags that really
+//! fail on IV mismatch) at a usable throughput.
+
+use crate::{CryptoError, Result};
+
+/// The AES block size in bytes. AES always operates on 128-bit blocks.
+pub const BLOCK_SIZE: usize = 16;
+
+/// The AES S-box (forward substitution table).
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// Round constants for the key schedule.
+const RCON: [u8; 15] = [
+    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a,
+];
+
+/// Multiply by x (i.e. {02}) in GF(2^8) with the AES polynomial.
+#[inline]
+const fn xtime(b: u8) -> u8 {
+    let shifted = b << 1;
+    if b & 0x80 != 0 {
+        shifted ^ 0x1b
+    } else {
+        shifted
+    }
+}
+
+/// The round T-table: `TE0[x]` packs `[2·S(x), S(x), S(x), 3·S(x)]` — one
+/// SubBytes + MixColumns column contribution. The other three tables of the
+/// classic formulation are byte rotations of this one, applied at use.
+const fn build_te0() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let s2 = xtime(s);
+        let s3 = s2 ^ s;
+        table[i] =
+            ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | (s3 as u32);
+        i += 1;
+    }
+    table
+}
+
+static TE0: [u32; 256] = build_te0();
+
+/// AES key sizes supported by NVIDIA CC sessions (we default to 256).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeySize {
+    /// AES-128: 10 rounds.
+    Aes128,
+    /// AES-256: 14 rounds.
+    Aes256,
+}
+
+impl KeySize {
+    fn rounds(self) -> usize {
+        match self {
+            KeySize::Aes128 => 10,
+            KeySize::Aes256 => 14,
+        }
+    }
+
+    fn key_words(self) -> usize {
+        match self {
+            KeySize::Aes128 => 4,
+            KeySize::Aes256 => 8,
+        }
+    }
+}
+
+/// An expanded AES key, ready to encrypt blocks.
+///
+/// The GCM layer only ever needs the forward (encryption) direction, since
+/// CTR mode decrypts with the same keystream; the inverse cipher is provided
+/// for completeness and for the FIPS-197 test vectors.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; BLOCK_SIZE]>,
+    /// The same round keys as big-endian words, for the T-table path.
+    round_words: Vec<u32>,
+    size: KeySize,
+}
+
+impl std::fmt::Debug for Aes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("Aes")
+            .field("size", &self.size)
+            .field("rounds", &self.round_keys.len().saturating_sub(1))
+            .finish()
+    }
+}
+
+impl Aes {
+    /// Expands `key` into round keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKeyLength`] unless `key` is exactly 16
+    /// or 32 bytes.
+    pub fn new(key: &[u8]) -> Result<Self> {
+        let size = match key.len() {
+            16 => KeySize::Aes128,
+            32 => KeySize::Aes256,
+            got => return Err(CryptoError::InvalidKeyLength { got }),
+        };
+        Ok(Self::expand(key, size))
+    }
+
+    /// Returns the key size this cipher was constructed with.
+    pub fn key_size(&self) -> KeySize {
+        self.size
+    }
+
+    fn expand(key: &[u8], size: KeySize) -> Self {
+        let nk = size.key_words();
+        let rounds = size.rounds();
+        let total_words = 4 * (rounds + 1);
+        let mut words: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for chunk in key.chunks_exact(4) {
+            words.push([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in nk..total_words {
+            let mut temp = words[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for byte in &mut temp {
+                    *byte = SBOX[*byte as usize];
+                }
+                temp[0] ^= RCON[i / nk - 1];
+            } else if nk > 6 && i % nk == 4 {
+                for byte in &mut temp {
+                    *byte = SBOX[*byte as usize];
+                }
+            }
+            let prev = words[i - nk];
+            words.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let round_keys: Vec<[u8; BLOCK_SIZE]> = words
+            .chunks_exact(4)
+            .map(|w| {
+                let mut rk = [0u8; BLOCK_SIZE];
+                for (i, word) in w.iter().enumerate() {
+                    rk[4 * i..4 * i + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        let round_words = words.iter().map(|w| u32::from_be_bytes(*w)).collect();
+        Aes { round_keys, round_words, size }
+    }
+
+    /// Encrypts a single 16-byte block in place (T-table fast path).
+    pub fn encrypt_block(&self, block: &mut [u8; BLOCK_SIZE]) {
+        let rk = &self.round_words;
+        let rounds = self.size.rounds();
+        let mut s = [0u32; 4];
+        for (c, word) in s.iter_mut().enumerate() {
+            *word = u32::from_be_bytes([
+                block[4 * c],
+                block[4 * c + 1],
+                block[4 * c + 2],
+                block[4 * c + 3],
+            ]) ^ rk[c];
+        }
+        for round in 1..rounds {
+            let base = 4 * round;
+            let mut t = [0u32; 4];
+            for (c, out) in t.iter_mut().enumerate() {
+                // ShiftRows: row r of output column c reads input column
+                // c + r (mod 4); SubBytes + MixColumns come from TE0 and
+                // its rotations.
+                *out = TE0[(s[c] >> 24) as usize]
+                    ^ TE0[((s[(c + 1) & 3] >> 16) & 0xff) as usize].rotate_right(8)
+                    ^ TE0[((s[(c + 2) & 3] >> 8) & 0xff) as usize].rotate_right(16)
+                    ^ TE0[(s[(c + 3) & 3] & 0xff) as usize].rotate_right(24)
+                    ^ rk[base + c];
+            }
+            s = t;
+        }
+        // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        let base = 4 * rounds;
+        for c in 0..4 {
+            let word = (u32::from(SBOX[(s[c] >> 24) as usize]) << 24)
+                | (u32::from(SBOX[((s[(c + 1) & 3] >> 16) & 0xff) as usize]) << 16)
+                | (u32::from(SBOX[((s[(c + 2) & 3] >> 8) & 0xff) as usize]) << 8)
+                | u32::from(SBOX[(s[(c + 3) & 3] & 0xff) as usize]);
+            block[4 * c..4 * c + 4].copy_from_slice(&(word ^ rk[base + c]).to_be_bytes());
+        }
+    }
+
+    /// The byte-oriented FIPS-197 reference implementation, kept to check
+    /// the fast path against (see the `fast_path_matches_reference` test).
+    pub fn encrypt_block_reference(&self, block: &mut [u8; BLOCK_SIZE]) {
+        let rounds = self.size.rounds();
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..rounds {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[rounds]);
+    }
+
+    /// Encrypts a block, returning the ciphertext instead of mutating.
+    pub fn encrypt_block_copy(&self, block: &[u8; BLOCK_SIZE]) -> [u8; BLOCK_SIZE] {
+        let mut out = *block;
+        self.encrypt_block(&mut out);
+        out
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut [u8; BLOCK_SIZE], rk: &[u8; BLOCK_SIZE]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; BLOCK_SIZE]) {
+    for byte in state.iter_mut() {
+        *byte = SBOX[*byte as usize];
+    }
+}
+
+/// The state is column-major: byte `state[4*c + r]` is row `r`, column `c`.
+#[inline]
+fn shift_rows(state: &mut [u8; BLOCK_SIZE]) {
+    // Row 1: rotate left by 1.
+    let t = state[1];
+    state[1] = state[5];
+    state[5] = state[9];
+    state[9] = state[13];
+    state[13] = t;
+    // Row 2: rotate left by 2.
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: rotate left by 3 (== right by 1).
+    let t = state[15];
+    state[15] = state[11];
+    state[11] = state[7];
+    state[7] = state[3];
+    state[3] = t;
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; BLOCK_SIZE]) {
+    for col in 0..4 {
+        let base = 4 * col;
+        let a0 = state[base];
+        let a1 = state[base + 1];
+        let a2 = state[base + 2];
+        let a3 = state[base + 3];
+        let all = a0 ^ a1 ^ a2 ^ a3;
+        state[base] ^= all ^ xtime(a0 ^ a1);
+        state[base + 1] ^= all ^ xtime(a1 ^ a2);
+        state[base + 2] ^= all ^ xtime(a2 ^ a3);
+        state[base + 3] ^= all ^ xtime(a3 ^ a0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fips197_aes128_vector() {
+        // FIPS-197 Appendix C.1
+        let key = hex("000102030405060708090a0b0c0d0e0f");
+        let plain = hex("00112233445566778899aabbccddeeff");
+        let cipher = Aes::new(&key).unwrap();
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&plain);
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn fips197_aes256_vector() {
+        // FIPS-197 Appendix C.3
+        let key = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let plain = hex("00112233445566778899aabbccddeeff");
+        let cipher = Aes::new(&key).unwrap();
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&plain);
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("8ea2b7ca516745bfeafc49904b496089"));
+    }
+
+    #[test]
+    fn sp800_38a_aes128_ecb_vector() {
+        // NIST SP 800-38A F.1.1 ECB-AES128.Encrypt, first block.
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let plain = hex("6bc1bee22e409f96e93d7e117393172a");
+        let cipher = Aes::new(&key).unwrap();
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&plain);
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("3ad77bb40d7a3660a89ecaf32466ef97"));
+    }
+
+    #[test]
+    fn rejects_bad_key_lengths() {
+        for len in [0usize, 8, 15, 17, 24, 31, 33] {
+            let key = vec![0u8; len];
+            assert!(matches!(
+                Aes::new(&key),
+                Err(CryptoError::InvalidKeyLength { got }) if got == len
+            ));
+        }
+    }
+
+    #[test]
+    fn encrypt_block_copy_matches_in_place() {
+        let key = hex("000102030405060708090a0b0c0d0e0f");
+        let cipher = Aes::new(&key).unwrap();
+        let block = [0x42u8; 16];
+        let copied = cipher.encrypt_block_copy(&block);
+        let mut in_place = block;
+        cipher.encrypt_block(&mut in_place);
+        assert_eq!(copied, in_place);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let cipher = Aes::new(&[0u8; 32]).unwrap();
+        let rendered = format!("{cipher:?}");
+        assert!(!rendered.contains("round_keys"));
+        assert!(rendered.contains("Aes256"));
+    }
+
+    #[test]
+    fn fast_path_matches_reference() {
+        // Pseudo-random keys and blocks, both key sizes.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 24) as u8
+        };
+        for key_len in [16usize, 32] {
+            for _ in 0..64 {
+                let key: Vec<u8> = (0..key_len).map(|_| next()).collect();
+                let cipher = Aes::new(&key).unwrap();
+                let mut fast = [0u8; 16];
+                for byte in fast.iter_mut() {
+                    *byte = next();
+                }
+                let mut reference = fast;
+                cipher.encrypt_block(&mut fast);
+                cipher.encrypt_block_reference(&mut reference);
+                assert_eq!(fast, reference, "divergence for key {key:02x?}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let a = Aes::new(&[1u8; 16]).unwrap();
+        let b = Aes::new(&[2u8; 16]).unwrap();
+        let block = [0u8; 16];
+        assert_ne!(a.encrypt_block_copy(&block), b.encrypt_block_copy(&block));
+    }
+}

@@ -1,0 +1,118 @@
+//! Cryptographic substrate for the PipeLLM reproduction.
+//!
+//! NVIDIA H100 confidential computing encrypts every CPU↔GPU transfer with
+//! AES-GCM under a session key and a strictly incrementing Initialization
+//! Vector (IV) that is implicitly synchronized between both endpoints
+//! (PipeLLM paper, §2.2 and Figure 1). This crate provides:
+//!
+//! - [`aes`]: the AES-128/AES-256 block cipher, implemented from first
+//!   principles (S-box, key schedule, rounds) and checked against FIPS-197
+//!   vectors.
+//! - [`gcm`]: Galois/Counter Mode on top of AES, including the GHASH
+//!   universal hash over GF(2^128), checked against NIST CAVP vectors.
+//! - [`channel`]: [`channel::SecureChannel`], a pair of endpoints that model
+//!   the CPU-side and GPU-side encryption engines with the exact IV
+//!   discipline PipeLLM exploits and must not break: each encryption consumes
+//!   the next IV, IVs never repeat, and decrypting with the wrong IV fails
+//!   authentication.
+//! - [`cost`]: a calibrated throughput model for the CPU encryption engine,
+//!   used by the timing layer (`pipellm-sim`) so benchmarks can move
+//!   *virtual* multi-gigabyte payloads without encrypting them.
+//! - [`reuse`]: the **deliberately insecure** ciphertext-reuse strawman of
+//!   the paper's §8.2 (static per-chunk nonces), built to demonstrate the
+//!   replay attack the IV discipline prevents and to quantify the
+//!   performance it trades away.
+//!
+//! # Example
+//!
+//! ```
+//! use pipellm_crypto::channel::{ChannelKeys, SecureChannel};
+//!
+//! # fn main() -> Result<(), pipellm_crypto::CryptoError> {
+//! let keys = ChannelKeys::from_seed(7);
+//! let mut channel = SecureChannel::new(keys);
+//! let msg = b"kv-cache block 42";
+//! let sealed = channel.host_mut().seal(msg)?;
+//! let opened = channel.device_mut().open(&sealed)?;
+//! assert_eq!(opened.as_slice(), msg);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod channel;
+pub mod cost;
+pub mod gcm;
+pub mod reuse;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the cryptographic substrate.
+///
+/// All failure modes are explicit because PipeLLM's error handler (§5.3 of
+/// the paper) is driven by *which* way a speculative ciphertext is unusable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// The authentication tag did not verify: the ciphertext was tampered
+    /// with, or it was produced under a different IV than the receiver used.
+    AuthenticationFailed {
+        /// IV the receiving endpoint used for this decryption attempt.
+        expected_iv: u64,
+    },
+    /// An encryption was requested with an IV that this endpoint has already
+    /// consumed. Reusing an IV under GCM is catastrophic, so the channel
+    /// refuses rather than silently weakening security.
+    IvReused {
+        /// The IV that was requested again.
+        iv: u64,
+    },
+    /// A send was committed at an IV that does not match the sender's
+    /// counter. The caller must pad NOPs (if `iv > expected`) or discard the
+    /// speculative ciphertext (if `iv < expected`, see [`CryptoError::IvReused`]).
+    IvMismatch {
+        /// IV carried by the message being committed.
+        iv: u64,
+        /// IV the sender's counter currently expects.
+        expected: u64,
+    },
+    /// A key of invalid length was supplied.
+    InvalidKeyLength {
+        /// Number of key bytes supplied.
+        got: usize,
+    },
+    /// The ciphertext is too short to contain the authentication tag.
+    TruncatedCiphertext {
+        /// Number of ciphertext bytes supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed { expected_iv } => {
+                write!(f, "authentication failed at receiver IV {expected_iv}")
+            }
+            CryptoError::IvReused { iv } => write!(f, "refusing to reuse IV {iv}"),
+            CryptoError::IvMismatch { iv, expected } => {
+                write!(f, "committed IV {iv} does not match sender counter {expected}")
+            }
+            CryptoError::InvalidKeyLength { got } => {
+                write!(f, "invalid key length {got}, expected 16 or 32 bytes")
+            }
+            CryptoError::TruncatedCiphertext { got } => {
+                write!(f, "ciphertext of {got} bytes is shorter than the 16-byte tag")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, CryptoError>;

@@ -1,0 +1,135 @@
+//! The ciphertext-reuse strawman of the paper's §8.2 — **deliberately
+//! insecure**, implemented to *quantify* the trade-off the paper argues
+//! about.
+//!
+//! Observation: applications never modify swapped-out model weights or KV
+//! cache on the CPU, so one could retain the sealed form and re-send it on
+//! every reload, eliminating re-encryption entirely. Doing this requires a
+//! nonce that does not change between sends — here, derived from the
+//! chunk's stable tag — which surrenders exactly the properties the
+//! incrementing-IV discipline buys:
+//!
+//! 1. **Traffic linkability**: identical plaintext at the same address
+//!    produces identical ciphertext, so an observer can tell when the same
+//!    data crosses the bus again.
+//! 2. **Replay**: a host-level attacker can substitute any *previously
+//!    captured* ciphertext for the same chunk, and the receiver will accept
+//!    it — rolling the GPU back to stale weights or KV state (the paper:
+//!    "more critically, it could make the system vulnerable to replay
+//!    attacks").
+//!
+//! The integration tests in `tests/security.rs` demonstrate both failures
+//! against this module and show the [`crate::channel`] discipline rejecting
+//! the same attacks. The `ablations` bench quantifies the performance this
+//! insecurity would buy.
+
+use crate::gcm::{AesGcm, NONCE_LEN};
+use crate::{CryptoError, Result};
+
+/// A sealer with per-chunk *static* nonces: fast, cacheable, and insecure
+/// against replay. See the module docs before using this for anything.
+#[derive(Debug, Clone)]
+pub struct StaticSealer {
+    gcm: AesGcm,
+}
+
+impl StaticSealer {
+    /// Creates a sealer from a 32-byte key.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::InvalidKeyLength`] for keys that are not 32 bytes.
+    pub fn new(key: &[u8]) -> Result<Self> {
+        Ok(StaticSealer { gcm: AesGcm::new(key)? })
+    }
+
+    /// The nonce used for `chunk_tag` — a pure function of the tag, which
+    /// is the whole point and the whole problem.
+    fn nonce(chunk_tag: u64) -> [u8; NONCE_LEN] {
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce[..4].copy_from_slice(b"RUSE");
+        nonce[4..].copy_from_slice(&chunk_tag.to_be_bytes());
+        nonce
+    }
+
+    /// Seals `plaintext` for the chunk identified by `chunk_tag`.
+    ///
+    /// Sealing the same `(chunk_tag, plaintext)` twice yields the identical
+    /// ciphertext (deterministic encryption) — cacheable and linkable.
+    pub fn seal(&self, chunk_tag: u64, plaintext: &[u8]) -> Vec<u8> {
+        self.gcm.seal(&Self::nonce(chunk_tag), &chunk_tag.to_be_bytes(), plaintext)
+    }
+
+    /// Opens a ciphertext for `chunk_tag`.
+    ///
+    /// Accepts **any** ciphertext ever produced for this tag, including
+    /// stale ones — there is no freshness check. This is the replay hole.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::AuthenticationFailed`] only for ciphertext that was
+    /// never legitimately produced for this tag (tampering or wrong tag).
+    pub fn open(&self, chunk_tag: u64, sealed: &[u8]) -> Result<Vec<u8>> {
+        self.gcm
+            .open(&Self::nonce(chunk_tag), &chunk_tag.to_be_bytes(), sealed)
+            .map_err(|_| CryptoError::AuthenticationFailed { expected_iv: chunk_tag })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sealer() -> StaticSealer {
+        StaticSealer::new(&[0x42u8; 32]).expect("32-byte key")
+    }
+
+    #[test]
+    fn roundtrip_works() {
+        let s = sealer();
+        let sealed = s.seal(7, b"layer weights v1");
+        assert_eq!(s.open(7, &sealed).expect("authentic"), b"layer weights v1");
+    }
+
+    #[test]
+    fn sealing_is_deterministic_hence_linkable() {
+        let s = sealer();
+        assert_eq!(
+            s.seal(7, b"same data"),
+            s.seal(7, b"same data"),
+            "identical ciphertext: an observer links repeated transfers"
+        );
+        assert_ne!(s.seal(7, b"same data"), s.seal(8, b"same data"));
+    }
+
+    #[test]
+    fn replay_of_stale_ciphertext_is_accepted() {
+        // The vulnerability, demonstrated: capture v1's ciphertext, let the
+        // application move to v2, replay v1 — the receiver cannot tell.
+        let s = sealer();
+        let stale = s.seal(7, b"weights v1");
+        let _fresh = s.seal(7, b"weights v2");
+        assert_eq!(
+            s.open(7, &stale).expect("replay accepted — this is the flaw"),
+            b"weights v1"
+        );
+    }
+
+    #[test]
+    fn cross_tag_substitution_is_rejected() {
+        let s = sealer();
+        let sealed = s.seal(7, b"chunk 7 data");
+        assert!(matches!(
+            s.open(8, &sealed),
+            Err(CryptoError::AuthenticationFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn tampering_is_still_detected() {
+        let s = sealer();
+        let mut sealed = s.seal(7, b"data");
+        sealed[0] ^= 1;
+        assert!(s.open(7, &sealed).is_err());
+    }
+}

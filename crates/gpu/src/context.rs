@@ -1,0 +1,858 @@
+//! The simulated CUDA context: device memory + secure channel + timing
+//! resources behind an asynchronous memcpy API.
+//!
+//! In CC mode this context behaves like the H100 + CUDA stack the paper
+//! describes (§2.2): `memcpy_htod_async` seals the payload with AES-GCM at
+//! the host counter IV, the simulated copy engine opens it at the device
+//! counter IV, and the IVs advance in lockstep without ever being
+//! transmitted. Delivering ciphertext out of order genuinely fails
+//! authentication.
+//!
+//! Two API surfaces coexist:
+//!
+//! - the **application surface** (`memcpy_*`, `synchronize`,
+//!   `launch_compute`) used by serving engines — equivalent to stock CUDA;
+//! - the **interposition surface** (`seal_region`, `submit_htod_sealed`,
+//!   `send_nop`, `memcpy_dtoh_raw`, `crypto_pool_mut`, `drain_faults`)
+//!   equivalent to the CUDA/OpenSSL hooks the PipeLLM prototype installs
+//!   (§6: "PipeLLM also hacks those OpenSSL APIs to decouple encryption or
+//!   decryption from the memory copy API").
+
+use crate::memory::{
+    DeviceMemory, DevicePtr, HostMemory, HostRegion, MemoryError, Payload,
+};
+use crate::pages::{Access, PageRegistry};
+use crate::timing::IoTimingModel;
+use pipellm_crypto::channel::{ChannelKeys, Direction, SealedMessage, SecureChannel};
+use pipellm_crypto::CryptoError;
+use pipellm_sim::resource::{GpuEngine, Link, Reservation, WorkerPool};
+use pipellm_sim::time::SimTime;
+use std::fmt;
+use std::time::Duration;
+
+/// Whether confidential computing is enabled on the context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcMode {
+    /// No encryption: transfers move plaintext at full PCIe bandwidth.
+    Off,
+    /// NVIDIA CC: every transfer is sealed/opened under the IV discipline.
+    On,
+}
+
+/// Errors surfaced by the GPU context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GpuError {
+    /// A memory management error.
+    Memory(MemoryError),
+    /// A cryptographic error (IV mismatch, authentication failure, …).
+    Crypto(CryptoError),
+    /// An operation that requires CC mode was invoked with CC off.
+    CcDisabled,
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::Memory(e) => write!(f, "memory error: {e}"),
+            GpuError::Crypto(e) => write!(f, "crypto error: {e}"),
+            GpuError::CcDisabled => f.write_str("operation requires confidential computing mode"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GpuError::Memory(e) => Some(e),
+            GpuError::Crypto(e) => Some(e),
+            GpuError::CcDisabled => None,
+        }
+    }
+}
+
+impl From<MemoryError> for GpuError {
+    fn from(e: MemoryError) -> Self {
+        GpuError::Memory(e)
+    }
+}
+
+impl From<CryptoError> for GpuError {
+    fn from(e: CryptoError) -> Self {
+        GpuError::Crypto(e)
+    }
+}
+
+/// One entry in the low-level transfer trace — the only information PipeLLM
+/// is allowed to observe (paper §4.2: "only low-level memory-copy
+/// information is available").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferRecord {
+    /// Transfer direction.
+    pub direction: Direction,
+    /// Host-side region.
+    pub region: HostRegion,
+    /// Device-side buffer.
+    pub device: DevicePtr,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion time (data usable at destination).
+    pub completed: SimTime,
+    /// IV consumed on the wire, when CC is enabled.
+    pub iv: Option<u64>,
+}
+
+/// Timing of one asynchronous memcpy.
+///
+/// `api_return` is when control returns to the calling CPU thread. Figure 2
+/// of the paper shows that with CC enabled the "asynchronous" API blocks for
+/// the encryption ("encryption and decryption processes are coupled with the
+/// API call"), so under native CC `api_return` includes the seal time.
+/// `complete` is when the data is usable at the destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemcpyTiming {
+    /// When the API call returns to the caller.
+    pub api_return: SimTime,
+    /// When the transferred data is usable.
+    pub complete: SimTime,
+}
+
+/// Aggregate I/O statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Host→device operations.
+    pub h2d_ops: u64,
+    /// Host→device payload bytes.
+    pub h2d_bytes: u64,
+    /// Device→host operations.
+    pub d2h_ops: u64,
+    /// Device→host payload bytes.
+    pub d2h_bytes: u64,
+    /// NOP (1-byte IV-advance) transfers.
+    pub nops: u64,
+}
+
+/// Configuration for constructing a [`CudaContext`].
+#[derive(Debug, Clone)]
+pub struct ContextConfig {
+    /// CC mode.
+    pub cc: CcMode,
+    /// Timing calibration.
+    pub timing: IoTimingModel,
+    /// Device memory capacity in bytes (H100-SXM: 80 GB).
+    pub device_capacity: u64,
+    /// CPU crypto worker threads available to this context.
+    pub crypto_threads: usize,
+    /// Key-derivation seed for the secure channel.
+    pub seed: u64,
+}
+
+impl Default for ContextConfig {
+    fn default() -> Self {
+        ContextConfig {
+            cc: CcMode::On,
+            timing: IoTimingModel::default(),
+            device_capacity: 80 * 1_000_000_000,
+            crypto_threads: 1,
+            seed: 0x9e37,
+        }
+    }
+}
+
+/// The simulated device + driver context.
+pub struct CudaContext {
+    cc: CcMode,
+    timing: IoTimingModel,
+    crypto_threads: usize,
+    host: HostMemory,
+    device_mem: DeviceMemory,
+    channel: SecureChannel,
+    link: Link,
+    crypto_pool: WorkerPool,
+    gpu: GpuEngine,
+    pages: PageRegistry,
+    pending: Vec<SimTime>,
+    trace: Vec<TransferRecord>,
+    nop_log: Vec<SimTime>,
+    faults: Vec<u64>,
+    stats: IoStats,
+}
+
+impl fmt::Debug for CudaContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CudaContext")
+            .field("cc", &self.cc)
+            .field("device_used", &self.device_mem.used())
+            .field("pending_ops", &self.pending.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// Builds the AAD descriptor authenticated with every sealed transfer.
+fn descriptor(kind: u8, len: u64, addr: u64) -> Vec<u8> {
+    let mut aad = Vec::with_capacity(17);
+    aad.push(kind);
+    aad.extend_from_slice(&len.to_be_bytes());
+    aad.extend_from_slice(&addr.to_be_bytes());
+    aad
+}
+
+const KIND_REAL: u8 = 0;
+const KIND_VIRTUAL: u8 = 1;
+
+/// Serializes a payload for sealing: real bytes verbatim; virtual payloads
+/// as a 16-byte `(len, version)` stand-in so the ciphertext stays small
+/// while IV semantics remain genuine.
+fn plaintext_of(payload: &Payload) -> (u8, Vec<u8>) {
+    match payload {
+        Payload::Real(bytes) => (KIND_REAL, bytes.clone()),
+        Payload::Virtual { len, version } => {
+            let mut buf = Vec::with_capacity(16);
+            buf.extend_from_slice(&len.to_be_bytes());
+            buf.extend_from_slice(&version.to_be_bytes());
+            (KIND_VIRTUAL, buf)
+        }
+    }
+}
+
+/// Inverse of [`plaintext_of`].
+fn payload_from_plaintext(kind: u8, bytes: Vec<u8>) -> Payload {
+    if kind == KIND_VIRTUAL && bytes.len() == 16 {
+        let len = u64::from_be_bytes(bytes[..8].try_into().expect("checked length"));
+        let version = u64::from_be_bytes(bytes[8..].try_into().expect("checked length"));
+        Payload::Virtual { len, version }
+    } else {
+        Payload::Real(bytes)
+    }
+}
+
+impl CudaContext {
+    /// Creates a context from a configuration.
+    pub fn new(config: ContextConfig) -> Self {
+        let cc_enabled = config.cc == CcMode::On;
+        let link = Link::new(config.timing.link_gbps(cc_enabled), config.timing.pcie_latency);
+        CudaContext {
+            cc: config.cc,
+            timing: config.timing,
+            crypto_threads: config.crypto_threads.max(1),
+            host: HostMemory::new(),
+            device_mem: DeviceMemory::new(config.device_capacity),
+            channel: SecureChannel::new(ChannelKeys::from_seed(config.seed)),
+            link,
+            crypto_pool: WorkerPool::new(config.crypto_threads),
+            gpu: GpuEngine::new(),
+            pages: PageRegistry::new(),
+            pending: Vec::new(),
+            trace: Vec::new(),
+            nop_log: Vec::new(),
+            faults: Vec::new(),
+            stats: IoStats::default(),
+        }
+    }
+
+    /// CC mode of this context.
+    pub fn cc_mode(&self) -> CcMode {
+        self.cc
+    }
+
+    /// The timing calibration in use.
+    pub fn timing(&self) -> &IoTimingModel {
+        &self.timing
+    }
+
+    /// Host memory (CVM private memory).
+    pub fn host(&self) -> &HostMemory {
+        &self.host
+    }
+
+    /// Mutable host memory. Prefer [`CudaContext::host_write`] /
+    /// [`CudaContext::host_touch`] for content mutation so page protection
+    /// fires; direct access is for allocation.
+    pub fn host_mut(&mut self) -> &mut HostMemory {
+        &mut self.host
+    }
+
+    /// Device memory statistics.
+    pub fn device_memory(&self) -> &DeviceMemory {
+        &self.device_mem
+    }
+
+    /// Mutable device memory — test and benchmark support for seeding
+    /// device buffers without a transfer.
+    pub fn device_memory_mut(&mut self) -> &mut DeviceMemory {
+        &mut self.device_mem
+    }
+
+    /// The page-protection registry (the MPK/PKU stand-in).
+    pub fn pages_mut(&mut self) -> &mut PageRegistry {
+        &mut self.pages
+    }
+
+    /// The CPU crypto worker pool timeline.
+    pub fn crypto_pool_mut(&mut self) -> &mut WorkerPool {
+        &mut self.crypto_pool
+    }
+
+    /// The PCIe link timeline.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// The GPU compute engine timeline.
+    pub fn gpu_engine(&self) -> &GpuEngine {
+        &self.gpu
+    }
+
+    /// Aggregate I/O statistics.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// The observed transfer trace (PipeLLM's predictor input).
+    pub fn trace(&self) -> &[TransferRecord] {
+        &self.trace
+    }
+
+    /// Completion times of NOP transfers. Together with [`CudaContext::trace`]
+    /// this is the *attacker-visible* wire metadata (ciphertext lengths and
+    /// timings) used by the §8.1 side-channel analysis.
+    pub fn nop_log(&self) -> &[SimTime] {
+        &self.nop_log
+    }
+
+    /// Drains and returns page-fault cookies raised since the last call.
+    pub fn drain_faults(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.faults)
+    }
+
+    // ---------------------------------------------------------------
+    // Application surface
+    // ---------------------------------------------------------------
+
+    /// Allocates device memory.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] when the device is out of memory.
+    pub fn alloc_device(&mut self, len: u64) -> Result<DevicePtr, GpuError> {
+        Ok(self.device_mem.alloc(len)?)
+    }
+
+    /// Frees device memory.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] when `ptr` is not a live allocation.
+    pub fn free_device(&mut self, ptr: DevicePtr) -> Result<(), GpuError> {
+        Ok(self.device_mem.dealloc(ptr)?)
+    }
+
+    /// Asynchronous host→device copy (`cudaMemcpyAsync` analogue).
+    ///
+    /// With CC off the payload moves in plaintext at full link bandwidth
+    /// and the API returns immediately. With CC on this is the *native
+    /// NVIDIA CC* path: the calling thread seals the payload (gang-parallel
+    /// across the context's crypto threads), then the transfer proceeds —
+    /// encryption on the critical path, and the "asynchronous" API blocks
+    /// until the ciphertext is produced, as the paper's Figure 2 measures.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] for unknown addresses or length mismatches.
+    pub fn memcpy_htod_async(
+        &mut self,
+        now: SimTime,
+        dst: DevicePtr,
+        src: HostRegion,
+    ) -> Result<MemcpyTiming, GpuError> {
+        let payload = self.host.get(src.addr)?.payload().clone();
+        let len = payload.len();
+        let timing = match self.cc {
+            CcMode::Off => {
+                self.device_mem.store(dst, payload)?;
+                let wire = self.link.transfer(now, len);
+                self.record(Direction::HostToDevice, src, dst, len, now, wire.end, None);
+                MemcpyTiming { api_return: now, complete: wire.end }
+            }
+            CcMode::On => {
+                let (kind, plaintext) = plaintext_of(&payload);
+                let aad = descriptor(kind, len, src.addr.0);
+                let sealed = self
+                    .channel
+                    .host_mut()
+                    .tx_mut()
+                    .seal_with_aad(&aad, &plaintext)?;
+                let iv = sealed.iv;
+                // Intra-op gang parallelism: the library shards one buffer
+                // across all crypto threads (the Figure 9 "CC-4t" baseline).
+                let seal_time = self.timing.crypto.seal_time(len) / self.crypto_threads as u32;
+                let enc = self.crypto_pool.reserve(now, seal_time);
+                let wire = self.link.transfer(enc.end, len);
+                self.deliver_to_device(dst, &sealed)?;
+                let done = wire.end + self.timing.cc_control;
+                self.record(Direction::HostToDevice, src, dst, len, now, done, Some(iv));
+                MemcpyTiming { api_return: enc.end, complete: done }
+            }
+        };
+        self.stats.h2d_ops += 1;
+        self.stats.h2d_bytes += len;
+        self.pending.push(timing.complete);
+        Ok(timing)
+    }
+
+    /// Asynchronous device→host copy (`cudaMemcpyAsync` analogue).
+    ///
+    /// With CC on this is the native path: transfer, then decrypt on a
+    /// crypto worker before the data is usable — decryption on the critical
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] for unknown pointers/addresses or length
+    /// mismatches.
+    pub fn memcpy_dtoh_async(
+        &mut self,
+        now: SimTime,
+        dst: HostRegion,
+        src: DevicePtr,
+    ) -> Result<MemcpyTiming, GpuError> {
+        let payload = self.device_mem.get(src)?.clone();
+        let len = payload.len();
+        let timing = match self.cc {
+            CcMode::Off => {
+                self.host_store(dst, payload)?;
+                let wire = self.link.transfer(now, len);
+                MemcpyTiming { api_return: now, complete: wire.end }
+            }
+            CcMode::On => {
+                let (kind, plaintext) = plaintext_of(&payload);
+                let aad = descriptor(kind, len, dst.addr.0);
+                let sealed = self
+                    .channel
+                    .device_mut()
+                    .tx_mut()
+                    .seal_with_aad(&aad, &plaintext)?;
+                let wire = self.link.transfer(now, len);
+                let open_time =
+                    self.timing.crypto.open_time(len) / self.crypto_threads as u32;
+                let dec = self.crypto_pool.reserve(wire.end, open_time);
+                let opened = self.channel.host_mut().open(&sealed)?;
+                let kind = sealed.aad.first().copied().unwrap_or(KIND_REAL);
+                self.host_store(dst, payload_from_plaintext(kind, opened))?;
+                let done = dec.end + self.timing.cc_control;
+                // The call blocks until the plaintext is in place.
+                MemcpyTiming { api_return: done, complete: done }
+            }
+        };
+        self.record(Direction::DeviceToHost, dst, src, len, now, timing.complete, None);
+        self.stats.d2h_ops += 1;
+        self.stats.d2h_bytes += len;
+        self.pending.push(timing.complete);
+        Ok(timing)
+    }
+
+    /// Waits for all asynchronous operations submitted so far
+    /// (`cudaDeviceSynchronize` analogue). Returns the time at which
+    /// everything pending has completed (at least `now`).
+    pub fn synchronize(&mut self, now: SimTime) -> SimTime {
+        let latest = self.pending.drain(..).max().unwrap_or(SimTime::ZERO);
+        latest.max(now)
+    }
+
+    /// Runs a GPU kernel whose inputs are ready at `ready` for `duration`.
+    pub fn launch_compute(&mut self, ready: SimTime, duration: Duration) -> Reservation {
+        self.gpu.run(ready, duration)
+    }
+
+    /// Writes host memory through the page-protection check.
+    ///
+    /// Any write-protected or access-revoked range overlapping the target
+    /// faults; cookies are queued for [`CudaContext::drain_faults`].
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] for unknown addresses or length mismatches.
+    pub fn host_write(&mut self, addr: crate::memory::HostAddr, payload: Payload) -> Result<(), GpuError> {
+        let region = self.host.get(addr)?.region();
+        let cookies = self.pages.access(region, Access::Write);
+        self.faults.extend(cookies);
+        Ok(self.host.write(addr, payload)?)
+    }
+
+    /// Logically mutates a host chunk through the page-protection check.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] for unknown addresses.
+    pub fn host_touch(&mut self, addr: crate::memory::HostAddr) -> Result<(), GpuError> {
+        let region = self.host.get(addr)?.region();
+        let cookies = self.pages.access(region, Access::Write);
+        self.faults.extend(cookies);
+        Ok(self.host.touch(addr)?)
+    }
+
+    /// Reads host memory through the page-protection check (access-revoked
+    /// ranges fault; used by asynchronous decryption).
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] for unknown addresses.
+    pub fn host_read(&mut self, region: HostRegion) -> Result<&Payload, GpuError> {
+        let cookies = self.pages.access(region, Access::Read);
+        self.faults.extend(cookies);
+        Ok(self.host.get(region.addr)?.payload())
+    }
+
+    fn host_store(&mut self, dst: HostRegion, payload: Payload) -> Result<(), GpuError> {
+        // Stores coming from the device are DMA writes; they bypass MPK
+        // protection (the copy engine writes CVM shared memory, and the
+        // runtime copies into private memory with protection suspended).
+        Ok(self.host.write(dst.addr, payload)?)
+    }
+
+    // ---------------------------------------------------------------
+    // Interposition surface (what PipeLLM hooks)
+    // ---------------------------------------------------------------
+
+    /// Seals a host region at an arbitrary (future) IV without advancing
+    /// the channel counter: speculative pre-encryption.
+    ///
+    /// # Errors
+    ///
+    /// - [`GpuError::Memory`] for unknown addresses.
+    /// - [`GpuError::Crypto`] ([`CryptoError::IvReused`]) if `iv` is below
+    ///   the host counter.
+    /// - [`GpuError::CcDisabled`] with CC off.
+    pub fn seal_region(&mut self, src: HostRegion, iv: u64) -> Result<SealedMessage, GpuError> {
+        if self.cc == CcMode::Off {
+            return Err(GpuError::CcDisabled);
+        }
+        let payload = self.host.get(src.addr)?.payload();
+        let (kind, plaintext) = plaintext_of(payload);
+        let aad = descriptor(kind, payload.len(), src.addr.0);
+        Ok(self.channel.host().tx().seal_speculative(iv, &aad, &plaintext)?)
+    }
+
+    /// The host-side sender counter (next IV to be consumed).
+    pub fn current_h2d_iv(&self) -> u64 {
+        self.channel.host().tx().next_iv()
+    }
+
+    /// Submits pre-encrypted ciphertext to the device.
+    ///
+    /// `ready_at` is when the ciphertext became available (the caller's
+    /// speculative-encryption pipeline determines it); the wire transfer
+    /// starts at `max(now, ready_at)`. The host counter is committed at the
+    /// message's IV, and the device opens the message at its own counter —
+    /// if the caller mis-aligned IVs this fails *exactly* like the real
+    /// hardware would.
+    ///
+    /// # Errors
+    ///
+    /// - [`GpuError::Crypto`] with [`CryptoError::IvReused`] /
+    ///   [`CryptoError::IvMismatch`] if the message's IV is behind/ahead of
+    ///   the host counter.
+    /// - [`GpuError::Crypto`] with [`CryptoError::AuthenticationFailed`] if
+    ///   the device rejects the ciphertext.
+    /// - [`GpuError::Memory`] for unknown pointers or length mismatches.
+    pub fn submit_htod_sealed(
+        &mut self,
+        now: SimTime,
+        ready_at: SimTime,
+        dst: DevicePtr,
+        src: HostRegion,
+        sealed: &SealedMessage,
+        payload_len: u64,
+    ) -> Result<MemcpyTiming, GpuError> {
+        if self.cc == CcMode::Off {
+            return Err(GpuError::CcDisabled);
+        }
+        self.channel.host_mut().tx_mut().commit(sealed)?;
+        let depart = now.max(ready_at);
+        let wire = self.link.transfer(depart, payload_len);
+        self.deliver_to_device(dst, sealed)?;
+        let done = wire.end + self.timing.cc_control;
+        self.record(Direction::HostToDevice, src, dst, payload_len, now, done, Some(sealed.iv));
+        self.stats.h2d_ops += 1;
+        self.stats.h2d_bytes += payload_len;
+        self.pending.push(done);
+        // Pre-encrypted submission returns immediately: the calling thread
+        // only queues the staged ciphertext for DMA.
+        Ok(MemcpyTiming { api_return: now, complete: done })
+    }
+
+    /// Sends a NOP — a 1-byte dummy transfer that advances the IV on both
+    /// sides (paper §5.3). Costs one crypto-pool slot and a tiny wire op.
+    pub fn send_nop(&mut self, now: SimTime) -> Result<SimTime, GpuError> {
+        if self.cc == CcMode::Off {
+            return Err(GpuError::CcDisabled);
+        }
+        let nop = self.channel.host_mut().tx_mut().seal_nop();
+        let enc = self.crypto_pool.reserve(now, self.timing.crypto.nop_time());
+        let wire = self.link.transfer(enc.end, 1);
+        self.channel.device_mut().open(&nop)?;
+        self.stats.nops += 1;
+        let done = wire.end + self.timing.cc_control;
+        self.nop_log.push(done);
+        self.pending.push(done);
+        Ok(done)
+    }
+
+    /// Device→host raw transfer: seals on the device, moves the wire, and
+    /// opens functionally — but performs **no** decryption-time accounting
+    /// and does not write host memory. The caller (PipeLLM's asynchronous
+    /// decryption, §5.4) owns scheduling the decrypt cost, storing the
+    /// plaintext, and protecting the destination pages.
+    ///
+    /// Returns `(wire_done, opened_payload)`.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] / [`GpuError::Crypto`] as for the native path.
+    pub fn memcpy_dtoh_raw(
+        &mut self,
+        now: SimTime,
+        dst: HostRegion,
+        src: DevicePtr,
+    ) -> Result<(SimTime, Payload), GpuError> {
+        if self.cc == CcMode::Off {
+            return Err(GpuError::CcDisabled);
+        }
+        let payload = self.device_mem.get(src)?.clone();
+        let len = payload.len();
+        let (kind, plaintext) = plaintext_of(&payload);
+        let aad = descriptor(kind, len, dst.addr.0);
+        let sealed = self.channel.device_mut().tx_mut().seal_with_aad(&aad, &plaintext)?;
+        let wire = self.link.transfer(now, len);
+        let opened = self.channel.host_mut().open(&sealed)?;
+        let opened_payload = payload_from_plaintext(kind, opened);
+        let done = wire.end + self.timing.cc_control;
+        self.record(Direction::DeviceToHost, dst, src, len, now, done, Some(sealed.iv));
+        self.stats.d2h_ops += 1;
+        self.stats.d2h_bytes += len;
+        self.pending.push(done);
+        Ok((done, opened_payload))
+    }
+
+    /// Stores a payload into host memory bypassing page protection — the
+    /// interposer's own store path (it manages protection itself).
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] for unknown addresses or length mismatches.
+    pub fn host_store_unchecked(&mut self, dst: HostRegion, payload: Payload) -> Result<(), GpuError> {
+        self.host_store(dst, payload)
+    }
+
+    fn deliver_to_device(&mut self, dst: DevicePtr, sealed: &SealedMessage) -> Result<(), GpuError> {
+        let opened = self.channel.device_mut().open(sealed)?;
+        let kind = sealed.aad.first().copied().unwrap_or(KIND_REAL);
+        let payload = payload_from_plaintext(kind, opened);
+        self.device_mem.store(dst, payload)?;
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        direction: Direction,
+        region: HostRegion,
+        device: DevicePtr,
+        len: u64,
+        submitted: SimTime,
+        completed: SimTime,
+        iv: Option<u64>,
+    ) {
+        self.trace.push(TransferRecord { direction, region, device, len, submitted, completed, iv });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pages::Protection;
+
+    fn ctx(cc: CcMode) -> CudaContext {
+        CudaContext::new(ContextConfig { cc, device_capacity: 1 << 30, ..Default::default() })
+    }
+
+    #[test]
+    fn cc_off_moves_plaintext() {
+        let mut c = ctx(CcMode::Off);
+        let src = c.host_mut().alloc_real(vec![1, 2, 3, 4]);
+        let dst = c.alloc_device(4).unwrap();
+        let t = c.memcpy_htod_async(SimTime::ZERO, dst, src).unwrap();
+        assert!(t.complete > SimTime::ZERO);
+        assert_eq!(t.api_return, SimTime::ZERO, "CC-off API returns immediately");
+        assert_eq!(c.device_memory().get(dst).unwrap(), &Payload::Real(vec![1, 2, 3, 4]));
+        assert_eq!(c.stats().h2d_bytes, 4);
+    }
+
+    #[test]
+    fn cc_on_roundtrips_real_bytes() {
+        let mut c = ctx(CcMode::On);
+        let data: Vec<u8> = (0..=255).collect();
+        let src = c.host_mut().alloc_real(data.clone());
+        let dst = c.alloc_device(256).unwrap();
+        c.memcpy_htod_async(SimTime::ZERO, dst, src).unwrap();
+        assert_eq!(c.device_memory().get(dst).unwrap(), &Payload::Real(data.clone()));
+        // And back.
+        let back = c.host_mut().alloc_real(vec![0u8; 256]);
+        c.memcpy_dtoh_async(SimTime::ZERO, back, dst).unwrap();
+        assert_eq!(c.host().get(back.addr).unwrap().payload(), &Payload::Real(data));
+    }
+
+    #[test]
+    fn cc_on_roundtrips_virtual_payloads() {
+        let mut c = ctx(CcMode::On);
+        let src = c.host_mut().alloc_virtual(64 << 20);
+        let dst = c.alloc_device(64 << 20).unwrap();
+        c.memcpy_htod_async(SimTime::ZERO, dst, src).unwrap();
+        assert_eq!(
+            c.device_memory().get(dst).unwrap(),
+            &Payload::Virtual { len: 64 << 20, version: 0 }
+        );
+    }
+
+    #[test]
+    fn cc_on_is_slower_than_cc_off() {
+        let bytes = 32 << 20;
+        let mut off = ctx(CcMode::Off);
+        let mut on = ctx(CcMode::On);
+        let (s_off, s_on) = (
+            off.host_mut().alloc_virtual(bytes),
+            on.host_mut().alloc_virtual(bytes),
+        );
+        let d_off = off.alloc_device(bytes).unwrap();
+        let d_on = on.alloc_device(bytes).unwrap();
+        let t_off = off.memcpy_htod_async(SimTime::ZERO, d_off, s_off).unwrap().complete;
+        let t_on = on.memcpy_htod_async(SimTime::ZERO, d_on, s_on).unwrap().complete;
+        let ratio = t_on.as_secs_f64() / t_off.as_secs_f64();
+        assert!(ratio > 6.0, "CC should be ~an order of magnitude slower, got {ratio:.1}x");
+    }
+
+    #[test]
+    fn synchronize_reports_latest_completion() {
+        let mut c = ctx(CcMode::On);
+        let a = c.host_mut().alloc_virtual(1 << 20);
+        let b = c.host_mut().alloc_virtual(8 << 20);
+        let da = c.alloc_device(1 << 20).unwrap();
+        let db = c.alloc_device(8 << 20).unwrap();
+        let ta = c.memcpy_htod_async(SimTime::ZERO, da, a).unwrap().complete;
+        let tb = c.memcpy_htod_async(SimTime::ZERO, db, b).unwrap().complete;
+        let sync = c.synchronize(SimTime::ZERO);
+        assert_eq!(sync, ta.max(tb));
+        // A second synchronize with nothing pending returns `now`.
+        let now = SimTime::from_millis(100);
+        assert_eq!(c.synchronize(now), now);
+    }
+
+    #[test]
+    fn speculative_seal_and_submit_in_order() {
+        let mut c = ctx(CcMode::On);
+        let src = c.host_mut().alloc_real(vec![42u8; 128]);
+        let dst = c.alloc_device(128).unwrap();
+        let iv = c.current_h2d_iv();
+        let sealed = c.seal_region(src, iv).unwrap();
+        let done = c
+            .submit_htod_sealed(SimTime::ZERO, SimTime::ZERO, dst, src, &sealed, 128)
+            .unwrap();
+        assert!(done.complete > SimTime::ZERO);
+        assert_eq!(done.api_return, SimTime::ZERO);
+        assert_eq!(c.device_memory().get(dst).unwrap(), &Payload::Real(vec![42u8; 128]));
+    }
+
+    #[test]
+    fn speculative_submit_with_future_iv_needs_nops() {
+        let mut c = ctx(CcMode::On);
+        let src = c.host_mut().alloc_real(vec![7u8; 32]);
+        let dst = c.alloc_device(32).unwrap();
+        let iv = c.current_h2d_iv() + 2; // predicted two ops ahead
+        let sealed = c.seal_region(src, iv).unwrap();
+        // Committing now must fail with a recoverable mismatch.
+        let err = c
+            .submit_htod_sealed(SimTime::ZERO, SimTime::ZERO, dst, src, &sealed, 32)
+            .unwrap_err();
+        assert!(matches!(err, GpuError::Crypto(CryptoError::IvMismatch { iv: _, expected: _ })));
+        // Two NOPs advance the IV; then the submit succeeds and the device
+        // (whose counter also advanced by the NOPs) authenticates it.
+        c.send_nop(SimTime::ZERO).unwrap();
+        c.send_nop(SimTime::ZERO).unwrap();
+        c.submit_htod_sealed(SimTime::ZERO, SimTime::ZERO, dst, src, &sealed, 32).unwrap();
+        assert_eq!(c.device_memory().get(dst).unwrap(), &Payload::Real(vec![7u8; 32]));
+        assert_eq!(c.stats().nops, 2);
+    }
+
+    #[test]
+    fn stale_speculative_ciphertext_is_refused() {
+        let mut c = ctx(CcMode::On);
+        let src = c.host_mut().alloc_real(vec![1u8; 16]);
+        let other = c.host_mut().alloc_real(vec![2u8; 16]);
+        let dst = c.alloc_device(16).unwrap();
+        let iv = c.current_h2d_iv();
+        let sealed = c.seal_region(src, iv).unwrap();
+        // A competing native transfer consumes the IV first.
+        c.memcpy_htod_async(SimTime::ZERO, dst, other).unwrap();
+        let err = c
+            .submit_htod_sealed(SimTime::ZERO, SimTime::ZERO, dst, src, &sealed, 16)
+            .unwrap_err();
+        assert!(matches!(err, GpuError::Crypto(CryptoError::IvReused { .. })));
+    }
+
+    #[test]
+    fn dtoh_raw_gives_plaintext_without_host_store() {
+        let mut c = ctx(CcMode::On);
+        let dst_host = c.host_mut().alloc_real(vec![0u8; 8]);
+        let dev = c.alloc_device(8).unwrap();
+        let src = c.host_mut().alloc_real(vec![9u8; 8]);
+        c.memcpy_htod_async(SimTime::ZERO, dev, src).unwrap();
+        let (done, payload) = c.memcpy_dtoh_raw(SimTime::ZERO, dst_host, dev).unwrap();
+        assert!(done > SimTime::ZERO);
+        assert_eq!(payload, Payload::Real(vec![9u8; 8]));
+        // Host memory untouched until the caller stores it.
+        assert_eq!(c.host().get(dst_host.addr).unwrap().payload(), &Payload::Real(vec![0u8; 8]));
+        c.host_store_unchecked(dst_host, payload).unwrap();
+        assert_eq!(c.host().get(dst_host.addr).unwrap().payload(), &Payload::Real(vec![9u8; 8]));
+    }
+
+    #[test]
+    fn page_faults_are_reported_via_cookies() {
+        let mut c = ctx(CcMode::On);
+        let region = c.host_mut().alloc_virtual(4096);
+        c.pages_mut().protect(region, Protection::WriteProtected, 77);
+        c.host_touch(region.addr).unwrap();
+        assert_eq!(c.drain_faults(), vec![77]);
+        assert!(c.drain_faults().is_empty(), "faults drain once");
+    }
+
+    #[test]
+    fn interposition_surface_requires_cc() {
+        let mut c = ctx(CcMode::Off);
+        let src = c.host_mut().alloc_virtual(64);
+        assert!(matches!(c.seal_region(src, 1), Err(GpuError::CcDisabled)));
+        assert!(matches!(c.send_nop(SimTime::ZERO), Err(GpuError::CcDisabled)));
+    }
+
+    #[test]
+    fn trace_records_ivs_and_sizes() {
+        let mut c = ctx(CcMode::On);
+        let src = c.host_mut().alloc_virtual(256 * 1024);
+        let dst = c.alloc_device(256 * 1024).unwrap();
+        c.memcpy_htod_async(SimTime::ZERO, dst, src).unwrap();
+        let trace = c.trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].len, 256 * 1024);
+        assert_eq!(trace[0].iv, Some(1));
+        assert_eq!(trace[0].direction, Direction::HostToDevice);
+    }
+
+    #[test]
+    fn compute_launches_account_stalls() {
+        let mut c = ctx(CcMode::On);
+        c.launch_compute(SimTime::from_micros(10), Duration::from_micros(5));
+        assert_eq!(c.gpu_engine().io_stall_time(), Duration::from_micros(10));
+    }
+}

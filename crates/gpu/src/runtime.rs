@@ -1,0 +1,346 @@
+//! The runtime interface serving engines program against.
+//!
+//! The paper's transparency claim — "PipeLLM applies to non-modified LLM
+//! applications" — is expressed here as a trait: FlexGen/vLLM/PEFT analogues
+//! in `pipellm-serving` are generic over [`GpuRuntime`] and cannot tell
+//! whether they run on plain CUDA ([`CcOffRuntime`]), native NVIDIA CC
+//! ([`CcNativeRuntime`]), or the PipeLLM runtime (in the `pipellm` crate).
+
+use crate::context::{ContextConfig, CudaContext, GpuError, IoStats};
+use crate::memory::{DevicePtr, HostAddr, HostRegion, Payload};
+use crate::timing::IoTimingModel;
+use crate::CcMode;
+use pipellm_sim::time::SimTime;
+use std::time::Duration;
+
+/// The CUDA-level operations an LLM system performs.
+///
+/// `now` parameters carry the caller's simulated clock; completion times
+/// flow back through [`GpuRuntime::synchronize`] and
+/// [`GpuRuntime::launch_compute`], mirroring the asynchronous CUDA API.
+pub trait GpuRuntime {
+    /// Short label for reports ("w/o CC", "CC", "PipeLLM").
+    fn label(&self) -> &str;
+
+    /// Allocates a host chunk.
+    fn alloc_host(&mut self, payload: Payload) -> HostRegion;
+
+    /// Frees a host chunk.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] if the address is unknown.
+    fn free_host(&mut self, addr: HostAddr) -> Result<(), GpuError>;
+
+    /// Allocates device memory.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] when out of device memory.
+    fn alloc_device(&mut self, len: u64) -> Result<DevicePtr, GpuError>;
+
+    /// Frees device memory.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] if the pointer is unknown.
+    fn free_device(&mut self, ptr: DevicePtr) -> Result<(), GpuError>;
+
+    /// Asynchronous host→device copy. Returns the time at which the API
+    /// call hands control back to the calling CPU thread (with native CC
+    /// that includes the on-thread encryption; see
+    /// [`crate::context::MemcpyTiming`]). Completion is observed via
+    /// [`GpuRuntime::synchronize`].
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] for unknown addresses or size mismatches.
+    fn memcpy_htod(&mut self, now: SimTime, dst: DevicePtr, src: HostRegion)
+        -> Result<SimTime, GpuError>;
+
+    /// Asynchronous device→host copy. Returns the API-return time, as for
+    /// [`GpuRuntime::memcpy_htod`].
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] for unknown addresses or size mismatches.
+    fn memcpy_dtoh(&mut self, now: SimTime, dst: HostRegion, src: DevicePtr)
+        -> Result<SimTime, GpuError>;
+
+    /// Waits for all outstanding copies; returns the completion time.
+    fn synchronize(&mut self, now: SimTime) -> SimTime;
+
+    /// Runs a kernel whose inputs are ready at `ready`; returns when it
+    /// finishes.
+    fn launch_compute(&mut self, ready: SimTime, duration: Duration) -> SimTime;
+
+    /// Application write to a host chunk (page-protection aware). Returns
+    /// the time at which the write may proceed — later than `now` when a
+    /// fault must first resolve (e.g. a pending asynchronous decryption).
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] if the address is unknown.
+    fn host_touch(&mut self, now: SimTime, addr: HostAddr) -> Result<SimTime, GpuError>;
+
+    /// Application read of a host region (page-protection aware). Returns
+    /// the time at which the data is readable, as for
+    /// [`GpuRuntime::host_touch`].
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] if the address is unknown.
+    fn host_read(&mut self, now: SimTime, region: HostRegion) -> Result<SimTime, GpuError>;
+
+    /// Free device memory in bytes.
+    fn device_free_bytes(&self) -> u64;
+
+    /// Total device capacity in bytes.
+    fn device_capacity(&self) -> u64;
+
+    /// Aggregate I/O statistics.
+    fn io_stats(&self) -> IoStats;
+
+    /// Cumulative GPU idle time spent waiting on transfers.
+    fn gpu_io_stall(&self) -> Duration;
+}
+
+impl<T: GpuRuntime + ?Sized> GpuRuntime for Box<T> {
+    fn label(&self) -> &str {
+        (**self).label()
+    }
+    fn alloc_host(&mut self, payload: Payload) -> HostRegion {
+        (**self).alloc_host(payload)
+    }
+    fn free_host(&mut self, addr: HostAddr) -> Result<(), GpuError> {
+        (**self).free_host(addr)
+    }
+    fn alloc_device(&mut self, len: u64) -> Result<DevicePtr, GpuError> {
+        (**self).alloc_device(len)
+    }
+    fn free_device(&mut self, ptr: DevicePtr) -> Result<(), GpuError> {
+        (**self).free_device(ptr)
+    }
+    fn memcpy_htod(
+        &mut self,
+        now: SimTime,
+        dst: DevicePtr,
+        src: HostRegion,
+    ) -> Result<SimTime, GpuError> {
+        (**self).memcpy_htod(now, dst, src)
+    }
+    fn memcpy_dtoh(
+        &mut self,
+        now: SimTime,
+        dst: HostRegion,
+        src: DevicePtr,
+    ) -> Result<SimTime, GpuError> {
+        (**self).memcpy_dtoh(now, dst, src)
+    }
+    fn synchronize(&mut self, now: SimTime) -> SimTime {
+        (**self).synchronize(now)
+    }
+    fn launch_compute(&mut self, ready: SimTime, duration: Duration) -> SimTime {
+        (**self).launch_compute(ready, duration)
+    }
+    fn host_touch(&mut self, now: SimTime, addr: HostAddr) -> Result<SimTime, GpuError> {
+        (**self).host_touch(now, addr)
+    }
+    fn host_read(&mut self, now: SimTime, region: HostRegion) -> Result<SimTime, GpuError> {
+        (**self).host_read(now, region)
+    }
+    fn device_free_bytes(&self) -> u64 {
+        (**self).device_free_bytes()
+    }
+    fn device_capacity(&self) -> u64 {
+        (**self).device_capacity()
+    }
+    fn io_stats(&self) -> IoStats {
+        (**self).io_stats()
+    }
+    fn gpu_io_stall(&self) -> Duration {
+        (**self).gpu_io_stall()
+    }
+}
+
+macro_rules! passthrough_runtime {
+    ($name:ident, $label:expr, $mode:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug)]
+        pub struct $name {
+            ctx: CudaContext,
+        }
+
+        impl $name {
+            /// Creates the runtime with the given timing model, device
+            /// capacity, and crypto thread count.
+            pub fn new(timing: IoTimingModel, device_capacity: u64, crypto_threads: usize) -> Self {
+                $name {
+                    ctx: CudaContext::new(ContextConfig {
+                        cc: $mode,
+                        timing,
+                        device_capacity,
+                        crypto_threads,
+                        ..ContextConfig::default()
+                    }),
+                }
+            }
+
+            /// Creates the runtime with default calibration and capacity.
+            pub fn with_defaults() -> Self {
+                Self::new(IoTimingModel::default(), 80 * 1_000_000_000, 1)
+            }
+
+            /// The underlying context (for assertions in tests).
+            pub fn context(&self) -> &CudaContext {
+                &self.ctx
+            }
+
+            /// Mutable access to the underlying context.
+            pub fn context_mut(&mut self) -> &mut CudaContext {
+                &mut self.ctx
+            }
+        }
+
+        impl GpuRuntime for $name {
+            fn label(&self) -> &str {
+                $label
+            }
+
+            fn alloc_host(&mut self, payload: Payload) -> HostRegion {
+                self.ctx.host_mut().alloc(payload)
+            }
+
+            fn free_host(&mut self, addr: HostAddr) -> Result<(), GpuError> {
+                Ok(self.ctx.host_mut().free(addr)?)
+            }
+
+            fn alloc_device(&mut self, len: u64) -> Result<DevicePtr, GpuError> {
+                self.ctx.alloc_device(len)
+            }
+
+            fn free_device(&mut self, ptr: DevicePtr) -> Result<(), GpuError> {
+                self.ctx.free_device(ptr)
+            }
+
+            fn memcpy_htod(
+                &mut self,
+                now: SimTime,
+                dst: DevicePtr,
+                src: HostRegion,
+            ) -> Result<SimTime, GpuError> {
+                self.ctx.memcpy_htod_async(now, dst, src).map(|t| t.api_return)
+            }
+
+            fn memcpy_dtoh(
+                &mut self,
+                now: SimTime,
+                dst: HostRegion,
+                src: DevicePtr,
+            ) -> Result<SimTime, GpuError> {
+                self.ctx.memcpy_dtoh_async(now, dst, src).map(|t| t.api_return)
+            }
+
+            fn synchronize(&mut self, now: SimTime) -> SimTime {
+                self.ctx.synchronize(now)
+            }
+
+            fn launch_compute(&mut self, ready: SimTime, duration: Duration) -> SimTime {
+                self.ctx.launch_compute(ready, duration).end
+            }
+
+            fn host_touch(&mut self, now: SimTime, addr: HostAddr) -> Result<SimTime, GpuError> {
+                self.ctx.host_touch(addr)?;
+                Ok(now)
+            }
+
+            fn host_read(&mut self, now: SimTime, region: HostRegion) -> Result<SimTime, GpuError> {
+                self.ctx.host_read(region)?;
+                Ok(now)
+            }
+
+            fn device_free_bytes(&self) -> u64 {
+                self.ctx.device_memory().free_bytes()
+            }
+
+            fn device_capacity(&self) -> u64 {
+                self.ctx.device_memory().capacity()
+            }
+
+            fn io_stats(&self) -> IoStats {
+                self.ctx.stats()
+            }
+
+            fn gpu_io_stall(&self) -> Duration {
+                self.ctx.gpu_engine().io_stall_time()
+            }
+        }
+    };
+}
+
+passthrough_runtime!(
+    CcOffRuntime,
+    "w/o CC",
+    CcMode::Off,
+    "Baseline runtime with confidential computing disabled: plaintext \
+     transfers at full PCIe bandwidth (the paper's \"w/o CC\")."
+);
+
+passthrough_runtime!(
+    CcNativeRuntime,
+    "CC",
+    CcMode::On,
+    "Native NVIDIA CC runtime: on-the-fly encryption and decryption inside \
+     every memcpy, on the critical path (the paper's \"CC\" baseline)."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<R: GpuRuntime>(rt: &mut R) -> SimTime {
+        let src = rt.alloc_host(Payload::Real(vec![3u8; 1024]));
+        let dst = rt.alloc_device(1024).unwrap();
+        rt.memcpy_htod(SimTime::ZERO, dst, src).unwrap();
+        let t = rt.synchronize(SimTime::ZERO);
+        let back = rt.alloc_host(Payload::Real(vec![0u8; 1024]));
+        rt.memcpy_dtoh(t, back, dst).unwrap();
+        rt.synchronize(t)
+    }
+
+    #[test]
+    fn both_baselines_serve_the_same_program() {
+        let mut off = CcOffRuntime::with_defaults();
+        let mut native = CcNativeRuntime::with_defaults();
+        let t_off = roundtrip(&mut off);
+        let t_native = roundtrip(&mut native);
+        assert_eq!(off.label(), "w/o CC");
+        assert_eq!(native.label(), "CC");
+        assert!(t_native > t_off, "CC must cost more: {t_native} vs {t_off}");
+    }
+
+    #[test]
+    fn stats_flow_through_the_trait() {
+        let mut rt = CcNativeRuntime::with_defaults();
+        roundtrip(&mut rt);
+        let stats = rt.io_stats();
+        assert_eq!(stats.h2d_ops, 1);
+        assert_eq!(stats.d2h_ops, 1);
+        assert_eq!(stats.h2d_bytes, 1024);
+    }
+
+    #[test]
+    fn device_capacity_accessors() {
+        let mut rt = CcOffRuntime::new(IoTimingModel::default(), 10_000, 1);
+        assert_eq!(rt.device_capacity(), 10_000);
+        let _ = rt.alloc_device(4_000).unwrap();
+        assert_eq!(rt.device_free_bytes(), 6_000);
+    }
+
+    #[test]
+    fn compute_launch_returns_end_time() {
+        let mut rt = CcOffRuntime::with_defaults();
+        let end = rt.launch_compute(SimTime::from_micros(5), Duration::from_micros(10));
+        assert_eq!(end, SimTime::from_micros(15));
+    }
+}

@@ -1,0 +1,131 @@
+//! I/O timing model calibrated against the paper's Figure 2.
+//!
+//! Figure 2 measures host→device memcpy on the authors' H100 testbed:
+//!
+//! | I/O size | 32 B | 128 KiB | 1 MiB | 32 MiB |
+//! |---|---|---|---|---|
+//! | latency, CC off | 1.43 µs | 1.17 µs | 1.19 µs | 1.43 µs |
+//! | latency, CC on | 14.93 µs | 22.8 µs | 162.5 µs | 5252 µs |
+//! | throughput, CC off | – | 27.2 | 48.2 | 55.3 GB/s |
+//! | throughput, CC on | – | 3.32 | 5.82 | 5.83 GB/s |
+//!
+//! The calibration reads off three facts the reproduction bakes in:
+//! 1. CC-off PCIe sustains ≈ 55 GB/s with ~1.2 µs per-op latency.
+//! 2. CC-on throughput plateaus at ≈ 5.8 GB/s — the single CPU thread's
+//!    AES-GCM rate; latency grows ∝ size because encryption is inside the
+//!    API call.
+//! 3. CC-on has ≈ 13.5 µs of fixed control-plane overhead per operation
+//!    (IV bookkeeping, bounce-buffer staging, doorbells).
+//!
+//! Additionally §7.2 reports that even with encryption fully hidden, CC-mode
+//! staging through CVM shared memory caps effective copy bandwidth at
+//! ≈ 40 GB/s — the residual overhead PipeLLM cannot remove.
+
+use pipellm_crypto::cost::CpuCryptoModel;
+use std::time::Duration;
+
+/// Calibrated I/O parameters for the simulated platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoTimingModel {
+    /// PCIe bandwidth with CC disabled, GB/s.
+    pub pcie_off_gbps: f64,
+    /// Effective copy bandwidth in CC mode (bounce-buffer staging), GB/s.
+    pub pcie_cc_gbps: f64,
+    /// Per-operation PCIe latency (both modes).
+    pub pcie_latency: Duration,
+    /// Fixed CC control-plane overhead per transfer.
+    pub cc_control: Duration,
+    /// CPU AES-GCM cost model (per worker thread).
+    pub crypto: CpuCryptoModel,
+}
+
+impl Default for IoTimingModel {
+    fn default() -> Self {
+        IoTimingModel {
+            pcie_off_gbps: 55.0,
+            pcie_cc_gbps: 40.0,
+            pcie_latency: Duration::from_nanos(1_200),
+            cc_control: Duration::from_nanos(13_500),
+            crypto: CpuCryptoModel::default(),
+        }
+    }
+}
+
+impl IoTimingModel {
+    /// Link bandwidth in GB/s for the given CC mode.
+    pub fn link_gbps(&self, cc_enabled: bool) -> f64 {
+        if cc_enabled {
+            self.pcie_cc_gbps
+        } else {
+            self.pcie_off_gbps
+        }
+    }
+
+    /// End-to-end latency of one *synchronous* CC transfer of `bytes`
+    /// (native NVIDIA CC: encrypt, then copy, inside the API call).
+    pub fn cc_sync_latency(&self, bytes: u64) -> Duration {
+        self.cc_control
+            + self.crypto.seal_time(bytes)
+            + self.pcie_latency
+            + Duration::from_secs_f64(bytes as f64 / (self.pcie_cc_gbps * 1024.0 * 1024.0 * 1024.0))
+    }
+
+    /// End-to-end latency of one CC-off transfer of `bytes`.
+    pub fn cc_off_latency(&self, bytes: u64) -> Duration {
+        self.pcie_latency
+            + Duration::from_secs_f64(
+                bytes as f64 / (self.pcie_off_gbps * 1024.0 * 1024.0 * 1024.0),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KIB: u64 = 1024;
+    const MIB: u64 = 1024 * 1024;
+
+    #[test]
+    fn figure2_cc_off_latency_is_flat() {
+        let m = IoTimingModel::default();
+        // CC-off API latency is ~1.2-1.6 µs regardless of size up to 32 MiB
+        // (the API returns after enqueue; Figure 2 rows are nearly constant).
+        let small = m.cc_off_latency(32);
+        assert!(small < Duration::from_micros(2), "{small:?}");
+    }
+
+    #[test]
+    fn figure2_cc_on_latency_scales_with_size() {
+        let m = IoTimingModel::default();
+        let at_32b = m.cc_sync_latency(32);
+        let at_128k = m.cc_sync_latency(128 * KIB);
+        let at_1m = m.cc_sync_latency(MIB);
+        let at_32m = m.cc_sync_latency(32 * MIB);
+        // Shape: ~15 µs, tens of µs, ~200 µs, ~5-6 ms (paper: 14.9 / 22.8 /
+        // 162.5 / 5252 µs).
+        assert!((Duration::from_micros(10)..Duration::from_micros(25)).contains(&at_32b));
+        assert!((Duration::from_micros(18)..Duration::from_micros(60)).contains(&at_128k));
+        assert!((Duration::from_micros(120)..Duration::from_micros(260)).contains(&at_1m));
+        assert!((Duration::from_millis(4)..Duration::from_millis(8)).contains(&at_32m));
+    }
+
+    #[test]
+    fn figure2_order_of_magnitude_gap() {
+        // "the throughput of a CC-enabled GPU is approximately an order of
+        // magnitude lower than that of CC-disabled".
+        let m = IoTimingModel::default();
+        let bytes = 32 * MIB;
+        let off = bytes as f64 / m.cc_off_latency(bytes).as_secs_f64();
+        let on = bytes as f64 / m.cc_sync_latency(bytes).as_secs_f64();
+        let ratio = off / on;
+        assert!((6.0..14.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn cc_staging_cap_below_pcie() {
+        let m = IoTimingModel::default();
+        assert!(m.link_gbps(true) < m.link_gbps(false));
+        assert_eq!(m.link_gbps(true), 40.0);
+    }
+}

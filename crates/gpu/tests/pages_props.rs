@@ -1,0 +1,109 @@
+//! Property tests for the page-protection registry — the soundness basis of
+//! PipeLLM's validator (§5.2): a protected range always faults on a
+//! conflicting access, and faulting always clears the protection.
+
+use pipellm_gpu::memory::{HostAddr, HostRegion};
+use pipellm_gpu::pages::{Access, PageRegistry, Protection};
+use proptest::prelude::*;
+
+fn region(slot: u8, len: u16) -> HostRegion {
+    // Page-aligned, non-adjacent slots so distinct slots never overlap.
+    HostRegion {
+        addr: HostAddr(u64::from(slot) * 0x10_000),
+        len: u64::from(len).max(1),
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    ProtectWrite(u8),
+    Revoke(u8),
+    Unprotect(u8),
+    Read(u8),
+    Write(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8).prop_map(Op::ProtectWrite),
+        (0u8..8).prop_map(Op::Revoke),
+        (0u8..8).prop_map(Op::Unprotect),
+        (0u8..8).prop_map(Op::Read),
+        (0u8..8).prop_map(Op::Write),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A shadow model of the registry: faults fire exactly when the shadow
+    /// says the slot is protected against that access, and protections are
+    /// consumed by the fault.
+    #[test]
+    fn registry_matches_shadow_model(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        let mut registry = PageRegistry::new();
+        let mut shadow: [Option<(Protection, u64)>; 8] = [None; 8];
+        let mut next_cookie = 1u64;
+        for op in ops {
+            match op {
+                Op::ProtectWrite(s) => {
+                    registry.protect(region(s, 0x100), Protection::WriteProtected, next_cookie);
+                    shadow[s as usize] = Some((Protection::WriteProtected, next_cookie));
+                    next_cookie += 1;
+                }
+                Op::Revoke(s) => {
+                    registry.protect(region(s, 0x100), Protection::AccessRevoked, next_cookie);
+                    shadow[s as usize] = Some((Protection::AccessRevoked, next_cookie));
+                    next_cookie += 1;
+                }
+                Op::Unprotect(s) => {
+                    let existed = registry.unprotect(region(s, 0x100));
+                    prop_assert_eq!(existed, shadow[s as usize].is_some());
+                    shadow[s as usize] = None;
+                }
+                Op::Read(s) => {
+                    let cookies = registry.access(region(s, 0x80), Access::Read);
+                    match shadow[s as usize] {
+                        Some((Protection::AccessRevoked, cookie)) => {
+                            prop_assert_eq!(cookies, vec![cookie]);
+                            shadow[s as usize] = None; // fault clears it
+                        }
+                        _ => prop_assert!(cookies.is_empty()),
+                    }
+                }
+                Op::Write(s) => {
+                    let cookies = registry.access(region(s, 0x80), Access::Write);
+                    match shadow[s as usize] {
+                        Some((_, cookie)) => {
+                            prop_assert_eq!(cookies, vec![cookie]);
+                            shadow[s as usize] = None;
+                        }
+                        None => prop_assert!(cookies.is_empty()),
+                    }
+                }
+            }
+        }
+        let live = shadow.iter().filter(|p| p.is_some()).count();
+        prop_assert_eq!(registry.protected_ranges(), live);
+    }
+
+    /// Overlap detection: a write anywhere inside a protected range faults,
+    /// a write outside never does.
+    #[test]
+    fn faults_fire_iff_ranges_overlap(
+        start in 0u64..1000,
+        len in 1u64..500,
+        probe_start in 0u64..1500,
+        probe_len in 1u64..500,
+    ) {
+        let mut registry = PageRegistry::new();
+        let protected = HostRegion { addr: HostAddr(start), len };
+        let probe = HostRegion { addr: HostAddr(probe_start), len: probe_len };
+        registry.protect(protected, Protection::WriteProtected, 7);
+        let cookies = registry.access(probe, Access::Write);
+        let overlaps = protected.overlaps(&probe);
+        prop_assert_eq!(!cookies.is_empty(), overlaps, "{:?} vs {:?}", protected, probe);
+    }
+}

@@ -1,0 +1,34 @@
+//! LLM geometry and cost models for the PipeLLM reproduction.
+//!
+//! The paper's workloads are OPT models from 13B to 175B parameters
+//! (Zhang et al., 2022). PipeLLM itself never executes model math — it
+//! watches *memory traffic* — so what this crate provides is exactly what
+//! the reproduction needs:
+//!
+//! - [`model`]: the OPT family's real architectural dimensions (layers,
+//!   hidden size, heads), from which per-layer weight bytes and KV-cache
+//!   bytes follow arithmetically. These sizes drive every swap the serving
+//!   engines emit and every size-based classification PipeLLM performs.
+//! - [`compute`]: a roofline model of an H100-class GPU that converts
+//!   (batch, tokens, model) into iteration times, calibrated so the
+//!   CC-disabled baselines land in the ballpark the paper reports.
+//!
+//! # Example
+//!
+//! ```
+//! use pipellm_llm::model::ModelSpec;
+//!
+//! let opt66 = ModelSpec::opt_66b();
+//! // The paper: "the OPT-66B model needs approximately 132GB".
+//! let gib = opt66.weight_bytes() as f64 / (1u64 << 30) as f64;
+//! assert!((120.0..140.0).contains(&gib));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compute;
+pub mod model;
+
+pub use compute::GpuComputeModel;
+pub use model::{DType, ModelSpec};

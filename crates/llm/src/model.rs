@@ -1,0 +1,277 @@
+//! OPT model family geometry.
+//!
+//! Dimensions follow the OPT paper (Zhang et al., 2022, Table 1). Parameter
+//! counts and byte sizes are derived from the architecture rather than
+//! hard-coded, so the swap sizes the serving engines emit are internally
+//! consistent — which matters because PipeLLM classifies transfers by size
+//! (paper §4.2: swaps are ≥128 KiB, other traffic <8 KiB, and model-offload
+//! chunks are distinguishable from KV chunks by computing their sizes from
+//! the model definition).
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric storage type of model weights / KV cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 16-bit floating point (fp16/bf16): 2 bytes per parameter.
+    F16,
+    /// 8-bit integer quantization.
+    Int8,
+    /// 4-bit integer quantization (the paper's OPT-175B configuration).
+    Int4,
+}
+
+impl DType {
+    /// Bytes consumed by `params` parameters in this dtype.
+    pub fn bytes_for(self, params: u64) -> u64 {
+        match self {
+            DType::F16 => params * 2,
+            DType::Int8 => params,
+            DType::Int4 => params.div_ceil(2),
+        }
+    }
+
+    /// Bits per parameter.
+    pub fn bits(self) -> u32 {
+        match self {
+            DType::F16 => 16,
+            DType::Int8 => 8,
+            DType::Int4 => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DType::F16 => f.write_str("fp16"),
+            DType::Int8 => f.write_str("int8"),
+            DType::Int4 => f.write_str("int4"),
+        }
+    }
+}
+
+/// Architectural description of a decoder-only transformer.
+///
+/// # Example
+///
+/// ```
+/// use pipellm_llm::model::ModelSpec;
+///
+/// let opt30 = ModelSpec::opt_30b();
+/// assert_eq!(opt30.layers, 48);
+/// // ≈ 30 billion parameters, derived from the architecture.
+/// assert!((29.0e9..31.5e9).contains(&(opt30.params() as f64)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Human-readable model name (e.g. `"OPT-30B"`).
+    pub name: String,
+    /// Number of transformer decoder layers.
+    pub layers: u32,
+    /// Hidden (embedding) dimension.
+    pub hidden: u64,
+    /// Number of attention heads.
+    pub heads: u32,
+    /// Feed-forward inner dimension (4× hidden for OPT).
+    pub ffn: u64,
+    /// Vocabulary size.
+    pub vocab: u64,
+    /// Maximum positional embedding length.
+    pub max_positions: u64,
+    /// Weight storage dtype.
+    pub dtype: DType,
+}
+
+impl ModelSpec {
+    fn opt(name: &str, layers: u32, hidden: u64, heads: u32) -> Self {
+        ModelSpec {
+            name: name.to_string(),
+            layers,
+            hidden,
+            heads,
+            ffn: hidden * 4,
+            vocab: 50_272,
+            max_positions: 2_048,
+            dtype: DType::F16,
+        }
+    }
+
+    /// OPT-13B: 40 layers, hidden 5120, 40 heads.
+    pub fn opt_13b() -> Self {
+        Self::opt("OPT-13B", 40, 5_120, 40)
+    }
+
+    /// OPT-30B: 48 layers, hidden 7168, 56 heads.
+    pub fn opt_30b() -> Self {
+        Self::opt("OPT-30B", 48, 7_168, 56)
+    }
+
+    /// OPT-66B: 64 layers, hidden 9216, 72 heads.
+    pub fn opt_66b() -> Self {
+        Self::opt("OPT-66B", 64, 9_216, 72)
+    }
+
+    /// OPT-175B: 96 layers, hidden 12288, 96 heads.
+    pub fn opt_175b() -> Self {
+        Self::opt("OPT-175B", 96, 12_288, 96)
+    }
+
+    /// The paper's 4-bit-quantized OPT-175B configuration (§7.2).
+    pub fn opt_175b_int4() -> Self {
+        let mut spec = Self::opt_175b();
+        spec.name = "OPT-175B-4bit".to_string();
+        spec.dtype = DType::Int4;
+        spec
+    }
+
+    /// Returns the model with a different weight dtype.
+    pub fn with_dtype(mut self, dtype: DType) -> Self {
+        self.dtype = dtype;
+        self
+    }
+
+    /// Parameters in one decoder layer.
+    ///
+    /// Attention (4 projections + biases), feed-forward (two matrices +
+    /// biases), and two LayerNorms.
+    pub fn layer_params(&self) -> u64 {
+        let h = self.hidden;
+        let attn = 4 * h * h + 4 * h;
+        let ffn = h * self.ffn + self.ffn + self.ffn * h + h;
+        let norms = 2 * 2 * h;
+        attn + ffn + norms
+    }
+
+    /// Parameters in the embedding (token + positional) tables.
+    pub fn embedding_params(&self) -> u64 {
+        (self.vocab + self.max_positions) * self.hidden
+    }
+
+    /// Total parameter count.
+    pub fn params(&self) -> u64 {
+        u64::from(self.layers) * self.layer_params() + self.embedding_params()
+    }
+
+    /// Bytes of one decoder layer's weights in the model dtype.
+    pub fn layer_weight_bytes(&self) -> u64 {
+        self.dtype.bytes_for(self.layer_params())
+    }
+
+    /// Bytes of the embedding tables.
+    pub fn embedding_bytes(&self) -> u64 {
+        self.dtype.bytes_for(self.embedding_params())
+    }
+
+    /// Total weight bytes.
+    pub fn weight_bytes(&self) -> u64 {
+        u64::from(self.layers) * self.layer_weight_bytes() + self.embedding_bytes()
+    }
+
+    /// KV-cache bytes for one token in one layer (key + value vectors,
+    /// always stored fp16 regardless of weight quantization).
+    pub fn kv_bytes_per_token_layer(&self) -> u64 {
+        2 * self.hidden * 2
+    }
+
+    /// KV-cache bytes for one token across all layers.
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        u64::from(self.layers) * self.kv_bytes_per_token_layer()
+    }
+
+    /// KV-cache bytes for a sequence of `tokens` across all layers.
+    pub fn kv_bytes_for_seq(&self, tokens: u64) -> u64 {
+        tokens * self.kv_bytes_per_token()
+    }
+}
+
+impl std::fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({} layers, hidden {}, {})", self.name, self.layers, self.hidden, self.dtype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper quotes decimal gigabytes ("132GB" for OPT-66B).
+    const GB: f64 = 1e9;
+
+    #[test]
+    fn parameter_counts_match_published_sizes() {
+        // Within 5% of the nominal sizes (embedding layers blur the naming).
+        let cases = [
+            (ModelSpec::opt_13b(), 13.0e9),
+            (ModelSpec::opt_30b(), 30.0e9),
+            (ModelSpec::opt_66b(), 66.0e9),
+            (ModelSpec::opt_175b(), 175.0e9),
+        ];
+        for (spec, nominal) in cases {
+            let params = spec.params() as f64;
+            let err = (params - nominal).abs() / nominal;
+            assert!(err < 0.05, "{}: {params:.3e} vs nominal {nominal:.1e}", spec.name);
+        }
+    }
+
+    #[test]
+    fn paper_quoted_memory_footprints() {
+        // §1: "OPT-66B needs approximately 132GB"; §3: OPT-30B is 60GB and
+        // "approximately 75% of the GPU memory"; §7.2: OPT-13B "about 26GB".
+        assert!((ModelSpec::opt_66b().weight_bytes() as f64 / GB - 132.0).abs() < 8.0);
+        assert!((ModelSpec::opt_30b().weight_bytes() as f64 / GB - 60.0).abs() < 5.0);
+        assert!((ModelSpec::opt_13b().weight_bytes() as f64 / GB - 26.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn quantization_shrinks_weights() {
+        let fp16 = ModelSpec::opt_175b();
+        let int4 = ModelSpec::opt_175b_int4();
+        assert_eq!(int4.params(), fp16.params());
+        // 4-bit is a quarter the bytes of 16-bit.
+        let ratio = int4.weight_bytes() as f64 / fp16.weight_bytes() as f64;
+        assert!((ratio - 0.25).abs() < 0.01, "ratio {ratio}");
+        // And the quantized 175B fits... still not in 80GB, but under 90GB.
+        assert!(int4.weight_bytes() as f64 / GB < 95.0);
+    }
+
+    #[test]
+    fn dtype_byte_math() {
+        assert_eq!(DType::F16.bytes_for(10), 20);
+        assert_eq!(DType::Int8.bytes_for(10), 10);
+        assert_eq!(DType::Int4.bytes_for(10), 5);
+        assert_eq!(DType::Int4.bytes_for(11), 6, "odd counts round up");
+    }
+
+    #[test]
+    fn kv_cache_sizing() {
+        let spec = ModelSpec::opt_30b();
+        // 2 (K and V) × hidden × 2 bytes.
+        assert_eq!(spec.kv_bytes_per_token_layer(), 2 * 7_168 * 2);
+        assert_eq!(spec.kv_bytes_per_token(), 48 * 2 * 7_168 * 2);
+        assert_eq!(spec.kv_bytes_for_seq(100), 100 * spec.kv_bytes_per_token());
+        // ~1.3 MiB per token for OPT-30B: KV pressure is real.
+        assert!(spec.kv_bytes_per_token() > 1_300_000);
+    }
+
+    #[test]
+    fn layer_bytes_sum_to_total() {
+        let spec = ModelSpec::opt_66b();
+        let total =
+            u64::from(spec.layers) * spec.layer_weight_bytes() + spec.embedding_bytes();
+        assert_eq!(total, spec.weight_bytes());
+    }
+
+    #[test]
+    fn layer_swaps_are_large_transfers() {
+        // §4.2 observation (1): swap sizes are ≥128 KiB. A single layer of
+        // the smallest model is orders of magnitude above that threshold.
+        assert!(ModelSpec::opt_13b().layer_weight_bytes() > 128 * 1024);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = ModelSpec::opt_30b().to_string();
+        assert!(text.contains("OPT-30B") && text.contains("48 layers"));
+    }
+}

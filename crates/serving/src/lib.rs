@@ -1,0 +1,32 @@
+//! LLM serving and fine-tuning engines for the PipeLLM reproduction.
+//!
+//! The paper evaluates PipeLLM under three state-of-the-art systems whose
+//! memory-swapping behaviour differs (§3, §7):
+//!
+//! - [`flexgen`]: a FlexGen-like *model offloading* engine — throughput-
+//!   oriented inference for models larger than GPU memory, streaming
+//!   offloaded layers in a **repetitive** pattern every iteration.
+//! - [`vllm`]: a vLLM-like *serving* engine — paged KV cache, continuous
+//!   batching, parallel sampling, and request-wise KV swapping under memory
+//!   pressure (**LIFO** reload order), plus an optional layer-wise
+//!   (**FIFO**) policy.
+//! - [`peft`]: a PEFT/DeepSpeed-like *LoRA fine-tuning* engine — layer
+//!   streaming for forward and (reversed) backward passes with optimizer
+//!   offload.
+//!
+//! All three are generic over [`pipellm_gpu::GpuRuntime`], so the identical
+//! engine code runs on CC-off, native-CC, and PipeLLM runtimes — the paper's
+//! user-transparency property.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flexgen;
+pub mod peft;
+pub mod report;
+pub mod vllm;
+
+pub use flexgen::{FlexGenConfig, FlexGenEngine};
+pub use peft::{PeftConfig, PeftEngine};
+pub use report::{ServingReport, SwapPolicy};
+pub use vllm::{VllmConfig, VllmEngine};

@@ -1,0 +1,327 @@
+//! A PEFT/DeepSpeed-like LoRA fine-tuning engine with model offloading.
+//!
+//! The paper's case study 3 (§3) fine-tunes OPT-30B/13B with LoRA using
+//! PEFT + DeepSpeed model offloading on the ultrachat dataset. The
+//! performance-relevant structure is:
+//!
+//! - frozen base weights partially offloaded to host memory, streamed in
+//!   layer order for the **forward** pass and in *reverse* layer order for
+//!   the **backward** pass — together a repeating cycle the PipeLLM
+//!   predictor recognizes as the repetitive pattern;
+//! - small LoRA adapter gradients shipped to the CPU optimizer and updated
+//!   adapters shipped back each step (DeepSpeed optimizer offload);
+//! - throughput measured in training sequences per second (Figure 3c/7c).
+
+use crate::report::ServingReport;
+use pipellm_gpu::memory::{HostRegion, Payload};
+use pipellm_gpu::runtime::GpuRuntime;
+use pipellm_gpu::GpuError;
+use pipellm_llm::{GpuComputeModel, ModelSpec};
+use pipellm_sim::time::SimTime;
+use pipellm_workloads::FinetuneSample;
+
+/// Configuration for a LoRA fine-tuning run.
+#[derive(Debug, Clone)]
+pub struct PeftConfig {
+    /// Base model (frozen weights).
+    pub model: ModelSpec,
+    /// GPU compute calibration.
+    pub gpu: GpuComputeModel,
+    /// Sequences per training step.
+    pub batch: u64,
+    /// LoRA rank (adapters on q/v projections).
+    pub lora_rank: u64,
+    /// Device bytes reserved for activations/workspace. Training
+    /// activations are large — this is what forces base-weight offloading
+    /// even for models that fit for inference.
+    pub workspace_bytes: u64,
+}
+
+impl PeftConfig {
+    /// The paper's configuration for a given model (max batch to trigger
+    /// swapping; generous activation workspace).
+    pub fn new(model: ModelSpec) -> Self {
+        PeftConfig {
+            model,
+            gpu: GpuComputeModel::h100(),
+            batch: 16,
+            lora_rank: 16,
+            workspace_bytes: 40_000_000_000,
+        }
+    }
+
+    /// LoRA adapter parameters across the whole model (A and B matrices on
+    /// the q and v projections of every layer).
+    pub fn lora_params(&self) -> u64 {
+        u64::from(self.model.layers) * 4 * self.model.hidden * self.lora_rank
+    }
+
+    /// Bytes of one direction of the per-step optimizer exchange
+    /// (fp16 gradients out; updated fp16 adapters back).
+    pub fn optimizer_exchange_bytes(&self) -> u64 {
+        self.lora_params() * 2
+    }
+
+    /// Description string for reports.
+    pub fn describe(&self) -> String {
+        format!("PEFT LoRA {}", self.model.name)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Placement {
+    Resident,
+    Offloaded { host_index: usize },
+}
+
+/// The fine-tuning engine.
+#[derive(Debug)]
+pub struct PeftEngine<R: GpuRuntime> {
+    rt: R,
+    config: PeftConfig,
+    placements: Vec<Placement>,
+    host_layers: Vec<HostRegion>,
+    staging: Vec<pipellm_gpu::memory::DevicePtr>,
+    grad_chunk: HostRegion,
+    grad_dev: pipellm_gpu::memory::DevicePtr,
+    offloaded: usize,
+}
+
+impl<R: GpuRuntime> PeftEngine<R> {
+    /// Loads the model, offloading base layers that do not fit next to the
+    /// activation workspace.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] if the resident set cannot be allocated.
+    pub fn load(mut rt: R, config: PeftConfig) -> Result<Self, GpuError> {
+        let layer_bytes = config.model.layer_weight_bytes();
+        let reserve = config.workspace_bytes
+            + config.model.embedding_bytes()
+            + 4 * config.optimizer_exchange_bytes();
+        let budget = rt.device_capacity().saturating_sub(reserve);
+        let resident = ((budget / layer_bytes).saturating_sub(2) as usize)
+            .min(config.model.layers as usize);
+        rt.alloc_device(config.model.embedding_bytes())?;
+        rt.alloc_device(config.workspace_bytes)?;
+        let mut placements = Vec::new();
+        let mut host_layers = Vec::new();
+        for layer in 0..config.model.layers as usize {
+            if layer < resident {
+                rt.alloc_device(layer_bytes)?;
+                placements.push(Placement::Resident);
+            } else {
+                let region = rt.alloc_host(Payload::virtual_of(layer_bytes));
+                placements.push(Placement::Offloaded { host_index: host_layers.len() });
+                host_layers.push(region);
+            }
+        }
+        let offloaded = host_layers.len();
+        let staging = if offloaded > 0 {
+            vec![rt.alloc_device(layer_bytes)?, rt.alloc_device(layer_bytes)?]
+        } else {
+            Vec::new()
+        };
+        let exchange = config.optimizer_exchange_bytes().max(1);
+        let grad_chunk = rt.alloc_host(Payload::virtual_of(exchange));
+        let grad_dev = rt.alloc_device(exchange)?;
+        Ok(PeftEngine {
+            rt,
+            config,
+            placements,
+            host_layers,
+            staging,
+            grad_chunk,
+            grad_dev,
+            offloaded,
+        })
+    }
+
+    /// Number of base layers streamed from host memory each pass.
+    pub fn offloaded_layers(&self) -> usize {
+        self.offloaded
+    }
+
+    /// The underlying runtime.
+    pub fn runtime(&self) -> &R {
+        &self.rt
+    }
+
+    /// Trains one epoch over `dataset`; reports sequences/second.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (none are expected for valid configs).
+    pub fn train(&mut self, dataset: &[FinetuneSample]) -> Result<ServingReport, GpuError> {
+        let mut now = SimTime::ZERO;
+        let mut sequences = 0u64;
+        for batch in dataset.chunks(self.config.batch.max(1) as usize) {
+            let mean_len = (batch.iter().map(|s| u64::from(s.tokens)).sum::<u64>()
+                / batch.len() as u64)
+                .max(1);
+            let per_layer =
+                self.config.gpu.train_layer_time(&self.config.model, batch.len() as u64, mean_len);
+            // Forward pass: layers in order; backward: reverse order.
+            now = self.run_pass(now, per_layer, false)?;
+            now = self.run_pass(now, per_layer, true)?;
+            // Optimizer offload: gradients out, updated adapters back. The
+            // CPU optimizer must see the gradients before updating, so this
+            // exchange is synchronous with the step boundary.
+            let cpu = self.rt.memcpy_dtoh(now, self.grad_chunk, self.grad_dev)?;
+            // The CPU optimizer updates the adapters in host memory; with
+            // asynchronous decryption this may fault and wait.
+            let cpu = self.rt.host_touch(cpu, self.grad_chunk.addr)?;
+            let cpu = self.rt.memcpy_htod(cpu, self.grad_dev, self.grad_chunk)?;
+            now = self.rt.synchronize(cpu);
+            sequences += batch.len() as u64;
+        }
+        let stats = self.rt.io_stats();
+        Ok(ServingReport {
+            system: self.rt.label().to_string(),
+            workload: self.config.describe(),
+            finished_at: now,
+            sequences_per_sec: sequences as f64 / now.as_secs_f64().max(f64::MIN_POSITIVE),
+            completed: sequences,
+            gpu_io_stall: self.rt.gpu_io_stall(),
+            io: stats,
+            ..ServingReport::default()
+        })
+    }
+
+    /// One pass over the layers (forward or reversed) with depth-1 prefetch.
+    fn run_pass(
+        &mut self,
+        start: SimTime,
+        per_layer: std::time::Duration,
+        reverse: bool,
+    ) -> Result<SimTime, GpuError> {
+        let order: Vec<usize> = if reverse {
+            (0..self.placements.len()).rev().collect()
+        } else {
+            (0..self.placements.len()).collect()
+        };
+        // Host indices of offloaded layers in traversal order.
+        let stream_order: Vec<usize> = order
+            .iter()
+            .filter_map(|&l| match self.placements[l] {
+                Placement::Offloaded { host_index } => Some(host_index),
+                Placement::Resident => None,
+            })
+            .collect();
+        let mut cpu = start;
+        let mut gpu_end = start;
+        let mut next_stream = 0usize;
+        if !stream_order.is_empty() {
+            let slot = self.staging[0];
+            cpu = self.rt.memcpy_htod(cpu, slot, self.host_layers[stream_order[0]])?;
+            next_stream = 1;
+        }
+        for &layer in &order {
+            let ready = match self.placements[layer] {
+                Placement::Resident => gpu_end.max(start),
+                Placement::Offloaded { .. } => {
+                    let done = self.rt.synchronize(cpu);
+                    if next_stream < stream_order.len() {
+                        let slot = self.staging[next_stream % 2];
+                        cpu = self.rt.memcpy_htod(
+                            done,
+                            slot,
+                            self.host_layers[stream_order[next_stream]],
+                        )?;
+                        next_stream += 1;
+                    } else {
+                        cpu = done;
+                    }
+                    done
+                }
+            };
+            gpu_end = self.rt.launch_compute(ready.max(gpu_end), per_layer);
+        }
+        Ok(gpu_end.max(cpu))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipellm_gpu::runtime::{CcNativeRuntime, CcOffRuntime};
+    use pipellm_gpu::IoTimingModel;
+    use pipellm_workloads::ultrachat_like;
+
+    const GB: u64 = 1_000_000_000;
+
+    fn dataset(n: usize) -> Vec<FinetuneSample> {
+        ultrachat_like(n, 13)
+    }
+
+    #[test]
+    fn training_forces_offload_even_for_30b() {
+        // OPT-30B fits for inference but not next to 40 GB of activations.
+        let rt = CcOffRuntime::new(IoTimingModel::default(), 80 * GB, 1);
+        let engine = PeftEngine::load(rt, PeftConfig::new(ModelSpec::opt_30b())).unwrap();
+        assert!(engine.offloaded_layers() > 10, "{}", engine.offloaded_layers());
+    }
+
+    #[test]
+    fn smaller_model_offloads_less() {
+        let rt13 = CcOffRuntime::new(IoTimingModel::default(), 80 * GB, 1);
+        let rt30 = CcOffRuntime::new(IoTimingModel::default(), 80 * GB, 1);
+        let e13 = PeftEngine::load(rt13, PeftConfig::new(ModelSpec::opt_13b())).unwrap();
+        let e30 = PeftEngine::load(rt30, PeftConfig::new(ModelSpec::opt_30b())).unwrap();
+        assert!(e13.offloaded_layers() < e30.offloaded_layers());
+    }
+
+    #[test]
+    fn cc_reduces_training_throughput() {
+        let data = dataset(64);
+        let r_off = PeftEngine::load(
+            CcOffRuntime::new(IoTimingModel::default(), 80 * GB, 1),
+            PeftConfig::new(ModelSpec::opt_30b()),
+        )
+        .unwrap()
+        .train(&data)
+        .unwrap();
+        let r_cc = PeftEngine::load(
+            CcNativeRuntime::new(IoTimingModel::default(), 80 * GB, 1),
+            PeftConfig::new(ModelSpec::opt_30b()),
+        )
+        .unwrap()
+        .train(&data)
+        .unwrap();
+        let drop = 1.0 - r_cc.sequences_per_sec / r_off.sequences_per_sec;
+        // Figure 3c: 36.2% drop on OPT-30B. Expect a material drop (>15%).
+        assert!(drop > 0.15, "drop {:.1}%", drop * 100.0);
+        assert!(drop < 0.95, "training is partly compute-bound: {:.1}%", drop * 100.0);
+    }
+
+    #[test]
+    fn lora_exchange_is_small_io() {
+        let config = PeftConfig::new(ModelSpec::opt_30b());
+        // 48 layers × 4 × 7168 × 16 params ≈ 22M params ≈ 44 MB fp16 —
+        // tiny next to per-step layer streaming (tens of GB).
+        let exchange = config.optimizer_exchange_bytes();
+        assert!(exchange < 100_000_000, "{exchange}");
+        let layer_stream = config.model.layer_weight_bytes() * 20;
+        assert!(layer_stream / exchange > 100);
+    }
+
+    #[test]
+    fn both_passes_stream_the_same_volume() {
+        let data = dataset(16);
+        let config = PeftConfig::new(ModelSpec::opt_30b());
+        let mut engine = PeftEngine::load(
+            CcOffRuntime::new(IoTimingModel::default(), 80 * GB, 1),
+            config.clone(),
+        )
+        .unwrap();
+        let offloaded = engine.offloaded_layers() as u64;
+        let report = engine.train(&data).unwrap();
+        let steps = (data.len() as u64).div_ceil(config.batch);
+        // Forward + backward each stream the offloaded layers once per step.
+        let expected_layer_bytes = steps * 2 * offloaded * config.model.layer_weight_bytes();
+        let expected_h2d = expected_layer_bytes + steps * config.optimizer_exchange_bytes();
+        assert_eq!(report.io.h2d_bytes, expected_h2d);
+        assert_eq!(report.io.d2h_bytes, steps * config.optimizer_exchange_bytes());
+        assert_eq!(report.completed, data.len() as u64);
+    }
+}

@@ -1,0 +1,102 @@
+//! Result types shared by the serving engines.
+
+use pipellm_gpu::context::IoStats;
+use pipellm_sim::time::SimTime;
+use std::fmt;
+use std::time::Duration;
+
+/// KV-cache swap policy (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SwapPolicy {
+    /// Request-wise swapping: lowest-priority request is evicted first and
+    /// reloaded last → swap-in order is LIFO. vLLM's default.
+    #[default]
+    RequestLifo,
+    /// Layer-wise swapping: KV of each layer is swapped out in layer order
+    /// and reloaded in the same order → FIFO.
+    LayerFifo,
+}
+
+impl fmt::Display for SwapPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapPolicy::RequestLifo => f.write_str("request-wise (LIFO)"),
+            SwapPolicy::LayerFifo => f.write_str("layer-wise (FIFO)"),
+        }
+    }
+}
+
+/// Outcome of one engine run under one runtime.
+#[derive(Debug, Clone, Default)]
+pub struct ServingReport {
+    /// Runtime label ("w/o CC", "CC", "PipeLLM").
+    pub system: String,
+    /// Workload/engine description.
+    pub workload: String,
+    /// Simulated wall-clock at completion.
+    pub finished_at: SimTime,
+    /// Output tokens generated per second (FlexGen metric).
+    pub tokens_per_sec: f64,
+    /// Sequences completed per second (PEFT metric).
+    pub sequences_per_sec: f64,
+    /// Mean normalized latency in seconds per output token (vLLM metric).
+    pub norm_latency_s_per_token: f64,
+    /// 99th-percentile normalized latency.
+    pub p99_norm_latency: f64,
+    /// Requests (or samples) completed.
+    pub completed: u64,
+    /// Total GPU idle time attributable to waiting on transfers.
+    pub gpu_io_stall: Duration,
+    /// Raw I/O statistics from the runtime.
+    pub io: IoStats,
+    /// KV-cache swap-out events (vLLM).
+    pub preemptions: u64,
+}
+
+impl ServingReport {
+    /// One aligned summary line for experiment tables.
+    pub fn summary_row(&self) -> String {
+        format!(
+            "{:<10} {:<24} tok/s={:>9.2} seq/s={:>7.3} norm_lat={:>8.4}s/tok stall={:>9.3?} nops={}",
+            self.system,
+            self.workload,
+            self.tokens_per_sec,
+            self.sequences_per_sec,
+            self.norm_latency_s_per_token,
+            self.gpu_io_stall,
+            self.io.nops,
+        )
+    }
+}
+
+impl fmt::Display for ServingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary_row())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_row_mentions_key_fields() {
+        let report = ServingReport {
+            system: "PipeLLM".to_string(),
+            workload: "vLLM OPT-30B".to_string(),
+            tokens_per_sec: 123.4,
+            ..ServingReport::default()
+        };
+        let row = report.summary_row();
+        assert!(row.contains("PipeLLM"));
+        assert!(row.contains("123.4"));
+        assert_eq!(report.to_string(), row);
+    }
+
+    #[test]
+    fn swap_policy_display() {
+        assert!(SwapPolicy::RequestLifo.to_string().contains("LIFO"));
+        assert!(SwapPolicy::LayerFifo.to_string().contains("FIFO"));
+        assert_eq!(SwapPolicy::default(), SwapPolicy::RequestLifo);
+    }
+}

@@ -1,0 +1,175 @@
+//! A deterministic time-ordered event queue.
+//!
+//! Workload generators schedule request arrivals; serving engines pop them
+//! in timestamp order. Ties break by insertion sequence so simulations are
+//! fully reproducible.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first ordering.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-heap of `(SimTime, payload)` events with FIFO tie-breaking.
+///
+/// # Example
+///
+/// ```
+/// use pipellm_sim::events::EventQueue;
+/// use pipellm_sim::time::SimTime;
+///
+/// let mut queue = EventQueue::new();
+/// queue.push(SimTime::from_micros(5), "late");
+/// queue.push(SimTime::from_micros(1), "early");
+/// assert_eq!(queue.pop().map(|(_, e)| e), Some("early"));
+/// assert_eq!(queue.pop().map(|(_, e)| e), Some("late"));
+/// ```
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `payload` at time `at`.
+    pub fn push(&mut self, at: SimTime, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// Timestamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the earliest event only if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, T)> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Extend<(SimTime, T)> for EventQueue<T> {
+    fn extend<I: IntoIterator<Item = (SimTime, T)>>(&mut self, iter: I) {
+        for (at, payload) in iter {
+            self.push(at, payload);
+        }
+    }
+}
+
+impl<T> FromIterator<(SimTime, T)> for EventQueue<T> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, T)>>(iter: I) -> Self {
+        let mut queue = EventQueue::new();
+        queue.extend(iter);
+        queue
+    }
+}
+
+impl<T> std::fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(3), 'c');
+        q.push(SimTime::from_micros(1), 'a');
+        q.push(SimTime::from_micros(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, c)| c)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(7);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, i)| i)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(10), "later");
+        assert!(q.pop_due(SimTime::from_micros(9)).is_none());
+        assert!(q.pop_due(SimTime::from_micros(10)).is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let q: EventQueue<&str> = vec![
+            (SimTime::from_micros(2), "b"),
+            (SimTime::from_micros(1), "a"),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(1)));
+    }
+}

@@ -1,0 +1,285 @@
+//! Metric collectors for the evaluation harness.
+//!
+//! The paper reports throughput (tokens/s, sequences/s), normalized latency
+//! (s/token averaged over requests), and distributional statistics. These
+//! collectors are deliberately simple — exact samples, not sketches — since
+//! simulated experiments produce modest sample counts.
+
+use crate::time::SimTime;
+use std::fmt;
+use std::time::Duration;
+
+/// An exact-sample statistics accumulator over `f64` observations.
+///
+/// # Example
+///
+/// ```
+/// use pipellm_sim::metrics::Samples;
+///
+/// let mut s = Samples::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.percentile(50.0), 2.0); // nearest-rank
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.values.push(value);
+        self.sorted = false;
+    }
+
+    /// Records a duration in seconds.
+    pub fn record_duration(&mut self, value: Duration) {
+        self.record(value.as_secs_f64());
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Maximum observation, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The `p`-th percentile (nearest-rank), or 0 if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.values.len() as f64).ceil() as usize;
+        self.values[rank.saturating_sub(1).min(self.values.len() - 1)]
+    }
+
+    /// Immutable view of the raw samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Throughput meter: completed units over an observation window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Throughput {
+    units: f64,
+    last_completion: SimTime,
+}
+
+impl Throughput {
+    /// Creates an idle meter.
+    pub fn new() -> Self {
+        Throughput::default()
+    }
+
+    /// Records `units` of work completing at time `at`.
+    pub fn record(&mut self, units: f64, at: SimTime) {
+        self.units += units;
+        self.last_completion = self.last_completion.max(at);
+    }
+
+    /// Total units completed.
+    pub fn units(&self) -> f64 {
+        self.units
+    }
+
+    /// Time of the last completion.
+    pub fn last_completion(&self) -> SimTime {
+        self.last_completion
+    }
+
+    /// Units per second over `[SimTime::ZERO, last_completion]`.
+    pub fn per_second(&self) -> f64 {
+        let elapsed = self.last_completion.as_secs_f64();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            self.units / elapsed
+        }
+    }
+}
+
+/// A labelled monotonically increasing counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.count += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.count
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.count)
+    }
+}
+
+/// One (x, y) series for a figure: e.g. request rate vs normalized latency.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    /// Series label (legend entry).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The collected points in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Renders as aligned `x y` rows, gnuplot-style.
+    pub fn to_rows(&self) -> String {
+        let mut out = format!("# {}\n", self.name);
+        for (x, y) in &self.points {
+            out.push_str(&format!("{x:>12.4} {y:>12.4}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_statistics() {
+        let mut s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        for x in [4.0, 1.0, 3.0, 2.0, 5.0] {
+            s.record(x);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.sum(), 15.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(50.0), 3.0);
+        assert_eq!(s.percentile(100.0), 5.0);
+    }
+
+    #[test]
+    fn samples_record_after_percentile() {
+        let mut s = Samples::new();
+        s.record(10.0);
+        assert_eq!(s.percentile(50.0), 10.0);
+        s.record(1.0); // must re-sort lazily
+        assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn samples_from_durations() {
+        let mut s = Samples::new();
+        s.record_duration(Duration::from_millis(250));
+        assert!((s.mean() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let mut t = Throughput::new();
+        assert_eq!(t.per_second(), 0.0);
+        t.record(10.0, SimTime::from_secs(2));
+        t.record(10.0, SimTime::from_secs(4));
+        assert_eq!(t.units(), 20.0);
+        assert!((t.per_second() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn series_renders_rows() {
+        let mut s = Series::new("w/o CC");
+        s.push(1.0, 0.5);
+        s.push(2.0, 0.75);
+        let rows = s.to_rows();
+        assert!(rows.starts_with("# w/o CC\n"));
+        assert_eq!(rows.lines().count(), 3);
+        assert_eq!(s.points().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn bad_percentile_panics() {
+        Samples::new().percentile(101.0);
+    }
+}

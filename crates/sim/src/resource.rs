@@ -1,0 +1,372 @@
+//! Reservation-based resource timelines.
+//!
+//! The timing layer models hardware as queuing resources: a request arrives
+//! at time `t`, waits until the resource is free, occupies it for a service
+//! duration, and completes. This "timeline reservation" style keeps the
+//! simulation deterministic and cheap while capturing the contention and
+//! pipelining effects the paper's evaluation depends on:
+//!
+//! - [`Link`] — the PCIe link (bandwidth + per-operation latency);
+//! - [`WorkerPool`] — the pool of CPU crypto threads (k parallel servers);
+//! - [`GpuEngine`] — the GPU compute engine (single serial server, since
+//!   LLM iterations are serialized on the SMs).
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+/// Bytes per gigabyte (2^30), matching the units the paper quotes.
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// The outcome of reserving a resource: when service started and ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// When the resource actually began serving the request (≥ arrival).
+    pub start: SimTime,
+    /// When the request completed.
+    pub end: SimTime,
+}
+
+impl Reservation {
+    /// Queueing delay: time between arrival and service start.
+    pub fn wait(&self, arrival: SimTime) -> Duration {
+        self.start.saturating_since(arrival)
+    }
+
+    /// Service duration.
+    pub fn service(&self) -> Duration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// A single-server FIFO resource.
+///
+/// # Example
+///
+/// ```
+/// use pipellm_sim::resource::Server;
+/// use pipellm_sim::time::SimTime;
+/// use std::time::Duration;
+///
+/// let mut gpu = Server::new();
+/// let a = gpu.reserve(SimTime::ZERO, Duration::from_micros(10));
+/// let b = gpu.reserve(SimTime::ZERO, Duration::from_micros(10));
+/// assert_eq!(b.start, a.end); // second request queues behind the first
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Server {
+    next_free: SimTime,
+}
+
+impl Server {
+    /// Creates an idle server.
+    pub fn new() -> Self {
+        Server::default()
+    }
+
+    /// When the server will next be idle.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Reserves the server at `arrival` for `service` time.
+    pub fn reserve(&mut self, arrival: SimTime, service: Duration) -> Reservation {
+        let start = arrival.max(self.next_free);
+        let end = start + service;
+        self.next_free = end;
+        Reservation { start, end }
+    }
+
+    /// Advances the idle horizon without serving work (e.g. a blocked span).
+    pub fn block_until(&mut self, until: SimTime) {
+        self.next_free = self.next_free.max(until);
+    }
+
+    /// Resets the server to idle at time zero.
+    pub fn reset(&mut self) {
+        self.next_free = SimTime::ZERO;
+    }
+}
+
+/// A bandwidth-limited link with per-operation latency: the PCIe model.
+///
+/// Occupancy is `bytes / bandwidth`; each operation additionally experiences
+/// a fixed `latency` that delays its completion but does not occupy the link
+/// (control-plane work rides alongside the data of other transfers).
+#[derive(Debug, Clone)]
+pub struct Link {
+    server: Server,
+    bytes_per_sec: f64,
+    latency: Duration,
+    bytes_moved: u64,
+}
+
+impl Link {
+    /// Creates a link with `gbps` GB/s of bandwidth and fixed per-op latency.
+    pub fn new(gbps: f64, latency: Duration) -> Self {
+        assert!(gbps > 0.0, "link bandwidth must be positive");
+        Link { server: Server::new(), bytes_per_sec: gbps * GIB, latency, bytes_moved: 0 }
+    }
+
+    /// Configured bandwidth in bytes/second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Pure service time for `bytes` (no queueing, no latency).
+    pub fn occupancy(&self, bytes: u64) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Transfers `bytes` starting no earlier than `arrival`.
+    ///
+    /// The returned reservation's `end` includes the per-op latency; the
+    /// link itself is released `latency` earlier so back-to-back transfers
+    /// pipeline at full bandwidth.
+    pub fn transfer(&mut self, arrival: SimTime, bytes: u64) -> Reservation {
+        let occupancy = self.occupancy(bytes);
+        let on_wire = self.server.reserve(arrival, occupancy);
+        self.bytes_moved += bytes;
+        Reservation { start: on_wire.start, end: on_wire.end + self.latency }
+    }
+
+    /// When the link can next accept data.
+    pub fn next_free(&self) -> SimTime {
+        self.server.next_free()
+    }
+
+    /// Total payload bytes moved so far.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Resets occupancy and counters.
+    pub fn reset(&mut self) {
+        self.server.reset();
+        self.bytes_moved = 0;
+    }
+}
+
+/// A pool of `k` identical parallel servers: the CPU crypto thread pool.
+///
+/// Work items are dispatched to the earliest-available worker, which is how
+/// PipeLLM fans independent chunk encryptions across threads (§7.1: "multiple
+/// CPU threads dedicated to encryption").
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    free_at: BinaryHeap<Reverse<SimTime>>,
+    workers: usize,
+    busy: Duration,
+}
+
+impl WorkerPool {
+    /// Creates a pool of `workers` servers (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut free_at = BinaryHeap::with_capacity(workers);
+        for _ in 0..workers {
+            free_at.push(Reverse(SimTime::ZERO));
+        }
+        WorkerPool { free_at, workers, busy: Duration::ZERO }
+    }
+
+    /// Number of workers in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Reserves the earliest-available worker at `arrival` for `service`.
+    pub fn reserve(&mut self, arrival: SimTime, service: Duration) -> Reservation {
+        let Reverse(free) = self.free_at.pop().expect("pool always has ≥1 worker");
+        let start = arrival.max(free);
+        let end = start + service;
+        self.free_at.push(Reverse(end));
+        self.busy += service;
+        Reservation { start, end }
+    }
+
+    /// The earliest time any worker is free.
+    pub fn earliest_free(&self) -> SimTime {
+        self.free_at.peek().map(|Reverse(t)| *t).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total busy time accumulated across all workers.
+    pub fn busy_time(&self) -> Duration {
+        self.busy
+    }
+
+    /// Resets all workers to idle at time zero.
+    pub fn reset(&mut self) {
+        let workers = self.workers;
+        self.free_at.clear();
+        for _ in 0..workers {
+            self.free_at.push(Reverse(SimTime::ZERO));
+        }
+        self.busy = Duration::ZERO;
+    }
+}
+
+/// The GPU compute engine: a serial server with utilization accounting.
+///
+/// LLM layers/iterations execute serially on the device in all three systems
+/// the paper evaluates, so a single-server model captures GPU idle time —
+/// the quantity PipeLLM exists to eliminate.
+#[derive(Debug, Clone, Default)]
+pub struct GpuEngine {
+    server: Server,
+    busy: Duration,
+    idle_waiting_io: Duration,
+}
+
+impl GpuEngine {
+    /// Creates an idle engine.
+    pub fn new() -> Self {
+        GpuEngine::default()
+    }
+
+    /// Runs a kernel that becomes *ready* (all inputs transferred) at
+    /// `inputs_ready` and takes `compute` time.
+    ///
+    /// Idle time between the engine becoming free and inputs arriving is
+    /// accounted as I/O stall — the paper's "GPU is idle due to the
+    /// unavailability of the input" (§3, case study 2).
+    pub fn run(&mut self, inputs_ready: SimTime, compute: Duration) -> Reservation {
+        let free = self.server.next_free();
+        if inputs_ready > free {
+            self.idle_waiting_io += inputs_ready - free;
+        }
+        let reservation = self.server.reserve(inputs_ready, compute);
+        self.busy += compute;
+        reservation
+    }
+
+    /// When the engine will next be idle.
+    pub fn next_free(&self) -> SimTime {
+        self.server.next_free()
+    }
+
+    /// Total compute time executed.
+    pub fn busy_time(&self) -> Duration {
+        self.busy
+    }
+
+    /// Total time the engine sat idle waiting for transfers.
+    pub fn io_stall_time(&self) -> Duration {
+        self.idle_waiting_io
+    }
+
+    /// Resets the engine and its accounting.
+    pub fn reset(&mut self) {
+        self.server.reset();
+        self.busy = Duration::ZERO;
+        self.idle_waiting_io = Duration::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_serializes_requests() {
+        let mut s = Server::new();
+        let a = s.reserve(SimTime::ZERO, Duration::from_micros(3));
+        let b = s.reserve(SimTime::from_micros(1), Duration::from_micros(3));
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(a.end, SimTime::from_micros(3));
+        assert_eq!(b.start, a.end, "second request queues");
+        assert_eq!(b.wait(SimTime::from_micros(1)), Duration::from_micros(2));
+    }
+
+    #[test]
+    fn server_idles_until_next_arrival() {
+        let mut s = Server::new();
+        s.reserve(SimTime::ZERO, Duration::from_micros(1));
+        let late = s.reserve(SimTime::from_micros(10), Duration::from_micros(1));
+        assert_eq!(late.start, SimTime::from_micros(10), "no work is invented");
+    }
+
+    #[test]
+    fn link_bandwidth_math() {
+        let mut link = Link::new(1.0, Duration::ZERO); // 1 GiB/s
+        let r = link.transfer(SimTime::ZERO, GIB as u64);
+        assert!((r.end.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert_eq!(link.bytes_moved(), GIB as u64);
+    }
+
+    #[test]
+    fn link_latency_does_not_hold_the_wire() {
+        let mut link = Link::new(1.0, Duration::from_millis(5));
+        let a = link.transfer(SimTime::ZERO, (GIB / 1000.0) as u64);
+        let b = link.transfer(SimTime::ZERO, (GIB / 1000.0) as u64);
+        // b starts when a's payload leaves the wire, not after a's latency.
+        assert_eq!(b.start, a.end - Duration::from_millis(5));
+        assert!(a.end.saturating_since(a.start) >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn pool_runs_k_jobs_in_parallel() {
+        let mut pool = WorkerPool::new(4);
+        let service = Duration::from_micros(10);
+        let ends: Vec<SimTime> =
+            (0..4).map(|_| pool.reserve(SimTime::ZERO, service).end).collect();
+        assert!(ends.iter().all(|&e| e == SimTime::from_micros(10)));
+        // A fifth job waits for the first free worker.
+        let fifth = pool.reserve(SimTime::ZERO, service);
+        assert_eq!(fifth.start, SimTime::from_micros(10));
+        assert_eq!(pool.busy_time(), service * 5);
+    }
+
+    #[test]
+    fn pool_of_zero_degrades_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn gpu_accounts_io_stalls() {
+        let mut gpu = GpuEngine::new();
+        gpu.run(SimTime::ZERO, Duration::from_micros(10));
+        // Inputs for the next kernel arrive 5 µs after the engine went idle.
+        gpu.run(SimTime::from_micros(15), Duration::from_micros(10));
+        assert_eq!(gpu.io_stall_time(), Duration::from_micros(5));
+        assert_eq!(gpu.busy_time(), Duration::from_micros(20));
+        assert_eq!(gpu.next_free(), SimTime::from_micros(25));
+    }
+
+    #[test]
+    fn gpu_no_stall_when_inputs_ready_early() {
+        let mut gpu = GpuEngine::new();
+        gpu.run(SimTime::ZERO, Duration::from_micros(10));
+        gpu.run(SimTime::from_micros(2), Duration::from_micros(10));
+        assert_eq!(gpu.io_stall_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn resets_restore_time_zero() {
+        let mut link = Link::new(2.0, Duration::ZERO);
+        link.transfer(SimTime::ZERO, 1024);
+        link.reset();
+        assert_eq!(link.next_free(), SimTime::ZERO);
+        assert_eq!(link.bytes_moved(), 0);
+
+        let mut pool = WorkerPool::new(2);
+        pool.reserve(SimTime::ZERO, Duration::from_micros(1));
+        pool.reset();
+        assert_eq!(pool.earliest_free(), SimTime::ZERO);
+        assert_eq!(pool.busy_time(), Duration::ZERO);
+
+        let mut gpu = GpuEngine::new();
+        gpu.run(SimTime::from_micros(9), Duration::from_micros(1));
+        gpu.reset();
+        assert_eq!(gpu.next_free(), SimTime::ZERO);
+        assert_eq!(gpu.io_stall_time(), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_link_is_rejected() {
+        let _ = Link::new(0.0, Duration::ZERO);
+    }
+}

@@ -1,0 +1,238 @@
+//! Seeded, dependency-free random number generation for workloads.
+//!
+//! Workload generators must be deterministic across platforms and crate
+//! versions (the experiment harness re-runs traces and compares systems on
+//! identical arrivals), so this module implements its own xoshiro256++
+//! generator plus the handful of distributions the evaluation needs:
+//! uniform, exponential (Poisson arrivals), log-normal (ShareGPT-like
+//! lengths), and categorical sampling.
+
+/// A deterministic xoshiro256++ pseudo-random generator.
+///
+/// # Example
+///
+/// ```
+/// use pipellm_sim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // reproducible
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let state = [next(), next(), next(), next()];
+        SimRng { state }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits → uniform double.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift bounded sampling; bias is negligible for our use.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// An exponentially distributed value with the given `rate` (events per
+    /// unit): the inter-arrival time of a Poisson process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn next_exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive");
+        let u = 1.0 - self.next_f64(); // in (0, 1]
+        -u.ln() / rate
+    }
+
+    /// A standard normal via Box–Muller.
+    pub fn next_normal(&mut self) -> f64 {
+        let u1 = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A log-normal sample with the given parameters of the underlying
+    /// normal (`mu`, `sigma`).
+    pub fn next_lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.next_normal()).exp()
+    }
+
+    /// Samples an index according to `weights` (need not be normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn next_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must be non-empty with positive sum");
+        let mut target = self.next_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_across_instances() {
+        let mut a = SimRng::seed_from(99);
+        let mut b = SimRng::seed_from(99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_unit_interval() {
+        let mut rng = SimRng::seed_from(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn bounded_sampling_stays_in_bounds() {
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..10_000 {
+            assert!(rng.next_below(7) < 7);
+            let r = rng.next_range(10, 20);
+            assert!((10..=20).contains(&r));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = SimRng::seed_from(5);
+        let rate = 4.0;
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.next_exponential(rate)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_mean_and_variance() {
+        let mut rng = SimRng::seed_from(6);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.next_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..1000 {
+            assert!(rng.next_lognormal(3.0, 1.2) > 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_tracks_weights() {
+        let mut rng = SimRng::seed_from(8);
+        let weights = [1.0, 3.0];
+        let n = 20_000;
+        let ones = (0..n).filter(|_| rng.next_weighted(&weights) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "astronomically unlikely identity");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        SimRng::seed_from(1).next_below(0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the resource timelines: the scheduling invariants
+//! every timing result in the reproduction rests on.
+
+use pipellm_sim::resource::{GpuEngine, Link, Server, WorkerPool};
+use pipellm_sim::time::SimTime;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// (arrival offset µs, service µs) request streams.
+fn requests() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..500, 1u64..200), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A single server never overlaps reservations and never serves before
+    /// arrival; total busy time equals the sum of service times.
+    #[test]
+    fn server_reservations_are_disjoint_and_causal(reqs in requests()) {
+        let mut server = Server::new();
+        let mut arrival = SimTime::ZERO;
+        let mut last_end = SimTime::ZERO;
+        let mut total_service = Duration::ZERO;
+        for (gap, service) in reqs {
+            arrival += Duration::from_micros(gap);
+            let service = Duration::from_micros(service);
+            let r = server.reserve(arrival, service);
+            prop_assert!(r.start >= arrival, "service before arrival");
+            prop_assert!(r.start >= last_end, "overlapping reservations");
+            prop_assert_eq!(r.end, r.start + service);
+            last_end = r.end;
+            total_service += service;
+        }
+        prop_assert!(server.next_free() >= SimTime::ZERO + total_service);
+    }
+
+    /// A k-worker pool admits at most k overlapping reservations and is
+    /// work-conserving: a request never waits while a worker is idle.
+    #[test]
+    fn worker_pool_parallelism_is_bounded_and_work_conserving(
+        reqs in requests(),
+        workers in 1usize..6,
+    ) {
+        let mut pool = WorkerPool::new(workers);
+        let mut arrival = SimTime::ZERO;
+        let mut spans: Vec<(SimTime, SimTime)> = Vec::new();
+        for (gap, service) in reqs {
+            arrival += Duration::from_micros(gap);
+            let r = pool.reserve(arrival, Duration::from_micros(service));
+            prop_assert!(r.start >= arrival);
+            // Work conservation: if the request waited, all workers were
+            // busy at its arrival.
+            if r.start > arrival {
+                let busy_at_arrival = spans
+                    .iter()
+                    .filter(|(s, e)| *s <= arrival && arrival < *e)
+                    .count();
+                prop_assert!(
+                    busy_at_arrival >= workers,
+                    "waited with only {busy_at_arrival}/{workers} busy"
+                );
+            }
+            spans.push((r.start, r.end));
+        }
+        // At no reservation start are more than `workers` spans active.
+        for &(start, _) in &spans {
+            let active = spans.iter().filter(|(s, e)| *s <= start && start < *e).count();
+            prop_assert!(active <= workers, "{active} active on {workers} workers");
+        }
+    }
+
+    /// The link conserves bytes and sustains exactly its configured
+    /// bandwidth under saturation.
+    #[test]
+    fn link_conserves_bytes_and_bandwidth(
+        sizes in proptest::collection::vec(1u64..4_000_000, 1..30),
+        gbps in 1u32..100,
+    ) {
+        let mut link = Link::new(f64::from(gbps), Duration::from_micros(1));
+        let mut last_end = SimTime::ZERO;
+        let total: u64 = sizes.iter().sum();
+        for bytes in &sizes {
+            // Saturating schedule: everything arrives at time zero.
+            let r = link.transfer(SimTime::ZERO, *bytes);
+            prop_assert!(r.end > r.start || *bytes == 0);
+            last_end = last_end.max(r.end);
+        }
+        prop_assert_eq!(link.bytes_moved(), total);
+        // Wire time (minus the single trailing latency) matches bytes/bw.
+        let expected = total as f64 / link.bytes_per_sec();
+        let measured = last_end.as_secs_f64() - 1e-6;
+        prop_assert!(
+            (measured - expected).abs() <= expected * 0.01 + 1e-9,
+            "expected {expected}s got {measured}s"
+        );
+    }
+
+    /// GPU engine: kernels are serial, causal, and stall accounting adds up.
+    #[test]
+    fn gpu_engine_is_serial_and_accounts_stalls(reqs in requests()) {
+        let mut gpu = GpuEngine::new();
+        let mut ready = SimTime::ZERO;
+        let mut last_end = SimTime::ZERO;
+        let mut busy = Duration::ZERO;
+        for (gap, dur) in reqs {
+            ready += Duration::from_micros(gap);
+            let dur = Duration::from_micros(dur);
+            let r = gpu.run(ready, dur);
+            prop_assert!(r.start >= ready);
+            prop_assert!(r.start >= last_end);
+            last_end = r.end;
+            busy += dur;
+        }
+        prop_assert_eq!(gpu.busy_time(), busy);
+        // Stall + busy ≤ makespan.
+        let makespan = last_end.saturating_since(SimTime::ZERO);
+        prop_assert!(gpu.io_stall_time() + busy <= makespan + Duration::from_nanos(1));
+    }
+}

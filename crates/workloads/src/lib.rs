@@ -1,0 +1,336 @@
+//! Synthetic workload generation for the PipeLLM evaluation.
+//!
+//! The paper evaluates with ShareGPT and Alpaca request traces (serving,
+//! §7.1) and the ultrachat dataset (fine-tuning). Those datasets are not
+//! redistributable here, so this crate generates seeded synthetic traces
+//! whose *length distributions* match the published summary statistics —
+//! which is all the systems under test observe: token counts become KV-cache
+//! bytes and iteration times; the text itself never matters.
+//!
+//! - **Alpaca-like**: short instructions, short answers (mean ≈ 20 prompt /
+//!   ≈ 65 output tokens). Light memory pressure per request, so the paper
+//!   drives it at up to 25 req/s.
+//! - **ShareGPT-like**: long multi-turn conversations (mean ≈ 160 prompt /
+//!   ≈ 220 output tokens, heavy tail). The paper's rates top out at ~2 req/s.
+//! - **ultrachat-like**: fine-tuning sequences around 1K tokens.
+//!
+//! Arrivals are Poisson at a configurable rate, as in the vLLM evaluation
+//! methodology the paper follows.
+//!
+//! # Example
+//!
+//! ```
+//! use pipellm_workloads::{Dataset, TraceConfig};
+//!
+//! let trace = TraceConfig::new(Dataset::Alpaca, 4.0)
+//!     .duration_secs(60.0)
+//!     .parallel(2)
+//!     .seed(7)
+//!     .generate();
+//! assert!(!trace.is_empty());
+//! assert!(trace.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pipellm_sim::rng::SimRng;
+use pipellm_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Which length distribution to draw requests from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// Short instruction/answer pairs (Alpaca-like).
+    Alpaca,
+    /// Long conversational turns with heavy tails (ShareGPT-like).
+    ShareGpt,
+    /// Fixed lengths — the FlexGen synthetic configurations (e.g. 32/128).
+    Fixed {
+        /// Prompt length in tokens.
+        prompt: u32,
+        /// Output length in tokens.
+        output: u32,
+    },
+}
+
+impl Dataset {
+    /// Human-readable dataset name.
+    pub fn name(&self) -> String {
+        match self {
+            Dataset::Alpaca => "Alpaca".to_string(),
+            Dataset::ShareGpt => "ShareGPT".to_string(),
+            Dataset::Fixed { prompt, output } => format!("fixed-{prompt}/{output}"),
+        }
+    }
+
+    /// Samples a (prompt, output) token-length pair.
+    ///
+    /// Log-normal parameters are fitted to the public summary statistics of
+    /// each dataset; lengths are clipped to OPT's 2048-token context.
+    pub fn sample_lengths(&self, rng: &mut SimRng) -> (u32, u32) {
+        match self {
+            Dataset::Alpaca => {
+                let prompt = rng.next_lognormal(2.9, 0.6).round().clamp(1.0, 512.0) as u32;
+                let output = rng.next_lognormal(4.0, 0.7).round().clamp(1.0, 1024.0) as u32;
+                (prompt, output)
+            }
+            Dataset::ShareGpt => {
+                let prompt = rng.next_lognormal(4.9, 0.9).round().clamp(4.0, 1536.0) as u32;
+                let output = rng.next_lognormal(5.2, 0.8).round().clamp(4.0, 1536.0) as u32;
+                (prompt, output)
+            }
+            Dataset::Fixed { prompt, output } => (*prompt, *output),
+        }
+    }
+}
+
+/// One inference request in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Monotonic request id.
+    pub id: u64,
+    /// Arrival time (nanoseconds since trace start).
+    #[serde(with = "simtime_serde")]
+    pub arrival: SimTime,
+    /// Prompt length in tokens.
+    pub prompt_tokens: u32,
+    /// Number of output tokens to generate per sampled sequence.
+    pub output_tokens: u32,
+    /// Parallel-sampling width: how many output sequences are generated
+    /// for this prompt (the paper evaluates 2, 4 and 6).
+    pub parallel: u32,
+}
+
+mod simtime_serde {
+    use pipellm_sim::time::SimTime;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(t: &SimTime, s: S) -> Result<S::Ok, S::Error> {
+        t.as_nanos().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<SimTime, D::Error> {
+        Ok(SimTime::from_nanos(u64::deserialize(d)?))
+    }
+}
+
+impl Request {
+    /// Total tokens this request will generate across parallel samples.
+    pub fn total_output_tokens(&self) -> u64 {
+        u64::from(self.output_tokens) * u64::from(self.parallel)
+    }
+
+    /// Peak context tokens of one sampled sequence (prompt + full output).
+    pub fn peak_seq_tokens(&self) -> u64 {
+        u64::from(self.prompt_tokens) + u64::from(self.output_tokens)
+    }
+}
+
+/// Builder for a Poisson-arrival request trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Dataset distribution.
+    pub dataset: Dataset,
+    /// Mean arrival rate in requests/second.
+    pub rate_rps: f64,
+    /// Trace duration in seconds.
+    pub duration_secs: f64,
+    /// Parallel-sampling width per request.
+    pub parallel: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional hard cap on request count.
+    pub max_requests: Option<usize>,
+}
+
+impl TraceConfig {
+    /// Creates a config with the paper's defaults: 30-minute traces
+    /// (§7.1: "30-minute traces are used"), parallel sampling of 1.
+    pub fn new(dataset: Dataset, rate_rps: f64) -> Self {
+        TraceConfig {
+            dataset,
+            rate_rps,
+            duration_secs: 30.0 * 60.0,
+            parallel: 1,
+            seed: 0xA11CE,
+            max_requests: None,
+        }
+    }
+
+    /// Sets the trace duration in seconds.
+    pub fn duration_secs(mut self, secs: f64) -> Self {
+        self.duration_secs = secs;
+        self
+    }
+
+    /// Sets the parallel-sampling width.
+    pub fn parallel(mut self, parallel: u32) -> Self {
+        self.parallel = parallel.max(1);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the number of generated requests.
+    pub fn max_requests(mut self, cap: usize) -> Self {
+        self.max_requests = Some(cap);
+        self
+    }
+
+    /// Generates the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive.
+    pub fn generate(&self) -> Vec<Request> {
+        assert!(self.rate_rps > 0.0, "request rate must be positive");
+        let mut rng = SimRng::seed_from(self.seed);
+        let mut requests = Vec::new();
+        let mut clock = 0.0f64;
+        let cap = self.max_requests.unwrap_or(usize::MAX);
+        loop {
+            clock += rng.next_exponential(self.rate_rps);
+            if clock > self.duration_secs || requests.len() >= cap {
+                break;
+            }
+            let (prompt_tokens, output_tokens) = self.dataset.sample_lengths(&mut rng);
+            requests.push(Request {
+                id: requests.len() as u64,
+                arrival: SimTime::from_secs_f64(clock),
+                prompt_tokens,
+                output_tokens,
+                parallel: self.parallel,
+            });
+        }
+        requests
+    }
+}
+
+/// One fine-tuning sample (sequence of training tokens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FinetuneSample {
+    /// Sample id.
+    pub id: u64,
+    /// Sequence length in tokens.
+    pub tokens: u32,
+}
+
+/// Generates an ultrachat-like fine-tuning dataset: `count` sequences with a
+/// log-normal length distribution centred near 1K tokens, clipped to the
+/// model context of 2048.
+pub fn ultrachat_like(count: usize, seed: u64) -> Vec<FinetuneSample> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..count)
+        .map(|id| FinetuneSample {
+            id: id as u64,
+            tokens: rng.next_lognormal(6.7, 0.5).round().clamp(64.0, 2048.0) as u32,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic() {
+        let config = TraceConfig::new(Dataset::ShareGpt, 1.0).duration_secs(120.0).seed(5);
+        assert_eq!(config.generate(), config.generate());
+    }
+
+    #[test]
+    fn arrival_rate_matches_configuration() {
+        let config = TraceConfig::new(Dataset::Alpaca, 10.0).duration_secs(600.0).seed(1);
+        let trace = config.generate();
+        let rate = trace.len() as f64 / 600.0;
+        assert!((rate - 10.0).abs() < 0.8, "observed rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_window() {
+        let trace = TraceConfig::new(Dataset::Alpaca, 5.0).duration_secs(60.0).generate();
+        assert!(trace.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(trace.iter().all(|r| r.arrival.as_secs_f64() <= 60.0));
+        // Ids are dense.
+        assert!(trace.iter().enumerate().all(|(i, r)| r.id == i as u64));
+    }
+
+    #[test]
+    fn alpaca_is_shorter_than_sharegpt() {
+        let mut rng = SimRng::seed_from(2);
+        let n = 4000;
+        let mean = |d: Dataset, rng: &mut SimRng| {
+            let mut p = 0u64;
+            let mut o = 0u64;
+            for _ in 0..n {
+                let (pp, oo) = d.sample_lengths(rng);
+                p += u64::from(pp);
+                o += u64::from(oo);
+            }
+            (p as f64 / n as f64, o as f64 / n as f64)
+        };
+        let (ap, ao) = mean(Dataset::Alpaca, &mut rng);
+        let (sp, so) = mean(Dataset::ShareGpt, &mut rng);
+        assert!((10.0..40.0).contains(&ap), "alpaca prompt mean {ap}");
+        assert!((40.0..110.0).contains(&ao), "alpaca output mean {ao}");
+        assert!(sp > 3.0 * ap, "sharegpt prompts much longer: {sp} vs {ap}");
+        assert!(so > 1.5 * ao, "sharegpt outputs longer: {so} vs {ao}");
+    }
+
+    #[test]
+    fn fixed_dataset_is_exact() {
+        let mut rng = SimRng::seed_from(3);
+        let d = Dataset::Fixed { prompt: 256, output: 32 };
+        for _ in 0..10 {
+            assert_eq!(d.sample_lengths(&mut rng), (256, 32));
+        }
+        assert_eq!(d.name(), "fixed-256/32");
+    }
+
+    #[test]
+    fn parallel_sampling_multiplies_output() {
+        let trace = TraceConfig::new(Dataset::Fixed { prompt: 8, output: 16 }, 1.0)
+            .duration_secs(30.0)
+            .parallel(6)
+            .generate();
+        assert!(trace.iter().all(|r| r.parallel == 6));
+        assert!(trace.iter().all(|r| r.total_output_tokens() == 96));
+        assert!(trace.iter().all(|r| r.peak_seq_tokens() == 24));
+    }
+
+    #[test]
+    fn parallel_zero_is_clamped_to_one() {
+        let config = TraceConfig::new(Dataset::Alpaca, 1.0).parallel(0);
+        assert_eq!(config.parallel, 1);
+    }
+
+    #[test]
+    fn max_requests_caps_trace() {
+        let trace = TraceConfig::new(Dataset::Alpaca, 100.0)
+            .duration_secs(3600.0)
+            .max_requests(50)
+            .generate();
+        assert_eq!(trace.len(), 50);
+    }
+
+    #[test]
+    fn ultrachat_lengths_center_near_1k() {
+        let samples = ultrachat_like(6000, 9);
+        assert_eq!(samples.len(), 6000);
+        let mean =
+            samples.iter().map(|s| f64::from(s.tokens)).sum::<f64>() / samples.len() as f64;
+        assert!((600.0..1400.0).contains(&mean), "mean {mean}");
+        assert!(samples.iter().all(|s| (64..=2048).contains(&s.tokens)));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        TraceConfig::new(Dataset::Alpaca, 0.0).generate();
+    }
+}

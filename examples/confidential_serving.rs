@@ -1,0 +1,48 @@
+//! Confidential LLM serving: a vLLM-like engine with KV-cache swapping on
+//! OPT-30B, compared across the paper's three systems.
+//!
+//! This is the workload of the paper's Figure 8: Poisson arrivals with
+//! ShareGPT-like lengths and parallel sampling 6 drive the paged KV cache
+//! into swapping; the engine is *identical* for all three runtimes — the
+//! user-transparency property.
+//!
+//! Run with: `cargo run --release --example confidential_serving`
+
+use pipellm_bench::runners::{run_vllm, Scale};
+use pipellm_bench::table::overhead_pct;
+use pipellm_bench::System;
+use pipellm_llm::ModelSpec;
+use pipellm_workloads::Dataset;
+
+fn main() {
+    let model = ModelSpec::opt_30b();
+    let (dataset, rate, parallel) = (Dataset::ShareGpt, 0.7, 6);
+    println!(
+        "serving {} | {} arrivals at {rate} req/s, parallel sampling {parallel}\n",
+        model.name,
+        dataset.name()
+    );
+
+    let mut baseline = 0.0;
+    for system in [System::cc_off(), System::cc(), System::pipellm(2)] {
+        let report = run_vllm(&system, model.clone(), dataset, rate, parallel, Scale::Quick, 7);
+        if matches!(system, System::CcOff) {
+            baseline = report.norm_latency_s_per_token;
+        }
+        println!(
+            "{:<8}  norm latency {:.4} s/token ({:+.1}% vs w/o CC)  \
+             preemptions {}  GPU I/O stall {:.2?}",
+            system.label(),
+            report.norm_latency_s_per_token,
+            -overhead_pct(baseline, report.norm_latency_s_per_token),
+            report.preemptions,
+            report.gpu_io_stall,
+        );
+    }
+
+    println!(
+        "\nCC pays for on-the-fly encryption on every KV swap-in; PipeLLM \
+         pre-encrypts the predicted LIFO reload sequence and stays near the \
+         unencrypted baseline (paper: 5.2-14.2% overhead)."
+    );
+}

@@ -1,0 +1,41 @@
+//! Confidential LoRA fine-tuning: a PEFT/DeepSpeed-like engine training
+//! OPT-30B with base-layer offloading and optimizer exchange.
+//!
+//! The workload of the paper's Figures 3c and 7c. Fine-tuning streams base
+//! layers forward *and backward* every step — a palindromic repetitive
+//! pattern that needs the predictor's bigram context — and swaps the LoRA
+//! gradient/adapter exchange through host memory, where asynchronous
+//! decryption (§5.4) keeps the optimizer off the critical path.
+//!
+//! Run with: `cargo run --release --example finetune`
+
+use pipellm_bench::runners::{run_peft, Scale};
+use pipellm_bench::table::overhead_pct;
+use pipellm_bench::System;
+use pipellm_llm::ModelSpec;
+
+fn main() {
+    for model in [ModelSpec::opt_30b(), ModelSpec::opt_13b()] {
+        println!("LoRA fine-tuning {} (ultrachat-like, one short epoch)\n", model.name);
+        let mut baseline = 0.0;
+        for system in [System::cc_off(), System::cc(), System::pipellm(8)] {
+            let report = run_peft(&system, model.clone(), Scale::Quick, 99);
+            if matches!(system, System::CcOff) {
+                baseline = report.sequences_per_sec;
+            }
+            println!(
+                "{:<8}  {:.3} sequences/s ({:+.1}% vs w/o CC)  GPU stall {:.1?}",
+                system.label(),
+                report.sequences_per_sec,
+                -overhead_pct(baseline, report.sequences_per_sec),
+                report.gpu_io_stall,
+            );
+        }
+        println!();
+    }
+    println!(
+        "The paper reports a 36.2% (OPT-30B) / 14.0% (OPT-13B) drop under CC; \
+         PipeLLM recovers nearly all of it. The smaller model has less memory \
+         pressure, hence less I/O and less overhead (§3, case study 3)."
+    );
+}

@@ -1,0 +1,42 @@
+//! Serving a model bigger than GPU memory: FlexGen-style layer offloading
+//! of OPT-66B (132 GB of weights on an 80 GB GPU) under the three systems.
+//!
+//! The workload of the paper's Figures 3a and 7a: every forward pass
+//! streams the offloaded layers host→device in a repetitive pattern, which
+//! PipeLLM predicts and pre-encrypts with multiple crypto threads.
+//!
+//! Run with: `cargo run --release --example model_offload`
+
+use pipellm_bench::runners::{run_flexgen, Scale};
+use pipellm_bench::table::overhead_pct;
+use pipellm_bench::System;
+use pipellm_serving::FlexGenConfig;
+
+fn main() {
+    let config = || FlexGenConfig::opt_66b(32, 32);
+    println!(
+        "FlexGen OPT-66B (132 GB weights, 80 GB GPU) — prompt 32 / output 32\n"
+    );
+
+    let mut baseline = 0.0;
+    for system in [System::cc_off(), System::cc(), System::pipellm(8)] {
+        let report = run_flexgen(&system, config(), Scale::Quick);
+        if matches!(system, System::CcOff) {
+            baseline = report.tokens_per_sec;
+        }
+        println!(
+            "{:<8}  {:.2} tokens/s ({:+.1}% vs w/o CC)  h2d {:.1} GB  GPU stall {:.1?}",
+            system.label(),
+            report.tokens_per_sec,
+            -overhead_pct(baseline, report.tokens_per_sec),
+            report.io.h2d_bytes as f64 / 1e9,
+            report.gpu_io_stall,
+        );
+    }
+
+    println!(
+        "\nWith CC, the single-thread AES-GCM rate (~5.8 GB/s) throttles the \
+         ~43 GB/s layer stream (paper: 82.8-88.2% drop). PipeLLM's pipeline \
+         keeps the PCIe staging path saturated (paper: <19.6% drop)."
+    );
+}

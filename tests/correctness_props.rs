@@ -1,0 +1,176 @@
+//! Property-based tests of the reproduction's core invariants, driven by
+//! randomized swap schedules:
+//!
+//! 1. **Delivery correctness** — whatever the predictor does (hits,
+//!    suspensions, NOP padding, relinquishes), the plaintext that lands in
+//!    device memory always equals the *current* host source, even with
+//!    random in-place mutations racing the speculation (§5.2 validation).
+//! 2. **IV discipline** — the channel never reuses an IV; every transfer
+//!    authenticates.
+//! 3. **Monotonic time** — API-return and completion times never go
+//!    backwards.
+
+use pipellm_repro::gpu::memory::Payload;
+use pipellm_repro::gpu::runtime::GpuRuntime;
+use pipellm_repro::runtime::{PipeLlmConfig, PipeLlmRuntime, SpecFailureMode};
+use pipellm_repro::sim::time::SimTime;
+use proptest::prelude::*;
+
+const CHUNK: u64 = 132 * 1024; // just above the 128 KiB swap threshold
+
+/// One step of a randomized swap schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Swap chunk `i` out (device→host) with a fresh value tag.
+    SwapOut(u8),
+    /// Swap chunk `i` back in (host→device) and verify the plaintext.
+    SwapIn(u8),
+    /// Mutate chunk `i`'s host plaintext in place (must invalidate any
+    /// pre-encrypted ciphertext of it).
+    Touch(u8),
+    /// Synchronize.
+    Sync,
+    /// A small control transfer (consumes an IV outside the pipeline).
+    SmallIo,
+}
+
+fn op_strategy(chunks: u8) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..chunks).prop_map(Op::SwapOut),
+        (0..chunks).prop_map(Op::SwapIn),
+        (0..chunks).prop_map(Op::Touch),
+        Just(Op::Sync),
+        Just(Op::SmallIo),
+    ]
+}
+
+/// Runs a schedule on a PipeLLM runtime, tracking the expected first byte
+/// of each chunk and checking every swap-in delivery.
+fn run_schedule(ops: &[Op], mode: SpecFailureMode, slack: u64) {
+    const CHUNKS: usize = 4;
+    let mut rt = PipeLlmRuntime::new(PipeLlmConfig {
+        device_capacity: 1 << 30,
+        failure_mode: mode,
+        iv_slack: slack,
+        ..PipeLlmConfig::default()
+    });
+    let mut now = SimTime::ZERO;
+    // Persistent host chunks; value[i] tracks the expected payload tag.
+    let mut value = [0u8; CHUNKS];
+    let mut flipped = [false; CHUNKS];
+    let chunks: Vec<_> = (0..CHUNKS)
+        .map(|i| rt.alloc_host(Payload::Real(vec![i as u8; CHUNK as usize])))
+        .collect();
+    for (i, v) in value.iter_mut().enumerate() {
+        *v = i as u8;
+    }
+
+    for op in ops {
+        match *op {
+            Op::SwapOut(i) => {
+                let i = i as usize % CHUNKS;
+                // Simulate the GPU producing a fresh version of the chunk.
+                let dev = rt.alloc_device(CHUNK).expect("device capacity");
+                let tag = value[i].wrapping_add(16);
+                rt.context_mut()
+                    .device_memory_mut()
+                    .store(dev, Payload::Real(vec![tag; CHUNK as usize]))
+                    .expect("seeding");
+                now = rt.memcpy_dtoh(now, chunks[i], dev).expect("swap out");
+                rt.free_device(dev).expect("live ptr");
+                value[i] = tag;
+                flipped[i] = false;
+            }
+            Op::SwapIn(i) => {
+                let i = i as usize % CHUNKS;
+                let dev = rt.alloc_device(CHUNK).expect("device capacity");
+                now = rt.memcpy_htod(now, dev, chunks[i]).expect("swap in");
+                now = rt.synchronize(now);
+                let payload = rt.context().device_memory().get(dev).expect("stored").clone();
+                let Payload::Real(bytes) = payload else { panic!("real payload expected") };
+                let expect0 = if flipped[i] { value[i] ^ 0xff } else { value[i] };
+                assert_eq!(
+                    (bytes[0], bytes[1]),
+                    (expect0, value[i]),
+                    "chunk {i}: device must see the current plaintext \
+                     (stats: {})",
+                    rt.spec_stats()
+                );
+                rt.free_device(dev).expect("live ptr");
+            }
+            Op::Touch(i) => {
+                let i = i as usize % CHUNKS;
+                now = rt.host_touch(now, chunks[i].addr).expect("live chunk");
+                // HostMemory::touch flips the first byte of a real payload.
+                flipped[i] = !flipped[i];
+            }
+            Op::Sync => {
+                now = rt.synchronize(now);
+            }
+            Op::SmallIo => {
+                let buf = rt.alloc_host(Payload::Real(vec![9u8; 64]));
+                let dev = rt.alloc_device(64).expect("device capacity");
+                now = rt.memcpy_htod(now, dev, buf).expect("small transfer");
+                now = rt.synchronize(now);
+                rt.free_device(dev).expect("live ptr");
+                rt.free_host(buf.addr).expect("live chunk");
+            }
+        }
+        assert!(now >= SimTime::ZERO);
+    }
+    // Whatever happened, a final sync must settle everything.
+    rt.synchronize(now);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn delivery_is_correct_under_random_schedules(
+        ops in proptest::collection::vec(op_strategy(4), 1..48),
+    ) {
+        run_schedule(&ops, SpecFailureMode::Accurate, 0);
+    }
+
+    #[test]
+    fn delivery_is_correct_with_adversarial_predictions(
+        ops in proptest::collection::vec(op_strategy(4), 1..40),
+    ) {
+        run_schedule(&ops, SpecFailureMode::WrongOrder, 0);
+    }
+
+    #[test]
+    fn delivery_is_correct_with_iv_slack(
+        ops in proptest::collection::vec(op_strategy(4), 1..40),
+        slack in 0u64..4,
+    ) {
+        run_schedule(&ops, SpecFailureMode::Accurate, slack);
+    }
+
+    #[test]
+    fn delivery_is_correct_without_speculation(
+        ops in proptest::collection::vec(op_strategy(3), 1..30),
+    ) {
+        run_schedule(&ops, SpecFailureMode::Disabled, 0);
+    }
+}
+
+/// API-return and synchronize times never move backwards.
+#[test]
+fn time_is_monotonic_across_a_long_run() {
+    let mut rt = PipeLlmRuntime::new(PipeLlmConfig {
+        device_capacity: 1 << 30,
+        ..PipeLlmConfig::default()
+    });
+    let mut now = SimTime::ZERO;
+    let chunk = rt.alloc_host(Payload::Real(vec![1u8; CHUNK as usize]));
+    for _ in 0..50 {
+        let dev = rt.alloc_device(CHUNK).expect("capacity");
+        let t = rt.memcpy_htod(now, dev, chunk).expect("swap");
+        assert!(t >= now, "api return went backwards");
+        let s = rt.synchronize(t);
+        assert!(s >= t, "synchronize went backwards");
+        now = s;
+        rt.free_device(dev).expect("live");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the cryptographic substrate: AES-GCM roundtrip
+//! and tamper detection, and the incrementing-IV channel discipline under
+//! arbitrary operation interleavings.
+
+use pipellm_repro::crypto::channel::{ChannelKeys, SecureChannel};
+use pipellm_repro::crypto::gcm::AesGcm;
+use pipellm_repro::crypto::CryptoError;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// seal ∘ open is the identity for any key, nonce, AAD, and plaintext.
+    #[test]
+    fn gcm_roundtrip(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        aad in proptest::collection::vec(any::<u8>(), 0..64),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let gcm = AesGcm::new(&key).expect("32-byte key");
+        let sealed = gcm.seal(&nonce, &aad, &plaintext);
+        prop_assert_eq!(gcm.open(&nonce, &aad, &sealed).expect("authentic"), plaintext);
+    }
+
+    /// Flipping any single bit of the ciphertext (or tag) fails
+    /// authentication.
+    #[test]
+    fn gcm_detects_any_single_bit_flip(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        plaintext in proptest::collection::vec(any::<u8>(), 1..128),
+        flip_at in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let gcm = AesGcm::new(&key).expect("32-byte key");
+        let mut sealed = gcm.seal(&nonce, b"aad", &plaintext);
+        let idx = flip_at.index(sealed.len());
+        sealed[idx] ^= 1 << bit;
+        let tampered = gcm.open(&nonce, b"aad", &sealed);
+        let rejected = matches!(tampered, Err(CryptoError::AuthenticationFailed { .. }));
+        prop_assert!(rejected, "tampered ciphertext must be rejected: {:?}", tampered);
+    }
+
+    /// Opening under different AAD fails authentication.
+    #[test]
+    fn gcm_binds_aad(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..64),
+        aad in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let gcm = AesGcm::new(&key).expect("32-byte key");
+        let sealed = gcm.seal(&nonce, &aad, &plaintext);
+        let mut other = aad.clone();
+        other[0] ^= 0xff;
+        prop_assert!(gcm.open(&nonce, &other, &sealed).is_err());
+    }
+
+    /// In-order channel traffic always roundtrips; the sender counter
+    /// advances exactly once per message; speculative messages commit iff
+    /// the counter reaches their IV exactly.
+    #[test]
+    fn channel_iv_discipline(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..64), 1..20),
+        spec_ahead in 0u64..6,
+    ) {
+        let mut ch = SecureChannel::new(ChannelKeys::from_seed(7));
+        // Speculate a message `spec_ahead` transfers into the future.
+        let spec_iv = ch.host().tx().next_iv() + spec_ahead;
+        let spec = ch.host().tx()
+            .seal_speculative(spec_iv, b"", b"spec")
+            .expect("future IV is legal");
+
+        let mut sent = 0u64;
+        for payload in &payloads {
+            if ch.host().tx().next_iv() == spec_iv {
+                // Counter reached the speculated IV: the commit must work.
+                ch.host_mut().tx_mut().commit(&spec).expect("exact IV");
+                prop_assert_eq!(ch.device_mut().open(&spec).expect("lockstep"), b"spec");
+            } else if ch.host().tx().next_iv() > spec_iv {
+                // Overshot: committing is nonce reuse and must fail.
+                let late = ch.host_mut().tx_mut().commit(&spec);
+                let refused = matches!(late, Err(CryptoError::IvReused { .. }));
+                prop_assert!(refused, "late commit must be nonce reuse: {:?}", late);
+            }
+            let before = ch.host().tx().next_iv();
+            let sealed = ch.host_mut().seal(payload).expect("counter is fresh");
+            prop_assert_eq!(sealed.iv, before);
+            prop_assert_eq!(ch.host().tx().next_iv(), before + 1);
+            prop_assert_eq!(&ch.device_mut().open(&sealed).expect("in order"), payload);
+            sent += 1;
+        }
+        prop_assert_eq!(ch.host().tx().next_iv(), 1 + sent + u64::from(ch.host().tx().next_iv() > spec_iv && spec_ahead < sent));
+    }
+}
+
+/// NOP padding advances both endpoints and never breaks the stream.
+#[test]
+fn nops_interleave_freely_with_data() {
+    let mut ch = SecureChannel::new(ChannelKeys::from_seed(3));
+    for round in 0..10u8 {
+        for _ in 0..round % 3 {
+            let nop = ch.host_mut().tx_mut().seal_nop();
+            ch.device_mut().open(&nop).expect("nop authentic");
+        }
+        let sealed = ch.host_mut().seal(&[round]).expect("fresh");
+        assert_eq!(ch.device_mut().open(&sealed).expect("in order"), vec![round]);
+    }
+}

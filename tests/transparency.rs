@@ -1,0 +1,84 @@
+//! End-to-end transparency: the identical engine program runs unmodified on
+//! all three runtimes (the paper's user-transparency requirement), with
+//! functional results independent of the runtime and performance ordered
+//! w/o CC ≤ PipeLLM ≤ CC.
+
+use pipellm_repro::bench::runners::{run_flexgen, run_peft, run_vllm, Scale};
+use pipellm_repro::bench::System;
+use pipellm_repro::llm::ModelSpec;
+use pipellm_repro::serving::FlexGenConfig;
+use pipellm_repro::workloads::Dataset;
+
+#[test]
+fn vllm_serves_every_request_on_all_runtimes() {
+    let mut completed = Vec::new();
+    for system in [System::cc_off(), System::cc(), System::pipellm(2)] {
+        let report = run_vllm(
+            &system,
+            ModelSpec::opt_30b(),
+            Dataset::ShareGpt,
+            0.8,
+            6,
+            Scale::Quick,
+            1234,
+        );
+        assert!(report.completed > 0, "{}: no requests finished", system.label());
+        completed.push(report.completed);
+    }
+    assert!(
+        completed.windows(2).all(|w| w[0] == w[1]),
+        "all runtimes must serve the identical trace to completion: {completed:?}"
+    );
+}
+
+#[test]
+fn vllm_latency_ordering_under_pressure() {
+    let run = |system: &System| {
+        run_vllm(system, ModelSpec::opt_30b(), Dataset::ShareGpt, 0.8, 6, Scale::Quick, 77)
+            .norm_latency_s_per_token
+    };
+    let off = run(&System::cc_off());
+    let cc = run(&System::cc());
+    let pipellm = run(&System::pipellm(2));
+    assert!(off <= pipellm * 1.02, "w/o CC {off:.4} must be fastest (PipeLLM {pipellm:.4})");
+    assert!(pipellm < cc, "PipeLLM {pipellm:.4} must beat CC {cc:.4}");
+}
+
+#[test]
+fn flexgen_throughput_ordering() {
+    let run = |system: &System| {
+        run_flexgen(system, FlexGenConfig::opt_66b(32, 8), Scale::Quick).tokens_per_sec
+    };
+    let off = run(&System::cc_off());
+    let cc = run(&System::cc());
+    let pipellm = run(&System::pipellm(8));
+    assert!(off >= pipellm, "w/o CC {off:.2} ≥ PipeLLM {pipellm:.2}");
+    assert!(pipellm > cc, "PipeLLM {pipellm:.2} > CC {cc:.2}");
+}
+
+#[test]
+fn peft_throughput_ordering() {
+    let run = |system: &System| {
+        run_peft(system, ModelSpec::opt_13b(), Scale::Quick, 5).sequences_per_sec
+    };
+    let off = run(&System::cc_off());
+    let cc = run(&System::cc());
+    let pipellm = run(&System::pipellm(8));
+    assert!(off >= pipellm * 0.999, "w/o CC {off:.3} ≥ PipeLLM {pipellm:.3}");
+    assert!(pipellm >= cc, "PipeLLM {pipellm:.3} ≥ CC {cc:.3}");
+}
+
+#[test]
+fn engines_report_their_runtime_labels() {
+    let report = run_vllm(
+        &System::pipellm(2),
+        ModelSpec::opt_13b(),
+        Dataset::Alpaca,
+        0.5,
+        2,
+        Scale::Quick,
+        3,
+    );
+    assert_eq!(report.system, "PipeLLM");
+    assert!(report.workload.contains("OPT-13B"));
+}
