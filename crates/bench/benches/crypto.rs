@@ -1,16 +1,25 @@
 //! Criterion benchmarks for the from-scratch AES-GCM substrate: the real
 //! (wall-clock) cost of sealing and opening at the transfer sizes the
 //! serving engines move.
+//!
+//! `gcm_seal`/`gcm_open` measure the dispatched hot path (AES-NI +
+//! PCLMULQDQ where the CPU has them); `gcm_seal_software` pins the portable
+//! T-table/8-bit-table path and `gcm_seal_baseline` the retained
+//! single-block reference, so the speedup of the fast paths is visible on
+//! any machine. `target/BENCH_crypto.json` (see the `bench_crypto` binary)
+//! records the same numbers machine-readably.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pipellm_crypto::channel::{ChannelKeys, SecureChannel};
 use pipellm_crypto::gcm::AesGcm;
 use std::hint::black_box;
 
+const SIZES: [usize; 3] = [1 << 10, 64 << 10, 1 << 20];
+
 fn bench_gcm_seal(c: &mut Criterion) {
     let mut group = c.benchmark_group("gcm_seal");
     let gcm = AesGcm::new(&[7u8; 32]).expect("32-byte key");
-    for size in [1usize << 10, 64 << 10, 1 << 20] {
+    for size in SIZES {
         let plaintext = vec![0xabu8; size];
         group.throughput(Throughput::Bytes(size as u64));
         group.bench_with_input(BenchmarkId::from_parameter(size), &plaintext, |b, pt| {
@@ -21,6 +30,55 @@ fn bench_gcm_seal(c: &mut Criterion) {
                 nonce[4..].copy_from_slice(&iv.to_be_bytes());
                 black_box(gcm.seal(&nonce, b"", pt))
             });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gcm_seal_in_place(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gcm_seal_in_place");
+    let gcm = AesGcm::new(&[7u8; 32]).expect("32-byte key");
+    for size in SIZES {
+        let mut buf = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}"), |b| {
+            let mut iv = 0u64;
+            b.iter(|| {
+                iv += 1;
+                let mut nonce = [0u8; 12];
+                nonce[4..].copy_from_slice(&iv.to_be_bytes());
+                black_box(gcm.seal_in_place(&nonce, b"", &mut buf))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gcm_seal_software(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gcm_seal_software");
+    let gcm = AesGcm::new(&[7u8; 32])
+        .expect("32-byte key")
+        .software_only();
+    for size in SIZES {
+        let plaintext = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &plaintext, |b, pt| {
+            b.iter(|| black_box(gcm.seal(&[9u8; 12], b"", pt)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gcm_seal_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gcm_seal_baseline");
+    let gcm = AesGcm::new(&[7u8; 32])
+        .expect("32-byte key")
+        .software_only();
+    for size in SIZES {
+        let plaintext = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &plaintext, |b, pt| {
+            b.iter(|| black_box(gcm.seal_reference(&[9u8; 12], b"", pt)));
         });
     }
     group.finish();
@@ -53,6 +111,25 @@ fn bench_channel_roundtrip(c: &mut Criterion) {
             criterion::BatchSize::SmallInput,
         );
     });
+    c.bench_function("channel_seal_open_in_place_64KiB", |b| {
+        let payload = vec![1u8; 64 << 10];
+        b.iter_batched(
+            || {
+                (
+                    SecureChannel::new(ChannelKeys::from_seed(1)),
+                    payload.clone(),
+                )
+            },
+            |(mut ch, mut buf)| {
+                let (_, tag) = ch.host_mut().seal_in_place(b"", &mut buf).expect("fresh");
+                ch.device_mut()
+                    .open_in_place(b"", &mut buf, &tag)
+                    .expect("in order");
+                black_box(buf)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
 }
 
 fn bench_speculative_seal_commit(c: &mut Criterion) {
@@ -62,8 +139,11 @@ fn bench_speculative_seal_commit(c: &mut Criterion) {
             || SecureChannel::new(ChannelKeys::from_seed(2)),
             |mut ch| {
                 let iv = ch.host().tx().next_iv();
-                let sealed =
-                    ch.host().tx().seal_speculative(iv, b"", &payload).expect("future IV");
+                let sealed = ch
+                    .host()
+                    .tx()
+                    .seal_speculative(iv, b"", &payload)
+                    .expect("future IV");
                 ch.host_mut().tx_mut().commit(&sealed).expect("exact IV");
                 black_box(ch.device_mut().open(&sealed).expect("lockstep"))
             },
@@ -75,6 +155,8 @@ fn bench_speculative_seal_commit(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_gcm_seal, bench_gcm_open, bench_channel_roundtrip, bench_speculative_seal_commit
+    targets = bench_gcm_seal, bench_gcm_seal_in_place, bench_gcm_seal_software,
+        bench_gcm_seal_baseline, bench_gcm_open, bench_channel_roundtrip,
+        bench_speculative_seal_commit
 }
 criterion_main!(benches);

@@ -9,7 +9,10 @@ use pipellm_sim::time::SimTime;
 use std::hint::black_box;
 
 fn chunk(n: u64) -> HostRegion {
-    HostRegion { addr: HostAddr(0x10_0000 * n), len: 1 << 20 }
+    HostRegion {
+        addr: HostAddr(0x10_0000 * n),
+        len: 1 << 20,
+    }
 }
 
 fn bench_predictor_repetitive(c: &mut Criterion) {

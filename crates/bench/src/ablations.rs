@@ -118,17 +118,21 @@ pub fn run_slack_sweep() -> Table {
             iv_slack: slack,
             ..PipeLlmConfig::default()
         });
-        let layers: Vec<_> =
-            (0..2).map(|_| rt.alloc_host(Payload::virtual_of(CHUNK))).collect();
+        let layers: Vec<_> = (0..2)
+            .map(|_| rt.alloc_host(Payload::virtual_of(CHUNK)))
+            .collect();
         let token_buf = rt.alloc_host(Payload::virtual_of(64));
         let token_dev = rt.alloc_device(64).expect("capacity");
-        let staging: Vec<_> =
-            (0..2).map(|_| rt.alloc_device(CHUNK).expect("capacity")).collect();
+        let staging: Vec<_> = (0..2)
+            .map(|_| rt.alloc_device(CHUNK).expect("capacity"))
+            .collect();
         let mut now = SimTime::ZERO;
         for _iter in 0..40 {
             for (slot, layer) in staging.iter().zip(&layers) {
                 // A small token transfer sneaks in before each swap.
-                now = rt.memcpy_htod(now, token_dev, token_buf).expect("small transfer");
+                now = rt
+                    .memcpy_htod(now, token_dev, token_buf)
+                    .expect("small transfer");
                 now = rt.memcpy_htod(now, *slot, *layer).expect("swap transfer");
                 now = rt.synchronize(now);
                 now = rt.launch_compute(now, std::time::Duration::from_micros(700));
@@ -168,7 +172,11 @@ pub fn run_reuse_tradeoff(scale: Scale) -> Table {
     };
     push("w/o CC", "none", System::cc_off().build(H100_BYTES));
     push("CC", "replay-safe", System::cc().build(H100_BYTES));
-    push("PipeLLM", "replay-safe", System::pipellm(8).build(H100_BYTES));
+    push(
+        "PipeLLM",
+        "replay-safe",
+        System::pipellm(8).build(H100_BYTES),
+    );
     push(
         "Reuse",
         "REPLAYABLE",
@@ -197,9 +205,11 @@ pub fn run_swap_policy(scale: Scale) -> Table {
                 .seed(0xf00)
                 .generate();
             let rt = system.build(H100_BYTES);
-            let config = VllmConfig { policy, ..VllmConfig::new(ModelSpec::opt_30b()) };
-            let mut engine = VllmEngine::load(rt, config, "policy ablation")
-                .expect("model fits");
+            let config = VllmConfig {
+                policy,
+                ..VllmConfig::new(ModelSpec::opt_30b())
+            };
+            let mut engine = VllmEngine::load(rt, config, "policy ablation").expect("model fits");
             let report = engine.serve(&trace).expect("serve");
             table.push(vec![
                 policy.to_string(),
@@ -264,8 +274,16 @@ mod tests {
 
     #[test]
     fn more_threads_do_not_hurt_flexgen() {
-        let one = run_flexgen(&System::pipellm(1), FlexGenConfig::opt_66b(32, 8), Scale::Quick);
-        let eight = run_flexgen(&System::pipellm(8), FlexGenConfig::opt_66b(32, 8), Scale::Quick);
+        let one = run_flexgen(
+            &System::pipellm(1),
+            FlexGenConfig::opt_66b(32, 8),
+            Scale::Quick,
+        );
+        let eight = run_flexgen(
+            &System::pipellm(8),
+            FlexGenConfig::opt_66b(32, 8),
+            Scale::Quick,
+        );
         assert!(
             eight.tokens_per_sec >= one.tokens_per_sec,
             "8t {:.2} vs 1t {:.2}",
@@ -286,7 +304,10 @@ mod tests {
             success[1] > success[0] + 5.0,
             "bigram context must improve on the fwd+bwd walk: {success:?}"
         );
-        assert!(success[2] >= success[1] - 5.0, "deeper context must not regress: {success:?}");
+        assert!(
+            success[2] >= success[1] - 5.0,
+            "deeper context must not regress: {success:?}"
+        );
     }
 
     #[test]
@@ -294,11 +315,15 @@ mod tests {
         // The §8.2 argument: the insecure design's win over PipeLLM is
         // modest because PipeLLM already hides almost all encryption.
         let t = run_reuse_tradeoff(Scale::Quick);
-        let tok = |row: &str| -> f64 { t.cell(row, "tokens/s").expect("row").parse().expect("f64") };
+        let tok =
+            |row: &str| -> f64 { t.cell(row, "tokens/s").expect("row").parse().expect("f64") };
         let off = tok("w/o CC");
         let pipellm = tok("PipeLLM");
         let reuse = tok("Reuse");
-        assert!(reuse >= pipellm * 0.98, "reuse {reuse:.1} ≥ PipeLLM {pipellm:.1}");
+        assert!(
+            reuse >= pipellm * 0.98,
+            "reuse {reuse:.1} ≥ PipeLLM {pipellm:.1}"
+        );
         assert!(
             reuse - pipellm < (off - pipellm) * 1.2,
             "the reuse win stays within the staging-bound residual:              off {off:.1} pipellm {pipellm:.1} reuse {reuse:.1}"
@@ -317,8 +342,15 @@ mod tests {
                 .map(|r| (r[1].clone(), r[2].parse::<f64>().expect("latency")))
                 .collect();
             let cc = rows.iter().find(|(s, _)| s == "CC").expect("CC row").1;
-            let pipe = rows.iter().find(|(s, _)| s == "PipeLLM").expect("PipeLLM row").1;
-            assert!(pipe < cc, "{policy}: PipeLLM {pipe:.4} must beat CC {cc:.4}");
+            let pipe = rows
+                .iter()
+                .find(|(s, _)| s == "PipeLLM")
+                .expect("PipeLLM row")
+                .1;
+            assert!(
+                pipe < cc,
+                "{policy}: PipeLLM {pipe:.4} must beat CC {cc:.4}"
+            );
         }
     }
 

@@ -4,7 +4,11 @@
 
 fn main() {
     let scale = pipellm_bench::scale_from_args();
-    let reps = if std::env::args().any(|a| a == "--paper") { 10_000 } else { 256 };
+    let reps = if std::env::args().any(|a| a == "--paper") {
+        10_000
+    } else {
+        256
+    };
     println!("{}", pipellm_bench::fig02::run(reps));
     for table in pipellm_bench::fig03::run(scale) {
         println!("{table}");

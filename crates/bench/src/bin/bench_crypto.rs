@@ -1,0 +1,95 @@
+//! Machine-readable crypto benchmark: measures AES-GCM seal/open
+//! throughput at the transfer sizes the serving engines move and writes
+//! `BENCH_crypto.json`, so successive PRs can track the hot path's
+//! trajectory without parsing criterion output.
+//!
+//! Three variants per size:
+//!
+//! - `seal_hw` / `open_hw` — the dispatched hot path (AES-NI + PCLMULQDQ
+//!   where available, otherwise identical to `seal_soft`);
+//! - `seal_soft` — the portable four-T-table AES + 8-bit-table GHASH path;
+//! - `seal_baseline` — the retained single-block reference the fast paths
+//!   are measured against (the seed's per-block CTR walk).
+//!
+//! Usage: `cargo run --release -p pipellm-bench --bin bench_crypto [out.json]`
+
+use pipellm_crypto::gcm::AesGcm;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZES: [usize; 4] = [4 << 10, 64 << 10, 1 << 20, 16 << 20];
+
+/// Median MiB/s over enough iterations to fill ~0.3 s of wall clock.
+fn throughput_mib_s(bytes: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..2 {
+        f();
+    }
+    let mut iters = 1u32;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed > 0.3 {
+            let per_iter = elapsed / f64::from(iters);
+            return bytes as f64 / per_iter / (1 << 20) as f64;
+        }
+        iters = iters.saturating_mul(4);
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_crypto.json".to_string());
+    let gcm = AesGcm::new(&[7u8; 32]).expect("32-byte key");
+    let soft = AesGcm::new(&[7u8; 32])
+        .expect("32-byte key")
+        .software_only();
+    let nonce = [9u8; 12];
+
+    let mut rows = String::new();
+    for (i, &size) in SIZES.iter().enumerate() {
+        let pt = vec![0xabu8; size];
+        let mut buf = pt.clone();
+        let seal_hw = throughput_mib_s(size, || {
+            black_box(gcm.seal_in_place(&nonce, b"", &mut buf));
+        });
+        let sealed = gcm.seal(&nonce, b"", &pt);
+        let open_hw = throughput_mib_s(size, || {
+            black_box(gcm.open(&nonce, b"", &sealed).expect("authentic"));
+        });
+        let seal_soft = throughput_mib_s(size, || {
+            black_box(soft.seal(&nonce, b"", &pt));
+        });
+        let seal_baseline = throughput_mib_s(size, || {
+            black_box(soft.seal_reference(&nonce, b"", &pt));
+        });
+        let speedup_hw = seal_hw / seal_baseline;
+        let speedup_soft = seal_soft / seal_baseline;
+        println!(
+            "{size:>9} B  seal_hw {seal_hw:8.1} MiB/s  open_hw {open_hw:8.1} MiB/s  \
+             seal_soft {seal_soft:7.1} MiB/s  baseline {seal_baseline:7.1} MiB/s  \
+             ({speedup_hw:.1}x / {speedup_soft:.2}x over baseline)"
+        );
+        let comma = if i + 1 < SIZES.len() { "," } else { "" };
+        writeln!(
+            rows,
+            "    {{\"size_bytes\": {size}, \"seal_hw_mib_s\": {seal_hw:.1}, \
+             \"open_hw_mib_s\": {open_hw:.1}, \"seal_soft_mib_s\": {seal_soft:.1}, \
+             \"seal_baseline_mib_s\": {seal_baseline:.1}, \
+             \"seal_speedup_vs_baseline\": {speedup_hw:.2}}}{comma}"
+        )
+        .expect("string write");
+    }
+
+    let hw = pipellm_crypto::hw::aes_available() && pipellm_crypto::hw::clmul_available();
+    let json = format!(
+        "{{\n  \"bench\": \"crypto\",\n  \"unit\": \"MiB/s\",\n  \
+         \"hardware_accelerated\": {hw},\n  \"results\": [\n{rows}  ]\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -1,6 +1,10 @@
 //! Regenerates Figure 2: the H2D memcpy microbenchmark.
 
 fn main() {
-    let reps = if std::env::args().any(|a| a == "--paper") { 10_000 } else { 256 };
+    let reps = if std::env::args().any(|a| a == "--paper") {
+        10_000
+    } else {
+        256
+    };
     println!("{}", pipellm_bench::fig02::run(reps));
 }

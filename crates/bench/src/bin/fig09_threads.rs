@@ -1,5 +1,8 @@
 //! Regenerates Figure 9: trivial multi-threading vs pipelining.
 
 fn main() {
-    println!("{}", pipellm_bench::fig09::run(pipellm_bench::scale_from_args()));
+    println!(
+        "{}",
+        pipellm_bench::fig09::run(pipellm_bench::scale_from_args())
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates Figure 10: the prediction-success-rate ablation.
 
 fn main() {
-    println!("{}", pipellm_bench::fig10::run(pipellm_bench::scale_from_args()));
+    println!(
+        "{}",
+        pipellm_bench::fig10::run(pipellm_bench::scale_from_args())
+    );
 }

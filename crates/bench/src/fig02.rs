@@ -36,7 +36,11 @@ pub struct MicroRow {
 }
 
 fn context(cc: CcMode) -> CudaContext {
-    CudaContext::new(ContextConfig { cc, device_capacity: 1 << 40, ..ContextConfig::default() })
+    CudaContext::new(ContextConfig {
+        cc,
+        device_capacity: 1 << 40,
+        ..ContextConfig::default()
+    })
 }
 
 /// Measures one mode at one size with `reps` back-to-back transfers.
@@ -49,7 +53,9 @@ pub fn measure(cc: CcMode, bytes: u64, reps: u32) -> MicroRow {
     // invocation to the return of the host-to-device CUDA API"; with CC on
     // that includes the coupled encryption, with CC off it is the fixed
     // enqueue/doorbell cost (we report the per-op link latency).
-    let timing = ctx.memcpy_htod_async(SimTime::ZERO, dst, src).expect("valid transfer");
+    let timing = ctx
+        .memcpy_htod_async(SimTime::ZERO, dst, src)
+        .expect("valid transfer");
     let latency = match cc {
         CcMode::Off => ctx.timing().pcie_latency,
         CcMode::On => timing
@@ -64,7 +70,9 @@ pub fn measure(cc: CcMode, bytes: u64, reps: u32) -> MicroRow {
     let dst = ctx.alloc_device(bytes).expect("capacity is ample");
     let mut now = SimTime::ZERO;
     for _ in 0..reps {
-        let t = ctx.memcpy_htod_async(now, dst, src).expect("valid transfer");
+        let t = ctx
+            .memcpy_htod_async(now, dst, src)
+            .expect("valid transfer");
         now = t.api_return;
     }
     let done = ctx.synchronize(now);
@@ -136,8 +144,16 @@ mod tests {
         let ratio = off.throughput_gbps / on.throughput_gbps;
         assert!((5.0..20.0).contains(&ratio), "ratio {ratio:.1}");
         // Ballpark the paper's absolute numbers.
-        assert!((40.0..70.0).contains(&off.throughput_gbps), "{}", off.throughput_gbps);
-        assert!((3.0..9.0).contains(&on.throughput_gbps), "{}", on.throughput_gbps);
+        assert!(
+            (40.0..70.0).contains(&off.throughput_gbps),
+            "{}",
+            off.throughput_gbps
+        );
+        assert!(
+            (3.0..9.0).contains(&on.throughput_gbps),
+            "{}",
+            on.throughput_gbps
+        );
     }
 
     #[test]

@@ -25,7 +25,14 @@ pub fn run_flexgen(scale: Scale) -> Table {
     // Only the OPT-66B rows belong to Figure 3a; retitle for clarity.
     let mut out = Table::new(
         "Figure 3a: FlexGen OPT-66B throughput, CC vs w/o CC",
-        &["case", "system", "tokens/s", "overhead vs w/o CC", "stall", "nops"],
+        &[
+            "case",
+            "system",
+            "tokens/s",
+            "overhead vs w/o CC",
+            "stall",
+            "nops",
+        ],
     );
     for row in full.rows().iter().filter(|r| r[0].starts_with("OPT-66B")) {
         out.push(row.clone());
@@ -41,9 +48,7 @@ pub fn run_vllm(scale: Scale) -> Table {
         rates: vec![0.5, 2.0, 4.0, 6.0, 8.0],
     };
     let mut table = fig08::run_panel(&ModelSpec::opt_30b(), &panel, &baseline_systems(), scale);
-    table.set_title(
-        "Figure 3b: vLLM OPT-30B Alpaca p=6 — normalized latency, CC vs w/o CC",
-    );
+    table.set_title("Figure 3b: vLLM OPT-30B Alpaca p=6 — normalized latency, CC vs w/o CC");
     table
 }
 

@@ -18,7 +18,11 @@ pub const OFFLOAD_THREADS: usize = 8;
 
 /// The systems compared in Figure 7.
 pub fn default_systems() -> Vec<System> {
-    vec![System::cc_off(), System::cc(), System::pipellm(OFFLOAD_THREADS)]
+    vec![
+        System::cc_off(),
+        System::cc(),
+        System::pipellm(OFFLOAD_THREADS),
+    ]
 }
 
 /// FlexGen panel (7a: OPT-66B, 7b: OPT-175B-int4), one row per
@@ -26,11 +30,20 @@ pub fn default_systems() -> Vec<System> {
 pub fn run_flexgen_panel(systems: &[System], scale: Scale) -> Table {
     let mut table = Table::new(
         "Figure 7a/7b: FlexGen throughput with model offloading (tokens/s)",
-        &["case", "system", "tokens/s", "overhead vs w/o CC", "stall", "nops"],
+        &[
+            "case",
+            "system",
+            "tokens/s",
+            "overhead vs w/o CC",
+            "stall",
+            "nops",
+        ],
     );
     type ConfigFn = fn(u32, u32) -> FlexGenConfig;
-    let cases: [(&str, ConfigFn); 2] =
-        [("OPT-66B", FlexGenConfig::opt_66b), ("OPT-175B-int4", FlexGenConfig::opt_175b_int4)];
+    let cases: [(&str, ConfigFn); 2] = [
+        ("OPT-66B", FlexGenConfig::opt_66b),
+        ("OPT-175B-int4", FlexGenConfig::opt_175b_int4),
+    ];
     for (model_name, make) in cases {
         for (prompt, output) in [(32, 128), (256, 32)] {
             let mut baseline = 0.0;
@@ -81,7 +94,10 @@ pub fn run_peft_panel(systems: &[System], scale: Scale) -> Table {
 /// Both panels with the default three systems.
 pub fn run(scale: Scale) -> Vec<Table> {
     let systems = default_systems();
-    vec![run_flexgen_panel(&systems, scale), run_peft_panel(&systems, scale)]
+    vec![
+        run_flexgen_panel(&systems, scale),
+        run_peft_panel(&systems, scale),
+    ]
 }
 
 #[cfg(test)]
@@ -101,20 +117,33 @@ mod tests {
         let cc_drop = overhead_pct(off, cc);
         let pipe_drop = overhead_pct(off, pipellm);
         assert!(cc_drop > 60.0, "CC drop {cc_drop:.1}% (paper: 82.8-88.2%)");
-        assert!(pipe_drop < 25.0, "PipeLLM drop {pipe_drop:.1}% (paper: <19.6%)");
-        assert!(pipellm > cc * 2.0, "PipeLLM well above CC: {pipellm:.1} vs {cc:.1}");
+        assert!(
+            pipe_drop < 25.0,
+            "PipeLLM drop {pipe_drop:.1}% (paper: <19.6%)"
+        );
+        assert!(
+            pipellm > cc * 2.0,
+            "PipeLLM well above CC: {pipellm:.1} vs {cc:.1}"
+        );
     }
 
     #[test]
     fn peft_shape_matches_paper() {
         let off = run_peft(&System::cc_off(), ModelSpec::opt_30b(), Scale::Quick, 1);
         let cc = run_peft(&System::cc(), ModelSpec::opt_30b(), Scale::Quick, 1);
-        let pipellm =
-            run_peft(&System::pipellm(OFFLOAD_THREADS), ModelSpec::opt_30b(), Scale::Quick, 1);
+        let pipellm = run_peft(
+            &System::pipellm(OFFLOAD_THREADS),
+            ModelSpec::opt_30b(),
+            Scale::Quick,
+            1,
+        );
         let cc_drop = overhead_pct(off.sequences_per_sec, cc.sequences_per_sec);
         let pipe_drop = overhead_pct(off.sequences_per_sec, pipellm.sequences_per_sec);
         assert!(cc_drop > 10.0, "CC drop {cc_drop:.1}% (paper: 36.2%)");
-        assert!(pipe_drop < cc_drop, "PipeLLM {pipe_drop:.1}% below CC {cc_drop:.1}%");
+        assert!(
+            pipe_drop < cc_drop,
+            "PipeLLM {pipe_drop:.1}% below CC {cc_drop:.1}%"
+        );
     }
 
     #[test]
@@ -127,6 +156,9 @@ mod tests {
         let cc13 = run_peft(&System::cc(), ModelSpec::opt_13b(), Scale::Quick, 2);
         let drop30 = overhead_pct(off30.sequences_per_sec, cc30.sequences_per_sec);
         let drop13 = overhead_pct(off13.sequences_per_sec, cc13.sequences_per_sec);
-        assert!(drop13 < drop30, "13B drop {drop13:.1}% < 30B drop {drop30:.1}%");
+        assert!(
+            drop13 < drop30,
+            "13B drop {drop13:.1}% < 30B drop {drop30:.1}%"
+        );
     }
 }

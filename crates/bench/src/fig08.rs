@@ -32,18 +32,46 @@ pub struct Panel {
 /// The paper's six panels with x-axis ranges read off Figure 8.
 pub fn paper_panels() -> Vec<Panel> {
     vec![
-        Panel { dataset: Dataset::Alpaca, parallel: 2, rates: vec![1.0, 5.0, 10.0, 15.0, 20.0, 25.0] },
-        Panel { dataset: Dataset::Alpaca, parallel: 4, rates: vec![1.0, 3.0, 6.0, 9.0, 12.0, 14.0] },
-        Panel { dataset: Dataset::Alpaca, parallel: 6, rates: vec![0.5, 2.0, 4.0, 6.0, 8.0] },
-        Panel { dataset: Dataset::ShareGpt, parallel: 2, rates: vec![0.25, 0.5, 1.0, 1.5, 2.0] },
-        Panel { dataset: Dataset::ShareGpt, parallel: 4, rates: vec![0.15, 0.3, 0.6, 0.9, 1.2] },
-        Panel { dataset: Dataset::ShareGpt, parallel: 6, rates: vec![0.1, 0.2, 0.4, 0.6, 0.8] },
+        Panel {
+            dataset: Dataset::Alpaca,
+            parallel: 2,
+            rates: vec![1.0, 5.0, 10.0, 15.0, 20.0, 25.0],
+        },
+        Panel {
+            dataset: Dataset::Alpaca,
+            parallel: 4,
+            rates: vec![1.0, 3.0, 6.0, 9.0, 12.0, 14.0],
+        },
+        Panel {
+            dataset: Dataset::Alpaca,
+            parallel: 6,
+            rates: vec![0.5, 2.0, 4.0, 6.0, 8.0],
+        },
+        Panel {
+            dataset: Dataset::ShareGpt,
+            parallel: 2,
+            rates: vec![0.25, 0.5, 1.0, 1.5, 2.0],
+        },
+        Panel {
+            dataset: Dataset::ShareGpt,
+            parallel: 4,
+            rates: vec![0.15, 0.3, 0.6, 0.9, 1.2],
+        },
+        Panel {
+            dataset: Dataset::ShareGpt,
+            parallel: 6,
+            rates: vec![0.1, 0.2, 0.4, 0.6, 0.8],
+        },
     ]
 }
 
 /// The systems compared in Figure 8.
 pub fn default_systems() -> Vec<System> {
-    vec![System::cc_off(), System::cc(), System::pipellm(SERVING_THREADS)]
+    vec![
+        System::cc_off(),
+        System::cc(),
+        System::pipellm(SERVING_THREADS),
+    ]
 }
 
 /// Runs one panel; rows are (rate, one latency column per system).
@@ -81,14 +109,25 @@ pub fn run_one(
 ) -> ServingReport {
     // Seed per panel so all systems see the identical trace.
     let seed = 0xf1_80 + panel.parallel as u64 * 131 + (rate * 1000.0) as u64;
-    run_vllm(system, model.clone(), panel.dataset, rate, panel.parallel, scale, seed)
+    run_vllm(
+        system,
+        model.clone(),
+        panel.dataset,
+        rate,
+        panel.parallel,
+        scale,
+        seed,
+    )
 }
 
 /// All six OPT-30B panels with the default systems.
 pub fn run(scale: Scale) -> Vec<Table> {
     let model = ModelSpec::opt_30b();
     let systems = default_systems();
-    paper_panels().iter().map(|p| run_panel(&model, p, &systems, scale)).collect()
+    paper_panels()
+        .iter()
+        .map(|p| run_panel(&model, p, &systems, scale))
+        .collect()
 }
 
 #[cfg(test)]
@@ -96,7 +135,11 @@ mod tests {
     use super::*;
 
     fn panel(dataset: Dataset, parallel: u32) -> Panel {
-        Panel { dataset, parallel, rates: vec![] }
+        Panel {
+            dataset,
+            parallel,
+            rates: vec![],
+        }
     }
 
     #[test]
@@ -108,7 +151,13 @@ mod tests {
         let rate = 0.8;
         let off = run_one(&System::cc_off(), &model, &p, rate, Scale::Quick);
         let cc = run_one(&System::cc(), &model, &p, rate, Scale::Quick);
-        let pipe = run_one(&System::pipellm(SERVING_THREADS), &model, &p, rate, Scale::Quick);
+        let pipe = run_one(
+            &System::pipellm(SERVING_THREADS),
+            &model,
+            &p,
+            rate,
+            Scale::Quick,
+        );
         assert!(
             cc.norm_latency_s_per_token > pipe.norm_latency_s_per_token,
             "CC {:.4} must exceed PipeLLM {:.4}",
@@ -132,7 +181,10 @@ mod tests {
         let off = run_one(&System::cc_off(), &model, &p, 0.5, Scale::Quick);
         let cc = run_one(&System::cc(), &model, &p, 0.5, Scale::Quick);
         let ratio = cc.norm_latency_s_per_token / off.norm_latency_s_per_token.max(1e-12);
-        assert!(ratio < 1.3, "no-pressure overhead must be small, got {ratio:.2}x");
+        assert!(
+            ratio < 1.3,
+            "no-pressure overhead must be small, got {ratio:.2}x"
+        );
     }
 
     #[test]
@@ -142,9 +194,21 @@ mod tests {
         // rates where OPT-30B collapses.
         let p = panel(Dataset::ShareGpt, 6);
         let rate = 0.8;
-        let off30 = run_one(&System::cc_off(), &ModelSpec::opt_30b(), &p, rate, Scale::Quick);
+        let off30 = run_one(
+            &System::cc_off(),
+            &ModelSpec::opt_30b(),
+            &p,
+            rate,
+            Scale::Quick,
+        );
         let cc30 = run_one(&System::cc(), &ModelSpec::opt_30b(), &p, rate, Scale::Quick);
-        let off13 = run_one(&System::cc_off(), &ModelSpec::opt_13b(), &p, rate, Scale::Quick);
+        let off13 = run_one(
+            &System::cc_off(),
+            &ModelSpec::opt_13b(),
+            &p,
+            rate,
+            Scale::Quick,
+        );
         let cc13 = run_one(&System::cc(), &ModelSpec::opt_13b(), &p, rate, Scale::Quick);
         let ratio30 = cc30.norm_latency_s_per_token / off30.norm_latency_s_per_token;
         let ratio13 = cc13.norm_latency_s_per_token / off13.norm_latency_s_per_token;
@@ -162,7 +226,13 @@ mod tests {
         // swapping in vLLM, because vLLM takes LIFO as its swap policy."
         let model = ModelSpec::opt_30b();
         let p = panel(Dataset::ShareGpt, 6);
-        let report = run_one(&System::pipellm(SERVING_THREADS), &model, &p, 0.8, Scale::Quick);
+        let report = run_one(
+            &System::pipellm(SERVING_THREADS),
+            &model,
+            &p,
+            0.8,
+            Scale::Quick,
+        );
         assert!(report.preemptions > 0, "the point of the test is swapping");
         // Success shows up as few NOPs relative to swap-ins.
         assert!(

@@ -17,12 +17,21 @@ use pipellm_workloads::Dataset;
 /// The systems of Figure 9: the two baselines, brute-force CC-4t, and
 /// PipeLLM with half the threads.
 pub fn default_systems() -> Vec<System> {
-    vec![System::cc_off(), System::cc(), System::cc_threads(4), System::pipellm(SERVING_THREADS)]
+    vec![
+        System::cc_off(),
+        System::cc(),
+        System::cc_threads(4),
+        System::pipellm(SERVING_THREADS),
+    ]
 }
 
 /// The Figure 9 panel (Alpaca, parallel 6).
 pub fn panel() -> Panel {
-    Panel { dataset: Dataset::Alpaca, parallel: 6, rates: vec![0.5, 2.0, 4.0, 6.0, 8.0] }
+    Panel {
+        dataset: Dataset::Alpaca,
+        parallel: 6,
+        rates: vec![0.5, 2.0, 4.0, 6.0, 8.0],
+    }
 }
 
 /// Runs the thread-count comparison.
@@ -57,10 +66,20 @@ mod tests {
         // At a saturated operating point (past the paper's Figure 9 knee)
         // PipeLLM with 2 threads must still beat CC with 4.
         let model = ModelSpec::opt_30b();
-        let p = Panel { dataset: Dataset::Alpaca, parallel: 2, rates: vec![] };
+        let p = Panel {
+            dataset: Dataset::Alpaca,
+            parallel: 2,
+            rates: vec![],
+        };
         let rate = 25.0;
         let cc4 = run_one(&System::cc_threads(4), &model, &p, rate, Scale::Quick);
-        let pipe = run_one(&System::pipellm(SERVING_THREADS), &model, &p, rate, Scale::Quick);
+        let pipe = run_one(
+            &System::pipellm(SERVING_THREADS),
+            &model,
+            &p,
+            rate,
+            Scale::Quick,
+        );
         assert!(
             pipe.norm_latency_s_per_token < cc4.norm_latency_s_per_token,
             "PipeLLM(2t) {:.4} must beat CC-4t {:.4}",

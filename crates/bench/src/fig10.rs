@@ -26,7 +26,11 @@ pub fn default_systems() -> Vec<System> {
 
 /// The Figure 10 panel (Alpaca, parallel 2).
 pub fn panel() -> Panel {
-    Panel { dataset: Dataset::Alpaca, parallel: 2, rates: vec![1.0, 5.0, 10.0, 15.0, 20.0, 25.0] }
+    Panel {
+        dataset: Dataset::Alpaca,
+        parallel: 2,
+        rates: vec![1.0, 5.0, 10.0, 15.0, 20.0, 25.0],
+    }
 }
 
 /// Runs the success-rate ablation.
@@ -60,11 +64,27 @@ mod tests {
     fn zero_success_costs_little_and_stays_below_cc() {
         // Run at a point with real KV pressure so the systems separate.
         let model = ModelSpec::opt_30b();
-        let p = Panel { dataset: Dataset::ShareGpt, parallel: 6, rates: vec![] };
+        let p = Panel {
+            dataset: Dataset::ShareGpt,
+            parallel: 6,
+            rates: vec![],
+        };
         let rate = 0.8;
         let cc = run_one(&System::cc(), &model, &p, rate, Scale::Quick);
-        let pipe = run_one(&System::pipellm(SERVING_THREADS), &model, &p, rate, Scale::Quick);
-        let zero = run_one(&System::pipellm_zero(SERVING_THREADS), &model, &p, rate, Scale::Quick);
+        let pipe = run_one(
+            &System::pipellm(SERVING_THREADS),
+            &model,
+            &p,
+            rate,
+            Scale::Quick,
+        );
+        let zero = run_one(
+            &System::pipellm_zero(SERVING_THREADS),
+            &model,
+            &p,
+            rate,
+            Scale::Quick,
+        );
         assert!(
             zero.norm_latency_s_per_token < cc.norm_latency_s_per_token,
             "PipeLLM-0 {:.4} must still beat CC {:.4}",
@@ -84,11 +104,30 @@ mod tests {
     #[test]
     fn zero_success_pays_in_nops() {
         let model = ModelSpec::opt_30b();
-        let p = Panel { dataset: Dataset::ShareGpt, parallel: 6, rates: vec![] };
+        let p = Panel {
+            dataset: Dataset::ShareGpt,
+            parallel: 6,
+            rates: vec![],
+        };
         let rate = 0.8;
-        let pipe = run_one(&System::pipellm(SERVING_THREADS), &model, &p, rate, Scale::Quick);
-        let zero = run_one(&System::pipellm_zero(SERVING_THREADS), &model, &p, rate, Scale::Quick);
-        assert!(zero.preemptions > 0, "swapping must occur for the ablation to bite");
+        let pipe = run_one(
+            &System::pipellm(SERVING_THREADS),
+            &model,
+            &p,
+            rate,
+            Scale::Quick,
+        );
+        let zero = run_one(
+            &System::pipellm_zero(SERVING_THREADS),
+            &model,
+            &p,
+            rate,
+            Scale::Quick,
+        );
+        assert!(
+            zero.preemptions > 0,
+            "swapping must occur for the ablation to bite"
+        );
         assert!(
             zero.io.nops > pipe.io.nops,
             "forced mispredictions must pad more NOPs: {} vs {}",

@@ -10,13 +10,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ablations;
 pub mod fig02;
 pub mod fig03;
 pub mod fig07;
 pub mod fig08;
 pub mod fig09;
 pub mod fig10;
-pub mod ablations;
 pub mod runners;
 pub mod systems;
 pub mod table;

@@ -80,7 +80,11 @@ pub fn run_vllm(
         .seed(seed)
         .generate();
     let rt = system.build(H100_BYTES);
-    let label = format!("vLLM {} {} p={parallel} {rate_rps}r/s", model.name, dataset.name());
+    let label = format!(
+        "vLLM {} {} p={parallel} {rate_rps}r/s",
+        model.name,
+        dataset.name()
+    );
     let mut engine =
         VllmEngine::load(rt, VllmConfig::new(model), label).expect("model fits on the GPU");
     let mut report = engine.serve(&trace).expect("vLLM serve cannot fail");
@@ -92,8 +96,7 @@ pub fn run_vllm(
 pub fn run_peft(system: &System, model: ModelSpec, scale: Scale, seed: u64) -> ServingReport {
     let samples = ultrachat_like(scale.peft_samples(), seed);
     let rt = system.build(H100_BYTES);
-    let mut engine =
-        PeftEngine::load(rt, PeftConfig::new(model)).expect("PEFT config must load");
+    let mut engine = PeftEngine::load(rt, PeftConfig::new(model)).expect("PEFT config must load");
     let mut report = engine.train(&samples).expect("PEFT train cannot fail");
     report.system = system.label();
     report

@@ -46,12 +46,18 @@ impl System {
     /// PipeLLM with `threads` crypto workers (2 for vLLM, more for
     /// offloading-heavy workloads, per §7.1).
     pub fn pipellm(threads: usize) -> Self {
-        System::PipeLlm { threads, failure_mode: SpecFailureMode::Accurate }
+        System::PipeLlm {
+            threads,
+            failure_mode: SpecFailureMode::Accurate,
+        }
     }
 
     /// PipeLLM with forced 0% sequence-prediction success ("PipeLLM-0").
     pub fn pipellm_zero(threads: usize) -> Self {
-        System::PipeLlm { threads, failure_mode: SpecFailureMode::WrongOrder }
+        System::PipeLlm {
+            threads,
+            failure_mode: SpecFailureMode::WrongOrder,
+        }
     }
 
     /// Display label matching the paper's legends.
@@ -60,9 +66,10 @@ impl System {
             System::CcOff => "w/o CC".to_string(),
             System::Cc { threads: 1 } => "CC".to_string(),
             System::Cc { threads } => format!("CC-{threads}t"),
-            System::PipeLlm { failure_mode: SpecFailureMode::WrongOrder, .. } => {
-                "PipeLLM-0".to_string()
-            }
+            System::PipeLlm {
+                failure_mode: SpecFailureMode::WrongOrder,
+                ..
+            } => "PipeLLM-0".to_string(),
             System::PipeLlm { .. } => "PipeLLM".to_string(),
         }
     }
@@ -74,7 +81,10 @@ impl System {
         match *self {
             System::CcOff => Box::new(CcOffRuntime::new(timing, capacity, 1)),
             System::Cc { threads } => Box::new(CcNativeRuntime::new(timing, capacity, threads)),
-            System::PipeLlm { threads, failure_mode } => {
+            System::PipeLlm {
+                threads,
+                failure_mode,
+            } => {
                 Box::new(PipeLlmRuntime::new(PipeLlmConfig {
                     timing,
                     device_capacity: capacity,

@@ -131,6 +131,9 @@ mod tests {
     fn overhead_math() {
         assert!((overhead_pct(100.0, 80.0) - 20.0).abs() < 1e-9);
         assert_eq!(overhead_pct(0.0, 10.0), 0.0);
-        assert!(overhead_pct(50.0, 60.0) < 0.0, "speedups are negative overhead");
+        assert!(
+            overhead_pct(50.0, 60.0) < 0.0,
+            "speedups are negative overhead"
+        );
     }
 }

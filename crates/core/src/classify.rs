@@ -116,7 +116,10 @@ mod tests {
         let mut c = SizeClassifier::new();
         let layer = 2_038_460_416u64; // ≈ OPT-66B layer
         c.register_model(layer, 2_359_296);
-        assert_eq!(c.classify(layer), TransferClass::Swap(SwapKind::ModelWeights));
+        assert_eq!(
+            c.classify(layer),
+            TransferClass::Swap(SwapKind::ModelWeights)
+        );
         // 1% off still matches.
         assert_eq!(
             c.classify(layer + layer / 100),
@@ -134,8 +137,14 @@ mod tests {
         let mut c = SizeClassifier::new();
         let per_token = 1_376_256u64; // ≈ OPT-30B KV bytes/token
         c.register_model(1_233_155_072, per_token);
-        assert_eq!(c.classify(per_token * 160), TransferClass::Swap(SwapKind::KvCache));
-        assert_eq!(c.classify(per_token * 160 + 7), TransferClass::Swap(SwapKind::Unknown));
+        assert_eq!(
+            c.classify(per_token * 160),
+            TransferClass::Swap(SwapKind::KvCache)
+        );
+        assert_eq!(
+            c.classify(per_token * 160 + 7),
+            TransferClass::Swap(SwapKind::Unknown)
+        );
     }
 
     #[test]

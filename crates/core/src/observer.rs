@@ -154,7 +154,10 @@ mod tests {
             good.nops_per_swap,
             bad.nops_per_swap
         );
-        assert!(bad.nop_bursts > good.nop_bursts, "good {good:?} bad {bad:?}");
+        assert!(
+            bad.nop_bursts > good.nop_bursts,
+            "good {good:?} bad {bad:?}"
+        );
     }
 
     #[test]

@@ -40,6 +40,16 @@ pub struct SpecEntry {
     pub valid: bool,
 }
 
+impl SpecEntry {
+    /// Consumes the entry, returning its ciphertext buffer for reuse in
+    /// the runtime's staging pool (see `PipeLlmRuntime`): committed,
+    /// pruned, and relinquished entries all hand their allocation to the
+    /// next speculative seal.
+    pub fn into_ciphertext_buffer(self) -> Vec<u8> {
+        self.sealed.into_bytes()
+    }
+}
+
 /// IV-ordered queue of speculative ciphertext.
 #[derive(Debug, Default)]
 pub struct SpeculationQueue {
@@ -83,7 +93,10 @@ impl SpeculationQueue {
     /// Panics if the entry's IV does not exceed the queue tail's.
     pub fn push(&mut self, entry: SpecEntry) {
         if let Some(back) = self.entries.back() {
-            assert!(entry.iv > back.iv, "speculative IVs must be strictly increasing");
+            assert!(
+                entry.iv > back.iv,
+                "speculative IVs must be strictly increasing"
+            );
         }
         self.entries.push_back(entry);
     }
@@ -91,7 +104,11 @@ impl SpeculationQueue {
     /// Chunks currently queued (for predictor exclusion), valid entries
     /// only.
     pub fn queued_chunks(&self) -> Vec<HostRegion> {
-        self.entries.iter().filter(|e| e.valid).map(|e| e.chunk).collect()
+        self.entries
+            .iter()
+            .filter(|e| e.valid)
+            .map(|e| e.chunk)
+            .collect()
     }
 
     /// Finds the earliest valid entry for `chunk`.
@@ -101,7 +118,10 @@ impl SpeculationQueue {
 
     /// Removes and returns the earliest valid entry for `chunk`.
     pub fn take(&mut self, chunk: &HostRegion) -> Option<SpecEntry> {
-        let idx = self.entries.iter().position(|e| e.valid && &e.chunk == chunk)?;
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.valid && &e.chunk == chunk)?;
         self.entries.remove(idx)
     }
 
@@ -156,7 +176,10 @@ mod tests {
     use pipellm_gpu::memory::HostAddr;
 
     fn chunk(n: u64) -> HostRegion {
-        HostRegion { addr: HostAddr(0x1000 * n), len: 4096 }
+        HostRegion {
+            addr: HostAddr(0x1000 * n),
+            len: 4096,
+        }
     }
 
     fn entry(iv: u64, chunk_id: u64, cookie: u64) -> SpecEntry {
@@ -200,7 +223,11 @@ mod tests {
         assert_eq!(q.find(&chunk(7)).unwrap().iv, 1);
         let taken = q.take(&chunk(7)).unwrap();
         assert_eq!(taken.iv, 1);
-        assert_eq!(q.find(&chunk(7)).unwrap().iv, 3, "second occurrence remains");
+        assert_eq!(
+            q.find(&chunk(7)).unwrap().iv,
+            3,
+            "second occurrence remains"
+        );
     }
 
     #[test]

@@ -101,7 +101,11 @@ impl Predictor {
             // No evidence yet: repetitive covers the cold-start case where
             // chunks recur without ever being swapped out (model offload);
             // if chunks are outstanding, LIFO is vLLM's default.
-            return if self.outstanding.is_empty() { Pattern::Repetitive } else { Pattern::Lifo };
+            return if self.outstanding.is_empty() {
+                Pattern::Repetitive
+            } else {
+                Pattern::Lifo
+            };
         }
         if self.score_lifo >= best {
             Pattern::Lifo
@@ -145,10 +149,17 @@ impl Predictor {
     pub fn predict_next(&self, exclude: &[ChunkId]) -> Option<ChunkId> {
         match self.pattern() {
             Pattern::Repetitive => self.predict_repetitive(exclude),
-            Pattern::Fifo => self.outstanding.iter().find(|c| !exclude.contains(c)).copied(),
-            Pattern::Lifo => {
-                self.outstanding.iter().rev().find(|c| !exclude.contains(c)).copied()
-            }
+            Pattern::Fifo => self
+                .outstanding
+                .iter()
+                .find(|c| !exclude.contains(c))
+                .copied(),
+            Pattern::Lifo => self
+                .outstanding
+                .iter()
+                .rev()
+                .find(|c| !exclude.contains(c))
+                .copied(),
         }
     }
 
@@ -181,7 +192,14 @@ impl Predictor {
                 let len = self.history.len();
                 let history_anchor = || {
                     self.history.back().map(|&c| {
-                        (if len >= 2 { self.history.get(len - 2).copied() } else { None }, c)
+                        (
+                            if len >= 2 {
+                                self.history.get(len - 2).copied()
+                            } else {
+                                None
+                            },
+                            c,
+                        )
                     })
                 };
                 let (prev, mut cursor) = match anchor.or_else(history_anchor) {
@@ -290,7 +308,11 @@ impl Predictor {
                     _ => break,
                 }
             }
-            let slot = if prefer_not.contains(next) { &mut fallback } else { &mut best };
+            let slot = if prefer_not.contains(next) {
+                &mut fallback
+            } else {
+                &mut best
+            };
             // Later occurrences (scanned first) win ties, so only strictly
             // longer matches replace the incumbent.
             if slot.is_none_or(|(m, _)| matched > m) {
@@ -322,7 +344,10 @@ mod tests {
     use pipellm_gpu::memory::HostAddr;
 
     fn chunk(n: u64) -> ChunkId {
-        HostRegion { addr: HostAddr(0x1000 * n), len: 1 << 20 }
+        HostRegion {
+            addr: HostAddr(0x1000 * n),
+            len: 1 << 20,
+        }
     }
 
     #[test]
@@ -394,10 +419,7 @@ mod tests {
         assert_eq!(p.pattern(), Pattern::Fifo);
         p.observe_swap_out(chunk(100));
         p.observe_swap_out(chunk(101));
-        assert_eq!(
-            p.predict_sequence(2, &[]),
-            vec![chunk(100), chunk(101)]
-        );
+        assert_eq!(p.predict_sequence(2, &[]), vec![chunk(100), chunk(101)]);
     }
 
     #[test]

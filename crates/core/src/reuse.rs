@@ -181,14 +181,22 @@ impl ReuseRuntime {
                 self.sealer.seal(tag, &stand_in)
             }
         };
-        let seal_time =
-            self.ctx.timing().crypto.seal_time(src.len) / self.crypto_threads as u32;
+        let seal_time = self.ctx.timing().crypto.seal_time(src.len) / self.crypto_threads as u32;
         let reservation = self.ctx.crypto_pool_mut().reserve(now, seal_time);
-        self.cache.insert(tag, CachedSeal { sealed_len: src.len, fingerprint, sealed });
+        self.cache.insert(
+            tag,
+            CachedSeal {
+                sealed_len: src.len,
+                fingerprint,
+                sealed,
+            },
+        );
         let cookie = self.next_cookie;
         self.next_cookie += 1;
         self.cookie_tags.insert(cookie, tag);
-        self.ctx.pages_mut().protect(src, Protection::WriteProtected, cookie);
+        self.ctx
+            .pages_mut()
+            .protect(src, Protection::WriteProtected, cookie);
         self.stats.reseals += 1;
         Ok(reservation.end)
     }
@@ -235,8 +243,7 @@ impl GpuRuntime for ReuseRuntime {
             ready
         } else {
             // Small control traffic: sealed fresh each time (cheap).
-            let seal =
-                self.ctx.timing().crypto.seal_time(src.len) / self.crypto_threads as u32;
+            let seal = self.ctx.timing().crypto.seal_time(src.len) / self.crypto_threads as u32;
             self.ctx.crypto_pool_mut().reserve(now, seal).end
         };
         let timing = self.ctx.memcpy_htod_async(ready, dst, src)?;
@@ -266,11 +273,20 @@ impl GpuRuntime for ReuseRuntime {
                 self.sealer.seal(tag, &stand_in)
             }
         };
-        self.cache.insert(tag, CachedSeal { sealed_len: dst.len, fingerprint, sealed });
+        self.cache.insert(
+            tag,
+            CachedSeal {
+                sealed_len: dst.len,
+                fingerprint,
+                sealed,
+            },
+        );
         let cookie = self.next_cookie;
         self.next_cookie += 1;
         self.cookie_tags.insert(cookie, tag);
-        self.ctx.pages_mut().protect(dst, Protection::WriteProtected, cookie);
+        self.ctx
+            .pages_mut()
+            .protect(dst, Protection::WriteProtected, cookie);
         Ok(timing.api_return)
     }
 
@@ -318,7 +334,10 @@ mod tests {
     const CHUNK: u64 = 256 * 1024;
 
     fn runtime() -> ReuseRuntime {
-        ReuseRuntime::new(ReuseConfig { device_capacity: 1 << 30, ..ReuseConfig::default() })
+        ReuseRuntime::new(ReuseConfig {
+            device_capacity: 1 << 30,
+            ..ReuseConfig::default()
+        })
     }
 
     #[test]
@@ -361,7 +380,10 @@ mod tests {
     fn swap_out_primes_the_cache() {
         let mut rt = runtime();
         let dev = rt.alloc_device(CHUNK).unwrap();
-        rt.ctx.device_memory_mut().store(dev, Payload::Real(vec![9u8; CHUNK as usize])).unwrap();
+        rt.ctx
+            .device_memory_mut()
+            .store(dev, Payload::Real(vec![9u8; CHUNK as usize]))
+            .unwrap();
         let host = rt.alloc_host(Payload::Real(vec![0u8; CHUNK as usize]));
         let mut now = rt.memcpy_dtoh(SimTime::ZERO, host, dev).unwrap();
         now = rt.synchronize(now);
@@ -389,6 +411,9 @@ mod tests {
         let again_done = rt.synchronize(again);
         let cold = warm_done.saturating_since(SimTime::ZERO);
         let hot = again_done.saturating_since(warm_done);
-        assert!(hot < cold, "warm reload {hot:?} must beat cold seal {cold:?}");
+        assert!(
+            hot < cold,
+            "warm reload {hot:?} must beat cold seal {cold:?}"
+        );
     }
 }

@@ -149,6 +149,10 @@ pub struct PipeLlmRuntime {
     consecutive_misses: u32,
     /// Crypto worker threads (gang width for on-demand seals).
     crypto_threads: usize,
+    /// Recycled ciphertext staging buffers: every disposed speculative
+    /// entry returns its allocation here, and every new seal draws from
+    /// it, so steady-state speculation seals into reused memory.
+    buf_pool: Vec<Vec<u8>>,
 }
 
 /// Consecutive unpredicted swap-ins after which the whole pipeline is
@@ -192,13 +196,35 @@ impl PipeLlmRuntime {
             next_spec_iv,
             consecutive_misses: 0,
             crypto_threads: config.crypto_threads.max(1),
+            buf_pool: Vec::new(),
         }
+    }
+
+    /// Draws a staging buffer from the pool (empty `Vec` if none pooled).
+    fn pooled_buf(&mut self) -> Vec<u8> {
+        self.buf_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a staging buffer to the pool, bounded by the speculation
+    /// depth plus headroom for the on-demand path.
+    fn recycle_buf(&mut self, buf: Vec<u8>) {
+        if self.buf_pool.len() < self.spec_depth + 2 {
+            self.buf_pool.push(buf);
+        }
+    }
+
+    /// Disposes of a dead speculation entry, reclaiming its ciphertext
+    /// allocation.
+    fn recycle_entry(&mut self, entry: SpecEntry) {
+        let buf = entry.into_ciphertext_buffer();
+        self.recycle_buf(buf);
     }
 
     /// Registers a model's signature sizes with the size classifier (the
     /// paper's §4.2 assumption that models are known).
     pub fn register_model(&mut self, layer_weight_bytes: u64, kv_bytes_per_token: u64) {
-        self.classifier.register_model(layer_weight_bytes, kv_bytes_per_token);
+        self.classifier
+            .register_model(layer_weight_bytes, kv_bytes_per_token);
     }
 
     /// Speculation statistics accumulated so far.
@@ -280,7 +306,9 @@ impl PipeLlmRuntime {
             .map(|e| e.cookie);
         match cookie {
             Some(cookie) => {
-                self.ctx.pages_mut().protect(chunk, Protection::WriteProtected, cookie);
+                self.ctx
+                    .pages_mut()
+                    .protect(chunk, Protection::WriteProtected, cookie);
             }
             None => {
                 self.ctx.pages_mut().unprotect(chunk);
@@ -313,11 +341,15 @@ impl PipeLlmRuntime {
             .map(|e| e.chunk)
             .collect();
         let anchor = real.last().map(|&last| {
-            (real.len().checked_sub(2).and_then(|i| real.get(i).copied()), last)
+            (
+                real.len().checked_sub(2).and_then(|i| real.get(i).copied()),
+                last,
+            )
         });
         let pattern = self.predictor.pattern();
-        let mut sequence =
-            self.predictor.predict_sequence_from(pattern, budget, &exclude, anchor);
+        let mut sequence = self
+            .predictor
+            .predict_sequence_from(pattern, budget, &exclude, anchor);
         if self.failure_mode == SpecFailureMode::WrongOrder {
             sequence.reverse();
         }
@@ -340,15 +372,21 @@ impl PipeLlmRuntime {
             // §5.1 leeway for interleaved small I/O; NOPs close unused gaps.
             let iv = self.next_spec_iv + self.iv_slack;
             let avail = self.plaintext_ready(chunk, now);
-            let sealed = match self.ctx.seal_region(chunk, iv) {
+            let mut buf = self.pooled_buf();
+            let sealed = match self.ctx.seal_region_into(chunk, iv, &mut buf) {
                 Ok(sealed) => sealed,
                 // Freed chunk or an IV raced below the counter: skip it.
-                Err(_) => continue,
+                Err(_) => {
+                    self.recycle_buf(buf);
+                    continue;
+                }
             };
             let seal_time = self.ctx.timing().crypto.seal_time(chunk.len);
             let reservation = self.ctx.crypto_pool_mut().reserve(avail, seal_time);
             let cookie = self.queue.next_cookie();
-            self.ctx.pages_mut().protect(chunk, Protection::WriteProtected, cookie);
+            self.ctx
+                .pages_mut()
+                .protect(chunk, Protection::WriteProtected, cookie);
             self.queue.push(SpecEntry {
                 chunk,
                 iv,
@@ -369,14 +407,22 @@ impl PipeLlmRuntime {
     /// mispredictions whose ciphertext must later be dropped with NOPs.
     fn push_decoy(&mut self, source: HostRegion, now: SimTime) {
         let iv = self.next_spec_iv + self.iv_slack;
-        let Ok(sealed) = self.ctx.seal_region(source, iv) else {
-            return;
+        let mut buf = self.pooled_buf();
+        let sealed = match self.ctx.seal_region_into(source, iv, &mut buf) {
+            Ok(sealed) => sealed,
+            Err(_) => {
+                self.recycle_buf(buf);
+                return;
+            }
         };
         let seal_time = self.ctx.timing().crypto.seal_time(source.len);
         let reservation = self.ctx.crypto_pool_mut().reserve(now, seal_time);
         let cookie = self.queue.next_cookie();
         // High half of the address space: never produced by the allocator.
-        let sentinel = HostRegion { addr: HostAddr(u64::MAX / 2 + cookie), len: 1 };
+        let sentinel = HostRegion {
+            addr: HostAddr(u64::MAX / 2 + cookie),
+            len: 1,
+        };
         self.queue.push(SpecEntry {
             chunk: sentinel,
             iv,
@@ -397,6 +443,7 @@ impl PipeLlmRuntime {
         for entry in self.queue.drop_below(cur) {
             self.sync_protection(entry.chunk);
             self.stats.wasted_entries += 1;
+            self.recycle_entry(entry);
         }
     }
 
@@ -407,6 +454,7 @@ impl PipeLlmRuntime {
         for entry in self.queue.relinquish() {
             self.ctx.pages_mut().unprotect(entry.chunk);
             self.stats.wasted_entries += 1;
+            self.recycle_entry(entry);
         }
         let orphans = std::mem::take(&mut self.suspended);
         for request in orphans {
@@ -429,12 +477,20 @@ impl PipeLlmRuntime {
     ) -> Result<SimTime, GpuError> {
         let avail = self.plaintext_ready(chunk, now);
         let iv = self.ctx.current_h2d_iv();
-        let sealed = self.ctx.seal_region(chunk, iv)?;
-        let seal_time =
-            self.ctx.timing().crypto.seal_time(chunk.len) / self.crypto_threads as u32;
+        let mut buf = self.pooled_buf();
+        let sealed = match self.ctx.seal_region_into(chunk, iv, &mut buf) {
+            Ok(sealed) => sealed,
+            Err(err) => {
+                self.recycle_buf(buf);
+                return Err(err);
+            }
+        };
+        let seal_time = self.ctx.timing().crypto.seal_time(chunk.len) / self.crypto_threads as u32;
         let reservation = self.ctx.crypto_pool_mut().reserve(avail, seal_time);
         let timing =
-            self.ctx.submit_htod_sealed(now, reservation.end, dst, chunk, &sealed, chunk.len)?;
+            self.ctx
+                .submit_htod_sealed(now, reservation.end, dst, chunk, &sealed, chunk.len)?;
+        self.recycle_buf(sealed.into_bytes());
         Ok(timing.api_return)
     }
 
@@ -454,6 +510,7 @@ impl PipeLlmRuntime {
             &entry.sealed,
             entry.len,
         )?;
+        self.recycle_entry(entry);
         Ok(timing.api_return)
     }
 
@@ -480,7 +537,10 @@ impl PipeLlmRuntime {
             let mut cur = self.ctx.current_h2d_iv();
             if self.suspended[pos].iv >= cur
                 && !force
-                && self.queue.iter().any(|e| e.valid && e.iv < self.suspended[pos].iv)
+                && self
+                    .queue
+                    .iter()
+                    .any(|e| e.valid && e.iv < self.suspended[pos].iv)
             {
                 return Ok(());
             }
@@ -494,8 +554,11 @@ impl PipeLlmRuntime {
             }
             // Valid entries NOP padding will skip: skipping them is what
             // distinguishes a sequence misprediction from slack absorption.
-            let skipped_valid =
-                self.queue.iter().filter(|e| e.valid && e.iv < request.iv).count();
+            let skipped_valid = self
+                .queue
+                .iter()
+                .filter(|e| e.valid && e.iv < request.iv)
+                .count();
             let mut nops = 0u32;
             while cur < request.iv {
                 self.ctx.send_nop(now)?;
@@ -520,6 +583,7 @@ impl PipeLlmRuntime {
                     self.sync_protection(entry.chunk);
                     self.stats.wasted_entries += 1;
                     self.stats.relinquishes += 1;
+                    self.recycle_entry(entry);
                     self.encrypt_on_demand(now, request.dst, request.chunk)?;
                 }
                 None => {
@@ -556,7 +620,11 @@ impl PipeLlmRuntime {
                 if blocked {
                     // An earlier chunk is expected first: suspend and wait
                     // for re-ordering or the synchronization flush (§5.3).
-                    self.suspended.push(Suspended { dst, chunk: src, iv });
+                    self.suspended.push(Suspended {
+                        dst,
+                        chunk: src,
+                        iv,
+                    });
                     now
                 } else {
                     // Only a slack gap separates the counter from the
@@ -623,7 +691,9 @@ impl PipeLlmRuntime {
         let open_time = self.ctx.timing().crypto.open_time(dst.len);
         let reservation = self.ctx.crypto_pool_mut().reserve(wire_done, open_time);
         let cookie = self.queue.next_cookie();
-        self.ctx.pages_mut().protect(dst, Protection::AccessRevoked, cookie);
+        self.ctx
+            .pages_mut()
+            .protect(dst, Protection::AccessRevoked, cookie);
         self.decrypts.push(PendingDecrypt {
             region: dst,
             payload,
@@ -721,7 +791,11 @@ impl GpuRuntime for PipeLlmRuntime {
 
     fn host_touch(&mut self, now: SimTime, addr: HostAddr) -> Result<SimTime, GpuError> {
         let region = self.ctx.host().get(addr)?.region();
-        let readable_at = match self.decrypts.iter().position(|d| d.region.overlaps(&region)) {
+        let readable_at = match self
+            .decrypts
+            .iter()
+            .position(|d| d.region.overlaps(&region))
+        {
             Some(idx) => {
                 // Usage before decryption finished: fault → synchronous
                 // decryption (§5.4).
@@ -736,7 +810,11 @@ impl GpuRuntime for PipeLlmRuntime {
     }
 
     fn host_read(&mut self, now: SimTime, region: HostRegion) -> Result<SimTime, GpuError> {
-        let readable_at = match self.decrypts.iter().position(|d| d.region.overlaps(&region)) {
+        let readable_at = match self
+            .decrypts
+            .iter()
+            .position(|d| d.region.overlaps(&region))
+        {
             Some(idx) => {
                 self.stats.decrypt_faults += 1;
                 now.max(self.finalize_decrypt(idx))
@@ -788,7 +866,10 @@ mod tests {
         for i in 0..count {
             let dev = rt.alloc_device(CHUNK).unwrap();
             let data = vec![round * 16 + i as u8; CHUNK as usize];
-            rt.context_mut().device_memory_mut().store(dev, Payload::Real(data)).unwrap();
+            rt.context_mut()
+                .device_memory_mut()
+                .store(dev, Payload::Real(data))
+                .unwrap();
             let host = rt.alloc_host(Payload::Real(vec![0u8; CHUNK as usize]));
             now = rt.memcpy_dtoh(now, host, dev).unwrap();
             rt.free_device(dev).unwrap();
@@ -848,8 +929,9 @@ mod tests {
         let mut rt = runtime();
         // Three persistent "layers" streamed in repeatedly (FlexGen-style:
         // swap-ins without matching swap-outs of the same identity).
-        let layers: Vec<HostRegion> =
-            (0..3).map(|i| rt.alloc_host(Payload::Real(vec![i as u8; CHUNK as usize]))).collect();
+        let layers: Vec<HostRegion> = (0..3)
+            .map(|i| rt.alloc_host(Payload::Real(vec![i as u8; CHUNK as usize])))
+            .collect();
         let mut now = SimTime::ZERO;
         for _pass in 0..8 {
             for layer in &layers {
@@ -861,16 +943,23 @@ mod tests {
             }
         }
         let stats = rt.spec_stats();
-        assert!(stats.spec_hits >= 12, "repetitive pattern should hit: {stats}");
-        assert_eq!(rt.predictor().pattern(), crate::predictor::Pattern::Repetitive);
+        assert!(
+            stats.spec_hits >= 12,
+            "repetitive pattern should hit: {stats}"
+        );
+        assert_eq!(
+            rt.predictor().pattern(),
+            crate::predictor::Pattern::Repetitive
+        );
     }
 
     #[test]
     fn write_invalidation_forces_fresh_ciphertext() {
         let mut rt = runtime();
         // Warm the repetitive pattern.
-        let layers: Vec<HostRegion> =
-            (0..2).map(|i| rt.alloc_host(Payload::Real(vec![i as u8; CHUNK as usize]))).collect();
+        let layers: Vec<HostRegion> = (0..2)
+            .map(|i| rt.alloc_host(Payload::Real(vec![i as u8; CHUNK as usize])))
+            .collect();
         let mut now = SimTime::ZERO;
         for _ in 0..4 {
             for layer in &layers {
@@ -887,7 +976,9 @@ mod tests {
         rt.synchronize(now);
         // The device must observe the *mutated* bytes (first byte flipped).
         let on_device = rt.context().device_memory().get(dev).unwrap();
-        let Payload::Real(bytes) = on_device else { panic!("real payload expected") };
+        let Payload::Real(bytes) = on_device else {
+            panic!("real payload expected")
+        };
         assert_eq!(bytes[0], 0xff, "mutated plaintext must be re-encrypted");
         let stats = rt.spec_stats();
         assert!(stats.write_invalidations >= 1, "{stats}");
@@ -930,9 +1021,34 @@ mod tests {
         let stats = rt.spec_stats();
         assert_eq!(stats.speculated, 0);
         assert_eq!(stats.spec_hits, 0);
-        assert!(stats.relinquishes > 0, "all swaps served on demand: {stats}");
+        assert!(
+            stats.relinquishes > 0,
+            "all swaps served on demand: {stats}"
+        );
         // Async decryption still active.
         assert!(stats.async_decrypts > 0);
+    }
+
+    #[test]
+    fn staging_buffers_are_pooled_and_reused() {
+        let mut rt = runtime();
+        for round in 0..4 {
+            lifo_episode(&mut rt, round, 3);
+        }
+        assert!(
+            !rt.buf_pool.is_empty(),
+            "disposed speculation entries must return their buffers"
+        );
+        assert!(rt.buf_pool.len() <= rt.spec_depth + 2, "pool is bounded");
+        let max_cap = rt.buf_pool.iter().map(Vec::capacity).max().unwrap();
+        assert!(
+            max_cap >= CHUNK as usize,
+            "pooled buffers retain chunk-sized capacity ({max_cap})"
+        );
+        assert!(
+            max_cap < 2 * CHUNK as usize,
+            "recycled buffers must be reused, not doubled by stale-length reserves ({max_cap})"
+        );
     }
 
     #[test]
@@ -967,7 +1083,9 @@ mod tests {
         assert_eq!(rt.spec_stats().decrypt_faults, 1);
         // After the forced decrypt the plaintext is visible (then touched).
         let payload = rt.context().host().get(host.addr).unwrap().payload();
-        let Payload::Real(bytes) = payload else { panic!("real payload") };
+        let Payload::Real(bytes) = payload else {
+            panic!("real payload")
+        };
         assert_eq!(bytes[0], 9 ^ 0xff, "decrypted then touched");
         assert_eq!(&bytes[1..], &vec![9u8; CHUNK as usize - 1][..]);
     }
@@ -987,7 +1105,10 @@ mod tests {
         for i in 0..3u8 {
             let dev = rt.alloc_device(CHUNK).unwrap();
             let data = vec![100 + i; CHUNK as usize];
-            rt.context_mut().device_memory_mut().store(dev, Payload::Real(data)).unwrap();
+            rt.context_mut()
+                .device_memory_mut()
+                .store(dev, Payload::Real(data))
+                .unwrap();
             let host = rt.alloc_host(Payload::Real(vec![0u8; CHUNK as usize]));
             now = rt.memcpy_dtoh(now, host, dev).unwrap();
             rt.free_device(dev).unwrap();
@@ -1034,7 +1155,10 @@ mod tests {
         for i in 0..2u8 {
             let dev = rt.alloc_device(CHUNK).unwrap();
             let data = vec![200 + i; CHUNK as usize];
-            rt.context_mut().device_memory_mut().store(dev, Payload::Real(data)).unwrap();
+            rt.context_mut()
+                .device_memory_mut()
+                .store(dev, Payload::Real(data))
+                .unwrap();
             let host = rt.alloc_host(Payload::Real(vec![0u8; CHUNK as usize]));
             now = rt.memcpy_dtoh(now, host, dev).unwrap();
             rt.free_device(dev).unwrap();
@@ -1072,7 +1196,10 @@ mod tests {
         for i in 0..2u8 {
             let dev = rt.alloc_device(CHUNK).unwrap();
             let data = vec![50 + i; CHUNK as usize];
-            rt.context_mut().device_memory_mut().store(dev, Payload::Real(data)).unwrap();
+            rt.context_mut()
+                .device_memory_mut()
+                .store(dev, Payload::Real(data))
+                .unwrap();
             let host = rt.alloc_host(Payload::Real(vec![0u8; CHUNK as usize]));
             now = rt.memcpy_dtoh(now, host, dev).unwrap();
             rt.free_device(dev).unwrap();

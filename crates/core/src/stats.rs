@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn display_contains_counters() {
-        let stats = PipeLlmStats { spec_hits: 7, ..Default::default() };
+        let stats = PipeLlmStats {
+            spec_hits: 7,
+            ..Default::default()
+        };
         let text = stats.to_string();
         assert!(text.contains("spec_hits=7"));
         assert!(text.contains("success="));

@@ -7,7 +7,10 @@ use pipellm_gpu::memory::{HostAddr, HostRegion};
 use proptest::prelude::*;
 
 fn chunk(n: u8) -> HostRegion {
-    HostRegion { addr: HostAddr(0x10_000 * (u64::from(n) + 1)), len: 1 << 20 }
+    HostRegion {
+        addr: HostAddr(0x10_000 * (u64::from(n) + 1)),
+        len: 1 << 20,
+    }
 }
 
 /// Random observation streams: swap-outs and swap-ins over 8 chunk ids.

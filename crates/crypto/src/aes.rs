@@ -2,12 +2,19 @@
 //!
 //! Two implementations share the key schedule: a straightforward
 //! byte-oriented reference (S-box constant, xtime MixColumns) that mirrors
-//! FIPS-197 operation by operation, and a T-table fast path (one 1 KiB
-//! table plus rotations) that the hot [`Aes::encrypt_block`] uses and that
-//! is tested byte-identical to the reference. Neither is constant-time nor
-//! intended to protect real secrets — they exist so the PipeLLM
-//! reproduction exercises genuine AES-GCM semantics (real tags that really
-//! fail on IV mismatch) at a usable throughput.
+//! FIPS-197 operation by operation, and a four-T-table fast path. The four
+//! 1 KiB tables `TE0`–`TE3` are the classic rotated variants of the
+//! SubBytes+MixColumns column table, so one round of one column is four
+//! loads and four XORs with no rotates on the load path. The hot entry
+//! point is [`Aes::encrypt_blocks`], which processes four blocks per inner
+//! iteration with the round loop unrolled across columns — CTR keystream
+//! generation feeds it independent counter blocks, so the four block states
+//! execute with full instruction-level parallelism. [`Aes::encrypt_block`]
+//! uses the same round helpers for single blocks, and both are tested
+//! byte-identical to the reference. Neither is constant-time nor intended
+//! to protect real secrets — they exist so the PipeLLM reproduction
+//! exercises genuine AES-GCM semantics (real tags that really fail on IV
+//! mismatch) at a usable throughput.
 
 use crate::{CryptoError, Result};
 
@@ -16,24 +23,22 @@ pub const BLOCK_SIZE: usize = 16;
 
 /// The AES S-box (forward substitution table).
 const SBOX: [u8; 256] = [
-    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
-    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
-    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
-    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
-    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
-    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
-    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
-    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
-    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
-    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
-    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
-    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
-    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
-    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
-    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
-    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
-    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
-    0x16,
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
 ];
 
 /// Round constants for the key schedule.
@@ -62,14 +67,72 @@ const fn build_te0() -> [u32; 256] {
         let s = SBOX[i];
         let s2 = xtime(s);
         let s3 = s2 ^ s;
-        table[i] =
-            ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | (s3 as u32);
+        table[i] = ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | (s3 as u32);
+        i += 1;
+    }
+    table
+}
+
+/// Rotates every entry of a T-table, producing the next table of the
+/// classic four-table formulation.
+const fn rotate_table(src: &[u32; 256], bits: u32) -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[i] = src[i].rotate_right(bits);
         i += 1;
     }
     table
 }
 
 static TE0: [u32; 256] = build_te0();
+static TE1: [u32; 256] = rotate_table(&TE0, 8);
+static TE2: [u32; 256] = rotate_table(&TE0, 16);
+static TE3: [u32; 256] = rotate_table(&TE0, 24);
+
+/// One full AES round of one block: ShiftRows indices feed SubBytes +
+/// MixColumns through the four T-tables, explicitly unrolled per column.
+#[inline(always)]
+fn round_cols(s: &[u32; 4], k: &[u32]) -> [u32; 4] {
+    [
+        TE0[(s[0] >> 24) as usize]
+            ^ TE1[((s[1] >> 16) & 0xff) as usize]
+            ^ TE2[((s[2] >> 8) & 0xff) as usize]
+            ^ TE3[(s[3] & 0xff) as usize]
+            ^ k[0],
+        TE0[(s[1] >> 24) as usize]
+            ^ TE1[((s[2] >> 16) & 0xff) as usize]
+            ^ TE2[((s[3] >> 8) & 0xff) as usize]
+            ^ TE3[(s[0] & 0xff) as usize]
+            ^ k[1],
+        TE0[(s[2] >> 24) as usize]
+            ^ TE1[((s[3] >> 16) & 0xff) as usize]
+            ^ TE2[((s[0] >> 8) & 0xff) as usize]
+            ^ TE3[(s[1] & 0xff) as usize]
+            ^ k[2],
+        TE0[(s[3] >> 24) as usize]
+            ^ TE1[((s[0] >> 16) & 0xff) as usize]
+            ^ TE2[((s[1] >> 8) & 0xff) as usize]
+            ^ TE3[(s[2] & 0xff) as usize]
+            ^ k[3],
+    ]
+}
+
+/// The final AES round (SubBytes + ShiftRows + AddRoundKey, no MixColumns).
+#[inline(always)]
+fn final_cols(s: &[u32; 4], k: &[u32]) -> [u32; 4] {
+    let mut out = [0u32; 4];
+    let mut c = 0;
+    while c < 4 {
+        out[c] = (u32::from(SBOX[(s[c] >> 24) as usize]) << 24)
+            | (u32::from(SBOX[((s[(c + 1) & 3] >> 16) & 0xff) as usize]) << 16)
+            | (u32::from(SBOX[((s[(c + 2) & 3] >> 8) & 0xff) as usize]) << 8)
+            | u32::from(SBOX[(s[(c + 3) & 3] & 0xff) as usize]);
+        out[c] ^= k[c];
+        c += 1;
+    }
+    out
+}
 
 /// AES key sizes supported by NVIDIA CC sessions (we default to 256).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -107,6 +170,9 @@ pub struct Aes {
     /// The same round keys as big-endian words, for the T-table path.
     round_words: Vec<u32>,
     size: KeySize,
+    /// Whether [`Aes::encrypt_blocks`] may take the AES-NI path
+    /// (runtime-detected at key expansion; see [`crate::hw`]).
+    use_hw: bool,
 }
 
 impl std::fmt::Debug for Aes {
@@ -180,7 +246,21 @@ impl Aes {
             })
             .collect();
         let round_words = words.iter().map(|w| u32::from_be_bytes(*w)).collect();
-        Aes { round_keys, round_words, size }
+        Aes {
+            round_keys,
+            round_words,
+            size,
+            use_hw: crate::hw::aes_available(),
+        }
+    }
+
+    /// Disables the hardware (AES-NI) path, forcing the portable T-table
+    /// implementation. Bench and test support: the software fast path must
+    /// stay correct and measurable on machines where AES-NI would
+    /// otherwise shadow it.
+    pub fn software_only(mut self) -> Self {
+        self.use_hw = false;
+        self
     }
 
     /// Encrypts a single 16-byte block in place (T-table fast path).
@@ -197,28 +277,91 @@ impl Aes {
             ]) ^ rk[c];
         }
         for round in 1..rounds {
-            let base = 4 * round;
-            let mut t = [0u32; 4];
-            for (c, out) in t.iter_mut().enumerate() {
-                // ShiftRows: row r of output column c reads input column
-                // c + r (mod 4); SubBytes + MixColumns come from TE0 and
-                // its rotations.
-                *out = TE0[(s[c] >> 24) as usize]
-                    ^ TE0[((s[(c + 1) & 3] >> 16) & 0xff) as usize].rotate_right(8)
-                    ^ TE0[((s[(c + 2) & 3] >> 8) & 0xff) as usize].rotate_right(16)
-                    ^ TE0[(s[(c + 3) & 3] & 0xff) as usize].rotate_right(24)
-                    ^ rk[base + c];
-            }
-            s = t;
+            s = round_cols(&s, &rk[4 * round..4 * round + 4]);
         }
-        // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
-        let base = 4 * rounds;
-        for c in 0..4 {
-            let word = (u32::from(SBOX[(s[c] >> 24) as usize]) << 24)
-                | (u32::from(SBOX[((s[(c + 1) & 3] >> 16) & 0xff) as usize]) << 16)
-                | (u32::from(SBOX[((s[(c + 2) & 3] >> 8) & 0xff) as usize]) << 8)
-                | u32::from(SBOX[(s[(c + 3) & 3] & 0xff) as usize]);
-            block[4 * c..4 * c + 4].copy_from_slice(&(word ^ rk[base + c]).to_be_bytes());
+        let out = final_cols(&s, &rk[4 * rounds..4 * rounds + 4]);
+        for (c, word) in out.iter().enumerate() {
+            block[4 * c..4 * c + 4].copy_from_slice(&word.to_be_bytes());
+        }
+    }
+
+    /// Number of blocks the software T-table path interleaves per
+    /// iteration (the AES-NI path interleaves eight).
+    pub const PARALLEL_BLOCKS: usize = 4;
+
+    /// Encrypts a run of whole 16-byte blocks in place — the hot path
+    /// behind GCM's CTR keystream.
+    ///
+    /// On x86_64 with AES-NI this dispatches to the hardware path
+    /// ([`crate::hw`]), eight blocks per `aesenc` pipeline fill. Everywhere
+    /// else (or after [`Aes::software_only`]) it runs the four-way T-table
+    /// path of [`Aes::encrypt_blocks_soft`]. Both are property-tested
+    /// byte-identical to [`Aes::encrypt_block_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of [`BLOCK_SIZE`].
+    pub fn encrypt_blocks(&self, data: &mut [u8]) {
+        assert_eq!(
+            data.len() % BLOCK_SIZE,
+            0,
+            "encrypt_blocks operates on whole 16-byte blocks"
+        );
+        if self.use_hw {
+            crate::hw::encrypt_blocks(&self.round_keys, data);
+        } else {
+            self.encrypt_blocks_soft(data);
+        }
+    }
+
+    /// The portable multi-block path: four block states live in registers
+    /// and advance through an unrolled T-table round in lockstep, so
+    /// independent blocks (CTR counter blocks) overlap their table loads.
+    /// Trailing blocks beyond the last group of four fall back to
+    /// [`Aes::encrypt_block`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of [`BLOCK_SIZE`].
+    pub fn encrypt_blocks_soft(&self, data: &mut [u8]) {
+        assert_eq!(
+            data.len() % BLOCK_SIZE,
+            0,
+            "encrypt_blocks operates on whole 16-byte blocks"
+        );
+        let rk = &self.round_words;
+        let rounds = self.size.rounds();
+        const GROUP: usize = Aes::PARALLEL_BLOCKS * BLOCK_SIZE;
+        let mut groups = data.chunks_exact_mut(GROUP);
+        for group in groups.by_ref() {
+            let mut s = [[0u32; 4]; 4];
+            for (b, state) in s.iter_mut().enumerate() {
+                for (c, word) in state.iter_mut().enumerate() {
+                    let o = BLOCK_SIZE * b + 4 * c;
+                    *word =
+                        u32::from_be_bytes([group[o], group[o + 1], group[o + 2], group[o + 3]])
+                            ^ rk[c];
+                }
+            }
+            for round in 1..rounds {
+                let k = &rk[4 * round..4 * round + 4];
+                s[0] = round_cols(&s[0], k);
+                s[1] = round_cols(&s[1], k);
+                s[2] = round_cols(&s[2], k);
+                s[3] = round_cols(&s[3], k);
+            }
+            let k = &rk[4 * rounds..4 * rounds + 4];
+            for (b, state) in s.iter().enumerate() {
+                let out = final_cols(state, k);
+                for (c, word) in out.iter().enumerate() {
+                    let o = BLOCK_SIZE * b + 4 * c;
+                    group[o..o + 4].copy_from_slice(&word.to_be_bytes());
+                }
+            }
+        }
+        for block in groups.into_remainder().chunks_exact_mut(BLOCK_SIZE) {
+            let block: &mut [u8; BLOCK_SIZE] = block.try_into().expect("exact chunk");
+            self.encrypt_block(block);
         }
     }
 
@@ -395,6 +538,41 @@ mod tests {
                 assert_eq!(fast, reference, "divergence for key {key:02x?}");
             }
         }
+    }
+
+    #[test]
+    fn multi_block_path_matches_reference() {
+        let mut state = 0xfeed_beef_dead_c0deu64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 24) as u8
+        };
+        for key_len in [16usize, 32] {
+            let key: Vec<u8> = (0..key_len).map(|_| next()).collect();
+            let cipher = Aes::new(&key).unwrap();
+            // Lengths straddling the 4-block group boundary, incl. empty.
+            let soft = cipher.clone().software_only();
+            for blocks in [0usize, 1, 3, 4, 5, 7, 8, 9, 16, 17] {
+                let mut fast: Vec<u8> = (0..blocks * 16).map(|_| next()).collect();
+                let mut tables = fast.clone();
+                let mut reference = fast.clone();
+                cipher.encrypt_blocks(&mut fast);
+                soft.encrypt_blocks(&mut tables);
+                for block in reference.chunks_exact_mut(16) {
+                    let block: &mut [u8; 16] = block.try_into().unwrap();
+                    cipher.encrypt_block_reference(block);
+                }
+                assert_eq!(fast, reference, "dispatch divergence at {blocks} blocks");
+                assert_eq!(tables, reference, "T-table divergence at {blocks} blocks");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole 16-byte blocks")]
+    fn multi_block_path_rejects_partial_blocks() {
+        let cipher = Aes::new(&[0u8; 16]).unwrap();
+        cipher.encrypt_blocks(&mut [0u8; 17]);
     }
 
     #[test]

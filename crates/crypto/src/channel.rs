@@ -15,6 +15,7 @@
 
 use crate::gcm::{nonce_from_iv, AesGcm, NONCE_LEN, TAG_LEN};
 use crate::{CryptoError, Result};
+use std::sync::Arc;
 
 /// Direction tag mixed into every nonce so the two streams of a channel can
 /// never collide even if their counters coincide.
@@ -40,12 +41,17 @@ impl Direction {
 /// `iv` is *not* transmitted in the real protocol; it is carried here only
 /// so the sending runtime (PipeLLM) can track which counter value each
 /// speculative ciphertext was produced under. The receiver never reads it.
+///
+/// The associated data is reference-counted: the PipeLLM runtime clones
+/// messages into its speculation queue and pools their ciphertext buffers,
+/// and an `Arc` keeps those clones from duplicating the descriptor bytes
+/// (the seed allocated a fresh `Vec` per message).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SealedMessage {
     /// IV under which this message was sealed (sender bookkeeping only).
     pub iv: u64,
     /// Authenticated associated data (transfer descriptor).
-    pub aad: Vec<u8>,
+    pub aad: Arc<[u8]>,
     /// `ciphertext || 16-byte tag`.
     pub bytes: Vec<u8>,
 }
@@ -55,6 +61,12 @@ impl SealedMessage {
     pub fn plaintext_len(&self) -> usize {
         self.bytes.len().saturating_sub(TAG_LEN)
     }
+
+    /// Consumes the message, returning its ciphertext buffer for reuse
+    /// (the PipeLLM runtime's staging-buffer pool).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
 }
 
 /// Sending half of one channel direction: a key plus the sender counter.
@@ -63,11 +75,18 @@ pub struct TxContext {
     gcm: AesGcm,
     direction: Direction,
     next_iv: u64,
+    /// Shared `b"nop"` descriptor, so NOP padding never re-allocates AAD.
+    nop_aad: Arc<[u8]>,
 }
 
 impl TxContext {
     fn new(gcm: AesGcm, direction: Direction, initial_iv: u64) -> Self {
-        TxContext { gcm, direction, next_iv: initial_iv }
+        TxContext {
+            gcm,
+            direction,
+            next_iv: initial_iv,
+            nop_aad: Arc::from(&b"nop"[..]),
+        }
     }
 
     /// The IV the next committed send will consume.
@@ -94,10 +113,33 @@ impl TxContext {
 
     /// Seals `plaintext` with associated data at the current counter.
     pub fn seal_with_aad(&mut self, aad: &[u8], plaintext: &[u8]) -> Result<SealedMessage> {
+        let mut buf = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        buf.extend_from_slice(plaintext);
+        self.seal_prepared(Arc::from(aad), buf)
+    }
+
+    /// Seals a staged buffer at the current counter and advances it: `buf`
+    /// holds the plaintext on entry and becomes the message's
+    /// `ciphertext || tag` storage — no copy, and any spare capacity the
+    /// caller pooled is reused.
+    pub fn seal_prepared(&mut self, aad: Arc<[u8]>, mut buf: Vec<u8>) -> Result<SealedMessage> {
         let iv = self.next_iv;
-        let bytes = self.gcm.seal(&self.nonce(iv), aad, plaintext);
+        self.gcm.seal_vec(&self.nonce(iv), &aad, &mut buf);
         self.next_iv += 1;
-        Ok(SealedMessage { iv, aad: aad.to_vec(), bytes })
+        Ok(SealedMessage {
+            iv,
+            aad,
+            bytes: buf,
+        })
+    }
+
+    /// Seals `data` in place at the current counter, advancing it. Returns
+    /// the consumed IV and the detached tag; `data` holds the ciphertext.
+    pub fn seal_in_place(&mut self, aad: &[u8], data: &mut [u8]) -> Result<(u64, [u8; TAG_LEN])> {
+        let iv = self.next_iv;
+        let tag = self.gcm.seal_in_place(&self.nonce(iv), aad, data);
+        self.next_iv += 1;
+        Ok((iv, tag))
     }
 
     /// Seals `plaintext` at an arbitrary `iv` **without advancing** the
@@ -110,11 +152,33 @@ impl TxContext {
     /// IV has already been consumed and sealing under it again would repeat
     /// a GCM nonce.
     pub fn seal_speculative(&self, iv: u64, aad: &[u8], plaintext: &[u8]) -> Result<SealedMessage> {
+        let mut buf = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        buf.extend_from_slice(plaintext);
+        self.seal_speculative_prepared(iv, Arc::from(aad), buf)
+    }
+
+    /// Speculative variant of [`TxContext::seal_prepared`]: seals a staged
+    /// plaintext buffer in place at a future `iv` without advancing the
+    /// counter.
+    ///
+    /// # Errors
+    ///
+    /// As [`TxContext::seal_speculative`]; on error `buf` is dropped.
+    pub fn seal_speculative_prepared(
+        &self,
+        iv: u64,
+        aad: Arc<[u8]>,
+        mut buf: Vec<u8>,
+    ) -> Result<SealedMessage> {
         if iv < self.next_iv {
             return Err(CryptoError::IvReused { iv });
         }
-        let bytes = self.gcm.seal(&self.nonce(iv), aad, plaintext);
-        Ok(SealedMessage { iv, aad: aad.to_vec(), bytes })
+        self.gcm.seal_vec(&self.nonce(iv), &aad, &mut buf);
+        Ok(SealedMessage {
+            iv,
+            aad,
+            bytes: buf,
+        })
     }
 
     /// Commits a previously sealed speculative message, consuming the
@@ -131,7 +195,10 @@ impl TxContext {
             return Err(CryptoError::IvReused { iv: message.iv });
         }
         if message.iv > self.next_iv {
-            return Err(CryptoError::IvMismatch { iv: message.iv, expected: self.next_iv });
+            return Err(CryptoError::IvMismatch {
+                iv: message.iv,
+                expected: self.next_iv,
+            });
         }
         self.next_iv += 1;
         Ok(())
@@ -140,10 +207,25 @@ impl TxContext {
     /// Seals a NOP: a 1-byte dummy transfer whose only purpose is to
     /// advance the IV (paper §5.3). The counter advances immediately.
     pub fn seal_nop(&mut self) -> SealedMessage {
+        self.seal_nop_with(Vec::with_capacity(1 + TAG_LEN))
+    }
+
+    /// Seals a NOP into a recycled staging buffer (the descriptor is the
+    /// shared `b"nop"` AAD, so the sender allocates nothing once the
+    /// caller cycles buffers back through [`SealedMessage::into_bytes`] or
+    /// [`RxContext::open_owned`]).
+    pub fn seal_nop_with(&mut self, mut buf: Vec<u8>) -> SealedMessage {
         let iv = self.next_iv;
-        let bytes = self.gcm.seal(&self.nonce(iv), b"nop", &[0u8]);
+        let aad = Arc::clone(&self.nop_aad);
+        buf.clear();
+        buf.push(0u8);
+        self.gcm.seal_vec(&self.nonce(iv), &aad, &mut buf);
         self.next_iv += 1;
-        SealedMessage { iv, aad: b"nop".to_vec(), bytes }
+        SealedMessage {
+            iv,
+            aad,
+            bytes: buf,
+        }
     }
 }
 
@@ -157,7 +239,11 @@ pub struct RxContext {
 
 impl RxContext {
     fn new(gcm: AesGcm, direction: Direction, initial_iv: u64) -> Self {
-        RxContext { gcm, direction, next_iv: initial_iv }
+        RxContext {
+            gcm,
+            direction,
+            next_iv: initial_iv,
+        }
     }
 
     /// The IV the receiver will use for the next message.
@@ -179,14 +265,68 @@ impl RxContext {
     /// at this counter value (or was tampered with); the error reports the
     /// receiver-side IV that was expected.
     pub fn open(&mut self, message: &SealedMessage) -> Result<Vec<u8>> {
+        let mut buf = message.bytes.clone();
+        self.open_in_place(&message.aad, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Opens a consumed message, decrypting its own buffer in place and
+    /// returning the plaintext without copying the ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// See [`RxContext::open`].
+    pub fn open_owned(&mut self, message: SealedMessage) -> Result<Vec<u8>> {
+        let mut buf = message.bytes;
+        self.open_in_place(&message.aad, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Opens `buf` (`ciphertext || tag`) at the receiver's own counter,
+    /// decrypting in place and truncating the tag. On success the counter
+    /// advances; on failure it does not and `buf` is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// See [`RxContext::open`].
+    pub fn open_in_place(&mut self, aad: &[u8], buf: &mut Vec<u8>) -> Result<()> {
         let nonce = nonce_from_iv(self.direction.tag(), self.next_iv);
-        match self.gcm.open(&nonce, &message.aad, &message.bytes) {
-            Ok(plaintext) => {
+        match self.gcm.open_vec(&nonce, aad, buf) {
+            Ok(()) => {
                 self.next_iv += 1;
-                Ok(plaintext)
+                Ok(())
             }
             Err(CryptoError::AuthenticationFailed { .. }) => {
-                Err(CryptoError::AuthenticationFailed { expected_iv: self.next_iv })
+                Err(CryptoError::AuthenticationFailed {
+                    expected_iv: self.next_iv,
+                })
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Detached-tag variant: verifies `tag` over ciphertext `data` at the
+    /// receiver counter, then decrypts `data` in place and advances.
+    ///
+    /// # Errors
+    ///
+    /// See [`RxContext::open`].
+    pub fn open_detached(
+        &mut self,
+        aad: &[u8],
+        data: &mut [u8],
+        tag: &[u8; TAG_LEN],
+    ) -> Result<()> {
+        let nonce = nonce_from_iv(self.direction.tag(), self.next_iv);
+        match self.gcm.open_in_place(&nonce, aad, data, tag) {
+            Ok(()) => {
+                self.next_iv += 1;
+                Ok(())
+            }
+            Err(CryptoError::AuthenticationFailed { .. }) => {
+                Err(CryptoError::AuthenticationFailed {
+                    expected_iv: self.next_iv,
+                })
             }
             Err(other) => Err(other),
         }
@@ -229,7 +369,10 @@ impl ChannelKeys {
             }
             key
         }
-        ChannelKeys { h2d: derive(seed, 1), d2h: derive(seed, 2) }
+        ChannelKeys {
+            h2d: derive(seed, 1),
+            d2h: derive(seed, 2),
+        }
     }
 }
 
@@ -267,6 +410,16 @@ impl Endpoint {
         self.tx.seal(plaintext)
     }
 
+    /// Seals a caller-owned buffer in place at the current send counter
+    /// (detached tag, zero-copy). Returns the consumed IV and the tag.
+    ///
+    /// # Errors
+    ///
+    /// See [`TxContext::seal_in_place`].
+    pub fn seal_in_place(&mut self, aad: &[u8], data: &mut [u8]) -> Result<(u64, [u8; TAG_LEN])> {
+        self.tx.seal_in_place(aad, data)
+    }
+
     /// Opens at the current receive counter.
     ///
     /// # Errors
@@ -274,6 +427,21 @@ impl Endpoint {
     /// See [`RxContext::open`].
     pub fn open(&mut self, message: &SealedMessage) -> Result<Vec<u8>> {
         self.rx.open(message)
+    }
+
+    /// Verifies a detached tag and decrypts a caller-owned buffer in place
+    /// at the current receive counter (zero-copy).
+    ///
+    /// # Errors
+    ///
+    /// See [`RxContext::open`].
+    pub fn open_in_place(
+        &mut self,
+        aad: &[u8],
+        data: &mut [u8],
+        tag: &[u8; TAG_LEN],
+    ) -> Result<()> {
+        self.rx.open_detached(aad, data, tag)
     }
 }
 
@@ -454,6 +622,80 @@ mod tests {
         assert_eq!(opened, vec![0u8]);
         assert_eq!(ch.host().tx().next_iv(), 2);
         assert_eq!(ch.device().rx().next_iv(), 2);
+    }
+
+    #[test]
+    fn in_place_seal_and_open_roundtrip_in_lockstep() {
+        let mut ch = channel();
+        let mut buf = *b"kv-cache chunk 0123456789abcdef!";
+        let original = buf;
+        let (iv, tag) = ch.host_mut().seal_in_place(b"hdr", &mut buf).unwrap();
+        assert_eq!(iv, 1);
+        assert_ne!(buf, original, "buffer holds ciphertext after sealing");
+        ch.device_mut()
+            .open_in_place(b"hdr", &mut buf, &tag)
+            .unwrap();
+        assert_eq!(buf, original);
+        assert_eq!(ch.host().tx().next_iv(), 2);
+        assert_eq!(ch.device().rx().next_iv(), 2);
+        // The in-place stream interleaves with message-based traffic.
+        let sealed = ch.host_mut().seal(b"next").unwrap();
+        assert_eq!(ch.device_mut().open(&sealed).unwrap(), b"next");
+    }
+
+    #[test]
+    fn in_place_open_fails_without_touching_the_buffer() {
+        let mut ch = channel();
+        let mut buf = [7u8; 48];
+        let (_, tag) = ch.host_mut().seal_in_place(b"", &mut buf).unwrap();
+        let ciphertext = buf;
+        let mut wrong = tag;
+        wrong[0] ^= 1;
+        let err = ch
+            .device_mut()
+            .open_in_place(b"", &mut buf, &wrong)
+            .unwrap_err();
+        assert_eq!(err, CryptoError::AuthenticationFailed { expected_iv: 1 });
+        assert_eq!(buf, ciphertext, "failed open must not corrupt the buffer");
+        assert_eq!(
+            ch.device().rx().next_iv(),
+            1,
+            "failed open must not advance"
+        );
+        ch.device_mut().open_in_place(b"", &mut buf, &tag).unwrap();
+        assert_eq!(buf, [7u8; 48]);
+    }
+
+    #[test]
+    fn nop_staging_buffer_is_reused_without_reallocating() {
+        let mut ch = channel();
+        let nop = ch.host_mut().tx_mut().seal_nop();
+        ch.device_mut().open(&nop).unwrap();
+        let recycled = nop.into_bytes();
+        let ptr = recycled.as_ptr();
+        let capacity = recycled.capacity();
+        let nop2 = ch.host_mut().tx_mut().seal_nop_with(recycled);
+        assert_eq!(
+            nop2.bytes.as_ptr(),
+            ptr,
+            "recycled NOP buffer must be reused"
+        );
+        assert_eq!(nop2.bytes.capacity(), capacity);
+        assert_eq!(ch.device_mut().open(&nop2).unwrap(), vec![0u8]);
+    }
+
+    #[test]
+    fn open_owned_decrypts_the_message_buffer_in_place() {
+        let mut ch = channel();
+        let sealed = ch.host_mut().seal(b"zero-copy payload").unwrap();
+        let ptr = sealed.bytes.as_ptr();
+        let opened = ch.device_mut().rx_mut().open_owned(sealed).unwrap();
+        assert_eq!(opened, b"zero-copy payload");
+        assert_eq!(
+            opened.as_ptr(),
+            ptr,
+            "plaintext reuses the ciphertext buffer"
+        );
     }
 
     #[test]

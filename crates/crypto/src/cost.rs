@@ -40,14 +40,20 @@ pub struct CpuCryptoModel {
 impl Default for CpuCryptoModel {
     /// Calibration from the paper's Figure 2 (see module docs).
     fn default() -> Self {
-        CpuCryptoModel { bytes_per_sec: 5.8 * GIB, per_op: Duration::from_nanos(1_500) }
+        CpuCryptoModel {
+            bytes_per_sec: 5.8 * GIB,
+            per_op: Duration::from_nanos(1_500),
+        }
     }
 }
 
 impl CpuCryptoModel {
     /// Creates a model from a throughput in GB/s and per-op overhead.
     pub fn from_gbps(gbps: f64, per_op: Duration) -> Self {
-        CpuCryptoModel { bytes_per_sec: gbps * GIB, per_op }
+        CpuCryptoModel {
+            bytes_per_sec: gbps * GIB,
+            per_op,
+        }
     }
 
     /// Time for one worker to seal (encrypt + tag) `bytes` bytes.
@@ -91,7 +97,10 @@ mod tests {
         // 32 MiB at ~5.8 GB/s ≈ 5.5 ms; Figure 2 reports 5.25 ms for the
         // whole CC-enabled API call. Same order, slightly above raw PCIe.
         let t = model.seal_time(32 << 20);
-        assert!(t > Duration::from_millis(4) && t < Duration::from_millis(7), "{t:?}");
+        assert!(
+            t > Duration::from_millis(4) && t < Duration::from_millis(7),
+            "{t:?}"
+        );
     }
 
     #[test]

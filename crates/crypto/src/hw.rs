@@ -1,0 +1,283 @@
+//! Hardware acceleration for the crypto hot path: AES-NI block encryption
+//! and carry-less-multiply (PCLMULQDQ) GHASH on x86_64.
+//!
+//! Everything here is runtime-detected: [`aes_available`] /
+//! [`clmul_available`] gate the `unsafe` intrinsic paths, and on other
+//! architectures (or older x86 parts) the callers in [`crate::aes`] and
+//! [`crate::gcm`] fall back to the portable T-table / 8-bit-table software
+//! paths, which double as the correctness oracles these functions are
+//! property-tested against.
+//!
+//! # GHASH in the reflected domain
+//!
+//! GCM stores field elements bit-reflected. Rather than shifting the
+//! 256-bit carry-less product (the Intel whitepaper's approach), this
+//! implementation keeps every operand fully bit-reversed — each data block
+//! is loaded and bit-reversed *within each byte* (two `pshufb` nibble
+//! lookups), which together with x86's little-endian byte order yields the
+//! complete 128-bit reversal. In that domain GCM multiplication is plain
+//! polynomial multiplication modulo `x^128 + x^7 + x^2 + x + 1`, so the
+//! product folds with two extra carry-less multiplies by `0x87` — the same
+//! reduction POLYVAL uses. Subkey powers are reversed once at key setup
+//! (scalar `u128::reverse_bits`), and the accumulator is reversed back only
+//! when the final tag is produced.
+//!
+//! Four blocks are aggregated per reduction: their four 256-bit partial
+//! products (against H⁴…H¹) XOR together and are folded once.
+
+// Intrinsics are inherently unsafe; this module is the one place in the
+// crate allowed to use them, behind runtime feature detection.
+#![allow(unsafe_code)]
+
+#[cfg(target_arch = "x86_64")]
+pub use x86::*;
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::{
+        __m128i, _mm_aesenc_si128, _mm_aesenclast_si128, _mm_and_si128, _mm_clmulepi64_si128,
+        _mm_loadu_si128, _mm_or_si128, _mm_set1_epi8, _mm_set_epi64x, _mm_setzero_si128,
+        _mm_shuffle_epi8, _mm_slli_si128, _mm_srli_epi16, _mm_srli_si128, _mm_storeu_si128,
+        _mm_xor_si128,
+    };
+
+    /// Whether the AES-NI block path can be used on this machine.
+    pub fn aes_available() -> bool {
+        std::arch::is_x86_feature_detected!("aes") && std::arch::is_x86_feature_detected!("sse2")
+    }
+
+    /// Whether the carry-less-multiply GHASH path can be used.
+    pub fn clmul_available() -> bool {
+        std::arch::is_x86_feature_detected!("pclmulqdq")
+            && std::arch::is_x86_feature_detected!("ssse3")
+    }
+
+    /// Blocks interleaved per AES-NI iteration (fills the `aesenc` pipeline).
+    const LANES: usize = 8;
+
+    #[target_feature(enable = "aes,sse2")]
+    unsafe fn encrypt_blocks_impl(round_keys: &[[u8; 16]], data: &mut [u8]) {
+        debug_assert_eq!(data.len() % 16, 0);
+        let rounds = round_keys.len() - 1;
+        let mut k = [_mm_setzero_si128(); 15];
+        for (slot, rk) in k.iter_mut().zip(round_keys) {
+            *slot = _mm_loadu_si128(rk.as_ptr().cast());
+        }
+        let mut groups = data.chunks_exact_mut(LANES * 16);
+        for group in groups.by_ref() {
+            let p = group.as_mut_ptr().cast::<__m128i>();
+            let mut s = [_mm_setzero_si128(); LANES];
+            for (i, lane) in s.iter_mut().enumerate() {
+                *lane = _mm_xor_si128(_mm_loadu_si128(p.add(i)), k[0]);
+            }
+            for key in &k[1..rounds] {
+                for lane in s.iter_mut() {
+                    *lane = _mm_aesenc_si128(*lane, *key);
+                }
+            }
+            for (i, lane) in s.iter().enumerate() {
+                _mm_storeu_si128(p.add(i), _mm_aesenclast_si128(*lane, k[rounds]));
+            }
+        }
+        for block in groups.into_remainder().chunks_exact_mut(16) {
+            let p = block.as_mut_ptr().cast::<__m128i>();
+            let mut s = _mm_xor_si128(_mm_loadu_si128(p), k[0]);
+            for key in &k[1..rounds] {
+                s = _mm_aesenc_si128(s, *key);
+            }
+            _mm_storeu_si128(p, _mm_aesenclast_si128(s, k[rounds]));
+        }
+    }
+
+    /// Encrypts whole 16-byte blocks in place with AES-NI, eight lanes at
+    /// a time. The caller must have checked [`aes_available`].
+    pub fn encrypt_blocks(round_keys: &[[u8; 16]], data: &mut [u8]) {
+        debug_assert!(aes_available());
+        // SAFETY: `aes_available()` was checked when the key was expanded;
+        // the target features of `encrypt_blocks_impl` are present.
+        unsafe { encrypt_blocks_impl(round_keys, data) }
+    }
+
+    /// Bit-reverse of each nibble value, as two `pshufb` tables.
+    const REV_NIB_LO: [u8; 16] = [
+        0x0, 0x8, 0x4, 0xc, 0x2, 0xa, 0x6, 0xe, 0x1, 0x9, 0x5, 0xd, 0x3, 0xb, 0x7, 0xf,
+    ];
+    const REV_NIB_HI: [u8; 16] = [
+        0x00, 0x80, 0x40, 0xc0, 0x20, 0xa0, 0x60, 0xe0, 0x10, 0x90, 0x50, 0xd0, 0x30, 0xb0, 0x70,
+        0xf0,
+    ];
+
+    /// Reverses the bits inside every byte; combined with x86's
+    /// little-endian lane order this is the full 128-bit reflection of a
+    /// big-endian GCM block.
+    #[inline]
+    #[target_feature(enable = "ssse3")]
+    unsafe fn rev_bits(v: __m128i) -> __m128i {
+        let mask = _mm_set1_epi8(0x0f);
+        let lo_nib = _mm_and_si128(v, mask);
+        let hi_nib = _mm_and_si128(_mm_srli_epi16(v, 4), mask);
+        let lut_hi = _mm_loadu_si128(REV_NIB_HI.as_ptr().cast());
+        let lut_lo = _mm_loadu_si128(REV_NIB_LO.as_ptr().cast());
+        _mm_or_si128(
+            _mm_shuffle_epi8(lut_hi, lo_nib),
+            _mm_shuffle_epi8(lut_lo, hi_nib),
+        )
+    }
+
+    /// Loads a ≤16-byte chunk zero-padded to a block, bit-reflected.
+    #[inline]
+    #[target_feature(enable = "ssse3")]
+    unsafe fn load_block_rev(chunk: &[u8]) -> __m128i {
+        if chunk.len() == 16 {
+            rev_bits(_mm_loadu_si128(chunk.as_ptr().cast()))
+        } else {
+            let mut padded = [0u8; 16];
+            padded[..chunk.len()].copy_from_slice(chunk);
+            rev_bits(_mm_loadu_si128(padded.as_ptr().cast()))
+        }
+    }
+
+    /// 256-bit carry-less multiply-accumulate: `acc ^= a * b`.
+    #[inline]
+    #[target_feature(enable = "pclmulqdq,sse2")]
+    unsafe fn clmul_acc(a: __m128i, b: __m128i, acc_lo: &mut __m128i, acc_hi: &mut __m128i) {
+        let ll = _mm_clmulepi64_si128(a, b, 0x00);
+        let lh = _mm_clmulepi64_si128(a, b, 0x10);
+        let hl = _mm_clmulepi64_si128(a, b, 0x01);
+        let hh = _mm_clmulepi64_si128(a, b, 0x11);
+        let mid = _mm_xor_si128(lh, hl);
+        *acc_lo = _mm_xor_si128(*acc_lo, _mm_xor_si128(ll, _mm_slli_si128(mid, 8)));
+        *acc_hi = _mm_xor_si128(*acc_hi, _mm_xor_si128(hh, _mm_srli_si128(mid, 8)));
+    }
+
+    /// Folds a 256-bit product modulo `x^128 + x^7 + x^2 + x + 1`.
+    #[inline]
+    #[target_feature(enable = "pclmulqdq,sse2")]
+    unsafe fn reduce(lo: __m128i, hi: __m128i) -> __m128i {
+        let poly = _mm_set_epi64x(0, 0x87);
+        let t0 = _mm_clmulepi64_si128(hi, poly, 0x00);
+        let t1 = _mm_clmulepi64_si128(hi, poly, 0x01);
+        let acc = _mm_xor_si128(_mm_xor_si128(lo, t0), _mm_slli_si128(t1, 8));
+        let overflow = _mm_srli_si128(t1, 8);
+        _mm_xor_si128(acc, _mm_clmulepi64_si128(overflow, poly, 0x00))
+    }
+
+    #[inline]
+    fn to_m128(v: u128) -> __m128i {
+        // SAFETY: sse2 is part of the x86_64 baseline.
+        unsafe { _mm_set_epi64x((v >> 64) as i64, v as i64) }
+    }
+
+    #[inline]
+    fn from_m128(v: __m128i) -> u128 {
+        let mut bytes = [0u8; 16];
+        // SAFETY: sse2 is part of the x86_64 baseline.
+        unsafe { _mm_storeu_si128(bytes.as_mut_ptr().cast(), v) };
+        u128::from_le_bytes(bytes)
+    }
+
+    #[target_feature(enable = "pclmulqdq,ssse3,sse2")]
+    unsafe fn ghash_update_impl(h: &[__m128i; 4], mut y: __m128i, data: &[u8]) -> __m128i {
+        let mut quads = data.chunks_exact(64);
+        for quad in quads.by_ref() {
+            // (y ⊕ b0)·H⁴ ⊕ b1·H³ ⊕ b2·H² ⊕ b3·H, one reduction for all.
+            let b0 = _mm_xor_si128(y, load_block_rev(&quad[..16]));
+            let mut lo = _mm_setzero_si128();
+            let mut hi = _mm_setzero_si128();
+            clmul_acc(b0, h[3], &mut lo, &mut hi);
+            clmul_acc(load_block_rev(&quad[16..32]), h[2], &mut lo, &mut hi);
+            clmul_acc(load_block_rev(&quad[32..48]), h[1], &mut lo, &mut hi);
+            clmul_acc(load_block_rev(&quad[48..]), h[0], &mut lo, &mut hi);
+            y = reduce(lo, hi);
+        }
+        for chunk in quads.remainder().chunks(16) {
+            let b = _mm_xor_si128(y, load_block_rev(chunk));
+            let mut lo = _mm_setzero_si128();
+            let mut hi = _mm_setzero_si128();
+            clmul_acc(b, h[0], &mut lo, &mut hi);
+            y = reduce(lo, hi);
+        }
+        y
+    }
+
+    #[target_feature(enable = "pclmulqdq,ssse3,sse2")]
+    unsafe fn ghash_impl(key: &ClmulKey, aad: &[u8], ciphertext: &[u8], lengths: u128) -> u128 {
+        let h = [
+            to_m128(key.h_rev[0]),
+            to_m128(key.h_rev[1]),
+            to_m128(key.h_rev[2]),
+            to_m128(key.h_rev[3]),
+        ];
+        let mut y = ghash_update_impl(&h, _mm_setzero_si128(), aad);
+        y = ghash_update_impl(&h, y, ciphertext);
+        let len_block = _mm_xor_si128(y, to_m128(lengths.reverse_bits()));
+        let mut lo = _mm_setzero_si128();
+        let mut hi = _mm_setzero_si128();
+        clmul_acc(len_block, h[0], &mut lo, &mut hi);
+        from_m128(reduce(lo, hi)).reverse_bits()
+    }
+
+    /// Bit-reflected powers H¹–H⁴ of the hash subkey (`h_rev[p]` = H^(p+1)).
+    #[derive(Debug, Clone)]
+    pub struct ClmulKey {
+        h_rev: [u128; 4],
+    }
+
+    impl ClmulKey {
+        /// Builds the key from *normal-domain* subkey powers (as produced
+        /// by `gf_mul`), reflecting each once.
+        pub fn new(powers: [u128; 4]) -> Self {
+            ClmulKey {
+                h_rev: powers.map(u128::reverse_bits),
+            }
+        }
+    }
+
+    /// GHASH over `aad || ciphertext || lengths` via PCLMULQDQ; returns the
+    /// normal-domain hash. The caller must have checked [`clmul_available`].
+    pub fn ghash(key: &ClmulKey, aad: &[u8], ciphertext: &[u8], lengths: u128) -> u128 {
+        debug_assert!(clmul_available());
+        // SAFETY: `clmul_available()` was checked when the key was built.
+        unsafe { ghash_impl(key, aad, ciphertext, lengths) }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod portable {
+    //! No-op stand-ins for non-x86_64 targets: detection always fails, so
+    //! the accelerated entry points are unreachable.
+
+    /// Always `false` off x86_64.
+    pub fn aes_available() -> bool {
+        false
+    }
+
+    /// Always `false` off x86_64.
+    pub fn clmul_available() -> bool {
+        false
+    }
+
+    /// Unreachable off x86_64 (detection returns `false`).
+    pub fn encrypt_blocks(_round_keys: &[[u8; 16]], _data: &mut [u8]) {
+        unreachable!("hardware AES path taken without AES-NI support");
+    }
+
+    /// Bit-reflected subkey powers; never constructed off x86_64.
+    #[derive(Debug, Clone)]
+    pub struct ClmulKey;
+
+    impl ClmulKey {
+        /// Unreachable off x86_64.
+        pub fn new(_powers: [u128; 4]) -> Self {
+            unreachable!("clmul GHASH key built without PCLMULQDQ support");
+        }
+    }
+
+    /// Unreachable off x86_64.
+    pub fn ghash(_key: &ClmulKey, _aad: &[u8], _ciphertext: &[u8], _lengths: u128) -> u128 {
+        unreachable!("clmul GHASH taken without PCLMULQDQ support");
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub use portable::*;

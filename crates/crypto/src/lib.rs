@@ -7,9 +7,14 @@
 //!
 //! - [`aes`]: the AES-128/AES-256 block cipher, implemented from first
 //!   principles (S-box, key schedule, rounds) and checked against FIPS-197
-//!   vectors.
+//!   vectors. The hot multi-block entry point dispatches to AES-NI where
+//!   the CPU has it, with a four-T-table software path everywhere else.
 //! - [`gcm`]: Galois/Counter Mode on top of AES, including the GHASH
-//!   universal hash over GF(2^128), checked against NIST CAVP vectors.
+//!   universal hash over GF(2^128) (8-bit Shoup tables, or PCLMULQDQ on
+//!   x86_64), checked against NIST CAVP vectors, with zero-copy
+//!   `seal_in_place`/`open_in_place` entry points.
+//! - [`hw`]: the runtime-detected hardware acceleration layer backing the
+//!   two fast paths above — the one module in the crate allowed `unsafe`.
 //! - [`channel`]: [`channel::SecureChannel`], a pair of endpoints that model
 //!   the CPU-side and GPU-side encryption engines with the exact IV
 //!   discipline PipeLLM exploits and must not break: each encryption consumes
@@ -39,13 +44,16 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the only exemption is the [`hw`] module,
+// which wraps runtime-detected AES-NI / PCLMULQDQ intrinsics.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;
 pub mod channel;
 pub mod cost;
 pub mod gcm;
+pub mod hw;
 pub mod reuse;
 
 use std::error::Error;
@@ -100,13 +108,19 @@ impl fmt::Display for CryptoError {
             }
             CryptoError::IvReused { iv } => write!(f, "refusing to reuse IV {iv}"),
             CryptoError::IvMismatch { iv, expected } => {
-                write!(f, "committed IV {iv} does not match sender counter {expected}")
+                write!(
+                    f,
+                    "committed IV {iv} does not match sender counter {expected}"
+                )
             }
             CryptoError::InvalidKeyLength { got } => {
                 write!(f, "invalid key length {got}, expected 16 or 32 bytes")
             }
             CryptoError::TruncatedCiphertext { got } => {
-                write!(f, "ciphertext of {got} bytes is shorter than the 16-byte tag")
+                write!(
+                    f,
+                    "ciphertext of {got} bytes is shorter than the 16-byte tag"
+                )
             }
         }
     }

@@ -40,7 +40,9 @@ impl StaticSealer {
     ///
     /// [`CryptoError::InvalidKeyLength`] for keys that are not 32 bytes.
     pub fn new(key: &[u8]) -> Result<Self> {
-        Ok(StaticSealer { gcm: AesGcm::new(key)? })
+        Ok(StaticSealer {
+            gcm: AesGcm::new(key)?,
+        })
     }
 
     /// The nonce used for `chunk_tag` — a pure function of the tag, which
@@ -57,7 +59,8 @@ impl StaticSealer {
     /// Sealing the same `(chunk_tag, plaintext)` twice yields the identical
     /// ciphertext (deterministic encryption) — cacheable and linkable.
     pub fn seal(&self, chunk_tag: u64, plaintext: &[u8]) -> Vec<u8> {
-        self.gcm.seal(&Self::nonce(chunk_tag), &chunk_tag.to_be_bytes(), plaintext)
+        self.gcm
+            .seal(&Self::nonce(chunk_tag), &chunk_tag.to_be_bytes(), plaintext)
     }
 
     /// Opens a ciphertext for `chunk_tag`.
@@ -72,7 +75,9 @@ impl StaticSealer {
     pub fn open(&self, chunk_tag: u64, sealed: &[u8]) -> Result<Vec<u8>> {
         self.gcm
             .open(&Self::nonce(chunk_tag), &chunk_tag.to_be_bytes(), sealed)
-            .map_err(|_| CryptoError::AuthenticationFailed { expected_iv: chunk_tag })
+            .map_err(|_| CryptoError::AuthenticationFailed {
+                expected_iv: chunk_tag,
+            })
     }
 }
 
@@ -110,7 +115,8 @@ mod tests {
         let stale = s.seal(7, b"weights v1");
         let _fresh = s.seal(7, b"weights v2");
         assert_eq!(
-            s.open(7, &stale).expect("replay accepted — this is the flaw"),
+            s.open(7, &stale)
+                .expect("replay accepted — this is the flaw"),
             b"weights v1"
         );
     }

@@ -18,12 +18,11 @@
 //!   (§6: "PipeLLM also hacks those OpenSSL APIs to decouple encryption or
 //!   decryption from the memory copy API").
 
-use crate::memory::{
-    DeviceMemory, DevicePtr, HostMemory, HostRegion, MemoryError, Payload,
-};
+use crate::memory::{DeviceMemory, DevicePtr, HostMemory, HostRegion, MemoryError, Payload};
 use crate::pages::{Access, PageRegistry};
 use crate::timing::IoTimingModel;
 use pipellm_crypto::channel::{ChannelKeys, Direction, SealedMessage, SecureChannel};
+use pipellm_crypto::gcm::TAG_LEN;
 use pipellm_crypto::CryptoError;
 use pipellm_sim::resource::{GpuEngine, Link, Reservation, WorkerPool};
 use pipellm_sim::time::SimTime;
@@ -178,6 +177,8 @@ pub struct CudaContext {
     nop_log: Vec<SimTime>,
     faults: Vec<u64>,
     stats: IoStats,
+    /// Recycled NOP ciphertext buffer: IV-padding bursts allocate nothing.
+    nop_staging: Vec<u8>,
 }
 
 impl fmt::Debug for CudaContext {
@@ -200,40 +201,33 @@ fn descriptor(kind: u8, len: u64, addr: u64) -> Vec<u8> {
     aad
 }
 
-const KIND_REAL: u8 = 0;
-const KIND_VIRTUAL: u8 = 1;
-
-/// Serializes a payload for sealing: real bytes verbatim; virtual payloads
-/// as a 16-byte `(len, version)` stand-in so the ciphertext stays small
-/// while IV semantics remain genuine.
-fn plaintext_of(payload: &Payload) -> (u8, Vec<u8>) {
-    match payload {
-        Payload::Real(bytes) => (KIND_REAL, bytes.clone()),
-        Payload::Virtual { len, version } => {
-            let mut buf = Vec::with_capacity(16);
-            buf.extend_from_slice(&len.to_be_bytes());
-            buf.extend_from_slice(&version.to_be_bytes());
-            (KIND_VIRTUAL, buf)
-        }
-    }
+/// Stages a payload's plaintext into `buf` (serialized via
+/// [`Payload::write_plaintext`], with tag headroom reserved) and returns
+/// the AAD descriptor. The buffer then flows through the channel's
+/// prepared-seal API without further copies.
+fn stage_plaintext(payload: &Payload, addr: u64, buf: &mut Vec<u8>) -> Vec<u8> {
+    // Clear before reserving: recycled pool buffers arrive with their old
+    // contents, and reserving against the stale length would double the
+    // allocation instead of reusing it.
+    buf.clear();
+    buf.reserve(payload.plaintext_len() + TAG_LEN);
+    let kind = payload.write_plaintext(buf);
+    descriptor(kind, payload.len(), addr)
 }
 
-/// Inverse of [`plaintext_of`].
-fn payload_from_plaintext(kind: u8, bytes: Vec<u8>) -> Payload {
-    if kind == KIND_VIRTUAL && bytes.len() == 16 {
-        let len = u64::from_be_bytes(bytes[..8].try_into().expect("checked length"));
-        let version = u64::from_be_bytes(bytes[8..].try_into().expect("checked length"));
-        Payload::Virtual { len, version }
-    } else {
-        Payload::Real(bytes)
-    }
+/// Reads the payload kind back out of a sealed transfer's descriptor.
+fn sealed_kind(sealed: &SealedMessage) -> u8 {
+    sealed.aad.first().copied().unwrap_or(Payload::KIND_REAL)
 }
 
 impl CudaContext {
     /// Creates a context from a configuration.
     pub fn new(config: ContextConfig) -> Self {
         let cc_enabled = config.cc == CcMode::On;
-        let link = Link::new(config.timing.link_gbps(cc_enabled), config.timing.pcie_latency);
+        let link = Link::new(
+            config.timing.link_gbps(cc_enabled),
+            config.timing.pcie_latency,
+        );
         CudaContext {
             cc: config.cc,
             timing: config.timing,
@@ -250,6 +244,7 @@ impl CudaContext {
             nop_log: Vec::new(),
             faults: Vec::new(),
             stats: IoStats::default(),
+            nop_staging: Vec::new(),
         }
     }
 
@@ -368,33 +363,42 @@ impl CudaContext {
         dst: DevicePtr,
         src: HostRegion,
     ) -> Result<MemcpyTiming, GpuError> {
-        let payload = self.host.get(src.addr)?.payload().clone();
-        let len = payload.len();
+        let len = self.host.get(src.addr)?.payload().len();
         let timing = match self.cc {
             CcMode::Off => {
+                let payload = self.host.get(src.addr)?.payload().clone();
                 self.device_mem.store(dst, payload)?;
                 let wire = self.link.transfer(now, len);
                 self.record(Direction::HostToDevice, src, dst, len, now, wire.end, None);
-                MemcpyTiming { api_return: now, complete: wire.end }
+                MemcpyTiming {
+                    api_return: now,
+                    complete: wire.end,
+                }
             }
             CcMode::On => {
-                let (kind, plaintext) = plaintext_of(&payload);
-                let aad = descriptor(kind, len, src.addr.0);
+                // Zero-copy seal: the payload's plaintext is staged once
+                // into the buffer that becomes the sealed message (and,
+                // after the in-place open below, the device payload).
+                let mut buf = Vec::new();
+                let aad = stage_plaintext(self.host.get(src.addr)?.payload(), src.addr.0, &mut buf);
                 let sealed = self
                     .channel
                     .host_mut()
                     .tx_mut()
-                    .seal_with_aad(&aad, &plaintext)?;
+                    .seal_prepared(aad.into(), buf)?;
                 let iv = sealed.iv;
                 // Intra-op gang parallelism: the library shards one buffer
                 // across all crypto threads (the Figure 9 "CC-4t" baseline).
                 let seal_time = self.timing.crypto.seal_time(len) / self.crypto_threads as u32;
                 let enc = self.crypto_pool.reserve(now, seal_time);
                 let wire = self.link.transfer(enc.end, len);
-                self.deliver_to_device(dst, &sealed)?;
+                self.deliver_to_device_owned(dst, sealed)?;
                 let done = wire.end + self.timing.cc_control;
                 self.record(Direction::HostToDevice, src, dst, len, now, done, Some(iv));
-                MemcpyTiming { api_return: enc.end, complete: done }
+                MemcpyTiming {
+                    api_return: enc.end,
+                    complete: done,
+                }
             }
         };
         self.stats.h2d_ops += 1;
@@ -419,35 +423,51 @@ impl CudaContext {
         dst: HostRegion,
         src: DevicePtr,
     ) -> Result<MemcpyTiming, GpuError> {
-        let payload = self.device_mem.get(src)?.clone();
-        let len = payload.len();
+        let len = self.device_mem.get(src)?.len();
         let timing = match self.cc {
             CcMode::Off => {
+                let payload = self.device_mem.get(src)?.clone();
                 self.host_store(dst, payload)?;
                 let wire = self.link.transfer(now, len);
-                MemcpyTiming { api_return: now, complete: wire.end }
+                MemcpyTiming {
+                    api_return: now,
+                    complete: wire.end,
+                }
             }
             CcMode::On => {
-                let (kind, plaintext) = plaintext_of(&payload);
-                let aad = descriptor(kind, len, dst.addr.0);
+                // Zero-copy: the device payload is staged once; the same
+                // buffer carries ciphertext over the wire and, after the
+                // in-place open, becomes the host-side payload.
+                let mut buf = Vec::new();
+                let aad = stage_plaintext(self.device_mem.get(src)?, dst.addr.0, &mut buf);
                 let sealed = self
                     .channel
                     .device_mut()
                     .tx_mut()
-                    .seal_with_aad(&aad, &plaintext)?;
+                    .seal_prepared(aad.into(), buf)?;
                 let wire = self.link.transfer(now, len);
-                let open_time =
-                    self.timing.crypto.open_time(len) / self.crypto_threads as u32;
+                let open_time = self.timing.crypto.open_time(len) / self.crypto_threads as u32;
                 let dec = self.crypto_pool.reserve(wire.end, open_time);
-                let opened = self.channel.host_mut().open(&sealed)?;
-                let kind = sealed.aad.first().copied().unwrap_or(KIND_REAL);
-                self.host_store(dst, payload_from_plaintext(kind, opened))?;
+                let kind = sealed_kind(&sealed);
+                let opened = self.channel.host_mut().rx_mut().open_owned(sealed)?;
+                self.host_store(dst, Payload::from_plaintext(kind, opened))?;
                 let done = dec.end + self.timing.cc_control;
                 // The call blocks until the plaintext is in place.
-                MemcpyTiming { api_return: done, complete: done }
+                MemcpyTiming {
+                    api_return: done,
+                    complete: done,
+                }
             }
         };
-        self.record(Direction::DeviceToHost, dst, src, len, now, timing.complete, None);
+        self.record(
+            Direction::DeviceToHost,
+            dst,
+            src,
+            len,
+            now,
+            timing.complete,
+            None,
+        );
         self.stats.d2h_ops += 1;
         self.stats.d2h_bytes += len;
         self.pending.push(timing.complete);
@@ -475,7 +495,11 @@ impl CudaContext {
     /// # Errors
     ///
     /// [`GpuError::Memory`] for unknown addresses or length mismatches.
-    pub fn host_write(&mut self, addr: crate::memory::HostAddr, payload: Payload) -> Result<(), GpuError> {
+    pub fn host_write(
+        &mut self,
+        addr: crate::memory::HostAddr,
+        payload: Payload,
+    ) -> Result<(), GpuError> {
         let region = self.host.get(addr)?.region();
         let cookies = self.pages.access(region, Access::Write);
         self.faults.extend(cookies);
@@ -527,13 +551,42 @@ impl CudaContext {
     ///   the host counter.
     /// - [`GpuError::CcDisabled`] with CC off.
     pub fn seal_region(&mut self, src: HostRegion, iv: u64) -> Result<SealedMessage, GpuError> {
+        self.seal_region_into(src, iv, &mut Vec::new())
+    }
+
+    /// [`CudaContext::seal_region`] sealing into a recycled staging buffer:
+    /// `buf` (cleared, capacity reused) is staged with the plaintext,
+    /// sealed in place, and moved out as the message's ciphertext storage.
+    /// The PipeLLM runtime feeds this from its buffer pool so steady-state
+    /// speculation allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// As [`CudaContext::seal_region`]. On error the caller keeps `buf`
+    /// (untouched or holding staged plaintext), so pooled buffers survive
+    /// freed-chunk and IV races.
+    pub fn seal_region_into(
+        &mut self,
+        src: HostRegion,
+        iv: u64,
+        buf: &mut Vec<u8>,
+    ) -> Result<SealedMessage, GpuError> {
         if self.cc == CcMode::Off {
             return Err(GpuError::CcDisabled);
         }
-        let payload = self.host.get(src.addr)?.payload();
-        let (kind, plaintext) = plaintext_of(payload);
-        let aad = descriptor(kind, payload.len(), src.addr.0);
-        Ok(self.channel.host().tx().seal_speculative(iv, &aad, &plaintext)?)
+        // Pre-check the IV so the fallible steps run before the buffer is
+        // committed; `seal_speculative_prepared` re-checks the same
+        // counter, which cannot advance in between.
+        if iv < self.channel.host().tx().next_iv() {
+            return Err(GpuError::Crypto(CryptoError::IvReused { iv }));
+        }
+        let aad = stage_plaintext(self.host.get(src.addr)?.payload(), src.addr.0, buf);
+        let staged = std::mem::take(buf);
+        Ok(self
+            .channel
+            .host()
+            .tx()
+            .seal_speculative_prepared(iv, aad.into(), staged)?)
     }
 
     /// The host-side sender counter (next IV to be consumed).
@@ -575,13 +628,24 @@ impl CudaContext {
         let wire = self.link.transfer(depart, payload_len);
         self.deliver_to_device(dst, sealed)?;
         let done = wire.end + self.timing.cc_control;
-        self.record(Direction::HostToDevice, src, dst, payload_len, now, done, Some(sealed.iv));
+        self.record(
+            Direction::HostToDevice,
+            src,
+            dst,
+            payload_len,
+            now,
+            done,
+            Some(sealed.iv),
+        );
         self.stats.h2d_ops += 1;
         self.stats.h2d_bytes += payload_len;
         self.pending.push(done);
         // Pre-encrypted submission returns immediately: the calling thread
         // only queues the staged ciphertext for DMA.
-        Ok(MemcpyTiming { api_return: now, complete: done })
+        Ok(MemcpyTiming {
+            api_return: now,
+            complete: done,
+        })
     }
 
     /// Sends a NOP — a 1-byte dummy transfer that advances the IV on both
@@ -590,10 +654,14 @@ impl CudaContext {
         if self.cc == CcMode::Off {
             return Err(GpuError::CcDisabled);
         }
-        let nop = self.channel.host_mut().tx_mut().seal_nop();
+        let staging = std::mem::take(&mut self.nop_staging);
+        let nop = self.channel.host_mut().tx_mut().seal_nop_with(staging);
         let enc = self.crypto_pool.reserve(now, self.timing.crypto.nop_time());
         let wire = self.link.transfer(enc.end, 1);
-        self.channel.device_mut().open(&nop)?;
+        // The receiver opens the message's own buffer in place, and that
+        // 17-byte buffer cycles back for the next NOP — padding bursts
+        // allocate nothing on either endpoint.
+        self.nop_staging = self.channel.device_mut().rx_mut().open_owned(nop)?;
         self.stats.nops += 1;
         let done = wire.end + self.timing.cc_control;
         self.nop_log.push(done);
@@ -621,16 +689,21 @@ impl CudaContext {
         if self.cc == CcMode::Off {
             return Err(GpuError::CcDisabled);
         }
-        let payload = self.device_mem.get(src)?.clone();
-        let len = payload.len();
-        let (kind, plaintext) = plaintext_of(&payload);
-        let aad = descriptor(kind, len, dst.addr.0);
-        let sealed = self.channel.device_mut().tx_mut().seal_with_aad(&aad, &plaintext)?;
+        let len = self.device_mem.get(src)?.len();
+        let mut buf = Vec::new();
+        let aad = stage_plaintext(self.device_mem.get(src)?, dst.addr.0, &mut buf);
+        let sealed = self
+            .channel
+            .device_mut()
+            .tx_mut()
+            .seal_prepared(aad.into(), buf)?;
+        let iv = sealed.iv;
+        let kind = sealed_kind(&sealed);
         let wire = self.link.transfer(now, len);
-        let opened = self.channel.host_mut().open(&sealed)?;
-        let opened_payload = payload_from_plaintext(kind, opened);
+        let opened = self.channel.host_mut().rx_mut().open_owned(sealed)?;
+        let opened_payload = Payload::from_plaintext(kind, opened);
         let done = wire.end + self.timing.cc_control;
-        self.record(Direction::DeviceToHost, dst, src, len, now, done, Some(sealed.iv));
+        self.record(Direction::DeviceToHost, dst, src, len, now, done, Some(iv));
         self.stats.d2h_ops += 1;
         self.stats.d2h_bytes += len;
         self.pending.push(done);
@@ -643,15 +716,39 @@ impl CudaContext {
     /// # Errors
     ///
     /// [`GpuError::Memory`] for unknown addresses or length mismatches.
-    pub fn host_store_unchecked(&mut self, dst: HostRegion, payload: Payload) -> Result<(), GpuError> {
+    pub fn host_store_unchecked(
+        &mut self,
+        dst: HostRegion,
+        payload: Payload,
+    ) -> Result<(), GpuError> {
         self.host_store(dst, payload)
     }
 
-    fn deliver_to_device(&mut self, dst: DevicePtr, sealed: &SealedMessage) -> Result<(), GpuError> {
-        let opened = self.channel.device_mut().open(sealed)?;
-        let kind = sealed.aad.first().copied().unwrap_or(KIND_REAL);
-        let payload = payload_from_plaintext(kind, opened);
-        self.device_mem.store(dst, payload)?;
+    /// Opens a sealed message at the device endpoint and stores the
+    /// payload. The borrowed variant clones the ciphertext so the caller
+    /// keeps it — required by the protocol's NOP-pad-and-resubmit recovery
+    /// (an `IvMismatch` ciphertext is resubmitted verbatim), and what lets
+    /// the runtime recycle the staged buffer into its pool afterwards
+    /// (consuming it here would move it into the device payload and starve
+    /// the pool instead). The owned variant decrypts the message's own
+    /// buffer in place for paths that truly finish with it.
+    fn deliver_to_device(
+        &mut self,
+        dst: DevicePtr,
+        sealed: &SealedMessage,
+    ) -> Result<(), GpuError> {
+        self.deliver_to_device_owned(dst, sealed.clone())
+    }
+
+    fn deliver_to_device_owned(
+        &mut self,
+        dst: DevicePtr,
+        sealed: SealedMessage,
+    ) -> Result<(), GpuError> {
+        let kind = sealed_kind(&sealed);
+        let opened = self.channel.device_mut().rx_mut().open_owned(sealed)?;
+        self.device_mem
+            .store(dst, Payload::from_plaintext(kind, opened))?;
         Ok(())
     }
 
@@ -666,7 +763,15 @@ impl CudaContext {
         completed: SimTime,
         iv: Option<u64>,
     ) {
-        self.trace.push(TransferRecord { direction, region, device, len, submitted, completed, iv });
+        self.trace.push(TransferRecord {
+            direction,
+            region,
+            device,
+            len,
+            submitted,
+            completed,
+            iv,
+        });
     }
 }
 
@@ -676,7 +781,11 @@ mod tests {
     use crate::pages::Protection;
 
     fn ctx(cc: CcMode) -> CudaContext {
-        CudaContext::new(ContextConfig { cc, device_capacity: 1 << 30, ..Default::default() })
+        CudaContext::new(ContextConfig {
+            cc,
+            device_capacity: 1 << 30,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -686,8 +795,15 @@ mod tests {
         let dst = c.alloc_device(4).unwrap();
         let t = c.memcpy_htod_async(SimTime::ZERO, dst, src).unwrap();
         assert!(t.complete > SimTime::ZERO);
-        assert_eq!(t.api_return, SimTime::ZERO, "CC-off API returns immediately");
-        assert_eq!(c.device_memory().get(dst).unwrap(), &Payload::Real(vec![1, 2, 3, 4]));
+        assert_eq!(
+            t.api_return,
+            SimTime::ZERO,
+            "CC-off API returns immediately"
+        );
+        assert_eq!(
+            c.device_memory().get(dst).unwrap(),
+            &Payload::Real(vec![1, 2, 3, 4])
+        );
         assert_eq!(c.stats().h2d_bytes, 4);
     }
 
@@ -698,11 +814,17 @@ mod tests {
         let src = c.host_mut().alloc_real(data.clone());
         let dst = c.alloc_device(256).unwrap();
         c.memcpy_htod_async(SimTime::ZERO, dst, src).unwrap();
-        assert_eq!(c.device_memory().get(dst).unwrap(), &Payload::Real(data.clone()));
+        assert_eq!(
+            c.device_memory().get(dst).unwrap(),
+            &Payload::Real(data.clone())
+        );
         // And back.
         let back = c.host_mut().alloc_real(vec![0u8; 256]);
         c.memcpy_dtoh_async(SimTime::ZERO, back, dst).unwrap();
-        assert_eq!(c.host().get(back.addr).unwrap().payload(), &Payload::Real(data));
+        assert_eq!(
+            c.host().get(back.addr).unwrap().payload(),
+            &Payload::Real(data)
+        );
     }
 
     #[test]
@@ -713,7 +835,10 @@ mod tests {
         c.memcpy_htod_async(SimTime::ZERO, dst, src).unwrap();
         assert_eq!(
             c.device_memory().get(dst).unwrap(),
-            &Payload::Virtual { len: 64 << 20, version: 0 }
+            &Payload::Virtual {
+                len: 64 << 20,
+                version: 0
+            }
         );
     }
 
@@ -728,10 +853,19 @@ mod tests {
         );
         let d_off = off.alloc_device(bytes).unwrap();
         let d_on = on.alloc_device(bytes).unwrap();
-        let t_off = off.memcpy_htod_async(SimTime::ZERO, d_off, s_off).unwrap().complete;
-        let t_on = on.memcpy_htod_async(SimTime::ZERO, d_on, s_on).unwrap().complete;
+        let t_off = off
+            .memcpy_htod_async(SimTime::ZERO, d_off, s_off)
+            .unwrap()
+            .complete;
+        let t_on = on
+            .memcpy_htod_async(SimTime::ZERO, d_on, s_on)
+            .unwrap()
+            .complete;
         let ratio = t_on.as_secs_f64() / t_off.as_secs_f64();
-        assert!(ratio > 6.0, "CC should be ~an order of magnitude slower, got {ratio:.1}x");
+        assert!(
+            ratio > 6.0,
+            "CC should be ~an order of magnitude slower, got {ratio:.1}x"
+        );
     }
 
     #[test]
@@ -762,7 +896,10 @@ mod tests {
             .unwrap();
         assert!(done.complete > SimTime::ZERO);
         assert_eq!(done.api_return, SimTime::ZERO);
-        assert_eq!(c.device_memory().get(dst).unwrap(), &Payload::Real(vec![42u8; 128]));
+        assert_eq!(
+            c.device_memory().get(dst).unwrap(),
+            &Payload::Real(vec![42u8; 128])
+        );
     }
 
     #[test]
@@ -776,13 +913,20 @@ mod tests {
         let err = c
             .submit_htod_sealed(SimTime::ZERO, SimTime::ZERO, dst, src, &sealed, 32)
             .unwrap_err();
-        assert!(matches!(err, GpuError::Crypto(CryptoError::IvMismatch { iv: _, expected: _ })));
+        assert!(matches!(
+            err,
+            GpuError::Crypto(CryptoError::IvMismatch { iv: _, expected: _ })
+        ));
         // Two NOPs advance the IV; then the submit succeeds and the device
         // (whose counter also advanced by the NOPs) authenticates it.
         c.send_nop(SimTime::ZERO).unwrap();
         c.send_nop(SimTime::ZERO).unwrap();
-        c.submit_htod_sealed(SimTime::ZERO, SimTime::ZERO, dst, src, &sealed, 32).unwrap();
-        assert_eq!(c.device_memory().get(dst).unwrap(), &Payload::Real(vec![7u8; 32]));
+        c.submit_htod_sealed(SimTime::ZERO, SimTime::ZERO, dst, src, &sealed, 32)
+            .unwrap();
+        assert_eq!(
+            c.device_memory().get(dst).unwrap(),
+            &Payload::Real(vec![7u8; 32])
+        );
         assert_eq!(c.stats().nops, 2);
     }
 
@@ -799,7 +943,10 @@ mod tests {
         let err = c
             .submit_htod_sealed(SimTime::ZERO, SimTime::ZERO, dst, src, &sealed, 16)
             .unwrap_err();
-        assert!(matches!(err, GpuError::Crypto(CryptoError::IvReused { .. })));
+        assert!(matches!(
+            err,
+            GpuError::Crypto(CryptoError::IvReused { .. })
+        ));
     }
 
     #[test]
@@ -813,16 +960,23 @@ mod tests {
         assert!(done > SimTime::ZERO);
         assert_eq!(payload, Payload::Real(vec![9u8; 8]));
         // Host memory untouched until the caller stores it.
-        assert_eq!(c.host().get(dst_host.addr).unwrap().payload(), &Payload::Real(vec![0u8; 8]));
+        assert_eq!(
+            c.host().get(dst_host.addr).unwrap().payload(),
+            &Payload::Real(vec![0u8; 8])
+        );
         c.host_store_unchecked(dst_host, payload).unwrap();
-        assert_eq!(c.host().get(dst_host.addr).unwrap().payload(), &Payload::Real(vec![9u8; 8]));
+        assert_eq!(
+            c.host().get(dst_host.addr).unwrap().payload(),
+            &Payload::Real(vec![9u8; 8])
+        );
     }
 
     #[test]
     fn page_faults_are_reported_via_cookies() {
         let mut c = ctx(CcMode::On);
         let region = c.host_mut().alloc_virtual(4096);
-        c.pages_mut().protect(region, Protection::WriteProtected, 77);
+        c.pages_mut()
+            .protect(region, Protection::WriteProtected, 77);
         c.host_touch(region.addr).unwrap();
         assert_eq!(c.drain_faults(), vec![77]);
         assert!(c.drain_faults().is_empty(), "faults drain once");
@@ -833,7 +987,10 @@ mod tests {
         let mut c = ctx(CcMode::Off);
         let src = c.host_mut().alloc_virtual(64);
         assert!(matches!(c.seal_region(src, 1), Err(GpuError::CcDisabled)));
-        assert!(matches!(c.send_nop(SimTime::ZERO), Err(GpuError::CcDisabled)));
+        assert!(matches!(
+            c.send_nop(SimTime::ZERO),
+            Err(GpuError::CcDisabled)
+        ));
     }
 
     #[test]

@@ -62,9 +62,48 @@ pub enum Payload {
 }
 
 impl Payload {
+    /// Wire-format kind byte of a [`Payload::Real`] payload.
+    pub const KIND_REAL: u8 = 0;
+    /// Wire-format kind byte of a [`Payload::Virtual`] payload.
+    pub const KIND_VIRTUAL: u8 = 1;
+
     /// Creates a virtual payload of `len` bytes at version 0.
     pub fn virtual_of(len: u64) -> Self {
         Payload::Virtual { len, version: 0 }
+    }
+
+    /// Serializes the payload's sealable plaintext into `out` (cleared
+    /// first, capacity reused) and returns the kind byte for the transfer
+    /// descriptor: real bytes verbatim, virtual payloads as a 16-byte
+    /// `(len, version)` stand-in so the ciphertext stays small while IV
+    /// semantics remain genuine. The zero-copy counterpart of
+    /// [`Payload::from_plaintext`].
+    pub fn write_plaintext(&self, out: &mut Vec<u8>) -> u8 {
+        out.clear();
+        match self {
+            Payload::Real(bytes) => {
+                out.extend_from_slice(bytes);
+                Payload::KIND_REAL
+            }
+            Payload::Virtual { len, version } => {
+                out.extend_from_slice(&len.to_be_bytes());
+                out.extend_from_slice(&version.to_be_bytes());
+                Payload::KIND_VIRTUAL
+            }
+        }
+    }
+
+    /// Rebuilds a payload from decrypted plaintext, taking ownership of
+    /// the buffer (real payloads keep it as their storage — no copy).
+    /// Inverse of [`Payload::write_plaintext`].
+    pub fn from_plaintext(kind: u8, bytes: Vec<u8>) -> Payload {
+        if kind == Payload::KIND_VIRTUAL && bytes.len() == 16 {
+            let len = u64::from_be_bytes(bytes[..8].try_into().expect("checked length"));
+            let version = u64::from_be_bytes(bytes[8..].try_into().expect("checked length"));
+            Payload::Virtual { len, version }
+        } else {
+            Payload::Real(bytes)
+        }
     }
 
     /// Logical length in bytes.
@@ -78,6 +117,16 @@ impl Payload {
     /// Whether the payload is zero-length.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Exact byte length [`Payload::write_plaintext`] will produce — what a
+    /// staging buffer should reserve (plus the tag) to seal without
+    /// reallocating.
+    pub fn plaintext_len(&self) -> usize {
+        match self {
+            Payload::Real(bytes) => bytes.len(),
+            Payload::Virtual { .. } => 16,
+        }
     }
 
     /// A compact fingerprint of the contents, used as the plaintext
@@ -155,10 +204,16 @@ impl fmt::Display for MemoryError {
             MemoryError::UnknownHostAddr(addr) => write!(f, "unknown host address {addr}"),
             MemoryError::UnknownDevicePtr(ptr) => write!(f, "unknown device pointer {ptr}"),
             MemoryError::DeviceOutOfMemory { requested, free } => {
-                write!(f, "device out of memory: requested {requested} bytes, {free} free")
+                write!(
+                    f,
+                    "device out of memory: requested {requested} bytes, {free} free"
+                )
             }
             MemoryError::LengthMismatch { expected, got } => {
-                write!(f, "length mismatch: allocation is {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "length mismatch: allocation is {expected} bytes, got {got}"
+                )
             }
         }
     }
@@ -179,7 +234,10 @@ pub struct HostMemory {
 impl HostMemory {
     /// Creates an empty host memory.
     pub fn new() -> Self {
-        HostMemory { allocs: BTreeMap::new(), next_addr: 0x1000 }
+        HostMemory {
+            allocs: BTreeMap::new(),
+            next_addr: 0x1000,
+        }
     }
 
     /// Allocates a chunk holding real bytes; returns its region.
@@ -200,7 +258,14 @@ impl HostMemory {
         // pages, mirroring how a real runtime would lay out swap buffers.
         self.next_addr += len.max(1).next_multiple_of(4096);
         let region = HostRegion { addr, len };
-        self.allocs.insert(addr.0, HostAlloc { region, payload, writes: 0 });
+        self.allocs.insert(
+            addr.0,
+            HostAlloc {
+                region,
+                payload,
+                writes: 0,
+            },
+        );
         region
     }
 
@@ -210,12 +275,17 @@ impl HostMemory {
     ///
     /// [`MemoryError::UnknownHostAddr`] if nothing is allocated there.
     pub fn free(&mut self, addr: HostAddr) -> Result<(), MemoryError> {
-        self.allocs.remove(&addr.0).map(|_| ()).ok_or(MemoryError::UnknownHostAddr(addr))
+        self.allocs
+            .remove(&addr.0)
+            .map(|_| ())
+            .ok_or(MemoryError::UnknownHostAddr(addr))
     }
 
     /// Looks up the allocation at `addr`.
     pub fn get(&self, addr: HostAddr) -> Result<&HostAlloc, MemoryError> {
-        self.allocs.get(&addr.0).ok_or(MemoryError::UnknownHostAddr(addr))
+        self.allocs
+            .get(&addr.0)
+            .ok_or(MemoryError::UnknownHostAddr(addr))
     }
 
     /// Overwrites the allocation's payload (same length), bumping versions.
@@ -225,7 +295,10 @@ impl HostMemory {
     /// - [`MemoryError::UnknownHostAddr`] if nothing is allocated at `addr`.
     /// - [`MemoryError::LengthMismatch`] if the new payload's length differs.
     pub fn write(&mut self, addr: HostAddr, payload: Payload) -> Result<(), MemoryError> {
-        let alloc = self.allocs.get_mut(&addr.0).ok_or(MemoryError::UnknownHostAddr(addr))?;
+        let alloc = self
+            .allocs
+            .get_mut(&addr.0)
+            .ok_or(MemoryError::UnknownHostAddr(addr))?;
         if payload.len() != alloc.region.len {
             return Err(MemoryError::LengthMismatch {
                 expected: alloc.region.len,
@@ -245,7 +318,10 @@ impl HostMemory {
     ///
     /// [`MemoryError::UnknownHostAddr`] if nothing is allocated at `addr`.
     pub fn touch(&mut self, addr: HostAddr) -> Result<(), MemoryError> {
-        let alloc = self.allocs.get_mut(&addr.0).ok_or(MemoryError::UnknownHostAddr(addr))?;
+        let alloc = self
+            .allocs
+            .get_mut(&addr.0)
+            .ok_or(MemoryError::UnknownHostAddr(addr))?;
         match &mut alloc.payload {
             Payload::Real(bytes) => {
                 if let Some(first) = bytes.first_mut() {
@@ -286,7 +362,12 @@ pub struct DeviceMemory {
 impl DeviceMemory {
     /// Creates a device memory of `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        DeviceMemory { buffers: BTreeMap::new(), capacity, used: 0, next_ptr: 0x10 }
+        DeviceMemory {
+            buffers: BTreeMap::new(),
+            capacity,
+            used: 0,
+            next_ptr: 0x10,
+        }
     }
 
     /// Total capacity in bytes.
@@ -329,7 +410,10 @@ impl DeviceMemory {
     ///
     /// [`MemoryError::UnknownDevicePtr`] if `ptr` is not live.
     pub fn dealloc(&mut self, ptr: DevicePtr) -> Result<(), MemoryError> {
-        let payload = self.buffers.remove(&ptr.0).ok_or(MemoryError::UnknownDevicePtr(ptr))?;
+        let payload = self
+            .buffers
+            .remove(&ptr.0)
+            .ok_or(MemoryError::UnknownDevicePtr(ptr))?;
         self.used -= payload.len();
         Ok(())
     }
@@ -340,7 +424,9 @@ impl DeviceMemory {
     ///
     /// [`MemoryError::UnknownDevicePtr`] if `ptr` is not live.
     pub fn get(&self, ptr: DevicePtr) -> Result<&Payload, MemoryError> {
-        self.buffers.get(&ptr.0).ok_or(MemoryError::UnknownDevicePtr(ptr))
+        self.buffers
+            .get(&ptr.0)
+            .ok_or(MemoryError::UnknownDevicePtr(ptr))
     }
 
     /// Stores `payload` into the allocation behind `ptr`.
@@ -351,9 +437,15 @@ impl DeviceMemory {
     /// - [`MemoryError::LengthMismatch`] if the payload length differs from
     ///   the allocation length.
     pub fn store(&mut self, ptr: DevicePtr, payload: Payload) -> Result<(), MemoryError> {
-        let slot = self.buffers.get_mut(&ptr.0).ok_or(MemoryError::UnknownDevicePtr(ptr))?;
+        let slot = self
+            .buffers
+            .get_mut(&ptr.0)
+            .ok_or(MemoryError::UnknownDevicePtr(ptr))?;
         if payload.len() != slot.len() {
-            return Err(MemoryError::LengthMismatch { expected: slot.len(), got: payload.len() });
+            return Err(MemoryError::LengthMismatch {
+                expected: slot.len(),
+                got: payload.len(),
+            });
         }
         *slot = payload;
         Ok(())
@@ -374,8 +466,12 @@ mod tests {
         let mut mem = HostMemory::new();
         let region = mem.alloc_real(vec![1, 2, 3, 4]);
         assert_eq!(region.len, 4);
-        assert_eq!(mem.get(region.addr).unwrap().payload(), &Payload::Real(vec![1, 2, 3, 4]));
-        mem.write(region.addr, Payload::Real(vec![9, 9, 9, 9])).unwrap();
+        assert_eq!(
+            mem.get(region.addr).unwrap().payload(),
+            &Payload::Real(vec![1, 2, 3, 4])
+        );
+        mem.write(region.addr, Payload::Real(vec![9, 9, 9, 9]))
+            .unwrap();
         assert_eq!(mem.get(region.addr).unwrap().writes(), 1);
         mem.free(region.addr).unwrap();
         assert!(mem.get(region.addr).is_err());
@@ -384,8 +480,7 @@ mod tests {
     #[test]
     fn host_allocations_never_overlap() {
         let mut mem = HostMemory::new();
-        let regions: Vec<HostRegion> =
-            (1..50u64).map(|i| mem.alloc_virtual(i * 1000)).collect();
+        let regions: Vec<HostRegion> = (1..50u64).map(|i| mem.alloc_virtual(i * 1000)).collect();
         for (i, a) in regions.iter().enumerate() {
             for b in regions.iter().skip(i + 1) {
                 assert!(!a.overlaps(b), "{a:?} overlaps {b:?}");
@@ -398,7 +493,13 @@ mod tests {
         let mut mem = HostMemory::new();
         let region = mem.alloc_virtual(100);
         let err = mem.write(region.addr, Payload::virtual_of(99)).unwrap_err();
-        assert_eq!(err, MemoryError::LengthMismatch { expected: 100, got: 99 });
+        assert_eq!(
+            err,
+            MemoryError::LengthMismatch {
+                expected: 100,
+                got: 99
+            }
+        );
     }
 
     #[test]
@@ -420,7 +521,13 @@ mod tests {
         let a = dev.alloc(600).unwrap();
         assert_eq!(dev.free_bytes(), 400);
         let err = dev.alloc(500).unwrap_err();
-        assert!(matches!(err, MemoryError::DeviceOutOfMemory { requested: 500, free: 400 }));
+        assert!(matches!(
+            err,
+            MemoryError::DeviceOutOfMemory {
+                requested: 500,
+                free: 400
+            }
+        ));
         dev.dealloc(a).unwrap();
         assert_eq!(dev.free_bytes(), 1000);
         assert!(dev.alloc(1000).is_ok());
@@ -433,7 +540,13 @@ mod tests {
         dev.store(ptr, Payload::Real(vec![7, 7, 7, 7])).unwrap();
         assert_eq!(dev.get(ptr).unwrap(), &Payload::Real(vec![7, 7, 7, 7]));
         let err = dev.store(ptr, Payload::Real(vec![1])).unwrap_err();
-        assert!(matches!(err, MemoryError::LengthMismatch { expected: 4, got: 1 }));
+        assert!(matches!(
+            err,
+            MemoryError::LengthMismatch {
+                expected: 4,
+                got: 1
+            }
+        ));
     }
 
     #[test]
@@ -443,6 +556,33 @@ mod tests {
         dev.dealloc(ptr).unwrap();
         assert!(dev.dealloc(ptr).is_err());
         assert!(dev.get(ptr).is_err());
+    }
+
+    #[test]
+    fn plaintext_roundtrips_and_reuses_buffers() {
+        let real = Payload::Real(vec![9u8; 32]);
+        let virt = Payload::Virtual {
+            len: 1 << 30,
+            version: 3,
+        };
+        let mut buf = Vec::with_capacity(64);
+        let ptr = buf.as_ptr();
+        let kind = real.write_plaintext(&mut buf);
+        assert_eq!(kind, Payload::KIND_REAL);
+        assert_eq!(buf.as_ptr(), ptr, "staging capacity must be reused");
+        assert_eq!(Payload::from_plaintext(kind, buf.clone()), real);
+        let kind = virt.write_plaintext(&mut buf);
+        assert_eq!(kind, Payload::KIND_VIRTUAL);
+        assert_eq!(buf.len(), virt.plaintext_len());
+        assert_eq!(buf.as_ptr(), ptr, "virtual stand-in fits the same buffer");
+        assert_eq!(Payload::from_plaintext(kind, buf.clone()), virt);
+        // A real payload adopts the decrypted buffer without copying.
+        let plain = vec![1u8; 16];
+        let plain_ptr = plain.as_ptr();
+        let Payload::Real(bytes) = Payload::from_plaintext(Payload::KIND_REAL, plain) else {
+            panic!("real payload expected");
+        };
+        assert_eq!(bytes.as_ptr(), plain_ptr);
     }
 
     #[test]

@@ -62,7 +62,14 @@ impl PageRegistry {
     ///
     /// Re-protecting a region replaces its previous protection.
     pub fn protect(&mut self, region: HostRegion, protection: Protection, cookie: u64) {
-        self.ranges.insert(region.addr.0, Range { region, protection, cookie });
+        self.ranges.insert(
+            region.addr.0,
+            Range {
+                region,
+                protection,
+                cookie,
+            },
+        );
     }
 
     /// Removes protection from the range starting exactly at `region.addr`.
@@ -130,7 +137,10 @@ mod tests {
     use crate::memory::HostAddr;
 
     fn region(addr: u64, len: u64) -> HostRegion {
-        HostRegion { addr: HostAddr(addr), len }
+        HostRegion {
+            addr: HostAddr(addr),
+            len,
+        }
     }
 
     #[test]

@@ -55,8 +55,12 @@ pub trait GpuRuntime {
     /// # Errors
     ///
     /// [`GpuError::Memory`] for unknown addresses or size mismatches.
-    fn memcpy_htod(&mut self, now: SimTime, dst: DevicePtr, src: HostRegion)
-        -> Result<SimTime, GpuError>;
+    fn memcpy_htod(
+        &mut self,
+        now: SimTime,
+        dst: DevicePtr,
+        src: HostRegion,
+    ) -> Result<SimTime, GpuError>;
 
     /// Asynchronous device→host copy. Returns the API-return time, as for
     /// [`GpuRuntime::memcpy_htod`].
@@ -64,8 +68,12 @@ pub trait GpuRuntime {
     /// # Errors
     ///
     /// [`GpuError::Memory`] for unknown addresses or size mismatches.
-    fn memcpy_dtoh(&mut self, now: SimTime, dst: HostRegion, src: DevicePtr)
-        -> Result<SimTime, GpuError>;
+    fn memcpy_dtoh(
+        &mut self,
+        now: SimTime,
+        dst: HostRegion,
+        src: DevicePtr,
+    ) -> Result<SimTime, GpuError>;
 
     /// Waits for all outstanding copies; returns the completion time.
     fn synchronize(&mut self, now: SimTime) -> SimTime;
@@ -229,7 +237,9 @@ macro_rules! passthrough_runtime {
                 dst: DevicePtr,
                 src: HostRegion,
             ) -> Result<SimTime, GpuError> {
-                self.ctx.memcpy_htod_async(now, dst, src).map(|t| t.api_return)
+                self.ctx
+                    .memcpy_htod_async(now, dst, src)
+                    .map(|t| t.api_return)
             }
 
             fn memcpy_dtoh(
@@ -238,7 +248,9 @@ macro_rules! passthrough_runtime {
                 dst: HostRegion,
                 src: DevicePtr,
             ) -> Result<SimTime, GpuError> {
-                self.ctx.memcpy_dtoh_async(now, dst, src).map(|t| t.api_return)
+                self.ctx
+                    .memcpy_dtoh_async(now, dst, src)
+                    .map(|t| t.api_return)
             }
 
             fn synchronize(&mut self, now: SimTime) -> SimTime {

@@ -87,7 +87,10 @@ impl GpuComputeModel {
         let flops = 2.0 * spec.params() as f64 * batch as f64;
         let weight_bytes = spec.weight_bytes() as f64;
         let kv_bytes = spec.kv_bytes_per_token() as f64 * context_tokens as f64;
-        self.iteration_overhead + self.flop_time(flops).max(self.mem_time(weight_bytes + kv_bytes))
+        self.iteration_overhead
+            + self
+                .flop_time(flops)
+                .max(self.mem_time(weight_bytes + kv_bytes))
     }
 
     /// Per-layer share of a decode iteration, for layer-pipelined engines.
@@ -96,12 +99,7 @@ impl GpuComputeModel {
     }
 
     /// Per-layer share of a prefill, for layer-pipelined engines.
-    pub fn prefill_layer_time(
-        &self,
-        spec: &ModelSpec,
-        batch: u64,
-        prompt_tokens: u64,
-    ) -> Duration {
+    pub fn prefill_layer_time(&self, spec: &ModelSpec, batch: u64, prompt_tokens: u64) -> Duration {
         self.split_per_layer(spec, self.prefill_time(spec, batch, prompt_tokens))
     }
 

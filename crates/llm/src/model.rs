@@ -8,10 +8,8 @@
 //! chunks are distinguishable from KV chunks by computing their sizes from
 //! the model definition).
 
-use serde::{Deserialize, Serialize};
-
 /// Numeric storage type of model weights / KV cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DType {
     /// 16-bit floating point (fp16/bf16): 2 bytes per parameter.
     F16,
@@ -63,7 +61,7 @@ impl std::fmt::Display for DType {
 /// // ≈ 30 billion parameters, derived from the architecture.
 /// assert!((29.0e9..31.5e9).contains(&(opt30.params() as f64)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModelSpec {
     /// Human-readable model name (e.g. `"OPT-30B"`).
     pub name: String,
@@ -187,7 +185,11 @@ impl ModelSpec {
 
 impl std::fmt::Display for ModelSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} ({} layers, hidden {}, {})", self.name, self.layers, self.hidden, self.dtype)
+        write!(
+            f,
+            "{} ({} layers, hidden {}, {})",
+            self.name, self.layers, self.hidden, self.dtype
+        )
     }
 }
 
@@ -210,7 +212,11 @@ mod tests {
         for (spec, nominal) in cases {
             let params = spec.params() as f64;
             let err = (params - nominal).abs() / nominal;
-            assert!(err < 0.05, "{}: {params:.3e} vs nominal {nominal:.1e}", spec.name);
+            assert!(
+                err < 0.05,
+                "{}: {params:.3e} vs nominal {nominal:.1e}",
+                spec.name
+            );
         }
     }
 
@@ -257,8 +263,7 @@ mod tests {
     #[test]
     fn layer_bytes_sum_to_total() {
         let spec = ModelSpec::opt_66b();
-        let total =
-            u64::from(spec.layers) * spec.layer_weight_bytes() + spec.embedding_bytes();
+        let total = u64::from(spec.layers) * spec.layer_weight_bytes() + spec.embedding_bytes();
         assert_eq!(total, spec.weight_bytes());
     }
 

@@ -81,7 +81,10 @@ impl FlexGenConfig {
 
     /// Description string for reports.
     pub fn describe(&self) -> String {
-        format!("FlexGen {} {}/{}", self.model.name, self.prompt_tokens, self.output_tokens)
+        format!(
+            "FlexGen {} {}/{}",
+            self.model.name, self.prompt_tokens, self.output_tokens
+        )
     }
 }
 
@@ -116,8 +119,8 @@ impl<R: GpuRuntime> FlexGenEngine<R> {
         let reserve = config.kv_reserve_bytes() + config.workspace_bytes + embed_bytes;
         let budget = rt.device_capacity().saturating_sub(reserve);
         // Two staging buffers for streamed layers must also fit.
-        let resident = ((budget / layer_bytes).saturating_sub(2) as usize)
-            .min(config.model.layers as usize);
+        let resident =
+            ((budget / layer_bytes).saturating_sub(2) as usize).min(config.model.layers as usize);
         let total = config.model.layers as usize;
 
         // Claim resident weights, embeddings, and KV as device allocations.
@@ -131,7 +134,9 @@ impl<R: GpuRuntime> FlexGenEngine<R> {
                 placements.push(Placement::Resident);
             } else {
                 let region = rt.alloc_host(Payload::virtual_of(layer_bytes));
-                placements.push(Placement::Offloaded { host_index: host_layers.len() });
+                placements.push(Placement::Offloaded {
+                    host_index: host_layers.len(),
+                });
                 host_layers.push(region);
             }
         }
@@ -141,7 +146,14 @@ impl<R: GpuRuntime> FlexGenEngine<R> {
         } else {
             Vec::new()
         };
-        Ok(FlexGenEngine { rt, config, placements, host_layers, staging, offloaded })
+        Ok(FlexGenEngine {
+            rt,
+            config,
+            placements,
+            host_layers,
+            staging,
+            offloaded,
+        })
     }
 
     /// Number of layers streamed from host memory each pass.
@@ -173,8 +185,7 @@ impl<R: GpuRuntime> FlexGenEngine<R> {
                         u64::from(self.config.prompt_tokens),
                     )
                 } else {
-                    let context = self.config.batch
-                        * (u64::from(self.config.prompt_tokens) + pass);
+                    let context = self.config.batch * (u64::from(self.config.prompt_tokens) + pass);
                     self.config.gpu.decode_layer_time(
                         &self.config.model,
                         self.config.batch,
@@ -216,7 +227,9 @@ impl<R: GpuRuntime> FlexGenEngine<R> {
         // Issue the first offloaded layer's transfer up front.
         let mut next_stream = 0usize; // index into host_layers
         if self.offloaded > 0 {
-            cpu = self.rt.memcpy_htod(cpu, self.staging[0], self.host_layers[0])?;
+            cpu = self
+                .rt
+                .memcpy_htod(cpu, self.staging[0], self.host_layers[0])?;
             next_stream = 1;
         }
         for layer in 0..self.placements.len() {
@@ -230,7 +243,9 @@ impl<R: GpuRuntime> FlexGenEngine<R> {
                     if next_stream < self.offloaded {
                         debug_assert_eq!(next_stream, host_index + 1);
                         let slot = self.staging[next_stream % 2];
-                        cpu = self.rt.memcpy_htod(done, slot, self.host_layers[next_stream])?;
+                        cpu = self
+                            .rt
+                            .memcpy_htod(done, slot, self.host_layers[next_stream])?;
                         next_stream += 1;
                     } else {
                         cpu = done;
@@ -271,14 +286,21 @@ mod tests {
         let rt = CcOffRuntime::new(IoTimingModel::default(), 80 * GB, 1);
         let engine = FlexGenEngine::load(rt, small_config()).unwrap();
         // OPT-66B is 132 GB; a large fraction of its 64 layers must stream.
-        assert!(engine.offloaded_layers() > 20, "{}", engine.offloaded_layers());
+        assert!(
+            engine.offloaded_layers() > 20,
+            "{}",
+            engine.offloaded_layers()
+        );
         assert!(engine.offloaded_layers() < 64);
     }
 
     #[test]
     fn model_that_fits_needs_no_offload() {
         let rt = CcOffRuntime::new(IoTimingModel::default(), 80 * GB, 1);
-        let config = FlexGenConfig { model: ModelSpec::opt_13b(), ..small_config() };
+        let config = FlexGenConfig {
+            model: ModelSpec::opt_13b(),
+            ..small_config()
+        };
         let engine = FlexGenEngine::load(rt, config).unwrap();
         assert_eq!(engine.offloaded_layers(), 0);
     }
@@ -333,7 +355,10 @@ mod tests {
         .unwrap()
         .run()
         .unwrap();
-        assert_eq!(report.completed, (config.requests / config.batch) * config.batch);
+        assert_eq!(
+            report.completed,
+            (config.requests / config.batch) * config.batch
+        );
         assert!(report.finished_at > SimTime::ZERO);
         assert_eq!(report.system, "w/o CC");
     }

@@ -100,8 +100,8 @@ impl<R: GpuRuntime> PeftEngine<R> {
             + config.model.embedding_bytes()
             + 4 * config.optimizer_exchange_bytes();
         let budget = rt.device_capacity().saturating_sub(reserve);
-        let resident = ((budget / layer_bytes).saturating_sub(2) as usize)
-            .min(config.model.layers as usize);
+        let resident =
+            ((budget / layer_bytes).saturating_sub(2) as usize).min(config.model.layers as usize);
         rt.alloc_device(config.model.embedding_bytes())?;
         rt.alloc_device(config.workspace_bytes)?;
         let mut placements = Vec::new();
@@ -112,7 +112,9 @@ impl<R: GpuRuntime> PeftEngine<R> {
                 placements.push(Placement::Resident);
             } else {
                 let region = rt.alloc_host(Payload::virtual_of(layer_bytes));
-                placements.push(Placement::Offloaded { host_index: host_layers.len() });
+                placements.push(Placement::Offloaded {
+                    host_index: host_layers.len(),
+                });
                 host_layers.push(region);
             }
         }
@@ -160,7 +162,9 @@ impl<R: GpuRuntime> PeftEngine<R> {
                 / batch.len() as u64)
                 .max(1);
             let per_layer =
-                self.config.gpu.train_layer_time(&self.config.model, batch.len() as u64, mean_len);
+                self.config
+                    .gpu
+                    .train_layer_time(&self.config.model, batch.len() as u64, mean_len);
             // Forward pass: layers in order; backward: reverse order.
             now = self.run_pass(now, per_layer, false)?;
             now = self.run_pass(now, per_layer, true)?;
@@ -213,7 +217,9 @@ impl<R: GpuRuntime> PeftEngine<R> {
         let mut next_stream = 0usize;
         if !stream_order.is_empty() {
             let slot = self.staging[0];
-            cpu = self.rt.memcpy_htod(cpu, slot, self.host_layers[stream_order[0]])?;
+            cpu = self
+                .rt
+                .memcpy_htod(cpu, slot, self.host_layers[stream_order[0]])?;
             next_stream = 1;
         }
         for &layer in &order {
@@ -259,7 +265,11 @@ mod tests {
         // OPT-30B fits for inference but not next to 40 GB of activations.
         let rt = CcOffRuntime::new(IoTimingModel::default(), 80 * GB, 1);
         let engine = PeftEngine::load(rt, PeftConfig::new(ModelSpec::opt_30b())).unwrap();
-        assert!(engine.offloaded_layers() > 10, "{}", engine.offloaded_layers());
+        assert!(
+            engine.offloaded_layers() > 10,
+            "{}",
+            engine.offloaded_layers()
+        );
     }
 
     #[test]
@@ -291,7 +301,11 @@ mod tests {
         let drop = 1.0 - r_cc.sequences_per_sec / r_off.sequences_per_sec;
         // Figure 3c: 36.2% drop on OPT-30B. Expect a material drop (>15%).
         assert!(drop > 0.15, "drop {:.1}%", drop * 100.0);
-        assert!(drop < 0.95, "training is partly compute-bound: {:.1}%", drop * 100.0);
+        assert!(
+            drop < 0.95,
+            "training is partly compute-bound: {:.1}%",
+            drop * 100.0
+        );
     }
 
     #[test]
@@ -321,7 +335,10 @@ mod tests {
         let expected_layer_bytes = steps * 2 * offloaded * config.model.layer_weight_bytes();
         let expected_h2d = expected_layer_bytes + steps * config.optimizer_exchange_bytes();
         assert_eq!(report.io.h2d_bytes, expected_h2d);
-        assert_eq!(report.io.d2h_bytes, steps * config.optimizer_exchange_bytes());
+        assert_eq!(
+            report.io.d2h_bytes,
+            steps * config.optimizer_exchange_bytes()
+        );
         assert_eq!(report.completed, data.len() as u64);
     }
 }

@@ -256,7 +256,10 @@ impl<R: GpuRuntime> VllmEngine<R> {
                 break;
             }
             let mut group = self.swapped.remove(idx);
-            let chunk = group.swap_chunk.take().expect("swapped groups hold a chunk");
+            let chunk = group
+                .swap_chunk
+                .take()
+                .expect("swapped groups hold a chunk");
             let dst = self.rt.alloc_device(chunk.len)?;
             cpu = self.rt.memcpy_htod(cpu, dst, chunk)?;
             releases.push((dst, chunk));
@@ -269,7 +272,9 @@ impl<R: GpuRuntime> VllmEngine<R> {
         // 4. Admit new requests FCFS while blocks allow; swapped groups
         // retain priority over fresh admissions.
         while self.swapped.is_empty() {
-            let Some(front) = self.waiting.front() else { break };
+            let Some(front) = self.waiting.front() else {
+                break;
+            };
             let needed = front.blocks_after_step(self.config.block_tokens);
             if needed > self.free_blocks || self.running.len() >= self.config.max_batch_seqs {
                 break;
@@ -293,7 +298,9 @@ impl<R: GpuRuntime> VllmEngine<R> {
             if let Some(idx) = self.next_resume_index() {
                 let mut group = self.swapped.remove(idx);
                 if let Some(chunk) = group.swap_chunk.take() {
-                    let dst = self.rt.alloc_device(chunk.len.min(self.rt.device_free_bytes()))?;
+                    let dst = self
+                        .rt
+                        .alloc_device(chunk.len.min(self.rt.device_free_bytes()))?;
                     cpu = self.rt.memcpy_htod(cpu, dst, chunk)?;
                     releases.push((dst, chunk));
                 }
@@ -384,7 +391,10 @@ impl<R: GpuRuntime> VllmEngine<R> {
             decode_seqs += u64::from(group.request.parallel);
             decode_context += group.context_tokens();
         }
-        let decode = self.config.gpu.decode_time(&self.config.model, decode_seqs, decode_context);
+        let decode = self
+            .config
+            .gpu
+            .decode_time(&self.config.model, decode_seqs, decode_context);
         compute_end = self.rt.launch_compute(compute_end, decode);
 
         // 8. Advance generation; retire finished groups.
@@ -395,8 +405,7 @@ impl<R: GpuRuntime> VllmEngine<R> {
                 let group = self.running.swap_remove(idx);
                 self.free_blocks = (self.free_blocks + group.blocks).min(self.total_blocks);
                 let latency = compute_end.saturating_since(group.request.arrival);
-                let norm =
-                    latency.as_secs_f64() / f64::from(group.request.output_tokens).max(1.0);
+                let norm = latency.as_secs_f64() / f64::from(group.request.output_tokens).max(1.0);
                 self.latencies.record(norm);
                 self.completed += 1;
             } else {
@@ -437,7 +446,9 @@ impl<R: GpuRuntime> VllmEngine<R> {
         let mut group = self.running.swap_remove(idx);
         let kv_bytes = group.kv_bytes(&self.config).max(1);
         let chunk = self.rt.alloc_host(Payload::virtual_of(kv_bytes));
-        let src = self.rt.alloc_device(kv_bytes.min(self.rt.device_free_bytes()))?;
+        let src = self
+            .rt
+            .alloc_device(kv_bytes.min(self.rt.device_free_bytes()))?;
         let cpu = self.rt.memcpy_dtoh(now, chunk, src)?;
         self.rt.free_device(src)?;
         self.free_blocks = (self.free_blocks + group.blocks).min(self.total_blocks);
@@ -552,7 +563,10 @@ mod tests {
         let run = |rate: f64| {
             let rt = CcOffRuntime::new(IoTimingModel::default(), 80 * GB, 1);
             let mut engine = VllmEngine::load(rt, config(), "sweep").unwrap();
-            engine.serve(&trace(rate, 4, 90.0)).unwrap().norm_latency_s_per_token
+            engine
+                .serve(&trace(rate, 4, 90.0))
+                .unwrap()
+                .norm_latency_s_per_token
         };
         let low = run(0.5);
         let high = run(12.0);
@@ -562,7 +576,10 @@ mod tests {
     #[test]
     fn fifo_policy_also_serves_everything() {
         let rt = CcOffRuntime::new(IoTimingModel::default(), 80 * GB, 1);
-        let cfg = VllmConfig { policy: SwapPolicy::LayerFifo, ..config() };
+        let cfg = VllmConfig {
+            policy: SwapPolicy::LayerFifo,
+            ..config()
+        };
         let mut engine = VllmEngine::load(rt, cfg, "fifo").unwrap();
         let trace = TraceConfig::new(Dataset::ShareGpt, 1.0)
             .duration_secs(90.0)

@@ -85,7 +85,8 @@ impl Samples {
             return 0.0;
         }
         if !self.sorted {
-            self.values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
             self.sorted = true;
         }
         let rank = ((p / 100.0) * self.values.len() as f64).ceil() as usize;
@@ -182,7 +183,10 @@ pub struct Series {
 impl Series {
     /// Creates an empty named series.
     pub fn new(name: impl Into<String>) -> Self {
-        Series { name: name.into(), points: Vec::new() }
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Series label (legend entry).

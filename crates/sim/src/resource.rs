@@ -106,7 +106,12 @@ impl Link {
     /// Creates a link with `gbps` GB/s of bandwidth and fixed per-op latency.
     pub fn new(gbps: f64, latency: Duration) -> Self {
         assert!(gbps > 0.0, "link bandwidth must be positive");
-        Link { server: Server::new(), bytes_per_sec: gbps * GIB, latency, bytes_moved: 0 }
+        Link {
+            server: Server::new(),
+            bytes_per_sec: gbps * GIB,
+            latency,
+            bytes_moved: 0,
+        }
     }
 
     /// Configured bandwidth in bytes/second.
@@ -128,7 +133,10 @@ impl Link {
         let occupancy = self.occupancy(bytes);
         let on_wire = self.server.reserve(arrival, occupancy);
         self.bytes_moved += bytes;
-        Reservation { start: on_wire.start, end: on_wire.end + self.latency }
+        Reservation {
+            start: on_wire.start,
+            end: on_wire.end + self.latency,
+        }
     }
 
     /// When the link can next accept data.
@@ -168,7 +176,11 @@ impl WorkerPool {
         for _ in 0..workers {
             free_at.push(Reverse(SimTime::ZERO));
         }
-        WorkerPool { free_at, workers, busy: Duration::ZERO }
+        WorkerPool {
+            free_at,
+            workers,
+            busy: Duration::ZERO,
+        }
     }
 
     /// Number of workers in the pool.
@@ -188,7 +200,10 @@ impl WorkerPool {
 
     /// The earliest time any worker is free.
     pub fn earliest_free(&self) -> SimTime {
-        self.free_at.peek().map(|Reverse(t)| *t).unwrap_or(SimTime::ZERO)
+        self.free_at
+            .peek()
+            .map(|Reverse(t)| *t)
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Total busy time accumulated across all workers.
@@ -309,8 +324,9 @@ mod tests {
     fn pool_runs_k_jobs_in_parallel() {
         let mut pool = WorkerPool::new(4);
         let service = Duration::from_micros(10);
-        let ends: Vec<SimTime> =
-            (0..4).map(|_| pool.reserve(SimTime::ZERO, service).end).collect();
+        let ends: Vec<SimTime> = (0..4)
+            .map(|_| pool.reserve(SimTime::ZERO, service).end)
+            .collect();
         assert!(ends.iter().all(|&e| e == SimTime::from_micros(10)));
         // A fifth job waits for the first free worker.
         let fifth = pool.reserve(SimTime::ZERO, service);

@@ -36,10 +36,9 @@
 
 use pipellm_sim::rng::SimRng;
 use pipellm_sim::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Which length distribution to draw requests from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dataset {
     /// Short instruction/answer pairs (Alpaca-like).
     Alpaca,
@@ -86,12 +85,11 @@ impl Dataset {
 }
 
 /// One inference request in a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
     /// Monotonic request id.
     pub id: u64,
     /// Arrival time (nanoseconds since trace start).
-    #[serde(with = "simtime_serde")]
     pub arrival: SimTime,
     /// Prompt length in tokens.
     pub prompt_tokens: u32,
@@ -100,19 +98,6 @@ pub struct Request {
     /// Parallel-sampling width: how many output sequences are generated
     /// for this prompt (the paper evaluates 2, 4 and 6).
     pub parallel: u32,
-}
-
-mod simtime_serde {
-    use pipellm_sim::time::SimTime;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(t: &SimTime, s: S) -> Result<S::Ok, S::Error> {
-        t.as_nanos().serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<SimTime, D::Error> {
-        Ok(SimTime::from_nanos(u64::deserialize(d)?))
-    }
 }
 
 impl Request {
@@ -128,7 +113,7 @@ impl Request {
 }
 
 /// Builder for a Poisson-arrival request trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceConfig {
     /// Dataset distribution.
     pub dataset: Dataset,
@@ -212,7 +197,7 @@ impl TraceConfig {
 }
 
 /// One fine-tuning sample (sequence of training tokens).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FinetuneSample {
     /// Sample id.
     pub id: u64,
@@ -239,13 +224,17 @@ mod tests {
 
     #[test]
     fn traces_are_deterministic() {
-        let config = TraceConfig::new(Dataset::ShareGpt, 1.0).duration_secs(120.0).seed(5);
+        let config = TraceConfig::new(Dataset::ShareGpt, 1.0)
+            .duration_secs(120.0)
+            .seed(5);
         assert_eq!(config.generate(), config.generate());
     }
 
     #[test]
     fn arrival_rate_matches_configuration() {
-        let config = TraceConfig::new(Dataset::Alpaca, 10.0).duration_secs(600.0).seed(1);
+        let config = TraceConfig::new(Dataset::Alpaca, 10.0)
+            .duration_secs(600.0)
+            .seed(1);
         let trace = config.generate();
         let rate = trace.len() as f64 / 600.0;
         assert!((rate - 10.0).abs() < 0.8, "observed rate {rate}");
@@ -253,7 +242,9 @@ mod tests {
 
     #[test]
     fn arrivals_are_sorted_and_in_window() {
-        let trace = TraceConfig::new(Dataset::Alpaca, 5.0).duration_secs(60.0).generate();
+        let trace = TraceConfig::new(Dataset::Alpaca, 5.0)
+            .duration_secs(60.0)
+            .generate();
         assert!(trace.windows(2).all(|w| w[0].arrival <= w[1].arrival));
         assert!(trace.iter().all(|r| r.arrival.as_secs_f64() <= 60.0));
         // Ids are dense.
@@ -285,7 +276,10 @@ mod tests {
     #[test]
     fn fixed_dataset_is_exact() {
         let mut rng = SimRng::seed_from(3);
-        let d = Dataset::Fixed { prompt: 256, output: 32 };
+        let d = Dataset::Fixed {
+            prompt: 256,
+            output: 32,
+        };
         for _ in 0..10 {
             assert_eq!(d.sample_lengths(&mut rng), (256, 32));
         }
@@ -294,10 +288,16 @@ mod tests {
 
     #[test]
     fn parallel_sampling_multiplies_output() {
-        let trace = TraceConfig::new(Dataset::Fixed { prompt: 8, output: 16 }, 1.0)
-            .duration_secs(30.0)
-            .parallel(6)
-            .generate();
+        let trace = TraceConfig::new(
+            Dataset::Fixed {
+                prompt: 8,
+                output: 16,
+            },
+            1.0,
+        )
+        .duration_secs(30.0)
+        .parallel(6)
+        .generate();
         assert!(trace.iter().all(|r| r.parallel == 6));
         assert!(trace.iter().all(|r| r.total_output_tokens() == 96));
         assert!(trace.iter().all(|r| r.peak_seq_tokens() == 24));
@@ -322,8 +322,7 @@ mod tests {
     fn ultrachat_lengths_center_near_1k() {
         let samples = ultrachat_like(6000, 9);
         assert_eq!(samples.len(), 6000);
-        let mean =
-            samples.iter().map(|s| f64::from(s.tokens)).sum::<f64>() / samples.len() as f64;
+        let mean = samples.iter().map(|s| f64::from(s.tokens)).sum::<f64>() / samples.len() as f64;
         assert!((600.0..1400.0).contains(&mean), "mean {mean}");
         assert!(samples.iter().all(|s| (64..=2048).contains(&s.tokens)));
     }

@@ -25,7 +25,15 @@ fn main() {
 
     let mut baseline = 0.0;
     for system in [System::cc_off(), System::cc(), System::pipellm(2)] {
-        let report = run_vllm(&system, model.clone(), dataset, rate, parallel, Scale::Quick, 7);
+        let report = run_vllm(
+            &system,
+            model.clone(),
+            dataset,
+            rate,
+            parallel,
+            Scale::Quick,
+            7,
+        );
         if matches!(system, System::CcOff) {
             baseline = report.norm_latency_s_per_token;
         }

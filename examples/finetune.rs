@@ -16,7 +16,10 @@ use pipellm_llm::ModelSpec;
 
 fn main() {
     for model in [ModelSpec::opt_30b(), ModelSpec::opt_13b()] {
-        println!("LoRA fine-tuning {} (ultrachat-like, one short epoch)\n", model.name);
+        println!(
+            "LoRA fine-tuning {} (ultrachat-like, one short epoch)\n",
+            model.name
+        );
         let mut baseline = 0.0;
         for system in [System::cc_off(), System::cc(), System::pipellm(8)] {
             let report = run_peft(&system, model.clone(), Scale::Quick, 99);

@@ -14,9 +14,7 @@ use pipellm_serving::FlexGenConfig;
 
 fn main() {
     let config = || FlexGenConfig::opt_66b(32, 32);
-    println!(
-        "FlexGen OPT-66B (132 GB weights, 80 GB GPU) — prompt 32 / output 32\n"
-    );
+    println!("FlexGen OPT-66B (132 GB weights, 80 GB GPU) — prompt 32 / output 32\n");
 
     let mut baseline = 0.0;
     for system in [System::cc_off(), System::cc(), System::pipellm(8)] {

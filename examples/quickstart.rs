@@ -59,7 +59,10 @@ fn main() -> Result<(), GpuError> {
 
     let stats = rt.spec_stats();
     println!("\nfinal: {stats}");
-    assert!(stats.spec_hits > 0, "speculation should have hit after warmup");
+    assert!(
+        stats.spec_hits > 0,
+        "speculation should have hit after warmup"
+    );
     println!(
         "{} of {} pipelined swap-ins were served from pre-encrypted ciphertext",
         stats.spec_hits + stats.reorders,

@@ -12,10 +12,19 @@ fn main() {
 
     // 1. Normal transfers: the IV is never transmitted; both sides advance
     //    their counters in lockstep.
-    let a = ch.host_mut().seal(b"layer 17 weights").expect("fresh counter");
-    let b = ch.host_mut().seal(b"layer 18 weights").expect("fresh counter");
+    let a = ch
+        .host_mut()
+        .seal(b"layer 17 weights")
+        .expect("fresh counter");
+    let b = ch
+        .host_mut()
+        .seal(b"layer 18 weights")
+        .expect("fresh counter");
     println!("sealed message A at IV={}, B at IV={}", a.iv, b.iv);
-    assert_eq!(ch.device_mut().open(&a).expect("in order"), b"layer 17 weights");
+    assert_eq!(
+        ch.device_mut().open(&a).expect("in order"),
+        b"layer 17 weights"
+    );
 
     // 2. Out-of-order delivery fails authentication — the replay protection
     //    that makes speculative encryption hard.
@@ -32,10 +41,17 @@ fn main() {
         .tx()
         .seal_speculative(future_iv, b"", b"predicted KV block")
         .expect("future IV");
-    println!("speculatively sealed at IV={future_iv} while counter is {}", ch.host().tx().next_iv());
+    println!(
+        "speculatively sealed at IV={future_iv} while counter is {}",
+        ch.host().tx().next_iv()
+    );
 
     // Committing too early is a recoverable IV mismatch…
-    let early = ch.host_mut().tx_mut().commit(&spec).expect_err("counter is behind");
+    let early = ch
+        .host_mut()
+        .tx_mut()
+        .commit(&spec)
+        .expect_err("counter is behind");
     println!("early commit: {early}");
 
     // …fixed by NOP padding (§5.3): 1-byte dummies that advance both sides.
@@ -43,13 +59,25 @@ fn main() {
         let nop = ch.host_mut().tx_mut().seal_nop();
         ch.device_mut().open(&nop).expect("nop is authentic");
     }
-    ch.host_mut().tx_mut().commit(&spec).expect("counters aligned");
-    let plain = ch.device_mut().open(&spec).expect("device counter caught up");
+    ch.host_mut()
+        .tx_mut()
+        .commit(&spec)
+        .expect("counters aligned");
+    let plain = ch
+        .device_mut()
+        .open(&spec)
+        .expect("device counter caught up");
     assert_eq!(plain, b"predicted KV block");
-    println!("committed speculative ciphertext after NOP padding: {:?}", String::from_utf8(plain));
+    println!(
+        "committed speculative ciphertext after NOP padding: {:?}",
+        String::from_utf8(plain)
+    );
 
     // 4. A stale speculation (its IV consumed by other traffic) is
     //    irrecoverable: sealing below the counter would reuse a GCM nonce.
     let stale = ch.host().tx().seal_speculative(1, b"", b"too late");
-    println!("sealing at a consumed IV: {}", stale.expect_err("nonce reuse refused"));
+    println!(
+        "sealing at a consumed IV: {}",
+        stale.expect_err("nonce reuse refused")
+    );
 }

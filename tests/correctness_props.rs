@@ -86,9 +86,20 @@ fn run_schedule(ops: &[Op], mode: SpecFailureMode, slack: u64) {
                 let dev = rt.alloc_device(CHUNK).expect("device capacity");
                 now = rt.memcpy_htod(now, dev, chunks[i]).expect("swap in");
                 now = rt.synchronize(now);
-                let payload = rt.context().device_memory().get(dev).expect("stored").clone();
-                let Payload::Real(bytes) = payload else { panic!("real payload expected") };
-                let expect0 = if flipped[i] { value[i] ^ 0xff } else { value[i] };
+                let payload = rt
+                    .context()
+                    .device_memory()
+                    .get(dev)
+                    .expect("stored")
+                    .clone();
+                let Payload::Real(bytes) = payload else {
+                    panic!("real payload expected")
+                };
+                let expect0 = if flipped[i] {
+                    value[i] ^ 0xff
+                } else {
+                    value[i]
+                };
                 assert_eq!(
                     (bytes[0], bytes[1]),
                     (expect0, value[i]),

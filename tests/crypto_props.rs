@@ -1,7 +1,10 @@
 //! Property-based tests of the cryptographic substrate: AES-GCM roundtrip
-//! and tamper detection, and the incrementing-IV channel discipline under
-//! arbitrary operation interleavings.
+//! and tamper detection, equivalence of the multi-block / in-place fast
+//! paths with their retained reference implementations, and the
+//! incrementing-IV channel discipline under arbitrary operation
+//! interleavings.
 
+use pipellm_repro::crypto::aes::Aes;
 use pipellm_repro::crypto::channel::{ChannelKeys, SecureChannel};
 use pipellm_repro::crypto::gcm::AesGcm;
 use pipellm_repro::crypto::CryptoError;
@@ -40,6 +43,65 @@ proptest! {
         let tampered = gcm.open(&nonce, b"aad", &sealed);
         let rejected = matches!(tampered, Err(CryptoError::AuthenticationFailed { .. }));
         prop_assert!(rejected, "tampered ciphertext must be rejected: {:?}", tampered);
+    }
+
+    /// The multi-block AES path (hardware-dispatched *and* forced-software)
+    /// is byte-identical to the byte-oriented FIPS-197 reference for any
+    /// key and block count.
+    #[test]
+    fn multi_block_aes_matches_reference(
+        key in proptest::array::uniform32(any::<u8>()),
+        data in proptest::collection::vec(any::<u8>(), 0..640),
+    ) {
+        let whole_blocks = data.len() - data.len() % 16;
+        let cipher = Aes::new(&key).expect("32-byte key");
+        let soft = Aes::new(&key).expect("32-byte key").software_only();
+        let mut fast = data[..whole_blocks].to_vec();
+        let mut tables = fast.clone();
+        let mut reference = fast.clone();
+        cipher.encrypt_blocks(&mut fast);
+        soft.encrypt_blocks(&mut tables);
+        for block in reference.chunks_exact_mut(16) {
+            let block: &mut [u8; 16] = block.try_into().expect("exact chunk");
+            cipher.encrypt_block_reference(block);
+        }
+        prop_assert_eq!(&fast, &reference);
+        prop_assert_eq!(&tables, &reference);
+    }
+
+    /// The batched fast seal (multi-block CTR + aggregated GHASH) equals
+    /// the retained single-block reference seal for any key and input.
+    #[test]
+    fn fast_seal_matches_single_block_reference(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        aad in proptest::collection::vec(any::<u8>(), 0..48),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..700),
+    ) {
+        let gcm = AesGcm::new(&key).expect("32-byte key");
+        let soft = AesGcm::new(&key).expect("32-byte key").software_only();
+        let reference = soft.seal_reference(&nonce, &aad, &plaintext);
+        prop_assert_eq!(gcm.seal(&nonce, &aad, &plaintext), reference.clone());
+        prop_assert_eq!(soft.seal(&nonce, &aad, &plaintext), reference);
+    }
+
+    /// Detached-tag in-place sealing agrees with the allocating API and
+    /// roundtrips through `open_in_place`.
+    #[test]
+    fn in_place_seal_matches_allocating_seal(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        aad in proptest::collection::vec(any::<u8>(), 0..32),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let gcm = AesGcm::new(&key).expect("32-byte key");
+        let sealed = gcm.seal(&nonce, &aad, &plaintext);
+        let mut buf = plaintext.clone();
+        let tag = gcm.seal_in_place(&nonce, &aad, &mut buf);
+        prop_assert_eq!(&sealed[..plaintext.len()], &buf[..]);
+        prop_assert_eq!(&sealed[plaintext.len()..], &tag[..]);
+        gcm.open_in_place(&nonce, &aad, &mut buf, &tag).expect("authentic");
+        prop_assert_eq!(buf, plaintext);
     }
 
     /// Opening under different AAD fails authentication.
@@ -106,6 +168,9 @@ fn nops_interleave_freely_with_data() {
             ch.device_mut().open(&nop).expect("nop authentic");
         }
         let sealed = ch.host_mut().seal(&[round]).expect("fresh");
-        assert_eq!(ch.device_mut().open(&sealed).expect("in order"), vec![round]);
+        assert_eq!(
+            ch.device_mut().open(&sealed).expect("in order"),
+            vec![round]
+        );
     }
 }

@@ -40,8 +40,13 @@ fn reuse_strawman_accepts_the_replay_the_channel_rejects() {
     let captured_v1 = sealer.seal(chunk_tag, b"weights v1");
     let _v2_in_flight = sealer.seal(chunk_tag, b"weights v2");
     // Attacker swaps in the stale ciphertext; the receiver cannot tell.
-    let rolled_back = sealer.open(chunk_tag, &captured_v1).expect("replay accepted");
-    assert_eq!(rolled_back, b"weights v1", "the GPU now computes on stale weights");
+    let rolled_back = sealer
+        .open(chunk_tag, &captured_v1)
+        .expect("replay accepted");
+    assert_eq!(
+        rolled_back, b"weights v1",
+        "the GPU now computes on stale weights"
+    );
 }
 
 /// Identical plaintext produces different ciphertext on the channel
@@ -81,7 +86,10 @@ fn speculation_never_ships_stale_ciphertext() {
         now = rt.synchronize(now);
         rt.free_device(dev).expect("live");
     }
-    assert!(rt.queue_len() > 0, "the chunk should be speculatively sealed");
+    assert!(
+        rt.queue_len() > 0,
+        "the chunk should be speculatively sealed"
+    );
     // The application updates the plaintext in place…
     now = rt.host_touch(now, layer.addr).expect("live chunk");
     // …and the very next swap-in must carry the update.
@@ -116,5 +124,8 @@ fn nops_are_visible_but_content_free() {
 fn reflection_across_directions_is_rejected() {
     let mut ch = SecureChannel::new(ChannelKeys::from_seed(13));
     let h2d = ch.host_mut().seal(b"host to device").expect("fresh");
-    assert!(ch.host_mut().open(&h2d).is_err(), "reflected message must not authenticate");
+    assert!(
+        ch.host_mut().open(&h2d).is_err(),
+        "reflected message must not authenticate"
+    );
 }

@@ -22,7 +22,11 @@ fn vllm_serves_every_request_on_all_runtimes() {
             Scale::Quick,
             1234,
         );
-        assert!(report.completed > 0, "{}: no requests finished", system.label());
+        assert!(
+            report.completed > 0,
+            "{}: no requests finished",
+            system.label()
+        );
         completed.push(report.completed);
     }
     assert!(
@@ -34,13 +38,24 @@ fn vllm_serves_every_request_on_all_runtimes() {
 #[test]
 fn vllm_latency_ordering_under_pressure() {
     let run = |system: &System| {
-        run_vllm(system, ModelSpec::opt_30b(), Dataset::ShareGpt, 0.8, 6, Scale::Quick, 77)
-            .norm_latency_s_per_token
+        run_vllm(
+            system,
+            ModelSpec::opt_30b(),
+            Dataset::ShareGpt,
+            0.8,
+            6,
+            Scale::Quick,
+            77,
+        )
+        .norm_latency_s_per_token
     };
     let off = run(&System::cc_off());
     let cc = run(&System::cc());
     let pipellm = run(&System::pipellm(2));
-    assert!(off <= pipellm * 1.02, "w/o CC {off:.4} must be fastest (PipeLLM {pipellm:.4})");
+    assert!(
+        off <= pipellm * 1.02,
+        "w/o CC {off:.4} must be fastest (PipeLLM {pipellm:.4})"
+    );
     assert!(pipellm < cc, "PipeLLM {pipellm:.4} must beat CC {cc:.4}");
 }
 
@@ -58,13 +73,15 @@ fn flexgen_throughput_ordering() {
 
 #[test]
 fn peft_throughput_ordering() {
-    let run = |system: &System| {
-        run_peft(system, ModelSpec::opt_13b(), Scale::Quick, 5).sequences_per_sec
-    };
+    let run =
+        |system: &System| run_peft(system, ModelSpec::opt_13b(), Scale::Quick, 5).sequences_per_sec;
     let off = run(&System::cc_off());
     let cc = run(&System::cc());
     let pipellm = run(&System::pipellm(8));
-    assert!(off >= pipellm * 0.999, "w/o CC {off:.3} ≥ PipeLLM {pipellm:.3}");
+    assert!(
+        off >= pipellm * 0.999,
+        "w/o CC {off:.3} ≥ PipeLLM {pipellm:.3}"
+    );
     assert!(pipellm >= cc, "PipeLLM {pipellm:.3} ≥ CC {cc:.3}");
 }
 

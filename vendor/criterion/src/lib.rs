@@ -1,0 +1,302 @@
+//! A vendored, dependency-free subset of the `criterion` benchmarking API.
+//!
+//! This repository builds hermetically (no crates.io), so the benches run
+//! against this shim: same source-level API (`Criterion`, groups,
+//! `iter`/`iter_batched`, the `criterion_group!`/`criterion_main!` macros),
+//! much simpler engine. Each benchmark is measured as `sample_size` samples
+//! of a batch sized to take roughly [`TARGET_SAMPLE`]; the reported figure
+//! is the median sample, printed as ns/iter plus MB/s when a byte
+//! throughput is configured.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock duration of one measured sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Cap on the total measuring time of one benchmark.
+const MAX_BENCH_TIME: Duration = Duration::from_secs(3);
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// A parameterized benchmark identifier (`group/parameter`).
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    /// An id rendering as the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(param: P) -> Self {
+        BenchmarkId {
+            param: param.to_string(),
+        }
+    }
+}
+
+/// One benchmark's measurement result.
+#[derive(Debug, Clone, Copy)]
+pub struct Sampled {
+    /// Median time per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured in total.
+    pub iterations: u64,
+}
+
+/// Measures closures; handed to benchmark functions.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Sampled>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            result: None,
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a batch size hitting TARGET_SAMPLE.
+        let start = Instant::now();
+        black_box(routine());
+        let est = start.elapsed().max(Duration::from_nanos(10));
+        let batch = (TARGET_SAMPLE.as_nanos() / est.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        let bench_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() / batch as f64);
+            total_iters += batch;
+            if bench_start.elapsed() > MAX_BENCH_TIME {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        self.result = Some(Sampled {
+            ns_per_iter: median * 1e9,
+            iterations: total_iters,
+        });
+    }
+
+    /// Times `routine` on inputs produced by `setup`; only `routine` is
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        let bench_start = Instant::now();
+        for _ in 0..self.sample_size.max(1) {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed().as_secs_f64());
+            total_iters += 1;
+            if bench_start.elapsed() > MAX_BENCH_TIME {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        self.result = Some(Sampled {
+            ns_per_iter: median * 1e9,
+            iterations: total_iters,
+        });
+    }
+}
+
+/// How `iter_batched` amortizes setup; accepted for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+fn report(name: &str, result: Option<Sampled>, throughput: Option<Throughput>) {
+    let Some(sampled) = result else {
+        println!("{name:<48} (no measurement)");
+        return;
+    };
+    let per_iter = sampled.ns_per_iter;
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mbps = bytes as f64 / (per_iter / 1e9) / (1024.0 * 1024.0);
+            format!("  {mbps:>10.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / (per_iter / 1e9);
+            format!("  {eps:>10.1} elem/s")
+        }
+        None => String::new(),
+    };
+    println!("{name:<48} {per_iter:>14.1} ns/iter{rate}");
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(&name.into(), bencher.result, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark over an explicit input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.criterion.sample_size);
+        f(&mut bencher, input);
+        report(
+            &format!("{}/{}", self.name, id.param),
+            bencher.result,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        label: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.criterion.sample_size);
+        f(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, label.into()),
+            bencher.result,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default().sample_size(3);
+        // Must not panic, and must finish quickly for a trivial closure.
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_render_throughput() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(1024),
+            &vec![0u8; 1024],
+            |b, v| {
+                b.iter(|| black_box(v.iter().map(|&x| x as u64).sum::<u64>()));
+            },
+        );
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+}
