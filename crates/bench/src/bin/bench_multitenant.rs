@@ -1,0 +1,50 @@
+//! Tenant-scaling benchmark: emits `BENCH_multitenant.json` with
+//! normalized latency and speculation hit rate versus tenant count, for
+//! CC-off, native CC, and PipeLLM over one shared runtime.
+//!
+//! Usage:
+//!   cargo run --release -p pipellm-bench --bin bench_multitenant \
+//!       [--smoke] [out.json]
+//!
+//! `--smoke` runs the CI-sized sweep (1/2/4 tenants, fewer requests);
+//! the default sweep adds 8 tenants and more requests per tenant.
+
+use pipellm_bench::multitenant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_multitenant.json".to_string());
+
+    let (counts, requests): (&[usize], usize) = if smoke {
+        (&[1, 2, 4], 10)
+    } else {
+        (&[1, 2, 4, 8], 32)
+    };
+
+    let rows = multitenant::run(counts, requests);
+    print!("{}", multitenant::to_table(&rows));
+
+    // The claims the artifact exists to track.
+    for tenants in counts {
+        let norm = |label: &str| {
+            rows.iter()
+                .find(|r| r.tenants == *tenants && r.system == label)
+                .map(|r| r.norm_latency_s_per_chunk)
+                .unwrap_or_else(|| panic!("missing row {label}@{tenants}"))
+        };
+        assert!(
+            norm("PipeLLM") < norm("CC-2t"),
+            "PipeLLM must beat native CC at {tenants} tenants"
+        );
+    }
+    assert!(rows.iter().all(|r| r.lockstep), "counters out of lockstep");
+
+    let json = multitenant::to_json(&rows);
+    std::fs::write(&out_path, &json).expect("write benchmark artifact");
+    println!("wrote {out_path}");
+}

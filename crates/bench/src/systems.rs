@@ -1,7 +1,7 @@
 //! The three systems every experiment compares, as a runtime factory.
 
 use pipellm::{PipeLlmConfig, PipeLlmRuntime, SpecFailureMode};
-use pipellm_gpu::runtime::{CcNativeRuntime, CcOffRuntime, GpuRuntime};
+use pipellm_gpu::runtime::{CcNativeRuntime, CcOffRuntime, GpuRuntime, SessionedRuntime};
 use pipellm_gpu::IoTimingModel;
 
 /// H100-SXM device memory in bytes (as marketed: 80 GB).
@@ -81,23 +81,47 @@ impl System {
         match *self {
             System::CcOff => Box::new(CcOffRuntime::new(timing, capacity, 1)),
             System::Cc { threads } => Box::new(CcNativeRuntime::new(timing, capacity, threads)),
-            System::PipeLlm {
-                threads,
-                failure_mode,
-            } => {
-                Box::new(PipeLlmRuntime::new(PipeLlmConfig {
-                    timing,
-                    device_capacity: capacity,
-                    crypto_threads: threads,
-                    // Keep every crypto worker fed: the queue must hold at
-                    // least ~2 chunks per worker for ciphertext production
-                    // to sustain the PCIe rate (§7.1).
-                    spec_depth: (threads * 2).max(6),
-                    failure_mode,
-                    ..PipeLlmConfig::default()
-                }))
-            }
+            System::PipeLlm { .. } => self.build_pipellm(capacity),
         }
+    }
+
+    /// Builds the runtime as a session-aware trait object, for
+    /// multi-tenant experiments. Every system supports sessions; only
+    /// PipeLLM attaches speculation state to them.
+    pub fn build_sessioned(&self, capacity: u64) -> Box<dyn SessionedRuntime> {
+        let timing = IoTimingModel::default();
+        match *self {
+            System::CcOff => Box::new(CcOffRuntime::new(timing, capacity, 1)),
+            System::Cc { threads } => Box::new(CcNativeRuntime::new(timing, capacity, threads)),
+            System::PipeLlm { .. } => self.build_pipellm(capacity),
+        }
+    }
+
+    /// Builds the concrete PipeLLM runtime (per-session speculation stats
+    /// stay readable after a run, unlike through the trait objects).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a [`System::PipeLlm`] variant.
+    pub fn build_pipellm(&self, capacity: u64) -> Box<PipeLlmRuntime> {
+        let System::PipeLlm {
+            threads,
+            failure_mode,
+        } = *self
+        else {
+            unreachable!("only called for PipeLLM systems");
+        };
+        Box::new(PipeLlmRuntime::new(PipeLlmConfig {
+            timing: IoTimingModel::default(),
+            device_capacity: capacity,
+            crypto_threads: threads,
+            // Keep every crypto worker fed: the queue must hold at
+            // least ~2 chunks per worker for ciphertext production
+            // to sustain the PCIe rate (§7.1).
+            spec_depth: (threads * 2).max(6),
+            failure_mode,
+            ..PipeLlmConfig::default()
+        }))
     }
 }
 

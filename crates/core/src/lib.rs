@@ -51,6 +51,7 @@ pub mod pipeline;
 pub mod predictor;
 pub mod reuse;
 pub mod runtime;
+pub mod session;
 pub mod stats;
 
 pub use classify::{SizeClassifier, TransferClass};
@@ -59,4 +60,5 @@ pub use pipeline::SpeculationQueue;
 pub use predictor::{Pattern, Predictor};
 pub use reuse::{ReuseConfig, ReuseRuntime, ReuseStats};
 pub use runtime::{PipeLlmConfig, PipeLlmRuntime, SpecFailureMode};
+pub use session::{SessionState, SessionTable};
 pub use stats::PipeLlmStats;

@@ -51,10 +51,14 @@ impl SpecEntry {
 }
 
 /// IV-ordered queue of speculative ciphertext.
+///
+/// Validation cookies are *not* allocated here: the page registry and its
+/// fault queue are shared across sessions, so cookies come from the
+/// runtime's global `CookieCounter` — per-queue counters would collide
+/// between sessions and misroute faults.
 #[derive(Debug, Default)]
 pub struct SpeculationQueue {
     entries: VecDeque<SpecEntry>,
-    next_cookie: u64,
 }
 
 impl SpeculationQueue {
@@ -71,12 +75,6 @@ impl SpeculationQueue {
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
-    }
-
-    /// Allocates a fresh validation cookie.
-    pub fn next_cookie(&mut self) -> u64 {
-        self.next_cookie += 1;
-        self.next_cookie
     }
 
     /// The IV one past the last queued entry, or `fallback` if empty.
@@ -265,13 +263,5 @@ mod tests {
         assert!(q.is_empty());
         // After a relinquish, IVs restart from the fallback.
         assert_eq!(q.next_iv_after(10), 10);
-    }
-
-    #[test]
-    fn cookies_are_unique() {
-        let mut q = SpeculationQueue::new();
-        let a = q.next_cookie();
-        let b = q.next_cookie();
-        assert_ne!(a, b);
     }
 }

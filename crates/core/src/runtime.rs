@@ -23,15 +23,22 @@
 //!      encrypted on demand ([`PipeLlmStats::relinquishes`]).
 //! 4. Swap-outs return before decryption; the destination pages are
 //!    access-revoked until a background decrypt lands (§5.4).
+//!
+//! The runtime is **multi-tenant**: it implements
+//! [`pipellm_gpu::runtime::SessionedRuntime`], so N independent sessions —
+//! each with its own channel keys, IV counters, predictor, speculation
+//! queue, and staging pool (see [`crate::session`]) — share one crypto
+//! worker pool, one PCIe link, and one device allocator. Speculation for
+//! tenant A races on-demand encryption for tenant B exactly as on real
+//! hardware.
 
 use crate::classify::SizeClassifier;
-use crate::pipeline::{SpecEntry, SpeculationQueue};
-use crate::predictor::Predictor;
+use crate::session::{SessionState, SessionTable, SpecParams};
 use crate::stats::PipeLlmStats;
-use pipellm_gpu::context::{ContextConfig, CudaContext, GpuError, IoStats};
+use pipellm_crypto::session::SessionId;
+use pipellm_gpu::context::{ContextConfig, CudaContext, GpuError, IoStats, SessionCounters};
 use pipellm_gpu::memory::{DevicePtr, HostAddr, HostRegion, Payload};
-use pipellm_gpu::pages::Protection;
-use pipellm_gpu::runtime::GpuRuntime;
+use pipellm_gpu::runtime::{GpuRuntime, SessionedRuntime};
 use pipellm_gpu::{CcMode, IoTimingModel};
 use pipellm_sim::time::SimTime;
 use std::fmt;
@@ -72,10 +79,10 @@ pub struct PipeLlmConfig {
     /// Device memory capacity in bytes (H100-SXM: 80 GB).
     pub device_capacity: u64,
     /// Crypto worker threads shared by speculation, on-demand encryption,
-    /// NOPs, and background decryption. The paper uses 2 for vLLM and more
-    /// for FlexGen-style offloading (§7.1, §7.3).
+    /// NOPs, and background decryption — across *all* sessions. The paper
+    /// uses 2 for vLLM and more for FlexGen-style offloading (§7.1, §7.3).
     pub crypto_threads: usize,
-    /// Maximum pre-encrypted chunks in flight.
+    /// Maximum pre-encrypted chunks in flight per session.
     pub spec_depth: usize,
     /// Extra IV headroom reserved ahead of the channel counter for
     /// interleaved small I/O (§5.1: "PipeLLM would predict a larger IV").
@@ -83,13 +90,13 @@ pub struct PipeLlmConfig {
     pub iv_slack: u64,
     /// Prediction behaviour (ablations).
     pub failure_mode: SpecFailureMode,
-    /// Swap-in history window for the predictor.
+    /// Swap-in history window for each session's predictor.
     pub history_capacity: usize,
     /// N-gram context length for repetitive-pattern prediction
     /// (0 = the paper's plain successor heuristic; 1 disambiguates
-    /// forward/backward traversals; see [`Predictor::with_context_depth`]).
+    /// forward/backward traversals).
     pub context_depth: usize,
-    /// Channel key-derivation seed.
+    /// Root-secret seed for per-session channel key derivation.
     pub seed: u64,
 }
 
@@ -109,69 +116,34 @@ impl Default for PipeLlmConfig {
     }
 }
 
-/// A swap-out whose decryption is still running in the background (§5.4).
-#[derive(Debug, Clone)]
-struct PendingDecrypt {
-    region: HostRegion,
-    payload: Payload,
-    ready_at: SimTime,
-    cookie: u64,
-}
-
-/// A swap-in request suspended because its pre-encrypted IV is ahead of the
-/// channel counter (Figure 6: "PipeLLM suspends this request").
-#[derive(Debug, Clone, Copy)]
-struct Suspended {
-    dst: DevicePtr,
-    chunk: HostRegion,
-    iv: u64,
-}
-
 /// The PipeLLM runtime: NVIDIA-CC security, near CC-off performance.
 ///
 /// Implements [`GpuRuntime`], so any serving engine runs on it unmodified —
-/// the paper's user-transparency property.
+/// the paper's user-transparency property — and [`SessionedRuntime`], so N
+/// tenants multiplex over it with isolated crypto state.
 pub struct PipeLlmRuntime {
     ctx: CudaContext,
     classifier: SizeClassifier,
-    predictor: Predictor,
-    queue: SpeculationQueue,
-    suspended: Vec<Suspended>,
-    decrypts: Vec<PendingDecrypt>,
-    stats: PipeLlmStats,
-    spec_depth: usize,
-    iv_slack: u64,
-    failure_mode: SpecFailureMode,
-    /// Next IV to assign to a speculative seal; strictly increasing between
-    /// relinquishes so queue IVs stay contiguous.
-    next_spec_iv: u64,
-    /// Swap-ins in a row that found no usable entry.
-    consecutive_misses: u32,
-    /// Crypto worker threads (gang width for on-demand seals).
-    crypto_threads: usize,
-    /// Recycled ciphertext staging buffers: every disposed speculative
-    /// entry returns its allocation here, and every new seal draws from
-    /// it, so steady-state speculation seals into reused memory.
-    buf_pool: Vec<Vec<u8>>,
+    table: SessionTable,
+    params: SpecParams,
+    /// Counters folded in from closed sessions, so the aggregate
+    /// statistics stay monotonic when tenants depart.
+    retired: PipeLlmStats,
 }
-
-/// Consecutive unpredicted swap-ins after which the whole pipeline is
-/// relinquished instead of recovering entry by entry.
-const MISS_RELINQUISH_THRESHOLD: u32 = 3;
 
 impl fmt::Debug for PipeLlmRuntime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PipeLlmRuntime")
-            .field("queue_len", &self.queue.len())
-            .field("suspended", &self.suspended.len())
-            .field("pending_decrypts", &self.decrypts.len())
-            .field("stats", &self.stats)
+            .field("sessions", &self.table.len())
+            .field("active", &self.ctx.active_session())
+            .field("stats", &self.spec_stats())
             .finish()
     }
 }
 
 impl PipeLlmRuntime {
-    /// Creates a PipeLLM runtime over a CC-enabled context.
+    /// Creates a PipeLLM runtime over a CC-enabled context, with the
+    /// default session already open.
     pub fn new(config: PipeLlmConfig) -> Self {
         let ctx = CudaContext::new(ContextConfig {
             cc: CcMode::On,
@@ -180,44 +152,45 @@ impl PipeLlmRuntime {
             crypto_threads: config.crypto_threads,
             seed: config.seed,
         });
-        let next_spec_iv = ctx.current_h2d_iv() + config.iv_slack;
-        PipeLlmRuntime {
-            ctx,
-            classifier: SizeClassifier::new(),
-            predictor: Predictor::new(config.history_capacity)
-                .with_context_depth(config.context_depth),
-            queue: SpeculationQueue::new(),
-            suspended: Vec::new(),
-            decrypts: Vec::new(),
-            stats: PipeLlmStats::default(),
+        let params = SpecParams {
             spec_depth: config.spec_depth.max(1),
             iv_slack: config.iv_slack,
             failure_mode: config.failure_mode,
-            next_spec_iv,
-            consecutive_misses: 0,
             crypto_threads: config.crypto_threads.max(1),
-            buf_pool: Vec::new(),
+            history_capacity: config.history_capacity,
+            context_depth: config.context_depth,
+        };
+        let mut table = SessionTable::new();
+        let sid = ctx.active_session();
+        table.ensure(sid, &params, ctx.current_h2d_iv() + config.iv_slack);
+        PipeLlmRuntime {
+            ctx,
+            classifier: SizeClassifier::new(),
+            table,
+            params,
+            retired: PipeLlmStats::default(),
         }
     }
 
-    /// Draws a staging buffer from the pool (empty `Vec` if none pooled).
-    fn pooled_buf(&mut self) -> Vec<u8> {
-        self.buf_pool.pop().unwrap_or_default()
-    }
-
-    /// Returns a staging buffer to the pool, bounded by the speculation
-    /// depth plus headroom for the on-demand path.
-    fn recycle_buf(&mut self, buf: Vec<u8>) {
-        if self.buf_pool.len() < self.spec_depth + 2 {
-            self.buf_pool.push(buf);
-        }
-    }
-
-    /// Disposes of a dead speculation entry, reclaiming its ciphertext
-    /// allocation.
-    fn recycle_entry(&mut self, entry: SpecEntry) {
-        let buf = entry.into_ciphertext_buffer();
-        self.recycle_buf(buf);
+    /// Runs `f` with the split borrows the per-session pipeline needs:
+    /// the shared context, the active session's state, and the global
+    /// cookie counter.
+    fn with_active<T>(
+        &mut self,
+        f: impl FnOnce(
+            &mut CudaContext,
+            &mut SessionState,
+            &mut crate::session::CookieCounter,
+            &SpecParams,
+        ) -> T,
+    ) -> T {
+        let PipeLlmRuntime {
+            ctx, table, params, ..
+        } = self;
+        let sid = ctx.active_session();
+        table.ensure(sid, params, ctx.current_h2d_iv() + params.iv_slack);
+        let (state, cookies) = table.state_and_cookies(sid).expect("ensured just above");
+        f(ctx, state, cookies, params)
     }
 
     /// Registers a model's signature sizes with the size classifier (the
@@ -227,9 +200,31 @@ impl PipeLlmRuntime {
             .register_model(layer_weight_bytes, kv_bytes_per_token);
     }
 
-    /// Speculation statistics accumulated so far.
+    /// Speculation statistics accumulated so far, aggregated over every
+    /// session — including sessions that have since been closed.
     pub fn spec_stats(&self) -> PipeLlmStats {
-        self.stats
+        let mut total = self.retired;
+        for (_, state) in self.table.iter() {
+            total += state.stats();
+        }
+        total
+    }
+
+    /// Speculation statistics of one session.
+    pub fn session_spec_stats(&self, session: SessionId) -> Option<PipeLlmStats> {
+        self.table.get(session).map(SessionState::stats)
+    }
+
+    /// One session's speculation state (stats, predictor, pool counters).
+    pub fn session_state(&self, session: SessionId) -> Option<&SessionState> {
+        self.table.get(session)
+    }
+
+    /// The active session's speculation state.
+    pub fn active_state(&self) -> &SessionState {
+        self.table
+            .get(self.ctx.active_session())
+            .expect("active session has state")
     }
 
     /// The underlying simulated context (for assertions in tests).
@@ -244,470 +239,85 @@ impl PipeLlmRuntime {
         &mut self.ctx
     }
 
-    /// The predictor (for pattern inspection in tests and reports).
-    pub fn predictor(&self) -> &Predictor {
-        &self.predictor
+    /// The active session's predictor (for pattern inspection in tests and
+    /// reports).
+    pub fn predictor(&self) -> &crate::predictor::Predictor {
+        self.active_state().predictor()
     }
 
-    /// Number of entries currently in the speculation queue.
+    /// Number of entries currently in the active session's speculation
+    /// queue.
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.active_state().queue_len()
     }
 
-    // -----------------------------------------------------------------
-    // Fault plumbing
-    // -----------------------------------------------------------------
-
-    /// Drains page-fault cookies from the context, invalidating the
-    /// speculative entries they belong to (§5.2) and force-finalizing any
-    /// pending decryption they hit (§5.4 fallback path).
-    fn handle_faults(&mut self) {
-        for cookie in self.ctx.drain_faults() {
-            if let Some(chunk) = self.queue.invalidate_cookie(cookie) {
-                // A chunk may be queued at several IVs (repetitive walks
-                // revisit layers); a single write stales all of them.
-                let extra = self.queue.invalidate_overlapping(chunk);
-                self.stats.write_invalidations += 1 + extra as u64;
-            } else if let Some(idx) = self.decrypts.iter().position(|d| d.cookie == cookie) {
-                self.stats.decrypt_faults += 1;
-                self.finalize_decrypt(idx);
+    /// Closes a tenant session, discarding its channel keys and dropping
+    /// its speculation state (queued ciphertext buffers included). The
+    /// active session cannot be closed.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::UnknownSession`] as for
+    /// [`CudaContext::close_session`].
+    pub fn close_session(&mut self, session: SessionId) -> Result<(), GpuError> {
+        self.ctx.close_session(session)?;
+        if let Some(state) = self.table.remove(session) {
+            // Lift the protections the dying session still holds so its
+            // cookies can never fault into another session.
+            let PipeLlmRuntime { ctx, .. } = self;
+            let mut state = state;
+            for entry in state.queue.relinquish() {
+                ctx.pages_mut().unprotect(entry.chunk);
             }
-        }
-    }
-
-    /// Completes the pending decrypt at `idx`: stores the plaintext and
-    /// lifts the access revocation. Returns when the data became readable.
-    fn finalize_decrypt(&mut self, idx: usize) -> SimTime {
-        let pending = self.decrypts.swap_remove(idx);
-        self.ctx.pages_mut().unprotect(pending.region);
-        self.ctx
-            .host_store_unchecked(pending.region, pending.payload)
-            .expect("pending decrypt targets a live allocation");
-        pending.ready_at
-    }
-
-    /// If `chunk` has a decryption still in flight, finalize it and return
-    /// the time the plaintext becomes available; otherwise `now`.
-    fn plaintext_ready(&mut self, chunk: HostRegion, now: SimTime) -> SimTime {
-        match self.decrypts.iter().position(|d| d.region.overlaps(&chunk)) {
-            Some(idx) => now.max(self.finalize_decrypt(idx)),
-            None => now,
-        }
-    }
-
-    /// Re-establishes the page protection owed to `chunk` after an entry
-    /// was removed: keep write protection while any valid entry still
-    /// references the plaintext, lift it otherwise.
-    fn sync_protection(&mut self, chunk: HostRegion) {
-        let cookie = self
-            .queue
-            .iter()
-            .find(|e| e.valid && e.chunk == chunk)
-            .map(|e| e.cookie);
-        match cookie {
-            Some(cookie) => {
-                self.ctx
-                    .pages_mut()
-                    .protect(chunk, Protection::WriteProtected, cookie);
+            // Pending decryptions finalize (plaintext stored, revocation
+            // lifted): a bare unprotect would silently expose the
+            // pre-swap-out bytes to later reads.
+            while !state.decrypts.is_empty() {
+                state.finalize_decrypt(ctx, 0);
             }
-            None => {
-                self.ctx.pages_mut().unprotect(chunk);
-            }
+            // The departed tenant's counters stay in the aggregate.
+            self.retired += state.stats();
         }
-    }
-
-    // -----------------------------------------------------------------
-    // Speculation pipeline
-    // -----------------------------------------------------------------
-
-    /// Tops the speculation queue up to `spec_depth` entries by sealing
-    /// predicted chunks at future IVs on the crypto pool.
-    fn refill(&mut self, now: SimTime) {
-        if self.failure_mode == SpecFailureMode::Disabled {
-            return;
-        }
-        let in_flight = self.queue.len() + self.suspended.len();
-        let Some(budget) = self.spec_depth.checked_sub(in_flight).filter(|&b| b > 0) else {
-            return;
-        };
-        let mut exclude = self.queue.queued_chunks();
-        exclude.extend(self.suspended.iter().map(|s| s.chunk));
-        // Anchor the repetitive walk at the queue tail with one chunk of
-        // context, skipping decoy sentinels.
-        let real: Vec<HostRegion> = self
-            .queue
-            .iter()
-            .filter(|e| e.chunk.len > 1)
-            .map(|e| e.chunk)
-            .collect();
-        let anchor = real.last().map(|&last| {
-            (
-                real.len().checked_sub(2).and_then(|i| real.get(i).copied()),
-                last,
-            )
-        });
-        let pattern = self.predictor.pattern();
-        let mut sequence = self
-            .predictor
-            .predict_sequence_from(pattern, budget, &exclude, anchor);
-        if self.failure_mode == SpecFailureMode::WrongOrder {
-            sequence.reverse();
-        }
-        let cur = self.ctx.current_h2d_iv();
-        if self.queue.is_empty() && self.suspended.is_empty() {
-            self.next_spec_iv = self.next_spec_iv.max(cur);
-        }
-        for chunk in sequence {
-            if self.queue.len() + self.suspended.len() >= self.spec_depth {
-                break;
-            }
-            if self.failure_mode == SpecFailureMode::WrongOrder {
-                // Force a sequence miss even when the predicted set is a
-                // singleton: a decoy ciphertext occupies the IV the real
-                // chunk would have matched, so every request recovers via
-                // NOP padding — the paper's "PipeLLM-0" behaviour (§7.4).
-                self.push_decoy(chunk, now);
-            }
-            // Each entry reserves `iv_slack` unassigned IVs before it, the
-            // §5.1 leeway for interleaved small I/O; NOPs close unused gaps.
-            let iv = self.next_spec_iv + self.iv_slack;
-            let avail = self.plaintext_ready(chunk, now);
-            let mut buf = self.pooled_buf();
-            let sealed = match self.ctx.seal_region_into(chunk, iv, &mut buf) {
-                Ok(sealed) => sealed,
-                // Freed chunk or an IV raced below the counter: skip it.
-                Err(_) => {
-                    self.recycle_buf(buf);
-                    continue;
-                }
-            };
-            let seal_time = self.ctx.timing().crypto.seal_time(chunk.len);
-            let reservation = self.ctx.crypto_pool_mut().reserve(avail, seal_time);
-            let cookie = self.queue.next_cookie();
-            self.ctx
-                .pages_mut()
-                .protect(chunk, Protection::WriteProtected, cookie);
-            self.queue.push(SpecEntry {
-                chunk,
-                iv,
-                sealed,
-                len: chunk.len,
-                ready_at: reservation.end,
-                cookie,
-                valid: true,
-            });
-            self.next_spec_iv = iv + 1;
-            self.stats.speculated += 1;
-        }
-    }
-
-    /// Seals a decoy entry: real encryption work at the next speculative
-    /// IV under a sentinel identity no request will ever match. Used by
-    /// [`SpecFailureMode::WrongOrder`] to emulate systematic sequence
-    /// mispredictions whose ciphertext must later be dropped with NOPs.
-    fn push_decoy(&mut self, source: HostRegion, now: SimTime) {
-        let iv = self.next_spec_iv + self.iv_slack;
-        let mut buf = self.pooled_buf();
-        let sealed = match self.ctx.seal_region_into(source, iv, &mut buf) {
-            Ok(sealed) => sealed,
-            Err(_) => {
-                self.recycle_buf(buf);
-                return;
-            }
-        };
-        let seal_time = self.ctx.timing().crypto.seal_time(source.len);
-        let reservation = self.ctx.crypto_pool_mut().reserve(now, seal_time);
-        let cookie = self.queue.next_cookie();
-        // High half of the address space: never produced by the allocator.
-        let sentinel = HostRegion {
-            addr: HostAddr(u64::MAX / 2 + cookie),
-            len: 1,
-        };
-        self.queue.push(SpecEntry {
-            chunk: sentinel,
-            iv,
-            sealed,
-            len: source.len,
-            ready_at: reservation.end,
-            cookie,
-            valid: true,
-        });
-        self.next_spec_iv = iv + 1;
-        self.stats.speculated += 1;
-    }
-
-    /// Drops queue entries whose IVs fell behind the channel counter
-    /// (consumed by small I/O or NOP padding); they can never be committed.
-    fn prune_stale(&mut self) {
-        let cur = self.ctx.current_h2d_iv();
-        for entry in self.queue.drop_below(cur) {
-            self.sync_protection(entry.chunk);
-            self.stats.wasted_entries += 1;
-            self.recycle_entry(entry);
-        }
-    }
-
-    /// Relinquishes the whole pipeline (§5.3 irrecoverable errors): every
-    /// queued entry is discarded, suspended requests are served on demand,
-    /// and speculation restarts from the current counter.
-    fn relinquish(&mut self, now: SimTime) -> Result<(), GpuError> {
-        for entry in self.queue.relinquish() {
-            self.ctx.pages_mut().unprotect(entry.chunk);
-            self.stats.wasted_entries += 1;
-            self.recycle_entry(entry);
-        }
-        let orphans = std::mem::take(&mut self.suspended);
-        for request in orphans {
-            self.stats.relinquishes += 1;
-            self.encrypt_on_demand(now, request.dst, request.chunk)?;
-        }
-        self.next_spec_iv = self.ctx.current_h2d_iv();
         Ok(())
     }
 
-    /// Seals `chunk` at the current counter and submits it — encryption on
-    /// the critical path of this one transfer. Like the native CC path, the
-    /// on-demand seal gang-shards the buffer across all crypto threads to
-    /// minimize the exposed latency.
-    fn encrypt_on_demand(
-        &mut self,
-        now: SimTime,
-        dst: DevicePtr,
-        chunk: HostRegion,
-    ) -> Result<SimTime, GpuError> {
-        let avail = self.plaintext_ready(chunk, now);
-        let iv = self.ctx.current_h2d_iv();
-        let mut buf = self.pooled_buf();
-        let sealed = match self.ctx.seal_region_into(chunk, iv, &mut buf) {
-            Ok(sealed) => sealed,
-            Err(err) => {
-                self.recycle_buf(buf);
-                return Err(err);
+    /// The IV-exhaustion-aware rekey hook: when the active session's
+    /// channel is inside the rekey headroom, drop its speculative pipeline
+    /// (old-epoch ciphertext can never commit), re-derive its keys at a
+    /// fresh epoch — resetting both IV counters — and serve any suspended
+    /// requests on demand over the fresh channel. Runs at every
+    /// IV-consuming entry point, so the headroom guarantees a session
+    /// rekeys long before a seal would fail with
+    /// [`pipellm_crypto::CryptoError::IvExhausted`].
+    fn maybe_rekey_active(&mut self, now: SimTime) -> Result<(), GpuError> {
+        let sid = self.ctx.active_session();
+        if self.ctx.session_manager().needs_rekey(sid) != Some(true) {
+            return Ok(());
+        }
+        let orphans = self.with_active(|ctx, state, _cookies, p| state.drop_pipeline(ctx, p));
+        self.ctx.session_manager_mut().rekey(sid);
+        self.with_active(|ctx, state, _cookies, p| {
+            state.next_spec_iv = ctx.current_h2d_iv() + p.iv_slack;
+            for request in orphans {
+                state.serve_on_demand(ctx, p, now, request.dst, request.chunk)?;
             }
-        };
-        let seal_time = self.ctx.timing().crypto.seal_time(chunk.len) / self.crypto_threads as u32;
-        let reservation = self.ctx.crypto_pool_mut().reserve(avail, seal_time);
-        let timing =
-            self.ctx
-                .submit_htod_sealed(now, reservation.end, dst, chunk, &sealed, chunk.len)?;
-        self.recycle_buf(sealed.into_bytes());
-        Ok(timing.api_return)
+            Ok(())
+        })
     }
 
-    /// Commits the queue entry for `chunk` whose IV equals the counter.
-    fn commit_entry(
-        &mut self,
-        now: SimTime,
-        dst: DevicePtr,
-        entry: SpecEntry,
-    ) -> Result<SimTime, GpuError> {
-        self.sync_protection(entry.chunk);
-        let timing = self.ctx.submit_htod_sealed(
-            now,
-            entry.ready_at,
-            dst,
-            entry.chunk,
-            &entry.sealed,
-            entry.len,
-        )?;
-        self.recycle_entry(entry);
-        Ok(timing.api_return)
-    }
-
-    /// Releases suspended requests whose turn in the IV stream has come.
-    ///
-    /// A request's turn comes when no valid pre-encrypted entry and no other
-    /// suspended request sits at a lower IV (Figure 6: commits follow the IV
-    /// stream; earlier entries are other chunks the application is expected
-    /// to request first). Slack gaps in front of the request are closed with
-    /// NOPs. With `force` (at a synchronization point — the batch boundary
-    /// proves skipped entries will not be requested) earlier valid entries
-    /// are NOP-skipped and discarded instead of waited for.
-    fn release_suspended(&mut self, now: SimTime, force: bool) -> Result<(), GpuError> {
-        loop {
-            let Some(pos) = self
-                .suspended
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| s.iv)
-                .map(|(i, _)| i)
-            else {
-                return Ok(());
-            };
-            let mut cur = self.ctx.current_h2d_iv();
-            if self.suspended[pos].iv >= cur
-                && !force
-                && self
-                    .queue
-                    .iter()
-                    .any(|e| e.valid && e.iv < self.suspended[pos].iv)
-            {
-                return Ok(());
-            }
-            let request = self.suspended.remove(pos);
-            if request.iv < cur {
-                // Something consumed the reserved IV: irrecoverable for
-                // this ciphertext; re-encrypt at the live counter.
-                self.stats.relinquishes += 1;
-                self.encrypt_on_demand(now, request.dst, request.chunk)?;
-                continue;
-            }
-            // Valid entries NOP padding will skip: skipping them is what
-            // distinguishes a sequence misprediction from slack absorption.
-            let skipped_valid = self
-                .queue
-                .iter()
-                .filter(|e| e.valid && e.iv < request.iv)
-                .count();
-            let mut nops = 0u32;
-            while cur < request.iv {
-                self.ctx.send_nop(now)?;
-                cur += 1;
-                nops += 1;
-            }
-            self.prune_stale();
-            match self.queue.take(&request.chunk) {
-                Some(entry) if entry.iv == cur => {
-                    self.commit_entry(now, request.dst, entry)?;
-                    if skipped_valid > 0 {
-                        self.stats.nop_recoveries += 1;
-                    } else if nops > 0 {
-                        self.stats.spec_hits += 1; // slack absorbed; sequence right
-                    } else {
-                        self.stats.reorders += 1;
-                    }
-                }
-                Some(entry) => {
-                    // The claim went stale (a duplicate of the chunk sits
-                    // later in the queue); fall back to on-demand.
-                    self.sync_protection(entry.chunk);
-                    self.stats.wasted_entries += 1;
-                    self.stats.relinquishes += 1;
-                    self.recycle_entry(entry);
-                    self.encrypt_on_demand(now, request.dst, request.chunk)?;
-                }
-                None => {
-                    self.stats.relinquishes += 1;
-                    self.encrypt_on_demand(now, request.dst, request.chunk)?;
+    /// Drains page-fault cookies from the context, routing each to the
+    /// session whose entry or pending decryption it belongs to. The fault
+    /// queue and cookie namespace are shared; the reactions are
+    /// per-session (§5.2, §5.4).
+    fn handle_faults(&mut self) {
+        let PipeLlmRuntime { ctx, table, .. } = self;
+        for cookie in ctx.drain_faults() {
+            for (_, state) in table.iter_mut() {
+                if state.absorb_fault(ctx, cookie) {
+                    break;
                 }
             }
         }
-    }
-
-    /// Serves a swap-classified host→device copy through the speculation
-    /// machinery.
-    fn swap_in(
-        &mut self,
-        now: SimTime,
-        dst: DevicePtr,
-        src: HostRegion,
-    ) -> Result<SimTime, GpuError> {
-        self.prune_stale();
-        let cur = self.ctx.current_h2d_iv();
-        let decision = self.queue.find(&src).map(|e| e.iv);
-        let api_return = match decision {
-            Some(iv) if iv == cur => {
-                let entry = self.queue.take(&src).expect("found above");
-                let t = self.commit_entry(now, dst, entry)?;
-                self.stats.spec_hits += 1;
-                self.release_suspended(now, false)?;
-                t
-            }
-            Some(iv) => {
-                debug_assert!(iv > cur, "stale entries were pruned");
-                let blocked = self.suspended.iter().any(|s| s.iv < iv)
-                    || self.queue.iter().any(|e| e.valid && e.iv < iv);
-                if blocked {
-                    // An earlier chunk is expected first: suspend and wait
-                    // for re-ordering or the synchronization flush (§5.3).
-                    self.suspended.push(Suspended {
-                        dst,
-                        chunk: src,
-                        iv,
-                    });
-                    now
-                } else {
-                    // Only a slack gap separates the counter from the
-                    // entry: close it with NOPs and commit immediately.
-                    let mut c = cur;
-                    while c < iv {
-                        self.ctx.send_nop(now)?;
-                        c += 1;
-                    }
-                    self.prune_stale();
-                    let entry = self.queue.take(&src).expect("validated above");
-                    let t = self.commit_entry(now, dst, entry)?;
-                    self.stats.spec_hits += 1;
-                    self.release_suspended(now, false)?;
-                    t
-                }
-            }
-            None => {
-                self.stats.relinquishes += 1;
-                self.consecutive_misses += 1;
-                if self.consecutive_misses >= MISS_RELINQUISH_THRESHOLD {
-                    // The queue is systematically wrong: drop it and restart
-                    // the pipeline from the ground-truth sequence (§5.3).
-                    self.relinquish(now)?;
-                    self.consecutive_misses = 0;
-                }
-                // A single miss costs one on-demand encryption; the IV it
-                // consumes invalidates at most the queue head, and later
-                // entries stay reachable through NOP padding.
-                self.encrypt_on_demand(now, dst, src)?
-            }
-        };
-        if decision.is_some() {
-            self.consecutive_misses = 0;
-        }
-        self.predictor.observe_swap_in(src);
-        self.refill(now);
-        Ok(api_return)
-    }
-
-    /// Serves a swap-classified device→host copy with asynchronous
-    /// decryption (§5.4): the call returns before the plaintext exists.
-    fn swap_out(
-        &mut self,
-        now: SimTime,
-        dst: HostRegion,
-        src: DevicePtr,
-    ) -> Result<SimTime, GpuError> {
-        // The DMA store overwrites the destination plaintext, staling any
-        // ciphertext speculatively sealed over it…
-        let staled = self.queue.invalidate_overlapping(dst);
-        self.stats.write_invalidations += staled as u64;
-        // …and superseding any decryption still pending for the same
-        // region: the bytes it would produce are being overwritten.
-        self.decrypts.retain(|d| {
-            if d.region.overlaps(&dst) {
-                // Protection is re-established for the new transfer below.
-                false
-            } else {
-                true
-            }
-        });
-        let (wire_done, payload) = self.ctx.memcpy_dtoh_raw(now, dst, src)?;
-        let open_time = self.ctx.timing().crypto.open_time(dst.len);
-        let reservation = self.ctx.crypto_pool_mut().reserve(wire_done, open_time);
-        let cookie = self.queue.next_cookie();
-        self.ctx
-            .pages_mut()
-            .protect(dst, Protection::AccessRevoked, cookie);
-        self.decrypts.push(PendingDecrypt {
-            region: dst,
-            payload,
-            ready_at: reservation.end,
-            cookie,
-        });
-        self.stats.async_decrypts += 1;
-        // Deliberately no refill here: speculating at swap-out time would
-        // freeze the queue in eviction (FIFO) order before the reload
-        // pattern is knowable, and would force-finalize the asynchronous
-        // decryption we just scheduled. Prediction happens at swap-in,
-        // synchronization, and kernel-launch time instead.
-        self.predictor.observe_swap_out(dst);
-        Ok(now)
     }
 }
 
@@ -722,16 +332,13 @@ impl GpuRuntime for PipeLlmRuntime {
 
     fn free_host(&mut self, addr: HostAddr) -> Result<(), GpuError> {
         let region = self.ctx.host().get(addr)?.region();
-        if let Some(idx) = self.decrypts.iter().position(|d| d.region == region) {
-            // The data is being thrown away: drop the pending decrypt.
-            let pending = self.decrypts.swap_remove(idx);
-            self.ctx.pages_mut().unprotect(pending.region);
+        {
+            let PipeLlmRuntime { ctx, table, .. } = self;
+            for (_, state) in table.iter_mut() {
+                state.on_free_host(ctx, region);
+            }
+            ctx.pages_mut().unprotect(region);
         }
-        let staled = self.queue.invalidate_overlapping(region);
-        self.stats.wasted_entries += staled as u64;
-        self.ctx.pages_mut().unprotect(region);
-        self.suspended.retain(|s| s.chunk != region);
-        self.predictor.forget(&region);
         Ok(self.ctx.host_mut().free(addr)?)
     }
 
@@ -750,14 +357,17 @@ impl GpuRuntime for PipeLlmRuntime {
         src: HostRegion,
     ) -> Result<SimTime, GpuError> {
         self.handle_faults();
+        self.maybe_rekey_active(now)?;
         if self.classifier.is_swap(src.len) {
-            self.swap_in(now, dst, src)
+            self.with_active(|ctx, state, cookies, p| state.swap_in(ctx, cookies, p, now, dst, src))
         } else {
             // Small control traffic: encrypted on the fly, never predicted
             // (§5.1). It consumes an IV, which the slack absorbs.
-            let timing = self.ctx.memcpy_htod_async(now, dst, src)?;
-            self.release_suspended(now, false)?;
-            Ok(timing.api_return)
+            self.with_active(|ctx, state, _cookies, p| {
+                let timing = ctx.memcpy_htod_async(now, dst, src)?;
+                state.release_suspended(ctx, p, now, false)?;
+                Ok(timing.api_return)
+            })
         }
     }
 
@@ -768,8 +378,15 @@ impl GpuRuntime for PipeLlmRuntime {
         src: DevicePtr,
     ) -> Result<SimTime, GpuError> {
         self.handle_faults();
+        self.maybe_rekey_active(now)?;
         if self.classifier.is_swap(dst.len) {
-            self.swap_out(now, dst, src)
+            // The DMA store overwrites `dst` for *every* session: any
+            // tenant's speculative ciphertext or pending decryption over
+            // the region goes stale, not just the active session's.
+            for (_, state) in self.table.iter_mut() {
+                state.invalidate_for_overwrite(dst);
+            }
+            self.with_active(|ctx, state, cookies, _p| state.swap_out(ctx, cookies, now, dst, src))
         } else {
             Ok(self.ctx.memcpy_dtoh_async(now, dst, src)?.api_return)
         }
@@ -777,51 +394,56 @@ impl GpuRuntime for PipeLlmRuntime {
 
     fn synchronize(&mut self, now: SimTime) -> SimTime {
         self.handle_faults();
-        self.release_suspended(now, true)
-            .expect("suspended flush cannot fail on live chunks");
-        self.refill(now);
+        self.maybe_rekey_active(now)
+            .expect("rekey headroom keeps on-demand seals inside the IV space");
+        self.with_active(|ctx, state, cookies, p| {
+            state
+                .release_suspended(ctx, p, now, true)
+                .expect("suspended flush cannot fail on live chunks");
+            state.refill(ctx, cookies, p, now);
+        });
         self.ctx.synchronize(now)
     }
 
     fn launch_compute(&mut self, ready: SimTime, duration: Duration) -> SimTime {
         // Encryption of the next predictions overlaps this kernel.
-        self.refill(ready);
+        self.with_active(|ctx, state, cookies, p| state.refill(ctx, cookies, p, ready));
         self.ctx.launch_compute(ready, duration).end
     }
 
     fn host_touch(&mut self, now: SimTime, addr: HostAddr) -> Result<SimTime, GpuError> {
         let region = self.ctx.host().get(addr)?.region();
-        let readable_at = match self
-            .decrypts
-            .iter()
-            .position(|d| d.region.overlaps(&region))
+        let mut readable_at = now;
         {
-            Some(idx) => {
-                // Usage before decryption finished: fault → synchronous
-                // decryption (§5.4).
-                self.stats.decrypt_faults += 1;
-                now.max(self.finalize_decrypt(idx))
+            let PipeLlmRuntime { ctx, table, .. } = self;
+            for (_, state) in table.iter_mut() {
+                if let Some(idx) = state.pending_decrypt_over(region) {
+                    // Usage before decryption finished: fault → synchronous
+                    // decryption (§5.4).
+                    state.stats.decrypt_faults += 1;
+                    readable_at = now.max(state.finalize_decrypt(ctx, idx));
+                    break;
+                }
             }
-            None => now,
-        };
-        self.ctx.host_touch(addr)?;
+            ctx.host_touch(addr)?;
+        }
         self.handle_faults();
         Ok(readable_at)
     }
 
     fn host_read(&mut self, now: SimTime, region: HostRegion) -> Result<SimTime, GpuError> {
-        let readable_at = match self
-            .decrypts
-            .iter()
-            .position(|d| d.region.overlaps(&region))
+        let mut readable_at = now;
         {
-            Some(idx) => {
-                self.stats.decrypt_faults += 1;
-                now.max(self.finalize_decrypt(idx))
+            let PipeLlmRuntime { ctx, table, .. } = self;
+            for (_, state) in table.iter_mut() {
+                if let Some(idx) = state.pending_decrypt_over(region) {
+                    state.stats.decrypt_faults += 1;
+                    readable_at = now.max(state.finalize_decrypt(ctx, idx));
+                    break;
+                }
             }
-            None => now,
-        };
-        self.ctx.host_read(region)?;
+            ctx.host_read(region)?;
+        }
         self.handle_faults();
         Ok(readable_at)
     }
@@ -840,6 +462,35 @@ impl GpuRuntime for PipeLlmRuntime {
 
     fn gpu_io_stall(&self) -> Duration {
         self.ctx.gpu_engine().io_stall_time()
+    }
+}
+
+impl SessionedRuntime for PipeLlmRuntime {
+    fn open_session(&mut self) -> SessionId {
+        let sid = self.ctx.open_session();
+        // A fresh channel starts at IV 1 in both directions.
+        self.table
+            .ensure(sid, &self.params, 1 + self.params.iv_slack);
+        sid
+    }
+
+    fn set_session(&mut self, session: SessionId) -> Result<(), GpuError> {
+        self.ctx.set_session(session)?;
+        let iv = self.ctx.current_h2d_iv() + self.params.iv_slack;
+        self.table.ensure(session, &self.params, iv);
+        Ok(())
+    }
+
+    fn active_session(&self) -> SessionId {
+        self.ctx.active_session()
+    }
+
+    fn session_ids(&self) -> Vec<SessionId> {
+        self.ctx.session_ids()
+    }
+
+    fn session_counters(&self, session: SessionId) -> Option<SessionCounters> {
+        self.ctx.session_counters(session)
     }
 }
 
@@ -1035,12 +686,16 @@ mod tests {
         for round in 0..4 {
             lifo_episode(&mut rt, round, 3);
         }
+        let state = rt.active_state();
         assert!(
-            !rt.buf_pool.is_empty(),
+            !state.buf_pool.is_empty(),
             "disposed speculation entries must return their buffers"
         );
-        assert!(rt.buf_pool.len() <= rt.spec_depth + 2, "pool is bounded");
-        let max_cap = rt.buf_pool.iter().map(Vec::capacity).max().unwrap();
+        assert!(
+            state.buf_pool.len() <= rt.params.spec_depth + 2,
+            "pool is bounded"
+        );
+        let max_cap = state.buf_pool.iter().map(Vec::capacity).max().unwrap();
         assert!(
             max_cap >= CHUNK as usize,
             "pooled buffers retain chunk-sized capacity ({max_cap})"
@@ -1048,6 +703,39 @@ mod tests {
         assert!(
             max_cap < 2 * CHUNK as usize,
             "recycled buffers must be reused, not doubled by stale-length reserves ({max_cap})"
+        );
+    }
+
+    #[test]
+    fn pool_accounting_balances_even_through_invalidations() {
+        let mut rt = runtime();
+        // Warm up, then invalidate pre-encrypted entries by touching their
+        // plaintext, and let pruning dispose of them.
+        let layers: Vec<HostRegion> = (0..3)
+            .map(|i| rt.alloc_host(Payload::Real(vec![i as u8; CHUNK as usize])))
+            .collect();
+        let mut now = SimTime::ZERO;
+        for pass in 0..6 {
+            for layer in &layers {
+                let dev = rt.alloc_device(CHUNK).unwrap();
+                now = rt.memcpy_htod(now, dev, *layer).unwrap();
+                now = rt.synchronize(now);
+                rt.free_device(dev).unwrap();
+            }
+            if pass % 2 == 1 {
+                // Stale one layer's queued ciphertext.
+                now = rt.host_touch(now, layers[0].addr).unwrap();
+            }
+        }
+        let stats = rt.spec_stats();
+        assert!(stats.write_invalidations > 0, "{stats}");
+        let (leased, returned) = rt.active_state().pool_counters();
+        let live = rt.queue_len() as u64;
+        assert_eq!(
+            leased,
+            returned + live,
+            "every leased staging buffer must be returned or live in the \
+             queue (leased={leased} returned={returned} queued={live})"
         );
     }
 
@@ -1225,5 +913,129 @@ mod tests {
             stats.relinquishes, relinquishes_before,
             "slack must absorb the small I/O without relinquish: {stats}"
         );
+    }
+
+    #[test]
+    fn sessions_speculate_independently_and_stay_in_lockstep() {
+        let mut rt = runtime();
+        let a = rt.active_session();
+        let b = rt.open_session();
+        // Tenant A learns a LIFO pattern; tenant B a repetitive one —
+        // interleaved over the same runtime.
+        let b_layers: Vec<HostRegion> = {
+            rt.set_session(b).unwrap();
+            (0..2)
+                .map(|i| rt.alloc_host(Payload::Real(vec![0xb0 + i as u8; CHUNK as usize])))
+                .collect()
+        };
+        for round in 0..5u8 {
+            rt.set_session(a).unwrap();
+            let seen = lifo_episode(&mut rt, round, 2);
+            assert_eq!(seen.len(), 2, "tenant A round {round}");
+            rt.set_session(b).unwrap();
+            let mut now = SimTime::ZERO;
+            for layer in &b_layers {
+                let dev = rt.alloc_device(CHUNK).unwrap();
+                now = rt.memcpy_htod(now, dev, *layer).unwrap();
+                now = rt.synchronize(now);
+                rt.free_device(dev).unwrap();
+            }
+        }
+        let sa = rt.session_spec_stats(a).unwrap();
+        let sb = rt.session_spec_stats(b).unwrap();
+        assert!(sa.spec_hits > 0, "tenant A must hit: {sa}");
+        assert!(sb.spec_hits > 0, "tenant B must hit: {sb}");
+        assert!(sa.async_decrypts > 0 && sb.async_decrypts == 0);
+        // Aggregate view sums the tenants.
+        let total = rt.spec_stats();
+        assert_eq!(total.spec_hits, sa.spec_hits + sb.spec_hits);
+        // Both channels end with endpoints in lockstep.
+        for sid in [a, b] {
+            let counters = rt.session_counters(sid).unwrap();
+            assert!(counters.in_lockstep(), "{sid}: {counters:?}");
+        }
+        // And their IV streams are truly independent: only tenant A swaps
+        // out, so only A's D2H counter moved off its initial value.
+        assert!(rt.session_counters(a).unwrap().d2h_tx > 1);
+        assert_eq!(rt.session_counters(b).unwrap().d2h_tx, 1);
+    }
+
+    #[test]
+    fn near_exhausted_session_rekeys_transparently() {
+        use pipellm_crypto::channel::IV_LIMIT;
+        let mut rt = runtime();
+        // Open a session whose H2D counter sits inside the rekey headroom.
+        let sid = rt
+            .context_mut()
+            .session_manager_mut()
+            .open_with_initial_ivs(IV_LIMIT - 8, 1);
+        rt.set_session(sid).unwrap();
+        assert_eq!(rt.context().session_manager().epoch(sid), Some(0));
+        let seen = lifo_episode(&mut rt, 1, 2);
+        assert_eq!(seen.len(), 2, "traffic flows across the rekey");
+        // The runtime rekeyed before any seal could exhaust: fresh epoch,
+        // counters restarted, endpoints still in lockstep.
+        assert_eq!(rt.context().session_manager().epoch(sid), Some(1));
+        let counters = rt.session_counters(sid).unwrap();
+        assert!(counters.in_lockstep(), "{counters:?}");
+        assert!(counters.h2d_tx < 100, "counters restarted: {counters:?}");
+    }
+
+    #[test]
+    fn aggregate_stats_survive_session_close() {
+        let mut rt = runtime();
+        let a = rt.active_session();
+        let b = rt.open_session();
+        rt.set_session(b).unwrap();
+        for round in 0..4 {
+            lifo_episode(&mut rt, round, 2);
+        }
+        rt.set_session(a).unwrap();
+        let before = rt.spec_stats();
+        assert!(before.spec_hits > 0);
+        rt.close_session(b).unwrap();
+        assert_eq!(
+            rt.spec_stats(),
+            before,
+            "closing a tenant must not subtract its history"
+        );
+    }
+
+    #[test]
+    fn closing_a_session_releases_its_protections() {
+        let mut rt = runtime();
+        let a = rt.active_session();
+        let b = rt.open_session();
+        rt.set_session(b).unwrap();
+        for round in 0..3 {
+            lifo_episode(&mut rt, round, 2);
+        }
+        // Leave speculative entries queued for B, then close it.
+        let host = rt.alloc_host(Payload::Real(vec![7u8; CHUNK as usize]));
+        let dev = rt.alloc_device(CHUNK).unwrap();
+        let now = rt.memcpy_htod(SimTime::ZERO, dev, host).unwrap();
+        let now = rt.synchronize(now);
+        // Also leave a decryption pending: swap new device data out to B.
+        rt.context_mut()
+            .device_memory_mut()
+            .store(dev, Payload::Real(vec![0xaa; CHUNK as usize]))
+            .unwrap();
+        let back = rt.alloc_host(Payload::Real(vec![0u8; CHUNK as usize]));
+        rt.memcpy_dtoh(now, back, dev).unwrap();
+        rt.set_session(a).unwrap();
+        rt.close_session(b).unwrap();
+        // The pending decryption was finalized, not dropped: the swapped-
+        // out plaintext is visible and no revocation lingers.
+        assert_eq!(
+            rt.context().host().get(back.addr).unwrap().payload(),
+            &Payload::Real(vec![0xaa; CHUNK as usize]),
+            "closing a session must land its pending decrypts"
+        );
+        assert!(rt.session_spec_stats(b).is_none());
+        assert!(rt.session_counters(b).is_none());
+        // The closed session cannot be re-activated.
+        assert!(rt.set_session(b).is_err());
+        // A's traffic proceeds undisturbed.
+        lifo_episode(&mut rt, 9, 2);
     }
 }

@@ -31,6 +31,20 @@ pub struct PipeLlmStats {
     pub speculated: u64,
 }
 
+impl std::ops::AddAssign for PipeLlmStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.spec_hits += rhs.spec_hits;
+        self.nop_recoveries += rhs.nop_recoveries;
+        self.reorders += rhs.reorders;
+        self.relinquishes += rhs.relinquishes;
+        self.write_invalidations += rhs.write_invalidations;
+        self.wasted_entries += rhs.wasted_entries;
+        self.async_decrypts += rhs.async_decrypts;
+        self.decrypt_faults += rhs.decrypt_faults;
+        self.speculated += rhs.speculated;
+    }
+}
+
 impl PipeLlmStats {
     /// Sequence-prediction success rate over all pipelined swap-ins.
     pub fn success_rate(&self) -> f64 {

@@ -69,6 +69,17 @@ impl SealedMessage {
     }
 }
 
+/// IVs reserved below `u64::MAX` as exhaustion headroom: no seal may use a
+/// counter value at or above [`IV_LIMIT`]. The headroom keeps speculative
+/// seals (which run ahead of the counter by `spec_depth + iv_slack`) from
+/// ever computing an IV that wraps, and gives the session layer room to
+/// notice and rekey before the stream truly runs dry.
+pub const IV_HEADROOM: u64 = 1 << 16;
+
+/// First unusable IV value: sealing at `iv >= IV_LIMIT` returns
+/// [`CryptoError::IvExhausted`].
+pub const IV_LIMIT: u64 = u64::MAX - IV_HEADROOM;
+
 /// Sending half of one channel direction: a key plus the sender counter.
 #[derive(Debug, Clone)]
 pub struct TxContext {
@@ -92,6 +103,20 @@ impl TxContext {
     /// The IV the next committed send will consume.
     pub fn next_iv(&self) -> u64 {
         self.next_iv
+    }
+
+    /// IVs left before this direction hits the exhaustion headroom and
+    /// every further seal fails with [`CryptoError::IvExhausted`].
+    pub fn remaining_ivs(&self) -> u64 {
+        IV_LIMIT.saturating_sub(self.next_iv)
+    }
+
+    /// Refuses IVs inside the exhaustion headroom (nonce-wrap guard).
+    fn check_exhaustion(&self, iv: u64) -> Result<()> {
+        if iv >= IV_LIMIT {
+            return Err(CryptoError::IvExhausted { iv });
+        }
+        Ok(())
     }
 
     /// Direction this context seals for.
@@ -124,6 +149,7 @@ impl TxContext {
     /// caller pooled is reused.
     pub fn seal_prepared(&mut self, aad: Arc<[u8]>, mut buf: Vec<u8>) -> Result<SealedMessage> {
         let iv = self.next_iv;
+        self.check_exhaustion(iv)?;
         self.gcm.seal_vec(&self.nonce(iv), &aad, &mut buf);
         self.next_iv += 1;
         Ok(SealedMessage {
@@ -137,6 +163,7 @@ impl TxContext {
     /// the consumed IV and the detached tag; `data` holds the ciphertext.
     pub fn seal_in_place(&mut self, aad: &[u8], data: &mut [u8]) -> Result<(u64, [u8; TAG_LEN])> {
         let iv = self.next_iv;
+        self.check_exhaustion(iv)?;
         let tag = self.gcm.seal_in_place(&self.nonce(iv), aad, data);
         self.next_iv += 1;
         Ok((iv, tag))
@@ -173,6 +200,7 @@ impl TxContext {
         if iv < self.next_iv {
             return Err(CryptoError::IvReused { iv });
         }
+        self.check_exhaustion(iv)?;
         self.gcm.seal_vec(&self.nonce(iv), &aad, &mut buf);
         Ok(SealedMessage {
             iv,
@@ -206,7 +234,11 @@ impl TxContext {
 
     /// Seals a NOP: a 1-byte dummy transfer whose only purpose is to
     /// advance the IV (paper §5.3). The counter advances immediately.
-    pub fn seal_nop(&mut self) -> SealedMessage {
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::IvExhausted`] when the counter sits in the headroom.
+    pub fn seal_nop(&mut self) -> Result<SealedMessage> {
         self.seal_nop_with(Vec::with_capacity(1 + TAG_LEN))
     }
 
@@ -214,18 +246,23 @@ impl TxContext {
     /// shared `b"nop"` AAD, so the sender allocates nothing once the
     /// caller cycles buffers back through [`SealedMessage::into_bytes`] or
     /// [`RxContext::open_owned`]).
-    pub fn seal_nop_with(&mut self, mut buf: Vec<u8>) -> SealedMessage {
+    ///
+    /// # Errors
+    ///
+    /// As [`TxContext::seal_nop`]; on error `buf` is dropped.
+    pub fn seal_nop_with(&mut self, mut buf: Vec<u8>) -> Result<SealedMessage> {
         let iv = self.next_iv;
+        self.check_exhaustion(iv)?;
         let aad = Arc::clone(&self.nop_aad);
         buf.clear();
         buf.push(0u8);
         self.gcm.seal_vec(&self.nonce(iv), &aad, &mut buf);
         self.next_iv += 1;
-        SealedMessage {
+        Ok(SealedMessage {
             iv,
             aad,
             bytes: buf,
-        }
+        })
     }
 }
 
@@ -581,7 +618,7 @@ mod tests {
         ));
         // Pad NOPs to advance 1→4, delivering each so the device follows.
         for _ in 0..3 {
-            let nop = ch.host_mut().tx_mut().seal_nop();
+            let nop = ch.host_mut().tx_mut().seal_nop().unwrap();
             ch.device_mut().open(&nop).unwrap();
         }
         ch.host_mut().tx_mut().commit(&spec).unwrap();
@@ -616,7 +653,7 @@ mod tests {
     #[test]
     fn nop_advances_both_sides_and_carries_one_byte() {
         let mut ch = channel();
-        let nop = ch.host_mut().tx_mut().seal_nop();
+        let nop = ch.host_mut().tx_mut().seal_nop().unwrap();
         assert_eq!(nop.plaintext_len(), 1);
         let opened = ch.device_mut().open(&nop).unwrap();
         assert_eq!(opened, vec![0u8]);
@@ -669,12 +706,12 @@ mod tests {
     #[test]
     fn nop_staging_buffer_is_reused_without_reallocating() {
         let mut ch = channel();
-        let nop = ch.host_mut().tx_mut().seal_nop();
+        let nop = ch.host_mut().tx_mut().seal_nop().unwrap();
         ch.device_mut().open(&nop).unwrap();
         let recycled = nop.into_bytes();
         let ptr = recycled.as_ptr();
         let capacity = recycled.capacity();
-        let nop2 = ch.host_mut().tx_mut().seal_nop_with(recycled);
+        let nop2 = ch.host_mut().tx_mut().seal_nop_with(recycled).unwrap();
         assert_eq!(
             nop2.bytes.as_ptr(),
             ptr,
@@ -717,6 +754,36 @@ mod tests {
         // Reflecting a H2D ciphertext back to the host must fail even at a
         // matching counter value, because the direction tag differs.
         assert!(ch.host_mut().open(&h2d).is_err());
+    }
+
+    #[test]
+    fn seals_inside_exhaustion_headroom_are_refused() {
+        let mut ch = SecureChannel::with_initial_ivs(ChannelKeys::from_seed(3), IV_LIMIT - 1, 1);
+        assert_eq!(ch.host().tx().remaining_ivs(), 1);
+        ch.host_mut().seal(b"last one").unwrap();
+        assert_eq!(ch.host().tx().remaining_ivs(), 0);
+        assert!(matches!(
+            ch.host_mut().seal(b"x"),
+            Err(CryptoError::IvExhausted { iv: IV_LIMIT })
+        ));
+        assert!(matches!(
+            ch.host_mut().tx_mut().seal_nop(),
+            Err(CryptoError::IvExhausted { .. })
+        ));
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            ch.host_mut().seal_in_place(b"", &mut buf),
+            Err(CryptoError::IvExhausted { .. })
+        ));
+        // Speculative seals cannot reserve IVs inside the headroom either.
+        assert!(matches!(
+            ch.host().tx().seal_speculative(IV_LIMIT, b"", b"y"),
+            Err(CryptoError::IvExhausted { .. })
+        ));
+        // The counter never advanced into the headroom, and the other
+        // direction is unaffected.
+        assert_eq!(ch.host().tx().next_iv(), IV_LIMIT);
+        ch.device_mut().seal(b"fine").unwrap();
     }
 
     #[test]

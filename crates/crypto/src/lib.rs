@@ -23,6 +23,10 @@
 //! - [`cost`]: a calibrated throughput model for the CPU encryption engine,
 //!   used by the timing layer (`pipellm-sim`) so benchmarks can move
 //!   *virtual* multi-gigabyte payloads without encrypting them.
+//! - [`session`]: the multi-tenant session layer — [`session::SessionId`]
+//!   and [`session::SessionManager`], which derive per-session
+//!   [`channel::ChannelKeys`] from a root secret, own one channel pair per
+//!   session, and rekey sessions whose IV counters approach exhaustion.
 //! - [`reuse`]: the **deliberately insecure** ciphertext-reuse strawman of
 //!   the paper's §8.2 (static per-chunk nonces), built to demonstrate the
 //!   replay attack the IV discipline prevents and to quantify the
@@ -55,6 +59,7 @@ pub mod cost;
 pub mod gcm;
 pub mod hw;
 pub mod reuse;
+pub mod session;
 
 use std::error::Error;
 use std::fmt;
@@ -88,6 +93,14 @@ pub enum CryptoError {
         /// IV the sender's counter currently expects.
         expected: u64,
     },
+    /// The sender's IV counter ran into the reserved exhaustion headroom
+    /// near `u64::MAX`. Advancing further would eventually wrap the counter
+    /// and silently reuse nonces, so the channel refuses; the session must
+    /// be rekeyed (see [`session::SessionManager::rekey`]).
+    IvExhausted {
+        /// The counter value that hit the headroom.
+        iv: u64,
+    },
     /// A key of invalid length was supplied.
     InvalidKeyLength {
         /// Number of key bytes supplied.
@@ -111,6 +124,12 @@ impl fmt::Display for CryptoError {
                 write!(
                     f,
                     "committed IV {iv} does not match sender counter {expected}"
+                )
+            }
+            CryptoError::IvExhausted { iv } => {
+                write!(
+                    f,
+                    "IV counter {iv} is inside the exhaustion headroom; rekey the session"
                 )
             }
             CryptoError::InvalidKeyLength { got } => {

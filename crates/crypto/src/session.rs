@@ -1,0 +1,364 @@
+//! The multi-tenant session layer: per-session secure channels derived
+//! from one root secret.
+//!
+//! A production confidential-serving deployment multiplexes many tenants
+//! over one GPU. Each tenant's CVM performs its own SPDM key exchange at
+//! attestation time, so every tenant owns an independent pair of channel
+//! keys and an independent pair of IV counters — while all tenants contend
+//! for the same CPU crypto workers, PCIe link, and device memory. This
+//! module provides the key-management half of that picture:
+//!
+//! - [`SessionId`]: an opaque per-tenant identity threaded through the GPU
+//!   runtime's transfer API;
+//! - [`SessionManager`]: derives per-session [`ChannelKeys`] from a root
+//!   secret (the stand-in for the per-tenant SPDM exchange), owns one
+//!   channel pair ([`SecureChannel`]) per session, and rekeys sessions
+//!   whose IV counters approach the exhaustion headroom
+//!   ([`crate::channel::IV_LIMIT`]).
+//!
+//! Key separation is structural: two sessions (or two epochs of one
+//! session) never share a key, so ciphertext sealed under one session can
+//! never authenticate under another — the cross-tenant isolation property
+//! the property tests in `tests/session_props.rs` pin down.
+
+use crate::channel::{ChannelKeys, SecureChannel, IV_HEADROOM};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A channel pair: both directions (H2D and D2H) of one session's secure
+/// link, i.e. the host and device endpoints with mirrored key material.
+pub type ChannelPair = SecureChannel;
+
+/// Opaque identity of one tenant session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl SessionId {
+    /// The default session every context opens at construction, preserving
+    /// the single-tenant API: session-unaware callers implicitly talk to
+    /// this session.
+    pub const DEFAULT: SessionId = SessionId(0);
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
+/// One session's live state inside the manager.
+#[derive(Debug, Clone)]
+struct Session {
+    /// Key epoch: bumped by every rekey, mixed into the derivation so the
+    /// new keys share nothing with the old ones.
+    epoch: u32,
+    channel: ChannelPair,
+}
+
+/// Derives per-session channel keys from a root secret and owns the
+/// resulting channel pairs.
+///
+/// Derivation is `root secret × session id × epoch × direction →
+/// 32-byte key` through a SplitMix64 sponge — simulation-grade like
+/// [`ChannelKeys::from_seed`], but with the same structural guarantees a
+/// real KDF would give: distinct inputs yield decorrelated keys, and no
+/// session ever learns anything about another session's keys.
+#[derive(Clone)]
+pub struct SessionManager {
+    root: [u8; 32],
+    next_id: u64,
+    rekey_headroom: u64,
+    sessions: BTreeMap<SessionId, Session>,
+}
+
+impl fmt::Debug for SessionManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionManager")
+            .field("sessions", &self.sessions.len())
+            .field("next_id", &self.next_id)
+            .field("rekey_headroom", &self.rekey_headroom)
+            .finish()
+    }
+}
+
+/// SplitMix64 step shared by the derivation sponge.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives one direction key: absorb the root, session, epoch, and a
+/// direction salt; squeeze 32 bytes.
+fn derive_direction_key(root: &[u8; 32], session: SessionId, epoch: u32, salt: u8) -> [u8; 32] {
+    let mut state = u64::from(salt).wrapping_mul(0x2545_f491_4f6c_dd1d);
+    for chunk in root.chunks(8) {
+        let mut word = [0u8; 8];
+        word.copy_from_slice(chunk);
+        state ^= u64::from_le_bytes(word);
+        mix(&mut state);
+    }
+    state ^= session.0;
+    mix(&mut state);
+    state ^= u64::from(epoch) << 32 | u64::from(epoch);
+    mix(&mut state);
+    let mut key = [0u8; 32];
+    for chunk in key.chunks_mut(8) {
+        chunk.copy_from_slice(&mix(&mut state).to_le_bytes());
+    }
+    key
+}
+
+impl SessionManager {
+    /// Creates a manager over an explicit 32-byte root secret. No session
+    /// exists yet; open the default one with [`SessionManager::open`].
+    pub fn new(root: [u8; 32]) -> Self {
+        SessionManager {
+            root,
+            next_id: 0,
+            rekey_headroom: IV_HEADROOM,
+            sessions: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a manager whose root secret is expanded from a u64 seed
+    /// (simulation convenience, mirroring [`ChannelKeys::from_seed`]).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        let mut root = [0u8; 32];
+        for chunk in root.chunks_mut(8) {
+            chunk.copy_from_slice(&mix(&mut state).to_le_bytes());
+        }
+        Self::new(root)
+    }
+
+    /// Sets how many IVs may remain before [`SessionManager::needs_rekey`]
+    /// reports a session as due (defaults to the channel's own
+    /// [`IV_HEADROOM`]).
+    pub fn with_rekey_headroom(mut self, headroom: u64) -> Self {
+        self.rekey_headroom = headroom;
+        self
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether no session is open.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Live session ids, in creation order.
+    pub fn ids(&self) -> Vec<SessionId> {
+        self.sessions.keys().copied().collect()
+    }
+
+    /// Whether `id` names a live session.
+    pub fn contains(&self, id: SessionId) -> bool {
+        self.sessions.contains_key(&id)
+    }
+
+    /// Derives the channel keys for (`id`, `epoch`) without opening a
+    /// session — the deterministic KDF both endpoints would run after the
+    /// per-tenant attestation exchange.
+    pub fn derive_keys(&self, id: SessionId, epoch: u32) -> ChannelKeys {
+        ChannelKeys::new(
+            derive_direction_key(&self.root, id, epoch, 0x1d),
+            derive_direction_key(&self.root, id, epoch, 0x2e),
+        )
+    }
+
+    /// Opens a new session with freshly derived keys and both IV counters
+    /// at 1 (the paper's Figure 1 start state).
+    pub fn open(&mut self) -> SessionId {
+        self.open_with_initial_ivs(1, 1)
+    }
+
+    /// Opens a new session with explicit starting IVs per direction (test
+    /// support for exercising counters near the exhaustion limit).
+    pub fn open_with_initial_ivs(&mut self, h2d_iv: u64, d2h_iv: u64) -> SessionId {
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        let channel = SecureChannel::with_initial_ivs(self.derive_keys(id, 0), h2d_iv, d2h_iv);
+        self.sessions.insert(id, Session { epoch: 0, channel });
+        id
+    }
+
+    /// Closes a session, discarding its keys. Returns whether it existed.
+    pub fn close(&mut self, id: SessionId) -> bool {
+        self.sessions.remove(&id).is_some()
+    }
+
+    /// The session's channel pair.
+    pub fn channel(&self, id: SessionId) -> Option<&ChannelPair> {
+        self.sessions.get(&id).map(|s| &s.channel)
+    }
+
+    /// Mutable access to the session's channel pair.
+    pub fn channel_mut(&mut self, id: SessionId) -> Option<&mut ChannelPair> {
+        self.sessions.get_mut(&id).map(|s| &mut s.channel)
+    }
+
+    /// The session's current key epoch.
+    pub fn epoch(&self, id: SessionId) -> Option<u32> {
+        self.sessions.get(&id).map(|s| s.epoch)
+    }
+
+    /// Whether either direction of the session's channel has fewer than
+    /// the configured headroom of IVs left before exhaustion.
+    pub fn needs_rekey(&self, id: SessionId) -> Option<bool> {
+        self.sessions.get(&id).map(|s| {
+            s.channel.host().tx().remaining_ivs() < self.rekey_headroom
+                || s.channel.device().tx().remaining_ivs() < self.rekey_headroom
+        })
+    }
+
+    /// Rekeys the session: bumps the epoch, derives fresh keys, and resets
+    /// both IV counters to 1 — the SPDM re-exchange a real deployment runs
+    /// before a channel's nonce space runs dry. Any ciphertext sealed under
+    /// the old epoch is invalidated (it will fail authentication), so the
+    /// caller must drain speculative state first.
+    ///
+    /// Returns the new epoch.
+    pub fn rekey(&mut self, id: SessionId) -> Option<u32> {
+        let epoch = self.sessions.get(&id)?.epoch + 1;
+        let keys = self.derive_keys(id, epoch);
+        let session = self.sessions.get_mut(&id).expect("checked above");
+        session.epoch = epoch;
+        session.channel = SecureChannel::new(keys);
+        Some(epoch)
+    }
+
+    /// The IV-exhaustion-aware rekey hook: rekeys the session iff it is
+    /// inside the configured headroom. Returns whether a rekey happened.
+    pub fn maybe_rekey(&mut self, id: SessionId) -> Option<bool> {
+        if self.needs_rekey(id)? {
+            self.rekey(id);
+            Some(true)
+        } else {
+            Some(false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::IV_LIMIT;
+    use crate::CryptoError;
+
+    #[test]
+    fn sessions_get_distinct_monotonic_ids() {
+        let mut mgr = SessionManager::from_seed(7);
+        let a = mgr.open();
+        let b = mgr.open();
+        assert_eq!(a, SessionId::DEFAULT);
+        assert_eq!(b, SessionId(1));
+        assert_eq!(mgr.ids(), vec![a, b]);
+        assert!(mgr.contains(a) && mgr.contains(b));
+    }
+
+    #[test]
+    fn cross_session_ciphertext_fails_authentication() {
+        let mut mgr = SessionManager::from_seed(7);
+        let a = mgr.open();
+        let b = mgr.open();
+        let sealed = mgr.channel_mut(a).unwrap().host_mut().seal(b"a").unwrap();
+        let err = mgr
+            .channel_mut(b)
+            .unwrap()
+            .device_mut()
+            .open(&sealed)
+            .unwrap_err();
+        assert!(matches!(err, CryptoError::AuthenticationFailed { .. }));
+        // The right session still opens it.
+        assert_eq!(
+            mgr.channel_mut(a)
+                .unwrap()
+                .device_mut()
+                .open(&sealed)
+                .unwrap(),
+            b"a"
+        );
+    }
+
+    #[test]
+    fn derivation_is_deterministic_and_epoch_separated() {
+        let mgr = SessionManager::from_seed(9);
+        let k0 = mgr.derive_keys(SessionId(3), 0);
+        let k0_again = mgr.derive_keys(SessionId(3), 0);
+        let k1 = mgr.derive_keys(SessionId(3), 1);
+        // Same inputs → same channel behaviour; different epoch → different.
+        let mut ch_a = SecureChannel::new(k0);
+        let mut ch_b = SecureChannel::new(k0_again);
+        let mut ch_e = SecureChannel::new(k1);
+        let sealed = ch_a.host_mut().seal(b"x").unwrap();
+        assert_eq!(ch_b.device_mut().open(&sealed).unwrap(), b"x");
+        assert!(ch_e.device_mut().open(&sealed).is_err());
+    }
+
+    #[test]
+    fn rekey_resets_counters_and_invalidates_old_ciphertext() {
+        let mut mgr = SessionManager::from_seed(1);
+        let id = mgr.open();
+        let stale = mgr
+            .channel_mut(id)
+            .unwrap()
+            .host_mut()
+            .seal(b"old")
+            .unwrap();
+        assert_eq!(mgr.channel(id).unwrap().host().tx().next_iv(), 2);
+        assert_eq!(mgr.rekey(id), Some(1));
+        assert_eq!(mgr.epoch(id), Some(1));
+        let ch = mgr.channel_mut(id).unwrap();
+        assert_eq!(ch.host().tx().next_iv(), 1, "counters restart after rekey");
+        assert!(
+            ch.device_mut().open(&stale).is_err(),
+            "old-epoch ciphertext must not authenticate"
+        );
+        let fresh = ch.host_mut().seal(b"new").unwrap();
+        assert_eq!(ch.device_mut().open(&fresh).unwrap(), b"new");
+    }
+
+    #[test]
+    fn exhausted_counter_triggers_rekey_hook() {
+        let mut mgr = SessionManager::from_seed(4);
+        // Fresh session: far from exhaustion.
+        let fresh = mgr.open();
+        assert_eq!(mgr.needs_rekey(fresh), Some(false));
+        assert_eq!(mgr.maybe_rekey(fresh), Some(false));
+        // Session whose H2D counter sits one IV short of the limit.
+        let near = mgr.open_with_initial_ivs(IV_LIMIT - 1, 1);
+        assert_eq!(mgr.needs_rekey(near), Some(true));
+        // Sealing once works; the next seal would be refused...
+        let ch = mgr.channel_mut(near).unwrap();
+        ch.host_mut().seal(b"last").unwrap();
+        assert!(matches!(
+            ch.host_mut().seal(b"one too many"),
+            Err(CryptoError::IvExhausted { .. })
+        ));
+        // ...unless the hook rekeys first.
+        assert_eq!(mgr.maybe_rekey(near), Some(true));
+        assert_eq!(mgr.epoch(near), Some(1));
+        mgr.channel_mut(near)
+            .unwrap()
+            .host_mut()
+            .seal(b"ok")
+            .unwrap();
+    }
+
+    #[test]
+    fn close_forgets_the_session() {
+        let mut mgr = SessionManager::from_seed(2);
+        let id = mgr.open();
+        assert!(mgr.close(id));
+        assert!(!mgr.close(id));
+        assert!(mgr.channel(id).is_none());
+        assert!(mgr.needs_rekey(id).is_none());
+        assert!(mgr.is_empty());
+    }
+}

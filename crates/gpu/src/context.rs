@@ -21,8 +21,9 @@
 use crate::memory::{DeviceMemory, DevicePtr, HostMemory, HostRegion, MemoryError, Payload};
 use crate::pages::{Access, PageRegistry};
 use crate::timing::IoTimingModel;
-use pipellm_crypto::channel::{ChannelKeys, Direction, SealedMessage, SecureChannel};
+use pipellm_crypto::channel::{Direction, SealedMessage, SecureChannel};
 use pipellm_crypto::gcm::TAG_LEN;
+use pipellm_crypto::session::{SessionId, SessionManager};
 use pipellm_crypto::CryptoError;
 use pipellm_sim::resource::{GpuEngine, Link, Reservation, WorkerPool};
 use pipellm_sim::time::SimTime;
@@ -48,6 +49,11 @@ pub enum GpuError {
     Crypto(CryptoError),
     /// An operation that requires CC mode was invoked with CC off.
     CcDisabled,
+    /// A session id that names no live session.
+    UnknownSession {
+        /// The unknown id.
+        session: SessionId,
+    },
 }
 
 impl fmt::Display for GpuError {
@@ -56,6 +62,7 @@ impl fmt::Display for GpuError {
             GpuError::Memory(e) => write!(f, "memory error: {e}"),
             GpuError::Crypto(e) => write!(f, "crypto error: {e}"),
             GpuError::CcDisabled => f.write_str("operation requires confidential computing mode"),
+            GpuError::UnknownSession { session } => write!(f, "unknown {session}"),
         }
     }
 }
@@ -65,7 +72,7 @@ impl std::error::Error for GpuError {
         match self {
             GpuError::Memory(e) => Some(e),
             GpuError::Crypto(e) => Some(e),
-            GpuError::CcDisabled => None,
+            GpuError::CcDisabled | GpuError::UnknownSession { .. } => None,
         }
     }
 }
@@ -87,6 +94,8 @@ impl From<CryptoError> for GpuError {
 /// information is available").
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransferRecord {
+    /// Session whose channel carried the transfer.
+    pub session: SessionId,
     /// Transfer direction.
     pub direction: Direction,
     /// Host-side region.
@@ -133,6 +142,29 @@ pub struct IoStats {
     pub nops: u64,
 }
 
+/// Snapshot of one session's four IV counters (both directions, both
+/// endpoints). In a healthy session the endpoints advance in lockstep:
+/// every committed H2D seal was opened by the device and vice versa.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// Host-side H2D sender counter (next IV a swap-in consumes).
+    pub h2d_tx: u64,
+    /// Device-side H2D receiver counter.
+    pub h2d_rx: u64,
+    /// Device-side D2H sender counter.
+    pub d2h_tx: u64,
+    /// Host-side D2H receiver counter.
+    pub d2h_rx: u64,
+}
+
+impl SessionCounters {
+    /// Whether both directions' endpoints agree — no message was sealed
+    /// and then lost, and none was opened twice.
+    pub fn in_lockstep(&self) -> bool {
+        self.h2d_tx == self.h2d_rx && self.d2h_tx == self.d2h_rx
+    }
+}
+
 /// Configuration for constructing a [`CudaContext`].
 #[derive(Debug, Clone)]
 pub struct ContextConfig {
@@ -167,7 +199,12 @@ pub struct CudaContext {
     crypto_threads: usize,
     host: HostMemory,
     device_mem: DeviceMemory,
-    channel: SecureChannel,
+    /// Per-session secure channels, keyed from one root secret. All
+    /// sessions share every other resource in this struct: the link, the
+    /// crypto pool, the GPU engine, and both memories.
+    sessions: SessionManager,
+    /// Session the session-unaware API surface currently operates on.
+    active: SessionId,
     link: Link,
     crypto_pool: WorkerPool,
     gpu: GpuEngine,
@@ -228,13 +265,17 @@ impl CudaContext {
             config.timing.link_gbps(cc_enabled),
             config.timing.pcie_latency,
         );
+        let mut sessions = SessionManager::from_seed(config.seed);
+        let active = sessions.open();
+        debug_assert_eq!(active, SessionId::DEFAULT);
         CudaContext {
             cc: config.cc,
             timing: config.timing,
             crypto_threads: config.crypto_threads.max(1),
             host: HostMemory::new(),
             device_mem: DeviceMemory::new(config.device_capacity),
-            channel: SecureChannel::new(ChannelKeys::from_seed(config.seed)),
+            sessions,
+            active,
             link,
             crypto_pool: WorkerPool::new(config.crypto_threads),
             gpu: GpuEngine::new(),
@@ -251,6 +292,88 @@ impl CudaContext {
     /// CC mode of this context.
     pub fn cc_mode(&self) -> CcMode {
         self.cc
+    }
+
+    /// The active session's channel pair.
+    fn channel(&self) -> &SecureChannel {
+        self.sessions
+            .channel(self.active)
+            .expect("active session is always live")
+    }
+
+    /// Mutable access to the active session's channel pair.
+    fn channel_mut(&mut self) -> &mut SecureChannel {
+        self.sessions
+            .channel_mut(self.active)
+            .expect("active session is always live")
+    }
+
+    // ---------------------------------------------------------------
+    // Session surface
+    // ---------------------------------------------------------------
+
+    /// Opens a new tenant session with freshly derived channel keys; the
+    /// active session is unchanged.
+    pub fn open_session(&mut self) -> SessionId {
+        self.sessions.open()
+    }
+
+    /// Makes `session` the target of the session-unaware API surface
+    /// (every `memcpy_*`, seal, NOP, and IV accessor).
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::UnknownSession`] if no such session is live.
+    pub fn set_session(&mut self, session: SessionId) -> Result<(), GpuError> {
+        if !self.sessions.contains(session) {
+            return Err(GpuError::UnknownSession { session });
+        }
+        self.active = session;
+        Ok(())
+    }
+
+    /// The session the context currently operates on.
+    pub fn active_session(&self) -> SessionId {
+        self.active
+    }
+
+    /// Live session ids in creation order.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        self.sessions.ids()
+    }
+
+    /// Closes a session (the active session cannot be closed).
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::UnknownSession`] if no such session is live or it is
+    /// the active one.
+    pub fn close_session(&mut self, session: SessionId) -> Result<(), GpuError> {
+        if session == self.active || !self.sessions.close(session) {
+            return Err(GpuError::UnknownSession { session });
+        }
+        Ok(())
+    }
+
+    /// Snapshot of all four IV counters of `session`'s channel.
+    pub fn session_counters(&self, session: SessionId) -> Option<SessionCounters> {
+        let ch = self.sessions.channel(session)?;
+        Some(SessionCounters {
+            h2d_tx: ch.host().tx().next_iv(),
+            h2d_rx: ch.device().rx().next_iv(),
+            d2h_tx: ch.device().tx().next_iv(),
+            d2h_rx: ch.host().rx().next_iv(),
+        })
+    }
+
+    /// The session manager (rekey hooks, epochs, derivation).
+    pub fn session_manager(&self) -> &SessionManager {
+        &self.sessions
+    }
+
+    /// Mutable session manager — e.g. to drive an IV-exhaustion rekey.
+    pub fn session_manager_mut(&mut self) -> &mut SessionManager {
+        &mut self.sessions
     }
 
     /// The timing calibration in use.
@@ -382,7 +505,7 @@ impl CudaContext {
                 let mut buf = Vec::new();
                 let aad = stage_plaintext(self.host.get(src.addr)?.payload(), src.addr.0, &mut buf);
                 let sealed = self
-                    .channel
+                    .channel_mut()
                     .host_mut()
                     .tx_mut()
                     .seal_prepared(aad.into(), buf)?;
@@ -441,7 +564,7 @@ impl CudaContext {
                 let mut buf = Vec::new();
                 let aad = stage_plaintext(self.device_mem.get(src)?, dst.addr.0, &mut buf);
                 let sealed = self
-                    .channel
+                    .channel_mut()
                     .device_mut()
                     .tx_mut()
                     .seal_prepared(aad.into(), buf)?;
@@ -449,7 +572,7 @@ impl CudaContext {
                 let open_time = self.timing.crypto.open_time(len) / self.crypto_threads as u32;
                 let dec = self.crypto_pool.reserve(wire.end, open_time);
                 let kind = sealed_kind(&sealed);
-                let opened = self.channel.host_mut().rx_mut().open_owned(sealed)?;
+                let opened = self.channel_mut().host_mut().rx_mut().open_owned(sealed)?;
                 self.host_store(dst, Payload::from_plaintext(kind, opened))?;
                 let done = dec.end + self.timing.cc_control;
                 // The call blocks until the plaintext is in place.
@@ -577,13 +700,13 @@ impl CudaContext {
         // Pre-check the IV so the fallible steps run before the buffer is
         // committed; `seal_speculative_prepared` re-checks the same
         // counter, which cannot advance in between.
-        if iv < self.channel.host().tx().next_iv() {
+        if iv < self.channel().host().tx().next_iv() {
             return Err(GpuError::Crypto(CryptoError::IvReused { iv }));
         }
         let aad = stage_plaintext(self.host.get(src.addr)?.payload(), src.addr.0, buf);
         let staged = std::mem::take(buf);
         Ok(self
-            .channel
+            .channel()
             .host()
             .tx()
             .seal_speculative_prepared(iv, aad.into(), staged)?)
@@ -591,7 +714,7 @@ impl CudaContext {
 
     /// The host-side sender counter (next IV to be consumed).
     pub fn current_h2d_iv(&self) -> u64 {
-        self.channel.host().tx().next_iv()
+        self.channel().host().tx().next_iv()
     }
 
     /// Submits pre-encrypted ciphertext to the device.
@@ -623,7 +746,7 @@ impl CudaContext {
         if self.cc == CcMode::Off {
             return Err(GpuError::CcDisabled);
         }
-        self.channel.host_mut().tx_mut().commit(sealed)?;
+        self.channel_mut().host_mut().tx_mut().commit(sealed)?;
         let depart = now.max(ready_at);
         let wire = self.link.transfer(depart, payload_len);
         self.deliver_to_device(dst, sealed)?;
@@ -655,13 +778,17 @@ impl CudaContext {
             return Err(GpuError::CcDisabled);
         }
         let staging = std::mem::take(&mut self.nop_staging);
-        let nop = self.channel.host_mut().tx_mut().seal_nop_with(staging);
+        let nop = self
+            .channel_mut()
+            .host_mut()
+            .tx_mut()
+            .seal_nop_with(staging)?;
         let enc = self.crypto_pool.reserve(now, self.timing.crypto.nop_time());
         let wire = self.link.transfer(enc.end, 1);
         // The receiver opens the message's own buffer in place, and that
         // 17-byte buffer cycles back for the next NOP — padding bursts
         // allocate nothing on either endpoint.
-        self.nop_staging = self.channel.device_mut().rx_mut().open_owned(nop)?;
+        self.nop_staging = self.channel_mut().device_mut().rx_mut().open_owned(nop)?;
         self.stats.nops += 1;
         let done = wire.end + self.timing.cc_control;
         self.nop_log.push(done);
@@ -693,14 +820,14 @@ impl CudaContext {
         let mut buf = Vec::new();
         let aad = stage_plaintext(self.device_mem.get(src)?, dst.addr.0, &mut buf);
         let sealed = self
-            .channel
+            .channel_mut()
             .device_mut()
             .tx_mut()
             .seal_prepared(aad.into(), buf)?;
         let iv = sealed.iv;
         let kind = sealed_kind(&sealed);
         let wire = self.link.transfer(now, len);
-        let opened = self.channel.host_mut().rx_mut().open_owned(sealed)?;
+        let opened = self.channel_mut().host_mut().rx_mut().open_owned(sealed)?;
         let opened_payload = Payload::from_plaintext(kind, opened);
         let done = wire.end + self.timing.cc_control;
         self.record(Direction::DeviceToHost, dst, src, len, now, done, Some(iv));
@@ -746,7 +873,11 @@ impl CudaContext {
         sealed: SealedMessage,
     ) -> Result<(), GpuError> {
         let kind = sealed_kind(&sealed);
-        let opened = self.channel.device_mut().rx_mut().open_owned(sealed)?;
+        let opened = self
+            .channel_mut()
+            .device_mut()
+            .rx_mut()
+            .open_owned(sealed)?;
         self.device_mem
             .store(dst, Payload::from_plaintext(kind, opened))?;
         Ok(())
@@ -764,6 +895,7 @@ impl CudaContext {
         iv: Option<u64>,
     ) {
         self.trace.push(TransferRecord {
+            session: self.active,
             direction,
             region,
             device,

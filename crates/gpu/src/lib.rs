@@ -33,7 +33,8 @@ pub mod pages;
 pub mod runtime;
 pub mod timing;
 
-pub use context::{CcMode, CudaContext, GpuError};
+pub use context::{CcMode, CudaContext, GpuError, SessionCounters};
 pub use memory::{DevicePtr, HostAddr, HostMemory, HostRegion, Payload};
-pub use runtime::{CcNativeRuntime, CcOffRuntime, GpuRuntime};
+pub use pipellm_crypto::session::SessionId;
+pub use runtime::{CcNativeRuntime, CcOffRuntime, GpuRuntime, SessionRuntime, SessionedRuntime};
 pub use timing::IoTimingModel;

@@ -6,10 +6,11 @@
 //! whether they run on plain CUDA ([`CcOffRuntime`]), native NVIDIA CC
 //! ([`CcNativeRuntime`]), or the PipeLLM runtime (in the `pipellm` crate).
 
-use crate::context::{ContextConfig, CudaContext, GpuError, IoStats};
+use crate::context::{ContextConfig, CudaContext, GpuError, IoStats, SessionCounters};
 use crate::memory::{DevicePtr, HostAddr, HostRegion, Payload};
 use crate::timing::IoTimingModel;
 use crate::CcMode;
+use pipellm_crypto::session::SessionId;
 use pipellm_sim::time::SimTime;
 use std::time::Duration;
 
@@ -171,6 +172,149 @@ impl<T: GpuRuntime + ?Sized> GpuRuntime for Box<T> {
     }
 }
 
+/// A runtime that multiplexes independent tenant sessions over one set of
+/// shared hardware resources (device memory, PCIe link, crypto workers).
+///
+/// Each session owns its channel keys and IV counters; the *active*
+/// session is the one the session-unaware [`GpuRuntime`] surface operates
+/// on, so unmodified serving engines become per-tenant by being handed a
+/// [`SessionRuntime`] view instead of the runtime itself — transparency,
+/// extended to multi-tenancy.
+pub trait SessionedRuntime: GpuRuntime {
+    /// Opens a new tenant session; the active session is unchanged.
+    fn open_session(&mut self) -> SessionId;
+
+    /// Routes all subsequent [`GpuRuntime`] calls to `session`.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::UnknownSession`] if no such session is live.
+    fn set_session(&mut self, session: SessionId) -> Result<(), GpuError>;
+
+    /// The session [`GpuRuntime`] calls currently target.
+    fn active_session(&self) -> SessionId;
+
+    /// Live session ids in creation order.
+    fn session_ids(&self) -> Vec<SessionId>;
+
+    /// IV-counter snapshot of one session's channel, or `None` for an
+    /// unknown session.
+    fn session_counters(&self, session: SessionId) -> Option<SessionCounters>;
+
+    /// A [`GpuRuntime`] view pinned to `session`: every call switches the
+    /// active session first, so interleaved views stay isolated.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::UnknownSession`] if no such session is live.
+    fn session(&mut self, session: SessionId) -> Result<SessionRuntime<'_, Self>, GpuError>
+    where
+        Self: Sized,
+    {
+        self.set_session(session)?;
+        Ok(SessionRuntime { rt: self, session })
+    }
+}
+
+impl<T: SessionedRuntime + ?Sized> SessionedRuntime for Box<T> {
+    fn open_session(&mut self) -> SessionId {
+        (**self).open_session()
+    }
+    fn set_session(&mut self, session: SessionId) -> Result<(), GpuError> {
+        (**self).set_session(session)
+    }
+    fn active_session(&self) -> SessionId {
+        (**self).active_session()
+    }
+    fn session_ids(&self) -> Vec<SessionId> {
+        (**self).session_ids()
+    }
+    fn session_counters(&self, session: SessionId) -> Option<SessionCounters> {
+        (**self).session_counters(session)
+    }
+}
+
+/// A borrowed [`GpuRuntime`] view pinned to one session of a
+/// [`SessionedRuntime`] — the handle a per-tenant driver hands to an
+/// unmodified, session-unaware serving engine.
+#[derive(Debug)]
+pub struct SessionRuntime<'a, R: SessionedRuntime> {
+    rt: &'a mut R,
+    session: SessionId,
+}
+
+impl<R: SessionedRuntime> SessionRuntime<'_, R> {
+    /// The session this view is pinned to.
+    pub fn session_id(&self) -> SessionId {
+        self.session
+    }
+
+    fn pinned(&mut self) -> &mut R {
+        self.rt
+            .set_session(self.session)
+            .expect("pinned session stays live while the view exists");
+        self.rt
+    }
+}
+
+impl<R: SessionedRuntime> GpuRuntime for SessionRuntime<'_, R> {
+    fn label(&self) -> &str {
+        self.rt.label()
+    }
+    fn alloc_host(&mut self, payload: Payload) -> HostRegion {
+        self.pinned().alloc_host(payload)
+    }
+    fn free_host(&mut self, addr: HostAddr) -> Result<(), GpuError> {
+        self.pinned().free_host(addr)
+    }
+    fn alloc_device(&mut self, len: u64) -> Result<DevicePtr, GpuError> {
+        self.pinned().alloc_device(len)
+    }
+    fn free_device(&mut self, ptr: DevicePtr) -> Result<(), GpuError> {
+        self.pinned().free_device(ptr)
+    }
+    fn memcpy_htod(
+        &mut self,
+        now: SimTime,
+        dst: DevicePtr,
+        src: HostRegion,
+    ) -> Result<SimTime, GpuError> {
+        self.pinned().memcpy_htod(now, dst, src)
+    }
+    fn memcpy_dtoh(
+        &mut self,
+        now: SimTime,
+        dst: HostRegion,
+        src: DevicePtr,
+    ) -> Result<SimTime, GpuError> {
+        self.pinned().memcpy_dtoh(now, dst, src)
+    }
+    fn synchronize(&mut self, now: SimTime) -> SimTime {
+        self.pinned().synchronize(now)
+    }
+    fn launch_compute(&mut self, ready: SimTime, duration: Duration) -> SimTime {
+        self.pinned().launch_compute(ready, duration)
+    }
+    fn host_touch(&mut self, now: SimTime, addr: HostAddr) -> Result<SimTime, GpuError> {
+        self.pinned().host_touch(now, addr)
+    }
+    fn host_read(&mut self, now: SimTime, region: HostRegion) -> Result<SimTime, GpuError> {
+        self.pinned().host_read(now, region)
+    }
+    fn device_free_bytes(&self) -> u64 {
+        self.rt.device_free_bytes()
+    }
+    fn device_capacity(&self) -> u64 {
+        self.rt.device_capacity()
+    }
+    fn io_stats(&self) -> IoStats {
+        self.rt.io_stats()
+    }
+    fn gpu_io_stall(&self) -> Duration {
+        self.rt.gpu_io_stall()
+    }
+}
+
 macro_rules! passthrough_runtime {
     ($name:ident, $label:expr, $mode:expr, $doc:expr) => {
         #[doc = $doc]
@@ -287,6 +431,28 @@ macro_rules! passthrough_runtime {
                 self.ctx.gpu_engine().io_stall_time()
             }
         }
+
+        impl SessionedRuntime for $name {
+            fn open_session(&mut self) -> SessionId {
+                self.ctx.open_session()
+            }
+
+            fn set_session(&mut self, session: SessionId) -> Result<(), GpuError> {
+                self.ctx.set_session(session)
+            }
+
+            fn active_session(&self) -> SessionId {
+                self.ctx.active_session()
+            }
+
+            fn session_ids(&self) -> Vec<SessionId> {
+                self.ctx.session_ids()
+            }
+
+            fn session_counters(&self, session: SessionId) -> Option<SessionCounters> {
+                self.ctx.session_counters(session)
+            }
+        }
     };
 }
 
@@ -347,6 +513,53 @@ mod tests {
         assert_eq!(rt.device_capacity(), 10_000);
         let _ = rt.alloc_device(4_000).unwrap();
         assert_eq!(rt.device_free_bytes(), 6_000);
+    }
+
+    #[test]
+    fn sessions_have_independent_iv_streams() {
+        let mut rt = CcNativeRuntime::with_defaults();
+        let a = rt.active_session();
+        let b = rt.open_session();
+        assert_ne!(a, b);
+        // Two transfers on session A, one on session B.
+        roundtrip(&mut rt);
+        rt.set_session(b).unwrap();
+        let src = rt.alloc_host(Payload::Real(vec![1u8; 64]));
+        let dst = rt.alloc_device(64).unwrap();
+        rt.memcpy_htod(SimTime::ZERO, dst, src).unwrap();
+        let ca = rt.session_counters(a).unwrap();
+        let cb = rt.session_counters(b).unwrap();
+        assert_eq!((ca.h2d_tx, ca.d2h_tx), (2, 2), "{ca:?}");
+        assert_eq!((cb.h2d_tx, cb.d2h_tx), (2, 1), "{cb:?}");
+        assert!(ca.in_lockstep() && cb.in_lockstep());
+    }
+
+    #[test]
+    fn session_view_pins_every_call() {
+        let mut rt = CcNativeRuntime::with_defaults();
+        let a = rt.active_session();
+        let b = rt.open_session();
+        {
+            let mut view = rt.session(b).unwrap();
+            assert_eq!(view.session_id(), b);
+            roundtrip(&mut view);
+        }
+        assert_eq!(rt.session_counters(a).unwrap().h2d_tx, 1);
+        assert_eq!(rt.session_counters(b).unwrap().h2d_tx, 2);
+        // I/O stats are shared infrastructure, not per session.
+        assert_eq!(rt.io_stats().h2d_ops, 1);
+    }
+
+    #[test]
+    fn unknown_session_is_rejected() {
+        let mut rt = CcOffRuntime::with_defaults();
+        let bogus = SessionId(99);
+        assert!(matches!(
+            rt.set_session(bogus),
+            Err(GpuError::UnknownSession { session }) if session == bogus
+        ));
+        assert!(rt.session_counters(bogus).is_none());
+        assert_eq!(rt.session_ids().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! The common driver interface over every serving engine.
+//!
+//! The three engines (FlexGen-like offloading, vLLM-like serving,
+//! PEFT-like fine-tuning) used to expose three ad-hoc entry points
+//! (`run()`, `serve(&trace)`, `train(&dataset)`), so every experiment
+//! harness and driver re-implemented the dispatch. [`ServingEngine`]
+//! unifies them: an engine carries its queued workload and runs it to
+//! completion, returning a [`ServingReport`]. The [`MultiTenantDriver`]
+//! (in [`crate::multitenant`]) and the bench harness both program against
+//! this trait only.
+//!
+//! [`MultiTenantDriver`]: crate::multitenant::MultiTenantDriver
+
+use crate::report::ServingReport;
+use pipellm_gpu::GpuError;
+
+/// An LLM system that can run its configured workload to completion on
+/// whatever [`pipellm_gpu::GpuRuntime`] it was loaded over.
+pub trait ServingEngine {
+    /// Engine-family name ("FlexGen", "vLLM", "PEFT").
+    fn engine_name(&self) -> &'static str;
+
+    /// Human-readable workload description.
+    fn describe(&self) -> String;
+
+    /// Runs the queued workload to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (none are expected for valid configs).
+    fn run_to_completion(&mut self) -> Result<ServingReport, GpuError>;
+}

@@ -17,8 +17,9 @@
 //! - batched auto-regressive generation: one prefill pass plus
 //!   `output_tokens − 1` decode passes per batch.
 
+use crate::engine::ServingEngine;
 use crate::report::ServingReport;
-use pipellm_gpu::memory::{HostRegion, Payload};
+use crate::stream::LayerPlan;
 use pipellm_gpu::runtime::GpuRuntime;
 use pipellm_gpu::GpuError;
 use pipellm_llm::{GpuComputeModel, ModelSpec};
@@ -88,22 +89,12 @@ impl FlexGenConfig {
     }
 }
 
-/// Layer placement decided at load time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Placement {
-    Resident,
-    Offloaded { host_index: usize },
-}
-
 /// The engine. Generic over the runtime, per the transparency requirement.
 #[derive(Debug)]
 pub struct FlexGenEngine<R: GpuRuntime> {
     rt: R,
     config: FlexGenConfig,
-    placements: Vec<Placement>,
-    host_layers: Vec<HostRegion>,
-    staging: Vec<pipellm_gpu::memory::DevicePtr>,
-    offloaded: usize,
+    plan: LayerPlan,
 }
 
 impl<R: GpuRuntime> FlexGenEngine<R> {
@@ -117,48 +108,24 @@ impl<R: GpuRuntime> FlexGenEngine<R> {
         let layer_bytes = config.model.layer_weight_bytes();
         let embed_bytes = config.model.embedding_bytes();
         let reserve = config.kv_reserve_bytes() + config.workspace_bytes + embed_bytes;
-        let budget = rt.device_capacity().saturating_sub(reserve);
-        // Two staging buffers for streamed layers must also fit.
-        let resident =
-            ((budget / layer_bytes).saturating_sub(2) as usize).min(config.model.layers as usize);
-        let total = config.model.layers as usize;
+        let resident = LayerPlan::resident_layers(
+            rt.device_capacity(),
+            reserve,
+            layer_bytes,
+            config.model.layers,
+        );
 
-        // Claim resident weights, embeddings, and KV as device allocations.
+        // Claim embeddings and KV as device allocations; the plan claims
+        // the resident weights and the staging buffers.
         rt.alloc_device(embed_bytes)?;
         rt.alloc_device(config.kv_reserve_bytes().max(1))?;
-        let mut placements = Vec::with_capacity(total);
-        let mut host_layers = Vec::new();
-        for layer in 0..total {
-            if layer < resident {
-                rt.alloc_device(layer_bytes)?;
-                placements.push(Placement::Resident);
-            } else {
-                let region = rt.alloc_host(Payload::virtual_of(layer_bytes));
-                placements.push(Placement::Offloaded {
-                    host_index: host_layers.len(),
-                });
-                host_layers.push(region);
-            }
-        }
-        let offloaded = host_layers.len();
-        let staging = if offloaded > 0 {
-            vec![rt.alloc_device(layer_bytes)?, rt.alloc_device(layer_bytes)?]
-        } else {
-            Vec::new()
-        };
-        Ok(FlexGenEngine {
-            rt,
-            config,
-            placements,
-            host_layers,
-            staging,
-            offloaded,
-        })
+        let plan = LayerPlan::build(&mut rt, resident, config.model.layers as usize, layer_bytes)?;
+        Ok(FlexGenEngine { rt, config, plan })
     }
 
     /// Number of layers streamed from host memory each pass.
     pub fn offloaded_layers(&self) -> usize {
-        self.offloaded
+        self.plan.offloaded()
     }
 
     /// The underlying runtime.
@@ -215,47 +182,34 @@ impl<R: GpuRuntime> FlexGenEngine<R> {
         })
     }
 
-    /// One forward pass over all layers with depth-1 prefetch of offloaded
-    /// layers through the two staging buffers.
+    /// One forward pass over all layers (shared streaming loop, forward
+    /// order, with this engine's CPU-side per-layer overhead).
     fn run_pass(
         &mut self,
         start: SimTime,
         per_layer: std::time::Duration,
     ) -> Result<SimTime, GpuError> {
-        let mut cpu = start;
-        let mut gpu_end = start;
-        // Issue the first offloaded layer's transfer up front.
-        let mut next_stream = 0usize; // index into host_layers
-        if self.offloaded > 0 {
-            cpu = self
-                .rt
-                .memcpy_htod(cpu, self.staging[0], self.host_layers[0])?;
-            next_stream = 1;
-        }
-        for layer in 0..self.placements.len() {
-            let ready = match self.placements[layer] {
-                Placement::Resident => gpu_end.max(start),
-                Placement::Offloaded { host_index } => {
-                    // Wait for this layer's transfer, pay the CPU-side layer
-                    // management cost, then queue the next offloaded layer
-                    // into the other staging buffer.
-                    let done = self.rt.synchronize(cpu) + self.config.host_overhead_per_layer;
-                    if next_stream < self.offloaded {
-                        debug_assert_eq!(next_stream, host_index + 1);
-                        let slot = self.staging[next_stream % 2];
-                        cpu = self
-                            .rt
-                            .memcpy_htod(done, slot, self.host_layers[next_stream])?;
-                        next_stream += 1;
-                    } else {
-                        cpu = done;
-                    }
-                    done
-                }
-            };
-            gpu_end = self.rt.launch_compute(ready.max(gpu_end), per_layer);
-        }
-        Ok(gpu_end.max(cpu))
+        self.plan.run_pass(
+            &mut self.rt,
+            start,
+            per_layer,
+            self.config.host_overhead_per_layer,
+            false,
+        )
+    }
+}
+
+impl<R: GpuRuntime> ServingEngine for FlexGenEngine<R> {
+    fn engine_name(&self) -> &'static str {
+        "FlexGen"
+    }
+
+    fn describe(&self) -> String {
+        self.config.describe()
+    }
+
+    fn run_to_completion(&mut self) -> Result<ServingReport, GpuError> {
+        self.run()
     }
 }
 

@@ -14,19 +14,28 @@
 //!   streaming for forward and (reversed) backward passes with optimizer
 //!   offload.
 //!
-//! All three are generic over [`pipellm_gpu::GpuRuntime`], so the identical
-//! engine code runs on CC-off, native-CC, and PipeLLM runtimes — the paper's
-//! user-transparency property.
+//! All three implement the common [`engine::ServingEngine`] trait and are
+//! generic over [`pipellm_gpu::GpuRuntime`], so the identical engine code
+//! runs on CC-off, native-CC, and PipeLLM runtimes — the paper's
+//! user-transparency property. Their shared layer-streaming loop lives in
+//! [`stream`], and [`multitenant`] interleaves Poisson arrivals from N
+//! tenants over one session-aware runtime.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod flexgen;
+pub mod multitenant;
 pub mod peft;
 pub mod report;
+pub mod stream;
 pub mod vllm;
 
+pub use engine::ServingEngine;
 pub use flexgen::{FlexGenConfig, FlexGenEngine};
+pub use multitenant::{MultiTenantDriver, MultiTenantReport, TenantReport, TenantSpec};
 pub use peft::{PeftConfig, PeftEngine};
 pub use report::{ServingReport, SwapPolicy};
+pub use stream::LayerPlan;
 pub use vllm::{VllmConfig, VllmEngine};

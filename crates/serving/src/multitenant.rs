@@ -1,0 +1,381 @@
+//! Multi-tenant serving: N independent tenants over one shared runtime.
+//!
+//! The paper evaluates PipeLLM with a single confidential channel; a
+//! production deployment multiplexes many tenants over the same GPU, PCIe
+//! link, and CPU crypto workers. The [`MultiTenantDriver`] builds that
+//! scenario: each tenant owns a session of a
+//! [`SessionedRuntime`] (its own keys, IV counters, predictor, and
+//! speculation queue) and issues Poisson-arriving requests; the driver
+//! merges all tenants' arrivals into one timeline and interleaves them, so
+//! tenant A's speculative seals genuinely contend with tenant B's
+//! on-demand encryption on the shared worker pool.
+//!
+//! Each request models one decode step of a KV-swapping server (the vLLM
+//! regime the paper's §7.2 measures): swap the tenant's working set in
+//! (LIFO — last evicted, first reloaded), compute, swap it back out. Under
+//! native CC the swap-ins pay on-the-fly encryption on the critical path;
+//! under PipeLLM the per-session predictor learns each tenant's LIFO
+//! pattern and hides the encryption — per tenant, despite the
+//! interleaving.
+//!
+//! At the end of a run the driver verifies every session's channel
+//! counters in lockstep: each direction's sender and receiver must agree,
+//! per session, or ciphertext was lost or replayed somewhere.
+
+use pipellm_gpu::context::SessionCounters;
+use pipellm_gpu::memory::{HostRegion, Payload};
+use pipellm_gpu::runtime::SessionedRuntime;
+use pipellm_gpu::{GpuError, SessionId};
+use pipellm_sim::metrics::Samples;
+use pipellm_sim::rng::SimRng;
+use pipellm_sim::time::SimTime;
+use std::time::Duration;
+
+/// One tenant's workload shape.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Mean Poisson arrival rate in requests/second.
+    pub rate_rps: f64,
+    /// Requests this tenant issues in total.
+    pub requests: usize,
+    /// Bytes per KV chunk (must classify as a swap: ≥ 128 KiB).
+    pub chunk_bytes: u64,
+    /// Chunks in the tenant's swapped working set.
+    pub chunks: usize,
+    /// GPU compute per request (one decode step).
+    pub compute: Duration,
+    /// Arrival-process seed.
+    pub seed: u64,
+}
+
+impl TenantSpec {
+    /// A KV-swapping tenant at `rate_rps` with paper-plausible defaults:
+    /// three 512 KiB KV chunks per request, 2 ms of decode compute.
+    pub fn new(rate_rps: f64) -> Self {
+        TenantSpec {
+            rate_rps,
+            requests: 32,
+            chunk_bytes: 512 * 1024,
+            chunks: 3,
+            compute: Duration::from_millis(2),
+            seed: 0x7e4a,
+        }
+    }
+
+    /// Sets the number of requests.
+    pub fn requests(mut self, requests: usize) -> Self {
+        self.requests = requests;
+        self
+    }
+
+    /// Sets the working-set shape.
+    pub fn working_set(mut self, chunks: usize, chunk_bytes: u64) -> Self {
+        self.chunks = chunks.max(1);
+        self.chunk_bytes = chunk_bytes;
+        self
+    }
+
+    /// Sets the per-request compute time.
+    pub fn compute(mut self, compute: Duration) -> Self {
+        self.compute = compute;
+        self
+    }
+
+    /// Sets the arrival-process seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One tenant's live state inside the driver.
+#[derive(Debug)]
+struct Tenant {
+    session: SessionId,
+    spec: TenantSpec,
+    /// Host-side working set (swapped out between requests).
+    chunks: Vec<HostRegion>,
+    latencies: Samples,
+    completed: u64,
+}
+
+/// Per-tenant outcome of a run.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// The tenant's session.
+    pub session: SessionId,
+    /// Requests completed.
+    pub completed: u64,
+    /// Mean end-to-end request latency in seconds.
+    pub mean_latency_s: f64,
+    /// 99th-percentile request latency in seconds.
+    pub p99_latency_s: f64,
+    /// Mean latency normalized by working-set chunks (s/chunk) — the
+    /// multi-tenant analogue of vLLM's normalized latency.
+    pub norm_latency_s_per_chunk: f64,
+    /// Final IV-counter snapshot of the tenant's channel.
+    pub counters: SessionCounters,
+}
+
+/// Outcome of a multi-tenant run.
+#[derive(Debug, Clone)]
+pub struct MultiTenantReport {
+    /// Runtime label ("CC", "PipeLLM", …).
+    pub system: String,
+    /// Per-tenant outcomes, in tenant order.
+    pub tenants: Vec<TenantReport>,
+    /// Simulated wall-clock at completion.
+    pub finished_at: SimTime,
+}
+
+impl MultiTenantReport {
+    /// Mean normalized latency across all tenants' requests.
+    pub fn mean_norm_latency(&self) -> f64 {
+        let (mut weighted, mut n) = (0.0, 0u64);
+        for t in &self.tenants {
+            weighted += t.norm_latency_s_per_chunk * t.completed as f64;
+            n += t.completed;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            weighted / n as f64
+        }
+    }
+
+    /// Errors if any session's channel counters disagree between the two
+    /// endpoints — the lockstep invariant every healthy run must satisfy.
+    pub fn verify_lockstep(&self) -> Result<(), String> {
+        for t in &self.tenants {
+            if !t.counters.in_lockstep() {
+                return Err(format!(
+                    "{} endpoints out of lockstep: {:?}",
+                    t.session, t.counters
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Interleaves Poisson arrivals from N tenants over one shared
+/// [`SessionedRuntime`].
+#[derive(Debug)]
+pub struct MultiTenantDriver<R: SessionedRuntime> {
+    rt: R,
+    tenants: Vec<Tenant>,
+}
+
+impl<R: SessionedRuntime> MultiTenantDriver<R> {
+    /// Wraps a runtime. Tenants are added with
+    /// [`MultiTenantDriver::add_tenant`]; the runtime's default session
+    /// stays reserved for non-tenant traffic.
+    pub fn new(rt: R) -> Self {
+        MultiTenantDriver {
+            rt,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Opens a session for a new tenant and allocates its host-side
+    /// working set. Returns the tenant's session id.
+    pub fn add_tenant(&mut self, spec: TenantSpec) -> SessionId {
+        let session = self.rt.open_session();
+        let chunks = (0..spec.chunks)
+            .map(|_| self.rt.alloc_host(Payload::virtual_of(spec.chunk_bytes)))
+            .collect();
+        self.tenants.push(Tenant {
+            session,
+            spec,
+            chunks,
+            latencies: Samples::new(),
+            completed: 0,
+        });
+        session
+    }
+
+    /// Number of tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The tenants' session ids, in tenant order.
+    pub fn sessions(&self) -> Vec<SessionId> {
+        self.tenants.iter().map(|t| t.session).collect()
+    }
+
+    /// The wrapped runtime.
+    pub fn runtime(&self) -> &R {
+        &self.rt
+    }
+
+    /// Consumes the driver, returning the runtime (e.g. to read
+    /// per-session speculation statistics off a concrete type).
+    pub fn into_runtime(self) -> R {
+        self.rt
+    }
+
+    /// Runs every tenant's full request schedule, interleaved in arrival
+    /// order over the shared runtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (none are expected for valid specs).
+    pub fn run(&mut self) -> Result<MultiTenantReport, GpuError> {
+        // Merge all tenants' Poisson arrivals into one timeline.
+        let mut events: Vec<(SimTime, usize)> = Vec::new();
+        for (idx, tenant) in self.tenants.iter().enumerate() {
+            let mut rng = SimRng::seed_from(tenant.spec.seed ^ tenant.session.0);
+            let mut clock = 0.0f64;
+            for _ in 0..tenant.spec.requests {
+                clock += rng.next_exponential(tenant.spec.rate_rps);
+                events.push((SimTime::from_secs_f64(clock), idx));
+            }
+        }
+        events.sort_by_key(|&(at, idx)| (at, idx));
+
+        // One dispatch thread serves the merged stream, like a serving
+        // frontend draining a request queue.
+        let mut cpu = SimTime::ZERO;
+        let mut finished = SimTime::ZERO;
+        for (arrival, idx) in events {
+            let start = arrival.max(cpu);
+            let end = self.serve_one(idx, start)?;
+            let tenant = &mut self.tenants[idx];
+            tenant
+                .latencies
+                .record(end.saturating_since(arrival).as_secs_f64());
+            tenant.completed += 1;
+            cpu = end;
+            finished = finished.max(end);
+        }
+
+        let tenants = self
+            .tenants
+            .iter_mut()
+            .map(|t| {
+                let counters = self
+                    .rt
+                    .session_counters(t.session)
+                    .expect("tenant session is live");
+                TenantReport {
+                    session: t.session,
+                    completed: t.completed,
+                    mean_latency_s: t.latencies.mean(),
+                    p99_latency_s: t.latencies.percentile(99.0),
+                    norm_latency_s_per_chunk: t.latencies.mean() / t.spec.chunks as f64,
+                    counters,
+                }
+            })
+            .collect();
+        Ok(MultiTenantReport {
+            system: self.rt.label().to_string(),
+            tenants,
+            finished_at: finished,
+        })
+    }
+
+    /// One request of tenant `idx`: swap the working set in (LIFO), run
+    /// the decode step, swap it back out. Returns when the request is
+    /// fully retired (swap-outs issued; their decryption is asynchronous).
+    fn serve_one(&mut self, idx: usize, start: SimTime) -> Result<SimTime, GpuError> {
+        let (session, chunk_bytes, compute) = {
+            let t = &self.tenants[idx];
+            (t.session, t.spec.chunk_bytes, t.spec.compute)
+        };
+        self.rt.set_session(session)?;
+        let chunks = self.tenants[idx].chunks.clone();
+        let mut now = start;
+        // Swap in, LIFO: the reverse of the swap-out order below — the
+        // recurring pattern each tenant's predictor learns.
+        let mut devs = Vec::with_capacity(chunks.len());
+        for chunk in chunks.iter().rev() {
+            let dev = self.rt.alloc_device(chunk_bytes)?;
+            now = self.rt.memcpy_htod(now, dev, *chunk)?;
+            devs.push(dev);
+        }
+        // The decode step cannot start before its KV has landed.
+        let inputs_ready = self.rt.synchronize(now);
+        let compute_end = self.rt.launch_compute(inputs_ready, compute);
+        // Swap back out in forward order (lowest-priority chunk first).
+        let mut cpu = compute_end;
+        for (chunk, dev) in chunks.iter().zip(devs.iter().rev()) {
+            cpu = self.rt.memcpy_dtoh(cpu, *chunk, *dev)?;
+        }
+        let end = self.rt.synchronize(cpu).max(compute_end);
+        for dev in devs {
+            self.rt.free_device(dev)?;
+        }
+        Ok(end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipellm_gpu::runtime::CcNativeRuntime;
+    use pipellm_gpu::IoTimingModel;
+
+    const GB: u64 = 1_000_000_000;
+
+    fn specs(n: usize) -> Vec<TenantSpec> {
+        (0..n)
+            .map(|i| TenantSpec::new(4.0).requests(12).seed(100 + i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn four_tenants_complete_all_requests_in_lockstep() {
+        let rt = CcNativeRuntime::new(IoTimingModel::default(), 8 * GB, 2);
+        let mut driver = MultiTenantDriver::new(rt);
+        for spec in specs(4) {
+            driver.add_tenant(spec);
+        }
+        assert_eq!(driver.tenant_count(), 4);
+        let report = driver.run().unwrap();
+        assert_eq!(report.tenants.len(), 4);
+        for t in &report.tenants {
+            assert_eq!(t.completed, 12);
+            assert!(t.mean_latency_s > 0.0);
+            // ≥ up to float accumulation error (all-equal samples).
+            assert!(t.p99_latency_s >= t.mean_latency_s * 0.999);
+        }
+        report.verify_lockstep().unwrap();
+        assert!(report.mean_norm_latency() > 0.0);
+        assert_eq!(report.system, "CC");
+    }
+
+    #[test]
+    fn tenants_use_distinct_sessions() {
+        let rt = CcNativeRuntime::new(IoTimingModel::default(), 8 * GB, 2);
+        let mut driver = MultiTenantDriver::new(rt);
+        for spec in specs(3) {
+            driver.add_tenant(spec);
+        }
+        let sessions = driver.sessions();
+        let mut unique = sessions.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 3);
+        // None of them is the runtime's default session.
+        assert!(!sessions.contains(&SessionId::DEFAULT));
+    }
+
+    #[test]
+    fn contention_raises_latency_with_tenant_count() {
+        let run = |n: usize| {
+            let rt = CcNativeRuntime::new(IoTimingModel::default(), 8 * GB, 2);
+            let mut driver = MultiTenantDriver::new(rt);
+            for spec in specs(n) {
+                driver.add_tenant(spec);
+            }
+            driver.run().unwrap().mean_norm_latency()
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert!(
+            eight > one,
+            "8 tenants must contend harder than 1: {one} vs {eight}"
+        );
+    }
+}

@@ -12,7 +12,9 @@
 //!   adapters shipped back each step (DeepSpeed optimizer offload);
 //! - throughput measured in training sequences per second (Figure 3c/7c).
 
+use crate::engine::ServingEngine;
 use crate::report::ServingReport;
+use crate::stream::LayerPlan;
 use pipellm_gpu::memory::{HostRegion, Payload};
 use pipellm_gpu::runtime::GpuRuntime;
 use pipellm_gpu::GpuError;
@@ -68,23 +70,16 @@ impl PeftConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Placement {
-    Resident,
-    Offloaded { host_index: usize },
-}
-
 /// The fine-tuning engine.
 #[derive(Debug)]
 pub struct PeftEngine<R: GpuRuntime> {
     rt: R,
     config: PeftConfig,
-    placements: Vec<Placement>,
-    host_layers: Vec<HostRegion>,
-    staging: Vec<pipellm_gpu::memory::DevicePtr>,
+    plan: LayerPlan,
     grad_chunk: HostRegion,
     grad_dev: pipellm_gpu::memory::DevicePtr,
-    offloaded: usize,
+    /// Samples queued for [`ServingEngine::run_to_completion`].
+    dataset: Vec<FinetuneSample>,
 }
 
 impl<R: GpuRuntime> PeftEngine<R> {
@@ -99,49 +94,36 @@ impl<R: GpuRuntime> PeftEngine<R> {
         let reserve = config.workspace_bytes
             + config.model.embedding_bytes()
             + 4 * config.optimizer_exchange_bytes();
-        let budget = rt.device_capacity().saturating_sub(reserve);
-        let resident =
-            ((budget / layer_bytes).saturating_sub(2) as usize).min(config.model.layers as usize);
+        let resident = LayerPlan::resident_layers(
+            rt.device_capacity(),
+            reserve,
+            layer_bytes,
+            config.model.layers,
+        );
         rt.alloc_device(config.model.embedding_bytes())?;
         rt.alloc_device(config.workspace_bytes)?;
-        let mut placements = Vec::new();
-        let mut host_layers = Vec::new();
-        for layer in 0..config.model.layers as usize {
-            if layer < resident {
-                rt.alloc_device(layer_bytes)?;
-                placements.push(Placement::Resident);
-            } else {
-                let region = rt.alloc_host(Payload::virtual_of(layer_bytes));
-                placements.push(Placement::Offloaded {
-                    host_index: host_layers.len(),
-                });
-                host_layers.push(region);
-            }
-        }
-        let offloaded = host_layers.len();
-        let staging = if offloaded > 0 {
-            vec![rt.alloc_device(layer_bytes)?, rt.alloc_device(layer_bytes)?]
-        } else {
-            Vec::new()
-        };
+        let plan = LayerPlan::build(&mut rt, resident, config.model.layers as usize, layer_bytes)?;
         let exchange = config.optimizer_exchange_bytes().max(1);
         let grad_chunk = rt.alloc_host(Payload::virtual_of(exchange));
         let grad_dev = rt.alloc_device(exchange)?;
         Ok(PeftEngine {
             rt,
             config,
-            placements,
-            host_layers,
-            staging,
+            plan,
             grad_chunk,
             grad_dev,
-            offloaded,
+            dataset: Vec::new(),
         })
     }
 
     /// Number of base layers streamed from host memory each pass.
     pub fn offloaded_layers(&self) -> usize {
-        self.offloaded
+        self.plan.offloaded()
+    }
+
+    /// Queues samples for a later [`ServingEngine::run_to_completion`].
+    pub fn queue_dataset(&mut self, samples: &[FinetuneSample]) {
+        self.dataset.extend_from_slice(samples);
     }
 
     /// The underlying runtime.
@@ -192,58 +174,36 @@ impl<R: GpuRuntime> PeftEngine<R> {
         })
     }
 
-    /// One pass over the layers (forward or reversed) with depth-1 prefetch.
+    /// One pass over the layers (forward or reversed) via the shared
+    /// streaming loop; training pays no extra CPU-side per-layer cost.
     fn run_pass(
         &mut self,
         start: SimTime,
         per_layer: std::time::Duration,
         reverse: bool,
     ) -> Result<SimTime, GpuError> {
-        let order: Vec<usize> = if reverse {
-            (0..self.placements.len()).rev().collect()
-        } else {
-            (0..self.placements.len()).collect()
-        };
-        // Host indices of offloaded layers in traversal order.
-        let stream_order: Vec<usize> = order
-            .iter()
-            .filter_map(|&l| match self.placements[l] {
-                Placement::Offloaded { host_index } => Some(host_index),
-                Placement::Resident => None,
-            })
-            .collect();
-        let mut cpu = start;
-        let mut gpu_end = start;
-        let mut next_stream = 0usize;
-        if !stream_order.is_empty() {
-            let slot = self.staging[0];
-            cpu = self
-                .rt
-                .memcpy_htod(cpu, slot, self.host_layers[stream_order[0]])?;
-            next_stream = 1;
-        }
-        for &layer in &order {
-            let ready = match self.placements[layer] {
-                Placement::Resident => gpu_end.max(start),
-                Placement::Offloaded { .. } => {
-                    let done = self.rt.synchronize(cpu);
-                    if next_stream < stream_order.len() {
-                        let slot = self.staging[next_stream % 2];
-                        cpu = self.rt.memcpy_htod(
-                            done,
-                            slot,
-                            self.host_layers[stream_order[next_stream]],
-                        )?;
-                        next_stream += 1;
-                    } else {
-                        cpu = done;
-                    }
-                    done
-                }
-            };
-            gpu_end = self.rt.launch_compute(ready.max(gpu_end), per_layer);
-        }
-        Ok(gpu_end.max(cpu))
+        self.plan.run_pass(
+            &mut self.rt,
+            start,
+            per_layer,
+            std::time::Duration::ZERO,
+            reverse,
+        )
+    }
+}
+
+impl<R: GpuRuntime> ServingEngine for PeftEngine<R> {
+    fn engine_name(&self) -> &'static str {
+        "PEFT"
+    }
+
+    fn describe(&self) -> String {
+        self.config.describe()
+    }
+
+    fn run_to_completion(&mut self) -> Result<ServingReport, GpuError> {
+        let dataset = std::mem::take(&mut self.dataset);
+        self.train(&dataset)
     }
 }
 

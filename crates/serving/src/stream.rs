@@ -1,0 +1,239 @@
+//! Shared layer-streaming machinery for offloading engines.
+//!
+//! The FlexGen-like and PEFT-like engines used to carry verbatim copies of
+//! the same driver loop: decide which layers stay GPU-resident, allocate
+//! two staging buffers, then per pass stream each offloaded layer with
+//! depth-1 prefetch (double buffering) while the previous layer computes.
+//! That loop now lives here once; the engines differ only in traversal
+//! direction (PEFT's backward pass streams in reverse) and in the CPU-side
+//! per-layer overhead they model.
+
+use pipellm_gpu::memory::{DevicePtr, HostRegion, Payload};
+use pipellm_gpu::runtime::GpuRuntime;
+use pipellm_gpu::GpuError;
+use pipellm_sim::time::SimTime;
+use std::time::Duration;
+
+/// Layer placement decided at load time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// The layer's weights stay resident in device memory.
+    Resident,
+    /// The layer streams from host memory each pass.
+    Offloaded {
+        /// Index into the engine's host-layer table.
+        host_index: usize,
+    },
+}
+
+/// The static layer split an offloading engine decided at load time, plus
+/// the device-side staging buffers the streamed layers cycle through.
+#[derive(Debug)]
+pub struct LayerPlan {
+    /// Per-layer placement, in layer order.
+    pub placements: Vec<Placement>,
+    /// Host regions of the offloaded layers, in layer order.
+    pub host_layers: Vec<HostRegion>,
+    /// Double-buffered staging allocations (empty when nothing offloads).
+    pub staging: Vec<DevicePtr>,
+}
+
+impl LayerPlan {
+    /// Number of layers streamed from host memory each pass.
+    pub fn offloaded(&self) -> usize {
+        self.host_layers.len()
+    }
+
+    /// Builds the plan: places `resident` of `total` layers on the GPU
+    /// (allocating their weights), backs the rest with host regions, and
+    /// allocates the two staging buffers when anything is offloaded.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Memory`] if the resident set does not fit.
+    pub fn build<R: GpuRuntime>(
+        rt: &mut R,
+        resident: usize,
+        total: usize,
+        layer_bytes: u64,
+    ) -> Result<Self, GpuError> {
+        let mut placements = Vec::with_capacity(total);
+        let mut host_layers = Vec::new();
+        for layer in 0..total {
+            if layer < resident {
+                rt.alloc_device(layer_bytes)?;
+                placements.push(Placement::Resident);
+            } else {
+                let region = rt.alloc_host(Payload::virtual_of(layer_bytes));
+                placements.push(Placement::Offloaded {
+                    host_index: host_layers.len(),
+                });
+                host_layers.push(region);
+            }
+        }
+        let staging = if host_layers.is_empty() {
+            Vec::new()
+        } else {
+            vec![rt.alloc_device(layer_bytes)?, rt.alloc_device(layer_bytes)?]
+        };
+        Ok(LayerPlan {
+            placements,
+            host_layers,
+            staging,
+        })
+    }
+
+    /// How many layers fit on the device after `reserve` bytes of other
+    /// state, leaving room for the two staging buffers.
+    pub fn resident_layers(capacity: u64, reserve: u64, layer_bytes: u64, total: u32) -> usize {
+        let budget = capacity.saturating_sub(reserve);
+        ((budget / layer_bytes).saturating_sub(2) as usize).min(total as usize)
+    }
+
+    /// One pass over all layers with depth-1 prefetch of offloaded layers
+    /// through the two staging buffers; `reverse` streams and computes the
+    /// layers backwards (a training backward pass). `host_overhead` is the
+    /// CPU-side cost paid per streamed layer (buffer management,
+    /// scheduling) after its transfer lands.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (none are expected for valid plans).
+    pub fn run_pass<R: GpuRuntime>(
+        &self,
+        rt: &mut R,
+        start: SimTime,
+        per_layer: Duration,
+        host_overhead: Duration,
+        reverse: bool,
+    ) -> Result<SimTime, GpuError> {
+        let order: Vec<usize> = if reverse {
+            (0..self.placements.len()).rev().collect()
+        } else {
+            (0..self.placements.len()).collect()
+        };
+        // Host indices of offloaded layers in traversal order.
+        let stream_order: Vec<usize> = order
+            .iter()
+            .filter_map(|&l| match self.placements[l] {
+                Placement::Offloaded { host_index } => Some(host_index),
+                Placement::Resident => None,
+            })
+            .collect();
+        let mut cpu = start;
+        let mut gpu_end = start;
+        let mut next_stream = 0usize;
+        if !stream_order.is_empty() {
+            let slot = self.staging[0];
+            cpu = rt.memcpy_htod(cpu, slot, self.host_layers[stream_order[0]])?;
+            next_stream = 1;
+        }
+        for &layer in &order {
+            let ready = match self.placements[layer] {
+                Placement::Resident => gpu_end.max(start),
+                Placement::Offloaded { .. } => {
+                    // Wait for this layer's transfer, pay the CPU-side
+                    // layer-management cost, then queue the next offloaded
+                    // layer into the other staging buffer.
+                    let done = rt.synchronize(cpu) + host_overhead;
+                    if next_stream < stream_order.len() {
+                        let slot = self.staging[next_stream % 2];
+                        cpu = rt.memcpy_htod(
+                            done,
+                            slot,
+                            self.host_layers[stream_order[next_stream]],
+                        )?;
+                        next_stream += 1;
+                    } else {
+                        cpu = done;
+                    }
+                    done
+                }
+            };
+            gpu_end = rt.launch_compute(ready.max(gpu_end), per_layer);
+        }
+        Ok(gpu_end.max(cpu))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipellm_gpu::runtime::CcOffRuntime;
+    use pipellm_gpu::IoTimingModel;
+
+    const MB: u64 = 1_000_000;
+
+    #[test]
+    fn build_splits_layers_and_allocates_staging() {
+        let mut rt = CcOffRuntime::new(IoTimingModel::default(), 100 * MB, 1);
+        let plan = LayerPlan::build(&mut rt, 3, 8, 10 * MB).unwrap();
+        assert_eq!(plan.offloaded(), 5);
+        assert_eq!(plan.staging.len(), 2);
+        assert_eq!(plan.placements.len(), 8);
+        // 3 resident + 2 staging buffers live on the device.
+        assert_eq!(rt.device_free_bytes(), 50 * MB);
+    }
+
+    #[test]
+    fn fully_resident_plan_needs_no_staging() {
+        let mut rt = CcOffRuntime::new(IoTimingModel::default(), 100 * MB, 1);
+        let plan = LayerPlan::build(&mut rt, 4, 4, 10 * MB).unwrap();
+        assert_eq!(plan.offloaded(), 0);
+        assert!(plan.staging.is_empty());
+    }
+
+    #[test]
+    fn resident_layers_reserves_staging_headroom() {
+        assert_eq!(LayerPlan::resident_layers(100 * MB, 0, 10 * MB, 64), 8);
+        assert_eq!(
+            LayerPlan::resident_layers(100 * MB, 60 * MB, 10 * MB, 64),
+            2
+        );
+        assert_eq!(LayerPlan::resident_layers(100 * MB, 0, 10 * MB, 4), 4);
+        assert_eq!(LayerPlan::resident_layers(5 * MB, 0, 10 * MB, 4), 0);
+    }
+
+    #[test]
+    fn forward_and_reverse_passes_stream_the_same_volume() {
+        let mut rt = CcOffRuntime::new(IoTimingModel::default(), 100 * MB, 1);
+        let plan = LayerPlan::build(&mut rt, 2, 6, 10 * MB).unwrap();
+        let t1 = plan
+            .run_pass(
+                &mut rt,
+                SimTime::ZERO,
+                Duration::from_micros(100),
+                Duration::ZERO,
+                false,
+            )
+            .unwrap();
+        let t2 = plan
+            .run_pass(
+                &mut rt,
+                t1,
+                Duration::from_micros(100),
+                Duration::ZERO,
+                true,
+            )
+            .unwrap();
+        assert!(t2 > t1);
+        assert_eq!(rt.io_stats().h2d_ops, 8, "4 offloaded layers × 2 passes");
+    }
+
+    #[test]
+    fn host_overhead_slows_the_pass() {
+        let run = |overhead: Duration| {
+            let mut rt = CcOffRuntime::new(IoTimingModel::default(), 100 * MB, 1);
+            let plan = LayerPlan::build(&mut rt, 2, 6, 10 * MB).unwrap();
+            plan.run_pass(
+                &mut rt,
+                SimTime::ZERO,
+                Duration::from_micros(100),
+                overhead,
+                false,
+            )
+            .unwrap()
+        };
+        assert!(run(Duration::from_millis(5)) > run(Duration::ZERO));
+    }
+}

@@ -20,6 +20,7 @@
 //! - the vLLM metric: *normalized latency* (mean request end-to-end latency
 //!   divided by its output length), reported against request rate.
 
+use crate::engine::ServingEngine;
 use crate::report::{ServingReport, SwapPolicy};
 use pipellm_gpu::memory::{DevicePtr, HostRegion, Payload};
 use pipellm_gpu::runtime::GpuRuntime;
@@ -144,6 +145,8 @@ pub struct VllmEngine<R: GpuRuntime> {
     completed: u64,
     preemptions: u64,
     trace_label: String,
+    /// Requests queued for [`ServingEngine::run_to_completion`].
+    workload: Vec<Request>,
 }
 
 impl<R: GpuRuntime> VllmEngine<R> {
@@ -176,7 +179,13 @@ impl<R: GpuRuntime> VllmEngine<R> {
             completed: 0,
             preemptions: 0,
             trace_label: trace_label.into(),
+            workload: Vec::new(),
         })
+    }
+
+    /// Queues requests for a later [`ServingEngine::run_to_completion`].
+    pub fn queue_workload(&mut self, trace: &[Request]) {
+        self.workload.extend_from_slice(trace);
     }
 
     /// Total KV blocks in the GPU pool.
@@ -457,6 +466,21 @@ impl<R: GpuRuntime> VllmEngine<R> {
         self.preemptions += 1;
         self.swapped.push(group);
         Ok(cpu)
+    }
+}
+
+impl<R: GpuRuntime> ServingEngine for VllmEngine<R> {
+    fn engine_name(&self) -> &'static str {
+        "vLLM"
+    }
+
+    fn describe(&self) -> String {
+        self.trace_label.clone()
+    }
+
+    fn run_to_completion(&mut self) -> Result<ServingReport, GpuError> {
+        let trace = std::mem::take(&mut self.workload);
+        self.serve(&trace)
     }
 }
 

@@ -56,7 +56,11 @@ fn main() {
 
     // …fixed by NOP padding (§5.3): 1-byte dummies that advance both sides.
     while ch.host().tx().next_iv() < future_iv {
-        let nop = ch.host_mut().tx_mut().seal_nop();
+        let nop = ch
+            .host_mut()
+            .tx_mut()
+            .seal_nop()
+            .expect("IVs not exhausted");
         ch.device_mut().open(&nop).expect("nop is authentic");
     }
     ch.host_mut()

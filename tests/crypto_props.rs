@@ -164,7 +164,7 @@ fn nops_interleave_freely_with_data() {
     let mut ch = SecureChannel::new(ChannelKeys::from_seed(3));
     for round in 0..10u8 {
         for _ in 0..round % 3 {
-            let nop = ch.host_mut().tx_mut().seal_nop();
+            let nop = ch.host_mut().tx_mut().seal_nop().unwrap();
             ch.device_mut().open(&nop).expect("nop authentic");
         }
         let sealed = ch.host_mut().seal(&[round]).expect("fresh");
