@@ -41,9 +41,11 @@ fn throughput_mib_s(bytes: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_crypto.json".to_string());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        pipellm_bench::workspace_artifact("BENCH_crypto.json")
+            .to_string_lossy()
+            .into_owned()
+    });
     let gcm = AesGcm::new(&[7u8; 32]).expect("32-byte key");
     let soft = AesGcm::new(&[7u8; 32])
         .expect("32-byte key")

@@ -18,7 +18,11 @@ fn main() {
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "BENCH_multitenant.json".to_string());
+        .unwrap_or_else(|| {
+            pipellm_bench::workspace_artifact("BENCH_multitenant.json")
+                .to_string_lossy()
+                .into_owned()
+        });
 
     let (counts, requests): (&[usize], usize) = if smoke {
         (&[1, 2, 4], 10)

@@ -18,6 +18,7 @@ pub mod fig08;
 pub mod fig09;
 pub mod fig10;
 pub mod multitenant;
+pub mod pipeline;
 pub mod runners;
 pub mod systems;
 pub mod table;
@@ -34,4 +35,29 @@ pub fn scale_from_args() -> Scale {
     } else {
         Scale::Quick
     }
+}
+
+/// Absolute path of artifact `name` at the workspace root.
+///
+/// The `BENCH_*.json` artifacts are checked in so the perf trajectory is
+/// tracked in-repo; defaulting the bench bins here makes `cargo run -p
+/// pipellm-bench --bin bench_*` update them in place no matter which
+/// directory inside the workspace the command runs from. The root is
+/// resolved at runtime (nearest ancestor of the current directory holding
+/// a `Cargo.lock`), falling back to the build-time manifest location when
+/// the binary runs outside any workspace.
+pub fn workspace_artifact(name: &str) -> std::path::PathBuf {
+    let runtime_root = std::env::current_dir().ok().and_then(|cwd| {
+        cwd.ancestors()
+            .find(|dir| dir.join("Cargo.lock").is_file())
+            .map(std::path::Path::to_path_buf)
+    });
+    let root = runtime_root.unwrap_or_else(|| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("bench crate lives two levels below the workspace root")
+            .to_path_buf()
+    });
+    root.join(name)
 }

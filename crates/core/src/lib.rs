@@ -46,7 +46,9 @@
 #![warn(missing_docs)]
 
 pub mod classify;
+pub mod edge;
 pub mod observer;
+pub mod partition;
 pub mod pipeline;
 pub mod predictor;
 pub mod reuse;
@@ -55,7 +57,9 @@ pub mod session;
 pub mod stats;
 
 pub use classify::{SizeClassifier, TransferClass};
+pub use edge::EdgePipeline;
 pub use observer::{SideChannelObserver, WireObservation};
+pub use partition::{Pass, PipelineSchedule, ScheduleOp, StagePartition};
 pub use pipeline::SpeculationQueue;
 pub use predictor::{Pattern, Predictor};
 pub use reuse::{ReuseConfig, ReuseRuntime, ReuseStats};

@@ -1,0 +1,369 @@
+//! Stage partitioning and micro-batch pipeline schedules.
+//!
+//! Pipeline parallelism shards a model's decoder layers across stages —
+//! one GPU per stage — and streams micro-batches through them. This module
+//! provides the two pieces the engine needs before a single byte moves:
+//!
+//! - [`StagePartition`]: a balanced, contiguous assignment of layers to
+//!   stages (every stage gets within one layer of the mean);
+//! - [`PipelineSchedule`]: the per-stage issue order of micro-batch
+//!   operations. [`PipelineSchedule::FillDrain`] is GPipe's schedule — run
+//!   every micro-batch forward, then (when training) every backward — and
+//!   [`PipelineSchedule::OneFOneB`] is the 1F1B schedule that caps each
+//!   stage's in-flight activations at the pipeline depth.
+//!
+//! The module also hosts the functional layer transform
+//! ([`apply_layer`]): a deterministic, layer-indexed byte mix the engine
+//! applies on-device. Because each layer is applied exactly once in layer
+//! order no matter how the layers are partitioned, an N-stage pipeline is
+//! bit-exact with the single-GPU run by construction — and the repo-level
+//! tests verify the transfers and per-edge crypto preserve that.
+
+use std::fmt;
+use std::ops::Range;
+
+/// A balanced, contiguous assignment of `layers` model layers to stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagePartition {
+    layers: u32,
+    bounds: Vec<u32>,
+}
+
+impl StagePartition {
+    /// Splits `layers` layers over `stages` stages, front-loading the
+    /// remainder so stage sizes differ by at most one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages == 0` or `stages > layers` (a stage with no
+    /// layers would add a hop for nothing).
+    pub fn balanced(layers: u32, stages: usize) -> Self {
+        assert!(stages > 0, "at least one stage");
+        let stages_u = stages as u32;
+        assert!(
+            stages_u <= layers,
+            "cannot split {layers} layers over {stages} stages"
+        );
+        let base = layers / stages_u;
+        let extra = layers % stages_u;
+        let mut bounds = Vec::with_capacity(stages + 1);
+        let mut at = 0;
+        bounds.push(at);
+        for s in 0..stages_u {
+            at += base + u32::from(s < extra);
+            bounds.push(at);
+        }
+        StagePartition { layers, bounds }
+    }
+
+    /// Total layers partitioned.
+    pub fn layers(&self) -> u32 {
+        self.layers
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The contiguous layer range of `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn layers_of(&self, stage: usize) -> Range<u32> {
+        self.bounds[stage]..self.bounds[stage + 1]
+    }
+
+    /// The stage owning `layer`, or `None` past the end.
+    pub fn stage_of(&self, layer: u32) -> Option<usize> {
+        if layer >= self.layers {
+            return None;
+        }
+        Some(
+            self.bounds
+                .partition_point(|&b| b <= layer)
+                .saturating_sub(1),
+        )
+    }
+}
+
+impl fmt::Display for StagePartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} layers / {} stages [", self.layers, self.stages())?;
+        for stage in 0..self.stages() {
+            let range = self.layers_of(stage);
+            if stage > 0 {
+                f.write_str(" | ")?;
+            }
+            write!(f, "{}..{}", range.start, range.end)?;
+        }
+        f.write_str("]")
+    }
+}
+
+/// Which pass of a micro-batch an operation performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pass {
+    /// Forward pass: activations flow toward the last stage.
+    Forward,
+    /// Backward pass (training): gradients flow toward the first stage.
+    Backward,
+}
+
+/// One scheduled operation at one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleOp {
+    /// Micro-batch index.
+    pub micro_batch: usize,
+    /// Pass direction.
+    pub pass: Pass,
+}
+
+/// The per-stage issue order of micro-batch operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PipelineSchedule {
+    /// GPipe-style fill–drain: all forwards in micro-batch order, then all
+    /// backwards. Simple, but every micro-batch's activations stay live
+    /// through the fill.
+    #[default]
+    FillDrain,
+    /// 1F1B: after a warmup of `stages - stage` forwards, each stage
+    /// alternates one backward with one forward, bounding in-flight
+    /// activations by the pipeline depth. Degenerates to fill–drain for
+    /// inference (no backwards).
+    OneFOneB,
+}
+
+impl fmt::Display for PipelineSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineSchedule::FillDrain => f.write_str("fill-drain"),
+            PipelineSchedule::OneFOneB => f.write_str("1F1B"),
+        }
+    }
+}
+
+impl PipelineSchedule {
+    /// The issue order of operations at `stage` for `micro_batches`
+    /// micro-batches over a `stages`-deep pipeline. With `train == false`
+    /// there are no backward passes and both schedules reduce to the
+    /// forward stream in micro-batch order.
+    pub fn stage_ops(
+        &self,
+        stage: usize,
+        stages: usize,
+        micro_batches: usize,
+        train: bool,
+    ) -> Vec<ScheduleOp> {
+        assert!(stage < stages, "stage {stage} out of {stages}");
+        let fwd = |m| ScheduleOp {
+            micro_batch: m,
+            pass: Pass::Forward,
+        };
+        let bwd = |m| ScheduleOp {
+            micro_batch: m,
+            pass: Pass::Backward,
+        };
+        if !train {
+            return (0..micro_batches).map(fwd).collect();
+        }
+        match self {
+            PipelineSchedule::FillDrain => (0..micro_batches)
+                .map(fwd)
+                .chain((0..micro_batches).map(bwd))
+                .collect(),
+            PipelineSchedule::OneFOneB => {
+                let warmup = (stages - stage).min(micro_batches);
+                let mut ops: Vec<ScheduleOp> = (0..warmup).map(fwd).collect();
+                let mut next_fwd = warmup;
+                let mut next_bwd = 0;
+                while next_bwd < micro_batches {
+                    ops.push(bwd(next_bwd));
+                    next_bwd += 1;
+                    if next_fwd < micro_batches {
+                        ops.push(fwd(next_fwd));
+                        next_fwd += 1;
+                    }
+                }
+                ops
+            }
+        }
+    }
+
+    /// The largest number of forward activations `stage` ever holds before
+    /// their backward retires them (training only).
+    pub fn peak_in_flight(&self, stage: usize, stages: usize, micro_batches: usize) -> usize {
+        let mut live = 0usize;
+        let mut peak = 0;
+        for op in self.stage_ops(stage, stages, micro_batches, true) {
+            match op.pass {
+                Pass::Forward => live += 1,
+                Pass::Backward => live -= 1,
+            }
+            peak = peak.max(live);
+        }
+        peak
+    }
+}
+
+/// Applies decoder layer `layer`'s deterministic transform to `bytes` in
+/// place. The mix is byte-wise invertible (odd multiplier) and depends on
+/// both the layer index and the byte position, so layer order matters and
+/// any corruption or replay on an inter-stage hop changes the final
+/// output.
+pub fn apply_layer(layer: u32, bytes: &mut [u8]) {
+    let k = u64::from(layer)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(0x2545_f491_4f6c_dd1d);
+    for (i, b) in bytes.iter_mut().enumerate() {
+        let m = (k >> ((i % 8) * 8)) as u8;
+        *b = b.wrapping_mul(m | 1).wrapping_add(m ^ (i as u8));
+    }
+}
+
+/// Applies every layer in `range`, in order — what one stage computes.
+pub fn apply_stage(range: Range<u32>, bytes: &mut [u8]) {
+    for layer in range {
+        apply_layer(layer, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_partition_covers_all_layers_contiguously() {
+        for (layers, stages) in [(48u32, 1usize), (48, 4), (47, 4), (96, 8), (5, 5)] {
+            let p = StagePartition::balanced(layers, stages);
+            assert_eq!(p.stages(), stages);
+            assert_eq!(p.layers_of(0).start, 0);
+            assert_eq!(p.layers_of(stages - 1).end, layers);
+            let mut sizes = Vec::new();
+            for s in 0..stages {
+                let r = p.layers_of(s);
+                if s > 0 {
+                    assert_eq!(r.start, p.layers_of(s - 1).end, "contiguous");
+                }
+                sizes.push(r.len());
+            }
+            let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "balanced: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn stage_of_inverts_layers_of() {
+        let p = StagePartition::balanced(47, 4);
+        for layer in 0..47 {
+            let s = p.stage_of(layer).unwrap();
+            assert!(p.layers_of(s).contains(&layer));
+        }
+        assert_eq!(p.stage_of(47), None);
+        assert!(p.to_string().contains("47 layers / 4 stages"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn more_stages_than_layers_is_rejected() {
+        let _ = StagePartition::balanced(3, 4);
+    }
+
+    #[test]
+    fn inference_schedules_are_the_forward_stream() {
+        for schedule in [PipelineSchedule::FillDrain, PipelineSchedule::OneFOneB] {
+            for stage in 0..4 {
+                let ops = schedule.stage_ops(stage, 4, 6, false);
+                assert_eq!(ops.len(), 6);
+                for (m, op) in ops.iter().enumerate() {
+                    assert_eq!(op.micro_batch, m);
+                    assert_eq!(op.pass, Pass::Forward);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn training_schedules_issue_every_op_exactly_once() {
+        for schedule in [PipelineSchedule::FillDrain, PipelineSchedule::OneFOneB] {
+            for stage in 0..4 {
+                let ops = schedule.stage_ops(stage, 4, 8, true);
+                assert_eq!(ops.len(), 16, "{schedule}@{stage}");
+                for pass in [Pass::Forward, Pass::Backward] {
+                    let mut seen: Vec<usize> = ops
+                        .iter()
+                        .filter(|o| o.pass == pass)
+                        .map(|o| o.micro_batch)
+                        .collect();
+                    seen.sort_unstable();
+                    assert_eq!(seen, (0..8).collect::<Vec<_>>());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_schedules_respect_dependencies() {
+        // A stage can only run backward m after it ran forward m, and a
+        // stage's k-th forward cannot be issued before the previous stage's
+        // k-th forward (same for backwards in reverse) — check the local
+        // half: forward m precedes backward m at every stage.
+        let schedule = PipelineSchedule::OneFOneB;
+        for stage in 0..4 {
+            let ops = schedule.stage_ops(stage, 4, 8, true);
+            for m in 0..8 {
+                let f = ops
+                    .iter()
+                    .position(|o| o.pass == Pass::Forward && o.micro_batch == m)
+                    .unwrap();
+                let b = ops
+                    .iter()
+                    .position(|o| o.pass == Pass::Backward && o.micro_batch == m)
+                    .unwrap();
+                assert!(f < b, "stage {stage} mb {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_bounds_in_flight_activations() {
+        let (stages, micro_batches) = (4, 16);
+        for stage in 0..stages {
+            let fd = PipelineSchedule::FillDrain.peak_in_flight(stage, stages, micro_batches);
+            let ob = PipelineSchedule::OneFOneB.peak_in_flight(stage, stages, micro_batches);
+            assert_eq!(fd, micro_batches, "fill-drain holds everything");
+            assert_eq!(ob, stages - stage, "1F1B caps at the pipeline depth");
+        }
+    }
+
+    #[test]
+    fn warmup_shrinks_toward_the_last_stage() {
+        let schedule = PipelineSchedule::OneFOneB;
+        let ops = schedule.stage_ops(3, 4, 8, true);
+        // Last stage: warmup of exactly one forward, then strict 1F1B.
+        assert_eq!(ops[0].pass, Pass::Forward);
+        assert_eq!(ops[1].pass, Pass::Backward);
+        assert_eq!(ops[2].pass, Pass::Forward);
+    }
+
+    #[test]
+    fn apply_layer_is_order_sensitive_and_partition_invariant() {
+        let input: Vec<u8> = (0..=255).collect();
+        let mut single = input.clone();
+        apply_stage(0..8, &mut single);
+        // Any partition of 0..8 applied in order gives the same bytes.
+        for split in 1..8 {
+            let mut pipelined = input.clone();
+            apply_stage(0..split, &mut pipelined);
+            apply_stage(split..8, &mut pipelined);
+            assert_eq!(pipelined, single, "split at {split}");
+        }
+        // Order matters: swapping two layers changes the output.
+        let mut swapped = input.clone();
+        apply_layer(1, &mut swapped);
+        apply_layer(0, &mut swapped);
+        apply_stage(2..8, &mut swapped);
+        assert_ne!(swapped, single);
+    }
+}

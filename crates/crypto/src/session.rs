@@ -81,6 +81,15 @@ impl fmt::Debug for SessionManager {
     }
 }
 
+/// Derives a decorrelated 64-bit sub-seed from `seed` and a role `tag` —
+/// one step of the same SplitMix64 sponge the session KDF absorbs with.
+/// Higher layers use it to fan one root seed out into per-device and
+/// per-edge key roots without re-implementing the mixing step.
+pub fn derive_subseed(seed: u64, tag: u64) -> u64 {
+    let mut state = seed ^ tag.wrapping_mul(0x2545_f491_4f6c_dd1d);
+    mix(&mut state)
+}
+
 /// SplitMix64 step shared by the derivation sponge.
 fn mix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);

@@ -106,3 +106,52 @@ proptest! {
         prop_assert_eq!(ch.device_mut().open(&fresh).unwrap(), b"fresh".to_vec());
     }
 }
+
+/// The IV-exhaustion → rekey path end to end: a session driven into the
+/// headroom surfaces `IvExhausted` on the next seal, `SessionManager::rekey`
+/// bumps the epoch and restarts the counters, and the fresh epoch runs a
+/// gapless IV sequence from 1 with both endpoints in lockstep.
+#[test]
+fn exhausted_session_rekeys_and_continues_gapless() {
+    use pipellm_crypto::channel::IV_LIMIT;
+
+    let mut mgr = SessionManager::from_seed(0xdead_beef);
+    let id = mgr.open_with_initial_ivs(IV_LIMIT - 3, 1);
+    assert_eq!(mgr.epoch(id), Some(0));
+
+    // Drain the last usable IVs; every seal lands in lockstep.
+    let ch = mgr.channel_mut(id).unwrap();
+    for i in 0..3u8 {
+        let sealed = ch.host_mut().seal(&[i]).unwrap();
+        assert_eq!(sealed.iv, IV_LIMIT - 3 + u64::from(i));
+        ch.device_mut().open(&sealed).unwrap();
+    }
+
+    // The counter now sits at the limit: sealing into the headroom fails
+    // without advancing anything.
+    let err = mgr
+        .channel_mut(id)
+        .unwrap()
+        .host_mut()
+        .seal(b"x")
+        .unwrap_err();
+    assert!(matches!(err, CryptoError::IvExhausted { iv } if iv == IV_LIMIT));
+    assert_eq!(mgr.channel(id).unwrap().host().tx().remaining_ivs(), 0);
+    assert_eq!(mgr.needs_rekey(id), Some(true));
+
+    // Rekey: epoch bump, fresh keys, counters restarted.
+    assert_eq!(mgr.rekey(id), Some(1));
+    assert_eq!(mgr.epoch(id), Some(1));
+
+    // The fresh epoch issues a gapless sequence from IV 1, and both
+    // endpoints advance together.
+    let ch = mgr.channel_mut(id).unwrap();
+    for i in 1..=16u64 {
+        let sealed = ch.host_mut().seal(&i.to_le_bytes()).unwrap();
+        assert_eq!(sealed.iv, i, "per-epoch IVs are gapless");
+        assert_eq!(ch.device_mut().open(&sealed).unwrap(), i.to_le_bytes());
+        assert_eq!(ch.host().tx().next_iv(), i + 1);
+        assert_eq!(ch.device().rx().next_iv(), i + 1, "endpoints in lockstep");
+    }
+    assert_eq!(mgr.needs_rekey(id), Some(false));
+}

@@ -242,7 +242,7 @@ fn descriptor(kind: u8, len: u64, addr: u64) -> Vec<u8> {
 /// [`Payload::write_plaintext`], with tag headroom reserved) and returns
 /// the AAD descriptor. The buffer then flows through the channel's
 /// prepared-seal API without further copies.
-fn stage_plaintext(payload: &Payload, addr: u64, buf: &mut Vec<u8>) -> Vec<u8> {
+pub(crate) fn stage_plaintext(payload: &Payload, addr: u64, buf: &mut Vec<u8>) -> Vec<u8> {
     // Clear before reserving: recycled pool buffers arrive with their old
     // contents, and reserving against the stale length would double the
     // allocation instead of reusing it.
@@ -253,7 +253,7 @@ fn stage_plaintext(payload: &Payload, addr: u64, buf: &mut Vec<u8>) -> Vec<u8> {
 }
 
 /// Reads the payload kind back out of a sealed transfer's descriptor.
-fn sealed_kind(sealed: &SealedMessage) -> u8 {
+pub(crate) fn sealed_kind(sealed: &SealedMessage) -> u8 {
     sealed.aad.first().copied().unwrap_or(Payload::KIND_REAL)
 }
 

@@ -27,12 +27,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod context;
 pub mod memory;
 pub mod pages;
 pub mod runtime;
 pub mod timing;
 
+pub use cluster::{ClusterConfig, ClusterContext, ClusterRuntime, EdgeId, EdgeStats, NvLinkModel};
 pub use context::{CcMode, CudaContext, GpuError, SessionCounters};
 pub use memory::{DevicePtr, HostAddr, HostMemory, HostRegion, Payload};
 pub use pipellm_crypto::session::SessionId;

@@ -429,6 +429,19 @@ impl DeviceMemory {
             .ok_or(MemoryError::UnknownDevicePtr(ptr))
     }
 
+    /// Mutable access to the payload behind `ptr` — in-place device-side
+    /// compute without cloning the buffer. Callers must not change the
+    /// payload's length.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::UnknownDevicePtr`] if `ptr` is not live.
+    pub fn get_mut(&mut self, ptr: DevicePtr) -> Result<&mut Payload, MemoryError> {
+        self.buffers
+            .get_mut(&ptr.0)
+            .ok_or(MemoryError::UnknownDevicePtr(ptr))
+    }
+
     /// Stores `payload` into the allocation behind `ptr`.
     ///
     /// # Errors

@@ -28,6 +28,7 @@ pub mod engine;
 pub mod flexgen;
 pub mod multitenant;
 pub mod peft;
+pub mod pipeline;
 pub mod report;
 pub mod stream;
 pub mod vllm;
@@ -36,6 +37,7 @@ pub use engine::ServingEngine;
 pub use flexgen::{FlexGenConfig, FlexGenEngine};
 pub use multitenant::{MultiTenantDriver, MultiTenantReport, TenantReport, TenantSpec};
 pub use peft::{PeftConfig, PeftEngine};
+pub use pipeline::{PipelineConfig, PipelineEngine, PipelineSystem};
 pub use report::{ServingReport, SwapPolicy};
 pub use stream::LayerPlan;
 pub use vllm::{VllmConfig, VllmEngine};

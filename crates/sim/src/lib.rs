@@ -29,12 +29,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod events;
 pub mod metrics;
 pub mod resource;
 pub mod rng;
 pub mod time;
 
+pub use cluster::{EdgeTimeline, TimelineRow, TimelineSummary};
 pub use events::EventQueue;
 pub use resource::{GpuEngine, Link, Reservation, WorkerPool};
 pub use rng::SimRng;
