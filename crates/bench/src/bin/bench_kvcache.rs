@@ -1,0 +1,70 @@
+//! Encrypted paged KV-cache benchmark: emits `BENCH_kvcache.json` with
+//! vLLM normalized latency versus arrival rate for CC-off, native CC, and
+//! PipeLLM, plus the sealed-swap pipeline's speculation and
+//! pre-decryption hit rates.
+//!
+//! Usage:
+//!   cargo run --release -p pipellm-bench --bin bench_kvcache \
+//!       [--smoke] [out.json]
+//!
+//! `--smoke` runs the CI-sized sweep (two rates, shorter traces); the
+//! default sweep covers four rates at the full trace length.
+
+use pipellm_bench::kvcache;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| {
+            pipellm_bench::workspace_artifact("BENCH_kvcache.json")
+                .to_string_lossy()
+                .into_owned()
+        });
+
+    let (rates, duration_secs): (&[f64], f64) = if smoke {
+        (&[0.4, 0.8], 120.0)
+    } else {
+        (&[0.2, 0.4, 0.8, 1.2], 300.0)
+    };
+
+    let rows = kvcache::run(rates, duration_secs);
+    print!("{}", kvcache::to_table(&rows));
+
+    // The claims the artifact exists to track.
+    for rate in rates {
+        let norm = |label: &str| {
+            rows.iter()
+                .find(|r| r.rate_rps == *rate && r.system == label)
+                .map(|r| r.norm_latency_s_per_token)
+                .unwrap_or_else(|| panic!("missing row {label}@{rate}"))
+        };
+        assert!(
+            norm("PipeLLM") <= norm("CC"),
+            "PipeLLM must not lose to native CC at {rate} req/s"
+        );
+    }
+    assert!(
+        rows.iter().any(|r| r.preemptions > 0),
+        "the sweep must exercise KV swapping"
+    );
+    for row in &rows {
+        if row.system == "PipeLLM" {
+            assert_eq!(row.lockstep, Some(true), "counters out of lockstep");
+            if row.preemptions > 0 {
+                assert!(
+                    row.pre_decrypt_rate.unwrap_or(0.0) > 0.0,
+                    "pre-decryption must show a measurable hit rate at {} req/s",
+                    row.rate_rps
+                );
+            }
+        }
+    }
+
+    let json = kvcache::to_json(&rows);
+    std::fs::write(&out_path, &json).expect("write benchmark artifact");
+    println!("wrote {out_path}");
+}

@@ -17,6 +17,7 @@ pub mod fig07;
 pub mod fig08;
 pub mod fig09;
 pub mod fig10;
+pub mod kvcache;
 pub mod multitenant;
 pub mod pipeline;
 pub mod runners;

@@ -1,0 +1,109 @@
+//! The encrypted paged KV-cache swap pipeline (paper §5.2/§5.4).
+//!
+//! When a serving engine evicts a request's KV blocks, the device seals
+//! them at consecutive session IVs and DMAs the ciphertext to host staging
+//! ([`CudaContext::swap_out_kv_group`]); the host reserves the IVs in wire
+//! order but defers the actual decryptions. This pipeline owns the
+//! deferred state for one session:
+//!
+//! - each pending block's destination pages stay
+//!   [`pipellm_gpu::pages::Protection::AccessRevoked`] and the at-rest
+//!   authoritative bytes are the **ciphertext** held here;
+//! - background opens complete on the shared crypto pool while compute
+//!   proceeds; the predictor gates which blocks are *pre-decrypted* ahead
+//!   of their expected swap-in (the runtime's
+//!   [`crate::session::SessionState::pre_decrypt`] pass);
+//! - an application access before the plaintext lands faults and forces a
+//!   synchronous decryption, exactly like the H2D path's fault handler.
+//!
+//! Opened staging buffers recycle into the session's staging pool, so a
+//! steady swap stream allocates nothing.
+
+use pipellm_gpu::context::{CudaContext, DeferredKvOpen};
+use pipellm_gpu::memory::{HostRegion, Payload};
+use pipellm_sim::time::SimTime;
+
+/// Per-session deferred-decryption state of the encrypted paged KV cache.
+#[derive(Debug, Default)]
+pub struct KvSwapPipeline {
+    /// Blocks whose ciphertext arrived but whose plaintext has not been
+    /// stored yet, in arrival order.
+    pending: Vec<DeferredKvOpen>,
+}
+
+impl KvSwapPipeline {
+    /// An empty pipeline.
+    pub(crate) fn new() -> Self {
+        KvSwapPipeline::default()
+    }
+
+    /// Number of blocks still sealed in host staging.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The at-rest bytes (`ciphertext || tag`) of the pending block whose
+    /// destination is exactly `region`, if its decryption has not landed —
+    /// what an attacker scraping CVM shared memory would see.
+    pub fn ciphertext_of(&self, region: HostRegion) -> Option<&[u8]> {
+        self.pending
+            .iter()
+            .find(|d| d.region == region)
+            .map(|d| d.ciphertext.as_slice())
+    }
+
+    /// Queues one deferred block.
+    pub(crate) fn push(&mut self, deferred: DeferredKvOpen) {
+        self.pending.push(deferred);
+    }
+
+    /// Index of the pending block overlapping `region`, if any.
+    pub(crate) fn position_over(&self, region: HostRegion) -> Option<usize> {
+        self.pending.iter().position(|d| d.region.overlaps(&region))
+    }
+
+    /// Index of the pending block guarded by `cookie`, if any.
+    pub(crate) fn position_cookie(&self, cookie: u64) -> Option<usize> {
+        self.pending.iter().position(|d| d.cookie == cookie)
+    }
+
+    /// `(region, ready_at)` of pending block `idx`.
+    pub(crate) fn entry(&self, idx: usize) -> (HostRegion, SimTime) {
+        (self.pending[idx].region, self.pending[idx].ready_at)
+    }
+
+    /// Finalizes pending block `idx`: lifts the revocation, opens the
+    /// ciphertext in place at its reserved IV, and stores the plaintext.
+    /// Returns when the data became readable plus the staging buffer when
+    /// the payload did not consume it (virtual stand-ins), for recycling.
+    pub(crate) fn finalize(
+        &mut self,
+        ctx: &mut CudaContext,
+        idx: usize,
+    ) -> (SimTime, Option<Vec<u8>>) {
+        let deferred = self.pending.swap_remove(idx);
+        ctx.pages_mut().unprotect(deferred.region);
+        let mut buf = deferred.ciphertext;
+        deferred
+            .open
+            .open_in_place(&deferred.aad, &mut buf)
+            .expect("deferred KV open authenticates at its reserved IV");
+        let (payload, recycled) = if deferred.kind == Payload::KIND_VIRTUAL && buf.len() == 16 {
+            let len = u64::from_be_bytes(buf[..8].try_into().expect("checked length"));
+            let version = u64::from_be_bytes(buf[8..].try_into().expect("checked length"));
+            (Payload::Virtual { len, version }, Some(buf))
+        } else {
+            (Payload::Real(buf), None)
+        };
+        ctx.host_store_unchecked(deferred.region, payload)
+            .expect("pending KV block targets a live allocation");
+        (deferred.ready_at, recycled)
+    }
+
+    /// Removes pending block `idx` without landing its plaintext (the
+    /// data is being freed or overwritten); the caller decides what to do
+    /// with the revocation and the staging buffer.
+    pub(crate) fn remove(&mut self, idx: usize) -> DeferredKvOpen {
+        self.pending.swap_remove(idx)
+    }
+}

@@ -47,6 +47,7 @@
 
 pub mod classify;
 pub mod edge;
+pub mod kvswap;
 pub mod observer;
 pub mod partition;
 pub mod pipeline;
@@ -58,6 +59,7 @@ pub mod stats;
 
 pub use classify::{SizeClassifier, TransferClass};
 pub use edge::EdgePipeline;
+pub use kvswap::KvSwapPipeline;
 pub use observer::{SideChannelObserver, WireObservation};
 pub use partition::{Pass, PipelineSchedule, ScheduleOp, StagePartition};
 pub use pipeline::SpeculationQueue;

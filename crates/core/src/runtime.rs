@@ -264,16 +264,16 @@ impl PipeLlmRuntime {
         if let Some(state) = self.table.remove(session) {
             // Lift the protections the dying session still holds so its
             // cookies can never fault into another session.
-            let PipeLlmRuntime { ctx, .. } = self;
+            let PipeLlmRuntime { ctx, params, .. } = self;
             let mut state = state;
             for entry in state.queue.relinquish() {
                 ctx.pages_mut().unprotect(entry.chunk);
             }
-            // Pending decryptions finalize (plaintext stored, revocation
+            // Pending KV opens finalize (plaintext stored, revocation
             // lifted): a bare unprotect would silently expose the
             // pre-swap-out bytes to later reads.
-            while !state.decrypts.is_empty() {
-                state.finalize_decrypt(ctx, 0);
+            while state.kv_pipeline().pending_len() > 0 {
+                state.finalize_decrypt(ctx, params, 0);
             }
             // The departed tenant's counters stay in the aggregate.
             self.retired += state.stats();
@@ -295,6 +295,9 @@ impl PipeLlmRuntime {
             return Ok(());
         }
         let orphans = self.with_active(|ctx, state, _cookies, p| state.drop_pipeline(ctx, p));
+        // Pending KV opens survive a rekey untouched: each deferred open
+        // captured its key material and reserved IV at arrival time, so
+        // old-epoch ciphertext still authenticates when it finalizes.
         self.ctx.session_manager_mut().rekey(sid);
         self.with_active(|ctx, state, _cookies, p| {
             state.next_spec_iv = ctx.current_h2d_iv() + p.iv_slack;
@@ -310,10 +313,12 @@ impl PipeLlmRuntime {
     /// queue and cookie namespace are shared; the reactions are
     /// per-session (§5.2, §5.4).
     fn handle_faults(&mut self) {
-        let PipeLlmRuntime { ctx, table, .. } = self;
+        let PipeLlmRuntime {
+            ctx, table, params, ..
+        } = self;
         for cookie in ctx.drain_faults() {
             for (_, state) in table.iter_mut() {
-                if state.absorb_fault(ctx, cookie) {
+                if state.absorb_fault(ctx, params, cookie) {
                     break;
                 }
             }
@@ -333,9 +338,11 @@ impl GpuRuntime for PipeLlmRuntime {
     fn free_host(&mut self, addr: HostAddr) -> Result<(), GpuError> {
         let region = self.ctx.host().get(addr)?.region();
         {
-            let PipeLlmRuntime { ctx, table, .. } = self;
+            let PipeLlmRuntime {
+                ctx, table, params, ..
+            } = self;
             for (_, state) in table.iter_mut() {
-                state.on_free_host(ctx, region);
+                state.on_free_host(ctx, params, region);
             }
             ctx.pages_mut().unprotect(region);
         }
@@ -383,13 +390,47 @@ impl GpuRuntime for PipeLlmRuntime {
             // The DMA store overwrites `dst` for *every* session: any
             // tenant's speculative ciphertext or pending decryption over
             // the region goes stale, not just the active session's.
+            let params = self.params;
             for (_, state) in self.table.iter_mut() {
-                state.invalidate_for_overwrite(dst);
+                state.invalidate_for_overwrite(&params, dst);
             }
-            self.with_active(|ctx, state, cookies, _p| state.swap_out(ctx, cookies, now, dst, src))
+            self.with_active(|ctx, state, cookies, _p| {
+                state.swap_out_group(ctx, cookies, now, &[(dst, src)])
+            })
         } else {
             Ok(self.ctx.memcpy_dtoh_async(now, dst, src)?.api_return)
         }
+    }
+
+    fn kv_swap_out(
+        &mut self,
+        now: SimTime,
+        blocks: &[(HostRegion, DevicePtr)],
+    ) -> Result<SimTime, GpuError> {
+        if blocks.is_empty() {
+            return Ok(now);
+        }
+        // Control-sized blocks take the native per-block path; a paged KV
+        // group is swap-classified by construction.
+        if !blocks
+            .iter()
+            .all(|(dst, _)| self.classifier.is_swap(dst.len))
+        {
+            let mut cpu = now;
+            for &(dst, src) in blocks {
+                cpu = self.memcpy_dtoh(cpu, dst, src)?;
+            }
+            return Ok(cpu);
+        }
+        self.handle_faults();
+        self.maybe_rekey_active(now)?;
+        let params = self.params;
+        for &(dst, _) in blocks {
+            for (_, state) in self.table.iter_mut() {
+                state.invalidate_for_overwrite(&params, dst);
+            }
+        }
+        self.with_active(|ctx, state, cookies, _p| state.swap_out_group(ctx, cookies, now, blocks))
     }
 
     fn synchronize(&mut self, now: SimTime) -> SimTime {
@@ -400,14 +441,19 @@ impl GpuRuntime for PipeLlmRuntime {
             state
                 .release_suspended(ctx, p, now, true)
                 .expect("suspended flush cannot fail on live chunks");
+            state.pre_decrypt(ctx, p, now);
             state.refill(ctx, cookies, p, now);
         });
         self.ctx.synchronize(now)
     }
 
     fn launch_compute(&mut self, ready: SimTime, duration: Duration) -> SimTime {
-        // Encryption of the next predictions overlaps this kernel.
-        self.with_active(|ctx, state, cookies, p| state.refill(ctx, cookies, p, ready));
+        // Encryption of the next predictions — and pre-decryption of the
+        // blocks the predictor expects back — overlap this kernel.
+        self.with_active(|ctx, state, cookies, p| {
+            state.pre_decrypt(ctx, p, ready);
+            state.refill(ctx, cookies, p, ready);
+        });
         self.ctx.launch_compute(ready, duration).end
     }
 
@@ -415,13 +461,15 @@ impl GpuRuntime for PipeLlmRuntime {
         let region = self.ctx.host().get(addr)?.region();
         let mut readable_at = now;
         {
-            let PipeLlmRuntime { ctx, table, .. } = self;
+            let PipeLlmRuntime {
+                ctx, table, params, ..
+            } = self;
             for (_, state) in table.iter_mut() {
                 if let Some(idx) = state.pending_decrypt_over(region) {
                     // Usage before decryption finished: fault → synchronous
                     // decryption (§5.4).
                     state.stats.decrypt_faults += 1;
-                    readable_at = now.max(state.finalize_decrypt(ctx, idx));
+                    readable_at = now.max(state.finalize_decrypt(ctx, params, idx));
                     break;
                 }
             }
@@ -434,11 +482,13 @@ impl GpuRuntime for PipeLlmRuntime {
     fn host_read(&mut self, now: SimTime, region: HostRegion) -> Result<SimTime, GpuError> {
         let mut readable_at = now;
         {
-            let PipeLlmRuntime { ctx, table, .. } = self;
+            let PipeLlmRuntime {
+                ctx, table, params, ..
+            } = self;
             for (_, state) in table.iter_mut() {
                 if let Some(idx) = state.pending_decrypt_over(region) {
                     state.stats.decrypt_faults += 1;
-                    readable_at = now.max(state.finalize_decrypt(ctx, idx));
+                    readable_at = now.max(state.finalize_decrypt(ctx, params, idx));
                     break;
                 }
             }
@@ -776,6 +826,95 @@ mod tests {
         };
         assert_eq!(bytes[0], 9 ^ 0xff, "decrypted then touched");
         assert_eq!(&bytes[1..], &vec![9u8; CHUNK as usize - 1][..]);
+    }
+
+    #[test]
+    fn swapped_out_chunks_are_ciphertext_until_opened() {
+        let mut rt = runtime();
+        let dev = rt.alloc_device(CHUNK).unwrap();
+        let data = vec![0x5au8; CHUNK as usize];
+        rt.context_mut()
+            .device_memory_mut()
+            .store(dev, Payload::Real(data.clone()))
+            .unwrap();
+        let host = rt.alloc_host(Payload::Real(vec![0u8; CHUNK as usize]));
+        let now = rt.memcpy_dtoh(SimTime::ZERO, host, dev).unwrap();
+        // At rest the authoritative bytes are genuine AES-GCM ciphertext:
+        // chunk-length ciphertext plus the 16-byte tag, nothing like the
+        // plaintext.
+        let ct = rt
+            .active_state()
+            .kv_pipeline()
+            .ciphertext_of(host)
+            .expect("pending open holds the sealed block");
+        assert_eq!(ct.len(), CHUNK as usize + 16);
+        assert_ne!(&ct[..CHUNK as usize], data.as_slice());
+        // The destination region still shows the stale pre-swap bytes
+        // (and is access-revoked until the open lands).
+        assert_eq!(
+            rt.context().host().get(host.addr).unwrap().payload(),
+            &Payload::Real(vec![0u8; CHUNK as usize])
+        );
+        // A read faults, forces the synchronous open, and then sees the
+        // swapped-out data bit-exact.
+        let readable = rt.host_read(now, host).unwrap();
+        assert!(readable >= now);
+        assert_eq!(rt.spec_stats().decrypt_faults, 1);
+        assert_eq!(rt.active_state().kv_pipeline().pending_len(), 0);
+        assert_eq!(
+            rt.context().host().get(host.addr).unwrap().payload(),
+            &Payload::Real(data)
+        );
+    }
+
+    #[test]
+    fn predictor_gated_pre_decryption_dominates_on_lifo() {
+        let mut rt = runtime();
+        for round in 0..5 {
+            lifo_episode(&mut rt, round, 3);
+        }
+        let stats = rt.spec_stats();
+        assert!(stats.async_decrypts >= 15, "{stats}");
+        assert!(
+            stats.pre_decrypts > 0,
+            "LIFO reloads must be pre-decrypted: {stats}"
+        );
+        assert!(
+            stats.pre_decrypt_rate() > 0.5,
+            "pre-decryption must dominate after warmup: {stats}"
+        );
+    }
+
+    #[test]
+    fn kv_group_swap_out_seals_blocks_under_one_group() {
+        let mut rt = runtime();
+        let mut pairs = Vec::new();
+        let mut want = Vec::new();
+        for i in 0..3u8 {
+            let dev = rt.alloc_device(CHUNK).unwrap();
+            let data = vec![0x70 + i; CHUNK as usize];
+            rt.context_mut()
+                .device_memory_mut()
+                .store(dev, Payload::Real(data.clone()))
+                .unwrap();
+            let host = rt.alloc_host(Payload::Real(vec![0u8; CHUNK as usize]));
+            pairs.push((host, dev));
+            want.push((host, data));
+        }
+        let now = rt.kv_swap_out(SimTime::ZERO, &pairs).unwrap();
+        assert_eq!(now, SimTime::ZERO, "group swap-out returns immediately");
+        assert_eq!(rt.active_state().kv_pipeline().pending_len(), 3);
+        assert_eq!(rt.spec_stats().async_decrypts, 3);
+        // Every block recovers bit-exact through the fault path.
+        for (host, data) in want {
+            rt.host_read(now, host).unwrap();
+            assert_eq!(
+                rt.context().host().get(host.addr).unwrap().payload(),
+                &Payload::Real(data)
+            );
+        }
+        let counters = rt.session_counters(rt.active_session()).unwrap();
+        assert!(counters.in_lockstep(), "{counters:?}");
     }
 
     #[test]

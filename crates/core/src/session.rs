@@ -24,13 +24,14 @@
 //! on real hardware — the contention the tenant-scaling experiment in
 //! `pipellm-bench` measures.
 
+use crate::kvswap::KvSwapPipeline;
 use crate::pipeline::{SpecEntry, SpeculationQueue};
 use crate::predictor::Predictor;
 use crate::runtime::SpecFailureMode;
 use crate::stats::PipeLlmStats;
 use pipellm_crypto::session::SessionId;
 use pipellm_gpu::context::{CudaContext, GpuError};
-use pipellm_gpu::memory::{DevicePtr, HostAddr, HostRegion, Payload};
+use pipellm_gpu::memory::{DevicePtr, HostAddr, HostRegion};
 use pipellm_gpu::pages::Protection;
 use pipellm_sim::time::SimTime;
 
@@ -70,15 +71,6 @@ impl CookieCounter {
     }
 }
 
-/// A swap-out whose decryption is still running in the background (§5.4).
-#[derive(Debug, Clone)]
-pub(crate) struct PendingDecrypt {
-    pub region: HostRegion,
-    pub payload: Payload,
-    pub ready_at: SimTime,
-    pub cookie: u64,
-}
-
 /// A swap-in request suspended because its pre-encrypted IV is ahead of
 /// the session's channel counter (Figure 6).
 #[derive(Debug, Clone, Copy)]
@@ -94,7 +86,9 @@ pub struct SessionState {
     pub(crate) predictor: Predictor,
     pub(crate) queue: SpeculationQueue,
     pub(crate) suspended: Vec<Suspended>,
-    pub(crate) decrypts: Vec<PendingDecrypt>,
+    /// The session's encrypted paged KV-cache swap-out pipeline: blocks
+    /// sealed by the device whose host-side decryption is deferred.
+    pub(crate) kv: KvSwapPipeline,
     pub(crate) stats: PipeLlmStats,
     /// Next IV to assign to a speculative seal; strictly increasing
     /// between relinquishes so queue IVs stay contiguous.
@@ -119,7 +113,7 @@ impl SessionState {
             predictor: Predictor::new(p.history_capacity).with_context_depth(p.context_depth),
             queue: SpeculationQueue::new(),
             suspended: Vec::new(),
-            decrypts: Vec::new(),
+            kv: KvSwapPipeline::new(),
             stats: PipeLlmStats::default(),
             next_spec_iv: initial_spec_iv,
             consecutive_misses: 0,
@@ -186,51 +180,100 @@ impl SessionState {
     /// speculative entry it belongs to (§5.2) or force-finalizes the
     /// pending decryption it hit (§5.4). Returns whether the cookie was
     /// ours.
-    pub(crate) fn absorb_fault(&mut self, ctx: &mut CudaContext, cookie: u64) -> bool {
+    pub(crate) fn absorb_fault(
+        &mut self,
+        ctx: &mut CudaContext,
+        p: &SpecParams,
+        cookie: u64,
+    ) -> bool {
         if let Some(chunk) = self.queue.invalidate_cookie(cookie) {
             // A chunk may be queued at several IVs (repetitive walks
             // revisit layers); a single write stales all of them.
             let extra = self.queue.invalidate_overlapping(chunk);
             self.stats.write_invalidations += 1 + extra as u64;
             true
-        } else if let Some(idx) = self.decrypts.iter().position(|d| d.cookie == cookie) {
+        } else if let Some(idx) = self.kv.position_cookie(cookie) {
             self.stats.decrypt_faults += 1;
-            self.finalize_decrypt(ctx, idx);
+            self.finalize_decrypt(ctx, p, idx);
             true
         } else {
             false
         }
     }
 
-    /// Completes the pending decrypt at `idx`: stores the plaintext and
-    /// lifts the access revocation. Returns when the data became readable.
-    pub(crate) fn finalize_decrypt(&mut self, ctx: &mut CudaContext, idx: usize) -> SimTime {
-        let pending = self.decrypts.swap_remove(idx);
-        ctx.pages_mut().unprotect(pending.region);
-        ctx.host_store_unchecked(pending.region, pending.payload)
-            .expect("pending decrypt targets a live allocation");
-        pending.ready_at
+    /// Completes the pending KV open at `idx`: decrypts the at-rest
+    /// ciphertext at its reserved IV, stores the plaintext, and lifts the
+    /// access revocation. Returns when the data became readable.
+    pub(crate) fn finalize_decrypt(
+        &mut self,
+        ctx: &mut CudaContext,
+        p: &SpecParams,
+        idx: usize,
+    ) -> SimTime {
+        let (ready_at, recycled) = self.kv.finalize(ctx, idx);
+        match recycled {
+            Some(buf) => self.recycle_buf(p, buf),
+            // Real payloads adopt the staging buffer as their storage.
+            None => self.pool_returned += 1,
+        }
+        ready_at
     }
 
     /// If `chunk` has a decryption still in flight, finalize it and return
     /// the time the plaintext becomes available; otherwise `now`.
+    /// `predicted` marks predictor-driven callers, whose finalizations
+    /// count as pre-decryption hits.
     fn plaintext_ready(
         &mut self,
         ctx: &mut CudaContext,
+        p: &SpecParams,
         chunk: HostRegion,
         now: SimTime,
+        predicted: bool,
     ) -> SimTime {
-        match self.decrypts.iter().position(|d| d.region.overlaps(&chunk)) {
-            Some(idx) => now.max(self.finalize_decrypt(ctx, idx)),
+        match self.kv.position_over(chunk) {
+            Some(idx) => {
+                if predicted {
+                    self.stats.pre_decrypts += 1;
+                }
+                now.max(self.finalize_decrypt(ctx, p, idx))
+            }
             None => now,
         }
     }
 
-    /// Index of the pending decrypt overlapping `region`, if any.
+    /// Index of the pending KV open overlapping `region`, if any.
     pub(crate) fn pending_decrypt_over(&self, region: HostRegion) -> Option<usize> {
-        self.decrypts
-            .iter()
-            .position(|d| d.region.overlaps(&region))
+        self.kv.position_over(region)
+    }
+
+    /// The session's KV swap pipeline (pending-open inspection).
+    pub fn kv_pipeline(&self) -> &KvSwapPipeline {
+        &self.kv
+    }
+
+    /// Predictor-gated pre-decryption (§5.4): finalizes pending background
+    /// opens that have completed on the crypto pool and whose chunks the
+    /// predictor expects to be swapped back in, so the reload path finds
+    /// plaintext ready instead of faulting. Unpredicted blocks stay sealed
+    /// behind their revoked pages.
+    pub(crate) fn pre_decrypt(&mut self, ctx: &mut CudaContext, p: &SpecParams, now: SimTime) {
+        if self.kv.pending_len() == 0 || p.failure_mode == SpecFailureMode::Disabled {
+            return;
+        }
+        let depth = self.kv.pending_len().max(p.spec_depth);
+        let predicted = self.predictor.predict_sequence(depth, &[]);
+        loop {
+            let ready = (0..self.kv.pending_len()).find(|&i| {
+                let (region, ready_at) = self.kv.entry(i);
+                ready_at <= now && predicted.iter().any(|c| c.overlaps(&region))
+            });
+            let Some(idx) = ready else {
+                return;
+            };
+            self.stats.pre_decrypts += 1;
+            self.finalize_decrypt(ctx, p, idx);
+        }
     }
 
     /// Re-establishes the page protection owed to `chunk` after an entry
@@ -255,11 +298,18 @@ impl SessionState {
 
     /// Releases everything this session holds over `region` before the
     /// host chunk is freed.
-    pub(crate) fn on_free_host(&mut self, ctx: &mut CudaContext, region: HostRegion) {
-        if let Some(idx) = self.decrypts.iter().position(|d| d.region == region) {
-            // The data is being thrown away: drop the pending decrypt.
-            let pending = self.decrypts.swap_remove(idx);
+    pub(crate) fn on_free_host(
+        &mut self,
+        ctx: &mut CudaContext,
+        p: &SpecParams,
+        region: HostRegion,
+    ) {
+        while let Some(idx) = self.kv.position_over(region) {
+            // The data is being thrown away: drop the pending open and
+            // recycle its ciphertext staging buffer.
+            let pending = self.kv.remove(idx);
             ctx.pages_mut().unprotect(pending.region);
+            self.recycle_buf(p, pending.ciphertext);
         }
         let staled = self.queue.invalidate_overlapping(region);
         self.stats.wasted_entries += staled as u64;
@@ -328,7 +378,9 @@ impl SessionState {
             // Each entry reserves `iv_slack` unassigned IVs before it, the
             // §5.1 leeway for interleaved small I/O; NOPs close unused gaps.
             let iv = self.next_spec_iv + p.iv_slack;
-            let avail = self.plaintext_ready(ctx, chunk, now);
+            // Sealing a predicted chunk that is still pending decryption
+            // pre-decrypts it first — a predictor-gated §5.4 hit.
+            let avail = self.plaintext_ready(ctx, p, chunk, now, true);
             let mut buf = self.pooled_buf();
             let sealed = match ctx.seal_region_into(chunk, iv, &mut buf) {
                 Ok(sealed) => sealed,
@@ -473,7 +525,7 @@ impl SessionState {
         dst: DevicePtr,
         chunk: HostRegion,
     ) -> Result<SimTime, GpuError> {
-        let avail = self.plaintext_ready(ctx, chunk, now);
+        let avail = self.plaintext_ready(ctx, p, chunk, now, false);
         let iv = ctx.current_h2d_iv();
         let mut buf = self.pooled_buf();
         let sealed = match ctx.seal_region_into(chunk, iv, &mut buf) {
@@ -673,45 +725,53 @@ impl SessionState {
     /// are being overwritten). The runtime runs this sweep over *every*
     /// session before a swap-out — a region another tenant pre-encrypted
     /// must go stale no matter which session performs the store.
-    pub(crate) fn invalidate_for_overwrite(&mut self, region: HostRegion) {
+    pub(crate) fn invalidate_for_overwrite(&mut self, p: &SpecParams, region: HostRegion) {
         let staled = self.queue.invalidate_overlapping(region);
         self.stats.write_invalidations += staled as u64;
         // Protection for the region is re-established by the swap-out's
         // own access revocation below (protections are keyed by region).
-        self.decrypts.retain(|d| !d.region.overlaps(&region));
+        // Pending opens into the region are dropped — the bytes they would
+        // produce are being overwritten — and their buffers recycled.
+        while let Some(idx) = self.kv.position_over(region) {
+            let pending = self.kv.remove(idx);
+            self.recycle_buf(p, pending.ciphertext);
+        }
     }
 
-    /// Serves a swap-classified device→host copy with asynchronous
-    /// decryption (§5.4): the call returns before the plaintext exists.
-    /// The caller has already run [`SessionState::invalidate_for_overwrite`]
-    /// over every session.
-    pub(crate) fn swap_out(
+    /// Serves a swap-classified device→host group copy through the
+    /// encrypted KV-cache pipeline (§5.4): the device seals every block at
+    /// consecutive session IVs, the destinations are access-revoked, and
+    /// the call returns before any plaintext exists — the opens run in the
+    /// background. The caller has already run
+    /// [`SessionState::invalidate_for_overwrite`] over every session.
+    pub(crate) fn swap_out_group(
         &mut self,
         ctx: &mut CudaContext,
         cookies: &mut CookieCounter,
         now: SimTime,
-        dst: HostRegion,
-        src: DevicePtr,
+        blocks: &[(HostRegion, DevicePtr)],
     ) -> Result<SimTime, GpuError> {
-        let (wire_done, payload) = ctx.memcpy_dtoh_raw(now, dst, src)?;
-        let open_time = ctx.timing().crypto.open_time(dst.len);
-        let reservation = ctx.crypto_pool_mut().reserve(wire_done, open_time);
-        let cookie = cookies.next();
-        ctx.pages_mut()
-            .protect(dst, Protection::AccessRevoked, cookie);
-        self.decrypts.push(PendingDecrypt {
-            region: dst,
-            payload,
-            ready_at: reservation.end,
-            cookie,
-        });
-        self.stats.async_decrypts += 1;
+        let group = cookies.next();
+        let block_cookies: Vec<u64> = blocks.iter().map(|_| cookies.next()).collect();
+        // Ciphertext staging comes from (and accounts against) the
+        // session's buffer pool — real AES-GCM over the staging pool. The
+        // group transfer is atomic, so the lease count moves only on
+        // success (an error draws no buffers).
+        let deferred =
+            ctx.swap_out_kv_group(now, group, blocks, &block_cookies, &mut self.buf_pool)?;
+        self.pool_leased += deferred.len() as u64;
+        for pending in deferred {
+            self.kv.push(pending);
+        }
+        self.stats.async_decrypts += blocks.len() as u64;
         // Deliberately no refill here: speculating at swap-out time would
         // freeze the queue in eviction (FIFO) order before the reload
         // pattern is knowable, and would force-finalize the asynchronous
         // decryption we just scheduled. Prediction happens at swap-in,
         // synchronization, and kernel-launch time instead.
-        self.predictor.observe_swap_out(dst);
+        for &(dst, _) in blocks {
+            self.predictor.observe_swap_out(dst);
+        }
         Ok(now)
     }
 }

@@ -27,6 +27,10 @@ pub struct PipeLlmStats {
     /// Page faults from the application touching data before its
     /// background decryption finished (forces synchronous decryption).
     pub decrypt_faults: u64,
+    /// Pending background opens finalized ahead of use because the
+    /// predictor expected their chunk to be swapped back in — the
+    /// pre-decryption half of the encrypted KV-cache pipeline.
+    pub pre_decrypts: u64,
     /// Chunks speculatively encrypted in total.
     pub speculated: u64,
 }
@@ -41,6 +45,7 @@ impl std::ops::AddAssign for PipeLlmStats {
         self.wasted_entries += rhs.wasted_entries;
         self.async_decrypts += rhs.async_decrypts;
         self.decrypt_faults += rhs.decrypt_faults;
+        self.pre_decrypts += rhs.pre_decrypts;
         self.speculated += rhs.speculated;
     }
 }
@@ -54,6 +59,15 @@ impl PipeLlmStats {
         }
         (self.spec_hits + self.reorders) as f64 / served as f64
     }
+
+    /// Fraction of background KV opens the predictor finalized ahead of
+    /// use (pre-decryption hits over all asynchronous decrypts).
+    pub fn pre_decrypt_rate(&self) -> f64 {
+        if self.async_decrypts == 0 {
+            return 1.0;
+        }
+        self.pre_decrypts as f64 / self.async_decrypts as f64
+    }
 }
 
 impl fmt::Display for PipeLlmStats {
@@ -61,7 +75,8 @@ impl fmt::Display for PipeLlmStats {
         write!(
             f,
             "spec_hits={} reorders={} nop_recoveries={} relinquishes={} \
-             invalidations={} wasted={} async_dec={} dec_faults={} success={:.1}%",
+             invalidations={} wasted={} async_dec={} dec_faults={} \
+             pre_dec={} success={:.1}%",
             self.spec_hits,
             self.reorders,
             self.nop_recoveries,
@@ -70,6 +85,7 @@ impl fmt::Display for PipeLlmStats {
             self.wasted_entries,
             self.async_decrypts,
             self.decrypt_faults,
+            self.pre_decrypts,
             self.success_rate() * 100.0
         )
     }

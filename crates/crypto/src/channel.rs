@@ -266,10 +266,66 @@ impl TxContext {
     }
 }
 
+/// A decryption decoupled from its arrival (paper §5.4, §6).
+///
+/// Ciphertext always *arrives* in wire order, which fixes the IV it must be
+/// opened under — but PipeLLM's hooked decryption workers perform the
+/// actual opens later, possibly out of order with each other, off the
+/// critical path. [`RxContext::defer_open`] reserves the counter value at
+/// arrival time and hands back this self-contained handle; the receiver
+/// counter stays in lockstep with the sender while the bytes stay sealed.
+#[derive(Clone)]
+pub struct DeferredOpen {
+    /// Shared with the owning [`RxContext`]: a deferred open holds a
+    /// pointer to the key schedule, not a copy of it, so a burst of
+    /// pending blocks costs one `Arc` bump each.
+    gcm: Arc<AesGcm>,
+    nonce: [u8; NONCE_LEN],
+    iv: u64,
+}
+
+impl std::fmt::Debug for DeferredOpen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeferredOpen")
+            .field("iv", &self.iv)
+            .finish()
+    }
+}
+
+impl DeferredOpen {
+    /// The counter value this open was reserved at.
+    pub fn iv(&self) -> u64 {
+        self.iv
+    }
+
+    /// Opens `buf` (`ciphertext || tag`) in place at the reserved IV,
+    /// truncating the tag on success.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::AuthenticationFailed`] if the bytes were not sealed
+    /// at this handle's IV under the matching key (or were tampered with).
+    pub fn open_in_place(&self, aad: &[u8], buf: &mut Vec<u8>) -> Result<()> {
+        match self.gcm.open_vec(&self.nonce, aad, buf) {
+            Ok(()) => Ok(()),
+            Err(CryptoError::AuthenticationFailed { .. }) => {
+                Err(CryptoError::AuthenticationFailed {
+                    expected_iv: self.iv,
+                })
+            }
+            Err(other) => Err(other),
+        }
+    }
+}
+
 /// Receiving half of one channel direction: a key plus the receiver counter.
+///
+/// The key schedule lives behind an `Arc` so [`RxContext::defer_open`]
+/// hands out handles at pointer cost instead of copying the AES round
+/// keys and GHASH tables per deferred block.
 #[derive(Debug, Clone)]
 pub struct RxContext {
-    gcm: AesGcm,
+    gcm: Arc<AesGcm>,
     direction: Direction,
     next_iv: u64,
 }
@@ -277,7 +333,7 @@ pub struct RxContext {
 impl RxContext {
     fn new(gcm: AesGcm, direction: Direction, initial_iv: u64) -> Self {
         RxContext {
-            gcm,
+            gcm: Arc::new(gcm),
             direction,
             next_iv: initial_iv,
         }
@@ -339,6 +395,21 @@ impl RxContext {
                 })
             }
             Err(other) => Err(other),
+        }
+    }
+
+    /// Reserves the current counter value for a message that arrived in
+    /// order but whose decryption is deferred: the counter advances *now*
+    /// (keeping the endpoints in lockstep), and the returned handle opens
+    /// the ciphertext later — out of order with other deferred opens, as
+    /// PipeLLM's decoupled decryption workers do.
+    pub fn defer_open(&mut self) -> DeferredOpen {
+        let iv = self.next_iv;
+        self.next_iv += 1;
+        DeferredOpen {
+            gcm: Arc::clone(&self.gcm),
+            nonce: nonce_from_iv(self.direction.tag(), iv),
+            iv,
         }
     }
 

@@ -23,6 +23,10 @@
 //! - [`cost`]: a calibrated throughput model for the CPU encryption engine,
 //!   used by the timing layer (`pipellm-sim`) so benchmarks can move
 //!   *virtual* multi-gigabyte payloads without encrypting them.
+//! - [`kv`]: multi-block sealing for the encrypted paged KV cache — a
+//!   group of KV blocks sealed back to back at consecutive channel IVs,
+//!   with AAD binding each block to its group, index, and size, and
+//!   deferred per-block opens so decryption can run off the critical path.
 //! - [`session`]: the multi-tenant session layer — [`session::SessionId`]
 //!   and [`session::SessionManager`], which derive per-session
 //!   [`channel::ChannelKeys`] from a root secret, own one channel pair per
@@ -58,6 +62,7 @@ pub mod channel;
 pub mod cost;
 pub mod gcm;
 pub mod hw;
+pub mod kv;
 pub mod reuse;
 pub mod session;
 

@@ -19,15 +19,17 @@
 //!   decryption from the memory copy API").
 
 use crate::memory::{DeviceMemory, DevicePtr, HostMemory, HostRegion, MemoryError, Payload};
-use crate::pages::{Access, PageRegistry};
+use crate::pages::{Access, PageRegistry, Protection};
 use crate::timing::IoTimingModel;
-use pipellm_crypto::channel::{Direction, SealedMessage, SecureChannel};
+use pipellm_crypto::channel::{DeferredOpen, Direction, SealedMessage, SecureChannel};
 use pipellm_crypto::gcm::TAG_LEN;
+use pipellm_crypto::kv;
 use pipellm_crypto::session::{SessionId, SessionManager};
 use pipellm_crypto::CryptoError;
 use pipellm_sim::resource::{GpuEngine, Link, Reservation, WorkerPool};
 use pipellm_sim::time::SimTime;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Whether confidential computing is enabled on the context.
@@ -110,6 +112,29 @@ pub struct TransferRecord {
     pub completed: SimTime,
     /// IV consumed on the wire, when CC is enabled.
     pub iv: Option<u64>,
+}
+
+/// One block of a swapped-out KV group whose device→host transfer has
+/// completed but whose host-side decryption is deferred (paper §5.4): the
+/// destination region is access-revoked under `cookie`, and `ciphertext`
+/// is the authoritative at-rest copy of the block until the owner opens it
+/// and stores the plaintext.
+#[derive(Debug)]
+pub struct DeferredKvOpen {
+    /// Destination (access-revoked) host region.
+    pub region: HostRegion,
+    /// Payload kind byte from the transfer descriptor.
+    pub kind: u8,
+    /// `ciphertext || tag` — genuine AES-GCM bytes sealed by the device.
+    pub ciphertext: Vec<u8>,
+    /// Associated data the ciphertext authenticates under.
+    pub aad: Arc<[u8]>,
+    /// Decryption handle at the IV reserved in wire order.
+    pub open: DeferredOpen,
+    /// When the scheduled background open completes on the crypto pool.
+    pub ready_at: SimTime,
+    /// Page-fault cookie guarding the revoked destination pages.
+    pub cookie: u64,
 }
 
 /// Timing of one asynchronous memcpy.
@@ -837,6 +862,107 @@ impl CudaContext {
         Ok((done, opened_payload))
     }
 
+    /// Swap-out of one paged KV group with deferred decryption — the
+    /// encrypted-KV-cache transfer path (§5.2/§5.4).
+    ///
+    /// Each `(dst, src)` block is sealed **on the device** at the active
+    /// session's next D2H IVs (consecutive, in eviction order, AAD-bound
+    /// to `group`/index/count via [`pipellm_crypto::kv`]), staged in a
+    /// buffer drawn from `pool`, and wired back to the host. The host
+    /// accepts every block in wire order — reserving its IV so the channel
+    /// endpoints stay in lockstep — but does **not** decrypt: each
+    /// destination region is [`Protection::AccessRevoked`] under its
+    /// cookie, a background open is scheduled on the crypto pool, and the
+    /// returned [`DeferredKvOpen`]s carry the at-rest ciphertext plus the
+    /// handles the owner uses to land the plaintext (or to decrypt
+    /// synchronously when a fault forces it). The call returns to the
+    /// issuing thread immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cookies.len() != blocks.len()`.
+    ///
+    /// The call is atomic: every failure mode is checked *before* the
+    /// first block seals, so an error leaves no IVs consumed, no pages
+    /// revoked, and no staging buffers drawn — a half-sealed group would
+    /// otherwise strand earlier blocks behind revocations whose deferred
+    /// opens were dropped.
+    ///
+    /// # Errors
+    ///
+    /// - [`GpuError::CcDisabled`] with CC off.
+    /// - [`GpuError::Memory`] for unknown device pointers.
+    /// - [`GpuError::Crypto`] ([`CryptoError::IvExhausted`]) if the group
+    ///   would run the session's D2H stream into its headroom.
+    pub fn swap_out_kv_group(
+        &mut self,
+        now: SimTime,
+        group: u64,
+        blocks: &[(HostRegion, DevicePtr)],
+        cookies: &[u64],
+        pool: &mut Vec<Vec<u8>>,
+    ) -> Result<Vec<DeferredKvOpen>, GpuError> {
+        if self.cc == CcMode::Off {
+            return Err(GpuError::CcDisabled);
+        }
+        assert_eq!(cookies.len(), blocks.len(), "one cookie per KV block");
+        // Validate up front so the seal loop below cannot fail midway.
+        for &(_, src) in blocks {
+            self.device_mem.get(src)?;
+        }
+        let remaining = self.channel().device().tx().remaining_ivs();
+        if remaining < blocks.len() as u64 {
+            return Err(GpuError::Crypto(CryptoError::IvExhausted {
+                iv: self.channel().device().tx().next_iv() + remaining,
+            }));
+        }
+        let count = blocks.len() as u32;
+        let mut deferred = Vec::with_capacity(blocks.len());
+        for (index, (&(dst, src), &cookie)) in blocks.iter().zip(cookies).enumerate() {
+            // Stage the block's plaintext into a pooled buffer; the same
+            // buffer becomes the sealed message's ciphertext storage and,
+            // once opened, the at-rest plaintext — no copies.
+            let (len, kind, buf) = {
+                let payload = self.device_mem.get(src)?;
+                let mut buf = pool.pop().unwrap_or_default();
+                buf.clear();
+                buf.reserve(payload.plaintext_len() + TAG_LEN);
+                let kind = payload.write_plaintext(&mut buf);
+                (payload.len(), kind, buf)
+            };
+            let aad = kv::kv_block_aad(kind, group, index as u32, count, len);
+            let sealed = self
+                .channel_mut()
+                .device_mut()
+                .tx_mut()
+                .seal_prepared(aad, buf)?;
+            let iv = sealed.iv;
+            // DMA of the ciphertext into CVM shared memory.
+            let wire = self.link.transfer(now, len);
+            let done = wire.end + self.timing.cc_control;
+            // The host accepts the block in wire order (IV reserved now)
+            // and schedules the open in the background.
+            let open = self.channel_mut().host_mut().rx_mut().defer_open();
+            let open_time = self.timing.crypto.open_time(len);
+            let reservation = self.crypto_pool.reserve(done, open_time);
+            self.pages.protect(dst, Protection::AccessRevoked, cookie);
+            self.record(Direction::DeviceToHost, dst, src, len, now, done, Some(iv));
+            self.stats.d2h_ops += 1;
+            self.stats.d2h_bytes += len;
+            self.pending.push(done);
+            deferred.push(DeferredKvOpen {
+                region: dst,
+                kind,
+                ciphertext: sealed.bytes,
+                aad: sealed.aad,
+                open,
+                ready_at: reservation.end,
+                cookie,
+            });
+        }
+        Ok(deferred)
+    }
+
     /// Stores a payload into host memory bypassing page protection — the
     /// interposer's own store path (it manages protection itself).
     ///
@@ -1101,6 +1227,101 @@ mod tests {
             c.host().get(dst_host.addr).unwrap().payload(),
             &Payload::Real(vec![9u8; 8])
         );
+    }
+
+    #[test]
+    fn kv_group_swap_out_defers_opens_behind_revoked_pages() {
+        let mut c = ctx(CcMode::On);
+        let data_a = vec![0xaau8; 256];
+        let data_b = vec![0xbbu8; 256];
+        let (dev_a, dev_b) = (c.alloc_device(256).unwrap(), c.alloc_device(256).unwrap());
+        c.device_memory_mut()
+            .store(dev_a, Payload::Real(data_a.clone()))
+            .unwrap();
+        c.device_memory_mut()
+            .store(dev_b, Payload::Real(data_b.clone()))
+            .unwrap();
+        let host_a = c.host_mut().alloc_real(vec![0u8; 256]);
+        let host_b = c.host_mut().alloc_real(vec![0u8; 256]);
+        let before = c.session_counters(SessionId::DEFAULT).unwrap();
+        let deferred = c
+            .swap_out_kv_group(
+                SimTime::ZERO,
+                42,
+                &[(host_a, dev_a), (host_b, dev_b)],
+                &[501, 502],
+                &mut Vec::new(),
+            )
+            .unwrap();
+        assert_eq!(deferred.len(), 2);
+        // Both destination regions are access-revoked under their cookies.
+        assert_eq!(
+            c.pages_mut().protection_of(host_a),
+            Some(Protection::AccessRevoked)
+        );
+        assert_eq!(
+            c.pages_mut().protection_of(host_b),
+            Some(Protection::AccessRevoked)
+        );
+        // The channel advanced two D2H IVs on both endpoints (lockstep).
+        let after = c.session_counters(SessionId::DEFAULT).unwrap();
+        assert_eq!(after.d2h_tx, before.d2h_tx + 2);
+        assert!(after.in_lockstep(), "{after:?}");
+        // The at-rest bytes are genuine ciphertext, and the deferred opens
+        // recover the exact plaintext — out of order.
+        let [a, b]: [DeferredKvOpen; 2] = deferred.try_into().unwrap();
+        assert_ne!(&a.ciphertext[..256], data_a.as_slice());
+        assert!(a.ready_at > SimTime::ZERO);
+        for (d, want) in [(b, data_b), (a, data_a)] {
+            let mut buf = d.ciphertext;
+            d.open.open_in_place(&d.aad, &mut buf).unwrap();
+            assert_eq!(buf, want);
+        }
+    }
+
+    #[test]
+    fn kv_group_swap_out_is_atomic_near_iv_exhaustion() {
+        use pipellm_crypto::channel::IV_LIMIT;
+        let mut c = ctx(CcMode::On);
+        // One D2H IV left; a two-block group cannot seal.
+        let sid = c
+            .session_manager_mut()
+            .open_with_initial_ivs(1, IV_LIMIT - 1);
+        c.set_session(sid).unwrap();
+        let mut pairs = Vec::new();
+        for _ in 0..2 {
+            let dev = c.alloc_device(64).unwrap();
+            let host = c.host_mut().alloc_real(vec![0u8; 64]);
+            pairs.push((host, dev));
+        }
+        let mut pool = vec![Vec::with_capacity(128)];
+        let before = c.session_counters(sid).unwrap();
+        let err = c
+            .swap_out_kv_group(SimTime::ZERO, 5, &pairs, &[1, 2], &mut pool)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            GpuError::Crypto(CryptoError::IvExhausted { .. })
+        ));
+        // Nothing moved: no revocations, no IVs consumed, no staging
+        // buffers drawn — a half-sealed group would strand block 0
+        // behind a revocation whose deferred open was dropped.
+        assert_eq!(c.pages_mut().protection_of(pairs[0].0), None);
+        assert_eq!(c.pages_mut().protection_of(pairs[1].0), None);
+        assert_eq!(c.session_counters(sid).unwrap(), before);
+        assert_eq!(pool.len(), 1, "no buffer was consumed");
+        assert_eq!(c.stats().d2h_ops, 0);
+    }
+
+    #[test]
+    fn kv_group_swap_out_requires_cc() {
+        let mut c = ctx(CcMode::Off);
+        let dev = c.alloc_device(16).unwrap();
+        let host = c.host_mut().alloc_real(vec![0u8; 16]);
+        assert!(matches!(
+            c.swap_out_kv_group(SimTime::ZERO, 1, &[(host, dev)], &[9], &mut Vec::new()),
+            Err(GpuError::CcDisabled)
+        ));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod runtime;
 pub mod timing;
 
 pub use cluster::{ClusterConfig, ClusterContext, ClusterRuntime, EdgeId, EdgeStats, NvLinkModel};
-pub use context::{CcMode, CudaContext, GpuError, SessionCounters};
+pub use context::{CcMode, CudaContext, DeferredKvOpen, GpuError, SessionCounters};
 pub use memory::{DevicePtr, HostAddr, HostMemory, HostRegion, Payload};
 pub use pipellm_crypto::session::SessionId;
 pub use runtime::{CcNativeRuntime, CcOffRuntime, GpuRuntime, SessionRuntime, SessionedRuntime};

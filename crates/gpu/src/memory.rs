@@ -31,9 +31,13 @@ pub struct HostRegion {
 }
 
 impl HostRegion {
-    /// Whether this region overlaps `other`.
+    /// Whether this region overlaps `other`. Regions whose end would pass
+    /// `u64::MAX` are treated as ending there (saturating), so ranges near
+    /// the top of the address space — e.g. sentinel cookies — never
+    /// overflow the comparison.
     pub fn overlaps(&self, other: &HostRegion) -> bool {
-        self.addr.0 < other.addr.0 + other.len && other.addr.0 < self.addr.0 + self.len
+        self.addr.0 < other.addr.0.saturating_add(other.len)
+            && other.addr.0 < self.addr.0.saturating_add(self.len)
     }
 }
 

@@ -90,12 +90,18 @@ impl PageRegistry {
     /// pages to plain access after resolving, as PipeLLM does). Reads only
     /// fault on [`Protection::AccessRevoked`] ranges; writes fault on both.
     pub fn access(&mut self, region: HostRegion, access: Access) -> Vec<u64> {
+        if region.len == 0 {
+            return Vec::new();
+        }
         let mut hit = Vec::new();
-        // Candidate ranges start before region's end; scan those that could
-        // overlap. Ranges are sparse, so a bounded reverse walk suffices.
+        // Candidate ranges start at or before the region's last byte; scan
+        // those that could overlap. The bound is inclusive and computed
+        // saturating so accesses near `u64::MAX` cannot overflow (a checked
+        // `addr + len` panics in debug builds for such ranges).
+        let last_byte = region.addr.0.saturating_add(region.len - 1);
         let overlapping: Vec<u64> = self
             .ranges
-            .range(..region.addr.0 + region.len)
+            .range(..=last_byte)
             .filter(|(_, r)| r.region.overlaps(&region))
             .filter(|(_, r)| match (r.protection, access) {
                 (Protection::WriteProtected, Access::Read) => false,
@@ -202,6 +208,27 @@ mod tests {
         assert!(reg.unprotect(r));
         assert!(!reg.unprotect(r));
         assert!(reg.access(r, Access::Write).is_empty());
+    }
+
+    #[test]
+    fn ranges_near_address_space_top_do_not_overflow() {
+        // Regression test: the scan bound was `addr + len`, which panics
+        // on overflow in debug builds for ranges near `u64::MAX` (the
+        // sentinel regions the speculation decoys use live up there).
+        let mut reg = PageRegistry::new();
+        let top = region(u64::MAX - 0x10, 0x11); // ends exactly at u64::MAX
+        reg.protect(top, Protection::AccessRevoked, 3);
+        // An access whose end saturates must still fault on the range...
+        let cookies = reg.access(region(u64::MAX - 0x20, 0x100), Access::Read);
+        assert_eq!(cookies, vec![3]);
+        // ...and one that misses it must not.
+        reg.protect(top, Protection::AccessRevoked, 3);
+        assert!(reg
+            .access(region(u64::MAX - 0x100, 0x10), Access::Read)
+            .is_empty());
+        // A zero-length access faults on nothing.
+        assert!(reg.access(region(u64::MAX, 0), Access::Write).is_empty());
+        assert_eq!(reg.protected_ranges(), 1);
     }
 
     #[test]

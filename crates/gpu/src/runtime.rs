@@ -76,6 +76,51 @@ pub trait GpuRuntime {
         src: DevicePtr,
     ) -> Result<SimTime, GpuError>;
 
+    /// Swaps a paged KV group out to host staging: one `(dst, src)` pair
+    /// per block, in eviction order. Returns the API-return time.
+    ///
+    /// The default implementation issues one native device→host copy per
+    /// block — with CC enabled each block is sealed at its own channel IV
+    /// and decrypted on the critical path, the native-CC cost an
+    /// interposing runtime removes by deferring the opens.
+    ///
+    /// # Errors
+    ///
+    /// As [`GpuRuntime::memcpy_dtoh`].
+    fn kv_swap_out(
+        &mut self,
+        now: SimTime,
+        blocks: &[(HostRegion, DevicePtr)],
+    ) -> Result<SimTime, GpuError> {
+        let mut cpu = now;
+        for &(dst, src) in blocks {
+            cpu = self.memcpy_dtoh(cpu, dst, src)?;
+        }
+        Ok(cpu)
+    }
+
+    /// Swaps a paged KV group back onto the device: one `(dst, src)` pair
+    /// per block, in reload order. Returns the API-return time.
+    ///
+    /// The default implementation issues one host→device copy per block;
+    /// an interposing runtime serves the blocks from pre-encrypted
+    /// ciphertext instead.
+    ///
+    /// # Errors
+    ///
+    /// As [`GpuRuntime::memcpy_htod`].
+    fn kv_swap_in(
+        &mut self,
+        now: SimTime,
+        blocks: &[(DevicePtr, HostRegion)],
+    ) -> Result<SimTime, GpuError> {
+        let mut cpu = now;
+        for &(dst, src) in blocks {
+            cpu = self.memcpy_htod(cpu, dst, src)?;
+        }
+        Ok(cpu)
+    }
+
     /// Waits for all outstanding copies; returns the completion time.
     fn synchronize(&mut self, now: SimTime) -> SimTime;
 
@@ -145,6 +190,20 @@ impl<T: GpuRuntime + ?Sized> GpuRuntime for Box<T> {
         src: DevicePtr,
     ) -> Result<SimTime, GpuError> {
         (**self).memcpy_dtoh(now, dst, src)
+    }
+    fn kv_swap_out(
+        &mut self,
+        now: SimTime,
+        blocks: &[(HostRegion, DevicePtr)],
+    ) -> Result<SimTime, GpuError> {
+        (**self).kv_swap_out(now, blocks)
+    }
+    fn kv_swap_in(
+        &mut self,
+        now: SimTime,
+        blocks: &[(DevicePtr, HostRegion)],
+    ) -> Result<SimTime, GpuError> {
+        (**self).kv_swap_in(now, blocks)
     }
     fn synchronize(&mut self, now: SimTime) -> SimTime {
         (**self).synchronize(now)
@@ -288,6 +347,20 @@ impl<R: SessionedRuntime> GpuRuntime for SessionRuntime<'_, R> {
         src: DevicePtr,
     ) -> Result<SimTime, GpuError> {
         self.pinned().memcpy_dtoh(now, dst, src)
+    }
+    fn kv_swap_out(
+        &mut self,
+        now: SimTime,
+        blocks: &[(HostRegion, DevicePtr)],
+    ) -> Result<SimTime, GpuError> {
+        self.pinned().kv_swap_out(now, blocks)
+    }
+    fn kv_swap_in(
+        &mut self,
+        now: SimTime,
+        blocks: &[(DevicePtr, HostRegion)],
+    ) -> Result<SimTime, GpuError> {
+        self.pinned().kv_swap_in(now, blocks)
     }
     fn synchronize(&mut self, now: SimTime) -> SimTime {
         self.pinned().synchronize(now)

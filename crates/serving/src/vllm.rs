@@ -23,8 +23,8 @@
 use crate::engine::ServingEngine;
 use crate::report::{ServingReport, SwapPolicy};
 use pipellm_gpu::memory::{DevicePtr, HostRegion, Payload};
-use pipellm_gpu::runtime::GpuRuntime;
-use pipellm_gpu::GpuError;
+use pipellm_gpu::runtime::{GpuRuntime, SessionedRuntime};
+use pipellm_gpu::{GpuError, SessionId};
 use pipellm_llm::{GpuComputeModel, ModelSpec};
 use pipellm_sim::events::EventQueue;
 use pipellm_sim::metrics::Samples;
@@ -47,6 +47,11 @@ pub struct VllmConfig {
     pub max_batch_seqs: usize,
     /// Swap policy.
     pub policy: SwapPolicy,
+    /// Maximum staging chunks ("swap pages") a preempted group's KV is
+    /// split into. Each page covers a whole number of KV blocks and moves
+    /// as one sealed transfer, so the encrypted swap pipeline sees a
+    /// paged stream it can predict per page.
+    pub swap_pages: usize,
 }
 
 impl VllmConfig {
@@ -59,6 +64,7 @@ impl VllmConfig {
             workspace_bytes: 2_000_000_000,
             max_batch_seqs: 256,
             policy: SwapPolicy::RequestLifo,
+            swap_pages: 4,
         }
     }
 
@@ -77,8 +83,9 @@ struct Group {
     generated: u32,
     /// GPU blocks currently held.
     blocks: u64,
-    /// Host chunk holding the KV while swapped out.
-    swap_chunk: Option<HostRegion>,
+    /// Host staging chunks holding the paged KV while swapped out, in
+    /// eviction order (reloads run in reverse — LIFO).
+    swap_chunks: Vec<HostRegion>,
     /// Whether the prompt has been prefilled.
     prefilled: bool,
     /// Guard against swap thrashing within one step.
@@ -91,7 +98,7 @@ impl Group {
             request,
             generated: 0,
             blocks: 0,
-            swap_chunk: None,
+            swap_chunks: Vec::new(),
             prefilled: false,
             arrived_this_step: false,
         }
@@ -119,11 +126,6 @@ impl Group {
             * (u64::from(self.request.prompt_tokens) + u64::from(self.generated))
     }
 
-    /// KV bytes currently materialized (what a swap moves).
-    fn kv_bytes(&self, config: &VllmConfig) -> u64 {
-        self.blocks_needed(config.block_tokens) * config.block_bytes()
-    }
-
     fn done(&self) -> bool {
         self.generated >= self.request.output_tokens
     }
@@ -136,6 +138,13 @@ pub struct VllmEngine<R: GpuRuntime> {
     config: VllmConfig,
     total_blocks: u64,
     free_blocks: u64,
+    /// Blocks granted beyond the pool by the progress-guarantee valve
+    /// (overcommit debt). Returned blocks pay this down before refilling
+    /// the free pool, so `free + running == total + debt` holds exactly —
+    /// no clamping that would mask accounting drift.
+    overcommit_blocks: u64,
+    /// Times the progress-guarantee valve opened.
+    overcommits: u64,
     arrivals: EventQueue<Request>,
     waiting: VecDeque<Group>,
     running: Vec<Group>,
@@ -171,6 +180,8 @@ impl<R: GpuRuntime> VllmEngine<R> {
             config,
             total_blocks,
             free_blocks: total_blocks,
+            overcommit_blocks: 0,
+            overcommits: 0,
             arrivals: EventQueue::new(),
             waiting: VecDeque::new(),
             running: Vec::new(),
@@ -191,6 +202,65 @@ impl<R: GpuRuntime> VllmEngine<R> {
     /// Total KV blocks in the GPU pool.
     pub fn total_blocks(&self) -> u64 {
         self.total_blocks
+    }
+
+    /// Free blocks in the GPU pool.
+    pub fn free_blocks(&self) -> u64 {
+        self.free_blocks
+    }
+
+    /// Blocks currently granted beyond the pool (overcommit debt).
+    pub fn overcommit_blocks(&self) -> u64 {
+        self.overcommit_blocks
+    }
+
+    /// Times the progress-guarantee overcommit valve has opened.
+    pub fn overcommit_events(&self) -> u64 {
+        self.overcommits
+    }
+
+    /// Blocks currently held by running groups.
+    pub fn running_blocks(&self) -> u64 {
+        self.running.iter().map(|g| g.blocks).sum()
+    }
+
+    /// Grants `n` blocks even when the pool is dry, recording the excess
+    /// as overcommit debt (the progress-guarantee valve; real systems
+    /// recompute the KV instead).
+    fn force_reserve_blocks(&mut self, n: u64) {
+        let from_free = n.min(self.free_blocks);
+        self.free_blocks -= from_free;
+        if n > from_free {
+            self.overcommit_blocks += n - from_free;
+            self.overcommits += 1;
+        }
+    }
+
+    /// Returns `n` blocks, paying overcommit debt before refilling the
+    /// free pool.
+    fn release_blocks(&mut self, n: u64) {
+        let pay = n.min(self.overcommit_blocks);
+        self.overcommit_blocks -= pay;
+        self.free_blocks += n - pay;
+    }
+
+    /// Splits a KV footprint of `blocks` blocks into at most
+    /// [`VllmConfig::swap_pages`] staging chunks of whole blocks (the
+    /// last chunk takes the remainder) — the pages the encrypted swap
+    /// pipeline moves as individual sealed transfers.
+    fn swap_chunk_lens(&self, blocks: u64) -> Vec<u64> {
+        let block_bytes = self.config.block_bytes().max(1);
+        let blocks = blocks.max(1);
+        let pages = self.config.swap_pages.max(1) as u64;
+        let per_chunk = blocks.div_ceil(pages).max(1);
+        let mut lens = Vec::new();
+        let mut remaining = blocks;
+        while remaining > 0 {
+            let n = per_chunk.min(remaining);
+            lens.push(n * block_bytes);
+            remaining -= n;
+        }
+        lens
     }
 
     /// The configuration this engine was loaded with.
@@ -264,14 +334,16 @@ impl<R: GpuRuntime> VllmEngine<R> {
             if needed > self.free_blocks || self.running.len() >= self.config.max_batch_seqs {
                 break;
             }
+            // Stage the whole paged reload up front; if device memory
+            // cannot hold the staging (in-flight transfers), defer the
+            // resume to a later step instead of truncating the copy.
+            let Some(pairs) = self.alloc_swap_in(idx)? else {
+                break;
+            };
+            cpu = self.rt.kv_swap_in(cpu, &pairs)?;
             let mut group = self.swapped.remove(idx);
-            let chunk = group
-                .swap_chunk
-                .take()
-                .expect("swapped groups hold a chunk");
-            let dst = self.rt.alloc_device(chunk.len)?;
-            cpu = self.rt.memcpy_htod(cpu, dst, chunk)?;
-            releases.push((dst, chunk));
+            group.swap_chunks.clear();
+            releases.extend(pairs);
             self.free_blocks -= needed;
             group.blocks = needed;
             group.arrived_this_step = true;
@@ -296,34 +368,51 @@ impl<R: GpuRuntime> VllmEngine<R> {
         }
 
         // 4b. Progress guarantee: if nothing is runnable but work exists,
-        // force in one group (smallest footprint) even if accounting must
-        // overcommit — a safety valve real systems handle by recomputation.
+        // force in one group even if accounting must overcommit — a
+        // safety valve real systems handle by recomputation.
         if self.running.is_empty() {
             if let Some(at) = self.arrivals.peek_time() {
                 if self.waiting.is_empty() && self.swapped.is_empty() {
                     return Ok(now.max(at));
                 }
             }
+            let mut resumed = false;
             if let Some(idx) = self.next_resume_index() {
-                let mut group = self.swapped.remove(idx);
-                if let Some(chunk) = group.swap_chunk.take() {
-                    let dst = self
-                        .rt
-                        .alloc_device(chunk.len.min(self.rt.device_free_bytes()))?;
-                    cpu = self.rt.memcpy_htod(cpu, dst, chunk)?;
-                    releases.push((dst, chunk));
+                // Full-size staging only: a reload that cannot be staged
+                // falls through to a fresh admission (or errors) instead
+                // of silently transferring fewer bytes than the group's
+                // KV footprint.
+                if let Some(pairs) = self.alloc_swap_in(idx)? {
+                    cpu = self.rt.kv_swap_in(cpu, &pairs)?;
+                    let mut group = self.swapped.remove(idx);
+                    group.swap_chunks.clear();
+                    releases.extend(pairs);
+                    group.blocks = group.blocks_needed(self.config.block_tokens);
+                    self.force_reserve_blocks(group.blocks);
+                    group.arrived_this_step = true;
+                    self.running.push(group);
+                    resumed = true;
                 }
-                group.blocks = group.blocks_needed(self.config.block_tokens);
-                self.free_blocks = self.free_blocks.saturating_sub(group.blocks);
-                group.arrived_this_step = true;
-                self.running.push(group);
-            } else if let Some(mut group) = self.waiting.pop_front() {
-                group.blocks = group.blocks_after_step(self.config.block_tokens);
-                self.free_blocks = self.free_blocks.saturating_sub(group.blocks);
-                group.arrived_this_step = true;
-                self.running.push(group);
-            } else {
-                return Ok(now);
+            }
+            if !resumed {
+                if let Some(mut group) = self.waiting.pop_front() {
+                    group.blocks = group.blocks_after_step(self.config.block_tokens);
+                    self.force_reserve_blocks(group.blocks);
+                    group.arrived_this_step = true;
+                    self.running.push(group);
+                } else if let Some(idx) = self.next_resume_index() {
+                    // A swapped group exists but its reload cannot even be
+                    // staged: surface the out-of-memory condition.
+                    let requested: u64 = self.swapped[idx].swap_chunks.iter().map(|c| c.len).sum();
+                    return Err(GpuError::Memory(
+                        pipellm_gpu::memory::MemoryError::DeviceOutOfMemory {
+                            requested,
+                            free: self.rt.device_free_bytes(),
+                        },
+                    ));
+                } else {
+                    return Ok(now);
+                }
             }
         }
 
@@ -360,28 +449,21 @@ impl<R: GpuRuntime> VllmEngine<R> {
                 cpu = self.swap_out(cpu, i)?;
             } else {
                 // Alone (or just resumed): overcommit rather than livelock.
-                self.free_blocks = self.free_blocks.saturating_sub(extra);
+                self.force_reserve_blocks(extra);
                 self.running[i].blocks = need;
             }
         }
 
         if self.running.is_empty() {
-            for (dst, chunk) in releases.drain(..) {
-                let done = self.rt.synchronize(cpu);
-                let _ = done;
-                self.rt.free_device(dst)?;
-                self.rt.free_host(chunk.addr)?;
-            }
-            return Ok(now);
+            // The batch drained, but the swap-ins issued this step still
+            // ran: their transfer time is part of the simulated clock
+            // (discarding the synchronized time here silently erased it).
+            return self.finish_transfers(cpu, &mut releases);
         }
 
         // 6. Swap-ins are on the critical path: the step starts when all
         // transfers have landed.
-        let inputs_ready = self.rt.synchronize(cpu);
-        for (dst, chunk) in releases.drain(..) {
-            self.rt.free_device(dst)?;
-            self.rt.free_host(chunk.addr)?;
-        }
+        let inputs_ready = self.finish_transfers(cpu, &mut releases)?;
 
         // 7. Compute: prefills for fresh groups plus one decode iteration.
         let mut compute_end = inputs_ready;
@@ -412,7 +494,7 @@ impl<R: GpuRuntime> VllmEngine<R> {
             self.running[idx].generated += 1;
             if self.running[idx].done() {
                 let group = self.running.swap_remove(idx);
-                self.free_blocks = (self.free_blocks + group.blocks).min(self.total_blocks);
+                self.release_blocks(group.blocks);
                 let latency = compute_end.saturating_since(group.request.arrival);
                 let norm = latency.as_secs_f64() / f64::from(group.request.output_tokens).max(1.0);
                 self.latencies.record(norm);
@@ -449,23 +531,123 @@ impl<R: GpuRuntime> VllmEngine<R> {
             .map(|(i, _)| i)
     }
 
-    /// Swaps out the running group at `idx`; returns the CPU clock after
-    /// issuing the copy.
+    /// Swaps out the running group at `idx` through the paged encrypted
+    /// KV-cache path: the group's footprint is split into whole-block
+    /// staging pages, each moved as its own sealed transfer (one IV per
+    /// page, drawn from the engine's session). Returns the CPU clock
+    /// after issuing the copies.
+    ///
+    /// Device staging is allocated at full page size; if it does not fit,
+    /// the out-of-memory error propagates instead of shrinking the copy.
     fn swap_out(&mut self, now: SimTime, idx: usize) -> Result<SimTime, GpuError> {
         let mut group = self.running.swap_remove(idx);
-        let kv_bytes = group.kv_bytes(&self.config).max(1);
-        let chunk = self.rt.alloc_host(Payload::virtual_of(kv_bytes));
-        let src = self
-            .rt
-            .alloc_device(kv_bytes.min(self.rt.device_free_bytes()))?;
-        let cpu = self.rt.memcpy_dtoh(now, chunk, src)?;
-        self.rt.free_device(src)?;
-        self.free_blocks = (self.free_blocks + group.blocks).min(self.total_blocks);
+        let blocks = group.blocks_needed(self.config.block_tokens);
+        let mut pairs: Vec<(HostRegion, DevicePtr)> = Vec::new();
+        for len in self.swap_chunk_lens(blocks) {
+            let chunk = self.rt.alloc_host(Payload::virtual_of(len));
+            match self.rt.alloc_device(len) {
+                Ok(src) => pairs.push((chunk, src)),
+                Err(err) => {
+                    // Unwind cleanly: the group stays running, nothing
+                    // was transferred, and the OOM surfaces to the caller.
+                    self.rt.free_host(chunk.addr)?;
+                    for (c, s) in pairs {
+                        self.rt.free_device(s)?;
+                        self.rt.free_host(c.addr)?;
+                    }
+                    self.running.push(group);
+                    return Err(err);
+                }
+            }
+        }
+        let cpu = match self.rt.kv_swap_out(now, &pairs) {
+            Ok(cpu) => cpu,
+            Err(err) => {
+                // The group transfer is atomic, so nothing moved: release
+                // the staging and keep the group running — the engine
+                // stays consistent for callers that handle the error.
+                for (chunk, src) in pairs {
+                    self.rt.free_device(src)?;
+                    self.rt.free_host(chunk.addr)?;
+                }
+                self.running.push(group);
+                return Err(err);
+            }
+        };
+        for (chunk, src) in pairs {
+            self.rt.free_device(src)?;
+            group.swap_chunks.push(chunk);
+        }
+        self.release_blocks(group.blocks);
         group.blocks = 0;
-        group.swap_chunk = Some(chunk);
         self.preemptions += 1;
         self.swapped.push(group);
         Ok(cpu)
+    }
+
+    /// Allocates device destinations for every staged page of swapped
+    /// group `idx`, in reload (LIFO — reverse of eviction) order. Returns
+    /// `None`, freeing any partial allocations, when device memory cannot
+    /// stage the full reload.
+    fn alloc_swap_in(
+        &mut self,
+        idx: usize,
+    ) -> Result<Option<Vec<(DevicePtr, HostRegion)>>, GpuError> {
+        let chunks: Vec<HostRegion> = self.swapped[idx]
+            .swap_chunks
+            .iter()
+            .rev()
+            .copied()
+            .collect();
+        let mut pairs = Vec::with_capacity(chunks.len());
+        for chunk in chunks {
+            match self.rt.alloc_device(chunk.len) {
+                Ok(dst) => pairs.push((dst, chunk)),
+                Err(GpuError::Memory(_)) => {
+                    for (dst, _) in pairs {
+                        self.rt.free_device(dst)?;
+                    }
+                    return Ok(None);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        Ok(Some(pairs))
+    }
+
+    /// Waits for the in-flight swap-ins and releases their staging.
+    /// Returns the synchronized completion time (never earlier than
+    /// `cpu`) — the step's clock must include the transfer time even when
+    /// the batch drained.
+    fn finish_transfers(
+        &mut self,
+        cpu: SimTime,
+        releases: &mut Vec<(DevicePtr, HostRegion)>,
+    ) -> Result<SimTime, GpuError> {
+        let done = self.rt.synchronize(cpu);
+        for (dst, chunk) in releases.drain(..) {
+            self.rt.free_device(dst)?;
+            self.rt.free_host(chunk.addr)?;
+        }
+        Ok(done)
+    }
+}
+
+impl<R: SessionedRuntime> VllmEngine<R> {
+    /// Opens a dedicated tenant session and routes all of this engine's
+    /// subsequent traffic — including the paged KV swap crypto — through
+    /// it. The engine owns its runtime, so the session stays active for
+    /// the engine's lifetime; a multi-tenant deployment gives each engine
+    /// its own channel keys, IV streams, and speculation state this way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GpuError::UnknownSession`] (not expected: the session
+    /// was just opened).
+    pub fn bind_session(&mut self) -> Result<SessionId, GpuError> {
+        let session = self.rt.open_session();
+        self.rt.set_session(session)?;
+        Ok(session)
     }
 }
 
@@ -613,6 +795,157 @@ mod tests {
         let n = trace.len() as u64;
         let report = engine.serve(&trace).unwrap();
         assert_eq!(report.completed, n);
+    }
+
+    #[test]
+    fn drained_batch_step_returns_synchronized_time() {
+        // Regression: the drained-batch early return called
+        // `synchronize` and discarded the result, so swap-in transfer
+        // time silently vanished from the simulated clock.
+        let rt = CcNativeRuntime::new(IoTimingModel::default(), 80 * GB, 1);
+        let mut engine = VllmEngine::load(rt, config(), "drain").unwrap();
+        let len = 64 << 20;
+        let dst = engine.rt.alloc_device(len).unwrap();
+        let chunk = engine.rt.alloc_host(Payload::virtual_of(len));
+        let t = engine.rt.memcpy_htod(SimTime::ZERO, dst, chunk).unwrap();
+        let mut releases = vec![(dst, chunk)];
+        let done = engine.finish_transfers(t, &mut releases).unwrap();
+        assert!(
+            done > SimTime::ZERO,
+            "transfer time must survive the drain path"
+        );
+        assert!(releases.is_empty(), "staging was released");
+    }
+
+    #[test]
+    fn swap_out_surfaces_oom_instead_of_truncating() {
+        // Regression: eviction staging was allocated at
+        // `min(kv_bytes, device_free_bytes)`, silently copying fewer
+        // bytes than the group's KV footprint under memory pressure.
+        let rt = CcOffRuntime::new(IoTimingModel::default(), 80 * GB, 1);
+        let mut engine = VllmEngine::load(rt, config(), "oom").unwrap();
+        let free = engine.rt.device_free_bytes();
+        let _hog = engine.rt.alloc_device(free - 1024).unwrap();
+        let req = trace(1.0, 6, 10.0)[0];
+        let mut group = Group::new(req);
+        group.blocks = group.blocks_needed(engine.config.block_tokens);
+        let held = group.blocks;
+        engine.free_blocks -= held.min(engine.free_blocks);
+        engine.running.push(group);
+        let err = engine.swap_out(SimTime::ZERO, 0).unwrap_err();
+        assert!(matches!(err, GpuError::Memory(_)), "{err}");
+        // The group is still running, nothing was transferred, and no
+        // staging leaked.
+        assert_eq!(engine.running.len(), 1);
+        assert!(engine.swapped.is_empty());
+        assert_eq!(engine.running[0].blocks, held);
+        assert_eq!(engine.rt.device_free_bytes(), 1024);
+    }
+
+    #[test]
+    fn block_accounting_invariant_across_scheduler_transitions() {
+        // `free + running == total + overcommit_debt` must hold exactly
+        // after every scheduler iteration — admit, grow, preempt, resume,
+        // retire — with no clamps masking drift.
+        let scenarios: &[(Dataset, f64, u32, f64, u64)] = &[
+            // Heavy swapping: admit/grow/preempt/resume all fire.
+            (Dataset::ShareGpt, 1.2, 6, 90.0, 80 * GB),
+            // Light load: admit/grow/retire only.
+            (Dataset::Alpaca, 1.0, 2, 60.0, 80 * GB),
+            // Pathologically small pool: the overcommit valve opens.
+            (Dataset::ShareGpt, 0.5, 4, 60.0, 62 * GB),
+        ];
+        let mut valve_opened = false;
+        for &(dataset, rate, parallel, secs, capacity) in scenarios {
+            let rt = CcOffRuntime::new(IoTimingModel::default(), capacity, 1);
+            let mut engine = VllmEngine::load(rt, config(), "invariant").unwrap();
+            let trace = TraceConfig::new(dataset, rate)
+                .duration_secs(secs)
+                .parallel(parallel)
+                .seed(17)
+                .generate();
+            engine
+                .arrivals
+                .extend(trace.iter().map(|r| (r.arrival, *r)));
+            let mut now = SimTime::ZERO;
+            let mut steps = 0u64;
+            while !(engine.arrivals.is_empty()
+                && engine.waiting.is_empty()
+                && engine.running.is_empty()
+                && engine.swapped.is_empty())
+            {
+                now = engine.step(now).unwrap();
+                steps += 1;
+                assert_eq!(
+                    engine.free_blocks() + engine.running_blocks(),
+                    engine.total_blocks() + engine.overcommit_blocks(),
+                    "accounting drifted after step {steps} at rate {rate} \
+                     with capacity {capacity}"
+                );
+                assert!(
+                    engine.swapped.iter().all(|g| g.blocks == 0),
+                    "swapped groups must hold no blocks"
+                );
+            }
+            assert_eq!(engine.free_blocks(), engine.total_blocks());
+            assert_eq!(engine.overcommit_blocks(), 0, "debt fully repaid");
+            valve_opened |= engine.overcommit_events() > 0;
+        }
+        assert!(valve_opened, "the tiny pool must exercise the valve");
+    }
+
+    #[test]
+    fn bound_session_carries_the_engine_swap_crypto() {
+        let rt = CcNativeRuntime::new(IoTimingModel::default(), 80 * GB, 1);
+        let mut engine = VllmEngine::load(rt, config(), "tenant").unwrap();
+        let session = engine.bind_session().unwrap();
+        assert_ne!(session, SessionId::DEFAULT);
+        let trace = TraceConfig::new(Dataset::ShareGpt, 1.2)
+            .duration_secs(90.0)
+            .parallel(6)
+            .seed(3)
+            .generate();
+        let report = engine.serve(&trace).unwrap();
+        assert!(report.preemptions > 0, "the point of the test is swapping");
+        let counters = engine.runtime().session_counters(session).unwrap();
+        assert!(counters.in_lockstep(), "{counters:?}");
+        assert!(
+            counters.d2h_tx > 1,
+            "swap-outs must be sealed under the tenant session: {counters:?}"
+        );
+        let default = engine
+            .runtime()
+            .session_counters(SessionId::DEFAULT)
+            .unwrap();
+        assert_eq!(default.d2h_tx, 1, "default session carried no swaps");
+    }
+
+    #[test]
+    fn paged_swap_speculates_and_pre_decrypts_on_pipellm() {
+        use pipellm::{PipeLlmConfig, PipeLlmRuntime};
+        let rt = PipeLlmRuntime::new(PipeLlmConfig {
+            device_capacity: 80 * GB,
+            crypto_threads: 2,
+            ..PipeLlmConfig::default()
+        });
+        let mut engine = VllmEngine::load(rt, config(), "pipellm paged").unwrap();
+        let trace = TraceConfig::new(Dataset::ShareGpt, 1.0)
+            .duration_secs(120.0)
+            .parallel(6)
+            .seed(5)
+            .generate();
+        let report = engine.serve(&trace).unwrap();
+        assert!(report.preemptions > 0, "the point of the test is swapping");
+        let stats = engine.runtime().spec_stats();
+        assert!(stats.async_decrypts > 0, "{stats}");
+        assert!(
+            stats.pre_decrypts > 0,
+            "LIFO reloads must be pre-decrypted: {stats}"
+        );
+        assert!(
+            stats.spec_hits > 0,
+            "paged LIFO reloads must hit pre-encryption: {stats}"
+        );
     }
 
     #[test]
