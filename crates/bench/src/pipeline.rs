@@ -38,12 +38,20 @@ pub struct PipelineRow {
     pub lockstep: bool,
 }
 
+/// Crypto worker threads per device at every scale point: the paper's
+/// multi-threaded engine (§7.2), the same k for all three systems — native
+/// CC gang-shards its blocking seals across the pool exactly like
+/// PipeLLM's speculative seals, so the comparison isolates *pipelining*,
+/// not thread count.
+pub const CRYPTO_THREADS: usize = 4;
+
 /// The engine configuration used at every scale point.
 fn config(stages: usize, micro_batches: usize, iterations: usize) -> PipelineConfig {
     PipelineConfig {
         stages,
         micro_batches,
         iterations,
+        crypto_threads: CRYPTO_THREADS,
         ..PipelineConfig::default()
     }
 }
@@ -99,7 +107,10 @@ pub fn run(stage_counts: &[usize], micro_batches: usize, iterations: usize) -> V
 
 /// Serializes rows as the `BENCH_pipeline.json` artifact.
 pub fn to_json(rows: &[PipelineRow]) -> String {
-    let mut out = String::from("{\n  \"experiment\": \"pipeline_stage_scaling\",\n  \"rows\": [\n");
+    let mut out = format!(
+        "{{\n  \"experiment\": \"pipeline_stage_scaling\",\n  \
+         \"crypto_threads\": {CRYPTO_THREADS},\n  \"rows\": [\n"
+    );
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let hit_rate = row

@@ -9,26 +9,43 @@
 //! - each pending block's destination pages stay
 //!   [`pipellm_gpu::pages::Protection::AccessRevoked`] and the at-rest
 //!   authoritative bytes are the **ciphertext** held here;
-//! - background opens complete on the shared crypto pool while compute
-//!   proceeds; the predictor gates which blocks are *pre-decrypted* ahead
-//!   of their expected swap-in (the runtime's
+//! - the moment a block arrives its decryption is submitted to the shared
+//!   [`CryptoEngine`] as a background job: a decoupled decryption worker
+//!   reads the staged ciphertext (its own copy — as the real interposer
+//!   reads the CVM shared-memory bounce buffer) and produces the plaintext
+//!   off the critical path, out of order with other pending blocks, while
+//!   compute proceeds. Finalization *joins* the job instead of decrypting;
+//! - the predictor gates which blocks are *pre-decrypted* (finalized)
+//!   ahead of their expected swap-in (the runtime's
 //!   [`crate::session::SessionState::pre_decrypt`] pass);
 //! - an application access before the plaintext lands faults and forces a
-//!   synchronous decryption, exactly like the H2D path's fault handler.
+//!   synchronous finalization, exactly like the H2D path's fault handler.
 //!
 //! Opened staging buffers recycle into the session's staging pool, so a
-//! steady swap stream allocates nothing.
+//! steady swap stream allocates nothing beyond the workers' scratch.
 
+use pipellm_crypto::engine::{CryptoEngine, JobHandle};
 use pipellm_gpu::context::{CudaContext, DeferredKvOpen};
 use pipellm_gpu::memory::{HostRegion, Payload};
 use pipellm_sim::time::SimTime;
+use std::sync::Arc;
+
+/// One pending block: the deferred-open state plus the background
+/// decryption job running on the crypto engine.
+#[derive(Debug)]
+struct PendingKv {
+    deferred: DeferredKvOpen,
+    /// The in-flight background open; `None` once joined (or when a test
+    /// constructs the pipeline without an engine).
+    background: Option<JobHandle<pipellm_crypto::Result<Vec<u8>>>>,
+}
 
 /// Per-session deferred-decryption state of the encrypted paged KV cache.
 #[derive(Debug, Default)]
 pub struct KvSwapPipeline {
     /// Blocks whose ciphertext arrived but whose plaintext has not been
     /// stored yet, in arrival order.
-    pending: Vec<DeferredKvOpen>,
+    pending: Vec<PendingKv>,
 }
 
 impl KvSwapPipeline {
@@ -48,52 +65,90 @@ impl KvSwapPipeline {
     pub fn ciphertext_of(&self, region: HostRegion) -> Option<&[u8]> {
         self.pending
             .iter()
-            .find(|d| d.region == region)
-            .map(|d| d.ciphertext.as_slice())
+            .find(|p| p.deferred.region == region)
+            .map(|p| p.deferred.ciphertext.as_slice())
     }
 
-    /// Queues one deferred block.
-    pub(crate) fn push(&mut self, deferred: DeferredKvOpen) {
-        self.pending.push(deferred);
+    /// Queues one deferred block and submits its decryption to the engine:
+    /// the background worker opens a copy of the staged ciphertext (the
+    /// authoritative at-rest bytes stay here, behind the revoked pages)
+    /// and the plaintext is collected when the block finalizes.
+    pub(crate) fn push(&mut self, engine: &Arc<CryptoEngine>, deferred: DeferredKvOpen) {
+        let ciphertext = deferred.ciphertext.clone();
+        let aad = Arc::clone(&deferred.aad);
+        let open = deferred.open.clone();
+        let background = engine.submit(move || {
+            let mut buf = ciphertext;
+            open.open_in_place(&aad, &mut buf).map(|()| buf)
+        });
+        self.pending.push(PendingKv {
+            deferred,
+            background: Some(background),
+        });
     }
 
     /// Index of the pending block overlapping `region`, if any.
     pub(crate) fn position_over(&self, region: HostRegion) -> Option<usize> {
-        self.pending.iter().position(|d| d.region.overlaps(&region))
+        self.pending
+            .iter()
+            .position(|p| p.deferred.region.overlaps(&region))
     }
 
     /// Index of the pending block guarded by `cookie`, if any.
     pub(crate) fn position_cookie(&self, cookie: u64) -> Option<usize> {
-        self.pending.iter().position(|d| d.cookie == cookie)
+        self.pending
+            .iter()
+            .position(|p| p.deferred.cookie == cookie)
     }
 
     /// `(region, ready_at)` of pending block `idx`.
     pub(crate) fn entry(&self, idx: usize) -> (HostRegion, SimTime) {
-        (self.pending[idx].region, self.pending[idx].ready_at)
+        let p = &self.pending[idx];
+        (p.deferred.region, p.deferred.ready_at)
     }
 
-    /// Finalizes pending block `idx`: lifts the revocation, opens the
-    /// ciphertext in place at its reserved IV, and stores the plaintext.
-    /// Returns when the data became readable plus the staging buffer when
-    /// the payload did not consume it (virtual stand-ins), for recycling.
+    /// Finalizes pending block `idx`: lifts the revocation, joins the
+    /// background open (decrypting synchronously only if no job was
+    /// submitted), and stores the plaintext. Returns when the data became
+    /// readable plus the staging buffer when the payload did not consume
+    /// it, for recycling.
     pub(crate) fn finalize(
         &mut self,
         ctx: &mut CudaContext,
         idx: usize,
     ) -> (SimTime, Option<Vec<u8>>) {
-        let deferred = self.pending.swap_remove(idx);
+        let PendingKv {
+            deferred,
+            background,
+        } = self.pending.swap_remove(idx);
         ctx.pages_mut().unprotect(deferred.region);
-        let mut buf = deferred.ciphertext;
-        deferred
-            .open
-            .open_in_place(&deferred.aad, &mut buf)
-            .expect("deferred KV open authenticates at its reserved IV");
+        // Join the decoupled decryption worker; without one, open the
+        // staged ciphertext in place (both paths authenticate at the IV
+        // reserved in wire order).
+        let (buf, staging) = match background {
+            Some(job) => {
+                let plain = job
+                    .wait()
+                    .expect("deferred KV open authenticates at its reserved IV");
+                (plain, Some(deferred.ciphertext))
+            }
+            None => {
+                let mut buf = deferred.ciphertext;
+                deferred
+                    .open
+                    .open_in_place(&deferred.aad, &mut buf)
+                    .expect("deferred KV open authenticates at its reserved IV");
+                (buf, None)
+            }
+        };
         let (payload, recycled) = if deferred.kind == Payload::KIND_VIRTUAL && buf.len() == 16 {
             let len = u64::from_be_bytes(buf[..8].try_into().expect("checked length"));
             let version = u64::from_be_bytes(buf[8..].try_into().expect("checked length"));
-            (Payload::Virtual { len, version }, Some(buf))
+            (Payload::Virtual { len, version }, staging.or(Some(buf)))
         } else {
-            (Payload::Real(buf), None)
+            // Real payloads adopt the decrypted buffer as their storage;
+            // the ciphertext staging buffer (if distinct) recycles.
+            (Payload::Real(buf), staging)
         };
         ctx.host_store_unchecked(deferred.region, payload)
             .expect("pending KV block targets a live allocation");
@@ -101,9 +156,11 @@ impl KvSwapPipeline {
     }
 
     /// Removes pending block `idx` without landing its plaintext (the
-    /// data is being freed or overwritten); the caller decides what to do
-    /// with the revocation and the staging buffer.
+    /// data is being freed or overwritten); the background job, if any, is
+    /// detached — it finishes on the worker and its result is discarded.
+    /// The caller decides what to do with the revocation and the staging
+    /// buffer.
     pub(crate) fn remove(&mut self, idx: usize) -> DeferredKvOpen {
-        self.pending.swap_remove(idx)
+        self.pending.swap_remove(idx).deferred
     }
 }

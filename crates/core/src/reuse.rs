@@ -122,6 +122,7 @@ impl ReuseRuntime {
                 device_capacity: config.device_capacity,
                 crypto_threads: config.crypto_threads,
                 seed: config.seed,
+                engine: None,
             }),
             sealer: StaticSealer::new(&key).expect("32-byte key"),
             classifier: SizeClassifier::new(),

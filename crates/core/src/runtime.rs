@@ -151,6 +151,7 @@ impl PipeLlmRuntime {
             device_capacity: config.device_capacity,
             crypto_threads: config.crypto_threads,
             seed: config.seed,
+            engine: None,
         });
         let params = SpecParams {
             spec_depth: config.spec_depth.max(1),

@@ -390,6 +390,11 @@ impl SessionState {
                     continue;
                 }
             };
+            // Speculation gains throughput by *pipelining* independent
+            // chunk seals across workers (§7.1: one chunk per worker,
+            // queue depth keeps the pool busy) — each occupies one worker
+            // for the full sequential seal time, unlike the blocking
+            // paths, which gang-shard a single buffer.
             let seal_time = ctx.timing().crypto.seal_time(chunk.len);
             let reservation = ctx.crypto_pool_mut().reserve(avail, seal_time);
             let cookie = cookies.next();
@@ -428,6 +433,7 @@ impl SessionState {
                 return;
             }
         };
+        // Decoys pipeline like real speculative seals (one worker each).
         let seal_time = ctx.timing().crypto.seal_time(source.len);
         let reservation = ctx.crypto_pool_mut().reserve(now, seal_time);
         let cookie = cookies.next();
@@ -535,7 +541,15 @@ impl SessionState {
                 return Err(err);
             }
         };
-        let seal_time = ctx.timing().crypto.seal_time(chunk.len) / p.crypto_threads as u32;
+        // Chunked gang latency (`pool_seal_time`) on one timeline slot:
+        // gang segments are high priority on the real engine — an
+        // on-demand seal's segments preempt queued speculative seals and
+        // background opens rather than waiting behind them, which a
+        // reservation timeline cannot express as an all-worker booking.
+        let seal_time = ctx
+            .timing()
+            .crypto
+            .pool_seal_time(chunk.len, p.crypto_threads);
         let reservation = ctx.crypto_pool_mut().reserve(avail, seal_time);
         let timing =
             ctx.submit_htod_sealed(now, reservation.end, dst, chunk, &sealed, chunk.len)?;
@@ -760,8 +774,12 @@ impl SessionState {
         let deferred =
             ctx.swap_out_kv_group(now, group, blocks, &block_cookies, &mut self.buf_pool)?;
         self.pool_leased += deferred.len() as u64;
+        // Each block's decryption goes straight to the shared crypto
+        // engine: the background workers open out of order while compute
+        // proceeds, and finalization only joins the result.
+        let engine = std::sync::Arc::clone(ctx.crypto_engine());
         for pending in deferred {
-            self.kv.push(pending);
+            self.kv.push(&engine, pending);
         }
         self.stats.async_decrypts += blocks.len() as u64;
         // Deliberately no refill here: speculating at swap-out time would

@@ -13,6 +13,7 @@
 //! requires the counter to have caught up exactly — which is why the paper's
 //! error handler needs NOP padding and pipeline relinquishing.
 
+use crate::engine::CryptoEngine;
 use crate::gcm::{nonce_from_iv, AesGcm, NONCE_LEN, TAG_LEN};
 use crate::{CryptoError, Result};
 use std::sync::Arc;
@@ -122,6 +123,12 @@ impl TxContext {
     /// Direction this context seals for.
     pub fn direction(&self) -> Direction {
         self.direction
+    }
+
+    /// Attaches the multi-threaded crypto engine: large seals go through
+    /// the chunked gang path (bit-identical ciphertext and tags).
+    pub(crate) fn set_engine(&mut self, engine: Option<Arc<CryptoEngine>>) {
+        self.gcm.set_engine(engine);
     }
 
     fn nonce(&self, iv: u64) -> [u8; NONCE_LEN] {
@@ -344,6 +351,13 @@ impl RxContext {
         self.next_iv
     }
 
+    /// Attaches the multi-threaded crypto engine (see [`TxContext::set_engine`]).
+    pub(crate) fn set_engine(&mut self, engine: Option<Arc<CryptoEngine>>) {
+        let mut gcm = (*self.gcm).clone();
+        gcm.set_engine(engine);
+        self.gcm = Arc::new(gcm);
+    }
+
     /// Opens `message` at the receiver's own counter — the IV recorded in
     /// the message is deliberately ignored, as in the real protocol.
     ///
@@ -358,9 +372,37 @@ impl RxContext {
     /// at this counter value (or was tampered with); the error reports the
     /// receiver-side IV that was expected.
     pub fn open(&mut self, message: &SealedMessage) -> Result<Vec<u8>> {
-        let mut buf = message.bytes.clone();
-        self.open_in_place(&message.aad, &mut buf)?;
-        Ok(buf)
+        let mut out = Vec::new();
+        self.open_message_into(message, &mut out)?;
+        Ok(out)
+    }
+
+    /// Opens a borrowed message **into** a caller-supplied buffer at the
+    /// receiver's own counter: the tag is verified over the message's own
+    /// ciphertext (nothing is cloned — a failed open copies zero bytes),
+    /// then the plaintext lands in `out`, reusing its capacity. On success
+    /// the counter advances; on failure it does not and `out` is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// See [`RxContext::open`].
+    pub fn open_message_into(&mut self, message: &SealedMessage, out: &mut Vec<u8>) -> Result<()> {
+        let nonce = nonce_from_iv(self.direction.tag(), self.next_iv);
+        match self
+            .gcm
+            .open_into(&nonce, &message.aad, &message.bytes, out)
+        {
+            Ok(()) => {
+                self.next_iv += 1;
+                Ok(())
+            }
+            Err(CryptoError::AuthenticationFailed { .. }) => {
+                Err(CryptoError::AuthenticationFailed {
+                    expected_iv: self.next_iv,
+                })
+            }
+            Err(other) => Err(other),
+        }
     }
 
     /// Opens a consumed message, decrypting its own buffer in place and
@@ -513,6 +555,13 @@ impl Endpoint {
         &mut self.rx
     }
 
+    /// Attaches the multi-threaded crypto engine to both directions of
+    /// this endpoint.
+    pub fn set_engine(&mut self, engine: Option<Arc<CryptoEngine>>) {
+        self.tx.set_engine(engine.clone());
+        self.rx.set_engine(engine);
+    }
+
     /// Seals at the current counter and advances (the non-speculative path).
     pub fn seal(&mut self, plaintext: &[u8]) -> Result<SealedMessage> {
         self.tx.seal(plaintext)
@@ -610,6 +659,20 @@ impl SecureChannel {
     /// Borrows both endpoints mutably, for driving a transfer end to end.
     pub fn both_mut(&mut self) -> (&mut Endpoint, &mut Endpoint) {
         (&mut self.host, &mut self.device)
+    }
+
+    /// Attaches the multi-threaded crypto engine to all four contexts of
+    /// the channel (both endpoints, both directions): large transfers go
+    /// through the chunked gang path with bit-identical ciphertext.
+    pub fn set_engine(&mut self, engine: &Arc<CryptoEngine>) {
+        self.host.set_engine(Some(Arc::clone(engine)));
+        self.device.set_engine(Some(Arc::clone(engine)));
+    }
+
+    /// Builder form of [`SecureChannel::set_engine`].
+    pub fn with_engine(mut self, engine: &Arc<CryptoEngine>) -> Self {
+        self.set_engine(engine);
+        self
     }
 }
 

@@ -35,6 +35,12 @@ pub struct CpuCryptoModel {
     pub bytes_per_sec: f64,
     /// Fixed per-operation overhead (context setup, IV bookkeeping).
     pub per_op: Duration,
+    /// Aggregate multi-thread ceiling, bytes per second: §7.2 has the
+    /// engine scaling near-linearly with thread count *until it saturates
+    /// PCIe*, so a pool's throughput is capped here no matter how many
+    /// workers it runs (PCIe-class staging bandwidth; the ciphertext still
+    /// has to move through the bounce buffers).
+    pub saturation_bytes_per_sec: f64,
 }
 
 impl Default for CpuCryptoModel {
@@ -43,17 +49,26 @@ impl Default for CpuCryptoModel {
         CpuCryptoModel {
             bytes_per_sec: 5.8 * GIB,
             per_op: Duration::from_nanos(1_500),
+            saturation_bytes_per_sec: 25.0 * GIB,
         }
     }
 }
 
 impl CpuCryptoModel {
-    /// Creates a model from a throughput in GB/s and per-op overhead.
+    /// Creates a model from a throughput in GB/s and per-op overhead,
+    /// keeping the default saturation ceiling.
     pub fn from_gbps(gbps: f64, per_op: Duration) -> Self {
         CpuCryptoModel {
             bytes_per_sec: gbps * GIB,
             per_op,
+            ..Self::default()
         }
+    }
+
+    /// Overrides the aggregate saturation ceiling (GB/s).
+    pub fn with_saturation_gbps(mut self, gbps: f64) -> Self {
+        self.saturation_bytes_per_sec = gbps * GIB;
+        self
     }
 
     /// Time for one worker to seal (encrypt + tag) `bytes` bytes.
@@ -79,11 +94,27 @@ impl CpuCryptoModel {
         self.per_op + transfer
     }
 
-    /// Aggregate throughput of `threads` independent workers in bytes/sec,
-    /// assuming chunk-level parallelism (each chunk is sealed by one
-    /// worker, as PipeLLM does for model offloading).
+    /// Aggregate throughput of `threads` workers in bytes/sec, assuming
+    /// chunk-level parallelism (each chunk is sealed by one worker, as
+    /// PipeLLM does for model offloading): near-linear in thread count
+    /// until the pool hits the PCIe-class saturation ceiling (§7.2).
     pub fn pool_bytes_per_sec(&self, threads: usize) -> f64 {
-        self.bytes_per_sec * threads.max(1) as f64
+        let linear = self.bytes_per_sec * threads.max(1) as f64;
+        // The ceiling never cuts below a single thread's throughput.
+        linear.min(self.saturation_bytes_per_sec.max(self.bytes_per_sec))
+    }
+
+    /// Wall time for a `threads`-wide gang to seal one `bytes`-byte buffer
+    /// chunked across all workers (the blocking native-CC path and the
+    /// engine's chunked seal).
+    pub fn pool_seal_time(&self, bytes: u64, threads: usize) -> Duration {
+        self.per_op + Duration::from_secs_f64(bytes as f64 / self.pool_bytes_per_sec(threads))
+    }
+
+    /// Gang-open twin of [`CpuCryptoModel::pool_seal_time`] (AES-GCM
+    /// decryption runs the same CTR keystream and GHASH).
+    pub fn pool_open_time(&self, bytes: u64, threads: usize) -> Duration {
+        self.pool_seal_time(bytes, threads)
     }
 }
 
@@ -118,13 +149,36 @@ mod tests {
     }
 
     #[test]
-    fn pool_scales_linearly() {
+    fn pool_scales_linearly_below_saturation() {
         let model = CpuCryptoModel::default();
         let one = model.pool_bytes_per_sec(1);
         let four = model.pool_bytes_per_sec(4);
         assert!((four / one - 4.0).abs() < 1e-9);
         // Zero threads degrades to one, never to zero throughput.
         assert_eq!(model.pool_bytes_per_sec(0), one);
+    }
+
+    #[test]
+    fn pool_saturates_at_the_pcie_class_ceiling() {
+        let model = CpuCryptoModel::default();
+        // 5.8 GB/s per thread: 8 threads would be 46.4 GB/s linear, but
+        // the aggregate clamps at the 25 GB/s staging ceiling (§7.2
+        // "scales near-linearly … until it saturates PCIe").
+        let eight = model.pool_bytes_per_sec(8);
+        assert!((eight - model.saturation_bytes_per_sec).abs() < 1.0);
+        assert_eq!(eight, model.pool_bytes_per_sec(64), "flat past saturation");
+        assert!(model.pool_bytes_per_sec(4) < eight, "4 threads still scale");
+        // Gang time reflects the cap: 8 and 16 threads seal equally fast.
+        assert_eq!(
+            model.pool_seal_time(32 << 20, 8),
+            model.pool_seal_time(32 << 20, 16)
+        );
+        assert!(model.pool_seal_time(32 << 20, 4) > model.pool_seal_time(32 << 20, 8));
+        // A degenerate model whose ceiling sits below one thread never
+        // reports a pool slower than that single thread.
+        let tight = CpuCryptoModel::default().with_saturation_gbps(1.0);
+        assert_eq!(tight.pool_bytes_per_sec(1), tight.bytes_per_sec);
+        assert_eq!(tight.pool_bytes_per_sec(8), tight.bytes_per_sec);
     }
 
     #[test]

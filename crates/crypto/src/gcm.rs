@@ -31,15 +31,51 @@
 //! The zero-copy entry points are [`AesGcm::seal_in_place`] /
 //! [`AesGcm::open_in_place`] (detached tag, caller-owned buffer); the
 //! allocating [`AesGcm::seal`] / [`AesGcm::open`] are thin wrappers.
+//!
+//! # Chunked multi-threaded GCM
+//!
+//! A context built with [`AesGcm::with_engine`] splits payloads of at
+//! least [`PAR_MIN_BYTES`] into block-aligned segments sealed concurrently
+//! on the engine's workers. Both halves of GCM parallelize exactly:
+//!
+//! - **CTR is seekable** — segment `s` starting at block offset `o`
+//!   generates its keystream from counter `J₀ + 1 + o`
+//!   ([`AesGcm::ctr_xor_at`]), independent of every other segment;
+//! - **GHASH is a polynomial in H** — each worker folds a *partial* hash
+//!   `P_s = Σ_j b_{s,j}·H^{m_s-j+1}` over its own block range (zero
+//!   accumulator, no length block), and the combiner shifts each partial
+//!   by the blocks that follow it: `Y = Y_aad·H^{n} ⊕ Σ_s P_s·H^{after_s}`
+//!   with the extended subkey powers `H^k` computed by square-and-multiply
+//!   (one PCLMULQDQ multiply per squaring where available). The length
+//!   block folds last, as in the sequential walk.
+//!
+//! The result is **bit-identical** to the sequential path by construction
+//! — same ciphertext, same tag — which the property tests in
+//! `tests/engine_props.rs` pin down for arbitrary sizes, chunk counts,
+//! and worker counts on both the software and hardware paths.
 
 use crate::aes::{Aes, BLOCK_SIZE};
+use crate::engine::CryptoEngine;
 use crate::{CryptoError, Result};
+use std::ops::Range;
+use std::sync::Arc;
 
 /// Length of the GCM authentication tag in bytes.
 pub const TAG_LEN: usize = 16;
 
 /// Length of the GCM nonce in bytes (the standard 96-bit nonce).
 pub const NONCE_LEN: usize = 12;
+
+/// Smallest payload the chunked multi-threaded path engages for; below
+/// this the per-gang dispatch overhead outweighs the parallelism.
+pub const PAR_MIN_BYTES: usize = 64 * 1024;
+
+/// Smallest per-worker segment: payloads shard into at most
+/// `len / PAR_MIN_CHUNK` segments even when more workers are available.
+const PAR_MIN_CHUNK: usize = 16 * 1024;
+
+/// The multiplicative identity of GCM's GF(2¹²⁸) (the block `0x80 00…00`).
+const GF_ONE: u128 = 1 << 127;
 
 /// Multiplication in GF(2^128) as defined by the GCM spec (NIST SP 800-38D).
 ///
@@ -178,6 +214,55 @@ impl GhashKey {
     fn mul_h(&self, y: u128) -> u128 {
         mul_tab(&self.tables()[0], y)
     }
+
+    /// One multiplication of *arbitrary* field elements — PCLMULQDQ where
+    /// available, the bitwise reference otherwise. Used a handful of times
+    /// per chunked operation (combining partials), never per block.
+    fn mul(&self, a: u128, b: u128) -> u128 {
+        if self.clmul.is_some() {
+            crate::hw::gf_mul(a, b)
+        } else {
+            gf_mul(a, b)
+        }
+    }
+
+    /// The extended subkey power H^n (H^0 is the field identity), by
+    /// square-and-multiply — O(log n) multiplications, so shifting a
+    /// segment partial past a million trailing blocks costs ~40 multiplies.
+    fn power(&self, mut n: u64) -> u128 {
+        let mut result = GF_ONE;
+        let mut base = self.powers[0];
+        while n > 0 {
+            if n & 1 == 1 {
+                result = self.mul(result, base);
+            }
+            n >>= 1;
+            if n > 0 {
+                base = self.mul(base, base);
+            }
+        }
+        result
+    }
+
+    /// `v · H^n` (`v` unchanged when `n` is zero).
+    fn shift(&self, v: u128, n: u64) -> u128 {
+        if n == 0 || v == 0 {
+            v
+        } else {
+            self.mul(v, self.power(n))
+        }
+    }
+
+    /// Partial GHASH of one block-aligned segment: zero initial
+    /// accumulator, no length block. The per-worker half of the chunked
+    /// tag.
+    fn segment(&self, data: &[u8]) -> u128 {
+        if let Some(clmul) = &self.clmul {
+            crate::hw::ghash_segment(clmul, data)
+        } else {
+            ghash_update(self, 0, data)
+        }
+    }
 }
 
 /// Folds `data` (zero-padded to block granularity) into the GHASH
@@ -278,6 +363,9 @@ pub struct AesGcm {
     cipher: Aes,
     /// Tables derived from the hash subkey H = E_K(0^128).
     h: GhashKey,
+    /// Worker pool for the chunked multi-threaded paths; `None` (the
+    /// default) keeps every operation on the calling thread.
+    engine: Option<Arc<CryptoEngine>>,
 }
 
 impl std::fmt::Debug for AesGcm {
@@ -305,6 +393,7 @@ impl AesGcm {
         Ok(AesGcm {
             cipher,
             h: GhashKey::new(h),
+            engine: None,
         })
     }
 
@@ -315,6 +404,35 @@ impl AesGcm {
         self.cipher = self.cipher.software_only();
         self.h.clmul = None;
         self
+    }
+
+    /// Attaches a worker pool: payloads of at least [`PAR_MIN_BYTES`] are
+    /// sealed/opened via the chunked multi-threaded path (bit-identical
+    /// output; see the module docs).
+    pub fn with_engine(mut self, engine: Arc<CryptoEngine>) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Attaches or detaches the worker pool in place.
+    pub fn set_engine(&mut self, engine: Option<Arc<CryptoEngine>>) {
+        self.engine = engine;
+    }
+
+    /// The attached worker pool, if any.
+    pub fn engine(&self) -> Option<&Arc<CryptoEngine>> {
+        self.engine.as_ref()
+    }
+
+    /// The engine to use for a payload of `len` bytes, when the chunked
+    /// path applies: a pool with real parallelism, a payload worth
+    /// splitting, and a calling thread that is not itself an engine worker
+    /// (background jobs run sequentially and pipeline *across* workers —
+    /// and a nested gang could otherwise deadlock the pool).
+    fn par_engine(&self, len: usize) -> Option<&CryptoEngine> {
+        let engine = self.engine.as_deref()?;
+        (engine.workers() >= 2 && len >= PAR_MIN_BYTES && !CryptoEngine::on_worker_thread())
+            .then_some(engine)
     }
 
     /// Derives the initial counter block J0 from a 96-bit nonce.
@@ -330,7 +448,16 @@ impl AesGcm {
     /// four-way [`Aes::encrypt_blocks`] path and XORing them into `data`
     /// word-wide.
     fn ctr_xor(&self, j0: &[u8; BLOCK_SIZE], data: &mut [u8]) {
-        let mut counter = u32::from_be_bytes([j0[12], j0[13], j0[14], j0[15]]);
+        self.ctr_xor_at(j0, 0, data);
+    }
+
+    /// [`AesGcm::ctr_xor`] seeked to an arbitrary block offset: `data` is
+    /// treated as the bytes starting `block_offset` whole blocks into the
+    /// stream, so disjoint segments of one payload can be processed
+    /// concurrently (CTR blocks are independent).
+    fn ctr_xor_at(&self, j0: &[u8; BLOCK_SIZE], block_offset: u32, data: &mut [u8]) {
+        let mut counter =
+            u32::from_be_bytes([j0[12], j0[13], j0[14], j0[15]]).wrapping_add(block_offset);
         let mut ks = [0u8; CTR_BATCH * BLOCK_SIZE];
         let mut done = 0;
         while done < data.len() {
@@ -364,9 +491,135 @@ impl AesGcm {
     }
 
     fn tag(&self, j0: &[u8; BLOCK_SIZE], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
-        let s = ghash(&self.h, aad, ciphertext);
+        let s = match self.par_engine(ciphertext.len()) {
+            Some(engine) => self.ghash_parallel(engine, aad, ciphertext),
+            None => ghash(&self.h, aad, ciphertext),
+        };
         let ek_j0 = block_to_u128(&self.cipher.encrypt_block_copy(j0));
         (s ^ ek_j0).to_be_bytes()
+    }
+
+    /// Splits `len` bytes into block-aligned segment ranges, one per gang
+    /// task: at most `workers` segments, each at least [`PAR_MIN_CHUNK`]
+    /// (the final segment alone may carry a partial trailing block).
+    fn par_ranges(len: usize, workers: usize) -> Vec<Range<usize>> {
+        let blocks = len.div_ceil(BLOCK_SIZE);
+        let parts = workers.min(len / PAR_MIN_CHUNK).min(blocks).max(1);
+        let base = blocks / parts;
+        let extra = blocks % parts;
+        let mut ranges = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        for i in 0..parts {
+            let segment_blocks = base + usize::from(i < extra);
+            let end = (start + segment_blocks * BLOCK_SIZE).min(len);
+            ranges.push(start..end);
+            start = end;
+        }
+        ranges
+    }
+
+    /// GHASH over `aad || ciphertext || lengths` with the ciphertext
+    /// segments hashed concurrently and combined through extended powers
+    /// of H (see the module docs) — identical to [`ghash`] bit for bit.
+    fn ghash_parallel(&self, engine: &CryptoEngine, aad: &[u8], ciphertext: &[u8]) -> u128 {
+        let ranges = Self::par_ranges(ciphertext.len(), engine.workers());
+        let mut partials = vec![0u128; ranges.len()];
+        {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+                .iter()
+                .zip(partials.iter_mut())
+                .map(|(range, slot)| {
+                    let segment = &ciphertext[range.clone()];
+                    let task: Box<dyn FnOnce() + Send + '_> =
+                        Box::new(move || *slot = self.h.segment(segment));
+                    task
+                })
+                .collect();
+            engine.run_scoped(tasks);
+        }
+        self.combine_partials(aad, ciphertext.len(), &ranges, &partials)
+    }
+
+    /// Folds per-segment GHASH partials into the full-message hash: the
+    /// AAD state shifts past every ciphertext block, each partial shifts
+    /// past the blocks that follow its segment, and the length block
+    /// folds last — exactly the sequential walk, reassociated.
+    fn combine_partials(
+        &self,
+        aad: &[u8],
+        ct_len: usize,
+        ranges: &[Range<usize>],
+        partials: &[u128],
+    ) -> u128 {
+        let total_blocks = ct_len.div_ceil(BLOCK_SIZE) as u64;
+        let mut y = self.h.shift(self.h.segment(aad), total_blocks);
+        let mut after = total_blocks;
+        for (range, partial) in ranges.iter().zip(partials) {
+            after -= range.len().div_ceil(BLOCK_SIZE) as u64;
+            y ^= self.h.shift(*partial, after);
+        }
+        let lengths = ((aad.len() as u128 * 8) << 64) | (ct_len as u128 * 8);
+        self.h.mul(y ^ lengths, self.h.powers[0])
+    }
+
+    /// Chunked seal: **one** gang per operation — each worker generates
+    /// its segment's CTR keystream and immediately folds its partial GHASH
+    /// over the ciphertext it just produced, so the pool is dispatched
+    /// once, not twice.
+    fn seal_chunked(
+        &self,
+        engine: &CryptoEngine,
+        j0: &[u8; BLOCK_SIZE],
+        aad: &[u8],
+        data: &mut [u8],
+    ) -> [u8; TAG_LEN] {
+        let ct_len = data.len();
+        let ranges = Self::par_ranges(ct_len, engine.workers());
+        let mut partials = vec![0u128; ranges.len()];
+        {
+            let j0 = *j0;
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(ranges.len());
+            let mut rest = &mut *data;
+            let mut consumed = 0usize;
+            for (range, slot) in ranges.iter().zip(partials.iter_mut()) {
+                let (segment, tail) = rest.split_at_mut(range.end - consumed);
+                consumed = range.end;
+                rest = tail;
+                let block_offset = (range.start / BLOCK_SIZE) as u32;
+                tasks.push(Box::new(move || {
+                    self.ctr_xor_at(&j0, block_offset, segment);
+                    *slot = self.h.segment(segment);
+                }));
+            }
+            engine.run_scoped(tasks);
+        }
+        let s = self.combine_partials(aad, ct_len, &ranges, &partials);
+        let ek_j0 = block_to_u128(&self.cipher.encrypt_block_copy(j0));
+        (s ^ ek_j0).to_be_bytes()
+    }
+
+    /// CTR keystream over `data`, fanned across the engine's workers when
+    /// the chunked path applies (each segment seeks to its block offset).
+    fn ctr_xor_dispatch(&self, j0: &[u8; BLOCK_SIZE], data: &mut [u8]) {
+        let Some(engine) = self.par_engine(data.len()) else {
+            self.ctr_xor(j0, data);
+            return;
+        };
+        let ranges = Self::par_ranges(data.len(), engine.workers());
+        let j0 = *j0;
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(ranges.len());
+        let mut rest = data;
+        let mut consumed = 0usize;
+        for range in &ranges {
+            let (segment, tail) = rest.split_at_mut(range.end - consumed);
+            consumed = range.end;
+            rest = tail;
+            let block_offset = (range.start / BLOCK_SIZE) as u32;
+            tasks.push(Box::new(move || {
+                self.ctr_xor_at(&j0, block_offset, segment)
+            }));
+        }
+        engine.run_scoped(tasks);
     }
 
     /// Encrypts `data` in place and returns the detached authentication
@@ -378,6 +631,10 @@ impl AesGcm {
         data: &mut [u8],
     ) -> [u8; TAG_LEN] {
         let j0 = self.j0(nonce);
+        if let Some(engine) = self.par_engine(data.len()) {
+            // Fused chunked path: one gang does CTR + partial GHASH.
+            return self.seal_chunked(engine, &j0, aad, data);
+        }
         self.ctr_xor(&j0, data);
         self.tag(&j0, aad, data)
     }
@@ -402,7 +659,39 @@ impl AesGcm {
         if &expected != tag {
             return Err(CryptoError::AuthenticationFailed { expected_iv: 0 });
         }
-        self.ctr_xor(&j0, data);
+        self.ctr_xor_dispatch(&j0, data);
+        Ok(())
+    }
+
+    /// Opens `sealed` (`ciphertext || tag`) **into** `out`, leaving the
+    /// input untouched: the tag is verified over the borrowed ciphertext
+    /// first (a failed open copies nothing), then the plaintext is
+    /// produced in `out`, reusing whatever capacity the caller pooled.
+    /// This is the borrowed-message open path — no intermediate clone of
+    /// the ciphertext, unlike `sealed.to_vec()` + in-place decryption.
+    ///
+    /// # Errors
+    ///
+    /// As [`AesGcm::open`]; on failure `out` is unchanged.
+    pub fn open_into(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::TruncatedCiphertext { got: sealed.len() });
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let j0 = self.j0(nonce);
+        let expected = self.tag(&j0, aad, ciphertext);
+        if expected[..] != *tag {
+            return Err(CryptoError::AuthenticationFailed { expected_iv: 0 });
+        }
+        out.clear();
+        out.extend_from_slice(ciphertext);
+        self.ctr_xor_dispatch(&j0, out);
         Ok(())
     }
 
@@ -799,6 +1088,143 @@ mod tests {
             let sealed = gcm.seal(&nonce, b"aad", &plaintext);
             assert_eq!(sealed, soft.seal(&nonce, b"aad", &plaintext), "len {len}");
             assert_eq!(soft.open(&nonce, b"aad", &sealed).unwrap(), plaintext);
+        }
+    }
+
+    #[test]
+    fn extended_powers_match_repeated_multiplication() {
+        let key = GhashKey::new(0x66e94bd4ef8a2c3b884cfa59ca342b2e);
+        assert_eq!(key.power(0), GF_ONE);
+        let mut expect = GF_ONE;
+        for n in 1..=40u64 {
+            expect = gf_mul(expect, key.powers[0]);
+            assert_eq!(key.power(n), expect, "H^{n}");
+        }
+        // A power far beyond the precomputed H¹–H⁴ range (a 16 MiB
+        // payload's block count) agrees with shifting in two halves.
+        let big = 1_048_576u64 + 37;
+        assert_eq!(
+            key.power(big),
+            gf_mul(key.power(big / 2), key.power(big - big / 2))
+        );
+        // shift() is multiplication by H^n, with the n = 0 identity.
+        let v = 0x0123456789abcdef0123456789abcdefu128;
+        assert_eq!(key.shift(v, 0), v);
+        assert_eq!(key.shift(v, 7), gf_mul(v, key.power(7)));
+    }
+
+    #[test]
+    fn clmul_generic_mul_matches_bitwise_reference() {
+        if !crate::hw::clmul_available() {
+            return;
+        }
+        let mut a = 0x0123456789abcdef0123456789abcdefu128;
+        let mut b = 0x66e94bd4ef8a2c3b884cfa59ca342b2eu128;
+        for _ in 0..100 {
+            assert_eq!(crate::hw::gf_mul(a, b), gf_mul(a, b));
+            a = a.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(11) ^ b;
+            b = b.wrapping_mul(0xbf58476d1ce4e5b9).rotate_left(29) ^ a;
+        }
+        for special in [0u128, GF_ONE, u128::MAX] {
+            assert_eq!(crate::hw::gf_mul(special, b), gf_mul(special, b));
+        }
+    }
+
+    /// The chunked multi-threaded seal/open produce bit-identical
+    /// ciphertext and tags to the sequential path, at sizes straddling
+    /// the engagement threshold and the segment boundaries.
+    #[test]
+    fn chunked_parallel_seal_is_bit_identical() {
+        let engine = std::sync::Arc::new(CryptoEngine::new(4));
+        let plain = AesGcm::new(&[7u8; 32]).unwrap();
+        let par = AesGcm::new(&[7u8; 32])
+            .unwrap()
+            .with_engine(std::sync::Arc::clone(&engine));
+        for len in [
+            PAR_MIN_BYTES - 1,
+            PAR_MIN_BYTES,
+            PAR_MIN_BYTES + 13,
+            100_000,
+            (1 << 20) + 1,
+        ] {
+            let plaintext: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let nonce = nonce_from_iv(3, len as u64);
+            let sealed_seq = plain.seal(&nonce, b"descriptor", &plaintext);
+            let sealed_par = par.seal(&nonce, b"descriptor", &plaintext);
+            assert_eq!(sealed_par, sealed_seq, "len {len}");
+            // Cross-path opens: parallel opens sequential and vice versa.
+            assert_eq!(
+                par.open(&nonce, b"descriptor", &sealed_seq).unwrap(),
+                plaintext
+            );
+            assert_eq!(
+                plain.open(&nonce, b"descriptor", &sealed_par).unwrap(),
+                plaintext
+            );
+            // Tampering is still caught on the chunked path.
+            let mut bad = sealed_par.clone();
+            bad[len / 2] ^= 0x40;
+            assert!(par.open(&nonce, b"descriptor", &bad).is_err());
+        }
+    }
+
+    /// The chunked path also matches on the forced-software (T-table +
+    /// 8-bit-table GHASH) variant.
+    #[test]
+    fn chunked_parallel_matches_on_software_path() {
+        let engine = std::sync::Arc::new(CryptoEngine::new(3));
+        let soft = AesGcm::new(&[9u8; 16]).unwrap().software_only();
+        let soft_par = AesGcm::new(&[9u8; 16])
+            .unwrap()
+            .software_only()
+            .with_engine(engine);
+        let len = PAR_MIN_BYTES + 4321;
+        let plaintext: Vec<u8> = (0..len).map(|i| (i * 131 % 251) as u8).collect();
+        let nonce = nonce_from_iv(6, 77);
+        assert_eq!(
+            soft_par.seal(&nonce, b"hdr", &plaintext),
+            soft.seal(&nonce, b"hdr", &plaintext)
+        );
+    }
+
+    #[test]
+    fn open_into_reuses_the_buffer_and_copies_nothing_on_failure() {
+        let gcm = AesGcm::new(&[5u8; 16]).unwrap();
+        let nonce = nonce_from_iv(1, 9);
+        let plaintext = vec![0x5au8; 300];
+        let sealed = gcm.seal(&nonce, b"hdr", &plaintext);
+        let mut out = Vec::with_capacity(512);
+        out.extend_from_slice(b"stale contents");
+        let ptr = out.as_ptr();
+        gcm.open_into(&nonce, b"hdr", &sealed, &mut out).unwrap();
+        assert_eq!(out, plaintext);
+        assert_eq!(ptr, out.as_ptr(), "capacity is reused, not reallocated");
+        // A tampered message leaves `out` untouched (verified before any
+        // byte is copied) and the input ciphertext unmodified.
+        let mut bad = sealed.clone();
+        bad[0] ^= 1;
+        let before = out.clone();
+        assert!(gcm.open_into(&nonce, b"hdr", &bad, &mut out).is_err());
+        assert_eq!(out, before);
+        assert!(matches!(
+            gcm.open_into(&nonce, b"hdr", &bad[..TAG_LEN - 1], &mut out),
+            Err(CryptoError::TruncatedCiphertext { .. })
+        ));
+    }
+
+    #[test]
+    fn par_ranges_cover_exactly_and_align_to_blocks() {
+        for len in [1usize, 16, 100, PAR_MIN_CHUNK * 3 + 5, 1 << 20] {
+            for workers in [1usize, 2, 4, 8] {
+                let ranges = AesGcm::par_ranges(len, workers);
+                assert!(!ranges.is_empty());
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, len);
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start, "contiguous");
+                    assert_eq!(pair[0].end % BLOCK_SIZE, 0, "block-aligned cut");
+                }
+            }
         }
     }
 

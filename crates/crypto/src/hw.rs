@@ -201,6 +201,28 @@ mod x86 {
     }
 
     #[target_feature(enable = "pclmulqdq,ssse3,sse2")]
+    unsafe fn ghash_segment_impl(key: &ClmulKey, data: &[u8]) -> u128 {
+        let h = [
+            to_m128(key.h_rev[0]),
+            to_m128(key.h_rev[1]),
+            to_m128(key.h_rev[2]),
+            to_m128(key.h_rev[3]),
+        ];
+        let y = ghash_update_impl(&h, _mm_setzero_si128(), data);
+        from_m128(y).reverse_bits()
+    }
+
+    #[target_feature(enable = "pclmulqdq,sse2")]
+    unsafe fn gf_mul_impl(a: u128, b: u128) -> u128 {
+        let va = to_m128(a.reverse_bits());
+        let vb = to_m128(b.reverse_bits());
+        let mut lo = _mm_setzero_si128();
+        let mut hi = _mm_setzero_si128();
+        clmul_acc(va, vb, &mut lo, &mut hi);
+        from_m128(reduce(lo, hi)).reverse_bits()
+    }
+
+    #[target_feature(enable = "pclmulqdq,ssse3,sse2")]
     unsafe fn ghash_impl(key: &ClmulKey, aad: &[u8], ciphertext: &[u8], lengths: u128) -> u128 {
         let h = [
             to_m128(key.h_rev[0]),
@@ -240,6 +262,26 @@ mod x86 {
         // SAFETY: `clmul_available()` was checked when the key was built.
         unsafe { ghash_impl(key, aad, ciphertext, lengths) }
     }
+
+    /// Partial GHASH of one block-aligned segment, starting from a zero
+    /// accumulator and folding no length block — the per-worker half of the
+    /// chunked-GCM tag (see `pipellm_crypto::gcm`). Returns the
+    /// normal-domain hash. The caller must have checked [`clmul_available`].
+    pub fn ghash_segment(key: &ClmulKey, data: &[u8]) -> u128 {
+        debug_assert!(clmul_available());
+        // SAFETY: `clmul_available()` was checked when the key was built.
+        unsafe { ghash_segment_impl(key, data) }
+    }
+
+    /// One GCM-domain GF(2¹²⁸) multiplication via PCLMULQDQ, on arbitrary
+    /// normal-domain operands (not just precomputed subkey powers) — used
+    /// to combine chunked-GHASH partials with extended powers of H. The
+    /// caller must have checked [`clmul_available`].
+    pub fn gf_mul(a: u128, b: u128) -> u128 {
+        debug_assert!(clmul_available());
+        // SAFETY: gated on `clmul_available()` by the caller.
+        unsafe { gf_mul_impl(a, b) }
+    }
 }
 
 #[cfg(not(target_arch = "x86_64"))]
@@ -276,6 +318,16 @@ mod portable {
     /// Unreachable off x86_64.
     pub fn ghash(_key: &ClmulKey, _aad: &[u8], _ciphertext: &[u8], _lengths: u128) -> u128 {
         unreachable!("clmul GHASH taken without PCLMULQDQ support");
+    }
+
+    /// Unreachable off x86_64.
+    pub fn ghash_segment(_key: &ClmulKey, _data: &[u8]) -> u128 {
+        unreachable!("clmul GHASH taken without PCLMULQDQ support");
+    }
+
+    /// Unreachable off x86_64.
+    pub fn gf_mul(_a: u128, _b: u128) -> u128 {
+        unreachable!("clmul GF multiply taken without PCLMULQDQ support");
     }
 }
 

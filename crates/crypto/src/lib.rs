@@ -14,7 +14,12 @@
 //!   x86_64), checked against NIST CAVP vectors, with zero-copy
 //!   `seal_in_place`/`open_in_place` entry points.
 //! - [`hw`]: the runtime-detected hardware acceleration layer backing the
-//!   two fast paths above — the one module in the crate allowed `unsafe`.
+//!   two fast paths above.
+//! - [`engine`]: the multi-threaded crypto engine — a persistent pool of
+//!   worker threads servicing chunked seal/open gangs (large payloads are
+//!   split into segments whose CTR keystreams and partial GHASHes run
+//!   concurrently, combined into the standard tag, bit-identical to the
+//!   sequential path) and background deferred-open jobs.
 //! - [`channel`]: [`channel::SecureChannel`], a pair of endpoints that model
 //!   the CPU-side and GPU-side encryption engines with the exact IV
 //!   discipline PipeLLM exploits and must not break: each encryption consumes
@@ -52,14 +57,16 @@
 //! # }
 //! ```
 
-// `unsafe` is denied crate-wide; the only exemption is the [`hw`] module,
-// which wraps runtime-detected AES-NI / PCLMULQDQ intrinsics.
+// `unsafe` is denied crate-wide; the exemptions are the [`hw`] module
+// (runtime-detected AES-NI / PCLMULQDQ intrinsics) and the lifetime
+// erasure inside [`engine`]'s scoped gang dispatch.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;
 pub mod channel;
 pub mod cost;
+pub mod engine;
 pub mod gcm;
 pub mod hw;
 pub mod kv;

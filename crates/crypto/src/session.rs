@@ -22,8 +22,10 @@
 //! the property tests in `tests/session_props.rs` pin down.
 
 use crate::channel::{ChannelKeys, SecureChannel, IV_HEADROOM};
+use crate::engine::CryptoEngine;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A channel pair: both directions (H2D and D2H) of one session's secure
 /// link, i.e. the host and device endpoints with mirrored key material.
@@ -69,6 +71,9 @@ pub struct SessionManager {
     next_id: u64,
     rekey_headroom: u64,
     sessions: BTreeMap<SessionId, Session>,
+    /// Shared multi-threaded crypto engine, installed on every session's
+    /// channel pair (existing, newly opened, and rekeyed alike).
+    engine: Option<Arc<CryptoEngine>>,
 }
 
 impl fmt::Debug for SessionManager {
@@ -129,6 +134,7 @@ impl SessionManager {
             next_id: 0,
             rekey_headroom: IV_HEADROOM,
             sessions: BTreeMap::new(),
+            engine: None,
         }
     }
 
@@ -149,6 +155,22 @@ impl SessionManager {
     pub fn with_rekey_headroom(mut self, headroom: u64) -> Self {
         self.rekey_headroom = headroom;
         self
+    }
+
+    /// Installs the shared multi-threaded crypto engine on every live
+    /// session's channel pair, and on every channel opened or rekeyed from
+    /// now on — the k of this pool is the same k the simulated
+    /// `WorkerPool` timeline models.
+    pub fn set_engine(&mut self, engine: Arc<CryptoEngine>) {
+        for session in self.sessions.values_mut() {
+            session.channel.set_engine(&engine);
+        }
+        self.engine = Some(engine);
+    }
+
+    /// The shared crypto engine, if one is installed.
+    pub fn engine(&self) -> Option<&Arc<CryptoEngine>> {
+        self.engine.as_ref()
     }
 
     /// Number of live sessions.
@@ -192,7 +214,10 @@ impl SessionManager {
     pub fn open_with_initial_ivs(&mut self, h2d_iv: u64, d2h_iv: u64) -> SessionId {
         let id = SessionId(self.next_id);
         self.next_id += 1;
-        let channel = SecureChannel::with_initial_ivs(self.derive_keys(id, 0), h2d_iv, d2h_iv);
+        let mut channel = SecureChannel::with_initial_ivs(self.derive_keys(id, 0), h2d_iv, d2h_iv);
+        if let Some(engine) = &self.engine {
+            channel.set_engine(engine);
+        }
         self.sessions.insert(id, Session { epoch: 0, channel });
         id
     }
@@ -236,9 +261,13 @@ impl SessionManager {
     pub fn rekey(&mut self, id: SessionId) -> Option<u32> {
         let epoch = self.sessions.get(&id)?.epoch + 1;
         let keys = self.derive_keys(id, epoch);
+        let mut channel = SecureChannel::new(keys);
+        if let Some(engine) = &self.engine {
+            channel.set_engine(engine);
+        }
         let session = self.sessions.get_mut(&id).expect("checked above");
         session.epoch = epoch;
-        session.channel = SecureChannel::new(keys);
+        session.channel = channel;
         Some(epoch)
     }
 

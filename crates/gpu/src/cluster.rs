@@ -36,12 +36,14 @@ use crate::memory::{DevicePtr, HostAddr, HostRegion, Payload};
 use crate::runtime::{GpuRuntime, SessionedRuntime};
 use crate::timing::IoTimingModel;
 use pipellm_crypto::channel::{Endpoint, SealedMessage};
+use pipellm_crypto::engine::CryptoEngine;
 use pipellm_crypto::session::{derive_subseed, SessionId, SessionManager};
 use pipellm_crypto::CryptoError;
 use pipellm_sim::cluster::{EdgeTimeline, TimelineRow, TimelineSummary};
 use pipellm_sim::time::SimTime;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One undirected device-to-device link, normalized so `a < b`.
@@ -179,6 +181,9 @@ pub struct ClusterContext {
     timing: IoTimingModel,
     nvlink: NvLinkModel,
     crypto_threads: usize,
+    /// The one real seal/open worker pool shared by every device's host
+    /// channel and every edge channel in the cluster.
+    engine: Arc<CryptoEngine>,
     devices: Vec<CudaContext>,
     edges: BTreeMap<EdgeId, EdgeState>,
     active: SessionId,
@@ -203,6 +208,11 @@ impl ClusterContext {
     /// state a fresh [`CudaContext`] does.
     pub fn new(config: ClusterConfig) -> Self {
         let n = config.devices.max(1);
+        // One shared seal/open worker pool for the whole cluster: every
+        // device's host channel and every edge channel chunk their large
+        // transfers across the same `crypto_threads` workers, the same k
+        // the per-device sim pools model.
+        let engine = Arc::new(CryptoEngine::new(config.crypto_threads.max(1)));
         let devices = (0..n)
             .map(|i| {
                 CudaContext::new(ContextConfig {
@@ -211,6 +221,7 @@ impl ClusterContext {
                     device_capacity: config.device_capacity,
                     crypto_threads: config.crypto_threads,
                     seed: derive_subseed(config.seed, 0x01_0000 | i as u64),
+                    engine: Some(Arc::clone(&engine)),
                 })
             })
             .collect();
@@ -223,6 +234,7 @@ impl ClusterContext {
                     config.seed,
                     0x02_0000 | ((a as u64) << 24) | b as u64,
                 ));
+                sessions.set_engine(Arc::clone(&engine));
                 let default = sessions.open();
                 debug_assert_eq!(default, SessionId::DEFAULT);
                 edges.insert(
@@ -244,11 +256,23 @@ impl ClusterContext {
             timing: config.timing,
             nvlink: config.nvlink,
             crypto_threads: config.crypto_threads.max(1),
+            engine,
             devices,
             edges,
             active: SessionId::DEFAULT,
             pending: Vec::new(),
         }
+    }
+
+    /// The cluster-wide shared crypto engine (real worker pool).
+    pub fn crypto_engine(&self) -> &Arc<CryptoEngine> {
+        &self.engine
+    }
+
+    /// Configured crypto worker threads per device pool (and the width of
+    /// the shared real engine).
+    pub fn crypto_threads(&self) -> usize {
+        self.crypto_threads
     }
 
     /// CC mode of the cluster.
@@ -551,11 +575,11 @@ impl ClusterContext {
                     .seal_prepared(aad.into(), buf)?;
                 // Gang-parallel seal on the source device's crypto pool:
                 // the issuing thread blocks until it completes.
-                let seal_time = crypto.seal_time(len) / threads as u32;
-                let enc = src_ctx.crypto_pool_mut().reserve(now, seal_time);
+                let seal_time = crypto.pool_seal_time(len, threads);
+                let enc = src_ctx.crypto_pool_mut().reserve_gang(now, seal_time);
                 let wire = edge.timeline.transfer(enc.end, len);
-                let open_time = crypto.open_time(len) / threads as u32;
-                let dec = dst_ctx.crypto_pool_mut().reserve(wire.end, open_time);
+                let open_time = crypto.pool_open_time(len, threads);
+                let dec = dst_ctx.crypto_pool_mut().reserve_gang(wire.end, open_time);
                 edge.timeline.record_crypto(seal_time + open_time);
                 let kind = sealed_kind(&sealed);
                 let opened = Self::receiver_endpoint(edge, active, src_is_a)
@@ -586,11 +610,11 @@ impl ClusterContext {
     /// reserved on the source device's crypto pool starting at `now`;
     /// the returned time is when the ciphertext is ready.
     ///
-    /// The seal occupies **one** worker for the full seal time: like the
-    /// host channel's speculative refill, speculation gains throughput by
-    /// pipelining independent seals across workers, whereas only the
-    /// *blocking* native path gang-shards a single buffer over all
-    /// `crypto_threads`.
+    /// The chunked engine gang-shards the buffer across all
+    /// `crypto_threads` workers (near-linear until PCIe saturation), so a
+    /// speculative seal's latency shrinks with worker count just as the
+    /// blocking native path's does — what the pipeline hides is the *wire
+    /// scheduling*, not the crypto cost.
     ///
     /// # Errors
     ///
@@ -617,6 +641,7 @@ impl ClusterContext {
         }
         let active = self.active;
         let crypto = self.timing.crypto;
+        let threads = self.crypto_threads;
         let src_is_a = src_dev < dst_dev;
         let (src_ctx, _dst_ctx, edge) = self.split(src_dev, dst_dev);
         let sender = Self::sender_endpoint(edge, active, src_is_a);
@@ -630,8 +655,8 @@ impl ClusterContext {
         let sealed = Self::sender_endpoint(edge, active, src_is_a)
             .tx()
             .seal_speculative_prepared(iv, aad.into(), buf)?;
-        let seal_time = crypto.seal_time(len);
-        let reservation = src_ctx.crypto_pool_mut().reserve(now, seal_time);
+        let seal_time = crypto.pool_seal_time(len, threads);
+        let reservation = src_ctx.crypto_pool_mut().reserve_gang(now, seal_time);
         edge.timeline.record_crypto(seal_time);
         Ok((sealed, reservation.end))
     }
@@ -701,8 +726,8 @@ impl ClusterContext {
             .expect("counter validated above and cannot have advanced");
         let depart = now.max(ready_at);
         let wire = edge.timeline.transfer(depart, payload_len);
-        let open_time = crypto.open_time(payload_len) / threads as u32;
-        let dec = dst_ctx.crypto_pool_mut().reserve(wire.end, open_time);
+        let open_time = crypto.pool_open_time(payload_len, threads);
+        let dec = dst_ctx.crypto_pool_mut().reserve_gang(wire.end, open_time);
         edge.timeline.record_crypto(open_time);
         dst_ctx
             .device_memory_mut()

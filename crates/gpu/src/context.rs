@@ -22,6 +22,7 @@ use crate::memory::{DeviceMemory, DevicePtr, HostMemory, HostRegion, MemoryError
 use crate::pages::{Access, PageRegistry, Protection};
 use crate::timing::IoTimingModel;
 use pipellm_crypto::channel::{DeferredOpen, Direction, SealedMessage, SecureChannel};
+use pipellm_crypto::engine::CryptoEngine;
 use pipellm_crypto::gcm::TAG_LEN;
 use pipellm_crypto::kv;
 use pipellm_crypto::session::{SessionId, SessionManager};
@@ -199,10 +200,24 @@ pub struct ContextConfig {
     pub timing: IoTimingModel,
     /// Device memory capacity in bytes (H100-SXM: 80 GB).
     pub device_capacity: u64,
-    /// CPU crypto worker threads available to this context.
+    /// CPU crypto worker threads available to this context. This one knob
+    /// sizes both crypto timelines: the *real* [`CryptoEngine`] pool that
+    /// chunk-seals the actual bytes and the simulated [`WorkerPool`] the
+    /// timing layer reserves — the same `k` on both. Blocking paths are
+    /// priced as `k`-wide gangs ([`CpuCryptoModel::pool_seal_time`]);
+    /// speculative seals are priced as whole chunks pipelined one per
+    /// worker (§7.1), the queue depth keeping the pool busy.
+    ///
+    /// [`CpuCryptoModel::pool_seal_time`]: pipellm_crypto::cost::CpuCryptoModel::pool_seal_time
     pub crypto_threads: usize,
     /// Key-derivation seed for the secure channel.
     pub seed: u64,
+    /// An existing engine to share (a [`ClusterContext`] hands one pool to
+    /// all of its devices); `None` spawns a fresh `crypto_threads`-wide
+    /// pool for this context.
+    ///
+    /// [`ClusterContext`]: crate::cluster::ClusterContext
+    pub engine: Option<Arc<CryptoEngine>>,
 }
 
 impl Default for ContextConfig {
@@ -213,6 +228,7 @@ impl Default for ContextConfig {
             device_capacity: 80 * 1_000_000_000,
             crypto_threads: 1,
             seed: 0x9e37,
+            engine: None,
         }
     }
 }
@@ -232,6 +248,9 @@ pub struct CudaContext {
     active: SessionId,
     link: Link,
     crypto_pool: WorkerPool,
+    /// The real worker pool chunk-sealing the actual bytes; installed on
+    /// every session channel, same width as `crypto_pool` models.
+    engine: Arc<CryptoEngine>,
     gpu: GpuEngine,
     pages: PageRegistry,
     pending: Vec<SimTime>,
@@ -290,7 +309,11 @@ impl CudaContext {
             config.timing.link_gbps(cc_enabled),
             config.timing.pcie_latency,
         );
+        let engine = config
+            .engine
+            .unwrap_or_else(|| Arc::new(CryptoEngine::new(config.crypto_threads.max(1))));
         let mut sessions = SessionManager::from_seed(config.seed);
+        sessions.set_engine(Arc::clone(&engine));
         let active = sessions.open();
         debug_assert_eq!(active, SessionId::DEFAULT);
         CudaContext {
@@ -303,6 +326,7 @@ impl CudaContext {
             active,
             link,
             crypto_pool: WorkerPool::new(config.crypto_threads),
+            engine,
             gpu: GpuEngine::new(),
             pages: PageRegistry::new(),
             pending: Vec::new(),
@@ -439,6 +463,18 @@ impl CudaContext {
         &mut self.crypto_pool
     }
 
+    /// The real multi-threaded crypto engine behind this context's
+    /// channels (the `crypto_threads`-wide twin of the simulated pool).
+    pub fn crypto_engine(&self) -> &Arc<CryptoEngine> {
+        &self.engine
+    }
+
+    /// Configured crypto worker threads (the gang width of blocking
+    /// seals/opens on both the real and the simulated timeline).
+    pub fn crypto_threads(&self) -> usize {
+        self.crypto_threads
+    }
+
     /// The PCIe link timeline.
     pub fn link(&self) -> &Link {
         &self.link
@@ -535,10 +571,11 @@ impl CudaContext {
                     .tx_mut()
                     .seal_prepared(aad.into(), buf)?;
                 let iv = sealed.iv;
-                // Intra-op gang parallelism: the library shards one buffer
-                // across all crypto threads (the Figure 9 "CC-4t" baseline).
-                let seal_time = self.timing.crypto.seal_time(len) / self.crypto_threads as u32;
-                let enc = self.crypto_pool.reserve(now, seal_time);
+                // Intra-op gang parallelism: the chunked engine shards one
+                // buffer across all crypto threads (the Figure 9 "CC-4t"
+                // baseline), near-linear until it saturates PCIe.
+                let seal_time = self.timing.crypto.pool_seal_time(len, self.crypto_threads);
+                let enc = self.crypto_pool.reserve_gang(now, seal_time);
                 let wire = self.link.transfer(enc.end, len);
                 self.deliver_to_device_owned(dst, sealed)?;
                 let done = wire.end + self.timing.cc_control;
@@ -594,8 +631,8 @@ impl CudaContext {
                     .tx_mut()
                     .seal_prepared(aad.into(), buf)?;
                 let wire = self.link.transfer(now, len);
-                let open_time = self.timing.crypto.open_time(len) / self.crypto_threads as u32;
-                let dec = self.crypto_pool.reserve(wire.end, open_time);
+                let open_time = self.timing.crypto.pool_open_time(len, self.crypto_threads);
+                let dec = self.crypto_pool.reserve_gang(wire.end, open_time);
                 let kind = sealed_kind(&sealed);
                 let opened = self.channel_mut().host_mut().rx_mut().open_owned(sealed)?;
                 self.host_store(dst, Payload::from_plaintext(kind, opened))?;

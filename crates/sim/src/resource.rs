@@ -198,6 +198,34 @@ impl WorkerPool {
         Reservation { start, end }
     }
 
+    /// Reserves **every** worker for `service` wall time: the gang-parallel
+    /// chunked operation, where one payload is sharded across the whole
+    /// pool (the real engine's chunked AES-GCM). Each worker picks up its
+    /// segment as soon as it is individually free (segments queue greedily;
+    /// there is no all-workers barrier), so on an idle pool this is
+    /// `service` wall time on all `k` workers, and a straggler worker only
+    /// delays the segments it actually serves. The reservation spans from
+    /// the first segment's start to the last segment's completion.
+    pub fn reserve_gang(&mut self, arrival: SimTime, service: Duration) -> Reservation {
+        let mut starts = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            let Reverse(free) = self.free_at.pop().expect("pool always has ≥1 worker");
+            starts.push(arrival.max(free));
+        }
+        let first = starts.iter().copied().min().expect("pool has ≥1 worker");
+        let mut last = first;
+        for start in starts {
+            let end = start + service;
+            last = last.max(end);
+            self.free_at.push(Reverse(end));
+        }
+        self.busy += service * self.workers as u32;
+        Reservation {
+            start: first,
+            end: last,
+        }
+    }
+
     /// The earliest time any worker is free.
     pub fn earliest_free(&self) -> SimTime {
         self.free_at
@@ -338,6 +366,31 @@ mod tests {
     fn pool_of_zero_degrades_to_one() {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn gang_reservation_occupies_the_whole_pool() {
+        let mut pool = WorkerPool::new(4);
+        let gang = pool.reserve_gang(SimTime::from_micros(2), Duration::from_micros(10));
+        assert_eq!(gang.start, SimTime::from_micros(2));
+        assert_eq!(gang.end, SimTime::from_micros(12));
+        // Every worker is held until the gang completes.
+        assert_eq!(pool.earliest_free(), SimTime::from_micros(12));
+        assert_eq!(pool.busy_time(), Duration::from_micros(10) * 4);
+        // A follow-up single job queues behind the gang.
+        let next = pool.reserve(SimTime::ZERO, Duration::from_micros(1));
+        assert_eq!(next.start, SimTime::from_micros(12));
+    }
+
+    #[test]
+    fn gang_segments_start_greedily_without_a_barrier() {
+        let mut pool = WorkerPool::new(2);
+        // One worker is busy until t=8; the other starts its segment at
+        // arrival, and the gang completes when the straggler's does.
+        pool.reserve(SimTime::ZERO, Duration::from_micros(8));
+        let gang = pool.reserve_gang(SimTime::from_micros(2), Duration::from_micros(5));
+        assert_eq!(gang.start, SimTime::from_micros(2), "no all-free barrier");
+        assert_eq!(gang.end, SimTime::from_micros(13), "8 + 5 on the straggler");
     }
 
     #[test]

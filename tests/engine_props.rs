@@ -1,0 +1,143 @@
+//! Property-based tests of the multi-threaded chunked crypto engine: the
+//! parallel seal/open paths must be **bit-identical** to the sequential
+//! path — same ciphertext, same tag — for arbitrary payload sizes, chunk
+//! counts, and worker counts, on both the software and hardware GCM
+//! paths, and the two paths' outputs must open interchangeably.
+
+use pipellm_repro::crypto::engine::CryptoEngine;
+use pipellm_repro::crypto::gcm::{AesGcm, PAR_MIN_BYTES};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A payload length that straddles the parallel-engagement threshold and
+/// the block/segment boundaries: sizes from well below `PAR_MIN_BYTES` to
+/// several segments above it, biased to ±16 of multiples of 16.
+fn payload_len() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        0usize..256,
+        (PAR_MIN_BYTES - 64)..(PAR_MIN_BYTES + 64),
+        (PAR_MIN_BYTES)..(PAR_MIN_BYTES * 6),
+    ]
+}
+
+/// Deterministic pseudo-random payload of `len` bytes from a seed.
+fn payload(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 56) as u8
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel chunked sealing produces byte-identical `ciphertext || tag`
+    /// to the sequential path, for any worker count, on the dispatched
+    /// (hardware where available) path — and each path opens the other's
+    /// output.
+    #[test]
+    fn chunked_seal_is_bit_identical_hw(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        aad in proptest::collection::vec(any::<u8>(), 0..48),
+        len in payload_len(),
+        seed in any::<u64>(),
+        workers in 2usize..9,
+    ) {
+        let plaintext = payload(seed, len);
+        let seq = AesGcm::new(&key).expect("32-byte key");
+        let par = AesGcm::new(&key)
+            .expect("32-byte key")
+            .with_engine(Arc::new(CryptoEngine::new(workers)));
+        let sealed_seq = seq.seal(&nonce, &aad, &plaintext);
+        let sealed_par = par.seal(&nonce, &aad, &plaintext);
+        prop_assert_eq!(&sealed_par, &sealed_seq, "len {} workers {}", len, workers);
+        // Cross-path opens succeed and agree.
+        prop_assert_eq!(par.open(&nonce, &aad, &sealed_seq).expect("authentic"), plaintext.clone());
+        prop_assert_eq!(seq.open(&nonce, &aad, &sealed_par).expect("authentic"), plaintext);
+    }
+
+    /// The same bit-identity on the forced-software path (portable
+    /// T-table AES + 8-bit-table GHASH), shorter lengths so the software
+    /// walk stays fast.
+    #[test]
+    fn chunked_seal_is_bit_identical_soft(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        len in (PAR_MIN_BYTES - 16)..(PAR_MIN_BYTES * 2),
+        seed in any::<u64>(),
+        workers in 2usize..5,
+    ) {
+        let plaintext = payload(seed, len);
+        let seq = AesGcm::new(&key).expect("32-byte key").software_only();
+        let par = AesGcm::new(&key)
+            .expect("32-byte key")
+            .software_only()
+            .with_engine(Arc::new(CryptoEngine::new(workers)));
+        let sealed_seq = seq.seal(&nonce, b"hdr", &plaintext);
+        let sealed_par = par.seal(&nonce, b"hdr", &plaintext);
+        prop_assert_eq!(&sealed_par, &sealed_seq, "len {} workers {}", len, workers);
+        // Software-sealed opens on the hardware-dispatched parallel path.
+        let hw_par = AesGcm::new(&key)
+            .expect("32-byte key")
+            .with_engine(Arc::new(CryptoEngine::new(workers)));
+        prop_assert_eq!(hw_par.open(&nonce, b"hdr", &sealed_seq).expect("authentic"), plaintext);
+    }
+
+    /// In-place chunked sealing and opening roundtrip and match the
+    /// allocating API; tampering anywhere is rejected with the buffer left
+    /// as ciphertext.
+    #[test]
+    fn chunked_in_place_roundtrips_and_rejects_tampering(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        len in (PAR_MIN_BYTES)..(PAR_MIN_BYTES * 4),
+        seed in any::<u64>(),
+        flip_at in any::<prop::sample::Index>(),
+    ) {
+        let plaintext = payload(seed, len);
+        let par = AesGcm::new(&key)
+            .expect("32-byte key")
+            .with_engine(Arc::new(CryptoEngine::new(4)));
+        let mut buf = plaintext.clone();
+        let tag = par.seal_in_place(&nonce, b"aad", &mut buf);
+        let sealed = par.seal(&nonce, b"aad", &plaintext);
+        prop_assert_eq!(&sealed[..len], &buf[..]);
+        prop_assert_eq!(&sealed[len..], &tag[..]);
+        // Tamper one bit of the ciphertext: the chunked open must refuse
+        // and leave the ciphertext untouched.
+        let idx = flip_at.index(len);
+        buf[idx] ^= 0x01;
+        let ct_before = buf.clone();
+        prop_assert!(par.open_in_place(&nonce, b"aad", &mut buf, &tag).is_err());
+        prop_assert_eq!(&buf, &ct_before);
+        buf[idx] ^= 0x01;
+        par.open_in_place(&nonce, b"aad", &mut buf, &tag).expect("authentic");
+        prop_assert_eq!(buf, plaintext);
+    }
+
+    /// `open_into` (the borrowed, clone-free open) agrees with the owned
+    /// open on both the sequential and chunked paths.
+    #[test]
+    fn open_into_matches_owned_open(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        len in prop_oneof![0usize..512, PAR_MIN_BYTES..(PAR_MIN_BYTES * 2)],
+        seed in any::<u64>(),
+    ) {
+        let plaintext = payload(seed, len);
+        let par = AesGcm::new(&key)
+            .expect("32-byte key")
+            .with_engine(Arc::new(CryptoEngine::new(3)));
+        let sealed = par.seal(&nonce, b"d", &plaintext);
+        let mut out = Vec::new();
+        par.open_into(&nonce, b"d", &sealed, &mut out).expect("authentic");
+        prop_assert_eq!(&out, &plaintext);
+        prop_assert_eq!(par.open(&nonce, b"d", &sealed).expect("authentic"), plaintext);
+    }
+}
