@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod chaos;
 pub mod fig02;
 pub mod fig03;
 pub mod fig07;

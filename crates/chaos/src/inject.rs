@@ -1,0 +1,410 @@
+//! The injector the pipeline layers consult, and the fault value they get
+//! back.
+//!
+//! [`ChaosInjector`] owns the only mutable state in this crate: one
+//! sequence counter per [`FaultSite`] (so each site sees its own
+//! deterministic fault stream), the injected-fault tally, and a
+//! suppression depth for recovery paths. All methods take `&self`; the
+//! injector is designed to be shared as an `Arc` across the crypto pool,
+//! GPU contexts, and the serving engine.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::plan::{FaultKind, FaultPlan, FaultSite};
+use crate::{mix, to_unit};
+
+/// One injected fault: the kind plus a salt word that deterministically
+/// parameterizes it (which bit flips, where the truncation cuts, how long
+/// the hang lasts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The class of failure to inject.
+    pub kind: FaultKind,
+    /// Deterministic parameter word for this specific injection.
+    pub salt: u64,
+}
+
+impl Fault {
+    /// Applies a frame-level fault to a sealed frame in place.
+    ///
+    /// - [`FaultKind::CorruptFrame`]: flips one salt-selected bit.
+    /// - [`FaultKind::TruncateFrame`]: cuts the frame at a salt-selected
+    ///   length strictly shorter than the original.
+    /// - [`FaultKind::DropFrame`]: clears the frame entirely (the caller
+    ///   models the loss; an empty frame can never authenticate).
+    ///
+    /// Returns `false` when the frame is empty and there is nothing to
+    /// mutate. Stage- and session-level kinds do not touch frames and also
+    /// return `false`.
+    pub fn apply_to_frame(&self, frame: &mut Vec<u8>) -> bool {
+        if frame.is_empty() {
+            return false;
+        }
+        match self.kind {
+            FaultKind::CorruptFrame => {
+                let bit = (self.salt % (frame.len() as u64 * 8)) as usize;
+                frame[bit / 8] ^= 1 << (bit % 8);
+                true
+            }
+            FaultKind::TruncateFrame => {
+                let keep = (self.salt % frame.len() as u64) as usize;
+                frame.truncate(keep);
+                true
+            }
+            FaultKind::DropFrame => {
+                frame.clear();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// A salt-derived duration scale on `[0, 1)`, used to size hangs and
+    /// backoff jitter deterministically.
+    pub fn unit(&self) -> f64 {
+        to_unit(mix(self.salt))
+    }
+}
+
+/// Running tally of injected faults, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Bit flips injected into sealed frames.
+    pub corrupt_frames: u64,
+    /// Frame truncations injected.
+    pub truncate_frames: u64,
+    /// Frames dropped in flight.
+    pub drop_frames: u64,
+    /// Stage crashes injected.
+    pub stage_kills: u64,
+    /// Stage hangs injected.
+    pub stage_hangs: u64,
+    /// Mid-stream session replacements injected.
+    pub session_churns: u64,
+    /// Rekeys injected to race in-flight KV swaps.
+    pub rekey_races: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected across every kind.
+    pub fn total(&self) -> u64 {
+        self.corrupt_frames
+            + self.truncate_frames
+            + self.drop_frames
+            + self.stage_kills
+            + self.stage_hangs
+            + self.session_churns
+            + self.rekey_races
+    }
+
+    fn bump(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::CorruptFrame => self.corrupt_frames += 1,
+            FaultKind::TruncateFrame => self.truncate_frames += 1,
+            FaultKind::DropFrame => self.drop_frames += 1,
+            FaultKind::StageKill => self.stage_kills += 1,
+            FaultKind::StageHang => self.stage_hangs += 1,
+            FaultKind::SessionChurn => self.session_churns += 1,
+            FaultKind::RekeyRace => self.rekey_races += 1,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "faults: {} (corrupt {}, truncate {}, drop {}, kill {}, hang {}, churn {}, rekey-race {})",
+            self.total(),
+            self.corrupt_frames,
+            self.truncate_frames,
+            self.drop_frames,
+            self.stage_kills,
+            self.stage_hangs,
+            self.session_churns,
+            self.rekey_races,
+        )
+    }
+}
+
+struct Counters {
+    seq: [u64; FaultSite::ALL.len()],
+    stats: FaultStats,
+}
+
+/// Thread-safe, deterministic fault sampler shared across the stack.
+///
+/// Each call to a `roll_*` method consumes one sequence number at the
+/// given site and either returns a [`Fault`] to inject or `None`. The
+/// sequence advances either way, so the fault stream a site sees depends
+/// only on how many guarded operations ran there — never on what other
+/// sites did.
+///
+/// # Example
+///
+/// ```
+/// use pipellm_chaos::{ChaosInjector, FaultPlan, FaultSite};
+///
+/// let chaos = ChaosInjector::new(FaultPlan::new(1).with_frame_rate(1.0));
+/// assert!(chaos.roll_frame(FaultSite::HostToDevice).is_some());
+/// // Recovery paths run with injection suppressed:
+/// let _quiet = chaos.suppress();
+/// assert!(chaos.roll_frame(FaultSite::HostToDevice).is_none());
+/// ```
+pub struct ChaosInjector {
+    plan: FaultPlan,
+    counters: Mutex<Counters>,
+    suppress: AtomicUsize,
+}
+
+impl ChaosInjector {
+    /// An injector driven by `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        ChaosInjector {
+            plan,
+            counters: Mutex::new(Counters {
+                seq: [0; FaultSite::ALL.len()],
+                stats: FaultStats::default(),
+            }),
+            suppress: AtomicUsize::new(0),
+        }
+    }
+
+    /// An injector that never fires (all rates zero).
+    pub fn quiet() -> Arc<Self> {
+        Arc::new(ChaosInjector::new(FaultPlan::new(0)))
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Snapshot of the faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.lock().stats
+    }
+
+    /// Samples the next decision at `site` over an explicit kind subset.
+    pub fn roll(&self, site: FaultSite, kinds: &[FaultKind]) -> Option<Fault> {
+        if self.plan.is_quiet() {
+            return None;
+        }
+        let mut counters = self.lock();
+        let seq = counters.seq[site.index()];
+        counters.seq[site.index()] += 1;
+        if self.suppress.load(Ordering::Relaxed) > 0 {
+            return None;
+        }
+        let (kind, salt) = self.plan.sample(kinds, site, seq)?;
+        counters.stats.bump(kind);
+        Some(Fault { kind, salt })
+    }
+
+    /// Samples a frame-level fault (corrupt / truncate / drop) at `site`.
+    pub fn roll_frame(&self, site: FaultSite) -> Option<Fault> {
+        self.roll(site, &FaultKind::FRAME)
+    }
+
+    /// Samples a stage-level fault (kill / hang) at `site`.
+    pub fn roll_stage(&self, site: FaultSite) -> Option<Fault> {
+        self.roll(site, &FaultKind::STAGE)
+    }
+
+    /// Samples a session-level fault (churn / rekey race) at `site`.
+    pub fn roll_session(&self, site: FaultSite) -> Option<Fault> {
+        self.roll(site, &FaultKind::SESSION)
+    }
+
+    /// Suspends injection until the returned guard drops.
+    ///
+    /// Recovery paths (the final escalation attempt of a retry loop, the
+    /// replay after a rekey) run under suppression so that chaos verifies
+    /// *recovery works*, not that infinite fault streams eventually win.
+    /// Sequence numbers still advance while suppressed, keeping later
+    /// faults deterministic.
+    pub fn suppress(&self) -> SuppressGuard<'_> {
+        self.suppress.fetch_add(1, Ordering::Relaxed);
+        SuppressGuard { injector: self }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Counters> {
+        // A panic while holding this mutex means a poisoned test run;
+        // recover the inner state rather than cascading the panic.
+        match self.counters.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ChaosInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosInjector")
+            .field("plan", &self.plan)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// RAII guard returned by [`ChaosInjector::suppress`]; injection resumes
+/// when every outstanding guard has dropped.
+pub struct SuppressGuard<'a> {
+    injector: &'a ChaosInjector,
+}
+
+impl Drop for SuppressGuard<'_> {
+    fn drop(&mut self) {
+        self.injector.suppress.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy() -> ChaosInjector {
+        ChaosInjector::new(FaultPlan::new(21).with_frame_rate(1.0))
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_bit() {
+        let fault = Fault {
+            kind: FaultKind::CorruptFrame,
+            salt: 0xDEAD_BEEF,
+        };
+        let original = vec![0u8; 33];
+        let mut mutated = original.clone();
+        assert!(fault.apply_to_frame(&mut mutated));
+        let flipped: u32 = original
+            .iter()
+            .zip(&mutated)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn truncate_always_shortens() {
+        for salt in 0..100 {
+            let fault = Fault {
+                kind: FaultKind::TruncateFrame,
+                salt,
+            };
+            let mut frame = vec![7u8; 24];
+            assert!(fault.apply_to_frame(&mut frame));
+            assert!(frame.len() < 24);
+        }
+    }
+
+    #[test]
+    fn drop_clears_the_frame() {
+        let fault = Fault {
+            kind: FaultKind::DropFrame,
+            salt: 5,
+        };
+        let mut frame = vec![1u8; 8];
+        assert!(fault.apply_to_frame(&mut frame));
+        assert!(frame.is_empty());
+    }
+
+    #[test]
+    fn empty_frames_are_left_alone() {
+        let fault = Fault {
+            kind: FaultKind::CorruptFrame,
+            salt: 5,
+        };
+        let mut frame = Vec::new();
+        assert!(!fault.apply_to_frame(&mut frame));
+    }
+
+    #[test]
+    fn stage_faults_do_not_touch_frames() {
+        let fault = Fault {
+            kind: FaultKind::StageKill,
+            salt: 5,
+        };
+        let mut frame = vec![9u8; 4];
+        assert!(!fault.apply_to_frame(&mut frame));
+        assert_eq!(frame, vec![9u8; 4]);
+    }
+
+    #[test]
+    fn stats_count_injected_faults() {
+        let chaos = noisy();
+        for _ in 0..50 {
+            chaos.roll_frame(FaultSite::DeviceToDevice);
+        }
+        let stats = chaos.stats();
+        assert_eq!(stats.total(), 50);
+        assert!(stats.corrupt_frames > 0);
+        assert!(stats.truncate_frames > 0);
+        assert!(stats.drop_frames > 0);
+    }
+
+    #[test]
+    fn suppression_silences_and_nests() {
+        let chaos = noisy();
+        {
+            let _outer = chaos.suppress();
+            {
+                let _inner = chaos.suppress();
+                assert!(chaos.roll_frame(FaultSite::HostToDevice).is_none());
+            }
+            assert!(chaos.roll_frame(FaultSite::HostToDevice).is_none());
+        }
+        assert!(chaos.roll_frame(FaultSite::HostToDevice).is_some());
+        // Suppressed rolls are not tallied as injected.
+        assert_eq!(chaos.stats().total(), 1);
+    }
+
+    #[test]
+    fn suppressed_rolls_still_advance_the_sequence() {
+        // Two injectors with the same plan: one rolls 3 times suppressed
+        // then once live, the other rolls 4 times live. Roll 4 must agree.
+        let a = noisy();
+        let b = noisy();
+        {
+            let _quiet = a.suppress();
+            for _ in 0..3 {
+                a.roll_frame(FaultSite::KvSwapIn);
+            }
+        }
+        let mut last = None;
+        for _ in 0..4 {
+            last = b.roll_frame(FaultSite::KvSwapIn);
+        }
+        assert_eq!(a.roll_frame(FaultSite::KvSwapIn), last);
+    }
+
+    #[test]
+    fn quiet_injector_is_free_of_faults() {
+        let chaos = ChaosInjector::quiet();
+        for site in FaultSite::ALL {
+            for _ in 0..32 {
+                assert!(chaos.roll(site, &FaultKind::ALL).is_none());
+            }
+        }
+        assert_eq!(chaos.stats().total(), 0);
+    }
+
+    #[test]
+    fn injector_is_shareable_across_threads() {
+        let chaos = Arc::new(noisy());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let chaos = Arc::clone(&chaos);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        chaos.roll_frame(FaultSite::EngineJob);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("injector thread panicked");
+        }
+        assert_eq!(chaos.stats().total(), 400);
+    }
+}

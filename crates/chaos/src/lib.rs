@@ -1,0 +1,82 @@
+//! Deterministic fault injection for the PipeLLM reproduction.
+//!
+//! A confidential-computing serving stack has to prove more than raw
+//! throughput: its *security* invariants must hold while frames corrupt,
+//! links drop, and stages die. This crate is the substrate for that proof.
+//! It is deliberately dependency-free (it sits *below* `pipellm-crypto` and
+//! `pipellm-gpu` in the dependency graph) and fully deterministic: the same
+//! seed always injects the same faults at the same operations, so every
+//! chaos run is reproducible and every failure a regression test.
+//!
+//! - [`plan`]: the fault taxonomy ([`FaultKind`]), the injection sites
+//!   threaded through the stack ([`FaultSite`]), and the seeded per-kind
+//!   probability table ([`FaultPlan`]).
+//! - [`inject`]: [`ChaosInjector`], the thread-safe sampler the pipeline
+//!   layers consult before each guarded operation, plus the deterministic
+//!   frame-mutation helpers (bit flips, truncations) and injection
+//!   suppression for recovery paths that must run clean.
+//! - [`retry`]: [`RetryPolicy`] — bounded retries, exponential backoff with
+//!   deterministic jitter, and per-operation timeouts for hung stages.
+//!
+//! # Example
+//!
+//! ```
+//! use pipellm_chaos::{ChaosInjector, FaultPlan, FaultSite};
+//!
+//! let plan = FaultPlan::new(42).with_frame_rate(0.5);
+//! let chaos = ChaosInjector::new(plan);
+//! let mut sealed = vec![0xAB; 64];
+//! if let Some(fault) = chaos.roll_frame(FaultSite::DeviceToDevice) {
+//!     // Deterministically mangle the sealed frame; AEAD must reject it.
+//!     fault.apply_to_frame(&mut sealed);
+//! }
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod inject;
+pub mod plan;
+pub mod retry;
+
+pub use inject::{ChaosInjector, Fault, FaultStats, SuppressGuard};
+pub use plan::{FaultKind, FaultPlan, FaultSite};
+pub use retry::RetryPolicy;
+
+/// SplitMix64 finalizer: the deterministic mixing primitive behind every
+/// sampling decision in this crate. Identical inputs always produce
+/// identical faults.
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a mixed word onto the unit interval `[0, 1)`.
+pub(crate) fn to_unit(x: u64) -> f64 {
+    // 53 high bits -> f64 mantissa, the standard uniform-double recipe.
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(mix(1), mix(1));
+        assert_ne!(mix(1), mix(2));
+        // Consecutive inputs should not produce consecutive outputs.
+        assert!(mix(2).abs_diff(mix(1)) > 1 << 32);
+    }
+
+    #[test]
+    fn to_unit_stays_in_range() {
+        for i in 0..1000u64 {
+            let u = to_unit(mix(i));
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Retry, backoff, and timeout policy for faulted operations.
+//!
+//! When a guarded operation fails (a frame fails authentication, a stage
+//! stops responding), the orchestrator retries it a bounded number of
+//! times, waiting an exponentially growing — and deterministically
+//! jittered — backoff between attempts. Every retry re-seals at a *fresh*
+//! IV; the policy layer never touches crypto state, it only decides *when*
+//! the next attempt runs and when a hung operation is declared dead.
+
+use std::time::Duration;
+
+use crate::{mix, to_unit};
+
+/// Bounded-retry policy with exponential backoff, deterministic jitter,
+/// and a per-operation timeout.
+///
+/// # Example
+///
+/// ```
+/// use pipellm_chaos::RetryPolicy;
+///
+/// let policy = RetryPolicy::default();
+/// let mut attempt = 0;
+/// while policy.allows(attempt) {
+///     // ... try the operation, re-sealing at a fresh IV ...
+///     let wait = policy.backoff_after(attempt, /* salt */ 42);
+///     assert!(wait >= policy.base_backoff);
+///     attempt += 1;
+/// }
+/// assert_eq!(attempt, policy.max_retries);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum number of retries after the initial attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Ceiling on the exponentially grown backoff (pre-jitter).
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by a
+    /// deterministic factor drawn from `[1, 1 + jitter)`.
+    pub jitter: f64,
+    /// How long to wait on a single attempt before declaring the stage
+    /// hung and rerouting.
+    pub op_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Defaults tuned for the simulated pipeline, where transfer ops are
+    /// microsecond-scale: three retries, 2 µs initial backoff doubling up
+    /// to 64 µs, 25% jitter, and a 500 µs per-op timeout.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_micros(2),
+            max_backoff: Duration::from_micros(64),
+            jitter: 0.25,
+            op_timeout: Duration::from_micros(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Whether another retry is allowed after `attempt` failures
+    /// (`attempt` is zero-based: `allows(0)` asks about the first retry).
+    pub fn allows(&self, attempt: u32) -> bool {
+        attempt < self.max_retries
+    }
+
+    /// Backoff to wait after the `attempt`-th failure: the base doubled
+    /// per attempt, capped at [`RetryPolicy::max_backoff`], then stretched
+    /// by a jitter factor derived from `salt` — deterministic, so chaos
+    /// schedules replay exactly.
+    pub fn backoff_after(&self, attempt: u32, salt: u64) -> Duration {
+        let grown = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.max_backoff);
+        let factor = 1.0 + self.jitter.clamp(0.0, 1.0) * to_unit(mix(salt ^ u64::from(attempt)));
+        grown.mul_f64(factor)
+    }
+
+    /// Total time an operation may consume across the initial attempt and
+    /// every allowed retry, ignoring the attempts themselves: the sum of
+    /// all backoffs at maximum jitter. Used to bound worst-case recovery
+    /// latency in tests and benches.
+    pub fn worst_case_backoff(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        for attempt in 0..self.max_retries {
+            let grown = self
+                .base_backoff
+                .saturating_mul(1u32 << attempt.min(20))
+                .min(self.max_backoff);
+            total += grown.mul_f64(1.0 + self.jitter.clamp(0.0, 1.0));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retries_are_bounded() {
+        let policy = RetryPolicy::default();
+        let mut attempts = 0;
+        while policy.allows(attempts) {
+            attempts += 1;
+        }
+        assert_eq!(attempts, policy.max_retries);
+        assert!(!policy.allows(policy.max_retries));
+        assert!(!policy.allows(policy.max_retries + 10));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_until_the_cap() {
+        let policy = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.backoff_after(0, 0), Duration::from_micros(2));
+        assert_eq!(policy.backoff_after(1, 0), Duration::from_micros(4));
+        assert_eq!(policy.backoff_after(2, 0), Duration::from_micros(8));
+        assert_eq!(policy.backoff_after(10, 0), policy.max_backoff);
+        assert_eq!(policy.backoff_after(63, 0), policy.max_backoff);
+    }
+
+    #[test]
+    fn jitter_stays_within_the_declared_band() {
+        let policy = RetryPolicy::default();
+        for attempt in 0..policy.max_retries {
+            let dry = RetryPolicy {
+                jitter: 0.0,
+                ..policy
+            }
+            .backoff_after(attempt, 0);
+            for salt in 0..200u64 {
+                let wet = policy.backoff_after(attempt, salt);
+                assert!(wet >= dry, "jitter shrank the backoff");
+                assert!(
+                    wet.as_secs_f64() < dry.as_secs_f64() * (1.0 + policy.jitter) + 1e-12,
+                    "jitter exceeded {:.0}%",
+                    policy.jitter * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_varies_by_salt() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff_after(1, 7), policy.backoff_after(1, 7));
+        let distinct: std::collections::HashSet<Duration> =
+            (0..32).map(|salt| policy.backoff_after(1, salt)).collect();
+        assert!(distinct.len() > 16, "salts should spread the jitter");
+    }
+
+    #[test]
+    fn worst_case_bounds_every_schedule() {
+        let policy = RetryPolicy::default();
+        for salt in 0..100u64 {
+            let total: Duration = (0..policy.max_retries)
+                .map(|a| policy.backoff_after(a, salt))
+                .sum();
+            assert!(total <= policy.worst_case_backoff() + Duration::from_nanos(10));
+        }
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let policy = RetryPolicy::default();
+        let wait = policy.backoff_after(u32::MAX, 1);
+        assert!(wait >= policy.max_backoff);
+        assert!(wait <= policy.max_backoff.mul_f64(1.0 + policy.jitter));
+    }
+}

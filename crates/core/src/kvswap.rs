@@ -24,11 +24,18 @@
 //! Opened staging buffers recycle into the session's staging pool, so a
 //! steady swap stream allocates nothing beyond the workers' scratch.
 
+use pipellm_crypto::channel::SENTINEL_BYTE;
 use pipellm_crypto::engine::{CryptoEngine, JobHandle};
 use pipellm_gpu::context::{CudaContext, DeferredKvOpen};
 use pipellm_gpu::memory::{HostRegion, Payload};
 use pipellm_sim::time::SimTime;
 use std::sync::Arc;
+
+/// The `version` a poisoned virtual KV block lands with: a deferred open
+/// that failed authentication stores a sentinel payload carrying this
+/// marker, so any later consumer comparing versions sees the damage
+/// instead of silently reading stale data.
+pub const POISONED_VERSION: u64 = u64::MAX;
 
 /// One pending block: the deferred-open state plus the background
 /// decryption job running on the crypto engine.
@@ -110,13 +117,22 @@ impl KvSwapPipeline {
     /// Finalizes pending block `idx`: lifts the revocation, joins the
     /// background open (decrypting synchronously only if no job was
     /// submitted), and stores the plaintext. Returns when the data became
-    /// readable plus the staging buffer when the payload did not consume
-    /// it, for recycling.
+    /// readable, the staging buffer when the payload did not consume it
+    /// (for recycling), and whether the block was **poisoned**.
+    ///
+    /// A block whose at-rest ciphertext fails authentication (corrupted
+    /// after the host accepted the frame — an injected fault, or a real
+    /// staging-memory error) does *not* panic and does not wedge the
+    /// pipeline: the revocation is still lifted, a sentinel payload of the
+    /// right size lands in its place (no plaintext or ciphertext bytes
+    /// escape), and the caller is told so it can count and escalate. The
+    /// block's IV was consumed when the host reserved it in wire order, so
+    /// channel lockstep is unaffected.
     pub(crate) fn finalize(
         &mut self,
         ctx: &mut CudaContext,
         idx: usize,
-    ) -> (SimTime, Option<Vec<u8>>) {
+    ) -> (SimTime, Option<Vec<u8>>, bool) {
         let PendingKv {
             deferred,
             background,
@@ -124,24 +140,53 @@ impl KvSwapPipeline {
         ctx.pages_mut().unprotect(deferred.region);
         // Join the decoupled decryption worker; without one, open the
         // staged ciphertext in place (both paths authenticate at the IV
-        // reserved in wire order).
-        let (buf, staging) = match background {
-            Some(job) => {
-                let plain = job
-                    .wait()
-                    .expect("deferred KV open authenticates at its reserved IV");
-                (plain, Some(deferred.ciphertext))
-            }
+        // reserved in wire order). Failures scrub to sentinel bytes.
+        let (buf, staging, poisoned) = match background {
+            Some(job) => match job.wait() {
+                Ok(plain) => (plain, Some(deferred.ciphertext), false),
+                Err(_) => {
+                    // The worker's copy failed authentication; run the
+                    // sentinel open over the authoritative at-rest bytes so
+                    // they are scrubbed the same way (deterministic: the
+                    // same ciphertext fails the same way).
+                    let mut buf = deferred.ciphertext;
+                    let _ = deferred
+                        .open
+                        .open_in_place_or_sentinel(&deferred.aad, &mut buf);
+                    (buf, None, true)
+                }
+            },
             None => {
                 let mut buf = deferred.ciphertext;
-                deferred
+                let poisoned = deferred
                     .open
-                    .open_in_place(&deferred.aad, &mut buf)
-                    .expect("deferred KV open authenticates at its reserved IV");
-                (buf, None)
+                    .open_in_place_or_sentinel(&deferred.aad, &mut buf)
+                    .is_err();
+                (buf, None, poisoned)
             }
         };
-        let (payload, recycled) = if deferred.kind == Payload::KIND_VIRTUAL && buf.len() == 16 {
+        let (payload, recycled) = if poisoned {
+            // Sentinel payload sized to the region: virtual blocks poison
+            // via the sentinel version, real blocks land the scrubbed
+            // buffer itself.
+            if deferred.kind == Payload::KIND_VIRTUAL {
+                (
+                    Payload::Virtual {
+                        len: deferred.region.len,
+                        version: POISONED_VERSION,
+                    },
+                    Some(buf),
+                )
+            } else {
+                // The scrub left only sentinel bytes, but a truncating or
+                // dropping fault also left fewer of them than the region
+                // holds; restore the region's length so the store lands.
+                let mut buf = buf;
+                buf.clear();
+                buf.resize(deferred.region.len as usize, SENTINEL_BYTE);
+                (Payload::Real(buf), None)
+            }
+        } else if deferred.kind == Payload::KIND_VIRTUAL && buf.len() == 16 {
             let len = u64::from_be_bytes(buf[..8].try_into().expect("checked length"));
             let version = u64::from_be_bytes(buf[8..].try_into().expect("checked length"));
             (Payload::Virtual { len, version }, staging.or(Some(buf)))
@@ -152,7 +197,7 @@ impl KvSwapPipeline {
         };
         ctx.host_store_unchecked(deferred.region, payload)
             .expect("pending KV block targets a live allocation");
-        (deferred.ready_at, recycled)
+        (deferred.ready_at, recycled, poisoned)
     }
 
     /// Removes pending block `idx` without landing its plaintext (the

@@ -59,7 +59,7 @@ pub mod stats;
 
 pub use classify::{SizeClassifier, TransferClass};
 pub use edge::EdgePipeline;
-pub use kvswap::KvSwapPipeline;
+pub use kvswap::{KvSwapPipeline, POISONED_VERSION};
 pub use observer::{SideChannelObserver, WireObservation};
 pub use partition::{Pass, PipelineSchedule, ScheduleOp, StagePartition};
 pub use pipeline::SpeculationQueue;

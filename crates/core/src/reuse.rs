@@ -123,6 +123,9 @@ impl ReuseRuntime {
                 crypto_threads: config.crypto_threads,
                 seed: config.seed,
                 engine: None,
+                // The reuse strawman runs CC off; frame faults are a
+                // property of the encrypted path and are not injected.
+                chaos: None,
             }),
             sealer: StaticSealer::new(&key).expect("32-byte key"),
             classifier: SizeClassifier::new(),

@@ -210,7 +210,10 @@ impl SessionState {
         p: &SpecParams,
         idx: usize,
     ) -> SimTime {
-        let (ready_at, recycled) = self.kv.finalize(ctx, idx);
+        let (ready_at, recycled, poisoned) = self.kv.finalize(ctx, idx);
+        if poisoned {
+            self.stats.kv_sentinels += 1;
+        }
         match recycled {
             Some(buf) => self.recycle_buf(p, buf),
             // Real payloads adopt the staging buffer as their storage.

@@ -33,6 +33,10 @@ pub struct PipeLlmStats {
     pub pre_decrypts: u64,
     /// Chunks speculatively encrypted in total.
     pub speculated: u64,
+    /// Deferred KV opens that failed authentication (at-rest ciphertext
+    /// corrupted after the host accepted the frame). The block landed as a
+    /// sentinel payload — page unblocked, no plaintext, IV lockstep held.
+    pub kv_sentinels: u64,
 }
 
 impl std::ops::AddAssign for PipeLlmStats {
@@ -47,6 +51,7 @@ impl std::ops::AddAssign for PipeLlmStats {
         self.decrypt_faults += rhs.decrypt_faults;
         self.pre_decrypts += rhs.pre_decrypts;
         self.speculated += rhs.speculated;
+        self.kv_sentinels += rhs.kv_sentinels;
     }
 }
 
@@ -76,7 +81,7 @@ impl fmt::Display for PipeLlmStats {
             f,
             "spec_hits={} reorders={} nop_recoveries={} relinquishes={} \
              invalidations={} wasted={} async_dec={} dec_faults={} \
-             pre_dec={} success={:.1}%",
+             pre_dec={} kv_sentinels={} success={:.1}%",
             self.spec_hits,
             self.reorders,
             self.nop_recoveries,
@@ -86,6 +91,7 @@ impl fmt::Display for PipeLlmStats {
             self.async_decrypts,
             self.decrypt_faults,
             self.pre_decrypts,
+            self.kv_sentinels,
             self.success_rate() * 100.0
         )
     }

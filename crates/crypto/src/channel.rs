@@ -70,6 +70,12 @@ impl SealedMessage {
     }
 }
 
+/// Fill byte for sentinel payloads: when a frame fails authentication under
+/// the sentinel discipline ([`RxContext::open_in_place_or_sentinel`]), the
+/// output buffer is overwritten with this value so neither the rejected
+/// ciphertext nor any decryption intermediate can be mistaken for plaintext.
+pub const SENTINEL_BYTE: u8 = 0xFE;
+
 /// IVs reserved below `u64::MAX` as exhaustion headroom: no seal may use a
 /// counter value at or above [`IV_LIMIT`]. The headroom keeps speculative
 /// seals (which run ahead of the counter by `spec_depth + iv_slack`) from
@@ -323,6 +329,26 @@ impl DeferredOpen {
             Err(other) => Err(other),
         }
     }
+
+    /// Sentinel variant of [`DeferredOpen::open_in_place`]: the reserved IV
+    /// was consumed at reservation time, so a failed open cannot disturb
+    /// the channel — but the rejected bytes must not linger either. On
+    /// failure `buf` is truncated to the plaintext length and overwritten
+    /// with [`SENTINEL_BYTE`], and the error is returned for accounting.
+    pub fn open_in_place_or_sentinel(&self, aad: &[u8], buf: &mut Vec<u8>) -> Result<()> {
+        self.open_in_place(aad, buf).inspect_err(|_| {
+            sentinel_fill(buf);
+        })
+    }
+}
+
+/// Replaces a rejected `ciphertext || tag` buffer with a sentinel payload
+/// of the corresponding plaintext length (zero for frames shorter than a
+/// tag), so no ciphertext byte survives in a buffer a caller might read.
+fn sentinel_fill(buf: &mut Vec<u8>) {
+    let plaintext_len = buf.len().saturating_sub(TAG_LEN);
+    buf.truncate(plaintext_len);
+    buf.iter_mut().for_each(|b| *b = SENTINEL_BYTE);
 }
 
 /// Receiving half of one channel direction: a key plus the receiver counter.
@@ -480,6 +506,53 @@ impl RxContext {
             }
             Err(other) => Err(other),
         }
+    }
+
+    /// Sentinel-discipline open (chaos/error-handling path): like
+    /// [`RxContext::open_in_place`], but a failed authentication **still
+    /// consumes the IV**. The receiver stays in lockstep with the sender —
+    /// the frame occupied a counter slot on the wire whether or not its
+    /// bytes survived — and the slot is burned, never reused. On failure
+    /// `buf` is truncated to the plaintext length and overwritten with
+    /// [`SENTINEL_BYTE`] so no ciphertext byte can be mistaken for
+    /// plaintext, and the error is returned for the caller's retry logic.
+    ///
+    /// Frames mangled below the tag length (truncations, drops modelled as
+    /// empty frames) are handled the same way: the IV is consumed and the
+    /// sentinel payload is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::AuthenticationFailed`] / [`CryptoError::TruncatedCiphertext`]
+    /// exactly as [`RxContext::open_in_place`] — but note the counter *has*
+    /// advanced when this returns an error.
+    pub fn open_in_place_or_sentinel(&mut self, aad: &[u8], buf: &mut Vec<u8>) -> Result<()> {
+        self.open_in_place(aad, buf).inspect_err(|_| {
+            self.next_iv += 1;
+            sentinel_fill(buf);
+        })
+    }
+
+    /// Sentinel-discipline open of a consumed message: the happy path of
+    /// [`RxContext::open_owned`], with the failure semantics of
+    /// [`RxContext::open_in_place_or_sentinel`]. Always returns the buffer
+    /// (plaintext on success, sentinel payload on failure) so pooled
+    /// staging allocations survive the fault.
+    pub fn open_owned_or_sentinel(&mut self, message: SealedMessage) -> (Vec<u8>, Result<()>) {
+        let mut buf = message.bytes;
+        let outcome = self.open_in_place_or_sentinel(&message.aad, &mut buf);
+        (buf, outcome)
+    }
+
+    /// Consumes the next IV without opening anything: the resynchronization
+    /// step for a frame that was lost in flight. The sender sealed at this
+    /// counter value, so the receiver must burn it too — skipping keeps the
+    /// endpoints in lockstep and guarantees the lost frame's IV is never
+    /// reused. Returns the consumed IV.
+    pub fn skip(&mut self) -> u64 {
+        let iv = self.next_iv;
+        self.next_iv += 1;
+        iv
     }
 }
 
@@ -918,6 +991,70 @@ mod tests {
         // direction is unaffected.
         assert_eq!(ch.host().tx().next_iv(), IV_LIMIT);
         ch.device_mut().seal(b"fine").unwrap();
+    }
+
+    #[test]
+    fn sentinel_open_consumes_iv_and_keeps_lockstep() {
+        let mut ch = channel();
+        let mut corrupted = ch.host_mut().seal(b"doomed frame").unwrap();
+        corrupted.bytes[3] ^= 0x40;
+        let follower = ch.host_mut().seal(b"survivor").unwrap();
+        let (buf, outcome) = ch.device_mut().rx_mut().open_owned_or_sentinel(corrupted);
+        assert!(matches!(
+            outcome,
+            Err(CryptoError::AuthenticationFailed { expected_iv: 1 })
+        ));
+        // The failed frame burned IV 1: sentinel payload, counter advanced.
+        assert_eq!(buf, vec![SENTINEL_BYTE; b"doomed frame".len()]);
+        assert_eq!(ch.device().rx().next_iv(), 2);
+        // Lockstep holds — the next in-order frame opens normally.
+        assert_eq!(ch.device_mut().open(&follower).unwrap(), b"survivor");
+    }
+
+    #[test]
+    fn sentinel_open_of_truncated_frame_yields_empty_sentinel() {
+        let mut ch = channel();
+        let mut sealed = ch.host_mut().seal(b"cut short").unwrap();
+        sealed.bytes.truncate(5); // shorter than the 16-byte tag
+        let (buf, outcome) = ch.device_mut().rx_mut().open_owned_or_sentinel(sealed);
+        assert!(matches!(
+            outcome,
+            Err(CryptoError::TruncatedCiphertext { got: 5 })
+        ));
+        assert!(buf.is_empty());
+        assert_eq!(ch.device().rx().next_iv(), 2);
+    }
+
+    #[test]
+    fn skip_resynchronizes_after_a_dropped_frame() {
+        let mut ch = channel();
+        let _lost = ch.host_mut().seal(b"dropped on the wire").unwrap();
+        let delivered = ch.host_mut().seal(b"delivered").unwrap();
+        // Without the skip, the delivered frame would fail (wrong IV).
+        assert_eq!(ch.device_mut().rx_mut().skip(), 1);
+        assert_eq!(ch.device_mut().open(&delivered).unwrap(), b"delivered");
+        // The skipped IV is burned for the sender too — it already sealed
+        // under it, and the receiver can never be convinced to reuse it.
+        assert_eq!(ch.host().tx().next_iv(), 3);
+        assert_eq!(ch.device().rx().next_iv(), 3);
+    }
+
+    #[test]
+    fn deferred_sentinel_open_scrubs_the_buffer() {
+        let mut ch = channel();
+        let sealed = ch.host_mut().seal(b"deferred payload").unwrap();
+        let deferred = ch.device_mut().rx_mut().defer_open();
+        let mut buf = sealed.bytes.clone();
+        buf[0] ^= 1;
+        let err = deferred
+            .open_in_place_or_sentinel(&sealed.aad, &mut buf)
+            .unwrap_err();
+        assert!(matches!(err, CryptoError::AuthenticationFailed { .. }));
+        assert_eq!(buf, vec![SENTINEL_BYTE; b"deferred payload".len()]);
+        // The reservation already advanced the counter; a fresh in-order
+        // frame still opens.
+        let next = ch.host_mut().seal(b"next").unwrap();
+        assert_eq!(ch.device_mut().open(&next).unwrap(), b"next");
     }
 
     #[test]

@@ -62,6 +62,10 @@
 // erasure inside [`engine`]'s scoped gang dispatch.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must propagate crypto failures, never panic on them: a
+// corrupted frame is a handled event (sentinel + retry), not a crash.
+// Tests are exempt — an `unwrap` in a test *is* the assertion.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod aes;
 pub mod channel;

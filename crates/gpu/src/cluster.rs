@@ -29,12 +29,13 @@
 //! future IVs and hide the crypto on GPU-to-GPU hops.
 
 use crate::context::{
-    sealed_kind, stage_plaintext, CcMode, ContextConfig, CudaContext, GpuError, IoStats,
-    MemcpyTiming, SessionCounters,
+    absorb_frame_fault, sealed_kind, stage_plaintext, CcMode, ContextConfig, CudaContext, GpuError,
+    IoStats, MemcpyTiming, SessionCounters,
 };
 use crate::memory::{DevicePtr, HostAddr, HostRegion, Payload};
 use crate::runtime::{GpuRuntime, SessionedRuntime};
 use crate::timing::IoTimingModel;
+use pipellm_chaos::{ChaosInjector, FaultSite};
 use pipellm_crypto::channel::{Endpoint, SealedMessage};
 use pipellm_crypto::engine::CryptoEngine;
 use pipellm_crypto::session::{derive_subseed, SessionId, SessionManager};
@@ -136,6 +137,9 @@ pub struct ClusterConfig {
     /// Cluster-wide key-derivation seed. Per-device host channels and
     /// per-edge channels all derive distinct roots from it.
     pub seed: u64,
+    /// Fault injector shared by every device's host link and every edge;
+    /// `None` (the default) injects nothing.
+    pub chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl Default for ClusterConfig {
@@ -148,6 +152,7 @@ impl Default for ClusterConfig {
             device_capacity: 80 * 1_000_000_000,
             crypto_threads: 1,
             seed: 0x9e37,
+            chaos: None,
         }
     }
 }
@@ -163,6 +168,9 @@ pub struct EdgeStats {
     pub bytes: u64,
     /// NOP (IV-padding) operations (both directions).
     pub nops: u64,
+    /// Transfers lost to injected faults (both directions); each burned an
+    /// edge IV on both endpoints and delivered nothing.
+    pub faulted: u64,
 }
 
 /// One edge's live state: its session manager (keys + IV counters per
@@ -188,6 +196,9 @@ pub struct ClusterContext {
     edges: BTreeMap<EdgeId, EdgeState>,
     active: SessionId,
     pending: Vec<SimTime>,
+    /// Fault injector rolled on every edge transfer (devices carry their
+    /// own clone for host-link sites).
+    chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl fmt::Debug for ClusterContext {
@@ -222,6 +233,7 @@ impl ClusterContext {
                     crypto_threads: config.crypto_threads,
                     seed: derive_subseed(config.seed, 0x01_0000 | i as u64),
                     engine: Some(Arc::clone(&engine)),
+                    chaos: config.chaos.clone(),
                 })
             })
             .collect();
@@ -261,7 +273,22 @@ impl ClusterContext {
             edges,
             active: SessionId::DEFAULT,
             pending: Vec::new(),
+            chaos: config.chaos,
         }
+    }
+
+    /// Installs a chaos injector after construction, on every device's
+    /// host link and every edge.
+    pub fn set_chaos(&mut self, chaos: Arc<ChaosInjector>) {
+        for device in &mut self.devices {
+            device.set_chaos(Arc::clone(&chaos));
+        }
+        self.chaos = Some(chaos);
+    }
+
+    /// The installed chaos injector, if any.
+    pub fn chaos(&self) -> Option<&Arc<ChaosInjector>> {
+        self.chaos.as_ref()
     }
 
     /// The cluster-wide shared crypto engine (real worker pool).
@@ -553,6 +580,7 @@ impl ClusterContext {
         let threads = self.crypto_threads;
         let crypto = self.timing.crypto;
         let cc_control = self.timing.cc_control;
+        let chaos = self.chaos.clone();
         let src_is_a = src_dev < dst_dev;
         let (src_ctx, dst_ctx, edge) = self.split(src_dev, dst_dev);
         let len = src_ctx.device_memory().get(src_ptr)?.len();
@@ -582,6 +610,23 @@ impl ClusterContext {
                 let dec = dst_ctx.crypto_pool_mut().reserve_gang(wire.end, open_time);
                 edge.timeline.record_crypto(seal_time + open_time);
                 let kind = sealed_kind(&sealed);
+                if let Some(fault) = chaos
+                    .as_ref()
+                    .and_then(|c| c.roll_frame(FaultSite::DeviceToDevice))
+                {
+                    let iv = sealed.iv;
+                    edge.stats.faulted += 1;
+                    absorb_frame_fault(
+                        Self::receiver_endpoint(edge, active, src_is_a).rx_mut(),
+                        fault,
+                        sealed,
+                    );
+                    self.pending.push(dec.end + cc_control);
+                    return Err(GpuError::TransferFaulted {
+                        fault: fault.kind.label(),
+                        iv,
+                    });
+                }
                 let opened = Self::receiver_endpoint(edge, active, src_is_a)
                     .rx_mut()
                     .open_owned(sealed)?;
@@ -697,6 +742,7 @@ impl ClusterContext {
         let threads = self.crypto_threads;
         let crypto = self.timing.crypto;
         let cc_control = self.timing.cc_control;
+        let chaos = self.chaos.clone();
         let src_is_a = src_dev < dst_dev;
         let (_src_ctx, dst_ctx, edge) = self.split(src_dev, dst_dev);
         // Validate the IV against the sender counter *without* committing,
@@ -715,6 +761,32 @@ impl ClusterContext {
                     expected: next,
                 }));
             }
+        }
+        // A fault here strikes *after* IV validation — the frame really
+        // departs: the sender commits its counter, the receiver absorbs
+        // the mangled frame under the sentinel discipline, and the edge
+        // stays in lockstep with one IV burned on both ends.
+        if let Some(fault) = chaos
+            .as_ref()
+            .and_then(|c| c.roll_frame(FaultSite::DeviceToDevice))
+        {
+            Self::sender_endpoint(edge, active, src_is_a)
+                .tx_mut()
+                .commit(sealed)
+                .expect("counter validated above and cannot have advanced");
+            let iv = absorb_frame_fault(
+                Self::receiver_endpoint(edge, active, src_is_a).rx_mut(),
+                fault,
+                sealed.clone(),
+            );
+            let depart = now.max(ready_at);
+            let wire = edge.timeline.transfer(depart, payload_len);
+            edge.stats.faulted += 1;
+            self.pending.push(wire.end + cc_control);
+            return Err(GpuError::TransferFaulted {
+                fault: fault.kind.label(),
+                iv,
+            });
         }
         let kind = sealed_kind(sealed);
         let opened = Self::receiver_endpoint(edge, active, src_is_a)
@@ -808,6 +880,7 @@ impl ClusterContext {
             total.d2h_ops += s.d2h_ops;
             total.d2h_bytes += s.d2h_bytes;
             total.nops += s.nops;
+            total.faulted_ops += s.faulted_ops;
         }
         total
     }
@@ -1310,5 +1383,97 @@ mod tests {
             .cluster()
             .edge_counters(EdgeId::between(0, 1), b)
             .is_some());
+    }
+
+    // ---------------------------------------------------------------
+    // Chaos injection
+    // ---------------------------------------------------------------
+
+    use pipellm_chaos::FaultPlan;
+
+    fn storm_cluster(n: usize) -> ClusterContext {
+        ClusterContext::new(ClusterConfig {
+            devices: n,
+            cc: CcMode::On,
+            device_capacity: 1 << 30,
+            chaos: Some(Arc::new(ChaosInjector::new(
+                FaultPlan::new(3).with_frame_rate(1.0),
+            ))),
+            ..ClusterConfig::default()
+        })
+    }
+
+    #[test]
+    fn faulted_dtod_keeps_the_edge_in_lockstep() {
+        let mut c = storm_cluster(2);
+        let src = seed_buffer(&mut c, 0, 0x11);
+        let dst = c.device_mut(1).alloc_device(CHUNK).unwrap();
+        let err = c.memcpy_dtod_async(SimTime::ZERO, 0, src, 1, dst);
+        assert!(
+            matches!(err, Err(GpuError::TransferFaulted { iv: 1, .. })),
+            "got {err:?}"
+        );
+        let edge = EdgeId::between(0, 1);
+        let counters = c.edge_counters(edge, SessionId::DEFAULT).unwrap();
+        assert!(counters.in_lockstep(), "edge desynced: {counters:?}");
+        assert_eq!(counters.h2d_tx, 2, "both ends burned the edge IV");
+        assert_eq!(c.edge_stats(edge).unwrap().faulted, 1);
+        assert!(
+            !matches!(
+                c.device(1).device_memory().get(dst).unwrap(),
+                Payload::Real(_)
+            ),
+            "faulted hop must not deliver plaintext"
+        );
+    }
+
+    #[test]
+    fn faulted_submit_dtod_burns_the_validated_iv() {
+        let mut c = storm_cluster(2);
+        let src = seed_buffer(&mut c, 0, 0x22);
+        let dst = c.device_mut(1).alloc_device(CHUNK).unwrap();
+        let iv = c.current_edge_iv(0, 1);
+        let (sealed, ready) = c
+            .seal_edge_region(SimTime::ZERO, 0, src, 1, dst, iv)
+            .unwrap();
+        let err = c.submit_dtod_sealed(SimTime::ZERO, ready, 0, 1, dst, &sealed, CHUNK);
+        assert!(matches!(err, Err(GpuError::TransferFaulted { .. })));
+        let edge = EdgeId::between(0, 1);
+        let counters = c.edge_counters(edge, SessionId::DEFAULT).unwrap();
+        assert!(counters.in_lockstep(), "edge desynced: {counters:?}");
+        assert_eq!(counters.h2d_tx, iv + 1);
+        // Retry at the fresh IV with the injector suppressed lands the
+        // payload — the channel survived the fault.
+        let chaos = Arc::clone(c.chaos().unwrap());
+        let _quiet = chaos.suppress();
+        let iv2 = c.current_edge_iv(0, 1);
+        let (sealed2, ready2) = c
+            .seal_edge_region(SimTime::ZERO, 0, src, 1, dst, iv2)
+            .unwrap();
+        c.submit_dtod_sealed(SimTime::ZERO, ready2, 0, 1, dst, &sealed2, CHUNK)
+            .unwrap();
+        assert_eq!(
+            c.device(1).device_memory().get(dst).unwrap(),
+            &Payload::Real(vec![0x22; CHUNK as usize])
+        );
+    }
+
+    #[test]
+    fn set_chaos_reaches_devices_and_edges() {
+        let mut c = cluster(2, CcMode::On);
+        assert!(c.chaos().is_none());
+        c.set_chaos(Arc::new(ChaosInjector::new(
+            FaultPlan::new(9).with_frame_rate(1.0),
+        )));
+        // Host link of device 0 faults...
+        let src = c.device_mut(0).host_mut().alloc_real(vec![7; 64]);
+        let dst = c.device_mut(0).alloc_device(64).unwrap();
+        let err = c.device_mut(0).memcpy_htod_async(SimTime::ZERO, dst, src);
+        assert!(matches!(err, Err(GpuError::TransferFaulted { .. })));
+        // ...and so does the edge.
+        let esrc = seed_buffer(&mut c, 0, 0x33);
+        let edst = c.device_mut(1).alloc_device(CHUNK).unwrap();
+        let err = c.memcpy_dtod_async(SimTime::ZERO, 0, esrc, 1, edst);
+        assert!(matches!(err, Err(GpuError::TransferFaulted { .. })));
     }
 }

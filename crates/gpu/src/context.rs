@@ -21,7 +21,8 @@
 use crate::memory::{DeviceMemory, DevicePtr, HostMemory, HostRegion, MemoryError, Payload};
 use crate::pages::{Access, PageRegistry, Protection};
 use crate::timing::IoTimingModel;
-use pipellm_crypto::channel::{DeferredOpen, Direction, SealedMessage, SecureChannel};
+use pipellm_chaos::{ChaosInjector, Fault, FaultKind, FaultSite};
+use pipellm_crypto::channel::{DeferredOpen, Direction, RxContext, SealedMessage, SecureChannel};
 use pipellm_crypto::engine::CryptoEngine;
 use pipellm_crypto::gcm::TAG_LEN;
 use pipellm_crypto::kv;
@@ -57,6 +58,17 @@ pub enum GpuError {
         /// The unknown id.
         session: SessionId,
     },
+    /// A frame was lost or mangled in flight (injected chaos or a real
+    /// link fault). Under the sentinel discipline both endpoints consumed
+    /// the frame's IV — the channel is still in lockstep and the burned IV
+    /// is never reused — but the payload was **not** delivered. The
+    /// operation is retryable: a retry re-seals at a fresh IV.
+    TransferFaulted {
+        /// What happened to the frame ([`FaultKind::label`]).
+        fault: &'static str,
+        /// The sender-side IV the frame burned.
+        iv: u64,
+    },
 }
 
 impl fmt::Display for GpuError {
@@ -66,6 +78,9 @@ impl fmt::Display for GpuError {
             GpuError::Crypto(e) => write!(f, "crypto error: {e}"),
             GpuError::CcDisabled => f.write_str("operation requires confidential computing mode"),
             GpuError::UnknownSession { session } => write!(f, "unknown {session}"),
+            GpuError::TransferFaulted { fault, iv } => {
+                write!(f, "transfer faulted ({fault}) at IV {iv}; channel resynced")
+            }
         }
     }
 }
@@ -75,7 +90,9 @@ impl std::error::Error for GpuError {
         match self {
             GpuError::Memory(e) => Some(e),
             GpuError::Crypto(e) => Some(e),
-            GpuError::CcDisabled | GpuError::UnknownSession { .. } => None,
+            GpuError::CcDisabled
+            | GpuError::UnknownSession { .. }
+            | GpuError::TransferFaulted { .. } => None,
         }
     }
 }
@@ -166,6 +183,9 @@ pub struct IoStats {
     pub d2h_bytes: u64,
     /// NOP (1-byte IV-advance) transfers.
     pub nops: u64,
+    /// Transfers lost to injected (or real) link faults. Each one burned
+    /// an IV on both endpoints and delivered nothing.
+    pub faulted_ops: u64,
 }
 
 /// Snapshot of one session's four IV counters (both directions, both
@@ -218,6 +238,9 @@ pub struct ContextConfig {
     ///
     /// [`ClusterContext`]: crate::cluster::ClusterContext
     pub engine: Option<Arc<CryptoEngine>>,
+    /// Fault injector for chaos testing; `None` (the default) injects
+    /// nothing and costs one branch per transfer.
+    pub chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl Default for ContextConfig {
@@ -229,6 +252,7 @@ impl Default for ContextConfig {
             crypto_threads: 1,
             seed: 0x9e37,
             engine: None,
+            chaos: None,
         }
     }
 }
@@ -260,6 +284,9 @@ pub struct CudaContext {
     stats: IoStats,
     /// Recycled NOP ciphertext buffer: IV-padding bursts allocate nothing.
     nop_staging: Vec<u8>,
+    /// Fault injector; frames it fires on are absorbed under the sentinel
+    /// discipline (IV burned on both endpoints, nothing delivered).
+    chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl fmt::Debug for CudaContext {
@@ -301,6 +328,28 @@ pub(crate) fn sealed_kind(sealed: &SealedMessage) -> u8 {
     sealed.aad.first().copied().unwrap_or(Payload::KIND_REAL)
 }
 
+/// Absorbs an in-flight frame fault at the receiving endpoint under the
+/// sentinel discipline: a dropped frame burns its IV via [`RxContext::skip`];
+/// a corrupted or truncated frame fails authentication and its buffer is
+/// scrubbed to sentinel bytes. Either way the receiver's counter advances
+/// exactly once — matching the sender's consumed IV — so the channel stays
+/// in lockstep and the burned IV is never reused. Returns that IV.
+pub(crate) fn absorb_frame_fault(rx: &mut RxContext, fault: Fault, sealed: SealedMessage) -> u64 {
+    match fault.kind {
+        FaultKind::DropFrame => rx.skip(),
+        _ => {
+            let iv = sealed.iv;
+            let mut bytes = sealed.bytes;
+            fault.apply_to_frame(&mut bytes);
+            // A mangled frame cannot authenticate; if the fault somehow
+            // left it intact the open still consumes the same IV and the
+            // plaintext is discarded here — lockstep holds either way.
+            let _ = rx.open_in_place_or_sentinel(&sealed.aad, &mut bytes);
+            iv
+        }
+    }
+}
+
 impl CudaContext {
     /// Creates a context from a configuration.
     pub fn new(config: ContextConfig) -> Self {
@@ -335,6 +384,7 @@ impl CudaContext {
             faults: Vec::new(),
             stats: IoStats::default(),
             nop_staging: Vec::new(),
+            chaos: config.chaos,
         }
     }
 
@@ -507,6 +557,22 @@ impl CudaContext {
         std::mem::take(&mut self.faults)
     }
 
+    /// Installs a chaos injector; subsequent CC transfers roll for frame
+    /// faults at their site before delivery.
+    pub fn set_chaos(&mut self, chaos: Arc<ChaosInjector>) {
+        self.chaos = Some(chaos);
+    }
+
+    /// The installed chaos injector, if any.
+    pub fn chaos(&self) -> Option<&Arc<ChaosInjector>> {
+        self.chaos.as_ref()
+    }
+
+    /// Rolls the injector (if any) for one in-flight frame at `site`.
+    fn roll_frame(&self, site: FaultSite) -> Option<Fault> {
+        self.chaos.as_ref().and_then(|c| c.roll_frame(site))
+    }
+
     // ---------------------------------------------------------------
     // Application surface
     // ---------------------------------------------------------------
@@ -577,6 +643,15 @@ impl CudaContext {
                 let seal_time = self.timing.crypto.pool_seal_time(len, self.crypto_threads);
                 let enc = self.crypto_pool.reserve_gang(now, seal_time);
                 let wire = self.link.transfer(enc.end, len);
+                if let Some(fault) = self.roll_frame(FaultSite::HostToDevice) {
+                    self.stats.faulted_ops += 1;
+                    self.pending.push(wire.end + self.timing.cc_control);
+                    absorb_frame_fault(self.channel_mut().device_mut().rx_mut(), fault, sealed);
+                    return Err(GpuError::TransferFaulted {
+                        fault: fault.kind.label(),
+                        iv,
+                    });
+                }
                 self.deliver_to_device_owned(dst, sealed)?;
                 let done = wire.end + self.timing.cc_control;
                 self.record(Direction::HostToDevice, src, dst, len, now, done, Some(iv));
@@ -634,6 +709,16 @@ impl CudaContext {
                 let open_time = self.timing.crypto.pool_open_time(len, self.crypto_threads);
                 let dec = self.crypto_pool.reserve_gang(wire.end, open_time);
                 let kind = sealed_kind(&sealed);
+                if let Some(fault) = self.roll_frame(FaultSite::DeviceToHost) {
+                    let iv = sealed.iv;
+                    self.stats.faulted_ops += 1;
+                    self.pending.push(dec.end + self.timing.cc_control);
+                    absorb_frame_fault(self.channel_mut().host_mut().rx_mut(), fault, sealed);
+                    return Err(GpuError::TransferFaulted {
+                        fault: fault.kind.label(),
+                        iv,
+                    });
+                }
                 let opened = self.channel_mut().host_mut().rx_mut().open_owned(sealed)?;
                 self.host_store(dst, Payload::from_plaintext(kind, opened))?;
                 let done = dec.end + self.timing.cc_control;
@@ -811,6 +896,19 @@ impl CudaContext {
         self.channel_mut().host_mut().tx_mut().commit(sealed)?;
         let depart = now.max(ready_at);
         let wire = self.link.transfer(depart, payload_len);
+        if let Some(fault) = self.roll_frame(FaultSite::HostToDevice) {
+            self.stats.faulted_ops += 1;
+            self.pending.push(wire.end + self.timing.cc_control);
+            absorb_frame_fault(
+                self.channel_mut().device_mut().rx_mut(),
+                fault,
+                sealed.clone(),
+            );
+            return Err(GpuError::TransferFaulted {
+                fault: fault.kind.label(),
+                iv: sealed.iv,
+            });
+        }
         self.deliver_to_device(dst, sealed)?;
         let done = wire.end + self.timing.cc_control;
         self.record(
@@ -889,6 +987,15 @@ impl CudaContext {
         let iv = sealed.iv;
         let kind = sealed_kind(&sealed);
         let wire = self.link.transfer(now, len);
+        if let Some(fault) = self.roll_frame(FaultSite::DeviceToHost) {
+            self.stats.faulted_ops += 1;
+            self.pending.push(wire.end + self.timing.cc_control);
+            absorb_frame_fault(self.channel_mut().host_mut().rx_mut(), fault, sealed);
+            return Err(GpuError::TransferFaulted {
+                fault: fault.kind.label(),
+                iv,
+            });
+        }
         let opened = self.channel_mut().host_mut().rx_mut().open_owned(sealed)?;
         let opened_payload = Payload::from_plaintext(kind, opened);
         let done = wire.end + self.timing.cc_control;
@@ -987,10 +1094,21 @@ impl CudaContext {
             self.stats.d2h_ops += 1;
             self.stats.d2h_bytes += len;
             self.pending.push(done);
+            // Chaos on the swap-out path damages the *at-rest* ciphertext
+            // after the host accepted the frame: the group's atomicity
+            // contract holds (every IV consumed, every page revoked, every
+            // open scheduled), and the damage surfaces when the deferred
+            // open authenticates at finalize time.
+            let mut ciphertext = sealed.bytes;
+            if let Some(fault) = self.roll_frame(FaultSite::KvSwapOut) {
+                if fault.apply_to_frame(&mut ciphertext) {
+                    self.stats.faulted_ops += 1;
+                }
+            }
             deferred.push(DeferredKvOpen {
                 region: dst,
                 kind,
-                ciphertext: sealed.bytes,
+                ciphertext,
                 aad: sealed.aad,
                 open,
                 ready_at: reservation.end,
@@ -1401,5 +1519,168 @@ mod tests {
         let mut c = ctx(CcMode::On);
         c.launch_compute(SimTime::from_micros(10), Duration::from_micros(5));
         assert_eq!(c.gpu_engine().io_stall_time(), Duration::from_micros(10));
+    }
+
+    // ---------------------------------------------------------------
+    // Chaos injection
+    // ---------------------------------------------------------------
+
+    use pipellm_chaos::FaultPlan;
+
+    /// A context whose every frame faults: frame fault probability 1.0.
+    fn storm_ctx() -> CudaContext {
+        CudaContext::new(ContextConfig {
+            cc: CcMode::On,
+            device_capacity: 1 << 30,
+            chaos: Some(Arc::new(ChaosInjector::new(
+                FaultPlan::new(7).with_frame_rate(1.0),
+            ))),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn faulted_htod_burns_the_iv_and_keeps_lockstep() {
+        let mut c = storm_ctx();
+        let src = c.host_mut().alloc_real(vec![0x42; 64]);
+        let dst = c.alloc_device(64).unwrap();
+        let err = c.memcpy_htod_async(SimTime::ZERO, dst, src);
+        assert!(
+            matches!(err, Err(GpuError::TransferFaulted { iv: 1, .. })),
+            "got {err:?}"
+        );
+        let counters = c.session_counters(c.active_session()).unwrap();
+        assert!(
+            counters.in_lockstep(),
+            "fault must not desync: {counters:?}"
+        );
+        assert_eq!(counters.h2d_tx, 2, "both endpoints consumed the IV");
+        assert_eq!(c.stats().faulted_ops, 1);
+        // The payload never landed: the allocation still holds its
+        // uninitialized virtual stand-in, not the real bytes.
+        assert!(
+            !matches!(c.device_memory().get(dst).unwrap(), Payload::Real(_)),
+            "faulted transfer must not deliver plaintext"
+        );
+    }
+
+    #[test]
+    fn faulted_dtoh_leaves_host_memory_untouched() {
+        let mut c = storm_ctx();
+        let dst = c.alloc_device(32).unwrap();
+        c.device_memory_mut()
+            .store(dst, Payload::Real(vec![9; 32]))
+            .unwrap();
+        let back = c.host_mut().alloc_real(vec![0u8; 32]);
+        let err = c.memcpy_dtoh_async(SimTime::ZERO, back, dst);
+        assert!(matches!(err, Err(GpuError::TransferFaulted { .. })));
+        assert_eq!(
+            c.host().get(back.addr).unwrap().payload(),
+            &Payload::Real(vec![0u8; 32]),
+            "faulted D2H must not write host memory"
+        );
+        let counters = c.session_counters(c.active_session()).unwrap();
+        assert!(counters.in_lockstep());
+        assert_eq!(counters.d2h_tx, 2);
+    }
+
+    #[test]
+    fn retry_after_fault_succeeds_at_a_fresh_iv() {
+        // Storm at ~50%: deterministic plan, so walk until one fault and
+        // one success have both been observed.
+        let mut c = CudaContext::new(ContextConfig {
+            cc: CcMode::On,
+            device_capacity: 1 << 30,
+            chaos: Some(Arc::new(ChaosInjector::new(
+                FaultPlan::new(11).with_frame_rate(0.5),
+            ))),
+            ..Default::default()
+        });
+        let data: Vec<u8> = (0..64).collect();
+        let src = c.host_mut().alloc_real(data.clone());
+        let dst = c.alloc_device(64).unwrap();
+        let (mut faults, mut successes) = (0u32, 0u32);
+        for _ in 0..64 {
+            match c.memcpy_htod_async(SimTime::ZERO, dst, src) {
+                Ok(_) => {
+                    successes += 1;
+                    assert_eq!(
+                        c.device_memory().get(dst).unwrap(),
+                        &Payload::Real(data.clone())
+                    );
+                }
+                Err(GpuError::TransferFaulted { .. }) => faults += 1,
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+            let counters = c.session_counters(c.active_session()).unwrap();
+            assert!(counters.in_lockstep(), "desync after op: {counters:?}");
+        }
+        assert!(
+            faults > 0 && successes > 0,
+            "{faults} faults, {successes} successes"
+        );
+        assert_eq!(c.stats().faulted_ops as u32, faults);
+    }
+
+    #[test]
+    fn faulted_submit_consumes_the_committed_iv() {
+        let mut c = storm_ctx();
+        let src = c.host_mut().alloc_real(vec![5; 48]);
+        let dst = c.alloc_device(48).unwrap();
+        let chaos = Arc::clone(c.chaos().unwrap());
+        let iv = c.current_h2d_iv();
+        let sealed = c.seal_region(src, iv).unwrap();
+        let err = c.submit_htod_sealed(SimTime::ZERO, SimTime::ZERO, dst, src, &sealed, 48);
+        assert!(matches!(err, Err(GpuError::TransferFaulted { .. })));
+        let counters = c.session_counters(c.active_session()).unwrap();
+        assert!(counters.in_lockstep());
+        assert_eq!(counters.h2d_tx, iv + 1, "commit + sentinel burned the IV");
+        // A fresh speculative seal at the next IV goes through when the
+        // injector is suppressed (the recovery path runs clean).
+        let _quiet = chaos.suppress();
+        let sealed2 = c.seal_region(src, iv + 1).unwrap();
+        c.submit_htod_sealed(SimTime::ZERO, SimTime::ZERO, dst, src, &sealed2, 48)
+            .unwrap();
+        assert_eq!(
+            c.device_memory().get(dst).unwrap(),
+            &Payload::Real(vec![5; 48])
+        );
+    }
+
+    #[test]
+    fn kv_swap_out_fault_surfaces_at_the_deferred_open() {
+        let mut c = storm_ctx();
+        let dev = c.alloc_device(128).unwrap();
+        c.device_memory_mut()
+            .store(dev, Payload::Real(vec![3; 128]))
+            .unwrap();
+        let host = c.host_mut().alloc_real(vec![0u8; 128]);
+        let mut pool = Vec::new();
+        // The group call itself succeeds: atomicity holds under chaos.
+        let deferred = c
+            .swap_out_kv_group(SimTime::ZERO, 1, &[(host, dev)], &[101], &mut pool)
+            .unwrap();
+        assert_eq!(deferred.len(), 1);
+        assert_eq!(c.stats().faulted_ops, 1);
+        let counters = c.session_counters(c.active_session()).unwrap();
+        assert!(counters.in_lockstep(), "host reserved the block's IV");
+        // The at-rest ciphertext was damaged, so the deferred open fails
+        // authentication — cleanly.
+        let block = &deferred[0];
+        let mut buf = block.ciphertext.clone();
+        assert!(block.open.open_in_place(&block.aad, &mut buf).is_err());
+    }
+
+    #[test]
+    fn suppressed_injector_fires_nothing() {
+        let mut c = storm_ctx();
+        let src = c.host_mut().alloc_real(vec![1; 16]);
+        let dst = c.alloc_device(16).unwrap();
+        let chaos = Arc::clone(c.chaos().unwrap());
+        let _quiet = chaos.suppress();
+        for _ in 0..8 {
+            c.memcpy_htod_async(SimTime::ZERO, dst, src).unwrap();
+        }
+        assert_eq!(c.stats().faulted_ops, 0);
     }
 }

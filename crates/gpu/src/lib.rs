@@ -26,6 +26,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Transfer failures (authentication, truncation, injected faults) are
+// recoverable events that must surface as `GpuError`s; panicking on them
+// would wedge the whole pipeline. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod cluster;
 pub mod context;

@@ -30,6 +30,7 @@ pub mod multitenant;
 pub mod peft;
 pub mod pipeline;
 pub mod report;
+pub mod resilience;
 pub mod stream;
 pub mod vllm;
 
@@ -39,5 +40,6 @@ pub use multitenant::{MultiTenantDriver, MultiTenantReport, TenantReport, Tenant
 pub use peft::{PeftConfig, PeftEngine};
 pub use pipeline::{PipelineConfig, PipelineEngine, PipelineSystem};
 pub use report::{ServingReport, SwapPolicy};
+pub use resilience::ResilienceStats;
 pub use stream::LayerPlan;
 pub use vllm::{VllmConfig, VllmEngine};

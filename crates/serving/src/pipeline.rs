@@ -29,17 +29,20 @@
 
 use crate::engine::ServingEngine;
 use crate::report::ServingReport;
+use crate::resilience::ResilienceStats;
 use pipellm::edge::EdgePipeline;
 use pipellm::partition::{apply_stage, Pass, PipelineSchedule, ScheduleOp, StagePartition};
 use pipellm::stats::PipeLlmStats;
+use pipellm_chaos::{ChaosInjector, FaultKind, FaultSite, RetryPolicy};
 use pipellm_crypto::session::derive_subseed;
-use pipellm_gpu::cluster::{ClusterConfig, ClusterContext, NvLinkModel};
+use pipellm_gpu::cluster::{ClusterConfig, ClusterContext, EdgeId, NvLinkModel};
 use pipellm_gpu::memory::{DevicePtr, HostRegion, Payload};
 use pipellm_gpu::{CcMode, GpuError, IoTimingModel};
 use pipellm_sim::metrics::Samples;
 use pipellm_sim::rng::SimRng;
 use pipellm_sim::time::SimTime;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Which runtime discipline the inter-stage links run under.
@@ -101,6 +104,14 @@ pub struct PipelineConfig {
     pub timing: IoTimingModel,
     /// Inter-GPU link calibration.
     pub nvlink: NvLinkModel,
+    /// Fault injector shared with every device context and edge (`None`
+    /// runs chaos-free). Frame faults fire inside the transfer layers;
+    /// the engine itself rolls the stage- and session-level kinds.
+    pub chaos: Option<Arc<ChaosInjector>>,
+    /// Retry/backoff/timeout policy for faulted inter-stage operations.
+    pub retry: RetryPolicy,
+    /// Simulated cost of restarting a killed or timed-out stage executor.
+    pub restart_penalty: Duration,
 }
 
 impl Default for PipelineConfig {
@@ -119,6 +130,9 @@ impl Default for PipelineConfig {
             crypto_threads: 1,
             timing: IoTimingModel::default(),
             nvlink: NvLinkModel::default(),
+            chaos: None,
+            retry: RetryPolicy::default(),
+            restart_penalty: Duration::from_micros(200),
         }
     }
 }
@@ -160,6 +174,7 @@ pub struct PipelineEngine {
     out_regions: Vec<HostRegion>,
     outputs: Vec<Vec<u8>>,
     latencies: Samples,
+    resilience: ResilienceStats,
 }
 
 impl PipelineEngine {
@@ -183,6 +198,7 @@ impl PipelineEngine {
                 .max(1 << 30),
             crypto_threads: config.crypto_threads,
             seed: config.seed,
+            chaos: config.chaos.clone(),
         });
         let len = config.activation_bytes;
         let in_buf: Vec<Vec<DevicePtr>> = (0..stages)
@@ -265,6 +281,7 @@ impl PipelineEngine {
             out_regions,
             outputs: Vec::new(),
             latencies: Samples::new(),
+            resilience: ResilienceStats::default(),
         }
     }
 
@@ -282,6 +299,12 @@ impl PipelineEngine {
     /// order — the bit-exactness witness.
     pub fn outputs(&self) -> &[Vec<u8>] {
         &self.outputs
+    }
+
+    /// What the recovery protocol did during the run (all-zero without
+    /// an injector or when no fault fired).
+    pub fn resilience(&self) -> &ResilienceStats {
+        &self.resilience
     }
 
     /// Aggregate speculation statistics over every edge direction
@@ -318,6 +341,147 @@ impl PipelineEngine {
         match pass {
             Pass::Forward => fwd,
             Pass::Backward => fwd * 2,
+        }
+    }
+
+    /// Runs a transfer under the retry policy. A
+    /// [`GpuError::TransferFaulted`] means both channel endpoints consumed
+    /// the frame's IV (lockstep held, sentinel landed), so the op is safely
+    /// re-issued after a jittered backoff — the re-issue seals at the fresh
+    /// IV. When the retry budget is exhausted, one final escalation attempt
+    /// runs with injection suppressed: chaos verifies that recovery works,
+    /// not that an unbounded fault stream eventually wins. Every other
+    /// error propagates immediately.
+    fn with_retry<T>(
+        &mut self,
+        now: SimTime,
+        salt: u64,
+        mut op: impl FnMut(&mut Self, SimTime) -> Result<T, GpuError>,
+    ) -> Result<T, GpuError> {
+        let mut at = now;
+        let mut attempt = 0u32;
+        loop {
+            match op(self, at) {
+                Err(GpuError::TransferFaulted { .. }) if self.config.retry.allows(attempt) => {
+                    let wait = self.config.retry.backoff_after(attempt, salt);
+                    self.resilience.retries += 1;
+                    self.resilience.retry_backoff += wait;
+                    at += wait;
+                    attempt += 1;
+                }
+                Err(GpuError::TransferFaulted { .. }) => {
+                    self.resilience.escalations += 1;
+                    let chaos = self.config.chaos.clone();
+                    let _quiet = chaos.as_deref().map(ChaosInjector::suppress);
+                    return op(self, at);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Per-hop jitter salt: distinct per (stage, micro-batch, direction)
+    /// so concurrent retries never thundering-herd the same backoffs.
+    fn hop_salt(stage: usize, m: usize, backward: bool) -> u64 {
+        ((stage as u64) << 32) | ((m as u64) << 1) | u64::from(backward)
+    }
+
+    /// Rolls the stage-level chaos for one schedule op on `stage` and
+    /// prices the recovery into the launch time: a hang stalls the stage
+    /// executor until it clears or the per-op timeout fires (watchdog +
+    /// restart); a kill restarts the executor and force-rekeys every edge
+    /// touching the stage before traffic resumes.
+    fn stage_chaos(&mut self, stage: usize, launch: SimTime) -> SimTime {
+        let Some(fault) = self
+            .config
+            .chaos
+            .as_deref()
+            .and_then(|c| c.roll_stage(FaultSite::StageStep))
+        else {
+            return launch;
+        };
+        match fault.kind {
+            FaultKind::StageHang => {
+                self.resilience.stage_hangs += 1;
+                // Salt-derived stall on [0, 2 × op_timeout): about half
+                // the hangs clear on their own, the rest are cut short by
+                // the watchdog and pay the restart.
+                let hang = self.config.retry.op_timeout.mul_f64(fault.unit() * 2.0);
+                if hang < self.config.retry.op_timeout {
+                    launch + hang
+                } else {
+                    self.resilience.timeouts += 1;
+                    launch + self.config.retry.op_timeout + self.config.restart_penalty
+                }
+            }
+            FaultKind::StageKill => {
+                self.resilience.stage_kills += 1;
+                self.rekey_stage_edges(stage);
+                launch + self.config.restart_penalty
+            }
+            _ => launch,
+        }
+    }
+
+    /// Force-rekeys the active session on every edge adjacent to `stage`:
+    /// a killed stage's channel state is gone, so both neighbours restart
+    /// at a fresh epoch before traffic resumes. Speculative entries sealed
+    /// under the old epoch are dropped by the edge pipelines' epoch check;
+    /// every other edge keeps its counters untouched.
+    fn rekey_stage_edges(&mut self, stage: usize) {
+        let active = self.cluster.active_session();
+        for neighbour in [stage.wrapping_sub(1), stage + 1] {
+            if neighbour >= self.config.stages {
+                continue;
+            }
+            let edge = EdgeId::between(stage, neighbour);
+            if let Some(sessions) = self.cluster.edge_sessions_mut(edge) {
+                if sessions.rekey(active).is_some() {
+                    self.resilience.forced_rekeys += 1;
+                }
+            }
+        }
+    }
+
+    /// Rolls the session-level chaos at an iteration boundary: a churn
+    /// closes the serving session and reroutes every channel to a freshly
+    /// keyed one (IV counters restart at zero everywhere); a rekey race
+    /// bumps the epoch of one salt-chosen edge out from under whatever
+    /// speculative state survived the iteration.
+    fn session_chaos(&mut self, now: SimTime) -> Result<SimTime, GpuError> {
+        let Some(fault) = self
+            .config
+            .chaos
+            .as_deref()
+            .and_then(|c| c.roll_session(FaultSite::SessionControl))
+        else {
+            return Ok(now);
+        };
+        match fault.kind {
+            FaultKind::SessionChurn => {
+                self.resilience.session_churns += 1;
+                let old = self.cluster.active_session();
+                let fresh = self.cluster.open_session();
+                self.cluster.set_session(fresh)?;
+                self.cluster.close_session(old)?;
+                // The edge pipelines notice the active-session change and
+                // drop their stale queues on the next prepare.
+                Ok(now + self.config.restart_penalty)
+            }
+            FaultKind::RekeyRace => {
+                let edges = self.cluster.edge_ids();
+                if !edges.is_empty() {
+                    let edge = edges[(fault.salt % edges.len() as u64) as usize];
+                    let active = self.cluster.active_session();
+                    if let Some(sessions) = self.cluster.edge_sessions_mut(edge) {
+                        if sessions.rekey(active).is_some() {
+                            self.resilience.forced_rekeys += 1;
+                        }
+                    }
+                }
+                Ok(now)
+            }
+            _ => Ok(now),
         }
     }
 
@@ -406,11 +570,10 @@ impl PipelineEngine {
                 .host_mut()
                 .write(region.addr, Payload::Real(bytes))
                 .map_err(pipellm_gpu::GpuError::from)?;
-            let t = self.cluster.device_mut(0).memcpy_htod_async(
-                frontend,
-                self.in_buf[0][m],
-                region,
-            )?;
+            let dst = self.in_buf[0][m];
+            let t = self.with_retry(frontend, Self::hop_salt(0, m, false) ^ 0x16e7, |e, at| {
+                e.cluster.device_mut(0).memcpy_htod_async(at, dst, region)
+            })?;
             inject[m] = frontend;
             frontend = t.api_return;
             arrive_fwd[0][m] = Some(t.complete);
@@ -447,7 +610,7 @@ impl PipelineEngine {
                     let Some(ready) = ready else { break };
                     queues[s].pop_front();
                     progress = true;
-                    let launch = ready.max(thread_free[s]);
+                    let launch = self.stage_chaos(s, ready.max(thread_free[s]));
                     let duration = self.stage_compute(s, op.pass);
                     let compute_end = self
                         .cluster
@@ -460,16 +623,25 @@ impl PipelineEngine {
                             self.compute_functional(s, m);
                             fwd_done[s][m] = Some(compute_end);
                             if s + 1 < stages {
-                                let (free, arrival) = self.send_forward(s, m, compute_end)?;
+                                let (free, arrival) = self.with_retry(
+                                    compute_end,
+                                    Self::hop_salt(s, m, false),
+                                    |e, at| e.send_forward(s, m, at),
+                                )?;
                                 thread_free[s] = free;
                                 arrive_fwd[s + 1][m] = Some(arrival);
                             } else {
                                 // Egress: native D2H off the last stage.
                                 let out = self.out_regions[m];
-                                let t = self.cluster.device_mut(stages - 1).memcpy_dtoh_async(
+                                let src = self.in_buf[stages - 1][m];
+                                let t = self.with_retry(
                                     compute_end,
-                                    out,
-                                    self.in_buf[stages - 1][m],
+                                    Self::hop_salt(s, m, false) ^ 0xe62e55,
+                                    |e, at| {
+                                        e.cluster
+                                            .device_mut(stages - 1)
+                                            .memcpy_dtoh_async(at, out, src)
+                                    },
                                 )?;
                                 thread_free[s] = t.api_return;
                                 finished = finished.max(t.complete);
@@ -494,7 +666,11 @@ impl PipelineEngine {
                         }
                         Pass::Backward => {
                             if s > 0 {
-                                let (free, arrival) = self.send_backward(s, m, compute_end)?;
+                                let (free, arrival) = self.with_retry(
+                                    compute_end,
+                                    Self::hop_salt(s, m, true),
+                                    |e, at| e.send_backward(s, m, at),
+                                )?;
                                 thread_free[s] = free;
                                 arrive_bwd[s - 1][m] = Some(arrival);
                             }
@@ -533,6 +709,9 @@ impl ServingEngine for PipelineEngine {
         let mut now = SimTime::ZERO;
         for iteration in 0..self.config.iterations {
             now = self.run_iteration(iteration, now)?;
+            if iteration + 1 < self.config.iterations {
+                now = self.session_chaos(now)?;
+            }
         }
         let completed = (self.config.iterations * self.config.micro_batches) as u64;
         let secs = now.as_secs_f64().max(f64::MIN_POSITIVE);
@@ -671,6 +850,120 @@ mod tests {
         let (fd_engine, _) = run(fd);
         let (ob_engine, _) = run(ob);
         assert_eq!(fd_engine.outputs(), ob_engine.outputs());
+    }
+
+    use pipellm_chaos::FaultPlan;
+
+    /// `config(..)` plus a seeded injector shared engine-wide.
+    fn chaotic(stages: usize, system: PipelineSystem, plan: FaultPlan) -> PipelineConfig {
+        PipelineConfig {
+            chaos: Some(Arc::new(ChaosInjector::new(plan))),
+            ..config(stages, system)
+        }
+    }
+
+    #[test]
+    fn chaos_free_run_records_no_resilience_events() {
+        let (engine, _) = run(config(3, PipelineSystem::PipeLlm));
+        assert_eq!(engine.resilience().total_events(), 0);
+    }
+
+    #[test]
+    fn faulted_links_retry_and_outputs_stay_bit_exact() {
+        let (clean, _) = run(config(2, PipelineSystem::CcNative));
+        for system in [PipelineSystem::CcNative, PipelineSystem::PipeLlm] {
+            let plan = FaultPlan::new(17).with_frame_rate(1.0);
+            let (engine, _) = run(chaotic(2, system, plan));
+            assert_eq!(
+                engine.outputs(),
+                clean.outputs(),
+                "{system:?} must recover every frame"
+            );
+            engine.verify_edges().expect("lockstep after recovery");
+            let res = engine.resilience();
+            assert!(res.escalations > 0, "rate 1.0 exhausts every budget");
+            // Rate 1.0 means every live attempt faults: each op walks the
+            // full ladder — max_retries retries, then one suppressed
+            // escalation. Bounded, never infinite.
+            assert_eq!(
+                res.retries,
+                res.escalations * u64::from(PipelineConfig::default().retry.max_retries),
+                "{res}"
+            );
+            assert!(res.retry_backoff > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn moderate_fault_rate_recovers_with_partial_retries() {
+        let (clean, clean_report) = run(config(2, PipelineSystem::PipeLlm));
+        let plan = FaultPlan::new(29).with_frame_rate(0.3);
+        let (engine, report) = run(chaotic(2, PipelineSystem::PipeLlm, plan));
+        assert_eq!(engine.outputs(), clean.outputs());
+        engine.verify_edges().expect("lockstep");
+        let res = engine.resilience();
+        assert!(res.retries > 0, "30% faults must trigger retries: {res}");
+        assert!(
+            res.escalations < res.retries,
+            "most retries succeed before the budget runs out: {res}"
+        );
+        assert!(
+            report.finished_at > clean_report.finished_at,
+            "recovery costs time: {:?} vs {:?}",
+            report.finished_at,
+            clean_report.finished_at
+        );
+    }
+
+    #[test]
+    fn hung_stage_times_out_and_the_run_completes() {
+        let (clean, clean_report) = run(config(2, PipelineSystem::CcNative));
+        let plan = FaultPlan::new(41).with_rate(FaultKind::StageHang, 1.0);
+        let (engine, report) = run(chaotic(2, PipelineSystem::CcNative, plan));
+        let res = engine.resilience();
+        assert!(res.stage_hangs > 0, "{res}");
+        assert!(
+            res.timeouts > 0,
+            "some hangs must outlast the watchdog: {res}"
+        );
+        assert!(
+            res.timeouts < res.stage_hangs,
+            "some hangs clear before the watchdog: {res}"
+        );
+        assert_eq!(engine.outputs(), clean.outputs());
+        assert!(report.finished_at > clean_report.finished_at);
+    }
+
+    #[test]
+    fn killed_stage_rekeys_its_edges_and_lockstep_holds_everywhere() {
+        let (clean, _) = run(config(4, PipelineSystem::PipeLlm));
+        let plan = FaultPlan::new(53).with_rate(FaultKind::StageKill, 0.2);
+        let (engine, _) = run(chaotic(4, PipelineSystem::PipeLlm, plan));
+        let res = engine.resilience();
+        assert!(res.stage_kills > 0, "{res}");
+        assert!(
+            res.forced_rekeys >= res.stage_kills,
+            "every kill rekeys at least one adjacent edge: {res}"
+        );
+        // The reroute must not desync any edge — including edges nowhere
+        // near the killed stage.
+        engine.verify_edges().expect("lockstep across all edges");
+        assert_eq!(engine.outputs(), clean.outputs());
+    }
+
+    #[test]
+    fn session_churn_reroutes_mid_stream_without_losing_work() {
+        let (clean, _) = run(config(2, PipelineSystem::PipeLlm));
+        let plan = FaultPlan::new(61).with_rate(FaultKind::SessionChurn, 1.0);
+        let (engine, report) = run(chaotic(2, PipelineSystem::PipeLlm, plan));
+        let res = engine.resilience();
+        // One churn per iteration boundary (3 iterations → 2 boundaries).
+        assert_eq!(res.session_churns, 2, "{res}");
+        // Old sessions are closed, not leaked.
+        assert_eq!(engine.cluster().session_ids().len(), 1);
+        engine.verify_edges().expect("fresh session in lockstep");
+        assert_eq!(engine.outputs(), clean.outputs());
+        assert_eq!(report.completed, 12);
     }
 
     #[test]

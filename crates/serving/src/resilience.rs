@@ -1,0 +1,124 @@
+//! Orchestrator-level resilience counters.
+//!
+//! The serving engines absorb injected (or real) failures with a layered
+//! recovery protocol — bounded retries with jittered exponential backoff
+//! for faulted transfers, per-op timeouts for hung stages, restart plus
+//! forced rekey for killed stages, and mid-stream session replacement.
+//! [`ResilienceStats`] tallies what that machinery actually did during a
+//! run, so chaos benchmarks can report *how* a system survived, not just
+//! that it finished.
+
+use std::fmt;
+use std::time::Duration;
+
+/// What the recovery protocol did during one engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Faulted transfers re-issued at a fresh IV after a backoff.
+    pub retries: u64,
+    /// Total simulated time spent waiting out retry backoffs.
+    pub retry_backoff: Duration,
+    /// Retry budgets exhausted: the final attempt ran with injection
+    /// suppressed (chaos proves recovery works, not that an unbounded
+    /// fault stream eventually wins).
+    pub escalations: u64,
+    /// Hung stages cut short by the per-op timeout (watchdog fired and
+    /// the stage executor was restarted).
+    pub timeouts: u64,
+    /// Stage hangs observed (including those that cleared on their own
+    /// before the watchdog fired).
+    pub stage_hangs: u64,
+    /// Stage crashes absorbed: executor restarted, adjacent edges rekeyed
+    /// before traffic resumed.
+    pub stage_kills: u64,
+    /// Serving sessions replaced mid-stream (close + reopen + reroute).
+    pub session_churns: u64,
+    /// Forced epoch bumps (after a stage kill, or an injected rekey
+    /// racing the pipeline's speculative state).
+    pub forced_rekeys: u64,
+}
+
+impl ResilienceStats {
+    /// Total recovery actions of any kind.
+    pub fn total_events(&self) -> u64 {
+        self.retries
+            + self.escalations
+            + self.timeouts
+            + self.stage_hangs
+            + self.stage_kills
+            + self.session_churns
+            + self.forced_rekeys
+    }
+}
+
+impl std::ops::AddAssign for ResilienceStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.retries += rhs.retries;
+        self.retry_backoff += rhs.retry_backoff;
+        self.escalations += rhs.escalations;
+        self.timeouts += rhs.timeouts;
+        self.stage_hangs += rhs.stage_hangs;
+        self.stage_kills += rhs.stage_kills;
+        self.session_churns += rhs.session_churns;
+        self.forced_rekeys += rhs.forced_rekeys;
+    }
+}
+
+impl fmt::Display for ResilienceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retries={} (backoff {:?}) escalations={} timeouts={} \
+             hangs={} kills={} churns={} rekeys={}",
+            self.retries,
+            self.retry_backoff,
+            self.escalations,
+            self.timeouts,
+            self.stage_hangs,
+            self.stage_kills,
+            self.session_churns,
+            self.forced_rekeys,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_accumulation() {
+        let mut a = ResilienceStats {
+            retries: 3,
+            retry_backoff: Duration::from_micros(10),
+            escalations: 1,
+            ..Default::default()
+        };
+        let b = ResilienceStats {
+            timeouts: 2,
+            retry_backoff: Duration::from_micros(5),
+            ..Default::default()
+        };
+        a += b;
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.timeouts, 2);
+        assert_eq!(a.retry_backoff, Duration::from_micros(15));
+        assert_eq!(a.total_events(), 6);
+    }
+
+    #[test]
+    fn display_names_every_counter() {
+        let text = ResilienceStats::default().to_string();
+        for key in [
+            "retries=",
+            "escalations=",
+            "timeouts=",
+            "hangs=",
+            "kills=",
+            "churns=",
+            "rekeys=",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+}

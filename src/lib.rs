@@ -6,6 +6,8 @@
 //!
 //! - [`runtime`] (`pipellm`) — the contribution: the speculative pipelined
 //!   encryption runtime;
+//! - [`chaos`] — deterministic fault injection and the retry/backoff/
+//!   timeout policy behind the resilience story;
 //! - [`crypto`] — AES-GCM and the incrementing-IV secure channel;
 //! - [`sim`] — the deterministic timing core;
 //! - [`gpu`] — the simulated CC-enabled GPU and CUDA-level API;
@@ -37,6 +39,7 @@
 
 pub use pipellm as runtime;
 pub use pipellm_bench as bench;
+pub use pipellm_chaos as chaos;
 pub use pipellm_crypto as crypto;
 pub use pipellm_gpu as gpu;
 pub use pipellm_llm as llm;

@@ -1,0 +1,157 @@
+//! Acceptance tests for the chaos layer: fault storms, deterministic
+//! replay, the bounded retry ladder, sentinel KV blocks, and stage
+//! hang/kill recovery — all through the public umbrella API.
+
+use pipellm_repro::chaos::{ChaosInjector, FaultKind, FaultPlan};
+use pipellm_repro::crypto::channel::SENTINEL_BYTE;
+use pipellm_repro::gpu::memory::Payload;
+use pipellm_repro::gpu::runtime::GpuRuntime;
+use pipellm_repro::gpu::SessionedRuntime;
+use pipellm_repro::runtime::{PipeLlmConfig, PipeLlmRuntime};
+use pipellm_repro::serving::pipeline::{PipelineConfig, PipelineEngine, PipelineSystem};
+use pipellm_repro::serving::ServingEngine;
+use pipellm_repro::sim::time::SimTime;
+use std::sync::Arc;
+
+fn engine_config(stages: usize, system: PipelineSystem) -> PipelineConfig {
+    PipelineConfig {
+        stages,
+        system,
+        micro_batches: 4,
+        iterations: 3,
+        ..PipelineConfig::default()
+    }
+}
+
+fn run_with(config: PipelineConfig) -> (PipelineEngine, pipellm_repro::serving::ServingReport) {
+    let mut engine = PipelineEngine::new(config);
+    let report = engine.run_to_completion().expect("run completes");
+    (engine, report)
+}
+
+#[test]
+fn fault_storm_recovers_bit_exact_on_every_encrypted_system() {
+    let (clean, _) = run_with(engine_config(3, PipelineSystem::CcNative));
+    for system in [PipelineSystem::CcNative, PipelineSystem::PipeLlm] {
+        let chaos = Arc::new(ChaosInjector::new(FaultPlan::new(97).with_frame_rate(0.5)));
+        let (engine, _) = run_with(PipelineConfig {
+            chaos: Some(Arc::clone(&chaos)),
+            ..engine_config(3, system)
+        });
+        assert!(chaos.stats().total() > 0, "storm must fire");
+        assert_eq!(
+            engine.outputs(),
+            clean.outputs(),
+            "{system:?} must deliver every frame despite the storm"
+        );
+        engine.verify_edges().expect("lockstep after recovery");
+        assert!(engine.resilience().retries > 0);
+    }
+}
+
+#[test]
+fn chaos_replay_is_deterministic() {
+    let run_once = || {
+        let chaos = Arc::new(ChaosInjector::new(
+            FaultPlan::new(1234)
+                .with_frame_rate(0.4)
+                .with_stage_rate(0.1),
+        ));
+        let (engine, report) = run_with(PipelineConfig {
+            chaos: Some(Arc::clone(&chaos)),
+            ..engine_config(2, PipelineSystem::PipeLlm)
+        });
+        (*engine.resilience(), report.finished_at, chaos.stats())
+    };
+    let (res_a, end_a, faults_a) = run_once();
+    let (res_b, end_b, faults_b) = run_once();
+    assert!(faults_a.total() > 0, "the replayed schedule must be live");
+    // Same plan, same seed: byte-identical fault schedule, identical
+    // recovery, identical clock — every chaos failure is a reproducible
+    // regression.
+    assert_eq!(faults_a, faults_b);
+    assert_eq!(res_a, res_b);
+    assert_eq!(end_a, end_b);
+}
+
+#[test]
+fn retry_ladder_is_bounded_by_the_policy() {
+    // Rate 1.0: every live attempt faults, so every faulted op walks the
+    // full ladder — max_retries backoffs, then exactly one suppressed
+    // escalation. Nothing retries forever.
+    let chaos = Arc::new(ChaosInjector::new(FaultPlan::new(5).with_frame_rate(1.0)));
+    let config = PipelineConfig {
+        chaos: Some(Arc::clone(&chaos)),
+        ..engine_config(2, PipelineSystem::CcNative)
+    };
+    let policy = config.retry;
+    let (engine, _) = run_with(config);
+    let res = engine.resilience();
+    assert!(res.escalations > 0);
+    assert_eq!(res.retries, res.escalations * u64::from(policy.max_retries));
+    // Backoff growth is capped by the policy's worst case per ladder.
+    let ceiling = policy.worst_case_backoff() * u32::try_from(res.escalations).unwrap();
+    assert!(
+        res.retry_backoff <= ceiling,
+        "{:?} > {ceiling:?}",
+        res.retry_backoff
+    );
+    assert!(res.retry_backoff > std::time::Duration::ZERO);
+}
+
+#[test]
+fn hangs_time_out_and_kills_rekey_without_desyncing_any_edge() {
+    let (clean, clean_report) = run_with(engine_config(4, PipelineSystem::PipeLlm));
+    let chaos = Arc::new(ChaosInjector::new(FaultPlan::new(11).with_stage_rate(0.6)));
+    let (engine, report) = run_with(PipelineConfig {
+        chaos: Some(Arc::clone(&chaos)),
+        ..engine_config(4, PipelineSystem::PipeLlm)
+    });
+    let res = engine.resilience();
+    assert!(res.stage_hangs > 0, "{res}");
+    assert!(res.stage_kills > 0, "{res}");
+    assert!(res.timeouts > 0, "watchdog must fire on long hangs: {res}");
+    assert!(
+        res.forced_rekeys >= res.stage_kills,
+        "every kill rekeys its edges: {res}"
+    );
+    engine.verify_edges().expect("all edges in lockstep");
+    assert_eq!(engine.outputs(), clean.outputs());
+    assert!(
+        report.finished_at > clean_report.finished_at,
+        "recovery costs time, never correctness"
+    );
+}
+
+#[test]
+fn corrupted_kv_swap_lands_as_sentinel_through_the_public_api() {
+    const CHUNK: u64 = 256 * 1024;
+    let mut rt = PipeLlmRuntime::new(PipeLlmConfig {
+        device_capacity: 1 << 30,
+        chaos: Some(Arc::new(ChaosInjector::new(
+            FaultPlan::new(33).with_rate(FaultKind::CorruptFrame, 1.0),
+        ))),
+        ..PipeLlmConfig::default()
+    });
+    let dev = rt.alloc_device(CHUNK).unwrap();
+    let secret = vec![0x5Au8; CHUNK as usize];
+    rt.context_mut()
+        .device_memory_mut()
+        .store(dev, Payload::Real(secret.clone()))
+        .unwrap();
+    let host = rt.alloc_host(Payload::Real(vec![0u8; CHUNK as usize]));
+    let now = rt.memcpy_dtoh(SimTime::ZERO, host, dev).unwrap();
+    rt.host_read(now, host).unwrap();
+    let Payload::Real(bytes) = rt.context().host().get(host.addr).unwrap().payload() else {
+        panic!("real payload expected")
+    };
+    // No plaintext escape: the damaged block lands as sentinel fill of
+    // the right size, never the secret and never raw ciphertext.
+    assert_eq!(bytes.len(), CHUNK as usize);
+    assert!(bytes.iter().all(|&b| b == SENTINEL_BYTE));
+    assert_ne!(bytes, &secret);
+    assert_eq!(rt.spec_stats().kv_sentinels, 1);
+    // The failed open consumed its IV: endpoints still in lockstep.
+    let counters = rt.session_counters(rt.active_session()).unwrap();
+    assert!(counters.in_lockstep(), "{counters:?}");
+}
