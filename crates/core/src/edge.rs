@@ -199,6 +199,62 @@ impl EdgePipeline {
         }
     }
 
+    /// Batched form of [`EdgePipeline::prepare`]: pre-seals a run of
+    /// producer buffers in **one fused gang submission** at consecutive
+    /// speculative IVs ([`ClusterContext::seal_edge_regions`]) — one
+    /// crypto dispatch and one pool reservation for the whole run,
+    /// instead of one per slot. The same predictor gate and depth limit
+    /// apply: the run is clipped at the first slot the elected pattern
+    /// rejects and at `spec_depth`. Returns how many entries were queued.
+    pub fn prepare_many(
+        &mut self,
+        cluster: &mut ClusterContext,
+        now: SimTime,
+        buffers: &[(DevicePtr, DevicePtr, u64)],
+    ) -> usize {
+        self.rekey_if_needed(cluster);
+        // Gate and clip the candidate run before touching the channel.
+        let mut queued: Vec<ChunkId> = self.queue.iter().map(|e| e.slot).collect();
+        let mut regions = Vec::new();
+        let mut slots = Vec::new();
+        for &(src_ptr, dst_ptr, len) in buffers {
+            if queued.len() >= self.spec_depth {
+                break;
+            }
+            let slot = slot_of(src_ptr, len);
+            if let Some(predicted) = self.predictor.predict_next(&queued) {
+                if predicted != slot {
+                    break;
+                }
+            }
+            queued.push(slot);
+            regions.push((src_ptr, dst_ptr));
+            slots.push((slot, len));
+        }
+        if regions.is_empty() {
+            return 0;
+        }
+        let cur = cluster.current_edge_iv(self.src, self.dst);
+        let start_iv = self.queue.back().map(|e| e.iv + 1).unwrap_or(cur).max(cur);
+        match cluster.seal_edge_regions(now, self.src, self.dst, &regions, start_iv) {
+            Ok((sealed, ready_at)) => {
+                let n = sealed.len();
+                for (sealed, (slot, len)) in sealed.into_iter().zip(slots) {
+                    self.queue.push_back(EdgeEntry {
+                        slot,
+                        iv: sealed.iv,
+                        sealed,
+                        ready_at,
+                        len,
+                    });
+                }
+                self.stats.speculated += n as u64;
+                n
+            }
+            Err(_) => 0,
+        }
+    }
+
     /// Serves the actual transfer of `src_ptr` at `now`: commits the
     /// pre-sealed ciphertext when its IV matches (padding with edge NOPs
     /// when it is ahead), or relinquishes to on-demand encryption. The
@@ -232,13 +288,11 @@ impl EdgePipeline {
                     self.stats.relinquishes += 1;
                     self.on_demand(cluster, now, src_ptr, dst_ptr)?
                 } else {
-                    let mut padded = 0u32;
-                    let mut at = cur;
-                    while at < entry.iv {
-                        cluster.send_edge_nop(now, self.src, self.dst)?;
-                        at += 1;
-                        padded += 1;
-                    }
+                    // Pad the whole gap in one fused NOP burst: a single
+                    // crypto dispatch seals every pad frame, instead of
+                    // one pool round-trip per skipped IV.
+                    let padded = (entry.iv - cur) as usize;
+                    cluster.send_edge_nops(now, self.src, self.dst, padded)?;
                     // Entries skipped by the padding can never commit.
                     let skipped = self.queue.iter().filter(|e| e.iv < entry.iv).count() as u64;
                     self.queue.retain(|e| e.iv > entry.iv);
@@ -332,6 +386,46 @@ mod tests {
             c.device(1).device_memory().get(dst).unwrap(),
             &Payload::Real(vec![0xaa; CHUNK as usize])
         );
+    }
+
+    #[test]
+    fn batched_preparation_fills_the_queue_in_one_submission() {
+        let mut c = cluster();
+        let ping = seed(&mut c, 0, 0x11);
+        let pong = seed(&mut c, 0, 0x22);
+        let dst = c.device_mut(1).alloc_device(CHUNK).unwrap();
+        let mut pipe = EdgePipeline::new(0, 1, 2);
+        // One fused submission queues both slots at consecutive IVs...
+        assert_eq!(
+            pipe.prepare_many(
+                &mut c,
+                SimTime::ZERO,
+                &[(ping, dst, CHUNK), (pong, dst, CHUNK)],
+            ),
+            2
+        );
+        assert_eq!(pipe.queue_len(), 2);
+        // ...and a third candidate is clipped at spec_depth.
+        assert_eq!(
+            pipe.prepare_many(&mut c, SimTime::ZERO, &[(ping, dst, CHUNK)]),
+            0
+        );
+        // Both transfers commit as speculation hits, in order.
+        for (buf, byte) in [(ping, 0x11u8), (pong, 0x22u8)] {
+            let t = pipe
+                .transfer(&mut c, SimTime::ZERO, buf, dst, CHUNK)
+                .unwrap();
+            assert_eq!(t.api_return, SimTime::ZERO, "pipelined submit is instant");
+            assert_eq!(
+                c.device(1).device_memory().get(dst).unwrap(),
+                &Payload::Real(vec![byte; CHUNK as usize])
+            );
+        }
+        assert_eq!(pipe.stats().spec_hits, 2, "{}", pipe.stats());
+        let counters = c
+            .edge_counters(EdgeId::between(0, 1), c.active_session())
+            .unwrap();
+        assert!(counters.in_lockstep(), "{counters:?}");
     }
 
     #[test]

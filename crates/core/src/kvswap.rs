@@ -29,13 +29,52 @@ use pipellm_crypto::engine::{CryptoEngine, JobHandle};
 use pipellm_gpu::context::{CudaContext, DeferredKvOpen};
 use pipellm_gpu::memory::{HostRegion, Payload};
 use pipellm_sim::time::SimTime;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The `version` a poisoned virtual KV block lands with: a deferred open
 /// that failed authentication stores a sentinel payload carrying this
 /// marker, so any later consumer comparing versions sees the damage
 /// instead of silently reading stale data.
 pub const POISONED_VERSION: u64 = u64::MAX;
+
+/// One block's decryption outcome: the opened plaintext or the failure.
+type OpenResult = pipellm_crypto::Result<Vec<u8>>;
+
+/// One in-flight **group** open: a single background job decrypting every
+/// block of a swap-out group in one engine submission. The first block to
+/// finalize joins the job and parks each sibling's result; later blocks
+/// take theirs without touching the engine — one dispatch per group, not
+/// one per block.
+#[derive(Debug)]
+struct GroupOpen {
+    job: Mutex<Option<JobHandle<Vec<OpenResult>>>>,
+    results: Mutex<Vec<Option<OpenResult>>>,
+}
+
+impl GroupOpen {
+    /// Joins the shared job (first caller only) and takes block `index`'s
+    /// open result. `None` if it was already taken — unreachable from the
+    /// pipeline, which finalizes each index exactly once.
+    fn take(&self, index: usize) -> Option<OpenResult> {
+        let mut results = self.results.lock().expect("group-open lock");
+        if let Some(job) = self.job.lock().expect("group-open lock").take() {
+            *results = job.wait().into_iter().map(Some).collect();
+        }
+        results.get_mut(index).and_then(Option::take)
+    }
+}
+
+/// The background decryption attached to one pending block.
+#[derive(Debug)]
+enum Background {
+    /// A dedicated engine job for this block alone.
+    Single(JobHandle<pipellm_crypto::Result<Vec<u8>>>),
+    /// Slot `index` of a fused group-wide open.
+    Group {
+        shared: Arc<GroupOpen>,
+        index: usize,
+    },
+}
 
 /// One pending block: the deferred-open state plus the background
 /// decryption job running on the crypto engine.
@@ -44,7 +83,7 @@ struct PendingKv {
     deferred: DeferredKvOpen,
     /// The in-flight background open; `None` once joined (or when a test
     /// constructs the pipeline without an engine).
-    background: Option<JobHandle<pipellm_crypto::Result<Vec<u8>>>>,
+    background: Option<Background>,
 }
 
 /// Per-session deferred-decryption state of the encrypted paged KV cache.
@@ -90,8 +129,50 @@ impl KvSwapPipeline {
         });
         self.pending.push(PendingKv {
             deferred,
-            background: Some(background),
+            background: Some(Background::Single(background)),
         });
+    }
+
+    /// Queues a whole swap-out group behind **one** background engine
+    /// submission: a single worker job opens every block's ciphertext copy
+    /// in order (the per-block opens run sequentially on the worker — the
+    /// engine's batch discipline), and each block's finalize takes its own
+    /// result from the shared job. One dispatch per group replaces one
+    /// per block, matching the fused device-side batch seal that produced
+    /// the group.
+    pub(crate) fn push_group(
+        &mut self,
+        engine: &Arc<CryptoEngine>,
+        deferreds: Vec<DeferredKvOpen>,
+    ) {
+        if deferreds.len() < 2 {
+            for deferred in deferreds {
+                self.push(engine, deferred);
+            }
+            return;
+        }
+        let work: Vec<_> = deferreds
+            .iter()
+            .map(|d| (d.ciphertext.clone(), Arc::clone(&d.aad), d.open.clone()))
+            .collect();
+        let job = engine.submit(move || {
+            work.into_iter()
+                .map(|(mut buf, aad, open)| open.open_in_place(&aad, &mut buf).map(|()| buf))
+                .collect::<Vec<_>>()
+        });
+        let shared = Arc::new(GroupOpen {
+            job: Mutex::new(Some(job)),
+            results: Mutex::new(deferreds.iter().map(|_| None).collect()),
+        });
+        for (index, deferred) in deferreds.into_iter().enumerate() {
+            self.pending.push(PendingKv {
+                deferred,
+                background: Some(Background::Group {
+                    shared: Arc::clone(&shared),
+                    index,
+                }),
+            });
+        }
     }
 
     /// Index of the pending block overlapping `region`, if any.
@@ -138,24 +219,28 @@ impl KvSwapPipeline {
             background,
         } = self.pending.swap_remove(idx);
         ctx.pages_mut().unprotect(deferred.region);
-        // Join the decoupled decryption worker; without one, open the
-        // staged ciphertext in place (both paths authenticate at the IV
+        // Join the decoupled decryption worker — a dedicated job, or this
+        // block's slot of a fused group-wide open; without one, open the
+        // staged ciphertext in place (all paths authenticate at the IV
         // reserved in wire order). Failures scrub to sentinel bytes.
-        let (buf, staging, poisoned) = match background {
-            Some(job) => match job.wait() {
-                Ok(plain) => (plain, Some(deferred.ciphertext), false),
-                Err(_) => {
-                    // The worker's copy failed authentication; run the
-                    // sentinel open over the authoritative at-rest bytes so
-                    // they are scrubbed the same way (deterministic: the
-                    // same ciphertext fails the same way).
-                    let mut buf = deferred.ciphertext;
-                    let _ = deferred
-                        .open
-                        .open_in_place_or_sentinel(&deferred.aad, &mut buf);
-                    (buf, None, true)
-                }
-            },
+        let joined = match background {
+            Some(Background::Single(job)) => Some(job.wait()),
+            Some(Background::Group { shared, index }) => shared.take(index),
+            None => None,
+        };
+        let (buf, staging, poisoned) = match joined {
+            Some(Ok(plain)) => (plain, Some(deferred.ciphertext), false),
+            Some(Err(_)) => {
+                // The worker's copy failed authentication; run the
+                // sentinel open over the authoritative at-rest bytes so
+                // they are scrubbed the same way (deterministic: the
+                // same ciphertext fails the same way).
+                let mut buf = deferred.ciphertext;
+                let _ = deferred
+                    .open
+                    .open_in_place_or_sentinel(&deferred.aad, &mut buf);
+                (buf, None, true)
+            }
             None => {
                 let mut buf = deferred.ciphertext;
                 let poisoned = deferred

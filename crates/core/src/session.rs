@@ -777,13 +777,13 @@ impl SessionState {
         let deferred =
             ctx.swap_out_kv_group(now, group, blocks, &block_cookies, &mut self.buf_pool)?;
         self.pool_leased += deferred.len() as u64;
-        // Each block's decryption goes straight to the shared crypto
-        // engine: the background workers open out of order while compute
-        // proceeds, and finalization only joins the result.
+        // The whole group's decryption goes to the shared crypto engine as
+        // ONE background submission (matching the fused batch seal that
+        // produced it): the worker opens the blocks while compute
+        // proceeds, and each block's finalization only takes its slot of
+        // the joined result.
         let engine = std::sync::Arc::clone(ctx.crypto_engine());
-        for pending in deferred {
-            self.kv.push(&engine, pending);
-        }
+        self.kv.push_group(&engine, deferred);
         self.stats.async_decrypts += blocks.len() as u64;
         // Deliberately no refill here: speculating at swap-out time would
         // freeze the queue in eviction (FIFO) order before the reload

@@ -263,6 +263,17 @@ impl Aes {
         self
     }
 
+    /// Whether the hardware (AES-NI/VAES) block path is live for this key.
+    pub(crate) fn hw_active(&self) -> bool {
+        self.use_hw
+    }
+
+    /// The expanded per-round keys, consumed directly by the fused
+    /// CTR+GHASH kernel in [`crate::hw`].
+    pub(crate) fn round_keys(&self) -> &[[u8; BLOCK_SIZE]] {
+        &self.round_keys
+    }
+
     /// Encrypts a single 16-byte block in place (T-table fast path).
     pub fn encrypt_block(&self, block: &mut [u8; BLOCK_SIZE]) {
         let rk = &self.round_words;

@@ -14,7 +14,7 @@
 //! error handler needs NOP padding and pipeline relinquishing.
 
 use crate::engine::CryptoEngine;
-use crate::gcm::{nonce_from_iv, AesGcm, NONCE_LEN, TAG_LEN};
+use crate::gcm::{nonce_from_iv, AesGcm, BatchSealMsg, NONCE_LEN, TAG_LEN};
 use crate::{CryptoError, Result};
 use std::sync::Arc;
 
@@ -170,6 +170,108 @@ impl TxContext {
             aad,
             bytes: buf,
         })
+    }
+
+    /// Seals a run of staged buffers at **consecutive** committed IVs in
+    /// one fused engine submission (see [`AesGcm::seal_batch`]): each
+    /// `(aad, plaintext-buf)` pair becomes a [`SealedMessage`] with its
+    /// own nonce, AAD, and tag, bit-identical to sealing them one
+    /// [`TxContext::seal_prepared`] call at a time — only the dispatch is
+    /// coalesced. The exhaustion check covers the whole batch **before**
+    /// any IV is consumed, so a failing batch is all-or-nothing (unlike a
+    /// loop of single seals, which consumes IVs up to the failure).
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::IvExhausted`] if the batch would run into the IV
+    /// headroom; the counter has not advanced and the buffers are dropped.
+    pub fn seal_batch_prepared(
+        &mut self,
+        msgs: Vec<(Arc<[u8]>, Vec<u8>)>,
+    ) -> Result<Vec<SealedMessage>> {
+        let sealed = self.seal_batch_at(self.next_iv, msgs)?;
+        self.next_iv += sealed.len() as u64;
+        Ok(sealed)
+    }
+
+    /// Speculative twin of [`TxContext::seal_batch_prepared`]: seals the
+    /// run at consecutive IVs starting at a **future** `start_iv` without
+    /// advancing the counter (paper §4.3 pre-encryption, batched). Each
+    /// message commits individually via [`TxContext::commit`] when the
+    /// counter reaches its IV.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::IvReused`] if `start_iv` is below the counter,
+    /// [`CryptoError::IvExhausted`] if the run would enter the headroom;
+    /// either way nothing is sealed.
+    pub fn seal_speculative_batch(
+        &self,
+        start_iv: u64,
+        msgs: Vec<(Arc<[u8]>, Vec<u8>)>,
+    ) -> Result<Vec<SealedMessage>> {
+        if start_iv < self.next_iv {
+            return Err(CryptoError::IvReused { iv: start_iv });
+        }
+        self.seal_batch_at(start_iv, msgs)
+    }
+
+    /// Seals a burst of NOPs at consecutive committed IVs in one fused
+    /// submission — the batched form of [`TxContext::seal_nop_with`],
+    /// recycling `staging` buffers where provided (extra buffers beyond
+    /// `count` are dropped; missing ones are allocated).
+    ///
+    /// # Errors
+    ///
+    /// As [`TxContext::seal_batch_prepared`].
+    pub fn seal_nop_batch(
+        &mut self,
+        count: usize,
+        staging: &mut Vec<Vec<u8>>,
+    ) -> Result<Vec<SealedMessage>> {
+        let msgs = (0..count)
+            .map(|_| {
+                let mut buf = staging.pop().unwrap_or_default();
+                buf.clear();
+                buf.push(0u8);
+                (Arc::clone(&self.nop_aad), buf)
+            })
+            .collect();
+        self.seal_batch_prepared(msgs)
+    }
+
+    /// Shared core of the batch seals: messages land at consecutive IVs
+    /// `start_iv..start_iv + n`, checked against the headroom up front.
+    fn seal_batch_at(
+        &self,
+        start_iv: u64,
+        msgs: Vec<(Arc<[u8]>, Vec<u8>)>,
+    ) -> Result<Vec<SealedMessage>> {
+        let n = msgs.len() as u64;
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        self.check_exhaustion(start_iv + (n - 1))?;
+        let mut out: Vec<SealedMessage> = msgs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (aad, bytes))| SealedMessage {
+                iv: start_iv + i as u64,
+                aad,
+                bytes,
+            })
+            .collect();
+        let direction = self.direction.tag();
+        let mut batch: Vec<BatchSealMsg<'_>> = out
+            .iter_mut()
+            .map(|m| BatchSealMsg {
+                nonce: nonce_from_iv(direction, m.iv),
+                aad: &m.aad,
+                buf: &mut m.bytes,
+            })
+            .collect();
+        self.gcm.seal_batch(&mut batch);
+        Ok(out)
     }
 
     /// Seals `data` in place at the current counter, advancing it. Returns

@@ -41,6 +41,11 @@ pub struct CpuCryptoModel {
     /// workers it runs (PCIe-class staging bandwidth; the ciphertext still
     /// has to move through the bounce buffers).
     pub saturation_bytes_per_sec: f64,
+    /// Adaptive gang crossover: payloads below this seal sequentially on
+    /// the submitting thread (the real engine skips the pool below its
+    /// calibrated threshold — see `pipellm_crypto::gcm`), so pool pricing
+    /// only credits thread-level parallelism at or above it.
+    pub gang_min_bytes: u64,
 }
 
 impl Default for CpuCryptoModel {
@@ -50,6 +55,7 @@ impl Default for CpuCryptoModel {
             bytes_per_sec: 5.8 * GIB,
             per_op: Duration::from_nanos(1_500),
             saturation_bytes_per_sec: 25.0 * GIB,
+            gang_min_bytes: 64 * 1024,
         }
     }
 }
@@ -94,27 +100,47 @@ impl CpuCryptoModel {
         self.per_op + transfer
     }
 
-    /// Aggregate throughput of `threads` workers in bytes/sec, assuming
-    /// chunk-level parallelism (each chunk is sealed by one worker, as
-    /// PipeLLM does for model offloading): near-linear in thread count
-    /// until the pool hits the PCIe-class saturation ceiling (§7.2).
-    pub fn pool_bytes_per_sec(&self, threads: usize) -> f64 {
-        let linear = self.bytes_per_sec * threads.max(1) as f64;
+    /// Effective throughput of the pool for one `bytes`-byte payload:
+    /// below the adaptive crossover ([`CpuCryptoModel::gang_min_bytes`])
+    /// the engine seals sequentially on the submitting thread — one
+    /// thread's rate, no matter how many workers the pool runs — and at
+    /// or above it chunk-level parallelism scales near-linearly with
+    /// thread count until the pool hits the PCIe-class saturation ceiling
+    /// (§7.2).
+    pub fn pool_bytes_per_sec(&self, bytes: u64, threads: usize) -> f64 {
+        if threads < 2 || bytes < self.gang_min_bytes {
+            return self.bytes_per_sec;
+        }
+        let linear = self.bytes_per_sec * threads as f64;
         // The ceiling never cuts below a single thread's throughput.
         linear.min(self.saturation_bytes_per_sec.max(self.bytes_per_sec))
     }
 
-    /// Wall time for a `threads`-wide gang to seal one `bytes`-byte buffer
-    /// chunked across all workers (the blocking native-CC path and the
-    /// engine's chunked seal).
+    /// Wall time for the pool to seal one `bytes`-byte buffer: chunked
+    /// across all workers at or above the adaptive crossover (the
+    /// blocking native-CC path and the engine's chunked seal), sequential
+    /// below it.
     pub fn pool_seal_time(&self, bytes: u64, threads: usize) -> Duration {
-        self.per_op + Duration::from_secs_f64(bytes as f64 / self.pool_bytes_per_sec(threads))
+        self.per_op
+            + Duration::from_secs_f64(bytes as f64 / self.pool_bytes_per_sec(bytes, threads))
     }
 
     /// Gang-open twin of [`CpuCryptoModel::pool_seal_time`] (AES-GCM
     /// decryption runs the same CTR keystream and GHASH).
     pub fn pool_open_time(&self, bytes: u64, threads: usize) -> Duration {
         self.pool_seal_time(bytes, threads)
+    }
+
+    /// Wall time for one **fused batch** submission sealing `count` small
+    /// messages totalling `total_bytes`: a single dispatch (`per_op`)
+    /// covers the whole batch instead of one per message, plus one
+    /// 16-byte tag/length-block finalization per message. The batch total
+    /// decides whether the gang engages, exactly like the real engine's
+    /// batch path.
+    pub fn batch_seal_time(&self, total_bytes: u64, count: usize, threads: usize) -> Duration {
+        let hashed = total_bytes + 16 * count.max(1) as u64;
+        self.per_op
+            + Duration::from_secs_f64(hashed as f64 / self.pool_bytes_per_sec(hashed, threads))
     }
 }
 
@@ -148,14 +174,17 @@ mod tests {
         assert_eq!(model.seal_time(123_456), model.open_time(123_456));
     }
 
+    /// A payload comfortably above the adaptive crossover.
+    const BIG: u64 = 32 << 20;
+
     #[test]
     fn pool_scales_linearly_below_saturation() {
         let model = CpuCryptoModel::default();
-        let one = model.pool_bytes_per_sec(1);
-        let four = model.pool_bytes_per_sec(4);
+        let one = model.pool_bytes_per_sec(BIG, 1);
+        let four = model.pool_bytes_per_sec(BIG, 4);
         assert!((four / one - 4.0).abs() < 1e-9);
         // Zero threads degrades to one, never to zero throughput.
-        assert_eq!(model.pool_bytes_per_sec(0), one);
+        assert_eq!(model.pool_bytes_per_sec(BIG, 0), one);
     }
 
     #[test]
@@ -164,10 +193,17 @@ mod tests {
         // 5.8 GB/s per thread: 8 threads would be 46.4 GB/s linear, but
         // the aggregate clamps at the 25 GB/s staging ceiling (§7.2
         // "scales near-linearly … until it saturates PCIe").
-        let eight = model.pool_bytes_per_sec(8);
+        let eight = model.pool_bytes_per_sec(BIG, 8);
         assert!((eight - model.saturation_bytes_per_sec).abs() < 1.0);
-        assert_eq!(eight, model.pool_bytes_per_sec(64), "flat past saturation");
-        assert!(model.pool_bytes_per_sec(4) < eight, "4 threads still scale");
+        assert_eq!(
+            eight,
+            model.pool_bytes_per_sec(BIG, 64),
+            "flat past saturation"
+        );
+        assert!(
+            model.pool_bytes_per_sec(BIG, 4) < eight,
+            "4 threads still scale"
+        );
         // Gang time reflects the cap: 8 and 16 threads seal equally fast.
         assert_eq!(
             model.pool_seal_time(32 << 20, 8),
@@ -177,8 +213,47 @@ mod tests {
         // A degenerate model whose ceiling sits below one thread never
         // reports a pool slower than that single thread.
         let tight = CpuCryptoModel::default().with_saturation_gbps(1.0);
-        assert_eq!(tight.pool_bytes_per_sec(1), tight.bytes_per_sec);
-        assert_eq!(tight.pool_bytes_per_sec(8), tight.bytes_per_sec);
+        assert_eq!(tight.pool_bytes_per_sec(BIG, 1), tight.bytes_per_sec);
+        assert_eq!(tight.pool_bytes_per_sec(BIG, 8), tight.bytes_per_sec);
+    }
+
+    #[test]
+    fn adaptive_crossover_prices_sequential_below_the_threshold() {
+        let model = CpuCryptoModel::default();
+        let t = model.gang_min_bytes;
+        // One byte below the crossover: one thread's rate regardless of
+        // pool width — the engine skips the gang there.
+        assert_eq!(model.pool_bytes_per_sec(t - 1, 8), model.bytes_per_sec);
+        // Exactly at the crossover: the gang engages.
+        assert!((model.pool_bytes_per_sec(t, 8) / model.bytes_per_sec - 4.3103).abs() < 0.01);
+        assert!(model.pool_bytes_per_sec(t, 4) > model.pool_bytes_per_sec(t - 1, 4));
+        // Seal time is continuous in spirit: the ganged seal at the
+        // threshold is never slower than the sequential seal just below.
+        assert!(model.pool_seal_time(t, 8) <= model.pool_seal_time(t - 1, 8));
+        // A single-thread pool never gangs, at any size.
+        assert_eq!(model.pool_bytes_per_sec(BIG, 1), model.bytes_per_sec);
+    }
+
+    #[test]
+    fn batch_seal_charges_one_dispatch_for_the_whole_group() {
+        let model = CpuCryptoModel::default();
+        // 16 KV pages of 4 KiB: per-message dispatch pays per_op 16×,
+        // the fused batch once.
+        let per_message: Duration = (0..16).map(|_| model.pool_seal_time(4096, 4)).sum();
+        let batch = model.batch_seal_time(16 * 4096, 16, 4);
+        assert!(batch < per_message);
+        assert!(
+            per_message - batch > model.per_op * 14,
+            "dispatch dominates"
+        );
+        // The batch total decides gang engagement: 16 × 4 KiB crosses the
+        // threshold even though each message alone would not.
+        assert!(
+            model.batch_seal_time(16 * 4096, 16, 8) < model.batch_seal_time(16 * 4096, 16, 1),
+            "fused total unlocks thread-level parallelism"
+        );
+        // An empty-ish batch still costs the dispatch.
+        assert!(model.batch_seal_time(0, 0, 4) >= model.per_op);
     }
 
     #[test]

@@ -201,21 +201,38 @@ pub struct CryptoEngine {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     workers: usize,
+    gang_width: usize,
 }
 
 impl std::fmt::Debug for CryptoEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CryptoEngine")
             .field("workers", &self.workers)
+            .field("gang_width", &self.gang_width)
             .finish()
     }
 }
 
 impl CryptoEngine {
     /// Spawns a pool of `workers` threads (clamped to `1..=64`). The
-    /// threads live until the engine is dropped.
+    /// threads live until the engine is dropped. The gang width adapts to
+    /// the host: one gang never spans more tasks than
+    /// [`CryptoEngine::host_parallelism`] cores, regardless of the
+    /// configured pool size (oversubscribed gangs context-switch instead
+    /// of progressing — see [`CryptoEngine::gang_width`]).
     pub fn new(workers: usize) -> Self {
         let workers = workers.clamp(1, 64);
+        Self::with_gang_width(workers, workers.min(Self::host_parallelism()))
+    }
+
+    /// Spawns a pool with an explicit gang width (clamped to
+    /// `1..=workers`), overriding the adaptive
+    /// `workers.min(host_parallelism)` default. Test and bench support:
+    /// forces the chunked paths to gang even on hosts with fewer cores
+    /// than workers (or to stay sequential on many-core hosts).
+    pub fn with_gang_width(workers: usize, gang_width: usize) -> Self {
+        let workers = workers.clamp(1, 64);
+        let gang_width = gang_width.clamp(1, workers);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 gang: VecDeque::new(),
@@ -245,20 +262,39 @@ impl CryptoEngine {
             shared,
             handles,
             workers,
+            gang_width,
         }
     }
 
     /// An engine sized to this machine's available parallelism.
     pub fn with_available_parallelism() -> Self {
-        let n = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        Self::new(n)
+        Self::new(Self::host_parallelism())
+    }
+
+    /// The host's available parallelism, sampled once per process.
+    pub fn host_parallelism() -> usize {
+        static HOST: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        *HOST.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
     }
 
     /// Number of worker threads in the pool.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Number of tasks one gang submission fans out to: the configured
+    /// pool size capped at the host's available parallelism. Extra pool
+    /// threads still serve background jobs, but a gang wider than the
+    /// core count only adds scheduling churn, so the chunked GCM paths
+    /// size (and gate) themselves on this instead of [`workers`].
+    ///
+    /// [`workers`]: CryptoEngine::workers
+    pub fn gang_width(&self) -> usize {
+        self.gang_width
     }
 
     /// Whether the calling thread is one of this (or any) engine's

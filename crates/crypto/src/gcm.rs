@@ -66,9 +66,15 @@ pub const TAG_LEN: usize = 16;
 /// Length of the GCM nonce in bytes (the standard 96-bit nonce).
 pub const NONCE_LEN: usize = 12;
 
-/// Smallest payload the chunked multi-threaded path engages for; below
-/// this the per-gang dispatch overhead outweighs the parallelism.
+/// Floor of the chunked multi-threaded path's engagement threshold; the
+/// effective crossover is calibrated at startup (see
+/// [`AesGcm::set_par_threshold`]) and never sits below this.
 pub const PAR_MIN_BYTES: usize = 64 * 1024;
+
+/// Fallback crossover when calibration finds the gang slower than the
+/// sequential path at every probed size: very large payloads still gang
+/// (the measured sizes top out well below this).
+const PAR_FALLBACK_BYTES: usize = 16 * PAR_MIN_BYTES;
 
 /// Smallest per-worker segment: payloads shard into at most
 /// `len / PAR_MIN_CHUNK` segments even when more workers are available.
@@ -366,6 +372,9 @@ pub struct AesGcm {
     /// Worker pool for the chunked multi-threaded paths; `None` (the
     /// default) keeps every operation on the calling thread.
     engine: Option<Arc<CryptoEngine>>,
+    /// Explicit chunked-path crossover for this context; `None` (the
+    /// default) uses the process-wide calibrated threshold.
+    par_threshold: Option<usize>,
 }
 
 impl std::fmt::Debug for AesGcm {
@@ -381,6 +390,17 @@ impl std::fmt::Debug for AesGcm {
 /// round-key reload) while staying comfortably on the stack.
 const CTR_BATCH: usize = 32;
 
+/// One message of a fused batch seal (see [`AesGcm::seal_batch`]).
+#[derive(Debug)]
+pub struct BatchSealMsg<'a> {
+    /// The message's own 96-bit nonce.
+    pub nonce: [u8; NONCE_LEN],
+    /// Authenticated-but-unencrypted descriptor for this message.
+    pub aad: &'a [u8],
+    /// Plaintext on entry; `ciphertext || tag` on return.
+    pub buf: &'a mut Vec<u8>,
+}
+
 impl AesGcm {
     /// Creates a GCM context from a 16- or 32-byte key.
     ///
@@ -394,6 +414,7 @@ impl AesGcm {
             cipher,
             h: GhashKey::new(h),
             engine: None,
+            par_threshold: None,
         })
     }
 
@@ -424,15 +445,36 @@ impl AesGcm {
         self.engine.as_ref()
     }
 
+    /// Overrides the chunked-path crossover for this context: payloads of
+    /// at least `bytes` gang across the engine, smaller ones stay
+    /// sequential on the calling thread. Without an override the
+    /// process-wide calibrated crossover applies (measured once, at the
+    /// first large seal — see the module docs). Test/bench support, and an
+    /// escape hatch for hosts where the calibration probe misfires.
+    pub fn set_par_threshold(&mut self, bytes: usize) {
+        self.par_threshold = Some(bytes);
+    }
+
     /// The engine to use for a payload of `len` bytes, when the chunked
-    /// path applies: a pool with real parallelism, a payload worth
-    /// splitting, and a calling thread that is not itself an engine worker
-    /// (background jobs run sequentially and pipeline *across* workers —
-    /// and a nested gang could otherwise deadlock the pool).
+    /// path applies: a gang with real parallelism (adaptive width — an
+    /// oversubscribed pool on a small host never gangs), a calling thread
+    /// that is not itself an engine worker (background jobs run
+    /// sequentially and pipeline *across* workers — and a nested gang
+    /// could otherwise deadlock the pool), and a payload at or above the
+    /// calibrated crossover.
     fn par_engine(&self, len: usize) -> Option<&CryptoEngine> {
         let engine = self.engine.as_deref()?;
-        (engine.workers() >= 2 && len >= PAR_MIN_BYTES && !CryptoEngine::on_worker_thread())
-            .then_some(engine)
+        (engine.gang_width() >= 2
+            && !CryptoEngine::on_worker_thread()
+            && len >= self.effective_par_threshold(engine))
+        .then_some(engine)
+    }
+
+    /// The crossover in effect for this context: the explicit override,
+    /// or the process-wide calibrated value.
+    fn effective_par_threshold(&self, engine: &CryptoEngine) -> usize {
+        self.par_threshold
+            .unwrap_or_else(|| calibrated_par_threshold(engine))
     }
 
     /// Derives the initial counter block J0 from a 96-bit nonce.
@@ -522,7 +564,7 @@ impl AesGcm {
     /// segments hashed concurrently and combined through extended powers
     /// of H (see the module docs) — identical to [`ghash`] bit for bit.
     fn ghash_parallel(&self, engine: &CryptoEngine, aad: &[u8], ciphertext: &[u8]) -> u128 {
-        let ranges = Self::par_ranges(ciphertext.len(), engine.workers());
+        let ranges = Self::par_ranges(ciphertext.len(), engine.gang_width());
         let mut partials = vec![0u128; ranges.len()];
         {
             let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
@@ -574,7 +616,7 @@ impl AesGcm {
         data: &mut [u8],
     ) -> [u8; TAG_LEN] {
         let ct_len = data.len();
-        let ranges = Self::par_ranges(ct_len, engine.workers());
+        let ranges = Self::par_ranges(ct_len, engine.gang_width());
         let mut partials = vec![0u128; ranges.len()];
         {
             let j0 = *j0;
@@ -587,8 +629,7 @@ impl AesGcm {
                 rest = tail;
                 let block_offset = (range.start / BLOCK_SIZE) as u32;
                 tasks.push(Box::new(move || {
-                    self.ctr_xor_at(&j0, block_offset, segment);
-                    *slot = self.h.segment(segment);
+                    *slot = self.seal_segment(&j0, block_offset, segment);
                 }));
             }
             engine.run_scoped(tasks);
@@ -598,6 +639,28 @@ impl AesGcm {
         (s ^ ek_j0).to_be_bytes()
     }
 
+    /// Seals one block-aligned CTR segment in place and returns its
+    /// partial GHASH (zero accumulator, no length block): the fused
+    /// single-pass kernel when both hardware paths are live — keystream
+    /// XOR and GHASH fold share one sweep over the segment — and the
+    /// two-pass CTR-then-GHASH walk otherwise. The per-worker body of
+    /// [`AesGcm::seal_chunked`] and the whole of the sequential seal.
+    fn seal_segment(&self, j0: &[u8; BLOCK_SIZE], block_offset: u32, segment: &mut [u8]) -> u128 {
+        match (&self.h.clmul, self.cipher.hw_active()) {
+            (Some(clmul), true) => crate::hw::ctr_ghash_seal(
+                self.cipher.round_keys(),
+                clmul,
+                j0,
+                block_offset,
+                segment,
+            ),
+            _ => {
+                self.ctr_xor_at(j0, block_offset, segment);
+                self.h.segment(segment)
+            }
+        }
+    }
+
     /// CTR keystream over `data`, fanned across the engine's workers when
     /// the chunked path applies (each segment seeks to its block offset).
     fn ctr_xor_dispatch(&self, j0: &[u8; BLOCK_SIZE], data: &mut [u8]) {
@@ -605,7 +668,7 @@ impl AesGcm {
             self.ctr_xor(j0, data);
             return;
         };
-        let ranges = Self::par_ranges(data.len(), engine.workers());
+        let ranges = Self::par_ranges(data.len(), engine.gang_width());
         let j0 = *j0;
         let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(ranges.len());
         let mut rest = data;
@@ -634,6 +697,18 @@ impl AesGcm {
         if let Some(engine) = self.par_engine(data.len()) {
             // Fused chunked path: one gang does CTR + partial GHASH.
             return self.seal_chunked(engine, &j0, aad, data);
+        }
+        if !data.is_empty() && self.h.clmul.is_some() && self.cipher.hw_active() {
+            // Sequential fused path: the single-pass CTR+GHASH kernel
+            // covers the whole payload as one segment; the combiner then
+            // folds the AAD and length block exactly as the chunked path
+            // does (identical math, one range).
+            let ct_len = data.len();
+            let partial = self.seal_segment(&j0, 0, data);
+            let whole = 0..ct_len;
+            let s = self.combine_partials(aad, ct_len, std::slice::from_ref(&whole), &[partial]);
+            let ek_j0 = block_to_u128(&self.cipher.encrypt_block_copy(&j0));
+            return (s ^ ek_j0).to_be_bytes();
         }
         self.ctr_xor(&j0, data);
         self.tag(&j0, aad, data)
@@ -700,6 +775,73 @@ impl AesGcm {
     pub fn seal_vec(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], buf: &mut Vec<u8>) {
         let tag = self.seal_in_place(nonce, aad, buf);
         buf.extend_from_slice(&tag);
+    }
+
+    /// Seals a whole batch of independent messages in **one** engine
+    /// submission: the messages are grouped into at most
+    /// [`CryptoEngine::gang_width`] contiguous runs balanced by bytes, and
+    /// each gang task seals its run sequentially (per-message nonce, AAD,
+    /// and tag — bit-identical to calling [`AesGcm::seal_vec`] once per
+    /// message, which is exactly what each task does). This replaces
+    /// per-message gang dispatch for bursts of small messages — KV pages,
+    /// NOP padding, speculative pre-seals — where the pool round-trip per
+    /// message costs more than the crypto itself.
+    ///
+    /// Without an engine (or when the fused total stays below the
+    /// calibrated crossover) the batch seals inline on the calling thread,
+    /// still touching the dispatch machinery zero times.
+    pub fn seal_batch(&self, batch: &mut [BatchSealMsg<'_>]) {
+        let total: usize = batch.iter().map(|m| m.buf.len()).sum();
+        let engine = match self.engine.as_deref() {
+            Some(engine)
+                if batch.len() >= 2
+                    && engine.gang_width() >= 2
+                    && !CryptoEngine::on_worker_thread()
+                    && total >= self.effective_par_threshold(engine) =>
+            {
+                engine
+            }
+            _ => {
+                for msg in batch.iter_mut() {
+                    self.seal_vec(&msg.nonce, msg.aad, msg.buf);
+                }
+                return;
+            }
+        };
+        let width = engine.gang_width().min(batch.len());
+        let target = total.div_ceil(width).max(1);
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(width);
+        let mut rest = &mut *batch;
+        while !rest.is_empty() {
+            let groups_left = width - tasks.len();
+            let cut = if groups_left <= 1 {
+                rest.len()
+            } else {
+                // Leave at least one message for each remaining group.
+                let max_take = rest.len() + 1 - groups_left;
+                let mut bytes = 0usize;
+                let mut i = 0usize;
+                while i < max_take {
+                    bytes += rest[i].buf.len();
+                    i += 1;
+                    if bytes >= target {
+                        break;
+                    }
+                }
+                i.max(1)
+            };
+            let (group, tail) = rest.split_at_mut(cut);
+            rest = tail;
+            tasks.push(Box::new(move || {
+                for msg in group {
+                    // On a worker thread the per-message seal is always
+                    // sequential (no nested gangs), so the fused kernel
+                    // runs once per message with zero extra dispatch.
+                    self.seal_vec(&msg.nonce, msg.aad, msg.buf);
+                }
+            }));
+        }
+        engine.run_scoped(tasks);
     }
 
     /// Opens `buf` (which must be `ciphertext || tag`) in place: verifies
@@ -776,6 +918,54 @@ pub fn nonce_from_iv(direction: u32, iv: u64) -> [u8; NONCE_LEN] {
     nonce[..4].copy_from_slice(&direction.to_be_bytes());
     nonce[4..].copy_from_slice(&iv.to_be_bytes());
     nonce
+}
+
+/// The process-wide calibrated chunked-path crossover: measured once, by
+/// the first caller whose engine can actually gang (every later caller
+/// reads the cached value). See [`calibrate_crossover`].
+fn calibrated_par_threshold(engine: &CryptoEngine) -> usize {
+    static CROSSOVER: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CROSSOVER.get_or_init(|| calibrate_crossover(engine))
+}
+
+fn best_of(n: usize, mut f: impl FnMut() -> std::time::Duration) -> std::time::Duration {
+    (0..n).map(|_| f()).min().unwrap_or_default()
+}
+
+/// One-shot startup calibration of the sequential→gang crossover: times a
+/// sequential seal against a ganged seal at a few candidate sizes and
+/// returns the first size where the gang wins. On hosts where the gang
+/// cannot help at all (adaptive width below 2 — e.g. a single-core
+/// container running a `k`-thread pool) the crossover is `usize::MAX` and
+/// the pool is skipped entirely; where the gang never wins at the probed
+/// sizes, very large payloads still gang ([`PAR_FALLBACK_BYTES`]). The
+/// probe costs ~1 ms, once per process.
+fn calibrate_crossover(engine: &CryptoEngine) -> usize {
+    if engine.gang_width() < 2 {
+        return usize::MAX;
+    }
+    let Ok(gcm) = AesGcm::new(&[0x5a; 16]) else {
+        return PAR_MIN_BYTES;
+    };
+    let j0 = gcm.j0(&[0u8; NONCE_LEN]);
+    let nonce = [0u8; NONCE_LEN];
+    for size in [PAR_MIN_BYTES, 4 * PAR_MIN_BYTES] {
+        let mut buf = vec![0u8; size];
+        let seq = best_of(3, || {
+            let t = std::time::Instant::now();
+            std::hint::black_box(gcm.seal_in_place(&nonce, b"", &mut buf));
+            t.elapsed()
+        });
+        let gang = best_of(3, || {
+            let t = std::time::Instant::now();
+            std::hint::black_box(gcm.seal_chunked(engine, &j0, b"", &mut buf));
+            t.elapsed()
+        });
+        if gang < seq {
+            return size;
+        }
+    }
+    PAR_FALLBACK_BYTES
 }
 
 #[cfg(test)]
@@ -1135,11 +1325,15 @@ mod tests {
     /// the engagement threshold and the segment boundaries.
     #[test]
     fn chunked_parallel_seal_is_bit_identical() {
-        let engine = std::sync::Arc::new(CryptoEngine::new(4));
+        // Forced gang width + explicit crossover: the chunked path must
+        // engage deterministically even on single-core CI hosts (where
+        // the adaptive width would otherwise skip the pool).
+        let engine = std::sync::Arc::new(CryptoEngine::with_gang_width(4, 4));
         let plain = AesGcm::new(&[7u8; 32]).unwrap();
-        let par = AesGcm::new(&[7u8; 32])
+        let mut par = AesGcm::new(&[7u8; 32])
             .unwrap()
             .with_engine(std::sync::Arc::clone(&engine));
+        par.set_par_threshold(PAR_MIN_BYTES);
         for len in [
             PAR_MIN_BYTES - 1,
             PAR_MIN_BYTES,
@@ -1172,12 +1366,13 @@ mod tests {
     /// 8-bit-table GHASH) variant.
     #[test]
     fn chunked_parallel_matches_on_software_path() {
-        let engine = std::sync::Arc::new(CryptoEngine::new(3));
+        let engine = std::sync::Arc::new(CryptoEngine::with_gang_width(3, 3));
         let soft = AesGcm::new(&[9u8; 16]).unwrap().software_only();
-        let soft_par = AesGcm::new(&[9u8; 16])
+        let mut soft_par = AesGcm::new(&[9u8; 16])
             .unwrap()
             .software_only()
             .with_engine(engine);
+        soft_par.set_par_threshold(PAR_MIN_BYTES);
         let len = PAR_MIN_BYTES + 4321;
         let plaintext: Vec<u8> = (0..len).map(|i| (i * 131 % 251) as u8).collect();
         let nonce = nonce_from_iv(6, 77);

@@ -32,24 +32,96 @@
 #[cfg(target_arch = "x86_64")]
 pub use x86::*;
 
+/// Which accelerated path the dispatcher is forced onto, parsed once from
+/// the `PIPELLM_CRYPTO_FORCE` environment variable (`auto` | `soft` |
+/// `aesni` | `vaes`). `Soft` disables every intrinsic path; `AesNi` keeps
+/// the 128-bit lanes but masks VAES; `Vaes` behaves like `Auto` (the wide
+/// path still requires hardware detection — forcing cannot conjure missing
+/// instructions). Unrecognized or unset values mean `Auto`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForcedPath {
+    /// Runtime detection picks the widest available path.
+    Auto,
+    /// Portable software paths only (T-table AES, 8-bit-table GHASH).
+    Soft,
+    /// AES-NI/PCLMULQDQ 128-bit lanes, VAES masked off.
+    AesNi,
+    /// Prefer the VAES/AVX-512 wide path (falls back when undetected).
+    Vaes,
+}
+
+/// The forced path for this process (see [`ForcedPath`]).
+pub fn forced_path() -> ForcedPath {
+    static FORCED: std::sync::OnceLock<ForcedPath> = std::sync::OnceLock::new();
+    *FORCED.get_or_init(|| match std::env::var("PIPELLM_CRYPTO_FORCE").as_deref() {
+        Ok("soft") => ForcedPath::Soft,
+        Ok("aesni") => ForcedPath::AesNi,
+        Ok("vaes") => ForcedPath::Vaes,
+        _ => ForcedPath::Auto,
+    })
+}
+
 #[cfg(target_arch = "x86_64")]
 mod x86 {
+    use super::ForcedPath;
     use core::arch::x86_64::{
-        __m128i, _mm_aesenc_si128, _mm_aesenclast_si128, _mm_and_si128, _mm_clmulepi64_si128,
+        __m128i, __m512i, _mm512_aesenc_epi128, _mm512_aesenclast_epi128, _mm512_broadcast_i32x4,
+        _mm512_loadu_si512, _mm512_setzero_si512, _mm512_storeu_si512, _mm512_xor_si512,
+        _mm_aesenc_si128, _mm_aesenclast_si128, _mm_and_si128, _mm_clmulepi64_si128,
         _mm_loadu_si128, _mm_or_si128, _mm_set1_epi8, _mm_set_epi64x, _mm_setzero_si128,
         _mm_shuffle_epi8, _mm_slli_si128, _mm_srli_epi16, _mm_srli_si128, _mm_storeu_si128,
         _mm_xor_si128,
     };
 
-    /// Whether the AES-NI block path can be used on this machine.
-    pub fn aes_available() -> bool {
+    fn detect_aes() -> bool {
         std::arch::is_x86_feature_detected!("aes") && std::arch::is_x86_feature_detected!("sse2")
     }
 
-    /// Whether the carry-less-multiply GHASH path can be used.
-    pub fn clmul_available() -> bool {
+    fn detect_clmul() -> bool {
         std::arch::is_x86_feature_detected!("pclmulqdq")
             && std::arch::is_x86_feature_detected!("ssse3")
+    }
+
+    fn detect_vaes() -> bool {
+        std::arch::is_x86_feature_detected!("vaes")
+    }
+
+    fn detect_avx512f() -> bool {
+        std::arch::is_x86_feature_detected!("avx512f")
+    }
+
+    /// Detected CPU crypto features, for bench/CI reporting: raw hardware
+    /// detection, independent of [`super::forced_path`].
+    pub fn cpu_features() -> [(&'static str, bool); 4] {
+        [
+            ("aes", detect_aes()),
+            ("pclmulqdq", detect_clmul()),
+            ("vaes", detect_vaes()),
+            ("avx512f", detect_avx512f()),
+        ]
+    }
+
+    /// Whether the AES-NI block path can be used on this machine (and is
+    /// not masked by [`super::forced_path`]).
+    pub fn aes_available() -> bool {
+        super::forced_path() != ForcedPath::Soft && detect_aes()
+    }
+
+    /// Whether the carry-less-multiply GHASH path can be used (and is not
+    /// masked by [`super::forced_path`]).
+    pub fn clmul_available() -> bool {
+        super::forced_path() != ForcedPath::Soft && detect_clmul()
+    }
+
+    /// Whether the VAES/AVX-512 wide CTR path is live: 4 AES blocks per
+    /// `zmm` instruction. Requires detection *and* a [`super::forced_path`]
+    /// of `Auto` or `Vaes` (`aesni` pins the 128-bit lanes, `soft`
+    /// disables intrinsics entirely).
+    pub fn vaes_available() -> bool {
+        matches!(super::forced_path(), ForcedPath::Auto | ForcedPath::Vaes)
+            && detect_vaes()
+            && detect_avx512f()
+            && detect_aes()
     }
 
     /// Blocks interleaved per AES-NI iteration (fills the `aesenc` pipeline).
@@ -89,13 +161,51 @@ mod x86 {
         }
     }
 
-    /// Encrypts whole 16-byte blocks in place with AES-NI, eight lanes at
-    /// a time. The caller must have checked [`aes_available`].
+    /// Blocks per VAES iteration: two `zmm` registers of 4 blocks each,
+    /// keeping the wide `vaesenc` pipeline fed.
+    const WIDE_LANES: usize = 8;
+
+    /// VAES/AVX-512 variant of [`encrypt_blocks_impl`]: each
+    /// `_mm512_aesenc_epi128` advances four independent 128-bit lanes one
+    /// AES round, so a 512-bit register carries 4 CTR blocks. The
+    /// sub-`WIDE_LANES` remainder reuses the 128-bit path.
+    #[target_feature(enable = "aes,sse2,vaes,avx512f")]
+    unsafe fn encrypt_blocks_vaes(round_keys: &[[u8; 16]], data: &mut [u8]) {
+        debug_assert_eq!(data.len() % 16, 0);
+        let rounds = round_keys.len() - 1;
+        let mut k = [_mm512_setzero_si512(); 15];
+        for (slot, rk) in k.iter_mut().zip(round_keys) {
+            *slot = _mm512_broadcast_i32x4(_mm_loadu_si128(rk.as_ptr().cast()));
+        }
+        let mut groups = data.chunks_exact_mut(WIDE_LANES * 16);
+        for group in groups.by_ref() {
+            let p = group.as_mut_ptr().cast::<__m512i>();
+            let mut s0 = _mm512_xor_si512(_mm512_loadu_si512(p.cast()), k[0]);
+            let mut s1 = _mm512_xor_si512(_mm512_loadu_si512(p.add(1).cast()), k[0]);
+            for key in &k[1..rounds] {
+                s0 = _mm512_aesenc_epi128(s0, *key);
+                s1 = _mm512_aesenc_epi128(s1, *key);
+            }
+            _mm512_storeu_si512(p.cast(), _mm512_aesenclast_epi128(s0, k[rounds]));
+            _mm512_storeu_si512(p.add(1).cast(), _mm512_aesenclast_epi128(s1, k[rounds]));
+        }
+        encrypt_blocks_impl(round_keys, groups.into_remainder());
+    }
+
+    /// Encrypts whole 16-byte blocks in place: the VAES/AVX-512 wide path
+    /// when detected (4 blocks per instruction), AES-NI eight-lane
+    /// otherwise. The caller must have checked [`aes_available`].
     pub fn encrypt_blocks(round_keys: &[[u8; 16]], data: &mut [u8]) {
         debug_assert!(aes_available());
-        // SAFETY: `aes_available()` was checked when the key was expanded;
-        // the target features of `encrypt_blocks_impl` are present.
-        unsafe { encrypt_blocks_impl(round_keys, data) }
+        if vaes_available() && data.len() >= WIDE_LANES * 16 {
+            // SAFETY: `vaes_available()` implies vaes+avx512f+aes+sse2.
+            unsafe { encrypt_blocks_vaes(round_keys, data) }
+        } else {
+            // SAFETY: `aes_available()` was checked when the key was
+            // expanded; the target features of `encrypt_blocks_impl` are
+            // present.
+            unsafe { encrypt_blocks_impl(round_keys, data) }
+        }
     }
 
     /// Bit-reverse of each nibble value, as two `pshufb` tables.
@@ -282,6 +392,83 @@ mod x86 {
         // SAFETY: gated on `clmul_available()` by the caller.
         unsafe { gf_mul_impl(a, b) }
     }
+
+    #[target_feature(enable = "aes,sse2,pclmulqdq,ssse3")]
+    unsafe fn ctr_ghash_seal_impl(
+        round_keys: &[[u8; 16]],
+        key: &ClmulKey,
+        j0: &[u8; 16],
+        block_offset: u32,
+        data: &mut [u8],
+        wide: bool,
+    ) -> u128 {
+        let h = [
+            to_m128(key.h_rev[0]),
+            to_m128(key.h_rev[1]),
+            to_m128(key.h_rev[2]),
+            to_m128(key.h_rev[3]),
+        ];
+        let mut y = _mm_setzero_si128();
+        let mut counter =
+            u32::from_be_bytes([j0[12], j0[13], j0[14], j0[15]]).wrapping_add(block_offset);
+        // One tile of keystream at a time: generate, XOR into the payload,
+        // and fold the just-produced ciphertext into the GHASH accumulator
+        // while it is still in L1 — a single sweep over `data`.
+        const TILE: usize = 8 * 16;
+        let mut ks = [0u8; TILE];
+        let mut done = 0usize;
+        while done < data.len() {
+            let take = (data.len() - done).min(TILE);
+            let blocks = take.div_ceil(16);
+            for b in 0..blocks {
+                let o = b * 16;
+                ks[o..o + 12].copy_from_slice(&j0[..12]);
+                counter = counter.wrapping_add(1);
+                ks[o + 12..o + 16].copy_from_slice(&counter.to_be_bytes());
+            }
+            if wide && blocks * 16 >= WIDE_LANES * 16 {
+                encrypt_blocks_vaes(round_keys, &mut ks[..blocks * 16]);
+            } else {
+                encrypt_blocks_impl(round_keys, &mut ks[..blocks * 16]);
+            }
+            let seg = &mut data[done..done + take];
+            let mut words = seg.chunks_exact_mut(16);
+            let mut ks_words = ks[..take].chunks_exact(16);
+            for (d, k) in words.by_ref().zip(ks_words.by_ref()) {
+                let p = d.as_mut_ptr().cast::<__m128i>();
+                let x = _mm_xor_si128(_mm_loadu_si128(p), _mm_loadu_si128(k.as_ptr().cast()));
+                _mm_storeu_si128(p, x);
+            }
+            for (d, k) in words.into_remainder().iter_mut().zip(ks_words.remainder()) {
+                *d ^= k;
+            }
+            y = ghash_update_impl(&h, y, seg);
+            done += take;
+        }
+        from_m128(y).reverse_bits()
+    }
+
+    /// Fused single-pass seal of one block-aligned CTR region: generates
+    /// the keystream (VAES-wide when available), XORs it into `data`, and
+    /// folds each just-produced ciphertext tile into a partial GHASH while
+    /// it is still hot in cache — one memory sweep instead of a CTR pass
+    /// followed by a GHASH pass. Returns the normal-domain partial hash
+    /// (zero initial accumulator, no length block), exactly as
+    /// [`ghash_segment`] over the resulting ciphertext would. The caller
+    /// must have checked [`aes_available`] and [`clmul_available`].
+    pub fn ctr_ghash_seal(
+        round_keys: &[[u8; 16]],
+        key: &ClmulKey,
+        j0: &[u8; 16],
+        block_offset: u32,
+        data: &mut [u8],
+    ) -> u128 {
+        debug_assert!(aes_available() && clmul_available());
+        // SAFETY: gated on `aes_available()` + `clmul_available()` by the
+        // caller; the VAES branch is additionally gated on
+        // `vaes_available()` here.
+        unsafe { ctr_ghash_seal_impl(round_keys, key, j0, block_offset, data, vaes_available()) }
+    }
 }
 
 #[cfg(not(target_arch = "x86_64"))]
@@ -297,6 +484,21 @@ mod portable {
     /// Always `false` off x86_64.
     pub fn clmul_available() -> bool {
         false
+    }
+
+    /// Always `false` off x86_64.
+    pub fn vaes_available() -> bool {
+        false
+    }
+
+    /// No accelerated features off x86_64.
+    pub fn cpu_features() -> [(&'static str, bool); 4] {
+        [
+            ("aes", false),
+            ("pclmulqdq", false),
+            ("vaes", false),
+            ("avx512f", false),
+        ]
     }
 
     /// Unreachable off x86_64 (detection returns `false`).
@@ -328,6 +530,17 @@ mod portable {
     /// Unreachable off x86_64.
     pub fn gf_mul(_a: u128, _b: u128) -> u128 {
         unreachable!("clmul GF multiply taken without PCLMULQDQ support");
+    }
+
+    /// Unreachable off x86_64.
+    pub fn ctr_ghash_seal(
+        _round_keys: &[[u8; 16]],
+        _key: &ClmulKey,
+        _j0: &[u8; 16],
+        _block_offset: u32,
+        _data: &mut [u8],
+    ) -> u128 {
+        unreachable!("fused CTR+GHASH taken without AES-NI/PCLMULQDQ support");
     }
 }
 

@@ -67,8 +67,9 @@ impl SealedKvGroup {
 /// # Errors
 ///
 /// [`crate::CryptoError::IvExhausted`] if the group would run the channel
-/// into its IV headroom; blocks sealed before the failure have consumed
-/// their IVs (the caller's session layer rekeys on this signal).
+/// into its IV headroom. The check covers the whole group before any IV
+/// is consumed, so a failed group leaves the counter untouched (the
+/// caller's session layer rekeys on this signal).
 pub fn seal_kv_group(
     tx: &mut TxContext,
     kind: u8,
@@ -77,14 +78,20 @@ pub fn seal_kv_group(
     pool: &mut Vec<Vec<u8>>,
 ) -> Result<SealedKvGroup> {
     let count = blocks.len() as u32;
-    let mut sealed = Vec::with_capacity(blocks.len());
+    // Stage every block, then seal the whole group as ONE fused batch
+    // submission ([`TxContext::seal_batch_prepared`]) instead of one
+    // engine dispatch per block — bit-identical messages at the same
+    // consecutive IVs, and the group's exhaustion check becomes
+    // all-or-nothing (no partially consumed IV run on failure).
+    let mut msgs = Vec::with_capacity(blocks.len());
     for (index, plaintext) in blocks.iter().enumerate() {
         let mut buf = pool.pop().unwrap_or_default();
         buf.clear();
         buf.extend_from_slice(plaintext);
         let aad = kv_block_aad(kind, group, index as u32, count, plaintext.len() as u64);
-        sealed.push(tx.seal_prepared(aad, buf)?);
+        msgs.push((aad, buf));
     }
+    let sealed = tx.seal_batch_prepared(msgs)?;
     Ok(SealedKvGroup {
         group,
         blocks: sealed,

@@ -706,6 +706,73 @@ impl ClusterContext {
         Ok((sealed, reservation.end))
     }
 
+    /// Batched form of [`ClusterContext::seal_edge_region`]: seals every
+    /// `(src_ptr, dst_ptr)` region for the `src → dst` direction at the
+    /// consecutive IVs `start_iv..start_iv + regions.len()` in **one
+    /// fused gang submission** ([`seal_speculative_batch`]) — one crypto
+    /// dispatch and one pool reservation for the whole group, priced as
+    /// [`CpuCryptoModel::batch_seal_time`]. The sender counter does not
+    /// advance; every returned message is committed later by
+    /// [`ClusterContext::submit_dtod_sealed`]. All sealed ciphertexts
+    /// share the returned ready time.
+    ///
+    /// # Errors
+    ///
+    /// - [`GpuError::Memory`] for unknown pointers.
+    /// - [`GpuError::Crypto`] ([`CryptoError::IvReused`]) if `start_iv`
+    ///   is below the direction's counter.
+    /// - [`GpuError::CcDisabled`] with CC off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src_dev == dst_dev` or either index is out of range —
+    /// programming errors, as on the CUDA peer-copy API.
+    ///
+    /// [`seal_speculative_batch`]: pipellm_crypto::channel::TxContext::seal_speculative_batch
+    /// [`CpuCryptoModel::batch_seal_time`]: pipellm_crypto::cost::CpuCryptoModel::batch_seal_time
+    pub fn seal_edge_regions(
+        &mut self,
+        now: SimTime,
+        src_dev: usize,
+        dst_dev: usize,
+        regions: &[(DevicePtr, DevicePtr)],
+        start_iv: u64,
+    ) -> Result<(Vec<SealedMessage>, SimTime), GpuError> {
+        if self.cc == CcMode::Off {
+            return Err(GpuError::CcDisabled);
+        }
+        if regions.is_empty() {
+            return Ok((Vec::new(), now));
+        }
+        let active = self.active;
+        let crypto = self.timing.crypto;
+        let threads = self.crypto_threads;
+        let src_is_a = src_dev < dst_dev;
+        let (src_ctx, _dst_ctx, edge) = self.split(src_dev, dst_dev);
+        let sender = Self::sender_endpoint(edge, active, src_is_a);
+        if start_iv < sender.tx().next_iv() {
+            return Err(GpuError::Crypto(CryptoError::IvReused { iv: start_iv }));
+        }
+        // Stage every region first so the fused seal below sees the
+        // whole group at once.
+        let mut total_bytes = 0u64;
+        let mut msgs = Vec::with_capacity(regions.len());
+        for &(src_ptr, dst_ptr) in regions {
+            let mut buf = Vec::new();
+            let payload = src_ctx.device_memory().get(src_ptr)?;
+            total_bytes += payload.len();
+            let aad = stage_plaintext(payload, dst_ptr.0, &mut buf);
+            msgs.push((aad.into(), buf));
+        }
+        let sealed = Self::sender_endpoint(edge, active, src_is_a)
+            .tx()
+            .seal_speculative_batch(start_iv, msgs)?;
+        let seal_time = crypto.batch_seal_time(total_bytes, regions.len(), threads);
+        let reservation = src_ctx.crypto_pool_mut().reserve_gang(now, seal_time);
+        edge.timeline.record_crypto(seal_time);
+        Ok((sealed, reservation.end))
+    }
+
     /// Submits pre-encrypted ciphertext over an edge: commits the sender
     /// counter at the message's IV, moves the wire from
     /// `max(now, ready_at)`, and opens at the destination. The issuing
@@ -856,6 +923,66 @@ impl ClusterContext {
             .open_owned(nop)?;
         edge.stats.nops += 1;
         let done = wire.end + cc_control;
+        self.pending.push(done);
+        Ok(done)
+    }
+
+    /// Sends a burst of `count` NOPs over the `src → dst` direction in
+    /// **one fused batch submission** ([`seal_nop_batch`]): the whole pad
+    /// run seals with a single crypto dispatch (priced as
+    /// [`CpuCryptoModel::batch_seal_time`]) instead of one pool
+    /// round-trip per NOP — the common case when a speculative entry's
+    /// IV sits many slots ahead of the edge counter. Returns when the
+    /// last NOP lands; `count == 0` is a no-op returning `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::CcDisabled`] with CC off, [`GpuError::Crypto`] on IV
+    /// exhaustion (all-or-nothing: no counter movement on error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src_dev == dst_dev` or either index is out of range —
+    /// programming errors, as on the CUDA peer-copy API.
+    ///
+    /// [`seal_nop_batch`]: pipellm_crypto::channel::TxContext::seal_nop_batch
+    /// [`CpuCryptoModel::batch_seal_time`]: pipellm_crypto::cost::CpuCryptoModel::batch_seal_time
+    pub fn send_edge_nops(
+        &mut self,
+        now: SimTime,
+        src_dev: usize,
+        dst_dev: usize,
+        count: usize,
+    ) -> Result<SimTime, GpuError> {
+        if self.cc == CcMode::Off {
+            return Err(GpuError::CcDisabled);
+        }
+        if count == 0 {
+            return Ok(now);
+        }
+        let active = self.active;
+        let batch_time =
+            self.timing
+                .crypto
+                .batch_seal_time(count as u64, count, self.crypto_threads);
+        let cc_control = self.timing.cc_control;
+        let src_is_a = src_dev < dst_dev;
+        let (src_ctx, _dst_ctx, edge) = self.split(src_dev, dst_dev);
+        let mut staging = vec![std::mem::take(&mut edge.nop_staging)];
+        let nops = Self::sender_endpoint(edge, active, src_is_a)
+            .tx_mut()
+            .seal_nop_batch(count, &mut staging)?;
+        let enc = src_ctx.crypto_pool_mut().reserve(now, batch_time);
+        let mut at = enc.end;
+        for nop in nops {
+            let wire = edge.timeline.nop(at);
+            at = wire.end;
+            edge.nop_staging = Self::receiver_endpoint(edge, active, src_is_a)
+                .rx_mut()
+                .open_owned(nop)?;
+            edge.stats.nops += 1;
+        }
+        let done = at + cc_control;
         self.pending.push(done);
         Ok(done)
     }

@@ -1009,18 +1009,25 @@ impl CudaContext {
     /// Swap-out of one paged KV group with deferred decryption — the
     /// encrypted-KV-cache transfer path (§5.2/§5.4).
     ///
-    /// Each `(dst, src)` block is sealed **on the device** at the active
-    /// session's next D2H IVs (consecutive, in eviction order, AAD-bound
-    /// to `group`/index/count via [`pipellm_crypto::kv`]), staged in a
-    /// buffer drawn from `pool`, and wired back to the host. The host
-    /// accepts every block in wire order — reserving its IV so the channel
-    /// endpoints stay in lockstep — but does **not** decrypt: each
-    /// destination region is [`Protection::AccessRevoked`] under its
-    /// cookie, a background open is scheduled on the crypto pool, and the
-    /// returned [`DeferredKvOpen`]s carry the at-rest ciphertext plus the
-    /// handles the owner uses to land the plaintext (or to decrypt
+    /// The whole group is sealed **on the device** in one fused batch
+    /// submission ([`seal_batch_prepared`]) at the active session's next
+    /// D2H IVs (consecutive, in eviction order, AAD-bound to
+    /// `group`/index/count via [`pipellm_crypto::kv`]): every block is
+    /// staged into a buffer drawn from `pool` first, then a single gang
+    /// dispatch produces per-block ciphertexts and tags — not one
+    /// dispatch per block. The host accepts every block in wire order —
+    /// reserving its IV so the channel endpoints stay in lockstep — but
+    /// does **not** decrypt: each destination region is
+    /// [`Protection::AccessRevoked`] under its cookie, one group-wide
+    /// background open is scheduled on the crypto pool (priced as a
+    /// single fused dispatch, [`CpuCryptoModel::batch_seal_time`]), and
+    /// the returned [`DeferredKvOpen`]s carry the at-rest ciphertext plus
+    /// the handles the owner uses to land the plaintext (or to decrypt
     /// synchronously when a fault forces it). The call returns to the
     /// issuing thread immediately.
+    ///
+    /// [`seal_batch_prepared`]: pipellm_crypto::channel::TxContext::seal_batch_prepared
+    /// [`CpuCryptoModel::batch_seal_time`]: pipellm_crypto::cost::CpuCryptoModel::batch_seal_time
     ///
     /// # Panics
     ///
@@ -1061,39 +1068,48 @@ impl CudaContext {
             }));
         }
         let count = blocks.len() as u32;
-        let mut deferred = Vec::with_capacity(blocks.len());
-        for (index, (&(dst, src), &cookie)) in blocks.iter().zip(cookies).enumerate() {
-            // Stage the block's plaintext into a pooled buffer; the same
-            // buffer becomes the sealed message's ciphertext storage and,
-            // once opened, the at-rest plaintext — no copies.
-            let (len, kind, buf) = {
-                let payload = self.device_mem.get(src)?;
-                let mut buf = pool.pop().unwrap_or_default();
-                buf.clear();
-                buf.reserve(payload.plaintext_len() + TAG_LEN);
-                let kind = payload.write_plaintext(&mut buf);
-                (payload.len(), kind, buf)
-            };
-            let aad = kv::kv_block_aad(kind, group, index as u32, count, len);
-            let sealed = self
-                .channel_mut()
-                .device_mut()
-                .tx_mut()
-                .seal_prepared(aad, buf)?;
+        // Stage every block's plaintext into a pooled buffer first; the
+        // same buffer becomes the sealed message's ciphertext storage
+        // and, once opened, the at-rest plaintext — no copies.
+        let mut staged = Vec::with_capacity(blocks.len());
+        let mut msgs = Vec::with_capacity(blocks.len());
+        for (index, &(_, src)) in blocks.iter().enumerate() {
+            let payload = self.device_mem.get(src)?;
+            let mut buf = pool.pop().unwrap_or_default();
+            buf.clear();
+            buf.reserve(payload.plaintext_len() + TAG_LEN);
+            let kind = payload.write_plaintext(&mut buf);
+            let len = payload.len();
+            staged.push((kind, len));
+            msgs.push((kv::kv_block_aad(kind, group, index as u32, count, len), buf));
+        }
+        // One fused gang submission seals the whole group at consecutive
+        // IVs with per-block tags, replacing per-block gang dispatch.
+        let sealed_group = self
+            .channel_mut()
+            .device_mut()
+            .tx_mut()
+            .seal_batch_prepared(msgs)?;
+        let total_bytes: u64 = staged.iter().map(|&(_, len)| len).sum();
+        let mut parts = Vec::with_capacity(blocks.len());
+        let mut last_arrival = now;
+        for ((sealed, &(kind, len)), (&(dst, src), &cookie)) in sealed_group
+            .into_iter()
+            .zip(&staged)
+            .zip(blocks.iter().zip(cookies))
+        {
             let iv = sealed.iv;
             // DMA of the ciphertext into CVM shared memory.
             let wire = self.link.transfer(now, len);
             let done = wire.end + self.timing.cc_control;
-            // The host accepts the block in wire order (IV reserved now)
-            // and schedules the open in the background.
+            // The host accepts the block in wire order (IV reserved now).
             let open = self.channel_mut().host_mut().rx_mut().defer_open();
-            let open_time = self.timing.crypto.open_time(len);
-            let reservation = self.crypto_pool.reserve(done, open_time);
             self.pages.protect(dst, Protection::AccessRevoked, cookie);
             self.record(Direction::DeviceToHost, dst, src, len, now, done, Some(iv));
             self.stats.d2h_ops += 1;
             self.stats.d2h_bytes += len;
             self.pending.push(done);
+            last_arrival = last_arrival.max(done);
             // Chaos on the swap-out path damages the *at-rest* ciphertext
             // after the host accepted the frame: the group's atomicity
             // contract holds (every IV consumed, every page revoked, every
@@ -1105,17 +1121,30 @@ impl CudaContext {
                     self.stats.faulted_ops += 1;
                 }
             }
-            deferred.push(DeferredKvOpen {
-                region: dst,
-                kind,
-                ciphertext,
-                aad: sealed.aad,
-                open,
-                ready_at: reservation.end,
-                cookie,
-            });
+            parts.push((dst, kind, ciphertext, sealed.aad, open, cookie));
         }
-        Ok(deferred)
+        // The group decrypts as ONE background submission once the last
+        // block is off the wire: a single fused dispatch covers every
+        // block, so all deferred opens share its completion time.
+        let open_time =
+            self.timing
+                .crypto
+                .batch_seal_time(total_bytes, blocks.len(), self.crypto_threads);
+        let reservation = self.crypto_pool.reserve(last_arrival, open_time);
+        Ok(parts
+            .into_iter()
+            .map(
+                |(region, kind, ciphertext, aad, open, cookie)| DeferredKvOpen {
+                    region,
+                    kind,
+                    ciphertext,
+                    aad,
+                    open,
+                    ready_at: reservation.end,
+                    cookie,
+                },
+            )
+            .collect())
     }
 
     /// Stores a payload into host memory bypassing page protection — the
