@@ -14,17 +14,8 @@
 use pipellm_bench::chaos;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| {
-            pipellm_bench::workspace_artifact("BENCH_chaos.json")
-                .to_string_lossy()
-                .into_owned()
-        });
+    let pipellm_bench::BenchArgs { smoke, out_path } =
+        pipellm_bench::bench_args("BENCH_chaos.json");
 
     let (micro_batches, iterations) = if smoke { (3, 2) } else { (6, 4) };
 

@@ -384,20 +384,8 @@ fn run_batch(window: f64) -> BatchResult {
 }
 
 fn main() {
-    let mut smoke = false;
-    let mut out_path = None;
-    for arg in std::env::args().skip(1) {
-        if arg == "--smoke" {
-            smoke = true;
-        } else {
-            out_path = Some(arg);
-        }
-    }
-    let out_path = out_path.unwrap_or_else(|| {
-        pipellm_bench::workspace_artifact("BENCH_crypto.json")
-            .to_string_lossy()
-            .into_owned()
-    });
+    let pipellm_bench::BenchArgs { smoke, out_path } =
+        pipellm_bench::bench_args("BENCH_crypto.json");
     let window = if smoke { 0.05 } else { 0.3 };
     let gcm = AesGcm::new(&[7u8; 32]).expect("32-byte key");
     let soft = AesGcm::new(&[7u8; 32])

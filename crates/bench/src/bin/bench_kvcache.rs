@@ -13,17 +13,8 @@
 use pipellm_bench::kvcache;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| {
-            pipellm_bench::workspace_artifact("BENCH_kvcache.json")
-                .to_string_lossy()
-                .into_owned()
-        });
+    let pipellm_bench::BenchArgs { smoke, out_path } =
+        pipellm_bench::bench_args("BENCH_kvcache.json");
 
     let (rates, duration_secs): (&[f64], f64) = if smoke {
         (&[0.4, 0.8], 120.0)

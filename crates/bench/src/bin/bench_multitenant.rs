@@ -12,17 +12,8 @@
 use pipellm_bench::multitenant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| {
-            pipellm_bench::workspace_artifact("BENCH_multitenant.json")
-                .to_string_lossy()
-                .into_owned()
-        });
+    let pipellm_bench::BenchArgs { smoke, out_path } =
+        pipellm_bench::bench_args("BENCH_multitenant.json");
 
     let (counts, requests): (&[usize], usize) = if smoke {
         (&[1, 2, 4], 10)

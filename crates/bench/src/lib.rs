@@ -9,6 +9,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod ablations;
 pub mod chaos;
@@ -20,6 +21,7 @@ pub mod fig09;
 pub mod fig10;
 pub mod kvcache;
 pub mod multitenant;
+pub mod net;
 pub mod pipeline;
 pub mod runners;
 pub mod systems;
@@ -36,6 +38,34 @@ pub fn scale_from_args() -> Scale {
         Scale::Paper
     } else {
         Scale::Quick
+    }
+}
+
+/// Parsed command line of a `bench_*` binary.
+pub struct BenchArgs {
+    /// `--smoke` was passed: run the CI-sized sweep.
+    pub smoke: bool,
+    /// Artifact output path: the first non-flag argument, or the
+    /// checked-in workspace default.
+    pub out_path: String,
+}
+
+/// Parses the CLI convention every `bench_*` binary shares: a `--smoke`
+/// flag anywhere on the line, and an optional artifact path as the first
+/// non-flag argument, defaulting to [`workspace_artifact`]`(default_artifact)`.
+pub fn bench_args(default_artifact: &str) -> BenchArgs {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    BenchArgs {
+        smoke: args.iter().any(|a| a == "--smoke"),
+        out_path: args
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| {
+                workspace_artifact(default_artifact)
+                    .to_string_lossy()
+                    .into_owned()
+            }),
     }
 }
 

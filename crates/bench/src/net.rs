@@ -1,0 +1,175 @@
+//! Networked-deployment sweep: stage counts over real TCP versus the
+//! in-process duplex transport.
+//!
+//! Each sweep point stands up a full deployment — orchestrator plus one
+//! worker per stage — on both transports and serves the same sealed
+//! workload. Claims under test:
+//!
+//! - both transports **complete** at every stage count;
+//! - outputs are **bit-exact** with the no-network reference computation,
+//!   and the two transports produce the **same digest** — the wire is
+//!   invisible to the math;
+//! - every edge ends in IV **lockstep** (audited inside the run);
+//! - the duplex transport bounds the TCP overhead: the artifact records
+//!   the wall-clock ratio so the socket tax is tracked over time.
+
+use pipellm_net::{run_duplex, run_tcp_threads, NetPipelineSpec, NetReport};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Cluster seed: fixed so runs replay bit-identically.
+pub const SEED: u64 = 0x9e37_79b9;
+
+/// One (stage count, transport) measurement.
+#[derive(Debug, Clone)]
+pub struct NetRow {
+    /// Pipeline stages (worker count).
+    pub stages: u32,
+    /// `"duplex"` or `"tcp"`.
+    pub transport: String,
+    /// End-to-end wall time of the deployment run, milliseconds.
+    pub wall_ms: f64,
+    /// Served micro-batches per second of wall time.
+    pub mb_per_sec: f64,
+    /// Worker↔worker frames relayed as opaque ciphertext.
+    pub relayed_frames: u64,
+    /// Frames retransmitted (NACK, rekey, or sweep).
+    pub retransmits: u64,
+    /// Outputs equal the no-network reference byte for byte.
+    pub bit_exact: bool,
+    /// End-of-run lockstep audit passed.
+    pub lockstep: bool,
+    /// Order-sensitive digest of the outputs.
+    pub output_digest: u64,
+}
+
+/// The spec used at one sweep point.
+pub fn spec_for(stages: u32, smoke: bool) -> NetPipelineSpec {
+    NetPipelineSpec {
+        stages,
+        layers: stages.max(4) * 2,
+        iterations: if smoke { 2 } else { 4 },
+        micro_batches: if smoke { 2 } else { 4 },
+        activation_bytes: if smoke { 1024 } else { 8192 },
+        seed: SEED,
+        // Generous: only fires on a true wedge; CI cores are starved.
+        op_timeout: Duration::from_secs(120),
+        ..NetPipelineSpec::default()
+    }
+}
+
+fn measure<F>(run: F, spec: &NetPipelineSpec) -> (NetReport, NetRow)
+where
+    F: FnOnce(&NetPipelineSpec) -> pipellm_net::NetResult<NetReport>,
+{
+    let start = Instant::now();
+    let report = run(spec).expect("deployment run must complete");
+    let wall = start.elapsed();
+    let served = u64::from(spec.iterations) * u64::from(spec.micro_batches);
+    let row = NetRow {
+        stages: spec.stages,
+        transport: report.transport.clone(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        mb_per_sec: served as f64 / wall.as_secs_f64().max(1e-9),
+        relayed_frames: report.relayed_frames,
+        retransmits: report.retransmits,
+        bit_exact: report.outputs == spec.expected_outputs(),
+        lockstep: report.lockstep_ok,
+        output_digest: report.output_digest,
+    };
+    (report, row)
+}
+
+/// Runs the sweep: every stage count on both transports, in pairs so the
+/// digests can be compared point by point.
+pub fn run(stage_counts: &[u32], smoke: bool) -> Vec<NetRow> {
+    let mut rows = Vec::new();
+    for &stages in stage_counts {
+        let spec = spec_for(stages, smoke);
+        let (_, duplex) = measure(run_duplex, &spec);
+        let (_, tcp) = measure(run_tcp_threads, &spec);
+        assert_eq!(
+            duplex.output_digest, tcp.output_digest,
+            "transports disagree at {stages} stages"
+        );
+        rows.push(duplex);
+        rows.push(tcp);
+    }
+    rows
+}
+
+/// Serializes rows as the `BENCH_net.json` artifact.
+pub fn to_json(rows: &[NetRow]) -> String {
+    let mut out =
+        format!("{{\n  \"experiment\": \"net_stage_sweep\",\n  \"seed\": {SEED},\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"stages\": {}, \"transport\": \"{}\", \"wall_ms\": {:.3}, \
+             \"mb_per_sec\": {:.3}, \"relayed_frames\": {}, \"retransmits\": {}, \
+             \"bit_exact\": {}, \"lockstep\": {}, \"output_digest\": {}}}{}",
+            row.stages,
+            row.transport,
+            row.wall_ms,
+            row.mb_per_sec,
+            row.relayed_frames,
+            row.retransmits,
+            row.bit_exact,
+            row.lockstep,
+            row.output_digest,
+            comma
+        )
+        .expect("writing to String cannot fail");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pretty table for stdout.
+pub fn to_table(rows: &[NetRow]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:>6} {:<7} {:>10} {:>10} {:>8} {:>8} {:>9} {:>8}",
+        "stages", "wire", "wall ms", "mb/s", "relayed", "retrans", "bit_exact", "lockstep"
+    )
+    .expect("writing to String cannot fail");
+    for row in rows {
+        writeln!(
+            out,
+            "{:>6} {:<7} {:>10.2} {:>10.2} {:>8} {:>8} {:>9} {:>8}",
+            row.stages,
+            row.transport,
+            row.wall_ms,
+            row.mb_per_sec,
+            row.relayed_frames,
+            row.retransmits,
+            row.bit_exact,
+            row.lockstep
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_is_bit_exact_on_both_transports() {
+        let rows = run(&[1, 2], true);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.bit_exact && r.lockstep));
+        assert!(rows.iter().any(|r| r.transport == "tcp"));
+        assert!(rows.iter().any(|r| r.transport == "duplex"));
+    }
+
+    #[test]
+    fn json_has_one_line_per_row() {
+        let rows = run(&[1], true);
+        let json = to_json(&rows);
+        assert_eq!(json.matches("\"transport\"").count(), rows.len());
+    }
+}

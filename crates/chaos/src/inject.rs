@@ -84,6 +84,8 @@ pub struct FaultStats {
     pub session_churns: u64,
     /// Rekeys injected to race in-flight KV swaps.
     pub rekey_races: u64,
+    /// Whole network connections dropped mid-stream.
+    pub connection_drops: u64,
 }
 
 impl FaultStats {
@@ -96,6 +98,7 @@ impl FaultStats {
             + self.stage_hangs
             + self.session_churns
             + self.rekey_races
+            + self.connection_drops
     }
 
     fn bump(&mut self, kind: FaultKind) {
@@ -107,6 +110,7 @@ impl FaultStats {
             FaultKind::StageHang => self.stage_hangs += 1,
             FaultKind::SessionChurn => self.session_churns += 1,
             FaultKind::RekeyRace => self.rekey_races += 1,
+            FaultKind::ConnectionDrop => self.connection_drops += 1,
         }
     }
 }
@@ -115,7 +119,7 @@ impl std::fmt::Display for FaultStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "faults: {} (corrupt {}, truncate {}, drop {}, kill {}, hang {}, churn {}, rekey-race {})",
+            "faults: {} (corrupt {}, truncate {}, drop {}, kill {}, hang {}, churn {}, rekey-race {}, conn-drop {})",
             self.total(),
             self.corrupt_frames,
             self.truncate_frames,
@@ -124,6 +128,7 @@ impl std::fmt::Display for FaultStats {
             self.stage_hangs,
             self.session_churns,
             self.rekey_races,
+            self.connection_drops,
         )
     }
 }
@@ -215,6 +220,12 @@ impl ChaosInjector {
     /// Samples a session-level fault (churn / rekey race) at `site`.
     pub fn roll_session(&self, site: FaultSite) -> Option<Fault> {
         self.roll(site, &FaultKind::SESSION)
+    }
+
+    /// Samples a network-link fault (frame mangling or whole-connection
+    /// drop) at `site` — normally [`FaultSite::NetLink`].
+    pub fn roll_net(&self, site: FaultSite) -> Option<Fault> {
+        self.roll(site, &FaultKind::NET)
     }
 
     /// Suspends injection until the returned guard drops.

@@ -35,11 +35,16 @@ pub enum FaultKind {
     /// A rekey (epoch bump) races an in-flight KV swap-in: deferred opens
     /// reserved under the old epoch must still finalize correctly.
     RekeyRace,
+    /// A network connection dies mid-stream: the transport must reconnect
+    /// under the bounded retry policy and both endpoints must rekey the
+    /// affected edges so traffic resumes at fresh IVs (never reusing the
+    /// counters of the dead link).
+    ConnectionDrop,
 }
 
 impl FaultKind {
     /// Every fault kind, in stable order (the order of the rate table).
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::CorruptFrame,
         FaultKind::TruncateFrame,
         FaultKind::DropFrame,
@@ -47,6 +52,7 @@ impl FaultKind {
         FaultKind::StageHang,
         FaultKind::SessionChurn,
         FaultKind::RekeyRace,
+        FaultKind::ConnectionDrop,
     ];
 
     /// The frame-level kinds sampled by [`crate::ChaosInjector::roll_frame`].
@@ -63,6 +69,15 @@ impl FaultKind {
     /// [`crate::ChaosInjector::roll_session`].
     pub const SESSION: [FaultKind; 2] = [FaultKind::SessionChurn, FaultKind::RekeyRace];
 
+    /// The network-link kinds sampled by [`crate::ChaosInjector::roll_net`]:
+    /// the three frame manglings plus whole-connection loss.
+    pub const NET: [FaultKind; 4] = [
+        FaultKind::CorruptFrame,
+        FaultKind::TruncateFrame,
+        FaultKind::DropFrame,
+        FaultKind::ConnectionDrop,
+    ];
+
     /// Stable index into per-kind tables.
     pub(crate) fn index(self) -> usize {
         match self {
@@ -73,6 +88,7 @@ impl FaultKind {
             FaultKind::StageHang => 4,
             FaultKind::SessionChurn => 5,
             FaultKind::RekeyRace => 6,
+            FaultKind::ConnectionDrop => 7,
         }
     }
 
@@ -86,6 +102,7 @@ impl FaultKind {
             FaultKind::StageHang => "stage_hang",
             FaultKind::SessionChurn => "session_churn",
             FaultKind::RekeyRace => "rekey_race",
+            FaultKind::ConnectionDrop => "connection_drop",
         }
     }
 }
@@ -115,11 +132,14 @@ pub enum FaultSite {
     StageStep,
     /// Session lifecycle control (open/close/rekey).
     SessionControl,
+    /// A networked transport link: the orchestrator↔worker TCP (or duplex)
+    /// streams carrying sealed activation frames between processes.
+    NetLink,
 }
 
 impl FaultSite {
     /// Every site, in stable order.
-    pub const ALL: [FaultSite; 8] = [
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::HostToDevice,
         FaultSite::DeviceToHost,
         FaultSite::DeviceToDevice,
@@ -128,6 +148,7 @@ impl FaultSite {
         FaultSite::EngineJob,
         FaultSite::StageStep,
         FaultSite::SessionControl,
+        FaultSite::NetLink,
     ];
 
     /// Stable index into per-site tables.
@@ -141,6 +162,7 @@ impl FaultSite {
             FaultSite::EngineJob => 5,
             FaultSite::StageStep => 6,
             FaultSite::SessionControl => 7,
+            FaultSite::NetLink => 8,
         }
     }
 
@@ -161,6 +183,7 @@ impl FaultSite {
             FaultSite::EngineJob => "engine_job",
             FaultSite::StageStep => "stage_step",
             FaultSite::SessionControl => "session_control",
+            FaultSite::NetLink => "net_link",
         }
     }
 }
@@ -225,6 +248,17 @@ impl FaultPlan {
     pub fn with_session_rate(self, total: f64) -> Self {
         self.with_rate(FaultKind::SessionChurn, total * 0.5)
             .with_rate(FaultKind::RekeyRace, total * 0.5)
+    }
+
+    /// Spreads a total network-fault probability across the wire kinds:
+    /// 40% bit corruption, 25% truncation, 15% frame loss, 20% whole
+    /// connection drops — corruption still dominates (the hardest case for
+    /// AEAD), but a real wire also loses entire connections.
+    pub fn with_net_rate(self, total: f64) -> Self {
+        self.with_rate(FaultKind::CorruptFrame, total * 0.40)
+            .with_rate(FaultKind::TruncateFrame, total * 0.25)
+            .with_rate(FaultKind::DropFrame, total * 0.15)
+            .with_rate(FaultKind::ConnectionDrop, total * 0.20)
     }
 
     /// The plan's seed.

@@ -19,6 +19,7 @@
 //! bit-exact with the single-GPU run by construction — and the repo-level
 //! tests verify the transfers and per-edge crypto preserve that.
 
+use pipellm_crypto::session::derive_subseed;
 use std::fmt;
 use std::ops::Range;
 
@@ -227,6 +228,41 @@ pub fn apply_stage(range: Range<u32>, bytes: &mut [u8]) {
     for layer in range {
         apply_layer(layer, bytes);
     }
+}
+
+/// Deterministic input bytes for `(seed, iteration, micro_batch)` — the
+/// frontend's synthetic activation payload. Both the in-process
+/// [`PipelineEngine`] and the networked orchestrator generate ingress
+/// micro-batches from this one function, which is what makes the two
+/// deployments bit-comparable end to end.
+///
+/// [`PipelineEngine`]: ../../pipellm_serving/pipeline/struct.PipelineEngine.html
+pub fn iteration_input(seed: u64, iteration: usize, micro_batch: usize, len: usize) -> Vec<u8> {
+    let mut rng = pipellm_sim::rng::SimRng::seed_from(
+        seed ^ derive_subseed(iteration as u64, 0x10) ^ derive_subseed(micro_batch as u64, 0x20),
+    );
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let bytes = rng.next_u64().to_le_bytes();
+        let take = bytes.len().min(len - out.len());
+        out.extend_from_slice(&bytes[..take]);
+    }
+    out
+}
+
+/// A content hash of the "weights" a stage owning `range` would load: the
+/// fold of every layer's transform constant. The shard-manifest protocol
+/// ships this hash so a worker can prove it holds exactly the layer shard
+/// the orchestrator assigned before any activation crosses the wire.
+pub fn stage_weight_hash(range: Range<u32>) -> u64 {
+    let mut acc = 0x5347_5748u64; // "SGWH"
+    for layer in range {
+        let k = u64::from(layer)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(0x2545_f491_4f6c_dd1d);
+        acc = derive_subseed(acc ^ k, u64::from(layer));
+    }
+    acc
 }
 
 #[cfg(test)]

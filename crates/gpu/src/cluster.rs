@@ -82,6 +82,28 @@ impl fmt::Display for EdgeId {
     }
 }
 
+/// The key-derivation root of device `i`'s host↔device channel, derived
+/// from the cluster-wide seed. Exposed so a networked deployment can stand
+/// up the *same* per-device channels on real sockets that
+/// [`ClusterContext::new`] builds in process: both ends derive the root
+/// independently from the shared cluster seed, and nothing key-like ever
+/// crosses the wire.
+pub fn device_key_seed(cluster_seed: u64, device: usize) -> u64 {
+    derive_subseed(cluster_seed, 0x01_0000 | device as u64)
+}
+
+/// The key-derivation root of the edge joining devices `a < b`, derived
+/// from the cluster-wide seed and the edge identity. The networked
+/// deployment derives the identical root for the worker pair at the two
+/// ends of the edge, so remote stage processes speak exactly the channels
+/// the in-process cluster would.
+pub fn edge_key_seed(cluster_seed: u64, edge: EdgeId) -> u64 {
+    derive_subseed(
+        cluster_seed,
+        0x02_0000 | ((edge.a as u64) << 24) | edge.b as u64,
+    )
+}
+
 /// NVLink timing calibration for the inter-GPU links.
 ///
 /// Defaults model an NVLink-4 class fabric: ~400 GB/s per direction in
@@ -231,7 +253,7 @@ impl ClusterContext {
                     timing: config.timing,
                     device_capacity: config.device_capacity,
                     crypto_threads: config.crypto_threads,
-                    seed: derive_subseed(config.seed, 0x01_0000 | i as u64),
+                    seed: device_key_seed(config.seed, i),
                     engine: Some(Arc::clone(&engine)),
                     chaos: config.chaos.clone(),
                 })
@@ -242,10 +264,7 @@ impl ClusterContext {
         for a in 0..n {
             for b in (a + 1)..n {
                 let id = EdgeId { a, b };
-                let mut sessions = SessionManager::from_seed(derive_subseed(
-                    config.seed,
-                    0x02_0000 | ((a as u64) << 24) | b as u64,
-                ));
+                let mut sessions = SessionManager::from_seed(edge_key_seed(config.seed, id));
                 sessions.set_engine(Arc::clone(&engine));
                 let default = sessions.open();
                 debug_assert_eq!(default, SessionId::DEFAULT);

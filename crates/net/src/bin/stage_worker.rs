@@ -1,0 +1,92 @@
+//! `stage-worker`: serve one pipeline stage against a remote orchestrator.
+//!
+//! Dials the orchestrator twice (control + data), runs the handshake
+//! (hello, shard manifest verification, start), serves sealed activation
+//! frames for its layer range, and reports its edge counters at the end.
+//! Exits non-zero on any handshake, crypto, or link failure.
+//!
+//! ```text
+//! stage-worker --connect 127.0.0.1:7070 --stage 1
+//!     [--fault-rate 0.0] [--chaos-seed 0xC0A5] [--timeout-secs 30]
+//! ```
+
+use pipellm_chaos::{ChaosInjector, FaultPlan};
+use pipellm_crypto::session::derive_subseed;
+use pipellm_net::orchestrator::dial_worker_links;
+use pipellm_net::{run_worker, WorkerConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| format!("not a number: {s}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let connect = arg_value(&args, "--connect").unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let stage = match arg_value(&args, "--stage") {
+        Some(v) => parse_u64(&v)? as u32,
+        None => return Err("--stage is required".to_string()),
+    };
+    let timeout = match arg_value(&args, "--timeout-secs") {
+        Some(v) => Duration::from_secs(parse_u64(&v)?),
+        None => Duration::from_secs(30),
+    };
+    let fault_rate: f64 = match arg_value(&args, "--fault-rate") {
+        Some(v) => v.parse().map_err(|_| format!("not a rate: {v}"))?,
+        None => 0.0,
+    };
+    let chaos_seed = match arg_value(&args, "--chaos-seed") {
+        Some(v) => parse_u64(&v)?,
+        None => 0xC0A5,
+    };
+
+    let addr = connect
+        .parse()
+        .map_err(|e| format!("bad address {connect}: {e}"))?;
+    let mut config = WorkerConfig::new(stage);
+    config.op_timeout = timeout;
+    if fault_rate > 0.0 {
+        // The same per-node plan NetPipelineSpec::injector_for derives, so
+        // a multi-process run replays the in-process chaos schedule.
+        let seed = derive_subseed(chaos_seed, u64::from(stage));
+        config.chaos = Some(Arc::new(ChaosInjector::new(
+            FaultPlan::new(seed).with_net_rate(fault_rate),
+        )));
+    }
+
+    eprintln!("stage-worker {stage}: dialing {connect}");
+    let links = dial_worker_links(addr, stage, timeout).map_err(|e| e.to_string())?;
+    let report = run_worker(links, config).map_err(|e| e.to_string())?;
+    println!(
+        "stage-worker {stage}: done. retransmits {}, sentinels {}, reconnects {}, edges {}",
+        report.retransmits,
+        report.sentinels,
+        report.reconnects,
+        report.edges.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("stage-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The error surface of the networked deployment.
+//!
+//! Every malformed byte a peer can send must land in one of these
+//! variants — never a panic, and never a partially decrypted payload. The
+//! property tests in `tests/proto_props.rs` drive arbitrary mutations
+//! through the decoders to hold that line.
+
+use pipellm_crypto::CryptoError;
+use std::fmt;
+use std::time::Duration;
+
+/// Result alias for the net crate.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// Anything that can go wrong on the wire or in the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// An OS-level I/O failure (bind, connect, read, write).
+    Io {
+        /// The operation that failed.
+        op: &'static str,
+        /// The OS error description.
+        detail: String,
+    },
+    /// The peer hung up (EOF or reset) — the trigger for the bounded
+    /// reconnect path.
+    ConnectionLost {
+        /// Which link died.
+        link: String,
+    },
+    /// A per-operation deadline expired.
+    Timeout {
+        /// The operation that timed out.
+        op: &'static str,
+        /// How long it waited.
+        waited: Duration,
+    },
+    /// The frame did not start with the protocol magic.
+    BadMagic {
+        /// The first two bytes actually seen.
+        got: u16,
+    },
+    /// The peer speaks a different protocol version.
+    VersionSkew {
+        /// Version in the received frame.
+        got: u8,
+        /// Version this process speaks.
+        want: u8,
+    },
+    /// The frame ended before its declared length.
+    Truncated {
+        /// Bytes the header promised.
+        need: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The frame declared a length beyond the hard cap.
+    Oversize {
+        /// Declared payload length.
+        len: usize,
+        /// The cap.
+        max: usize,
+    },
+    /// Bytes remained after a complete message was decoded.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// The frame kind byte names no known message.
+    UnknownKind {
+        /// The kind byte.
+        kind: u8,
+    },
+    /// A structurally invalid message (bad field relation, short payload).
+    Malformed {
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// The secure channel rejected a frame or refused an operation.
+    Crypto(CryptoError),
+    /// The handshake or manifest exchange went off-script.
+    Handshake {
+        /// What went wrong.
+        detail: String,
+    },
+    /// A protocol-state violation after the handshake.
+    Protocol {
+        /// What went wrong.
+        detail: String,
+    },
+    /// End-of-run audit found edge counters out of lockstep.
+    Lockstep {
+        /// Which edge, and how.
+        detail: String,
+    },
+    /// The bounded retry/reconnect budget ran out.
+    RetriesExhausted {
+        /// The operation that kept failing.
+        op: &'static str,
+        /// Attempts made (including the first).
+        attempts: u32,
+    },
+}
+
+impl NetError {
+    /// Wraps an OS error with the failing operation's name.
+    pub fn io(op: &'static str, err: &std::io::Error) -> Self {
+        NetError::Io {
+            op,
+            detail: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io { op, detail } => write!(f, "i/o error in {op}: {detail}"),
+            NetError::ConnectionLost { link } => write!(f, "connection lost on {link}"),
+            NetError::Timeout { op, waited } => {
+                write!(f, "{op} timed out after {:?}", waited)
+            }
+            NetError::BadMagic { got } => write!(f, "bad frame magic {got:#06x}"),
+            NetError::VersionSkew { got, want } => {
+                write!(
+                    f,
+                    "protocol version skew: peer speaks v{got}, we speak v{want}"
+                )
+            }
+            NetError::Truncated { need, got } => {
+                write!(f, "truncated frame: need {need} bytes, got {got}")
+            }
+            NetError::Oversize { len, max } => {
+                write!(f, "oversize frame: {len} bytes exceeds cap {max}")
+            }
+            NetError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after message")
+            }
+            NetError::UnknownKind { kind } => write!(f, "unknown frame kind {kind:#04x}"),
+            NetError::Malformed { what } => write!(f, "malformed message: {what}"),
+            NetError::Crypto(e) => write!(f, "crypto: {e}"),
+            NetError::Handshake { detail } => write!(f, "handshake failed: {detail}"),
+            NetError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            NetError::Lockstep { detail } => write!(f, "edge lockstep violated: {detail}"),
+            NetError::RetriesExhausted { op, attempts } => {
+                write!(f, "{op} failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<CryptoError> for NetError {
+    fn from(e: CryptoError) -> Self {
+        NetError::Crypto(e)
+    }
+}

@@ -1,0 +1,320 @@
+//! Length-delimited framing: the one wire format every byte rides in.
+//!
+//! ```text
+//!  0      2      3      4              8
+//!  +------+------+------+--------------+----------------- - - -
+//!  | magic| ver  | kind | payload len  | payload (len bytes)
+//!  | u16  | u8   | u8   | u32 LE       |
+//!  +------+------+------+--------------+----------------- - - -
+//! ```
+//!
+//! The header is fixed at [`HEADER_LEN`] bytes; `magic` is [`MAGIC`]
+//! (`"PL"`), `ver` is [`crate::proto::PROTO_VERSION`], `kind` selects the
+//! message decoder, and `len` counts payload bytes only. Streams are
+//! self-delimiting: a reader pulls one header, then exactly `len` bytes.
+//! Anything else — wrong magic, version skew, a length over
+//! [`MAX_FRAME_LEN`], a short read — is a clean [`NetError`], never a
+//! panic.
+
+use crate::error::{NetError, NetResult};
+use crate::proto::PROTO_VERSION;
+use std::io::Read;
+
+/// First two bytes of every frame: `b"PL"` little-endian.
+pub const MAGIC: u16 = u16::from_le_bytes(*b"PL");
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 8;
+
+/// Hard cap on a frame's payload: large enough for any activation shard
+/// this repo ships (the default micro-batch is 256 KiB), small enough that
+/// a corrupted length field cannot make a receiver allocate the moon.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Encodes one frame: header plus payload, ready for the wire.
+///
+/// # Errors
+///
+/// [`NetError::Oversize`] if `payload` exceeds [`MAX_FRAME_LEN`].
+pub fn encode_frame(kind: u8, payload: &[u8]) -> NetResult<Vec<u8>> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(NetError::Oversize {
+            len: payload.len(),
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(PROTO_VERSION);
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Validates a complete frame and returns `(kind, payload)`.
+///
+/// # Errors
+///
+/// - [`NetError::Truncated`] if the bytes end before the header or the
+///   declared payload length;
+/// - [`NetError::BadMagic`] / [`NetError::VersionSkew`] for a foreign or
+///   version-skewed peer;
+/// - [`NetError::Oversize`] for a length over the cap;
+/// - [`NetError::TrailingBytes`] if bytes follow the payload.
+pub fn decode_frame(bytes: &[u8]) -> NetResult<(u8, &[u8])> {
+    if bytes.len() < HEADER_LEN {
+        return Err(NetError::Truncated {
+            need: HEADER_LEN,
+            got: bytes.len(),
+        });
+    }
+    let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
+    if magic != MAGIC {
+        return Err(NetError::BadMagic { got: magic });
+    }
+    let version = bytes[2];
+    if version != PROTO_VERSION {
+        return Err(NetError::VersionSkew {
+            got: version,
+            want: PROTO_VERSION,
+        });
+    }
+    let kind = bytes[3];
+    let len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(NetError::Oversize {
+            len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let body = &bytes[HEADER_LEN..];
+    if body.len() < len {
+        return Err(NetError::Truncated {
+            need: len,
+            got: body.len(),
+        });
+    }
+    if body.len() > len {
+        return Err(NetError::TrailingBytes {
+            extra: body.len() - len,
+        });
+    }
+    Ok((kind, body))
+}
+
+/// Reads one frame off a blocking byte stream, returning the complete
+/// frame bytes (header included).
+///
+/// # Errors
+///
+/// [`NetError::ConnectionLost`] on EOF, [`NetError::Io`] on read errors,
+/// plus every validation error of [`decode_frame`]'s header phase.
+pub fn read_frame<R: Read>(reader: &mut R, link: &str) -> NetResult<Vec<u8>> {
+    let mut header = [0u8; HEADER_LEN];
+    read_exact(reader, &mut header, link)?;
+    let magic = u16::from_le_bytes([header[0], header[1]]);
+    if magic != MAGIC {
+        return Err(NetError::BadMagic { got: magic });
+    }
+    let version = header[2];
+    if version != PROTO_VERSION {
+        return Err(NetError::VersionSkew {
+            got: version,
+            want: PROTO_VERSION,
+        });
+    }
+    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(NetError::Oversize {
+            len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let mut frame = vec![0u8; HEADER_LEN + len];
+    frame[..HEADER_LEN].copy_from_slice(&header);
+    read_exact(reader, &mut frame[HEADER_LEN..], link)?;
+    Ok(frame)
+}
+
+fn read_exact<R: Read>(reader: &mut R, buf: &mut [u8], link: &str) -> NetResult<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(NetError::ConnectionLost {
+                    link: link.to_string(),
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::ConnectionReset
+                    || e.kind() == std::io::ErrorKind::ConnectionAborted
+                    || e.kind() == std::io::ErrorKind::BrokenPipe =>
+            {
+                return Err(NetError::ConnectionLost {
+                    link: link.to_string(),
+                })
+            }
+            Err(e) => return Err(NetError::io("read_frame", &e)),
+        }
+    }
+    Ok(())
+}
+
+/// Little-endian field writer for message payloads.
+#[derive(Default)]
+pub(crate) struct Writer(pub Vec<u8>);
+
+impl Writer {
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    /// Length-prefixed byte slice (u32 length).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.0.extend_from_slice(v);
+    }
+}
+
+/// Little-endian field reader; every accessor fails cleanly on short input.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> NetResult<&'a [u8]> {
+        let end = self.at.checked_add(n).ok_or(NetError::Malformed {
+            what: "length overflow",
+        })?;
+        if end > self.buf.len() {
+            return Err(NetError::Truncated {
+                need: n,
+                got: self.buf.len() - self.at,
+            });
+        }
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    pub fn u32(&mut self) -> NetResult<u32> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    pub fn u64(&mut self) -> NetResult<u64> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    /// Length-prefixed byte slice (u32 length).
+    pub fn bytes(&mut self) -> NetResult<&'a [u8]> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(NetError::Oversize {
+                len,
+                max: MAX_FRAME_LEN,
+            });
+        }
+        self.take(len)
+    }
+
+    /// Fails if any input remains unconsumed.
+    pub fn finish(self) -> NetResult<()> {
+        if self.at != self.buf.len() {
+            return Err(NetError::TrailingBytes {
+                extra: self.buf.len() - self.at,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrips() {
+        let frame = encode_frame(7, b"hello wire").unwrap();
+        let (kind, payload) = decode_frame(&frame).unwrap();
+        assert_eq!(kind, 7);
+        assert_eq!(payload, b"hello wire");
+    }
+
+    #[test]
+    fn bad_magic_rejects() {
+        let mut frame = encode_frame(1, b"x").unwrap();
+        frame[0] ^= 0xFF;
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(NetError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn version_skew_rejects() {
+        let mut frame = encode_frame(1, b"x").unwrap();
+        frame[2] = PROTO_VERSION + 1;
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(NetError::VersionSkew { got, want }) if got == PROTO_VERSION + 1 && want == PROTO_VERSION
+        ));
+    }
+
+    #[test]
+    fn truncation_rejects() {
+        let frame = encode_frame(1, b"some payload").unwrap();
+        for cut in 0..frame.len() {
+            assert!(decode_frame(&frame[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_reject() {
+        let mut frame = encode_frame(1, b"p").unwrap();
+        frame.push(0);
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(NetError::TrailingBytes { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn oversize_length_rejects_without_allocating() {
+        let mut frame = encode_frame(1, b"x").unwrap();
+        frame[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(NetError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_reader_consumes_exactly_one_frame() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_frame(1, b"first").unwrap());
+        stream.extend_from_slice(&encode_frame(2, b"second").unwrap());
+        let mut cursor = &stream[..];
+        let f1 = read_frame(&mut cursor, "test").unwrap();
+        let f2 = read_frame(&mut cursor, "test").unwrap();
+        assert_eq!(decode_frame(&f1).unwrap(), (1, &b"first"[..]));
+        assert_eq!(decode_frame(&f2).unwrap(), (2, &b"second"[..]));
+        assert!(matches!(
+            read_frame(&mut cursor, "test"),
+            Err(NetError::ConnectionLost { .. })
+        ));
+    }
+}

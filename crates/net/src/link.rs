@@ -1,0 +1,625 @@
+//! Per-edge crypto state and the send/receive discipline of a data link.
+//!
+//! An edge of the networked deployment is exactly an edge of the
+//! in-process [`pipellm_gpu::cluster::ClusterContext`]: a
+//! [`SessionManager`] whose root is derived from the cluster seed and the
+//! edge identity, carrying one [`SecureChannel`] for the default session
+//! with an incrementing-IV counter per direction. Worker↔worker edges use
+//! [`pipellm_gpu::cluster::edge_key_seed`]; a worker's ingress/egress edge
+//! to the host uses [`pipellm_gpu::cluster::device_key_seed`] — the same
+//! roots the in-process cluster derives, which is why ciphertext sealed by
+//! a remote worker is bit-compatible with the cluster path.
+//!
+//! The send path ([`seal_and_send`]) is where chaos meets the wire: each
+//! outgoing data frame rolls the injector at
+//! [`FaultSite::NetLink`]; frame-level faults mangle the sealed bytes in
+//! flight (the receiver's sentinel open consumes the IV and NACKs for a
+//! fresh-IV retransmit) and [`FaultKind::ConnectionDrop`] kills the whole
+//! connection (recovered by reconnect + epoch bump on every adjacent
+//! edge). Retransmits beyond [`RetryPolicy::max_retries`] run under
+//! [`ChaosInjector::suppress`], the same escalation contract the
+//! in-process retry loop follows.
+//!
+//! [`SecureChannel`]: pipellm_crypto::channel::SecureChannel
+
+use crate::error::{NetError, NetResult};
+use crate::proto::{DataFrame, Msg, HOST_NODE};
+use crate::transport::FrameSender;
+use pipellm_chaos::{ChaosInjector, FaultKind, FaultSite, RetryPolicy};
+use pipellm_crypto::channel::SealedMessage;
+use pipellm_crypto::session::{SessionId, SessionManager};
+use pipellm_gpu::cluster::{device_key_seed, edge_key_seed, EdgeId};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// An undirected edge of the deployment graph, normalized `a < b`.
+/// [`HOST_NODE`] is `u32::MAX`, so host edges sort as `(stage, HOST)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WireEdge {
+    /// Lower endpoint.
+    pub a: u32,
+    /// Higher endpoint ([`HOST_NODE`] on ingress/egress edges).
+    pub b: u32,
+}
+
+impl WireEdge {
+    /// The edge joining `i` and `j`, order-insensitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` — no self-edges, as in the cluster topology.
+    pub fn between(i: u32, j: u32) -> Self {
+        assert_ne!(i, j, "no self-edges in the deployment graph");
+        WireEdge {
+            a: i.min(j),
+            b: i.max(j),
+        }
+    }
+
+    /// Whether `node` is an endpoint.
+    pub fn touches(&self, node: u32) -> bool {
+        self.a == node || self.b == node
+    }
+}
+
+impl fmt::Display for WireEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.b == HOST_NODE {
+            write!(f, "edge{}-host", self.a)
+        } else {
+            write!(f, "edge{}-{}", self.a, self.b)
+        }
+    }
+}
+
+/// Which endpoint of the edge's [`SecureChannel`] this node plays.
+///
+/// On a worker↔worker edge the lower stage is the channel-host endpoint
+/// (the convention [`pipellm_gpu::cluster::ClusterContext`] fixes); on a
+/// host edge the orchestrator is always the channel-host endpoint and the
+/// worker the channel-device endpoint, mirroring the in-process
+/// host↔device channel of that worker's [`CudaContext`].
+///
+/// [`SecureChannel`]: pipellm_crypto::channel::SecureChannel
+/// [`CudaContext`]: pipellm_gpu::context::CudaContext
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// This node drives the channel's host endpoint.
+    ChannelHost,
+    /// This node drives the channel's device endpoint.
+    ChannelDevice,
+}
+
+/// The channel role `node` plays on `edge`: the orchestrator is the
+/// channel-host endpoint of every host edge, and on worker↔worker edges
+/// the lower stage is — the same conventions the in-process cluster fixes,
+/// so both endpoints derive mirrored state without negotiating.
+pub fn role_at(edge: WireEdge, node: u32) -> Role {
+    if edge.b == HOST_NODE {
+        if node == HOST_NODE {
+            Role::ChannelHost
+        } else {
+            Role::ChannelDevice
+        }
+    } else if edge.a == node {
+        Role::ChannelHost
+    } else {
+        Role::ChannelDevice
+    }
+}
+
+/// One edge's live crypto state at one endpoint.
+pub struct EdgeCrypto {
+    edge: WireEdge,
+    role: Role,
+    sessions: SessionManager,
+}
+
+impl EdgeCrypto {
+    /// Derives the edge's key root from the cluster seed — identically at
+    /// both endpoints, and identically to the in-process cluster — and
+    /// opens the default session.
+    pub fn new(cluster_seed: u64, edge: WireEdge, role: Role) -> Self {
+        let seed = if edge.b == HOST_NODE {
+            device_key_seed(cluster_seed, edge.a as usize)
+        } else {
+            edge_key_seed(
+                cluster_seed,
+                EdgeId::between(edge.a as usize, edge.b as usize),
+            )
+        };
+        let mut sessions = SessionManager::from_seed(seed);
+        let default = sessions.open();
+        debug_assert_eq!(default, SessionId::DEFAULT);
+        EdgeCrypto {
+            edge,
+            role,
+            sessions,
+        }
+    }
+
+    /// The edge this state belongs to.
+    pub fn edge(&self) -> WireEdge {
+        self.edge
+    }
+
+    /// Current key epoch of the default session.
+    pub fn epoch(&self) -> u32 {
+        self.sessions.epoch(SessionId::DEFAULT).unwrap_or(0)
+    }
+
+    /// Fast-forwards the default session to `target` epoch (fresh keys,
+    /// both IV counters restarted at 1 — never reusing a counter of the
+    /// previous epoch). A target at or below the current epoch is a no-op:
+    /// rekey messages can arrive duplicated or late.
+    pub fn rekey_to(&mut self, target: u32) {
+        while self.epoch() < target {
+            self.sessions.rekey(SessionId::DEFAULT);
+        }
+    }
+
+    /// Seals `plaintext` under `aad` on this node's sending direction,
+    /// consuming the next send IV.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Crypto`] on IV exhaustion.
+    pub fn seal(&mut self, aad: &[u8], plaintext: &[u8]) -> NetResult<SealedMessage> {
+        let ch = self
+            .sessions
+            .channel_mut(SessionId::DEFAULT)
+            .ok_or(NetError::Protocol {
+                detail: "edge default session missing".to_string(),
+            })?;
+        let endpoint = match self.role {
+            Role::ChannelHost => ch.host_mut(),
+            Role::ChannelDevice => ch.device_mut(),
+        };
+        Ok(endpoint.tx_mut().seal_with_aad(aad, plaintext)?)
+    }
+
+    /// Opens a received frame at this node's receiving direction under the
+    /// sentinel discipline: the IV is consumed whether or not the bytes
+    /// authenticate, and on failure the returned buffer holds only
+    /// sentinel bytes (no ciphertext escapes as plaintext).
+    pub fn open_or_sentinel(&mut self, aad: &[u8], sealed: Vec<u8>) -> (Vec<u8>, bool) {
+        let Some(ch) = self.sessions.channel_mut(SessionId::DEFAULT) else {
+            return (Vec::new(), false);
+        };
+        let endpoint = match self.role {
+            Role::ChannelHost => ch.host_mut(),
+            Role::ChannelDevice => ch.device_mut(),
+        };
+        let rx = endpoint.rx_mut();
+        let message = SealedMessage {
+            iv: rx.next_iv(),
+            aad: aad.into(),
+            bytes: sealed,
+        };
+        let (buf, outcome) = rx.open_owned_or_sentinel(message);
+        (buf, outcome.is_ok())
+    }
+
+    /// This node's next send IV on the edge.
+    pub fn tx_iv(&self) -> u64 {
+        self.endpoint_ivs().0
+    }
+
+    /// This node's next receive IV on the edge.
+    pub fn rx_iv(&self) -> u64 {
+        self.endpoint_ivs().1
+    }
+
+    fn endpoint_ivs(&self) -> (u64, u64) {
+        let Some(ch) = self.sessions.channel(SessionId::DEFAULT) else {
+            return (0, 0);
+        };
+        let endpoint = match self.role {
+            Role::ChannelHost => ch.host(),
+            Role::ChannelDevice => ch.device(),
+        };
+        (endpoint.tx().next_iv(), endpoint.rx().next_iv())
+    }
+}
+
+/// One plaintext the sender must hold until the receiver acknowledges it.
+#[derive(Debug, Clone)]
+pub struct PendingFrame {
+    /// Directed-link sequence number.
+    pub seq: u64,
+    /// Iteration of the carried micro-batch.
+    pub iteration: u32,
+    /// Micro-batch index.
+    pub micro_batch: u32,
+    /// The plaintext, kept for fresh-IV retransmission.
+    pub plaintext: Vec<u8>,
+    /// Transmission attempts so far.
+    pub attempts: u32,
+    /// When the frame last went out (`None` before the first attempt).
+    pub last_sent: Option<std::time::Instant>,
+}
+
+/// Sender bookkeeping for one directed link `src → dst`.
+#[derive(Default)]
+pub struct LinkTx {
+    next_seq: u64,
+    unacked: VecDeque<PendingFrame>,
+}
+
+impl LinkTx {
+    /// Registers a new outgoing payload; returns its sequence number.
+    pub fn push(&mut self, iteration: u32, micro_batch: u32, plaintext: Vec<u8>) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.unacked.push_back(PendingFrame {
+            seq,
+            iteration,
+            micro_batch,
+            plaintext,
+            attempts: 0,
+            last_sent: None,
+        });
+        seq
+    }
+
+    /// Sequence numbers of frames unacknowledged for longer than
+    /// `threshold` — the level-triggered retransmit sweep that recovers
+    /// losses no NACK or rekey will ever report (a frame dropped into a
+    /// dead relay leg, a retransmit that raced an empty sender slot).
+    pub fn stale(&self, threshold: std::time::Duration) -> Vec<u64> {
+        self.unacked
+            .iter()
+            .filter(|p| p.last_sent.is_none_or(|at| at.elapsed() >= threshold))
+            .map(|p| p.seq)
+            .collect()
+    }
+
+    /// Drops the acknowledged frame. Returns whether it was outstanding.
+    pub fn ack(&mut self, seq: u64) -> bool {
+        let before = self.unacked.len();
+        self.unacked.retain(|p| p.seq != seq);
+        self.unacked.len() != before
+    }
+
+    /// The outstanding frame with `seq`, if any.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut PendingFrame> {
+        self.unacked.iter_mut().find(|p| p.seq == seq)
+    }
+
+    /// Every outstanding frame, oldest first (the rekey retransmit order).
+    pub fn pending_mut(&mut self) -> impl Iterator<Item = &mut PendingFrame> {
+        self.unacked.iter_mut()
+    }
+
+    /// Number of outstanding frames.
+    pub fn in_flight(&self) -> usize {
+        self.unacked.len()
+    }
+}
+
+/// A sender half that pump threads can swap out on reconnect: `None`
+/// while the link is down.
+pub type SenderSlot = Arc<Mutex<Option<Box<dyn FrameSender>>>>;
+
+/// A fresh, empty sender slot.
+pub fn empty_slot() -> SenderSlot {
+    Arc::new(Mutex::new(None))
+}
+
+fn lock_slot(slot: &SenderSlot) -> std::sync::MutexGuard<'_, Option<Box<dyn FrameSender>>> {
+    match slot.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Installs a (re)connected sender half into the slot.
+pub fn install_sender(slot: &SenderSlot, sender: Box<dyn FrameSender>) {
+    *lock_slot(slot) = Some(sender);
+}
+
+/// Sends one encoded frame through the slot.
+///
+/// # Errors
+///
+/// [`NetError::ConnectionLost`] if the slot is empty (link down) or the
+/// write fails at the transport.
+pub fn send_on(slot: &SenderSlot, frame: &[u8], link: &str) -> NetResult<()> {
+    let mut guard = lock_slot(slot);
+    match guard.as_mut() {
+        Some(sender) => {
+            let out = sender.send_frame(frame);
+            if matches!(out, Err(NetError::ConnectionLost { .. })) {
+                *guard = None;
+            }
+            out
+        }
+        None => Err(NetError::ConnectionLost {
+            link: link.to_string(),
+        }),
+    }
+}
+
+/// Kills the connection behind the slot (injected connection drop) and
+/// empties it; the pump's reattach brings a replacement.
+pub fn kill_slot(slot: &SenderSlot) {
+    let mut guard = lock_slot(slot);
+    if let Some(sender) = guard.as_mut() {
+        sender.kill();
+    }
+    *guard = None;
+}
+
+/// Outcome of one [`seal_and_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// The frame is on the wire (possibly mangled by an injected
+    /// frame-level fault — the receiver's sentinel discipline owns that).
+    Sent,
+    /// Chaos killed the connection instead of delivering the frame; the
+    /// caller must ride the reconnect + rekey recovery.
+    DropInjected,
+    /// The link was already down; the frame stays unacked and will be
+    /// retransmitted after the link's rekey.
+    LinkDown,
+}
+
+/// Seals `pending` for `src → dst` on `crypto` and pushes it through the
+/// slot, rolling the chaos injector at [`FaultSite::NetLink`] on the way.
+/// Attempts beyond `policy.max_retries` are the escalation path and run
+/// with injection suppressed — recovery must be able to win.
+///
+/// Every call consumes exactly one send IV (the epoch's counters advance
+/// even for frames chaos destroys; the receiver or the rekey burns the
+/// matching slot on the other side).
+///
+/// # Errors
+///
+/// Only unrecoverable ones: IV exhaustion, encode failures, or transport
+/// errors other than connection loss.
+#[allow(clippy::too_many_arguments)]
+pub fn seal_and_send(
+    crypto: &mut EdgeCrypto,
+    src: u32,
+    dst: u32,
+    pending: &mut PendingFrame,
+    chaos: Option<&Arc<ChaosInjector>>,
+    policy: &RetryPolicy,
+    slot: &SenderSlot,
+    link: &str,
+) -> NetResult<TxOutcome> {
+    let epoch = crypto.epoch();
+    let aad = DataFrame::bind_aad(
+        src,
+        dst,
+        epoch,
+        pending.iteration,
+        pending.micro_batch,
+        pending.plaintext.len() as u64,
+    );
+    let sealed = crypto.seal(&aad, &pending.plaintext)?;
+    let mut bytes = sealed.bytes;
+    pending.attempts += 1;
+    pending.last_sent = Some(std::time::Instant::now());
+    // Roll chaos: the escalation attempt (budget exhausted) suppresses
+    // injection but still advances the site's fault sequence, keeping the
+    // stream deterministic for every later roll.
+    let escalating = pending.attempts > policy.max_retries;
+    let fault = if let Some(injector) = chaos {
+        if escalating {
+            let _quiet = injector.suppress();
+            injector.roll_net(FaultSite::NetLink)
+        } else {
+            injector.roll_net(FaultSite::NetLink)
+        }
+    } else {
+        None
+    };
+    if let Some(fault) = fault {
+        if fault.kind == FaultKind::ConnectionDrop {
+            kill_slot(slot);
+            return Ok(TxOutcome::DropInjected);
+        }
+        fault.apply_to_frame(&mut bytes);
+    }
+    let msg = Msg::Data(DataFrame {
+        src,
+        dst,
+        seq: pending.seq,
+        epoch,
+        iteration: pending.iteration,
+        micro_batch: pending.micro_batch,
+        sealed: bytes,
+    });
+    match send_on(slot, &msg.encode()?, link) {
+        Ok(()) => Ok(TxOutcome::Sent),
+        Err(NetError::ConnectionLost { .. }) => Ok(TxOutcome::LinkDown),
+        Err(e) => Err(e),
+    }
+}
+
+/// Opens a received [`DataFrame`] against `crypto`, handling epochs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RxOutcome {
+    /// Authenticated plaintext.
+    Plain(Vec<u8>),
+    /// The frame failed authentication; its IV was consumed and the
+    /// payload scrubbed. Sender owes a fresh-IV retransmit (NACK).
+    Sentinel,
+    /// The frame was sealed under a retired epoch; ignored without
+    /// consuming an IV — the sender retransmits under the new keys.
+    StaleEpoch,
+}
+
+/// Receives one data frame: fast-forwards the edge if the frame's epoch is
+/// ahead (the rekey control message may still be in flight), discards
+/// stale-epoch frames, and sentinel-opens everything else at the edge's
+/// receive counter with the locally recomputed AAD binding.
+pub fn open_data(crypto: &mut EdgeCrypto, frame: &DataFrame) -> RxOutcome {
+    if frame.epoch < crypto.epoch() {
+        return RxOutcome::StaleEpoch;
+    }
+    if frame.epoch > crypto.epoch() {
+        crypto.rekey_to(frame.epoch);
+    }
+    let aad = DataFrame::bind_aad(
+        frame.src,
+        frame.dst,
+        frame.epoch,
+        frame.iteration,
+        frame.micro_batch,
+        frame.sealed.len().saturating_sub(16) as u64,
+    );
+    let (buf, ok) = crypto.open_or_sentinel(&aad, frame.sealed.clone());
+    if ok {
+        RxOutcome::Plain(buf)
+    } else {
+        RxOutcome::Sentinel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(edge: WireEdge) -> (EdgeCrypto, EdgeCrypto) {
+        (
+            EdgeCrypto::new(0x51ce, edge, Role::ChannelHost),
+            EdgeCrypto::new(0x51ce, edge, Role::ChannelDevice),
+        )
+    }
+
+    fn frame_for(
+        tx: &mut EdgeCrypto,
+        src: u32,
+        dst: u32,
+        iteration: u32,
+        micro_batch: u32,
+        plaintext: &[u8],
+    ) -> DataFrame {
+        let aad = DataFrame::bind_aad(
+            src,
+            dst,
+            tx.epoch(),
+            iteration,
+            micro_batch,
+            plaintext.len() as u64,
+        );
+        let sealed = tx.seal(&aad, plaintext).unwrap();
+        DataFrame {
+            src,
+            dst,
+            seq: 0,
+            epoch: tx.epoch(),
+            iteration,
+            micro_batch,
+            sealed: sealed.bytes,
+        }
+    }
+
+    #[test]
+    fn edge_roundtrip_and_counters_advance() {
+        let edge = WireEdge::between(0, 1);
+        let (mut tx, mut rx) = pair(edge);
+        let frame = frame_for(&mut tx, 0, 1, 2, 3, b"activation bytes");
+        assert_eq!(
+            open_data(&mut rx, &frame),
+            RxOutcome::Plain(b"activation bytes".to_vec())
+        );
+        assert_eq!(tx.tx_iv(), 2);
+        assert_eq!(rx.rx_iv(), 2);
+    }
+
+    #[test]
+    fn edge_keys_match_the_in_process_cluster() {
+        use pipellm_gpu::cluster::{ClusterConfig, ClusterContext};
+        // Seal on the in-process cluster edge 0-1, open with the net-side
+        // EdgeCrypto derived from the same cluster seed: same keys.
+        let seed = 0xA5A5;
+        let mut cluster = ClusterContext::new(ClusterConfig {
+            devices: 2,
+            seed,
+            ..ClusterConfig::default()
+        });
+        let sealed = cluster
+            .edge_sessions_mut(EdgeId::between(0, 1))
+            .unwrap()
+            .channel_mut(SessionId::DEFAULT)
+            .unwrap()
+            .host_mut()
+            .seal(b"cross-check")
+            .unwrap();
+        let mut net_side = EdgeCrypto::new(seed, WireEdge::between(0, 1), Role::ChannelDevice);
+        let (buf, ok) = net_side.open_or_sentinel(&sealed.aad, sealed.bytes);
+        assert!(ok, "net edge crypto must speak the cluster's channels");
+        assert_eq!(buf, b"cross-check");
+    }
+
+    #[test]
+    fn envelope_rewrite_breaks_authentication() {
+        let edge = WireEdge::between(0, 1);
+        let (mut tx, mut rx) = pair(edge);
+        let mut frame = frame_for(&mut tx, 0, 1, 0, 0, b"payload");
+        frame.micro_batch = 1; // relay "rewrites" routing metadata
+        assert_eq!(open_data(&mut rx, &frame), RxOutcome::Sentinel);
+        // IV consumed regardless: lockstep preserved.
+        assert_eq!(rx.rx_iv(), tx.tx_iv());
+    }
+
+    #[test]
+    fn stale_epoch_frames_are_ignored_without_iv_burn() {
+        let edge = WireEdge::between(1, 2);
+        let (mut tx, mut rx) = pair(edge);
+        let frame = frame_for(&mut tx, 1, 2, 0, 0, b"old world");
+        rx.rekey_to(1);
+        assert_eq!(open_data(&mut rx, &frame), RxOutcome::StaleEpoch);
+        assert_eq!(rx.rx_iv(), 1, "fresh epoch counter untouched");
+    }
+
+    #[test]
+    fn future_epoch_frames_fast_forward_the_receiver() {
+        let edge = WireEdge::between(1, 2);
+        let (mut tx, mut rx) = pair(edge);
+        tx.rekey_to(2);
+        let frame = frame_for(&mut tx, 1, 2, 0, 0, b"new world");
+        assert_eq!(
+            open_data(&mut rx, &frame),
+            RxOutcome::Plain(b"new world".to_vec())
+        );
+        assert_eq!(rx.epoch(), 2);
+    }
+
+    #[test]
+    fn rekey_resets_counters_for_fresh_ivs() {
+        let edge = WireEdge::between(0, HOST_NODE);
+        let (mut host, mut dev) = pair(edge);
+        for _ in 0..5 {
+            let f = frame_for(&mut host, HOST_NODE, 0, 0, 0, b"x");
+            let _ = open_data(&mut dev, &f);
+        }
+        assert_eq!(host.tx_iv(), 6);
+        host.rekey_to(1);
+        dev.rekey_to(1);
+        assert_eq!(host.tx_iv(), 1, "fresh-IV recovery after rekey");
+        assert_eq!(dev.rx_iv(), 1);
+        let f = frame_for(&mut host, HOST_NODE, 0, 0, 0, b"post-rekey");
+        assert_eq!(
+            open_data(&mut dev, &f),
+            RxOutcome::Plain(b"post-rekey".to_vec())
+        );
+    }
+
+    #[test]
+    fn link_tx_tracks_unacked_frames() {
+        let mut tx = LinkTx::default();
+        let s0 = tx.push(0, 0, vec![1]);
+        let s1 = tx.push(0, 1, vec![2]);
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(tx.in_flight(), 2);
+        assert!(tx.ack(s0));
+        assert!(!tx.ack(s0));
+        assert_eq!(tx.in_flight(), 1);
+        assert!(tx.get_mut(s1).is_some());
+    }
+}

@@ -1,0 +1,599 @@
+//! The control- and data-plane messages riding the frame format.
+//!
+//! # Handshake sequence
+//!
+//! ```text
+//! worker s                         orchestrator
+//!    | -- control: Hello{stage:s} ------> |   (version checked by framing)
+//!    | <------ Welcome{stages:N} -------- |
+//!    | -- data:   DataHello{stage:s} ---> |   (second connection)
+//!    | <------ Manifest{shard} ---------- |
+//!    | -- ManifestAck{weight_hash} -----> |   (hash must match)
+//!    | <------ Start -------------------- |
+//!    |        ... sealed data ...         |
+//!    | <------ Finish -------------------- |
+//!    | -- Done{edge counters} ----------> |   (lockstep audit)
+//!    | <------ Shutdown ------------------ |
+//! ```
+//!
+//! # Shard manifest
+//!
+//! The [`ShardManifest`] tells a worker everything it needs to stand up
+//! its stage: the layer range it owns, the expected weight hash for that
+//! shard ([`pipellm::partition::stage_weight_hash`]), the run geometry
+//! (micro-batches, iterations, activation size), and the cluster seed from
+//! which the worker derives — locally, never from the wire — its edge and
+//! host-channel key roots.
+//!
+//! Every encoder returns a complete frame ([`Msg::encode`]); every decoder
+//! consumes a complete frame ([`Msg::decode`]) and rejects anything
+//! structurally off with a clean [`NetError`].
+
+use crate::error::{NetError, NetResult};
+use crate::frame::{decode_frame, encode_frame, Reader, Writer};
+
+/// Protocol version spoken by this build; carried in every frame header.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Node id of the orchestrator/host in `src`/`dst` fields and edge ids.
+pub const HOST_NODE: u32 = u32::MAX;
+
+/// Frame kind bytes.
+mod kind {
+    pub const HELLO: u8 = 0x01;
+    pub const WELCOME: u8 = 0x02;
+    pub const MANIFEST: u8 = 0x03;
+    pub const MANIFEST_ACK: u8 = 0x04;
+    pub const START: u8 = 0x05;
+    pub const DATA: u8 = 0x10;
+    pub const ACK_DATA: u8 = 0x11;
+    pub const NACK_DATA: u8 = 0x12;
+    pub const REKEY_EDGE: u8 = 0x13;
+    pub const LINK_RESTORED: u8 = 0x14;
+    pub const DATA_HELLO: u8 = 0x15;
+    pub const FINISH: u8 = 0x20;
+    pub const DONE: u8 = 0x21;
+    pub const SHUTDOWN: u8 = 0x22;
+}
+
+/// Control-channel greeting: the first frame on a worker's control
+/// connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// The stage this worker serves.
+    pub stage: u32,
+}
+
+/// Orchestrator's reply to [`Hello`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Welcome {
+    /// Total pipeline stages in the deployment.
+    pub stages: u32,
+}
+
+/// The shard assignment: everything a worker needs to serve its stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// The stage this manifest is for.
+    pub stage: u32,
+    /// Total stages.
+    pub stages: u32,
+    /// Total model layers.
+    pub layers: u32,
+    /// First layer (inclusive) of this stage's shard.
+    pub layer_start: u32,
+    /// One past the last layer of this stage's shard.
+    pub layer_end: u32,
+    /// Expected content hash of the shard's weights.
+    pub weight_hash: u64,
+    /// Activation payload size per micro-batch, bytes.
+    pub activation_bytes: u64,
+    /// Micro-batches per iteration.
+    pub micro_batches: u32,
+    /// Iterations to run.
+    pub iterations: u32,
+    /// Cluster-wide key-derivation seed; per-edge and host-channel roots
+    /// are derived from it locally at each endpoint.
+    pub cluster_seed: u64,
+}
+
+impl ShardManifest {
+    fn validate(&self) -> NetResult<()> {
+        if self.stages == 0 || self.stage >= self.stages {
+            return Err(NetError::Malformed {
+                what: "manifest stage out of range",
+            });
+        }
+        if self.layer_start > self.layer_end || self.layer_end > self.layers {
+            return Err(NetError::Malformed {
+                what: "manifest layer range out of bounds",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Worker's acknowledgement of its manifest, echoing the weight hash it
+/// computed locally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestAck {
+    /// The acknowledging stage.
+    pub stage: u32,
+    /// Hash the worker computed over its shard.
+    pub weight_hash: u64,
+}
+
+/// One sealed activation frame on a data channel.
+///
+/// The envelope fields (`src`, `dst`, routing metadata) travel in clear —
+/// the relay needs them — but the AAD is never shipped: both the sealing
+/// and the opening endpoint recompute it from the envelope they each see
+/// ([`DataFrame::bind_aad`]), so a relay that rewrites any routing field
+/// produces a frame that can never authenticate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataFrame {
+    /// Sending node ([`HOST_NODE`] for orchestrator ingress).
+    pub src: u32,
+    /// Receiving node ([`HOST_NODE`] for orchestrator egress).
+    pub dst: u32,
+    /// Per-directed-link sequence number (retransmit bookkeeping).
+    pub seq: u64,
+    /// Key epoch of the edge this frame was sealed under.
+    pub epoch: u32,
+    /// Iteration of the carried micro-batch.
+    pub iteration: u32,
+    /// Micro-batch index.
+    pub micro_batch: u32,
+    /// `ciphertext || 16-byte tag` from the edge's secure channel.
+    pub sealed: Vec<u8>,
+}
+
+impl DataFrame {
+    /// The canonical AAD binding of a data frame's envelope. Both the
+    /// sealer and the opener derive it from the fields they each believe,
+    /// so any relay tampering with the routing metadata breaks
+    /// authentication.
+    pub fn bind_aad(
+        src: u32,
+        dst: u32,
+        epoch: u32,
+        iteration: u32,
+        micro_batch: u32,
+        plaintext_len: u64,
+    ) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.u32(src);
+        w.u32(dst);
+        w.u32(epoch);
+        w.u32(iteration);
+        w.u32(micro_batch);
+        w.u64(plaintext_len);
+        w.0
+    }
+}
+
+/// Positive or negative acknowledgement of a [`DataFrame`], routed back to
+/// the sender over control channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataAck {
+    /// `src` of the acknowledged frame.
+    pub src: u32,
+    /// `dst` of the acknowledged frame.
+    pub dst: u32,
+    /// Sequence number being (n)acked.
+    pub seq: u64,
+}
+
+/// Orchestrator-initiated epoch bump of one edge — the fresh-IV recovery
+/// step after a connection drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RekeyEdge {
+    /// Lower endpoint of the edge ([`HOST_NODE`] sorts last).
+    pub a: u32,
+    /// Upper endpoint of the edge.
+    pub b: u32,
+    /// The target epoch; receivers fast-forward to it.
+    pub epoch: u32,
+}
+
+/// One edge's counters in a worker's end-of-run report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeCounterEntry {
+    /// Lower endpoint of the edge.
+    pub a: u32,
+    /// Upper endpoint of the edge.
+    pub b: u32,
+    /// Epoch the edge finished on.
+    pub epoch: u32,
+    /// The reporting node's next send IV on this edge (0 if it never
+    /// sends on it).
+    pub tx_iv: u64,
+    /// The reporting node's next receive IV on this edge (0 if it never
+    /// receives on it).
+    pub rx_iv: u64,
+}
+
+/// Worker's end-of-run report: per-edge counters plus resilience tallies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterReport {
+    /// The reporting stage.
+    pub stage: u32,
+    /// Counters of every edge the stage touches.
+    pub edges: Vec<EdgeCounterEntry>,
+    /// Frames this worker had to retransmit (NACK or rekey driven).
+    pub retransmits: u64,
+    /// Frames whose open failed and was absorbed as a sentinel.
+    pub sentinels: u64,
+    /// Reconnects this worker performed.
+    pub reconnects: u64,
+}
+
+/// Every message in the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Control-channel greeting.
+    Hello(Hello),
+    /// Greeting reply.
+    Welcome(Welcome),
+    /// Shard assignment.
+    Manifest(ShardManifest),
+    /// Shard acknowledgement.
+    ManifestAck(ManifestAck),
+    /// All manifests acked; start serving.
+    Start,
+    /// A sealed activation frame.
+    Data(DataFrame),
+    /// Positive data acknowledgement.
+    AckData(DataAck),
+    /// Negative data acknowledgement (sentinel open; retransmit).
+    NackData(DataAck),
+    /// Epoch bump of one edge.
+    RekeyEdge(RekeyEdge),
+    /// A worker's data link is live again after a reconnect.
+    LinkRestored {
+        /// The reconnected stage.
+        stage: u32,
+    },
+    /// Data-channel greeting identifying which stage the connection backs.
+    DataHello {
+        /// The connecting stage.
+        stage: u32,
+    },
+    /// No more iterations; report counters.
+    Finish,
+    /// End-of-run counter report.
+    Done(CounterReport),
+    /// Tear the deployment down.
+    Shutdown,
+}
+
+impl Msg {
+    fn kind(&self) -> u8 {
+        match self {
+            Msg::Hello(_) => kind::HELLO,
+            Msg::Welcome(_) => kind::WELCOME,
+            Msg::Manifest(_) => kind::MANIFEST,
+            Msg::ManifestAck(_) => kind::MANIFEST_ACK,
+            Msg::Start => kind::START,
+            Msg::Data(_) => kind::DATA,
+            Msg::AckData(_) => kind::ACK_DATA,
+            Msg::NackData(_) => kind::NACK_DATA,
+            Msg::RekeyEdge(_) => kind::REKEY_EDGE,
+            Msg::LinkRestored { .. } => kind::LINK_RESTORED,
+            Msg::DataHello { .. } => kind::DATA_HELLO,
+            Msg::Finish => kind::FINISH,
+            Msg::Done(_) => kind::DONE,
+            Msg::Shutdown => kind::SHUTDOWN,
+        }
+    }
+
+    /// Encodes the message as one complete frame (header included).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Oversize`] if the payload exceeds the frame cap.
+    pub fn encode(&self) -> NetResult<Vec<u8>> {
+        let mut w = Writer::default();
+        match self {
+            Msg::Hello(h) => w.u32(h.stage),
+            Msg::Welcome(wl) => w.u32(wl.stages),
+            Msg::Manifest(m) => {
+                w.u32(m.stage);
+                w.u32(m.stages);
+                w.u32(m.layers);
+                w.u32(m.layer_start);
+                w.u32(m.layer_end);
+                w.u64(m.weight_hash);
+                w.u64(m.activation_bytes);
+                w.u32(m.micro_batches);
+                w.u32(m.iterations);
+                w.u64(m.cluster_seed);
+            }
+            Msg::ManifestAck(a) => {
+                w.u32(a.stage);
+                w.u64(a.weight_hash);
+            }
+            Msg::Start | Msg::Finish | Msg::Shutdown => {}
+            Msg::Data(d) => {
+                w.u32(d.src);
+                w.u32(d.dst);
+                w.u64(d.seq);
+                w.u32(d.epoch);
+                w.u32(d.iteration);
+                w.u32(d.micro_batch);
+                w.bytes(&d.sealed);
+            }
+            Msg::AckData(a) | Msg::NackData(a) => {
+                w.u32(a.src);
+                w.u32(a.dst);
+                w.u64(a.seq);
+            }
+            Msg::RekeyEdge(r) => {
+                w.u32(r.a);
+                w.u32(r.b);
+                w.u32(r.epoch);
+            }
+            Msg::LinkRestored { stage } | Msg::DataHello { stage } => w.u32(*stage),
+            Msg::Done(d) => {
+                w.u32(d.stage);
+                w.u32(d.edges.len() as u32);
+                for e in &d.edges {
+                    w.u32(e.a);
+                    w.u32(e.b);
+                    w.u32(e.epoch);
+                    w.u64(e.tx_iv);
+                    w.u64(e.rx_iv);
+                }
+                w.u64(d.retransmits);
+                w.u64(d.sentinels);
+                w.u64(d.reconnects);
+            }
+        }
+        encode_frame(self.kind(), &w.0)
+    }
+
+    /// Decodes one complete frame into a message.
+    ///
+    /// # Errors
+    ///
+    /// Every framing error of [`decode_frame`], plus
+    /// [`NetError::UnknownKind`], [`NetError::Malformed`],
+    /// [`NetError::Truncated`] and [`NetError::TrailingBytes`] for payloads
+    /// that do not parse exactly.
+    pub fn decode(frame: &[u8]) -> NetResult<Msg> {
+        let (kind_byte, payload) = decode_frame(frame)?;
+        let mut r = Reader::new(payload);
+        let msg = match kind_byte {
+            kind::HELLO => Msg::Hello(Hello { stage: r.u32()? }),
+            kind::WELCOME => {
+                let stages = r.u32()?;
+                if stages == 0 {
+                    return Err(NetError::Malformed {
+                        what: "welcome with zero stages",
+                    });
+                }
+                Msg::Welcome(Welcome { stages })
+            }
+            kind::MANIFEST => {
+                let m = ShardManifest {
+                    stage: r.u32()?,
+                    stages: r.u32()?,
+                    layers: r.u32()?,
+                    layer_start: r.u32()?,
+                    layer_end: r.u32()?,
+                    weight_hash: r.u64()?,
+                    activation_bytes: r.u64()?,
+                    micro_batches: r.u32()?,
+                    iterations: r.u32()?,
+                    cluster_seed: r.u64()?,
+                };
+                m.validate()?;
+                Msg::Manifest(m)
+            }
+            kind::MANIFEST_ACK => Msg::ManifestAck(ManifestAck {
+                stage: r.u32()?,
+                weight_hash: r.u64()?,
+            }),
+            kind::START => Msg::Start,
+            kind::DATA => Msg::Data(DataFrame {
+                src: r.u32()?,
+                dst: r.u32()?,
+                seq: r.u64()?,
+                epoch: r.u32()?,
+                iteration: r.u32()?,
+                micro_batch: r.u32()?,
+                sealed: r.bytes()?.to_vec(),
+            }),
+            kind::ACK_DATA => Msg::AckData(DataAck {
+                src: r.u32()?,
+                dst: r.u32()?,
+                seq: r.u64()?,
+            }),
+            kind::NACK_DATA => Msg::NackData(DataAck {
+                src: r.u32()?,
+                dst: r.u32()?,
+                seq: r.u64()?,
+            }),
+            kind::REKEY_EDGE => {
+                let e = RekeyEdge {
+                    a: r.u32()?,
+                    b: r.u32()?,
+                    epoch: r.u32()?,
+                };
+                if e.a == e.b {
+                    return Err(NetError::Malformed {
+                        what: "rekey of a self-edge",
+                    });
+                }
+                Msg::RekeyEdge(e)
+            }
+            kind::LINK_RESTORED => Msg::LinkRestored { stage: r.u32()? },
+            kind::DATA_HELLO => Msg::DataHello { stage: r.u32()? },
+            kind::FINISH => Msg::Finish,
+            kind::DONE => {
+                let stage = r.u32()?;
+                let n = r.u32()? as usize;
+                // An honest report never exceeds one edge per possible
+                // neighbour; cap before allocating.
+                if n > 4096 {
+                    return Err(NetError::Malformed {
+                        what: "counter report with absurd edge count",
+                    });
+                }
+                let mut edges = Vec::with_capacity(n);
+                for _ in 0..n {
+                    edges.push(EdgeCounterEntry {
+                        a: r.u32()?,
+                        b: r.u32()?,
+                        epoch: r.u32()?,
+                        tx_iv: r.u64()?,
+                        rx_iv: r.u64()?,
+                    });
+                }
+                Msg::Done(CounterReport {
+                    stage,
+                    edges,
+                    retransmits: r.u64()?,
+                    sentinels: r.u64()?,
+                    reconnects: r.u64()?,
+                })
+            }
+            kind::SHUTDOWN => Msg::Shutdown,
+            other => return Err(NetError::UnknownKind { kind: other }),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Msg) {
+        let frame = msg.encode().unwrap();
+        assert_eq!(Msg::decode(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn all_message_kinds_roundtrip() {
+        roundtrip(Msg::Hello(Hello { stage: 3 }));
+        roundtrip(Msg::Welcome(Welcome { stages: 4 }));
+        roundtrip(Msg::Manifest(ShardManifest {
+            stage: 1,
+            stages: 4,
+            layers: 16,
+            layer_start: 4,
+            layer_end: 8,
+            weight_hash: 0xDEAD_BEEF,
+            activation_bytes: 256 * 1024,
+            micro_batches: 4,
+            iterations: 3,
+            cluster_seed: 0x51ce,
+        }));
+        roundtrip(Msg::ManifestAck(ManifestAck {
+            stage: 1,
+            weight_hash: 0xDEAD_BEEF,
+        }));
+        roundtrip(Msg::Start);
+        roundtrip(Msg::Data(DataFrame {
+            src: 0,
+            dst: 1,
+            seq: 9,
+            epoch: 2,
+            iteration: 1,
+            micro_batch: 3,
+            sealed: vec![0xAB; 48],
+        }));
+        roundtrip(Msg::AckData(DataAck {
+            src: 0,
+            dst: 1,
+            seq: 9,
+        }));
+        roundtrip(Msg::NackData(DataAck {
+            src: 1,
+            dst: 2,
+            seq: 10,
+        }));
+        roundtrip(Msg::RekeyEdge(RekeyEdge {
+            a: 1,
+            b: 2,
+            epoch: 3,
+        }));
+        roundtrip(Msg::LinkRestored { stage: 2 });
+        roundtrip(Msg::DataHello { stage: 0 });
+        roundtrip(Msg::Finish);
+        roundtrip(Msg::Done(CounterReport {
+            stage: 2,
+            edges: vec![EdgeCounterEntry {
+                a: 1,
+                b: 2,
+                epoch: 1,
+                tx_iv: 13,
+                rx_iv: 13,
+            }],
+            retransmits: 2,
+            sentinels: 1,
+            reconnects: 1,
+        }));
+        roundtrip(Msg::Shutdown);
+    }
+
+    #[test]
+    fn invalid_manifest_geometry_rejects() {
+        let mut m = ShardManifest {
+            stage: 4,
+            stages: 4,
+            layers: 16,
+            layer_start: 0,
+            layer_end: 4,
+            weight_hash: 0,
+            activation_bytes: 1,
+            micro_batches: 1,
+            iterations: 1,
+            cluster_seed: 0,
+        };
+        // stage >= stages: encode succeeds (pure data) but decode rejects.
+        let frame = Msg::Manifest(m).encode().unwrap();
+        assert!(matches!(
+            Msg::decode(&frame),
+            Err(NetError::Malformed { .. })
+        ));
+        m.stage = 0;
+        m.layer_end = 17;
+        let frame = Msg::Manifest(m).encode().unwrap();
+        assert!(matches!(
+            Msg::decode(&frame),
+            Err(NetError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_rejects() {
+        let frame = crate::frame::encode_frame(0x7F, &[]).unwrap();
+        assert!(matches!(
+            Msg::decode(&frame),
+            Err(NetError::UnknownKind { kind: 0x7F })
+        ));
+    }
+
+    #[test]
+    fn short_payload_rejects() {
+        let frame = crate::frame::encode_frame(kind::HELLO, &[1, 2]).unwrap();
+        assert!(matches!(
+            Msg::decode(&frame),
+            Err(NetError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn long_payload_rejects() {
+        let mut body = 5u32.to_le_bytes().to_vec();
+        body.push(0xFF);
+        let frame = crate::frame::encode_frame(kind::HELLO, &body).unwrap();
+        assert!(matches!(
+            Msg::decode(&frame),
+            Err(NetError::TrailingBytes { extra: 1 })
+        ));
+    }
+}

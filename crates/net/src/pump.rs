@@ -1,0 +1,183 @@
+//! Per-link receive pumps.
+//!
+//! Every connection gets one pump thread that owns the receiver half,
+//! decodes frames into [`Msg`]s, and feeds them to the owning event loop
+//! through an `mpsc` channel. When the connection dies the pump runs the
+//! bounded reconnect path: it reports [`PumpEvent::Down`], drives the
+//! link's [`Reattach`] provider under the wire [`RetryPolicy`] (per-attempt
+//! timeout, exponential deterministically-jittered backoff), installs the
+//! fresh sender half into the link's [`SenderSlot`], and reports
+//! [`PumpEvent::Up`]. A link with no provider — or one whose retry budget
+//! runs dry — ends with [`PumpEvent::Dead`], which the event loop treats
+//! as fatal for the run.
+
+use crate::error::{NetError, NetResult};
+use crate::link::{install_sender, SenderSlot};
+use crate::proto::Msg;
+use crate::transport::{FrameReceiver, Reattach};
+use pipellm_chaos::RetryPolicy;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What a pump reports to its event loop, tagged with the pump's id.
+#[derive(Debug)]
+pub(crate) enum PumpEvent {
+    /// A decoded message off the wire.
+    Frame(Msg),
+    /// The connection died; the pump is reattaching.
+    Down,
+    /// Reattach succeeded; a fresh sender is installed in the slot.
+    Up,
+    /// The link is gone for good (no provider, budget exhausted, or a
+    /// framing-level protocol violation).
+    Dead(NetError),
+}
+
+/// A running pump thread; stops and joins on drop.
+pub(crate) struct Pump {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Pump {
+    /// Spawns a pump over `receiver`. `reattach` enables the reconnect
+    /// path; `slot` is where reconnected sender halves are installed.
+    /// Events arrive on `events` tagged with `tag`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn(
+        tag: u32,
+        receiver: Box<dyn FrameReceiver>,
+        reattach: Option<Box<dyn Reattach>>,
+        slot: SenderSlot,
+        policy: RetryPolicy,
+        poll: Duration,
+        events: mpsc::Sender<(u32, PumpEvent)>,
+    ) -> Pump {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            pump_loop(tag, receiver, reattach, slot, policy, poll, events, &flag);
+        });
+        Pump {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Asks the pump to exit at its next poll tick.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Pump {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pump_loop(
+    tag: u32,
+    mut receiver: Box<dyn FrameReceiver>,
+    mut reattach: Option<Box<dyn Reattach>>,
+    slot: SenderSlot,
+    policy: RetryPolicy,
+    poll: Duration,
+    events: mpsc::Sender<(u32, PumpEvent)>,
+    stop: &AtomicBool,
+) {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match receiver.recv_frame(poll) {
+            Ok(frame) => match Msg::decode(&frame) {
+                Ok(msg) => {
+                    if events.send((tag, PumpEvent::Frame(msg))).is_err() {
+                        return; // event loop gone; nothing left to feed
+                    }
+                }
+                Err(e) => {
+                    let _ = events.send((tag, PumpEvent::Dead(e)));
+                    return;
+                }
+            },
+            Err(NetError::Timeout { .. }) => continue,
+            Err(NetError::ConnectionLost { .. }) => {
+                let Some(provider) = reattach.as_mut() else {
+                    let _ = events.send((
+                        tag,
+                        PumpEvent::Dead(NetError::ConnectionLost {
+                            link: format!("pump#{tag}"),
+                        }),
+                    ));
+                    return;
+                };
+                if events.send((tag, PumpEvent::Down)).is_err() {
+                    return;
+                }
+                match reconnect(provider.as_mut(), &policy, tag, stop) {
+                    Ok(transport) => match transport.split() {
+                        Ok((sender, new_receiver)) => {
+                            install_sender(&slot, sender);
+                            receiver = new_receiver;
+                            if events.send((tag, PumpEvent::Up)).is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) => {
+                            let _ = events.send((tag, PumpEvent::Dead(e)));
+                            return;
+                        }
+                    },
+                    Err(e) => {
+                        let _ = events.send((tag, PumpEvent::Dead(e)));
+                        return;
+                    }
+                }
+            }
+            Err(e) => {
+                let _ = events.send((tag, PumpEvent::Dead(e)));
+                return;
+            }
+        }
+    }
+}
+
+/// Bounded reconnect: one initial attempt plus `policy.max_retries`
+/// retries, each bounded by `policy.op_timeout`, with the policy's
+/// deterministic jittered backoff between attempts.
+fn reconnect(
+    provider: &mut dyn Reattach,
+    policy: &RetryPolicy,
+    tag: u32,
+    stop: &AtomicBool,
+) -> NetResult<Box<dyn crate::transport::Transport>> {
+    let mut attempt = 0u32;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Err(NetError::ConnectionLost {
+                link: format!("pump#{tag} (stopping)"),
+            });
+        }
+        match provider.reattach(policy.op_timeout) {
+            Ok(t) => return Ok(t),
+            Err(_) if policy.allows(attempt) => {
+                std::thread::sleep(policy.backoff_after(attempt, u64::from(tag)));
+                attempt += 1;
+            }
+            Err(_) => {
+                return Err(NetError::RetriesExhausted {
+                    op: "reattach",
+                    attempts: attempt + 1,
+                })
+            }
+        }
+    }
+}

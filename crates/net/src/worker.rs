@@ -1,0 +1,751 @@
+//! The stage-worker event loop.
+//!
+//! One worker process serves one pipeline stage. It holds two connections
+//! to the orchestrator — a reliable control link (handshake, acks, rekeys,
+//! lifecycle) and a chaos-exposed data link (sealed activation frames) —
+//! and never talks to another worker directly: inter-stage frames are
+//! relayed by the orchestrator, which cannot read them because each edge's
+//! keys are derived end-to-end from the cluster seed.
+//!
+//! Lifecycle, in lockstep with the orchestrator's script:
+//!
+//! 1. `Hello{stage}` on control, `DataHello{stage}` on data;
+//! 2. wait `Welcome{stages}`, then the `ShardManifest`; verify the shard's
+//!    weight hash locally and reply `ManifestAck`;
+//! 3. derive the in/out edge crypto from the manifest's cluster seed (the
+//!    same roots [`pipellm_gpu::cluster::ClusterContext`] derives);
+//! 4. on `Start`, serve: open each incoming frame under the sentinel
+//!    discipline, ACK/NACK it, run [`apply_stage`] over the stage's layer
+//!    range, and seal the result onto the out edge;
+//! 5. on `Finish`, drain in-flight traffic to quiescence, report per-edge
+//!    counters with `Done`, and wait for `Shutdown`.
+//!
+//! Failure handling: a NACK retransmits one frame at a fresh IV; a dropped
+//! data connection is reattached by the pump under the bounded
+//! [`RetryPolicy`], after which the worker announces `LinkRestored` and
+//! the orchestrator rekeys every adjacent edge — fresh keys, IV counters
+//! back to 1 — before unacked frames are retransmitted in order.
+
+use crate::error::{NetError, NetResult};
+use crate::link::{
+    empty_slot, install_sender, open_data, role_at, seal_and_send, send_on, EdgeCrypto, LinkTx,
+    RxOutcome, SenderSlot, WireEdge,
+};
+use crate::proto::{
+    CounterReport, DataAck, DataFrame, EdgeCounterEntry, Hello, ManifestAck, Msg, ShardManifest,
+    HOST_NODE,
+};
+use crate::pump::{Pump, PumpEvent};
+use crate::transport::{Reattach, Transport};
+use pipellm::partition::{apply_stage, stage_weight_hash};
+use pipellm_chaos::{ChaosInjector, RetryPolicy};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Pump tag of the control link.
+const CONTROL: u32 = 0;
+/// Pump tag of the data link.
+const DATA: u32 = 1;
+
+/// Wire-scale retry policy: the chaos crate's defaults are tuned for the
+/// microsecond-scale simulated pipeline; real sockets need milliseconds of
+/// backoff and seconds of per-operation patience.
+pub fn wire_retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 4,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(100),
+        jitter: 0.25,
+        op_timeout: Duration::from_secs(2),
+    }
+}
+
+/// Tuning knobs of one worker.
+#[derive(Clone)]
+pub struct WorkerConfig {
+    /// The stage this worker serves.
+    pub stage: u32,
+    /// Wire-scale retry policy for reconnects and retransmit escalation.
+    pub policy: RetryPolicy,
+    /// Receive-poll granularity of the pumps and the event loop.
+    pub poll: Duration,
+    /// Deadline for the handshake, the drain, and idle waits.
+    pub op_timeout: Duration,
+    /// Silence window that declares the data plane drained at `Finish`.
+    pub quiet: Duration,
+    /// Age at which an unacknowledged frame is retransmitted by the
+    /// level-triggered sweep (covers losses no NACK or rekey reports).
+    pub resend_after: Duration,
+    /// Fault injector for the data send path ([`pipellm_chaos::FaultSite::NetLink`]).
+    pub chaos: Option<Arc<ChaosInjector>>,
+}
+
+impl WorkerConfig {
+    /// Chaos-free defaults for `stage`.
+    pub fn new(stage: u32) -> Self {
+        WorkerConfig {
+            stage,
+            policy: wire_retry_policy(),
+            poll: Duration::from_millis(10),
+            op_timeout: Duration::from_secs(10),
+            quiet: Duration::from_millis(60),
+            resend_after: Duration::from_millis(300),
+            chaos: None,
+        }
+    }
+}
+
+/// The worker's two connections to the orchestrator.
+pub struct WorkerLinks {
+    /// Reliable control connection. Losing it is fatal.
+    pub control: Box<dyn Transport>,
+    /// Chaos-exposed data connection.
+    pub data: Box<dyn Transport>,
+    /// Reconnect provider for the data connection; `None` disables
+    /// recovery (a drop then kills the run).
+    pub data_reattach: Option<Box<dyn Reattach>>,
+}
+
+struct Worker {
+    stage: u32,
+    layers: std::ops::Range<u32>,
+    in_peer: u32,
+    out_peer: u32,
+    in_edge: WireEdge,
+    out_edge: WireEdge,
+    edges: BTreeMap<WireEdge, EdgeCrypto>,
+    out_tx: LinkTx,
+    processed: BTreeSet<(u32, u32)>,
+    control_slot: SenderSlot,
+    data_slot: SenderSlot,
+    policy: RetryPolicy,
+    chaos: Option<Arc<ChaosInjector>>,
+    retransmits: u64,
+    sentinels: u64,
+    reconnects: u64,
+}
+
+impl Worker {
+    fn from_manifest(
+        manifest: &ShardManifest,
+        config: &WorkerConfig,
+        control_slot: SenderSlot,
+        data_slot: SenderSlot,
+    ) -> Self {
+        let stage = manifest.stage;
+        let (in_peer, in_edge) = if stage == 0 {
+            (HOST_NODE, WireEdge::between(stage, HOST_NODE))
+        } else {
+            (stage - 1, WireEdge::between(stage - 1, stage))
+        };
+        let (out_peer, out_edge) = if stage + 1 == manifest.stages {
+            (HOST_NODE, WireEdge::between(stage, HOST_NODE))
+        } else {
+            (stage + 1, WireEdge::between(stage, stage + 1))
+        };
+        let mut edges = BTreeMap::new();
+        for edge in [in_edge, out_edge] {
+            edges.entry(edge).or_insert_with(|| {
+                EdgeCrypto::new(manifest.cluster_seed, edge, role_at(edge, stage))
+            });
+        }
+        Worker {
+            stage,
+            layers: manifest.layer_start..manifest.layer_end,
+            in_peer,
+            out_peer,
+            in_edge,
+            out_edge,
+            edges,
+            out_tx: LinkTx::default(),
+            processed: BTreeSet::new(),
+            control_slot,
+            data_slot,
+            policy: config.policy,
+            chaos: config.chaos.clone(),
+            retransmits: 0,
+            sentinels: 0,
+            reconnects: 0,
+        }
+    }
+
+    fn control_send(&self, msg: &Msg) -> NetResult<()> {
+        send_on(&self.control_slot, &msg.encode()?, "control")
+    }
+
+    /// Seals and sends one pending out-frame; link-down and injected-drop
+    /// outcomes are absorbed (the rekey cycle retransmits later).
+    fn send_pending(&mut self, seq: u64) -> NetResult<()> {
+        let crypto = self
+            .edges
+            .get_mut(&self.out_edge)
+            .ok_or(NetError::Protocol {
+                detail: "out edge missing".to_string(),
+            })?;
+        let Some(pending) = self.out_tx.get_mut(seq) else {
+            return Ok(()); // acked in the meantime; nothing to resend
+        };
+        seal_and_send(
+            crypto,
+            self.stage,
+            self.out_peer,
+            pending,
+            self.chaos.as_ref(),
+            &self.policy,
+            &self.data_slot,
+            "data",
+        )?;
+        Ok(())
+    }
+
+    fn handle_data(&mut self, frame: &DataFrame) -> NetResult<()> {
+        if frame.src == frame.dst || frame.dst != self.stage || frame.src != self.in_peer {
+            return Err(NetError::Protocol {
+                detail: format!(
+                    "stage {} got a misrouted frame {} -> {}",
+                    self.stage, frame.src, frame.dst
+                ),
+            });
+        }
+        let crypto = self
+            .edges
+            .get_mut(&self.in_edge)
+            .ok_or(NetError::Protocol {
+                detail: "in edge missing".to_string(),
+            })?;
+        match open_data(crypto, frame) {
+            RxOutcome::Plain(mut bytes) => {
+                self.control_send(&Msg::AckData(DataAck {
+                    src: frame.src,
+                    dst: frame.dst,
+                    seq: frame.seq,
+                }))?;
+                // Retransmitted duplicates are acked but processed once.
+                if self.processed.insert((frame.iteration, frame.micro_batch)) {
+                    apply_stage(self.layers.clone(), &mut bytes);
+                    let seq = self.out_tx.push(frame.iteration, frame.micro_batch, bytes);
+                    self.send_pending(seq)?;
+                }
+            }
+            RxOutcome::Sentinel => {
+                self.sentinels += 1;
+                self.control_send(&Msg::NackData(DataAck {
+                    src: frame.src,
+                    dst: frame.dst,
+                    seq: frame.seq,
+                }))?;
+            }
+            RxOutcome::StaleEpoch => {}
+        }
+        Ok(())
+    }
+
+    /// Level-triggered retransmit: reseals anything unacknowledged past
+    /// the resend threshold. This is the recovery of last resort for
+    /// losses no NACK or `RekeyEdge` will ever report — a frame relayed
+    /// into a dead destination link, or a rekey retransmit that raced an
+    /// empty sender slot mid-reattach. Any IV burned into a down link is
+    /// erased by the rekey that link's restoration triggers, so sweeping
+    /// never breaks final-epoch lockstep.
+    fn sweep(&mut self, threshold: Duration) -> NetResult<()> {
+        for seq in self.out_tx.stale(threshold) {
+            self.retransmits += 1;
+            self.send_pending(seq)?;
+        }
+        Ok(())
+    }
+
+    fn handle_rekey(&mut self, a: u32, b: u32, epoch: u32) -> NetResult<()> {
+        let edge = WireEdge::between(a.min(b), a.max(b));
+        if let Some(crypto) = self.edges.get_mut(&edge) {
+            crypto.rekey_to(epoch);
+        }
+        if edge == self.out_edge {
+            // Everything unacked was sealed under retired keys; resend in
+            // original order at the new epoch's fresh IVs.
+            let seqs: Vec<u64> = self.out_tx.pending_mut().map(|p| p.seq).collect();
+            for seq in seqs {
+                self.retransmits += 1;
+                self.send_pending(seq)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Handles one serving-phase event. Returns the control message that
+    /// ends the phase (`Finish` / `Shutdown`), if this was one.
+    fn handle_event(&mut self, tag: u32, event: PumpEvent) -> NetResult<Option<Msg>> {
+        match event {
+            PumpEvent::Frame(msg) => match msg {
+                Msg::Data(frame) => {
+                    self.handle_data(&frame)?;
+                    Ok(None)
+                }
+                Msg::AckData(ack) => {
+                    if ack.src == self.stage {
+                        self.out_tx.ack(ack.seq);
+                    }
+                    Ok(None)
+                }
+                Msg::NackData(ack) => {
+                    if ack.src == self.stage && self.out_tx.get_mut(ack.seq).is_some() {
+                        self.retransmits += 1;
+                        self.send_pending(ack.seq)?;
+                    }
+                    Ok(None)
+                }
+                Msg::RekeyEdge(r) => {
+                    self.handle_rekey(r.a, r.b, r.epoch)?;
+                    Ok(None)
+                }
+                Msg::Finish | Msg::Shutdown => Ok(Some(msg)),
+                // Duplicated handshake traffic is idempotent noise.
+                Msg::Welcome(_) | Msg::Manifest(_) | Msg::Start => Ok(None),
+                other => Err(NetError::Protocol {
+                    detail: format!("stage {} got unexpected {:?}", self.stage, other),
+                }),
+            },
+            PumpEvent::Down => Ok(None),
+            PumpEvent::Up => {
+                if tag == DATA {
+                    self.reconnects += 1;
+                    // Tell the orchestrator so it rekeys our edges; our
+                    // unacked frames go out again on the RekeyEdge reply.
+                    self.control_send(&Msg::LinkRestored { stage: self.stage })?;
+                }
+                Ok(None)
+            }
+            PumpEvent::Dead(e) => Err(e),
+        }
+    }
+
+    fn report(&self) -> CounterReport {
+        CounterReport {
+            stage: self.stage,
+            edges: self
+                .edges
+                .iter()
+                .map(|(edge, crypto)| EdgeCounterEntry {
+                    a: edge.a,
+                    b: edge.b,
+                    epoch: crypto.epoch(),
+                    tx_iv: crypto.tx_iv(),
+                    rx_iv: crypto.rx_iv(),
+                })
+                .collect(),
+            retransmits: self.retransmits,
+            sentinels: self.sentinels,
+            reconnects: self.reconnects,
+        }
+    }
+}
+
+fn next_event(
+    events: &mpsc::Receiver<(u32, PumpEvent)>,
+    poll: Duration,
+) -> NetResult<Option<(u32, PumpEvent)>> {
+    match events.recv_timeout(poll) {
+        Ok(ev) => Ok(Some(ev)),
+        Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err(NetError::Protocol {
+            detail: "all pumps exited".to_string(),
+        }),
+    }
+}
+
+/// Runs one stage worker to completion: handshake, serve, drain, report.
+/// Returns the end-of-run counter report this worker also sent upstream.
+///
+/// # Errors
+///
+/// Handshake violations, control-link loss, retry-budget exhaustion on the
+/// data link, and protocol violations are all fatal and returned.
+pub fn run_worker(links: WorkerLinks, config: WorkerConfig) -> NetResult<CounterReport> {
+    let (events_tx, events) = mpsc::channel();
+    let control_slot = empty_slot();
+    let data_slot = empty_slot();
+
+    let (ctl_sender, ctl_receiver) = links.control.split()?;
+    install_sender(&control_slot, ctl_sender);
+    let (data_sender, data_receiver) = links.data.split()?;
+    install_sender(&data_slot, data_sender);
+
+    let control_pump = Pump::spawn(
+        CONTROL,
+        ctl_receiver,
+        None,
+        control_slot.clone(),
+        config.policy,
+        config.poll,
+        events_tx.clone(),
+    );
+    let data_pump = Pump::spawn(
+        DATA,
+        data_receiver,
+        links.data_reattach,
+        data_slot.clone(),
+        config.policy,
+        config.poll,
+        events_tx,
+    );
+
+    send_on(
+        &control_slot,
+        &Msg::Hello(Hello {
+            stage: config.stage,
+        })
+        .encode()?,
+        "control",
+    )?;
+    send_on(
+        &data_slot,
+        &Msg::DataHello {
+            stage: config.stage,
+        }
+        .encode()?,
+        "data",
+    )?;
+
+    // --- Handshake: Welcome -> Manifest (verify + ack) -> Start ---------
+    let deadline = Instant::now() + config.op_timeout;
+    let mut stages = None;
+    let mut manifest: Option<ShardManifest> = None;
+    // The control and data pumps feed one queue with no cross-link
+    // ordering: the first sealed frame can overtake Start. Defer data-plane
+    // traffic seen mid-handshake and replay it once serving begins.
+    let mut deferred: Vec<(u32, PumpEvent)> = Vec::new();
+    loop {
+        if Instant::now() > deadline {
+            return Err(NetError::Timeout {
+                op: "handshake",
+                waited: config.op_timeout,
+            });
+        }
+        let Some((tag, event)) = next_event(&events, config.poll)? else {
+            continue;
+        };
+        if let PumpEvent::Frame(
+            msg @ (Msg::Data(_) | Msg::AckData(_) | Msg::NackData(_) | Msg::RekeyEdge(_)),
+        ) = event
+        {
+            deferred.push((tag, PumpEvent::Frame(msg)));
+            continue;
+        }
+        match event {
+            PumpEvent::Frame(Msg::Welcome(w)) => stages = Some(w.stages),
+            PumpEvent::Frame(Msg::Manifest(m)) => {
+                if m.stage != config.stage {
+                    return Err(NetError::Handshake {
+                        detail: format!("manifest for stage {}, we are {}", m.stage, config.stage),
+                    });
+                }
+                if stages.is_some_and(|s| s != m.stages) {
+                    return Err(NetError::Handshake {
+                        detail: "manifest stage count contradicts welcome".to_string(),
+                    });
+                }
+                let local = stage_weight_hash(m.layer_start..m.layer_end);
+                if local != m.weight_hash {
+                    return Err(NetError::Handshake {
+                        detail: format!(
+                            "weight hash mismatch on layers {}..{}: manifest {:#x}, local {:#x}",
+                            m.layer_start, m.layer_end, m.weight_hash, local
+                        ),
+                    });
+                }
+                send_on(
+                    &control_slot,
+                    &Msg::ManifestAck(ManifestAck {
+                        stage: m.stage,
+                        weight_hash: local,
+                    })
+                    .encode()?,
+                    "control",
+                )?;
+                manifest = Some(m);
+            }
+            PumpEvent::Frame(Msg::Start) => {
+                if manifest.is_some() {
+                    break;
+                }
+                return Err(NetError::Handshake {
+                    detail: "start before manifest".to_string(),
+                });
+            }
+            PumpEvent::Frame(Msg::Shutdown) => {
+                return Err(NetError::Handshake {
+                    detail: "shut down during handshake".to_string(),
+                })
+            }
+            PumpEvent::Frame(other) => {
+                return Err(NetError::Handshake {
+                    detail: format!("unexpected {other:?} during handshake"),
+                })
+            }
+            PumpEvent::Dead(e) => return Err(e),
+            PumpEvent::Down | PumpEvent::Up => {}
+        }
+    }
+    let manifest = manifest.ok_or(NetError::Handshake {
+        detail: "no manifest".to_string(),
+    })?;
+
+    let mut worker = Worker::from_manifest(&manifest, &config, control_slot, data_slot);
+    for (tag, event) in deferred {
+        worker.handle_event(tag, event)?;
+    }
+
+    // --- Serve until Finish ---------------------------------------------
+    let mut last_activity = Instant::now();
+    loop {
+        if last_activity.elapsed() > config.op_timeout {
+            return Err(NetError::Timeout {
+                op: "serve",
+                waited: config.op_timeout,
+            });
+        }
+        worker.sweep(config.resend_after)?;
+        let Some((tag, event)) = next_event(&events, config.poll)? else {
+            continue;
+        };
+        last_activity = Instant::now();
+        match worker.handle_event(tag, event)? {
+            Some(Msg::Finish) => break,
+            Some(Msg::Shutdown) => {
+                // Aborted run: report what we have and leave.
+                control_pump.stop();
+                data_pump.stop();
+                return Ok(worker.report());
+            }
+            _ => {}
+        }
+    }
+
+    // --- Drain: serve until no in-flight frames and the link goes quiet -
+    let drain_deadline = Instant::now() + config.op_timeout;
+    let mut last_event = Instant::now();
+    loop {
+        if worker.out_tx.in_flight() == 0 && last_event.elapsed() >= config.quiet {
+            break;
+        }
+        if Instant::now() > drain_deadline {
+            return Err(NetError::Timeout {
+                op: "drain",
+                waited: config.op_timeout,
+            });
+        }
+        worker.sweep(config.resend_after)?;
+        if let Some((tag, event)) = next_event(&events, config.poll)? {
+            last_event = Instant::now();
+            worker.handle_event(tag, event)?;
+        }
+    }
+
+    let mut last_report = worker.report();
+    worker.control_send(&Msg::Done(last_report.clone()))?;
+
+    // --- Wait for Shutdown. A sweep retransmit can race the first Done:
+    // a duplicate opened now still advances counters, so any event that
+    // changes the report triggers an updated Done — the orchestrator
+    // audits whatever it last heard once the deployment is quiet. -------
+    let bye_deadline = Instant::now() + config.op_timeout;
+    loop {
+        if Instant::now() > bye_deadline {
+            return Err(NetError::Timeout {
+                op: "shutdown",
+                waited: config.op_timeout,
+            });
+        }
+        match next_event(&events, config.poll)? {
+            Some((_, PumpEvent::Frame(Msg::Shutdown))) => break,
+            Some((_, PumpEvent::Dead(e))) => return Err(e),
+            Some((tag, event)) => {
+                worker.handle_event(tag, event)?;
+                let now = worker.report();
+                if now != last_report {
+                    worker.control_send(&Msg::Done(now.clone()))?;
+                    last_report = now;
+                }
+            }
+            None => {}
+        }
+    }
+    control_pump.stop();
+    data_pump.stop();
+    Ok(last_report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Role;
+    use crate::proto::Welcome;
+    use crate::transport::duplex_pair;
+    use pipellm::partition::iteration_input;
+
+    #[test]
+    fn edge_layout_matches_the_star_topology() {
+        let manifest = ShardManifest {
+            stage: 1,
+            stages: 3,
+            layers: 6,
+            layer_start: 2,
+            layer_end: 4,
+            weight_hash: 0,
+            activation_bytes: 8,
+            micro_batches: 1,
+            iterations: 1,
+            cluster_seed: 1,
+        };
+        let config = WorkerConfig::new(1);
+        let w = Worker::from_manifest(&manifest, &config, empty_slot(), empty_slot());
+        assert_eq!(w.in_peer, 0);
+        assert_eq!(w.out_peer, 2);
+        assert_eq!(w.in_edge, WireEdge::between(0, 1));
+        assert_eq!(w.out_edge, WireEdge::between(1, 2));
+        // Middle stage: device end of its in edge, host end of its out edge.
+        assert_eq!(role_at(w.in_edge, 1), Role::ChannelDevice);
+        assert_eq!(role_at(w.out_edge, 1), Role::ChannelHost);
+    }
+
+    #[test]
+    fn single_stage_worker_serves_a_scripted_orchestrator() {
+        const SEED: u64 = 0x77;
+        const LEN: usize = 64;
+        let (ctl_orch, ctl_worker, _) = duplex_pair("ctl");
+        let (data_orch, data_worker, _) = duplex_pair("data");
+
+        let handle = std::thread::spawn(move || {
+            let mut config = WorkerConfig::new(0);
+            // The scripted peer acks at its own pace; a sweep retransmit
+            // would skew the exact IV counters this test asserts.
+            config.resend_after = Duration::from_secs(120);
+            run_worker(
+                WorkerLinks {
+                    control: Box::new(ctl_worker),
+                    data: Box::new(data_worker),
+                    data_reattach: None,
+                },
+                config,
+            )
+        });
+
+        // Generous: a starved single-core runner can stall the worker
+        // thread for seconds while other tests hold the CPU.
+        let poll = Duration::from_secs(60);
+        let (mut ctl_tx, mut ctl_rx) = Box::new(ctl_orch).split().unwrap();
+        let (mut data_tx, mut data_rx) = Box::new(data_orch).split().unwrap();
+        let recv_ctl = |rx: &mut Box<dyn crate::transport::FrameReceiver>, step: &str| {
+            let frame = rx
+                .recv_frame(poll)
+                .unwrap_or_else(|e| panic!("waiting for {step}: {e}"));
+            Msg::decode(&frame).unwrap_or_else(|e| panic!("decoding {step}: {e}"))
+        };
+
+        assert_eq!(
+            recv_ctl(&mut ctl_rx, "hello"),
+            Msg::Hello(Hello { stage: 0 }),
+            "control greeting"
+        );
+        assert_eq!(
+            recv_ctl(&mut data_rx, "data hello"),
+            Msg::DataHello { stage: 0 }
+        );
+        ctl_tx
+            .send_frame(&Msg::Welcome(Welcome { stages: 1 }).encode().unwrap())
+            .unwrap();
+        let manifest = ShardManifest {
+            stage: 0,
+            stages: 1,
+            layers: 4,
+            layer_start: 0,
+            layer_end: 4,
+            weight_hash: stage_weight_hash(0..4),
+            activation_bytes: LEN as u64,
+            micro_batches: 1,
+            iterations: 1,
+            cluster_seed: SEED,
+        };
+        ctl_tx
+            .send_frame(&Msg::Manifest(manifest).encode().unwrap())
+            .unwrap();
+        assert_eq!(
+            recv_ctl(&mut ctl_rx, "manifest ack"),
+            Msg::ManifestAck(ManifestAck {
+                stage: 0,
+                weight_hash: stage_weight_hash(0..4),
+            })
+        );
+        ctl_tx.send_frame(&Msg::Start.encode().unwrap()).unwrap();
+
+        // Host side of the stage-0 host edge: seal the input, open the
+        // worker's reply, check it equals apply_stage of the input.
+        let edge = WireEdge::between(0, HOST_NODE);
+        let mut host = EdgeCrypto::new(SEED, edge, Role::ChannelHost);
+        let input = iteration_input(SEED, 0, 0, LEN);
+        let aad = DataFrame::bind_aad(HOST_NODE, 0, 0, 0, 0, LEN as u64);
+        let sealed = host.seal(&aad, &input).unwrap();
+        data_tx
+            .send_frame(
+                &Msg::Data(DataFrame {
+                    src: HOST_NODE,
+                    dst: 0,
+                    seq: 0,
+                    epoch: 0,
+                    iteration: 0,
+                    micro_batch: 0,
+                    sealed: sealed.bytes,
+                })
+                .encode()
+                .unwrap(),
+            )
+            .unwrap();
+
+        assert_eq!(
+            recv_ctl(&mut ctl_rx, "data ack"),
+            Msg::AckData(DataAck {
+                src: HOST_NODE,
+                dst: 0,
+                seq: 0
+            })
+        );
+        let Msg::Data(reply) = recv_ctl(&mut data_rx, "stage reply") else {
+            panic!("expected the worker's output frame");
+        };
+        assert_eq!((reply.src, reply.dst), (0, HOST_NODE));
+        let out = match open_data(&mut host, &reply) {
+            RxOutcome::Plain(bytes) => bytes,
+            other => panic!("expected plaintext, got {other:?}"),
+        };
+        let mut expected = input;
+        apply_stage(0..4, &mut expected);
+        assert_eq!(out, expected, "stage output must match apply_stage");
+        ctl_tx
+            .send_frame(
+                &Msg::AckData(DataAck {
+                    src: 0,
+                    dst: HOST_NODE,
+                    seq: reply.seq,
+                })
+                .encode()
+                .unwrap(),
+            )
+            .unwrap();
+
+        ctl_tx.send_frame(&Msg::Finish.encode().unwrap()).unwrap();
+        let Msg::Done(report) = recv_ctl(&mut ctl_rx, "done report") else {
+            panic!("expected the worker's counter report");
+        };
+        assert_eq!(report.stage, 0);
+        assert_eq!(report.sentinels, 0);
+        assert_eq!(report.edges.len(), 1);
+        // One frame each way on the single host edge.
+        assert_eq!(report.edges[0].tx_iv, 2);
+        assert_eq!(report.edges[0].rx_iv, 2);
+        ctl_tx.send_frame(&Msg::Shutdown.encode().unwrap()).unwrap();
+
+        let worker_report = handle.join().unwrap().unwrap();
+        assert_eq!(worker_report, report);
+    }
+}

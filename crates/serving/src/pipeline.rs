@@ -34,12 +34,10 @@ use pipellm::edge::EdgePipeline;
 use pipellm::partition::{apply_stage, Pass, PipelineSchedule, ScheduleOp, StagePartition};
 use pipellm::stats::PipeLlmStats;
 use pipellm_chaos::{ChaosInjector, FaultKind, FaultSite, RetryPolicy};
-use pipellm_crypto::session::derive_subseed;
 use pipellm_gpu::cluster::{ClusterConfig, ClusterContext, EdgeId, NvLinkModel};
 use pipellm_gpu::memory::{DevicePtr, HostRegion, Payload};
 use pipellm_gpu::{CcMode, GpuError, IoTimingModel};
 use pipellm_sim::metrics::Samples;
-use pipellm_sim::rng::SimRng;
 use pipellm_sim::time::SimTime;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -137,18 +135,11 @@ impl Default for PipelineConfig {
     }
 }
 
-/// Deterministic input bytes for `(seed, iteration, micro_batch)`.
+/// Deterministic input bytes for `(seed, iteration, micro_batch)` — the
+/// shared generator the networked orchestrator also uses, so both
+/// deployments inject bit-identical micro-batches.
 fn input_bytes(seed: u64, iteration: usize, micro_batch: usize, len: usize) -> Vec<u8> {
-    let mut rng = SimRng::seed_from(
-        seed ^ derive_subseed(iteration as u64, 0x10) ^ derive_subseed(micro_batch as u64, 0x20),
-    );
-    let mut out = Vec::with_capacity(len);
-    while out.len() < len {
-        let bytes = rng.next_u64().to_le_bytes();
-        let take = bytes.len().min(len - out.len());
-        out.extend_from_slice(&bytes[..take]);
-    }
-    out
+    pipellm::partition::iteration_input(seed, iteration, micro_batch, len)
 }
 
 /// Pipeline-parallel serving engine over an N-device cluster.

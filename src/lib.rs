@@ -13,6 +13,8 @@
 //! - [`gpu`] — the simulated CC-enabled GPU and CUDA-level API;
 //! - [`llm`] — OPT model geometry and the GPU roofline model;
 //! - [`workloads`] — synthetic traces (Alpaca/ShareGPT/ultrachat-like);
+//! - [`net`] — the networked multi-process deployment: orchestrator and
+//!   stage workers over encrypted, length-framed byte streams;
 //! - [`serving`] — vLLM/FlexGen/PEFT-like engines;
 //! - [`bench`] — the experiment harness regenerating the paper's figures.
 //!
@@ -43,6 +45,7 @@ pub use pipellm_chaos as chaos;
 pub use pipellm_crypto as crypto;
 pub use pipellm_gpu as gpu;
 pub use pipellm_llm as llm;
+pub use pipellm_net as net;
 pub use pipellm_serving as serving;
 pub use pipellm_sim as sim;
 pub use pipellm_workloads as workloads;
