@@ -1,0 +1,298 @@
+//! The lint allowlist: named, justified exceptions to the rule catalog.
+//!
+//! Format (a TOML subset, hand-parsed so the linter stays dependency-free):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "PL002"
+//! file = "crates/crypto/src/engine.rs"
+//! pattern = "expect(\"engine mutex\")"
+//! justification = "Lock poisoning means a worker panicked; aborting is sound."
+//! ```
+//!
+//! - `rule` is mandatory and must be a known id.
+//! - `file` (optional) restricts the entry to one workspace-relative path,
+//!   or to a prefix when it ends in `*`.
+//! - `pattern` (optional) is a substring the flagged source line must
+//!   contain. At least one of `file`/`pattern` must be present, so an entry
+//!   can never silence a whole rule.
+//! - `justification` is **mandatory and non-empty** — an allowlist entry
+//!   without a reason is a configuration error that fails the lint run
+//!   (exit 2), not a warning.
+//!
+//! Entries that match nothing are themselves findings (`unused-allow`): a
+//! stale exception is a rule silently switched off.
+
+use crate::rules::{Finding, RuleId};
+
+/// One parsed `[[allow]]` entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Which rule the exception applies to.
+    pub rule: RuleId,
+    /// Path restriction (exact, or prefix when ending in `*`), if any.
+    pub file: Option<String>,
+    /// Substring of the flagged source line, if any.
+    pub pattern: Option<String>,
+    /// Why this exception is sound. Never empty.
+    pub justification: String,
+    /// 1-based line of the entry in the allowlist file.
+    pub line: u32,
+}
+
+impl AllowEntry {
+    /// Whether this entry covers `f`.
+    pub fn matches(&self, f: &Finding) -> bool {
+        if self.rule != f.rule {
+            return false;
+        }
+        if let Some(file) = &self.file {
+            let ok = match file.strip_suffix('*') {
+                Some(prefix) => f.file.starts_with(prefix),
+                None => f.file == *file,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        if let Some(pattern) = &self.pattern {
+            if !f.snippet.contains(pattern) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A parse/validation failure in the allowlist file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowlistError {
+    /// 1-based line of the offending entry or key.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AllowlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "allowlist line {}: {}", self.line, self.message)
+    }
+}
+
+/// Parses the allowlist text. Every entry is validated: unknown keys,
+/// unknown rule ids, and missing/empty `justification` are hard errors.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, AllowlistError> {
+    struct Draft {
+        rule: Option<RuleId>,
+        file: Option<String>,
+        pattern: Option<String>,
+        justification: Option<String>,
+        line: u32,
+    }
+    let mut entries = Vec::new();
+    let mut draft: Option<Draft> = None;
+    let finish = |d: Option<Draft>, entries: &mut Vec<AllowEntry>| -> Result<(), AllowlistError> {
+        let Some(d) = d else { return Ok(()) };
+        let rule = d.rule.ok_or(AllowlistError {
+            line: d.line,
+            message: "entry is missing `rule`".to_string(),
+        })?;
+        let justification = d.justification.unwrap_or_default();
+        if justification.trim().is_empty() {
+            return Err(AllowlistError {
+                line: d.line,
+                message: format!(
+                    "entry for {} is missing a `justification` — every exception must say why it is sound",
+                    rule.id()
+                ),
+            });
+        }
+        if d.file.is_none() && d.pattern.is_none() {
+            return Err(AllowlistError {
+                line: d.line,
+                message: format!(
+                    "entry for {} has neither `file` nor `pattern` — it would silence the whole rule",
+                    rule.id()
+                ),
+            });
+        }
+        entries.push(AllowEntry {
+            rule,
+            file: d.file,
+            pattern: d.pattern,
+            justification,
+            line: d.line,
+        });
+        Ok(())
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(draft.take(), &mut entries)?;
+            draft = Some(Draft {
+                rule: None,
+                file: None,
+                pattern: None,
+                justification: None,
+                line: lineno,
+            });
+            continue;
+        }
+        let Some(d) = draft.as_mut() else {
+            return Err(AllowlistError {
+                line: lineno,
+                message: "expected `[[allow]]` before the first key".to_string(),
+            });
+        };
+        let Some((key, value)) = parse_kv(line) else {
+            return Err(AllowlistError {
+                line: lineno,
+                message: format!("cannot parse `{line}` as `key = \"value\"`"),
+            });
+        };
+        match key.as_str() {
+            "rule" => {
+                d.rule = Some(RuleId::from_id(&value).ok_or(AllowlistError {
+                    line: lineno,
+                    message: format!("unknown rule id `{value}`"),
+                })?);
+            }
+            "file" => d.file = Some(value),
+            "pattern" => d.pattern = Some(value),
+            "justification" => d.justification = Some(value),
+            other => {
+                return Err(AllowlistError {
+                    line: lineno,
+                    message: format!("unknown key `{other}`"),
+                });
+            }
+        }
+    }
+    finish(draft.take(), &mut entries)?;
+    Ok(entries)
+}
+
+/// Parses `key = "value"` with `\"` / `\\` escapes inside the quotes.
+fn parse_kv(line: &str) -> Option<(String, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let key = key.trim().to_string();
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?;
+    let mut value = String::new();
+    let mut chars = inner.chars();
+    loop {
+        match chars.next()? {
+            '\\' => value.push(chars.next()?),
+            '"' => break,
+            c => value.push(c),
+        }
+    }
+    // Anything after the closing quote must be a comment or nothing.
+    let tail: String = chars.collect();
+    let tail = tail.trim();
+    if !tail.is_empty() && !tail.starts_with('#') {
+        return None;
+    }
+    Some((key, value))
+}
+
+/// Splits findings into (blocking, allowed) and reports unused entries.
+/// Returns `(blocking, allowed_with_entry_line, unused_entries)`.
+pub fn apply(
+    findings: Vec<Finding>,
+    entries: &[AllowEntry],
+) -> (Vec<Finding>, Vec<(Finding, u32)>, Vec<AllowEntry>) {
+    let mut used = vec![false; entries.len()];
+    let mut blocking = Vec::new();
+    let mut allowed = Vec::new();
+    for f in findings {
+        match entries.iter().position(|e| e.matches(&f)) {
+            Some(i) => {
+                used[i] = true;
+                allowed.push((f, entries[i].line));
+            }
+            None => blocking.push(f),
+        }
+    }
+    let unused = entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    (blocking, allowed, unused)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(src: &str) -> AllowEntry {
+        parse(src).unwrap().into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn parses_a_full_entry() {
+        let e = entry(
+            "# comment\n[[allow]]\nrule = \"PL002\"\nfile = \"a/b.rs\"\npattern = \"expect(\\\"m\\\")\"\njustification = \"because\"\n",
+        );
+        assert_eq!(e.rule.id(), "PL002");
+        assert_eq!(e.file.as_deref(), Some("a/b.rs"));
+        assert_eq!(e.pattern.as_deref(), Some("expect(\"m\")"));
+        assert_eq!(e.justification, "because");
+    }
+
+    #[test]
+    fn missing_justification_is_a_hard_error() {
+        let err = parse("[[allow]]\nrule = \"PL002\"\npattern = \"x\"\n").unwrap_err();
+        assert!(err.message.contains("justification"), "{err}");
+    }
+
+    #[test]
+    fn blank_justification_is_a_hard_error() {
+        let err = parse("[[allow]]\nrule = \"PL002\"\npattern = \"x\"\njustification = \"  \"\n")
+            .unwrap_err();
+        assert!(err.message.contains("justification"));
+    }
+
+    #[test]
+    fn entry_must_scope_to_file_or_pattern() {
+        let err = parse("[[allow]]\nrule = \"PL002\"\njustification = \"y\"\n").unwrap_err();
+        assert!(err.message.contains("neither"));
+    }
+
+    #[test]
+    fn unknown_rule_and_key_rejected() {
+        assert!(parse("[[allow]]\nrule = \"PL999\"\n").is_err());
+        assert!(parse("[[allow]]\nrule = \"PL002\"\nfoo = \"bar\"\n").is_err());
+    }
+
+    #[test]
+    fn prefix_file_globs_match() {
+        let e =
+            entry("[[allow]]\nrule = \"PL002\"\nfile = \"crates/gpu/*\"\njustification = \"z\"\n");
+        let f = Finding {
+            rule: RuleId::NoPanicInLib,
+            file: "crates/gpu/src/cluster.rs".to_string(),
+            line: 1,
+            message: String::new(),
+            snippet: "whatever".to_string(),
+        };
+        assert!(e.matches(&f));
+    }
+
+    #[test]
+    fn apply_tracks_unused_entries() {
+        let entries = parse(
+            "[[allow]]\nrule = \"PL002\"\npattern = \"never-matches\"\njustification = \"stale\"\n",
+        )
+        .unwrap();
+        let (blocking, allowed, unused) = apply(Vec::new(), &entries);
+        assert!(blocking.is_empty() && allowed.is_empty());
+        assert_eq!(unused.len(), 1);
+    }
+}

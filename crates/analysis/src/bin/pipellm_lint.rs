@@ -1,0 +1,116 @@
+//! `pipellm-lint`: enforce the workspace's crypto/net invariants.
+//!
+//! ```text
+//! pipellm-lint [--root DIR] [--allowlist FILE] [--json FILE] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` blocking findings or stale allowlist
+//! entries, `2` usage/configuration error (bad allowlist, I/O failure).
+
+use pipellm_analysis::workspace::{find_workspace_root, read_allowlist, run_lint};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+    json: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        allowlist: None,
+        json: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut path_flag = |name: &str| -> Result<PathBuf, String> {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} needs a path argument"))
+        };
+        match arg.as_str() {
+            "--root" => args.root = Some(path_flag("--root")?),
+            "--allowlist" => args.allowlist = Some(path_flag("--allowlist")?),
+            "--json" => args.json = Some(path_flag("--json")?),
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "pipellm-lint [--root DIR] [--allowlist FILE] [--json FILE] [--quiet]\n\
+                     \n\
+                     Enforces PipeLLM project invariants (PL001..PL007) over the\n\
+                     workspace. Exit 0 = clean, 1 = findings, 2 = config error."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("pipellm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "pipellm-lint: no workspace root found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let allowlist_text = match &args.allowlist {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("pipellm-lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => match read_allowlist(&root) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("pipellm-lint: cannot read lint-allow.toml: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let report = match run_lint(&root, &allowlist_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pipellm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(json_path) = &args.json {
+        if let Err(e) = std::fs::write(json_path, report.render_json()) {
+            eprintln!("pipellm-lint: cannot write {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !args.quiet || !report.is_clean() {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,221 @@
+//! Structural context over the flat token stream: delimiter depth and
+//! test-code regions.
+//!
+//! The lint rules need to know, per token, whether it sits inside test
+//! code — a `#[cfg(test)] mod … { … }`, a `#[test] fn … { … }`, or any
+//! brace group nested in one. This pass walks the token stream once,
+//! tracking a brace stack; when an attribute whose normalized spelling is
+//! `test` or contains `cfg(test)` (also `cfg(any(test,…))` /
+//! `cfg(all(test,…))`, but *not* `cfg(not(test))`) is pending, the next
+//! brace group it applies to is marked as test code, recursively.
+
+use crate::lexer::{lex, Delim, Token, TokenKind};
+
+/// A lexed source file plus the per-token context the rules consume.
+pub struct SourceFile {
+    /// Workspace-relative path (as supplied by the caller).
+    pub path: String,
+    /// The raw source lines, for snippets and allowlist pattern matching.
+    pub lines: Vec<String>,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Per-token: inside test code (`#[cfg(test)]` / `#[test]` regions).
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `src` and computes structural context.
+    pub fn parse(path: &str, src: &str) -> SourceFile {
+        let tokens = lex(src);
+        let in_test = mark_test_regions(&tokens);
+        SourceFile {
+            path: path.to_string(),
+            lines: src.lines().map(str::to_string).collect(),
+            tokens,
+            in_test,
+        }
+    }
+
+    /// The trimmed source line `line` (1-based), or `""` out of range.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line as usize - 1)
+            .map(|s| s.trim())
+            .unwrap_or("")
+    }
+
+    /// Index of the next non-comment token at or after `i`.
+    pub fn next_code(&self, i: usize) -> Option<usize> {
+        (i..self.tokens.len()).find(|&j| !self.tokens[j].is_comment())
+    }
+}
+
+/// Computes the per-token test flag (see module docs).
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    // Brace stack: `true` entries are test groups (or children of one).
+    let mut stack: Vec<bool> = Vec::new();
+    // A test-marking attribute was seen and not yet attached to an item.
+    let mut pending_test = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        if tok.is_comment() {
+            in_test[i] = stack.last().copied().unwrap_or(false);
+            i += 1;
+            continue;
+        }
+        in_test[i] = stack.last().copied().unwrap_or(false);
+        match tok.kind {
+            TokenKind::Punct('#')
+                if tokens
+                    .get(i + 1)
+                    .is_some_and(|t| t.kind == TokenKind::Open(Delim::Bracket)) =>
+            {
+                let (attr, end) = read_attribute(tokens, i + 1);
+                for flag in in_test.iter_mut().take(end + 1).skip(i) {
+                    *flag = stack.last().copied().unwrap_or(false);
+                }
+                if attr_marks_test(&attr) {
+                    pending_test = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            TokenKind::Open(Delim::Brace) => {
+                let group_is_test = pending_test || stack.last().copied().unwrap_or(false);
+                // The brace itself belongs to the group.
+                in_test[i] = group_is_test;
+                stack.push(group_is_test);
+                pending_test = false;
+            }
+            TokenKind::Close(Delim::Brace) => {
+                stack.pop();
+            }
+            TokenKind::Punct(';') => {
+                // The pending attribute attached to a braceless item
+                // (`#[cfg(test)] use …;`): nothing to mark.
+                pending_test = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Reads the attribute starting at the `[` at `open`; returns the
+/// normalized attribute text (idents and puncts, no spaces) and the index
+/// of the closing `]`.
+fn read_attribute(tokens: &[Token], open: usize) -> (String, usize) {
+    let mut depth = 0usize;
+    let mut text = String::new();
+    let mut i = open;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        match tok.kind {
+            TokenKind::Open(Delim::Bracket) => {
+                depth += 1;
+                if depth > 1 {
+                    text.push('[');
+                }
+            }
+            TokenKind::Close(Delim::Bracket) => {
+                depth -= 1;
+                if depth == 0 {
+                    return (text, i);
+                }
+                text.push(']');
+            }
+            TokenKind::Open(d) => text.push(match d {
+                Delim::Paren => '(',
+                Delim::Brace => '{',
+                Delim::Bracket => '[',
+            }),
+            TokenKind::Close(d) => text.push(match d {
+                Delim::Paren => ')',
+                Delim::Brace => '}',
+                Delim::Bracket => ']',
+            }),
+            TokenKind::Ident => text.push_str(&tok.text),
+            TokenKind::Punct(c) => text.push(c),
+            _ => text.push('_'),
+        }
+        i += 1;
+    }
+    (text, tokens.len().saturating_sub(1))
+}
+
+/// Whether a normalized attribute marks test code.
+fn attr_marks_test(attr: &str) -> bool {
+    attr == "test"
+        || attr.contains("cfg(test")
+        || attr.contains("cfg(any(test")
+        || attr.contains("cfg(all(test")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags_of(src: &str, word: &str) -> Vec<bool> {
+        let f = SourceFile::parse("x.rs", src);
+        f.tokens
+            .iter()
+            .zip(&f.in_test)
+            .filter(|(t, _)| t.is_ident(word))
+            .map(|(_, &b)| b)
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = r#"
+            fn lib_code() { target_a(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { target_b(); }
+                #[test]
+                fn case() { target_b(); }
+            }
+        "#;
+        assert_eq!(flags_of(src, "target_a"), vec![false]);
+        assert_eq!(flags_of(src, "target_b"), vec![true, true]);
+    }
+
+    #[test]
+    fn test_attr_fn_is_marked_outside_modules() {
+        let src = "#[test]\nfn case() { target(); }\nfn lib() { other(); }";
+        assert_eq!(flags_of(src, "target"), vec![true]);
+        assert_eq!(flags_of(src, "other"), vec![false]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let src = "#[cfg(not(test))]\nfn lib() { target(); }";
+        assert_eq!(flags_of(src, "target"), vec![false]);
+    }
+
+    #[test]
+    fn attr_on_use_statement_does_not_leak() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn lib() { target(); }";
+        assert_eq!(flags_of(src, "target"), vec![false]);
+    }
+
+    #[test]
+    fn nested_braces_inherit_the_test_flag() {
+        let src = "#[cfg(test)]\nmod tests { fn a() { if x { target(); } } }";
+        assert_eq!(flags_of(src, "target"), vec![true]);
+    }
+
+    #[test]
+    fn cfg_test_feature_combinations() {
+        assert_eq!(
+            flags_of(
+                "#[cfg(any(test, feature = \"x\"))]\nmod m { target(); }",
+                "target"
+            ),
+            vec![true]
+        );
+    }
+}

@@ -1,0 +1,524 @@
+//! Interleaving models of the `CryptoEngine` job queue
+//! (`crates/crypto/src/engine.rs`).
+//!
+//! Two models:
+//!
+//! - [`QueueModel`]: workers blocking on the `work` condvar via the
+//!   `next_job` predicate-under-mutex loop, submitters pushing jobs and
+//!   `notify_one`-ing, and the `Drop` shutdown path (set flag under the
+//!   lock, then `notify_all`). Proves every submitted job executes
+//!   exactly once and every worker observes shutdown, under every
+//!   schedule. The [`QueueBug::MissedShutdownBroadcast`] variant models
+//!   forgetting the `notify_all` in `Drop` — the explorer finds the
+//!   resulting deadlock (parked workers never observe the flag).
+//! - [`GangModel`]: `run_scoped`'s submitter-help protocol — gang
+//!   segments popped by workers *and* the caller, a `Latch` counting
+//!   completions, the caller blocking on the latch condvar. Proves all
+//!   segments execute exactly once and the caller always returns. The
+//!   [`GangBug::LatchCheckOutsideLock`] variant re-creates the classic
+//!   lost wakeup (predicate read outside the mutex, then sleep): a
+//!   worker can drive the latch to zero and notify in the window between
+//!   the caller's check and its sleep, so the notify finds no waiter and
+//!   the caller parks forever.
+//!
+//! In both models a condvar wait is a single atomic action (check the
+//! predicate under the lock and park), exactly the guarantee
+//! `Condvar::wait` gives real code; the buggy variants split that
+//! atomicity to expose the race window.
+
+use super::{Action, Model};
+
+/// Seeded bug for [`QueueModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueBug {
+    /// `Drop` sets the shutdown flag but never calls `notify_all`.
+    MissedShutdownBroadcast,
+}
+
+/// Program counter of one worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerPc {
+    /// About to acquire the queue mutex.
+    Idle,
+    /// Holds the queue mutex, about to run the `next_job` predicate.
+    Locked,
+    /// Parked on the `work` condvar (mutex released atomically).
+    Waiting,
+    /// Notified; must reacquire the mutex and re-run the predicate.
+    Woken,
+    /// Observed shutdown with an empty queue and exited.
+    Done,
+}
+
+/// Program counter of one submitter thread (submits exactly one job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SubmitterPc {
+    Idle,
+    Locked,
+    /// Pushed and unlocked; about to `notify_one`.
+    Notify,
+    Done,
+}
+
+/// Program counter of the shutdown (Drop) thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShutdownPc {
+    Idle,
+    Locked,
+    /// Flag set and unlocked; about to `notify_all`.
+    Broadcast,
+    Done,
+}
+
+/// The engine job-queue model. Thread ids: workers first, then
+/// submitters, then the shutdown thread.
+#[derive(Clone)]
+pub struct QueueModel {
+    bug: Option<QueueBug>,
+    queue: u32,
+    executed: u32,
+    jobs_total: u32,
+    /// Which thread holds the queue mutex, if any.
+    lock: Option<usize>,
+    shutdown: bool,
+    workers: Vec<WorkerPc>,
+    submitters: Vec<SubmitterPc>,
+    shutdown_pc: ShutdownPc,
+}
+
+impl QueueModel {
+    /// A faithful model with `workers` workers and `submitters`
+    /// submitters of one job each.
+    pub fn faithful(workers: usize, submitters: usize) -> QueueModel {
+        QueueModel {
+            bug: None,
+            queue: 0,
+            executed: 0,
+            jobs_total: submitters as u32,
+            lock: None,
+            shutdown: false,
+            workers: vec![WorkerPc::Idle; workers],
+            submitters: vec![SubmitterPc::Idle; submitters],
+            shutdown_pc: ShutdownPc::Idle,
+        }
+    }
+
+    /// The faithful model with one bug seeded in.
+    pub fn with_bug(workers: usize, submitters: usize, bug: QueueBug) -> QueueModel {
+        QueueModel {
+            bug: Some(bug),
+            ..QueueModel::faithful(workers, submitters)
+        }
+    }
+
+    fn shutdown_tid(&self) -> usize {
+        self.workers.len() + self.submitters.len()
+    }
+}
+
+impl Model for QueueModel {
+    fn actions(&self) -> Vec<Action> {
+        let mut acts = Vec::new();
+        let free = self.lock.is_none();
+        for (w, pc) in self.workers.iter().enumerate() {
+            match pc {
+                WorkerPc::Idle if free => acts.push(Action::new(w, "lock")),
+                WorkerPc::Woken if free => acts.push(Action::new(w, "relock")),
+                WorkerPc::Locked => acts.push(Action::new(w, "next_job")),
+                _ => {}
+            }
+        }
+        let base = self.workers.len();
+        for (s, pc) in self.submitters.iter().enumerate() {
+            match pc {
+                SubmitterPc::Idle if free => acts.push(Action::new(base + s, "lock")),
+                SubmitterPc::Locked => acts.push(Action::new(base + s, "push")),
+                SubmitterPc::Notify => {
+                    // notify_one picks an arbitrary waiter: branch on each.
+                    let waiters: Vec<usize> = self
+                        .workers
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &pc)| pc == WorkerPc::Waiting)
+                        .map(|(w, _)| w)
+                        .collect();
+                    if waiters.is_empty() {
+                        acts.push(Action::new(base + s, "notify_none"));
+                    } else {
+                        for w in waiters {
+                            acts.push(Action::with_arg(base + s, "notify_one", w));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Drop runs once every submitter has returned.
+        if self.submitters.iter().all(|&pc| pc == SubmitterPc::Done) {
+            let tid = self.shutdown_tid();
+            match self.shutdown_pc {
+                ShutdownPc::Idle if free => acts.push(Action::new(tid, "lock")),
+                ShutdownPc::Locked => acts.push(Action::new(tid, "set_shutdown")),
+                ShutdownPc::Broadcast => acts.push(Action::new(tid, "notify_all")),
+                _ => {}
+            }
+        }
+        acts
+    }
+
+    fn apply(&mut self, a: &Action) {
+        let t = a.thread;
+        if t < self.workers.len() {
+            match a.name {
+                "lock" | "relock" => {
+                    self.lock = Some(t);
+                    self.workers[t] = WorkerPc::Locked;
+                }
+                "next_job" => {
+                    self.lock = None;
+                    self.workers[t] = if self.queue > 0 {
+                        self.queue -= 1;
+                        self.executed += 1;
+                        WorkerPc::Idle
+                    } else if self.shutdown {
+                        WorkerPc::Done
+                    } else {
+                        // Condvar wait: release + park, atomically.
+                        WorkerPc::Waiting
+                    };
+                }
+                other => unreachable!("worker action {other}"),
+            }
+        } else if t < self.workers.len() + self.submitters.len() {
+            let s = t - self.workers.len();
+            match a.name {
+                "lock" => {
+                    self.lock = Some(t);
+                    self.submitters[s] = SubmitterPc::Locked;
+                }
+                "push" => {
+                    self.queue += 1;
+                    self.lock = None;
+                    self.submitters[s] = SubmitterPc::Notify;
+                }
+                "notify_one" => {
+                    self.workers[a.arg] = WorkerPc::Woken;
+                    self.submitters[s] = SubmitterPc::Done;
+                }
+                "notify_none" => self.submitters[s] = SubmitterPc::Done,
+                other => unreachable!("submitter action {other}"),
+            }
+        } else {
+            match a.name {
+                "lock" => {
+                    self.lock = Some(t);
+                    self.shutdown_pc = ShutdownPc::Locked;
+                }
+                "set_shutdown" => {
+                    self.shutdown = true;
+                    self.lock = None;
+                    self.shutdown_pc = ShutdownPc::Broadcast;
+                }
+                "notify_all" => {
+                    if self.bug != Some(QueueBug::MissedShutdownBroadcast) {
+                        for pc in &mut self.workers {
+                            if *pc == WorkerPc::Waiting {
+                                *pc = WorkerPc::Woken;
+                            }
+                        }
+                    }
+                    self.shutdown_pc = ShutdownPc::Done;
+                }
+                other => unreachable!("shutdown action {other}"),
+            }
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        self.workers.iter().all(|&pc| pc == WorkerPc::Done)
+            && self.submitters.iter().all(|&pc| pc == SubmitterPc::Done)
+            && self.shutdown_pc == ShutdownPc::Done
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        if self.executed > self.jobs_total {
+            return Err(format!(
+                "executed {} of {} jobs — a job ran twice",
+                self.executed, self.jobs_total
+            ));
+        }
+        Ok(())
+    }
+
+    fn on_complete(&self) -> Result<(), String> {
+        if self.executed != self.jobs_total {
+            return Err(format!(
+                "only {} of {} jobs executed",
+                self.executed, self.jobs_total
+            ));
+        }
+        if self.queue != 0 {
+            return Err(format!("{} job(s) stranded in the queue", self.queue));
+        }
+        Ok(())
+    }
+}
+
+/// Seeded bug for [`GangModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GangBug {
+    /// The caller reads `latch.remaining` without the latch mutex, then
+    /// parks as a separate step — the textbook lost wakeup.
+    LatchCheckOutsideLock,
+}
+
+/// Program counter of the gang caller (`run_scoped`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallerPc {
+    /// Submitter-help loop: try to pop a gang segment.
+    Helping,
+    /// Popped a segment, about to execute it.
+    Exec,
+    /// Gang queue drained; about to wait on the latch.
+    WaitEntry,
+    /// (Buggy path) read `remaining > 0` outside the lock; about to park.
+    PreSleep,
+    /// Parked on the latch condvar.
+    Waiting,
+    /// Notified; about to re-check the latch.
+    Woken,
+    Done,
+}
+
+/// Program counter of one gang worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GangWorkerPc {
+    /// Try to pop a gang segment.
+    Popping,
+    /// Popped a segment, about to execute it.
+    Exec,
+    Done,
+}
+
+/// The `run_scoped` gang/latch model. Thread 0 is the caller; workers
+/// follow. All `segments` segments start already pushed to the gang
+/// queue (the push happens before any modeled race window).
+#[derive(Clone)]
+pub struct GangModel {
+    bug: Option<GangBug>,
+    gang_queue: u32,
+    remaining: u32,
+    segments: u32,
+    executed: u32,
+    caller: CallerPc,
+    workers: Vec<GangWorkerPc>,
+}
+
+impl GangModel {
+    /// A faithful model with `segments` gang segments and `workers`
+    /// helper workers (the caller also helps).
+    pub fn faithful(segments: u32, workers: usize) -> GangModel {
+        GangModel {
+            bug: None,
+            gang_queue: segments,
+            remaining: segments,
+            segments,
+            executed: 0,
+            caller: CallerPc::Helping,
+            workers: vec![GangWorkerPc::Popping; workers],
+        }
+    }
+
+    /// The faithful model with one bug seeded in.
+    pub fn with_bug(segments: u32, workers: usize, bug: GangBug) -> GangModel {
+        GangModel {
+            bug: Some(bug),
+            ..GangModel::faithful(segments, workers)
+        }
+    }
+
+    /// Atomic `Latch::complete_one`: decrement under the latch mutex and
+    /// notify if it hit zero. Wakes the caller only if it is already
+    /// parked — a notify with no waiter is lost, as in real condvars.
+    fn complete_segment(&mut self) {
+        self.remaining -= 1;
+        self.executed += 1;
+        if self.remaining == 0 && self.caller == CallerPc::Waiting {
+            self.caller = CallerPc::Woken;
+        }
+    }
+}
+
+impl Model for GangModel {
+    fn actions(&self) -> Vec<Action> {
+        let mut acts = Vec::new();
+        match self.caller {
+            CallerPc::Helping => acts.push(Action::new(0, "try_pop_gang")),
+            CallerPc::Exec => acts.push(Action::new(0, "exec_segment")),
+            CallerPc::WaitEntry => acts.push(Action::new(
+                0,
+                if self.bug == Some(GangBug::LatchCheckOutsideLock) {
+                    "latch_check_nolock"
+                } else {
+                    "latch_check_and_wait"
+                },
+            )),
+            CallerPc::PreSleep => acts.push(Action::new(0, "latch_park")),
+            CallerPc::Woken => acts.push(Action::new(0, "latch_recheck")),
+            CallerPc::Waiting | CallerPc::Done => {}
+        }
+        for (w, pc) in self.workers.iter().enumerate() {
+            match pc {
+                GangWorkerPc::Popping => acts.push(Action::new(1 + w, "try_pop_gang")),
+                GangWorkerPc::Exec => acts.push(Action::new(1 + w, "exec_segment")),
+                GangWorkerPc::Done => {}
+            }
+        }
+        acts
+    }
+
+    fn apply(&mut self, a: &Action) {
+        if a.thread == 0 {
+            match a.name {
+                "try_pop_gang" => {
+                    self.caller = if self.gang_queue > 0 {
+                        self.gang_queue -= 1;
+                        CallerPc::Exec
+                    } else {
+                        CallerPc::WaitEntry
+                    };
+                }
+                "exec_segment" => {
+                    self.complete_segment();
+                    self.caller = CallerPc::Helping;
+                }
+                // Faithful: predicate + park in one atomic step under the
+                // latch mutex (what Condvar::wait guarantees).
+                "latch_check_and_wait" | "latch_recheck" => {
+                    self.caller = if self.remaining > 0 {
+                        CallerPc::Waiting
+                    } else {
+                        CallerPc::Done
+                    };
+                }
+                // Buggy: the read and the park are separate steps, so a
+                // worker's complete+notify can land in between.
+                "latch_check_nolock" => {
+                    self.caller = if self.remaining > 0 {
+                        CallerPc::PreSleep
+                    } else {
+                        CallerPc::Done
+                    };
+                }
+                "latch_park" => self.caller = CallerPc::Waiting,
+                other => unreachable!("caller action {other}"),
+            }
+        } else {
+            let w = a.thread - 1;
+            match a.name {
+                "try_pop_gang" => {
+                    self.workers[w] = if self.gang_queue > 0 {
+                        self.gang_queue -= 1;
+                        GangWorkerPc::Exec
+                    } else {
+                        // Gang drained: in the real engine the worker goes
+                        // back to the background queue; here it is done.
+                        GangWorkerPc::Done
+                    };
+                }
+                "exec_segment" => {
+                    self.complete_segment();
+                    self.workers[w] = GangWorkerPc::Popping;
+                }
+                other => unreachable!("worker action {other}"),
+            }
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        self.caller == CallerPc::Done && self.workers.iter().all(|&pc| pc == GangWorkerPc::Done)
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        if self.executed > self.segments {
+            return Err(format!(
+                "executed {} of {} segments — a segment ran twice",
+                self.executed, self.segments
+            ));
+        }
+        Ok(())
+    }
+
+    fn on_complete(&self) -> Result<(), String> {
+        if self.executed != self.segments {
+            return Err(format!(
+                "only {} of {} segments executed",
+                self.executed, self.segments
+            ));
+        }
+        if self.remaining != 0 {
+            return Err(format!("latch stuck at {}", self.remaining));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interleave::{Explorer, Violation};
+
+    #[test]
+    fn queue_model_is_race_free_under_all_schedules() {
+        let stats = Explorer::default()
+            .explore(&QueueModel::faithful(2, 2))
+            .expect("faithful queue model must pass every schedule");
+        assert!(
+            stats.schedules >= 1000,
+            "want >= 1000 schedules, explored {}",
+            stats.schedules
+        );
+    }
+
+    #[test]
+    fn missed_shutdown_broadcast_deadlocks() {
+        let err = Explorer::default()
+            .explore(&QueueModel::with_bug(
+                2,
+                1,
+                QueueBug::MissedShutdownBroadcast,
+            ))
+            .expect_err("a worker parked across shutdown must hang");
+        assert!(
+            matches!(err, Violation::Deadlock { .. }),
+            "expected deadlock, got {}",
+            err.render_trace()
+        );
+    }
+
+    #[test]
+    fn gang_model_is_race_free_under_all_schedules() {
+        let stats = Explorer::default()
+            .explore(&GangModel::faithful(3, 2))
+            .expect("faithful gang model must pass every schedule");
+        assert!(
+            stats.schedules >= 1000,
+            "want >= 1000 schedules, explored {}",
+            stats.schedules
+        );
+    }
+
+    #[test]
+    fn latch_check_outside_lock_loses_the_wakeup() {
+        let err = Explorer::default()
+            .explore(&GangModel::with_bug(2, 1, GangBug::LatchCheckOutsideLock))
+            .expect_err("check-then-park must lose a wakeup in some schedule");
+        match &err {
+            Violation::Deadlock { trace } => {
+                // The losing schedule parks after the final completion.
+                assert!(trace.iter().any(|a| a.name == "latch_park"));
+            }
+            other => panic!("expected deadlock, got {}", other.render_trace()),
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Interleaving model of the ARQ link epoch/IV state machine
+//! (`crates/net/src/link.rs`).
+//!
+//! [`LinkModel`] captures the pieces whose *interaction* is dangerous:
+//!
+//! - the sender's `EdgeCrypto` — a monotone `(epoch, iv)` counter pair
+//!   where `rekey_to` bumps the epoch and resets the IV counter, and
+//!   every seal consumes exactly one IV;
+//! - the wire — a multiset of in-flight frames delivered (or corrupted,
+//!   or dropped) in any order;
+//! - the receiver's `open_data` — stale-epoch frames dropped without
+//!   burning an IV, future-epoch frames fast-forwarding the receive
+//!   epoch, corrupt frames turned into sentinels plus a NACK;
+//! - recovery — NACK-triggered reseal at a *fresh* IV, and the
+//!   level-triggered resend sweep for frames lost on the wire.
+//!
+//! The explorer checks, under every interleaving of delivery, fault
+//! injection, rekey, NACK-reseal and resend-sweep:
+//!
+//! 1. **No IV reuse**: no two seals ever use the same `(epoch, iv)`.
+//! 2. **No stale-epoch open**: an accepted frame's epoch equals the
+//!    receiver's epoch at open time.
+//! 3. **Completeness**: every payload is eventually delivered exactly
+//!    once, with nothing left on the wire or in the NACK queue.
+//!
+//! Buggy variants prove the checker detects each class:
+//! [`LinkBug::ResealReusesIv`] (NACK reseal replays the original
+//! counter), [`LinkBug::RekeyKeepsEpoch`] (IV counter reset without an
+//! epoch bump), and [`LinkBug::NoStaleEpochCheck`] (receiver opens
+//! old-epoch frames after a rekey).
+
+use super::{Action, Model};
+
+/// Seeded bug for [`LinkModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkBug {
+    /// NACK reseal re-sends the original `(epoch, iv)` instead of
+    /// consuming a fresh IV.
+    ResealReusesIv,
+    /// Rekey resets the IV counter but forgets to bump the epoch, so
+    /// subsequent seals replay `(epoch, 1)`, `(epoch, 2)`, ….
+    RekeyKeepsEpoch,
+    /// The receiver skips the `frame.epoch < rx_epoch` check and opens
+    /// frames sealed under a retired epoch.
+    NoStaleEpochCheck,
+}
+
+/// One sealed frame in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Frame {
+    seq: usize,
+    epoch: u32,
+    iv: u32,
+    corrupt: bool,
+}
+
+/// Thread ids used in traces: 0 = sender, 1 = receiver/network, 2 = chaos.
+const TX: usize = 0;
+const RX: usize = 1;
+const CHAOS: usize = 2;
+
+/// The ARQ link model. `N` payloads (seqs) must all arrive despite one
+/// corruption, one wire drop, and one rekey racing the recovery paths.
+#[derive(Clone)]
+pub struct LinkModel {
+    bug: Option<LinkBug>,
+    n: usize,
+    // --- sender ---
+    tx_epoch: u32,
+    tx_next_iv: u32,
+    /// Every `(epoch, iv)` ever consumed by a seal, in order.
+    sealed: Vec<(u32, u32)>,
+    /// Per seq: the `(epoch, iv)` of its first seal (for the reuse bug).
+    first_seal: Vec<Option<(u32, u32)>>,
+    sent_initial: Vec<bool>,
+    acked: Vec<bool>,
+    nacks: Vec<usize>,
+    // --- wire ---
+    wire: Vec<Frame>,
+    // --- receiver ---
+    rx_epoch: u32,
+    delivered: Vec<bool>,
+    // --- chaos budgets ---
+    rekey_budget: u32,
+    corrupt_budget: u32,
+    drop_budget: u32,
+    /// Set by `apply` when a step observes a broken invariant.
+    violation: Option<String>,
+}
+
+impl LinkModel {
+    /// A faithful model carrying `n` payloads.
+    pub fn faithful(n: usize) -> LinkModel {
+        LinkModel {
+            bug: None,
+            n,
+            tx_epoch: 0,
+            tx_next_iv: 1,
+            sealed: Vec::new(),
+            first_seal: vec![None; n],
+            sent_initial: vec![false; n],
+            acked: vec![false; n],
+            nacks: Vec::new(),
+            wire: Vec::new(),
+            rx_epoch: 0,
+            delivered: vec![false; n],
+            rekey_budget: 1,
+            corrupt_budget: 1,
+            drop_budget: 1,
+            violation: None,
+        }
+    }
+
+    /// The faithful model with one bug seeded in.
+    pub fn with_bug(n: usize, bug: LinkBug) -> LinkModel {
+        LinkModel {
+            bug: Some(bug),
+            ..LinkModel::faithful(n)
+        }
+    }
+
+    /// Seals `seq` at a chosen `(epoch, iv)`, recording the consumption
+    /// and checking uniqueness — the IV-reuse invariant lives here.
+    fn seal_at(&mut self, seq: usize, epoch: u32, iv: u32) {
+        if self.sealed.contains(&(epoch, iv)) {
+            self.violation = Some(format!(
+                "IV reuse: (epoch {epoch}, iv {iv}) consumed twice (seq {seq})"
+            ));
+        }
+        self.sealed.push((epoch, iv));
+        if self.first_seal[seq].is_none() {
+            self.first_seal[seq] = Some((epoch, iv));
+        }
+        self.wire.push(Frame {
+            seq,
+            epoch,
+            iv,
+            corrupt: false,
+        });
+    }
+
+    /// Seals `seq` with a fresh IV from the live counter.
+    fn seal_fresh(&mut self, seq: usize) {
+        let (epoch, iv) = (self.tx_epoch, self.tx_next_iv);
+        self.tx_next_iv += 1;
+        self.seal_at(seq, epoch, iv);
+    }
+
+    /// Whether `seq` has no copy in flight and no pending NACK — the
+    /// level-trigger for the resend sweep.
+    fn needs_sweep(&self, seq: usize) -> bool {
+        !self.acked[seq]
+            && self.sent_initial[seq]
+            && !self.wire.iter().any(|f| f.seq == seq)
+            && !self.nacks.contains(&seq)
+    }
+}
+
+impl Model for LinkModel {
+    fn actions(&self) -> Vec<Action> {
+        let mut acts = Vec::new();
+        // Sender: initial sends, NACK reseals, resend sweep.
+        for seq in 0..self.n {
+            if !self.sent_initial[seq] {
+                acts.push(Action::with_arg(TX, "send_initial", seq));
+            }
+            if self.needs_sweep(seq) {
+                acts.push(Action::with_arg(TX, "resend_sweep", seq));
+            }
+        }
+        if !self.nacks.is_empty() {
+            acts.push(Action::new(TX, "nack_reseal"));
+        }
+        // Receiver/network: deliver any in-flight frame, in any order.
+        for i in 0..self.wire.len() {
+            acts.push(Action::with_arg(RX, "deliver", i));
+        }
+        // Chaos: corrupt or drop an in-flight frame, or force a rekey.
+        if self.corrupt_budget > 0 {
+            for (i, f) in self.wire.iter().enumerate() {
+                if !f.corrupt {
+                    acts.push(Action::with_arg(CHAOS, "corrupt", i));
+                }
+            }
+        }
+        if self.drop_budget > 0 {
+            for i in 0..self.wire.len() {
+                acts.push(Action::with_arg(CHAOS, "drop", i));
+            }
+        }
+        if self.rekey_budget > 0 {
+            acts.push(Action::new(CHAOS, "rekey"));
+        }
+        acts
+    }
+
+    fn apply(&mut self, a: &Action) {
+        match a.name {
+            "send_initial" => {
+                self.sent_initial[a.arg] = true;
+                self.seal_fresh(a.arg);
+            }
+            "resend_sweep" => self.seal_fresh(a.arg),
+            "nack_reseal" => {
+                let seq = self.nacks.remove(0);
+                if self.bug == Some(LinkBug::ResealReusesIv) {
+                    // Replays the original counter instead of burning a
+                    // fresh one.
+                    let Some((epoch, iv)) = self.first_seal[seq] else {
+                        self.violation = Some(format!("NACK for seq {seq} that was never sealed"));
+                        return;
+                    };
+                    self.seal_at(seq, epoch, iv);
+                } else {
+                    self.seal_fresh(seq);
+                }
+            }
+            "deliver" => {
+                let f = self.wire.remove(a.arg);
+                if f.epoch < self.rx_epoch && self.bug != Some(LinkBug::NoStaleEpochCheck) {
+                    // StaleEpoch: dropped without burning a receive IV —
+                    // a retransmit (sweep) will recover the payload.
+                    return;
+                }
+                if f.epoch > self.rx_epoch {
+                    // Future epoch: fast-forward, as the receiver does on
+                    // the first frame after a rekey.
+                    self.rx_epoch = f.epoch;
+                }
+                if f.epoch != self.rx_epoch {
+                    self.violation = Some(format!(
+                        "stale-epoch open: frame epoch {} opened at rx epoch {} (seq {})",
+                        f.epoch, self.rx_epoch, f.seq
+                    ));
+                }
+                if f.corrupt {
+                    // Sentinel path: the slot is poisoned and a NACK goes
+                    // back; no delivery.
+                    if !self.nacks.contains(&f.seq) {
+                        self.nacks.push(f.seq);
+                    }
+                    return;
+                }
+                if !self.delivered[f.seq] {
+                    self.delivered[f.seq] = true;
+                    self.acked[f.seq] = true;
+                }
+                // Duplicates (late copies after a reseal) are dropped.
+            }
+            "corrupt" => {
+                self.corrupt_budget -= 1;
+                self.wire[a.arg].corrupt = true;
+            }
+            "drop" => {
+                self.drop_budget -= 1;
+                self.wire.remove(a.arg);
+            }
+            "rekey" => {
+                self.rekey_budget -= 1;
+                if self.bug != Some(LinkBug::RekeyKeepsEpoch) {
+                    self.tx_epoch += 1;
+                }
+                self.tx_next_iv = 1;
+            }
+            other => unreachable!("link action {other}"),
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        self.acked.iter().all(|&a| a) && self.wire.is_empty() && self.nacks.is_empty()
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        match &self.violation {
+            Some(v) => Err(v.clone()),
+            None => Ok(()),
+        }
+    }
+
+    fn on_complete(&self) -> Result<(), String> {
+        if let Some(seq) = (0..self.n).find(|&s| !self.delivered[s]) {
+            return Err(format!("payload {seq} never delivered"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interleave::{Explorer, Violation};
+
+    #[test]
+    fn faithful_link_survives_all_schedules() {
+        let stats = Explorer::default()
+            .explore(&LinkModel::faithful(2))
+            .expect("faithful link model must pass every schedule");
+        assert!(
+            stats.schedules >= 1000,
+            "want >= 1000 schedules, explored {}",
+            stats.schedules
+        );
+    }
+
+    fn expect_invariant(bug: LinkBug, needle: &str) {
+        let err = Explorer::default()
+            .explore(&LinkModel::with_bug(2, bug))
+            .expect_err("seeded bug must be caught");
+        match &err {
+            Violation::Invariant { message, .. } => {
+                assert!(message.contains(needle), "{message}");
+            }
+            other => panic!("expected invariant violation, got {}", other.render_trace()),
+        }
+    }
+
+    #[test]
+    fn reseal_reusing_the_original_iv_is_caught() {
+        expect_invariant(LinkBug::ResealReusesIv, "IV reuse");
+    }
+
+    #[test]
+    fn rekey_without_epoch_bump_is_caught() {
+        expect_invariant(LinkBug::RekeyKeepsEpoch, "IV reuse");
+    }
+
+    #[test]
+    fn missing_stale_epoch_check_is_caught() {
+        expect_invariant(LinkBug::NoStaleEpochCheck, "stale-epoch open");
+    }
+}

@@ -1,0 +1,536 @@
+//! A hand-rolled Rust lexer: source text → a flat token stream with line
+//! numbers.
+//!
+//! This is deliberately *not* a parser. The lint rules in [`crate::rules`]
+//! work on token shapes (an `unsafe` keyword followed by `{`, a `.` `ident`
+//! `(` method-call spine, a literal in assignment position), which a flat
+//! stream plus the delimiter structure recovered in [`crate::context`]
+//! expresses exactly. What the lexer must get right is everything that
+//! would make token shapes lie: comments (line, block — nested — and doc),
+//! string/char/byte literals with escapes, raw strings with `#` fences,
+//! lifetimes vs. char literals, raw identifiers, and numeric literals with
+//! separators/suffixes. All of those are handled below; anything else is a
+//! single-character punct token.
+
+/// The bracket family of a delimiter token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `(` / `)`
+    Paren,
+    /// `[` / `]`
+    Bracket,
+    /// `{` / `}`
+    Brace,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `fn`, `next_iv`, …). Raw
+    /// identifiers (`r#match`) are stored without the `r#` prefix.
+    Ident,
+    /// A lifetime (`'a`, `'static`). Stored without the leading `'`.
+    Lifetime,
+    /// A string literal (`"…"`, `r"…"`, `r#"…"#`). Text is the *content*
+    /// (escapes left as written).
+    Str,
+    /// A byte-string literal (`b"…"`, `br#"…"#`). Text is the content.
+    ByteStr,
+    /// A char or byte literal (`'x'`, `b'\n'`). Text is the content.
+    CharLit,
+    /// A numeric literal. `value` carries the parsed integer when the
+    /// literal is integral and fits in `u128`.
+    Num {
+        /// Parsed integer value (decimal/hex/octal/binary), if integral.
+        value: Option<u128>,
+    },
+    /// A single punctuation character that is not a delimiter.
+    Punct(char),
+    /// An opening delimiter.
+    Open(Delim),
+    /// A closing delimiter.
+    Close(Delim),
+    /// A `//` comment, including `///` and `//!` doc comments. Text is the
+    /// full comment without the newline.
+    LineComment,
+    /// A `/* … */` comment (nesting handled), including `/** … */` docs.
+    BlockComment,
+}
+
+/// A token plus its location.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// The token's text (see [`TokenKind`] for what exactly is stored).
+    pub text: String,
+}
+
+impl Token {
+    /// Whether this token is a (line or block) comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this token is the identifier/keyword `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// Whether this token is the punctuation character `c` (delimiters
+    /// included).
+    pub fn is_punct(&self, c: char) -> bool {
+        match self.kind {
+            TokenKind::Punct(p) => p == c,
+            TokenKind::Open(d) => c == open_char(d),
+            TokenKind::Close(d) => c == close_char(d),
+            _ => false,
+        }
+    }
+}
+
+fn open_char(d: Delim) -> char {
+    match d {
+        Delim::Paren => '(',
+        Delim::Bracket => '[',
+        Delim::Brace => '{',
+    }
+}
+
+fn close_char(d: Delim) -> char {
+    match d {
+        Delim::Paren => ')',
+        Delim::Bracket => ']',
+        Delim::Brace => '}',
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a flat token stream. Never fails: unterminated
+/// constructs are closed at end of input (the linter must degrade
+/// gracefully on half-written code), and unknown bytes become punct tokens.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = c.peek() {
+        let line = c.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                let start = c.pos;
+                while c.peek().is_some_and(|b| b != b'\n') {
+                    c.bump();
+                }
+                out.push(token(TokenKind::LineComment, line, &src[start..c.pos]));
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                let start = c.pos;
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.push(token(TokenKind::BlockComment, line, &src[start..c.pos]));
+            }
+            b'r' if matches!(c.peek_at(1), Some(b'"') | Some(b'#')) && raw_string_ahead(&c, 1) => {
+                let text = lex_raw_string(&mut c, 1);
+                out.push(token(TokenKind::Str, line, &text));
+            }
+            b'b' if c.peek_at(1) == Some(b'"') => {
+                c.bump();
+                let text = lex_quoted(&mut c, b'"');
+                out.push(token(TokenKind::ByteStr, line, &text));
+            }
+            b'b' if c.peek_at(1) == Some(b'r') && raw_string_ahead(&c, 2) => {
+                c.bump();
+                let text = lex_raw_string(&mut c, 1);
+                out.push(token(TokenKind::ByteStr, line, &text));
+            }
+            b'b' if c.peek_at(1) == Some(b'\'') => {
+                c.bump();
+                let text = lex_quoted(&mut c, b'\'');
+                out.push(token(TokenKind::CharLit, line, &text));
+            }
+            b'r' if c.peek_at(1) == Some(b'#') && c.peek_at(2).is_some_and(is_ident_start) => {
+                // Raw identifier r#ident.
+                c.bump();
+                c.bump();
+                let start = c.pos;
+                while c.peek().is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                out.push(token(TokenKind::Ident, line, &src[start..c.pos]));
+            }
+            b'"' => {
+                let text = lex_quoted(&mut c, b'"');
+                out.push(token(TokenKind::Str, line, &text));
+            }
+            b'\'' => {
+                // Lifetime or char literal. A lifetime is `'` ident NOT
+                // followed by a closing `'` (so `'a'` is a char, `'a` a
+                // lifetime; `'\n'` is always a char).
+                let mut ahead = 1;
+                let mut is_lifetime = false;
+                if c.peek_at(1).is_some_and(is_ident_start) && c.peek_at(1) != Some(b'\\') {
+                    while c.peek_at(ahead).is_some_and(is_ident_continue) {
+                        ahead += 1;
+                    }
+                    is_lifetime = ahead > 1 && c.peek_at(ahead) != Some(b'\'');
+                }
+                if is_lifetime {
+                    c.bump();
+                    let start = c.pos;
+                    while c.peek().is_some_and(is_ident_continue) {
+                        c.bump();
+                    }
+                    out.push(token(TokenKind::Lifetime, line, &src[start..c.pos]));
+                } else {
+                    let text = lex_quoted(&mut c, b'\'');
+                    out.push(token(TokenKind::CharLit, line, &text));
+                }
+            }
+            b'0'..=b'9' => {
+                let start = c.pos;
+                let radix = match (b, c.peek_at(1)) {
+                    (b'0', Some(b'x' | b'X')) => 16,
+                    (b'0', Some(b'o' | b'O')) => 8,
+                    (b'0', Some(b'b' | b'B')) => 2,
+                    _ => 10,
+                };
+                if radix != 10 {
+                    c.bump();
+                    c.bump();
+                }
+                let digits_start = c.pos;
+                let mut is_float = false;
+                while let Some(d) = c.peek() {
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        c.bump();
+                    } else if radix == 10
+                        && d == b'.'
+                        && c.peek_at(1).is_some_and(|n| n.is_ascii_digit())
+                    {
+                        is_float = true;
+                        c.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let value = if is_float {
+                    None
+                } else {
+                    let digits: String = src[digits_start..c.pos]
+                        .chars()
+                        .take_while(|ch| {
+                            ch.is_ascii_digit()
+                                || ch.is_ascii_hexdigit() && radix == 16
+                                || *ch == '_'
+                        })
+                        .filter(|ch| *ch != '_')
+                        .collect();
+                    u128::from_str_radix(&digits, radix).ok()
+                };
+                out.push(token(TokenKind::Num { value }, line, &src[start..c.pos]));
+            }
+            _ if is_ident_start(b) => {
+                let start = c.pos;
+                while c.peek().is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                out.push(token(TokenKind::Ident, line, &src[start..c.pos]));
+            }
+            b'(' => delim(&mut c, &mut out, line, TokenKind::Open(Delim::Paren)),
+            b')' => delim(&mut c, &mut out, line, TokenKind::Close(Delim::Paren)),
+            b'[' => delim(&mut c, &mut out, line, TokenKind::Open(Delim::Bracket)),
+            b']' => delim(&mut c, &mut out, line, TokenKind::Close(Delim::Bracket)),
+            b'{' => delim(&mut c, &mut out, line, TokenKind::Open(Delim::Brace)),
+            b'}' => delim(&mut c, &mut out, line, TokenKind::Close(Delim::Brace)),
+            _ => {
+                c.bump();
+                out.push(token(TokenKind::Punct(b as char), line, ""));
+            }
+        }
+    }
+    out
+}
+
+fn token(kind: TokenKind, line: u32, text: &str) -> Token {
+    Token {
+        kind,
+        line,
+        text: text.to_string(),
+    }
+}
+
+fn delim(c: &mut Cursor<'_>, out: &mut Vec<Token>, line: u32, kind: TokenKind) {
+    c.bump();
+    out.push(token(kind, line, ""));
+}
+
+/// Whether `r`/`br` at the cursor (with the `r` at `offset - 1` positions
+/// ahead… i.e. checking from `r_at` characters ahead) actually starts a raw
+/// string: `r` followed by zero or more `#` then `"`.
+fn raw_string_ahead(c: &Cursor<'_>, r_at: usize) -> bool {
+    let mut i = r_at;
+    while c.peek_at(i) == Some(b'#') {
+        i += 1;
+    }
+    c.peek_at(i) == Some(b'"')
+}
+
+/// Lexes a raw string starting at the cursor's `r` (cursor is on `r`; the
+/// caller has consumed any `b` prefix adjustments so that `skip` characters
+/// from the cursor is where the `#` fence begins). Returns the content.
+fn lex_raw_string(c: &mut Cursor<'_>, skip: usize) -> String {
+    for _ in 0..skip {
+        c.bump();
+    }
+    let mut fences = 0usize;
+    while c.peek() == Some(b'#') {
+        fences += 1;
+        c.bump();
+    }
+    c.bump(); // opening quote
+    let start = c.pos;
+    let end;
+    loop {
+        match c.peek() {
+            None => {
+                end = c.pos;
+                break;
+            }
+            Some(b'"') => {
+                let candidate_end = c.pos;
+                c.bump();
+                let mut seen = 0usize;
+                while seen < fences && c.peek() == Some(b'#') {
+                    seen += 1;
+                    c.bump();
+                }
+                if seen == fences {
+                    end = candidate_end;
+                    break;
+                }
+            }
+            Some(_) => {
+                c.bump();
+            }
+        }
+    }
+    String::from_utf8_lossy(&c.src[start..end]).into_owned()
+}
+
+/// Lexes a `"…"` or `'…'` literal with escape handling; the cursor is on
+/// the opening quote. Returns the content (escapes left as written).
+fn lex_quoted(c: &mut Cursor<'_>, quote: u8) -> String {
+    c.bump();
+    let start = c.pos;
+    let end;
+    loop {
+        match c.peek() {
+            None => {
+                end = c.pos;
+                break;
+            }
+            Some(b'\\') => {
+                c.bump();
+                c.bump();
+            }
+            Some(b) if b == quote => {
+                end = c.pos;
+                c.bump();
+                break;
+            }
+            Some(_) => {
+                c.bump();
+            }
+        }
+    }
+    String::from_utf8_lossy(&c.src[start..end]).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let toks = lex("unsafe { foo.bar()?; }");
+        assert!(toks[0].is_ident("unsafe"));
+        assert_eq!(toks[1].kind, TokenKind::Open(Delim::Brace));
+        assert!(toks[2].is_ident("foo"));
+        assert!(toks[3].is_punct('.'));
+        assert!(toks[4].is_ident("bar"));
+        assert!(toks[7].is_punct('?'));
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text() {
+        let toks = lex("// SAFETY: fine\nlet x = 1; /* block\nstill */ y");
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert!(toks[0].text.contains("SAFETY"));
+        assert_eq!(toks[0].line, 1);
+        let block = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::BlockComment)
+            .unwrap();
+        assert!(block.text.contains("still"));
+        // Token after the two-line block comment lands on line 3.
+        assert_eq!(toks.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* a /* nested */ b */ x");
+        assert_eq!(toks.len(), 2);
+        assert!(toks[1].is_ident("x"));
+    }
+
+    #[test]
+    fn strings_chars_and_lifetimes() {
+        let toks = lex(r#"let s = "has // no comment"; let c = 'a'; fn f<'a>(x: &'a str) {}"#);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text.contains("no comment")));
+        assert!(!toks.iter().any(|t| t.is_comment()));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::CharLit && t.text == "a"));
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn static_lifetime_and_escaped_char() {
+        let toks = lex(r"&'static str; '\n'; '\''");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "static"));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::CharLit).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = lex(r####"let a = r#"raw "inner" end"#; let b = b"PL"; let c = br#"x"#;"####);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text == r#"raw "inner" end"#));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::ByteStr && t.text == "PL"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::ByteStr && t.text == "x"));
+    }
+
+    #[test]
+    fn numeric_literal_values() {
+        let toks = lex("64 << 20; 0x504C; 1_000_000u64; 2.5f32; 0b1010");
+        let nums: Vec<Option<u128>> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Num { value } => Some(value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            nums,
+            vec![
+                Some(64),
+                Some(20),
+                Some(0x504C),
+                Some(1_000_000),
+                None,
+                Some(10)
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = lex("r#type");
+        assert_eq!(toks.len(), 1);
+        assert!(toks[0].is_ident("type"));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_hang() {
+        assert!(!kinds("\"unterminated").is_empty());
+        assert!(!kinds("/* unterminated").is_empty());
+        assert!(!kinds("r#\"unterminated").is_empty());
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let toks = lex("a\nb\n\"x\ny\"\nc");
+        let c = toks.iter().find(|t| t.is_ident("c")).unwrap();
+        assert_eq!(c.line, 5);
+    }
+}

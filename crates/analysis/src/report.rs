@@ -1,0 +1,208 @@
+//! Diagnostic rendering: human-readable text and the machine-readable JSON
+//! report CI uploads as an artifact.
+
+use crate::allowlist::AllowEntry;
+use crate::rules::{Finding, RuleId};
+use std::collections::BTreeMap;
+
+/// Everything one lint run produced.
+pub struct LintReport {
+    /// Workspace root the run scanned.
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings not covered by the allowlist — any of these fails the run.
+    pub blocking: Vec<Finding>,
+    /// Findings covered by an allowlist entry (entry line attached).
+    pub allowed: Vec<(Finding, u32)>,
+    /// Allowlist entries that matched nothing — also failing.
+    pub unused_allows: Vec<AllowEntry>,
+}
+
+impl LintReport {
+    /// Whether the run passes (no blocking findings, no stale allows).
+    pub fn is_clean(&self) -> bool {
+        self.blocking.is_empty() && self.unused_allows.is_empty()
+    }
+
+    /// `file:line: [PLxxx] message` diagnostics, blocking first.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.blocking {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n    {}\n",
+                f.file,
+                f.line,
+                f.rule.id(),
+                f.message,
+                f.snippet
+            ));
+        }
+        for e in &self.unused_allows {
+            out.push_str(&format!(
+                "lint-allow.toml:{}: [unused-allow] entry for {} matches nothing — remove it or fix its pattern\n",
+                e.line,
+                e.rule.id()
+            ));
+        }
+        let mut per_rule: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for f in &self.blocking {
+            *per_rule.entry(f.rule.id()).or_default() += 1;
+        }
+        out.push_str(&format!(
+            "pipellm-lint: {} file(s), {} blocking finding(s), {} allowlisted, {} stale allow(s)\n",
+            self.files_scanned,
+            self.blocking.len(),
+            self.allowed.len(),
+            self.unused_allows.len()
+        ));
+        for (rule, n) in per_rule {
+            out.push_str(&format!("  {rule}: {n}\n"));
+        }
+        out
+    }
+
+    /// The machine-readable report.
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"tool\": {},\n", json_str("pipellm-lint")));
+        s.push_str(&format!("  \"root\": {},\n", json_str(&self.root)));
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        s.push_str("  \"rules\": [\n");
+        let ids: Vec<String> = RuleId::all()
+            .iter()
+            .map(|r| format!("    {}", json_str(r.id())))
+            .collect();
+        s.push_str(&ids.join(",\n"));
+        s.push_str("\n  ],\n");
+        s.push_str("  \"blocking\": [\n");
+        let rows: Vec<String> = self
+            .blocking
+            .iter()
+            .map(|f| finding_json(f, None))
+            .collect();
+        s.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"allowed\": [\n");
+        let rows: Vec<String> = self
+            .allowed
+            .iter()
+            .map(|(f, line)| finding_json(f, Some(*line)))
+            .collect();
+        s.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"unused_allows\": [\n");
+        let rows: Vec<String> = self
+            .unused_allows
+            .iter()
+            .map(|e| {
+                format!(
+                    "    {{\"rule\": {}, \"line\": {}, \"justification\": {}}}",
+                    json_str(e.rule.id()),
+                    e.line,
+                    json_str(&e.justification)
+                )
+            })
+            .collect();
+        s.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn finding_json(f: &Finding, allow_line: Option<u32>) -> String {
+    let mut row = format!(
+        "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}",
+        json_str(f.rule.id()),
+        json_str(&f.file),
+        f.line,
+        json_str(&f.message),
+        json_str(&f.snippet)
+    );
+    if let Some(line) = allow_line {
+        row.push_str(&format!(", \"allow_entry_line\": {line}"));
+    }
+    row.push('}');
+    row
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        LintReport {
+            root: "/w".to_string(),
+            files_scanned: 3,
+            blocking: vec![Finding {
+                rule: RuleId::NoPanicInLib,
+                file: "crates/x/src/lib.rs".to_string(),
+                line: 9,
+                message: "`.unwrap()` in lib code".to_string(),
+                snippet: "foo.unwrap()".to_string(),
+            }],
+            allowed: Vec::new(),
+            unused_allows: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn text_carries_file_line_and_rule_id() {
+        let text = sample().render_text();
+        assert!(text.contains("crates/x/src/lib.rs:9: [PL002]"), "{text}");
+        assert!(text.contains("1 blocking"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_round_trip_keys() {
+        let json = sample().render_json();
+        for key in [
+            "\"tool\"",
+            "\"files_scanned\"",
+            "\"blocking\"",
+            "\"clean\": false",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Balanced braces/brackets (cheap structural check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_quotes_in_snippets() {
+        let mut r = sample();
+        r.blocking[0].snippet = "expect(\"engine mutex\")".to_string();
+        let json = r.render_json();
+        assert!(json.contains("expect(\\\"engine mutex\\\")"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Workspace discovery and the end-to-end lint entry point.
+
+use crate::allowlist::{self, AllowEntry, AllowlistError};
+use crate::context::SourceFile;
+use crate::report::LintReport;
+use crate::rules::{check_file, classify};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned: build output, vendored shims (not project
+/// code), and lint-test fixture trees (they contain *seeded* violations).
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git", ".github"];
+
+/// Finds the workspace root at or above `start`: the nearest ancestor whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Collects every project `.rs` file under `root`, workspace-relative,
+/// sorted for deterministic reports.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for top in ["src", "crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// A lint-run failure that is *not* a finding: unreadable files or an
+/// invalid allowlist. These exit 2, distinct from findings' exit 1.
+#[derive(Debug)]
+pub enum LintError {
+    /// Filesystem error while scanning.
+    Io(io::Error),
+    /// The allowlist failed validation.
+    Allowlist(AllowlistError),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io(e) => write!(f, "io error: {e}"),
+            LintError::Allowlist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<io::Error> for LintError {
+    fn from(e: io::Error) -> Self {
+        LintError::Io(e)
+    }
+}
+
+/// Lints the workspace at `root` against `allowlist_text` (pass `""` for
+/// no allowlist). This is the whole pipeline: discover, lex, check, apply
+/// the allowlist, report.
+pub fn run_lint(root: &Path, allowlist_text: &str) -> Result<LintReport, LintError> {
+    let entries: Vec<AllowEntry> =
+        allowlist::parse(allowlist_text).map_err(LintError::Allowlist)?;
+    let files = collect_sources(root)?;
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(path)?;
+        let parsed = SourceFile::parse(&rel, &src);
+        findings.extend(check_file(&parsed, classify(&rel)));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    let (blocking, allowed, unused_allows) = allowlist::apply(findings, &entries);
+    Ok(LintReport {
+        root: root.to_string_lossy().into_owned(),
+        files_scanned: files.len(),
+        blocking,
+        allowed,
+        unused_allows,
+    })
+}
+
+/// Reads the allowlist at the conventional location (`lint-allow.toml` at
+/// the workspace root), returning `""` when absent.
+pub fn read_allowlist(root: &Path) -> io::Result<String> {
+    match fs::read_to_string(root.join("lint-allow.toml")) {
+        Ok(text) => Ok(text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(String::new()),
+        Err(e) => Err(e),
+    }
+}

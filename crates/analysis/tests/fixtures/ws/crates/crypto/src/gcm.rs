@@ -1,0 +1,8 @@
+//! Fixture: a crypto hot-path module reading the wall clock.
+
+/// Seals one record, timing it with the wall clock (seeded PL006).
+pub fn seal_timed(data: &mut [u8]) -> std::time::Duration {
+    let t = std::time::Instant::now(); // seeded PL006 (line 5)
+    data.reverse();
+    t.elapsed()
+}

@@ -1,0 +1,6 @@
+//! Fixture: frame-layout constants duplicated outside `net::frame`.
+
+/// Seeded PL007: a duplicated frame magic.
+pub const MAGIC: &[u8; 2] = b"PL";
+/// Seeded PL007: a duplicated max-frame-length constant.
+pub const MAX_FRAME_LEN: usize = 64 << 20;

@@ -127,6 +127,10 @@ mod x86 {
     /// Blocks interleaved per AES-NI iteration (fills the `aesenc` pipeline).
     const LANES: usize = 8;
 
+    /// # Safety
+    ///
+    /// The `aes` and `sse2` CPU features must be present; every dispatch
+    /// goes through [`aesni_available`], which checks them via `cpuid`.
     #[target_feature(enable = "aes,sse2")]
     unsafe fn encrypt_blocks_impl(round_keys: &[[u8; 16]], data: &mut [u8]) {
         debug_assert_eq!(data.len() % 16, 0);
@@ -169,6 +173,12 @@ mod x86 {
     /// `_mm512_aesenc_epi128` advances four independent 128-bit lanes one
     /// AES round, so a 512-bit register carries 4 CTR blocks. The
     /// sub-`WIDE_LANES` remainder reuses the 128-bit path.
+    ///
+    /// # Safety
+    ///
+    /// The `aes`, `sse2`, `vaes`, and `avx512f` CPU features must be
+    /// present; every dispatch goes through [`vaes_available`], which
+    /// checks them via `cpuid`.
     #[target_feature(enable = "aes,sse2,vaes,avx512f")]
     unsafe fn encrypt_blocks_vaes(round_keys: &[[u8; 16]], data: &mut [u8]) {
         debug_assert_eq!(data.len() % 16, 0);
@@ -235,6 +245,11 @@ mod x86 {
     }
 
     /// Loads a ≤16-byte chunk zero-padded to a block, bit-reflected.
+    ///
+    /// # Safety
+    ///
+    /// The `ssse3` CPU feature must be present (implied by the
+    /// [`clmul_available`] check guarding every caller).
     #[inline]
     #[target_feature(enable = "ssse3")]
     unsafe fn load_block_rev(chunk: &[u8]) -> __m128i {
@@ -248,6 +263,11 @@ mod x86 {
     }
 
     /// 256-bit carry-less multiply-accumulate: `acc ^= a * b`.
+    ///
+    /// # Safety
+    ///
+    /// The `pclmulqdq` and `sse2` CPU features must be present (checked
+    /// by [`clmul_available`] before dispatch).
     #[inline]
     #[target_feature(enable = "pclmulqdq,sse2")]
     unsafe fn clmul_acc(a: __m128i, b: __m128i, acc_lo: &mut __m128i, acc_hi: &mut __m128i) {
@@ -261,6 +281,11 @@ mod x86 {
     }
 
     /// Folds a 256-bit product modulo `x^128 + x^7 + x^2 + x + 1`.
+    ///
+    /// # Safety
+    ///
+    /// The `pclmulqdq` and `sse2` CPU features must be present (checked
+    /// by [`clmul_available`] before dispatch).
     #[inline]
     #[target_feature(enable = "pclmulqdq,sse2")]
     unsafe fn reduce(lo: __m128i, hi: __m128i) -> __m128i {
@@ -310,6 +335,10 @@ mod x86 {
         y
     }
 
+    /// # Safety
+    ///
+    /// The `pclmulqdq`, `ssse3`, and `sse2` CPU features must be present
+    /// (checked by [`clmul_available`] before dispatch).
     #[target_feature(enable = "pclmulqdq,ssse3,sse2")]
     unsafe fn ghash_segment_impl(key: &ClmulKey, data: &[u8]) -> u128 {
         let h = [
@@ -322,6 +351,10 @@ mod x86 {
         from_m128(y).reverse_bits()
     }
 
+    /// # Safety
+    ///
+    /// The `pclmulqdq` and `sse2` CPU features must be present (checked
+    /// by [`clmul_available`] before dispatch).
     #[target_feature(enable = "pclmulqdq,sse2")]
     unsafe fn gf_mul_impl(a: u128, b: u128) -> u128 {
         let va = to_m128(a.reverse_bits());
@@ -332,6 +365,10 @@ mod x86 {
         from_m128(reduce(lo, hi)).reverse_bits()
     }
 
+    /// # Safety
+    ///
+    /// The `pclmulqdq`, `ssse3`, and `sse2` CPU features must be present
+    /// (checked by [`clmul_available`] before dispatch).
     #[target_feature(enable = "pclmulqdq,ssse3,sse2")]
     unsafe fn ghash_impl(key: &ClmulKey, aad: &[u8], ciphertext: &[u8], lengths: u128) -> u128 {
         let h = [

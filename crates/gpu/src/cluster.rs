@@ -29,8 +29,8 @@
 //! future IVs and hide the crypto on GPU-to-GPU hops.
 
 use crate::context::{
-    absorb_frame_fault, sealed_kind, stage_plaintext, CcMode, ContextConfig, CudaContext, GpuError,
-    IoStats, MemcpyTiming, SessionCounters,
+    absorb_frame_fault, open_delivered, sealed_kind, stage_plaintext, CcMode, ContextConfig,
+    CudaContext, GpuError, IoStats, MemcpyTiming, SessionCounters,
 };
 use crate::memory::{DevicePtr, HostAddr, HostRegion, Payload};
 use crate::runtime::{GpuRuntime, SessionedRuntime};
@@ -646,9 +646,11 @@ impl ClusterContext {
                         iv,
                     });
                 }
-                let opened = Self::receiver_endpoint(edge, active, src_is_a)
-                    .rx_mut()
-                    .open_owned(sealed)?;
+                let opened = open_delivered(
+                    Self::receiver_endpoint(edge, active, src_is_a).rx_mut(),
+                    sealed,
+                    "memcpy_dtod",
+                )?;
                 dst_ctx
                     .device_memory_mut()
                     .store(dst_ptr, Payload::from_plaintext(kind, opened))?;
@@ -937,9 +939,11 @@ impl ClusterContext {
             .seal_nop_with(staging)?;
         let enc = src_ctx.crypto_pool_mut().reserve(now, nop_time);
         let wire = edge.timeline.nop(enc.end);
-        edge.nop_staging = Self::receiver_endpoint(edge, active, src_is_a)
-            .rx_mut()
-            .open_owned(nop)?;
+        edge.nop_staging = open_delivered(
+            Self::receiver_endpoint(edge, active, src_is_a).rx_mut(),
+            nop,
+            "send_edge_nop",
+        )?;
         edge.stats.nops += 1;
         let done = wire.end + cc_control;
         self.pending.push(done);
@@ -996,9 +1000,11 @@ impl ClusterContext {
         for nop in nops {
             let wire = edge.timeline.nop(at);
             at = wire.end;
-            edge.nop_staging = Self::receiver_endpoint(edge, active, src_is_a)
-                .rx_mut()
-                .open_owned(nop)?;
+            edge.nop_staging = open_delivered(
+                Self::receiver_endpoint(edge, active, src_is_a).rx_mut(),
+                nop,
+                "send_edge_nops",
+            )?;
             edge.stats.nops += 1;
         }
         let done = at + cc_control;

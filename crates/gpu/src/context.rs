@@ -69,6 +69,17 @@ pub enum GpuError {
         /// The sender-side IV the frame burned.
         iv: u64,
     },
+    /// An open failed *outside* any injected-fault window: the two
+    /// endpoints fell out of IV lockstep, which no retry can repair. The
+    /// stage label pinpoints which hop broke.
+    ChannelDesync {
+        /// Which transfer path observed the desync.
+        stage: &'static str,
+        /// The receiver-side IV the failing frame carried.
+        iv: u64,
+        /// The underlying cryptographic failure.
+        source: CryptoError,
+    },
 }
 
 impl fmt::Display for GpuError {
@@ -81,6 +92,9 @@ impl fmt::Display for GpuError {
             GpuError::TransferFaulted { fault, iv } => {
                 write!(f, "transfer faulted ({fault}) at IV {iv}; channel resynced")
             }
+            GpuError::ChannelDesync { stage, iv, source } => {
+                write!(f, "channel desync on {stage} at IV {iv}: {source}")
+            }
         }
     }
 }
@@ -90,6 +104,7 @@ impl std::error::Error for GpuError {
         match self {
             GpuError::Memory(e) => Some(e),
             GpuError::Crypto(e) => Some(e),
+            GpuError::ChannelDesync { source, .. } => Some(source),
             GpuError::CcDisabled
             | GpuError::UnknownSession { .. }
             | GpuError::TransferFaulted { .. } => None,
@@ -106,6 +121,23 @@ impl From<MemoryError> for GpuError {
 impl From<CryptoError> for GpuError {
     fn from(e: CryptoError) -> Self {
         GpuError::Crypto(e)
+    }
+}
+
+/// Opens a frame that already cleared its fault-injection window, so a
+/// failure here is a genuine loss of IV lockstep rather than injected
+/// chaos. The [`CryptoError`] is handled at this choke point — classified
+/// as a [`GpuError::ChannelDesync`] with the stage and IV that broke —
+/// rather than blindly propagated from each call site.
+pub(crate) fn open_delivered(
+    rx: &mut RxContext,
+    sealed: SealedMessage,
+    stage: &'static str,
+) -> Result<Vec<u8>, GpuError> {
+    let iv = sealed.iv;
+    match rx.open_owned(sealed) {
+        Ok(plaintext) => Ok(plaintext),
+        Err(source) => Err(GpuError::ChannelDesync { stage, iv, source }),
     }
 }
 
@@ -719,7 +751,11 @@ impl CudaContext {
                         iv,
                     });
                 }
-                let opened = self.channel_mut().host_mut().rx_mut().open_owned(sealed)?;
+                let opened = open_delivered(
+                    self.channel_mut().host_mut().rx_mut(),
+                    sealed,
+                    "memcpy_dtoh",
+                )?;
                 self.host_store(dst, Payload::from_plaintext(kind, opened))?;
                 let done = dec.end + self.timing.cc_control;
                 // The call blocks until the plaintext is in place.
@@ -948,7 +984,8 @@ impl CudaContext {
         // The receiver opens the message's own buffer in place, and that
         // 17-byte buffer cycles back for the next NOP — padding bursts
         // allocate nothing on either endpoint.
-        self.nop_staging = self.channel_mut().device_mut().rx_mut().open_owned(nop)?;
+        self.nop_staging =
+            open_delivered(self.channel_mut().device_mut().rx_mut(), nop, "send_nop")?;
         self.stats.nops += 1;
         let done = wire.end + self.timing.cc_control;
         self.nop_log.push(done);
@@ -996,7 +1033,11 @@ impl CudaContext {
                 iv,
             });
         }
-        let opened = self.channel_mut().host_mut().rx_mut().open_owned(sealed)?;
+        let opened = open_delivered(
+            self.channel_mut().host_mut().rx_mut(),
+            sealed,
+            "memcpy_dtoh_raw",
+        )?;
         let opened_payload = Payload::from_plaintext(kind, opened);
         let done = wire.end + self.timing.cc_control;
         self.record(Direction::DeviceToHost, dst, src, len, now, done, Some(iv));
@@ -1183,11 +1224,15 @@ impl CudaContext {
         sealed: SealedMessage,
     ) -> Result<(), GpuError> {
         let kind = sealed_kind(&sealed);
-        let opened = self
-            .channel_mut()
-            .device_mut()
-            .rx_mut()
-            .open_owned(sealed)?;
+        let opened = match self.channel_mut().device_mut().rx_mut().open_owned(sealed) {
+            Ok(plaintext) => plaintext,
+            // A mismatched/reused IV here is the *recoverable*
+            // speculative-submit signal: the interposer inserts NOPs to
+            // advance the counter (or re-seals) and retries, so the error
+            // keeps its Crypto classification rather than being escalated
+            // to a channel desync.
+            Err(e) => return Err(GpuError::Crypto(e)),
+        };
         self.device_mem
             .store(dst, Payload::from_plaintext(kind, opened))?;
         Ok(())
