@@ -14,13 +14,17 @@
 //! a lost wakeup looks like.
 //!
 //! Models live in [`engine_model`] (the crypto job queue: condvar
-//! wakeups, gang latch, submitter-help) and [`link_model`] (the ARQ
-//! link: NACK-reseal racing rekey racing the resend sweep). Each comes
-//! with deliberately-buggy variants proving the explorer actually
-//! detects the bug class it exists to prevent.
+//! wakeups, gang latch, submitter-help), [`link_model`] (the ARQ
+//! link: NACK-reseal racing rekey racing the resend sweep), and
+//! [`supervisor_model`] (worker death racing injection, checkpointing
+//! and failover readmission: no schedule may reuse an IV across a
+//! failover, roll a barrier backwards, or lose an admitted session).
+//! Each comes with deliberately-buggy variants proving the explorer
+//! actually detects the bug class it exists to prevent.
 
 pub mod engine_model;
 pub mod link_model;
+pub mod supervisor_model;
 
 /// A concurrency model explorable by the [`Explorer`].
 ///

@@ -15,6 +15,7 @@
 //! | PL005 | no `println!`/`eprintln!`/`dbg!` in lib code outside tests |
 //! | PL006 | no wall-clock reads (`Instant::now`/`SystemTime::now`) in crypto hot-path modules |
 //! | PL007 | frame magic/size constants live only in `net::frame` |
+//! | PL008 | timing literals (`Duration::from_*`) in `pipellm-net` live only in `net::proto` |
 //!
 //! Scope notes baked into the catalog:
 //!
@@ -30,6 +31,12 @@
 //! - PL006 applies to the crypto hot-path modules (`aes`, `gcm`, `hw`,
 //!   `kv`, `channel`) where a wall-clock read in a seal/open loop would
 //!   perturb the timing model and the benches.
+//! - PL008 applies only to `pipellm-net` lib code: heartbeat intervals,
+//!   suspect/dead deadlines, resend/backoff and quiet windows are tuning
+//!   knobs the supervisor, workers and benches must agree on, so their
+//!   values live in `net::proto` (`NetTuning` and the `PIPELLM_*` env
+//!   overrides) — a `Duration::from_millis(300)` buried in `worker.rs`
+//!   is a fork of that contract.
 
 use crate::context::SourceFile;
 use crate::lexer::{Delim, TokenKind};
@@ -51,6 +58,8 @@ pub enum RuleId {
     NoClockInCryptoHotPath,
     /// Frame magic/size constant outside `net::frame`.
     FrameConstantsConfined,
+    /// `Duration::from_*` literal in net lib code outside `net::proto`.
+    SupervisionTimingConfined,
 }
 
 impl RuleId {
@@ -64,6 +73,7 @@ impl RuleId {
             RuleId::NoDebugPrintInLib => "PL005",
             RuleId::NoClockInCryptoHotPath => "PL006",
             RuleId::FrameConstantsConfined => "PL007",
+            RuleId::SupervisionTimingConfined => "PL008",
         }
     }
 
@@ -77,12 +87,13 @@ impl RuleId {
             "PL005" => RuleId::NoDebugPrintInLib,
             "PL006" => RuleId::NoClockInCryptoHotPath,
             "PL007" => RuleId::FrameConstantsConfined,
+            "PL008" => RuleId::SupervisionTimingConfined,
             _ => return None,
         })
     }
 
     /// All rules, in id order.
-    pub fn all() -> [RuleId; 7] {
+    pub fn all() -> [RuleId; 8] {
         [
             RuleId::UnsafeNeedsSafetyComment,
             RuleId::NoPanicInLib,
@@ -91,6 +102,7 @@ impl RuleId {
             RuleId::NoDebugPrintInLib,
             RuleId::NoClockInCryptoHotPath,
             RuleId::FrameConstantsConfined,
+            RuleId::SupervisionTimingConfined,
         ]
     }
 }
@@ -148,6 +160,7 @@ pub fn check_file(file: &SourceFile, class: FileClass) -> Vec<Finding> {
         rule_no_debug_print(file, &mut out);
         rule_no_clock_in_hot_path(file, &mut out);
         rule_frame_constants(file, &mut out);
+        rule_timing_confined(file, &mut out);
     }
     out.sort_by_key(|f| f.line);
     out
@@ -540,6 +553,53 @@ fn rule_frame_constants(file: &SourceFile, out: &mut Vec<Finding>) {
                 ));
             }
             _ => {}
+        }
+    }
+}
+
+/// The `Duration` constructors whose literal use PL008 confines.
+const DURATION_CTORS: &[&str] = &["from_millis", "from_secs", "from_micros", "from_nanos"];
+
+/// PL008: in `pipellm-net` lib code outside `net::proto`, a
+/// `Duration::from_*(<integer literal>)` is a forked timing knob: the
+/// heartbeat interval, suspect/dead deadlines, resend sweep, quiet window
+/// and dial/backoff pacing are a *contract* between the supervisor, the
+/// workers, the chaos benches and the deterministic models, and the single
+/// place that contract is written down (and env-overridable) is
+/// `net::proto` (`NetTuning`). Everywhere else must name a proto constant
+/// or take a tuning struct.
+fn rule_timing_confined(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !file.path.starts_with("crates/net/src") || file.path == "crates/net/src/proto.rs" {
+        return;
+    }
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if file.in_test[i] || !tok.is_ident("Duration") {
+            continue;
+        }
+        let path_call = file.tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && file.tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && file
+                .tokens
+                .get(i + 3)
+                .is_some_and(|t| DURATION_CTORS.contains(&t.text.as_str()))
+            && file
+                .tokens
+                .get(i + 4)
+                .is_some_and(|t| t.kind == TokenKind::Open(Delim::Paren))
+            && file
+                .tokens
+                .get(i + 5)
+                .is_some_and(|t| matches!(t.kind, TokenKind::Num { .. }));
+        if path_call {
+            out.push(finding(
+                file,
+                RuleId::SupervisionTimingConfined,
+                tok.line,
+                format!(
+                    "`Duration::{}(…)` literal in net lib code — name a `net::proto` constant or take a `NetTuning`",
+                    file.tokens[i + 3].text
+                ),
+            ));
         }
     }
 }

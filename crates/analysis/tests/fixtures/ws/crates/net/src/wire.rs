@@ -4,3 +4,5 @@
 pub const MAGIC: &[u8; 2] = b"PL";
 /// Seeded PL007: a duplicated max-frame-length constant.
 pub const MAX_FRAME_LEN: usize = 64 << 20;
+/// Seeded PL008: a forked heartbeat interval outside `net::proto`.
+pub const LOCAL_HEARTBEAT: core::time::Duration = core::time::Duration::from_millis(50);

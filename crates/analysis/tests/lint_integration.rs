@@ -40,6 +40,7 @@ fn seeded_fixture_violations_are_found_with_exact_rule_and_line() {
         ("PL007", "crates/net/src/wire.rs", 4),
         ("PL007", "crates/net/src/wire.rs", 6),
         ("PL007", "crates/net/src/wire.rs", 6),
+        ("PL008", "crates/net/src/wire.rs", 8),
     ]
     .iter()
     .map(|(r, f, l)| (r.to_string(), f.to_string(), *l))

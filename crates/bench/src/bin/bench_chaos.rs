@@ -1,6 +1,10 @@
 //! Chaos benchmark: emits `BENCH_chaos.json` with throughput, recovery
 //! counters, bit-exactness, and lockstep status at fault rates 0/1/5/10%
-//! for CC-off, native CC, and PipeLLM.
+//! for CC-off, native CC, and PipeLLM — plus the networked kill sweep:
+//! supervised deployments (in-process duplex and real localhost TCP)
+//! with workers killed/hung at 0/1/5/10% per received frame, every run
+//! required to fail over and finish bit-identical to its fault-free
+//! twin with all edges in epoch/IV lockstep.
 //!
 //! Usage:
 //!   cargo run --release -p pipellm-bench --bin bench_chaos \
@@ -45,7 +49,24 @@ fn main() {
         "10% sweep injected nothing — chaos wiring is dead"
     );
 
-    let json = chaos::to_json(&rows);
+    // The networked kill sweep: supervised failover under process chaos.
+    let kill_rows = chaos::run_net_kill(smoke);
+    print!("{}", chaos::net_kill_table(&kill_rows));
+    for row in &kill_rows {
+        let at = format!("{} @ {:.0}% kill", row.transport, row.kill_rate * 100.0);
+        assert!(row.bit_exact, "{at} diverged from its fault-free twin");
+        assert!(row.lockstep, "{at} ended with desynced edge counters");
+        assert_eq!(
+            row.detections, row.failovers,
+            "{at} detected a death it never recovered from"
+        );
+    }
+    assert!(
+        kill_rows.iter().any(|r| r.failovers > 0),
+        "kill sweep landed no kills — supervision chaos wiring is dead"
+    );
+
+    let json = chaos::artifact_json(&rows, &kill_rows);
     std::fs::write(&out_path, &json).expect("write benchmark artifact");
     println!("wrote {out_path}");
 }

@@ -17,11 +17,16 @@
 //!   restart time, not collapse.
 
 use pipellm_chaos::{ChaosInjector, FaultPlan};
+use pipellm_net::{
+    run_supervised_duplex, run_supervised_tcp_threads, NetPipelineSpec, NetTuning,
+    SupervisedOptions, SupervisedReport,
+};
 use pipellm_serving::engine::ServingEngine;
 use pipellm_serving::pipeline::{PipelineConfig, PipelineEngine, PipelineSystem};
 use pipellm_serving::resilience::ResilienceStats;
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Pipeline stages at every sweep point.
 pub const STAGES: usize = 4;
@@ -143,6 +148,224 @@ pub fn run(micro_batches: usize, iterations: usize) -> Vec<ChaosRow> {
     rows
 }
 
+// ── Networked kill sweep: supervised deployments under process chaos ──
+
+/// The swept per-received-frame worker kill/hang probabilities.
+pub const KILL_RATES: [f64; 4] = [0.0, 0.01, 0.05, 0.10];
+
+/// Chaos-plan seed for the networked sweep (decorrelated from
+/// [`CHAOS_SEED`] so the two experiments fault independently).
+pub const NET_KILL_SEED: u64 = 0xD1E5;
+
+/// One (kill rate, transport) measurement of a supervised deployment.
+#[derive(Debug, Clone)]
+pub struct NetKillRow {
+    /// Per-received-frame worker kill/hang probability swept.
+    pub kill_rate: f64,
+    /// `"duplex"` or `"tcp"`.
+    pub transport: String,
+    /// End-to-end wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Served micro-batches per second of wall time.
+    pub mb_per_sec: f64,
+    /// Worker deaths the supervisor detected (deadline or link loss).
+    pub detections: u64,
+    /// Failovers completed (replacement admitted and serving).
+    pub failovers: u64,
+    /// Sealed checkpoint blobs the orchestrator stored.
+    pub checkpoints: u64,
+    /// Restore messages relayed to replacement incarnations.
+    pub restores: u64,
+    /// Stale-generation connections/reattaches rejected.
+    pub stale_rejects: u64,
+    /// Heartbeats received across all incarnations.
+    pub heartbeats: u64,
+    /// Sessions served to completion.
+    pub completed: u64,
+    /// Outputs equal the fault-free twin's (and the no-network
+    /// reference's) byte for byte.
+    pub bit_exact: bool,
+    /// End-of-run lockstep audit passed on every edge.
+    pub lockstep: bool,
+}
+
+/// The supervised spec at one sweep point: small enough that a CI box
+/// absorbs several failovers per run, deadlines tightened so detection
+/// costs milliseconds instead of the production defaults.
+pub fn net_kill_spec(rate: f64, smoke: bool) -> NetPipelineSpec {
+    NetPipelineSpec {
+        stages: 3,
+        layers: 6,
+        iterations: if smoke { 2 } else { 3 },
+        micro_batches: if smoke { 2 } else { 3 },
+        activation_bytes: 1024,
+        seed: 0x9e37_79b9,
+        worker_fault_rate: rate,
+        chaos_seed: NET_KILL_SEED,
+        // Generous: only fires on a true wedge; CI cores are starved.
+        op_timeout: Duration::from_secs(120),
+        ..NetPipelineSpec::default()
+    }
+}
+
+/// Supervision tuning for the sweep — tightened deadlines so a kill is
+/// detected and failed over in tens of milliseconds.
+pub fn net_kill_options() -> SupervisedOptions {
+    let tuning = NetTuning {
+        heartbeat_interval: Duration::from_millis(10),
+        suspect_after: Duration::from_millis(80),
+        dead_after: Duration::from_millis(200),
+        checkpoint_every: 2,
+        ..NetTuning::default()
+    };
+    SupervisedOptions {
+        tuning,
+        ..SupervisedOptions::default()
+    }
+}
+
+fn measure_supervised<F>(
+    run: F,
+    transport: &str,
+    rate: f64,
+    smoke: bool,
+    twin: Option<&[Vec<u8>]>,
+) -> (NetKillRow, Vec<Vec<u8>>)
+where
+    F: FnOnce(&NetPipelineSpec, &SupervisedOptions) -> pipellm_net::NetResult<SupervisedReport>,
+{
+    let spec = net_kill_spec(rate, smoke);
+    let options = net_kill_options();
+    let start = Instant::now();
+    let report = run(&spec, &options).expect("supervised chaotic run completes");
+    let wall = start.elapsed();
+    let expected = spec.expected_outputs();
+    let outputs = report.net.outputs.clone();
+    let bit_exact = outputs == expected && twin.is_none_or(|t| outputs == *t);
+    let row = NetKillRow {
+        kill_rate: rate,
+        transport: transport.to_string(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        mb_per_sec: report.completed.len() as f64 / wall.as_secs_f64().max(1e-9),
+        detections: report.stats.detections,
+        failovers: report.stats.failovers,
+        checkpoints: report.stats.checkpoints_stored,
+        restores: report.stats.restores_sent,
+        stale_rejects: report.stats.stale_rejects,
+        heartbeats: report.stats.heartbeats,
+        completed: report.completed.len() as u64,
+        bit_exact,
+        lockstep: report.net.lockstep_ok,
+    };
+    (row, outputs)
+}
+
+/// Runs the networked kill sweep: for each transport, the fault-free
+/// twin first, then every non-zero kill rate checked bit-for-bit against
+/// it. Kills and hangs land on real worker event loops — over real
+/// localhost TCP sockets for the `"tcp"` rows — and every recovery goes
+/// through the full heartbeat-detect / force-rekey / checkpoint-restore
+/// failover path.
+pub fn run_net_kill(smoke: bool) -> Vec<NetKillRow> {
+    type SupervisedRunner =
+        fn(&NetPipelineSpec, &SupervisedOptions) -> pipellm_net::NetResult<SupervisedReport>;
+    let mut rows = Vec::new();
+    let transports: [(&str, SupervisedRunner); 2] = [
+        ("duplex", run_supervised_duplex),
+        ("tcp", run_supervised_tcp_threads),
+    ];
+    for (label, runner) in transports {
+        let (twin_row, twin_outputs) =
+            measure_supervised(runner, label, KILL_RATES[0], smoke, None);
+        rows.push(twin_row);
+        for &rate in &KILL_RATES[1..] {
+            let (row, _) = measure_supervised(runner, label, rate, smoke, Some(&twin_outputs));
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Serializes the networked kill rows (the `"net_kill"` JSON section).
+fn net_kill_json(rows: &[NetKillRow]) -> String {
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"kill_rate\": {:.2}, \"transport\": \"{}\", \"wall_ms\": {:.3}, \
+             \"mb_per_sec\": {:.3}, \"detections\": {}, \"failovers\": {}, \
+             \"checkpoints\": {}, \"restores\": {}, \"stale_rejects\": {}, \
+             \"heartbeats\": {}, \"completed\": {}, \"bit_exact\": {}, \"lockstep\": {}}}{}",
+            row.kill_rate,
+            row.transport,
+            row.wall_ms,
+            row.mb_per_sec,
+            row.detections,
+            row.failovers,
+            row.checkpoints,
+            row.restores,
+            row.stale_rejects,
+            row.heartbeats,
+            row.completed,
+            row.bit_exact,
+            row.lockstep,
+            comma
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// Pretty table of the networked kill sweep for stdout.
+pub fn net_kill_table(rows: &[NetKillRow]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:>5} {:<7} {:>10} {:>7} {:>9} {:>8} {:>8} {:>7} {:>9} {:>8}",
+        "kill",
+        "wire",
+        "wall ms",
+        "detect",
+        "failover",
+        "ckpts",
+        "restores",
+        "beats",
+        "bit_exact",
+        "lockstep"
+    )
+    .expect("writing to String cannot fail");
+    for row in rows {
+        writeln!(
+            out,
+            "{:>4.0}% {:<7} {:>10.2} {:>7} {:>9} {:>8} {:>8} {:>7} {:>9} {:>8}",
+            row.kill_rate * 100.0,
+            row.transport,
+            row.wall_ms,
+            row.detections,
+            row.failovers,
+            row.checkpoints,
+            row.restores,
+            row.heartbeats,
+            row.bit_exact,
+            row.lockstep,
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// Serializes both sweeps as the `BENCH_chaos.json` artifact.
+pub fn artifact_json(rows: &[ChaosRow], net_kill: &[NetKillRow]) -> String {
+    let mut out = to_json(rows);
+    // Splice the net_kill section before the closing brace.
+    out.truncate(out.rfind("  ]\n}\n").expect("artifact has a rows array"));
+    out.push_str("  ],\n  \"net_kill\": [\n");
+    out.push_str(&net_kill_json(net_kill));
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Serializes rows as the `BENCH_chaos.json` artifact.
 pub fn to_json(rows: &[ChaosRow]) -> String {
     let mut out = format!(
@@ -256,5 +479,28 @@ mod tests {
         assert!(json.contains("\"experiment\": \"chaos_fault_sweep\""));
         assert_eq!(json.matches("\"fault_rate\":").count(), rows.len());
         assert!(!to_table(&rows).is_empty());
+    }
+
+    #[test]
+    fn net_kill_sweep_fails_over_bit_identically() {
+        let rows = run_net_kill(true);
+        assert_eq!(rows.len(), 2 * KILL_RATES.len());
+        for row in &rows {
+            let at = format!("{} @ {:.0}%", row.transport, row.kill_rate * 100.0);
+            assert!(row.bit_exact, "{at} diverged from its fault-free twin");
+            assert!(row.lockstep, "{at} ended with desynced edge counters");
+            assert_eq!(row.completed, 4, "{at} dropped sessions");
+            // Every detected death was recovered from, none left hanging.
+            assert_eq!(row.detections, row.failovers, "{at} unrecovered death");
+        }
+        // The sweep actually exercised failover somewhere.
+        assert!(
+            rows.iter().any(|r| r.failovers > 0),
+            "no kill landed across the whole sweep — chaos wiring is dead"
+        );
+        let json = artifact_json(&run(2, 1), &rows);
+        assert!(json.contains("\"net_kill\": ["));
+        assert_eq!(json.matches("\"kill_rate\":").count(), rows.len());
+        assert!(!net_kill_table(&rows).is_empty());
     }
 }

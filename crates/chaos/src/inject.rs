@@ -217,6 +217,14 @@ impl ChaosInjector {
         self.roll(site, &FaultKind::STAGE)
     }
 
+    /// Samples a worker-process fault (kill / hang) at
+    /// [`FaultSite::WorkerProcess`] — the supervisor failover path. The
+    /// kind set is the stage pair, but the dedicated site keeps the
+    /// process-death schedule decorrelated from in-process stage faults.
+    pub fn roll_worker(&self) -> Option<Fault> {
+        self.roll(FaultSite::WorkerProcess, &FaultKind::STAGE)
+    }
+
     /// Samples a session-level fault (churn / rekey race) at `site`.
     pub fn roll_session(&self, site: FaultSite) -> Option<Fault> {
         self.roll(site, &FaultKind::SESSION)

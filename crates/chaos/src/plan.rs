@@ -135,11 +135,15 @@ pub enum FaultSite {
     /// A networked transport link: the orchestrator↔worker TCP (or duplex)
     /// streams carrying sealed activation frames between processes.
     NetLink,
+    /// A stage-worker *process*: abrupt kills and wedged hangs of a whole
+    /// worker, injected in its serve loop so the orchestrator-side
+    /// supervisor must detect the death and fail over.
+    WorkerProcess,
 }
 
 impl FaultSite {
     /// Every site, in stable order.
-    pub const ALL: [FaultSite; 9] = [
+    pub const ALL: [FaultSite; 10] = [
         FaultSite::HostToDevice,
         FaultSite::DeviceToHost,
         FaultSite::DeviceToDevice,
@@ -149,6 +153,7 @@ impl FaultSite {
         FaultSite::StageStep,
         FaultSite::SessionControl,
         FaultSite::NetLink,
+        FaultSite::WorkerProcess,
     ];
 
     /// Stable index into per-site tables.
@@ -163,6 +168,7 @@ impl FaultSite {
             FaultSite::StageStep => 6,
             FaultSite::SessionControl => 7,
             FaultSite::NetLink => 8,
+            FaultSite::WorkerProcess => 9,
         }
     }
 
@@ -184,6 +190,7 @@ impl FaultSite {
             FaultSite::StageStep => "stage_step",
             FaultSite::SessionControl => "session_control",
             FaultSite::NetLink => "net_link",
+            FaultSite::WorkerProcess => "worker_process",
         }
     }
 }

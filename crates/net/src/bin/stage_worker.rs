@@ -6,14 +6,20 @@
 //! Exits non-zero on any handshake, crypto, or link failure.
 //!
 //! ```text
-//! stage-worker --connect 127.0.0.1:7070 --stage 1
-//!     [--fault-rate 0.0] [--chaos-seed 0xC0A5] [--timeout-secs 30]
+//! stage-worker --connect 127.0.0.1:7070 --stage 1 [--generation 0]
+//!     [--fault-rate 0.0] [--worker-fault-rate 0.0] [--chaos-seed 0xC0A5]
+//!     [--timeout-secs 30]
 //! ```
+//!
+//! `--generation` identifies this incarnation to a supervised
+//! orchestrator: an external respawn loop restarts a SIGKILLed worker
+//! with the next generation, and the acceptor rejects any connection
+//! still presenting a superseded one.
 
 use pipellm_chaos::{ChaosInjector, FaultPlan};
 use pipellm_crypto::session::derive_subseed;
 use pipellm_net::orchestrator::dial_worker_links;
-use pipellm_net::{run_worker, WorkerConfig};
+use pipellm_net::{run_worker, NetTuning, WorkerConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -45,7 +51,15 @@ fn run() -> Result<(), String> {
         Some(v) => Duration::from_secs(parse_u64(&v)?),
         None => Duration::from_secs(30),
     };
+    let generation = match arg_value(&args, "--generation") {
+        Some(v) => parse_u64(&v)? as u32,
+        None => 0,
+    };
     let fault_rate: f64 = match arg_value(&args, "--fault-rate") {
+        Some(v) => v.parse().map_err(|_| format!("not a rate: {v}"))?,
+        None => 0.0,
+    };
+    let worker_fault_rate: f64 = match arg_value(&args, "--worker-fault-rate") {
         Some(v) => v.parse().map_err(|_| format!("not a rate: {v}"))?,
         None => 0.0,
     };
@@ -57,19 +71,24 @@ fn run() -> Result<(), String> {
     let addr = connect
         .parse()
         .map_err(|e| format!("bad address {connect}: {e}"))?;
-    let mut config = WorkerConfig::new(stage);
+    let mut config = WorkerConfig::with_tuning(stage, &NetTuning::from_env());
+    config.generation = generation;
     config.op_timeout = timeout;
-    if fault_rate > 0.0 {
+    if generation == 0 && (fault_rate > 0.0 || worker_fault_rate > 0.0) {
         // The same per-node plan NetPipelineSpec::injector_for derives, so
-        // a multi-process run replays the in-process chaos schedule.
+        // a multi-process run replays the in-process chaos schedule. A
+        // respawned incarnation (generation > 0) is the recovery path and
+        // always runs fault-free.
         let seed = derive_subseed(chaos_seed, u64::from(stage));
         config.chaos = Some(Arc::new(ChaosInjector::new(
-            FaultPlan::new(seed).with_net_rate(fault_rate),
+            FaultPlan::new(seed)
+                .with_net_rate(fault_rate)
+                .with_stage_rate(worker_fault_rate),
         )));
     }
 
-    eprintln!("stage-worker {stage}: dialing {connect}");
-    let links = dial_worker_links(addr, stage, timeout).map_err(|e| e.to_string())?;
+    eprintln!("stage-worker {stage} gen {generation}: dialing {connect}");
+    let links = dial_worker_links(addr, stage, generation, timeout).map_err(|e| e.to_string())?;
     let report = run_worker(links, config).map_err(|e| e.to_string())?;
     println!(
         "stage-worker {stage}: done. retransmits {}, sentinels {}, reconnects {}, edges {}",

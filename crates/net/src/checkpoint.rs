@@ -1,0 +1,282 @@
+//! AEAD-sealed worker recovery checkpoints.
+//!
+//! At every barrier (see [`crate::proto::CheckpointReq`]) a worker seals
+//! its recovery state — processed-set, retained outputs, and per-edge
+//! epoch/IV positions — and ships the blob to the orchestrator. The
+//! orchestrator is outside the trust boundary: it stores and relays the
+//! checkpoint but cannot read or forge it, because the sealing key is
+//! derived from the cluster seed, which workers derive locally and never
+//! put on the wire.
+//!
+//! # Key schedule
+//!
+//! Each checkpoint is sealed under a **one-shot** channel whose key root
+//! is `derive_subseed(derive_subseed(derive_subseed(cluster_seed,
+//! CHECKPOINT_TAG), stage), barrier)`. Folding the barrier number into
+//! the key gives every checkpoint a fresh key stream (no IV management
+//! across seals — each blob is IV 1 of its own key), and makes staleness
+//! self-enforcing: a blob sealed at barrier 4 cannot be opened by a
+//! restore claiming barrier 5, and vice versa, because the keys differ.
+//!
+//! # Failure behaviour
+//!
+//! Truncation, bit flips, tag tampering, or a barrier/stage mismatch all
+//! fail authentication (or the post-open validation) and return a clean
+//! [`NetError`] — no panic, and under the sentinel discipline of the
+//! crypto layer no plaintext or decryption intermediate ever escapes a
+//! failed open.
+
+use crate::error::{NetError, NetResult};
+use crate::frame::{Reader, Writer};
+use crate::proto::EdgeCounterEntry;
+use pipellm_crypto::channel::{ChannelKeys, SealedMessage, SecureChannel};
+use pipellm_crypto::session::derive_subseed;
+use std::sync::Arc;
+
+/// Domain-separation tag of the checkpoint key schedule ("ckpt").
+const CHECKPOINT_TAG: u64 = 0x636B_7074;
+
+/// Upper bound on retained outputs in one checkpoint; an honest worker
+/// retains at most one output per uncommitted `(iteration, micro_batch)`.
+const MAX_RETAINED: usize = 1 << 16;
+
+/// The global completion index of one output: barriers, admission windows
+/// and checkpoint garbage collection all order work by this.
+pub fn global_index(iteration: u32, micro_batch: u32, micro_batches: u32) -> u64 {
+    u64::from(iteration) * u64::from(micro_batches.max(1)) + u64::from(micro_batch)
+}
+
+/// One worker's recovery state at a checkpoint barrier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointState {
+    /// The checkpointing stage.
+    pub stage: u32,
+    /// The incarnation that sealed this state.
+    pub generation: u32,
+    /// The barrier this state belongs to.
+    pub barrier: u64,
+    /// Every `(iteration, micro_batch)` this stage has processed.
+    pub processed: Vec<(u32, u32)>,
+    /// Retained outputs not yet committed at the orchestrator:
+    /// `(iteration, micro_batch, output_plaintext)`.
+    pub retained: Vec<(u32, u32, Vec<u8>)>,
+    /// Per-edge epoch and IV positions at seal time.
+    pub edges: Vec<EdgeCounterEntry>,
+}
+
+impl CheckpointState {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.u32(self.stage);
+        w.u32(self.generation);
+        w.u64(self.barrier);
+        w.u32(self.processed.len() as u32);
+        for &(it, mb) in &self.processed {
+            w.u32(it);
+            w.u32(mb);
+        }
+        w.u32(self.retained.len() as u32);
+        for (it, mb, out) in &self.retained {
+            w.u32(*it);
+            w.u32(*mb);
+            w.bytes(out);
+        }
+        w.u32(self.edges.len() as u32);
+        for e in &self.edges {
+            w.u32(e.a);
+            w.u32(e.b);
+            w.u32(e.epoch);
+            w.u64(e.tx_iv);
+            w.u64(e.rx_iv);
+        }
+        w.0
+    }
+
+    fn decode(payload: &[u8]) -> NetResult<CheckpointState> {
+        let mut r = Reader::new(payload);
+        let stage = r.u32()?;
+        let generation = r.u32()?;
+        let barrier = r.u64()?;
+        let n = r.u32()? as usize;
+        if n > MAX_RETAINED {
+            return Err(NetError::Malformed {
+                what: "checkpoint with absurd processed count",
+            });
+        }
+        let mut processed = Vec::with_capacity(n);
+        for _ in 0..n {
+            processed.push((r.u32()?, r.u32()?));
+        }
+        let n = r.u32()? as usize;
+        if n > MAX_RETAINED {
+            return Err(NetError::Malformed {
+                what: "checkpoint with absurd retained count",
+            });
+        }
+        let mut retained = Vec::with_capacity(n);
+        for _ in 0..n {
+            retained.push((r.u32()?, r.u32()?, r.bytes()?.to_vec()));
+        }
+        let n = r.u32()? as usize;
+        if n > 4096 {
+            return Err(NetError::Malformed {
+                what: "checkpoint with absurd edge count",
+            });
+        }
+        let mut edges = Vec::with_capacity(n);
+        for _ in 0..n {
+            edges.push(EdgeCounterEntry {
+                a: r.u32()?,
+                b: r.u32()?,
+                epoch: r.u32()?,
+                tx_iv: r.u64()?,
+                rx_iv: r.u64()?,
+            });
+        }
+        r.finish()?;
+        Ok(CheckpointState {
+            stage,
+            generation,
+            barrier,
+            processed,
+            retained,
+            edges,
+        })
+    }
+}
+
+/// The one-shot channel sealing/opening checkpoints of `(stage, barrier)`.
+fn checkpoint_channel(cluster_seed: u64, stage: u32, barrier: u64) -> SecureChannel {
+    let root = derive_subseed(cluster_seed, CHECKPOINT_TAG);
+    let per_stage = derive_subseed(root, u64::from(stage));
+    let per_barrier = derive_subseed(per_stage, barrier);
+    SecureChannel::new(ChannelKeys::from_seed(per_barrier))
+}
+
+/// The AAD binding a checkpoint to its stage and barrier.
+fn checkpoint_aad(stage: u32, barrier: u64) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.u32(0x434B_5054); // "CKPT"
+    w.u32(stage);
+    w.u64(barrier);
+    w.0
+}
+
+/// Seals `state` into an opaque blob only a holder of the cluster seed
+/// can open.
+///
+/// # Errors
+///
+/// [`NetError::Crypto`] if sealing fails (practically unreachable: the
+/// one-shot channel starts at IV 1).
+pub fn seal_checkpoint(cluster_seed: u64, state: &CheckpointState) -> NetResult<Vec<u8>> {
+    let mut channel = checkpoint_channel(cluster_seed, state.stage, state.barrier);
+    let aad = checkpoint_aad(state.stage, state.barrier);
+    let sealed = channel
+        .host_mut()
+        .tx_mut()
+        .seal_with_aad(&aad, &state.encode())?;
+    Ok(sealed.bytes)
+}
+
+/// Opens and validates a sealed checkpoint for exactly `(stage,
+/// barrier)`.
+///
+/// # Errors
+///
+/// - [`NetError::Crypto`] if authentication fails — truncation, bit
+///   flips, a tampered tag, or a blob sealed for any other stage or
+///   barrier (their keys and AAD differ);
+/// - [`NetError::Malformed`] / [`NetError::Truncated`] if the plaintext
+///   does not decode exactly;
+/// - [`NetError::Protocol`] if the decoded state contradicts the claimed
+///   stage or barrier.
+pub fn open_checkpoint(
+    cluster_seed: u64,
+    stage: u32,
+    barrier: u64,
+    sealed: &[u8],
+) -> NetResult<CheckpointState> {
+    let mut channel = checkpoint_channel(cluster_seed, stage, barrier);
+    let aad = checkpoint_aad(stage, barrier);
+    let message = SealedMessage {
+        iv: channel.device().rx().next_iv(),
+        aad: Arc::from(aad.into_boxed_slice()),
+        bytes: sealed.to_vec(),
+    };
+    let plain = channel.device_mut().rx_mut().open(&message)?;
+    let state = CheckpointState::decode(&plain)?;
+    if state.stage != stage || state.barrier != barrier {
+        return Err(NetError::Protocol {
+            detail: format!(
+                "checkpoint body claims stage {} barrier {}, envelope says stage {stage} barrier {barrier}",
+                state.stage, state.barrier
+            ),
+        });
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> CheckpointState {
+        CheckpointState {
+            stage: 1,
+            generation: 2,
+            barrier: 3,
+            processed: vec![(0, 0), (0, 1), (1, 0)],
+            retained: vec![(1, 0, vec![0xA5; 32])],
+            edges: vec![EdgeCounterEntry {
+                a: 0,
+                b: 1,
+                epoch: 2,
+                tx_iv: 7,
+                rx_iv: 5,
+            }],
+        }
+    }
+
+    #[test]
+    fn seal_open_roundtrips() {
+        let state = sample_state();
+        let sealed = seal_checkpoint(0x5EED, &state).unwrap();
+        let opened = open_checkpoint(0x5EED, 1, 3, &sealed).unwrap();
+        assert_eq!(opened, state);
+    }
+
+    #[test]
+    fn sealed_blob_is_not_plaintext() {
+        let state = sample_state();
+        let sealed = seal_checkpoint(0x5EED, &state).unwrap();
+        // The retained output bytes must not appear in the blob.
+        assert!(!sealed.windows(8).any(|w| w == [0xA5; 8]));
+    }
+
+    #[test]
+    fn wrong_barrier_or_stage_refuses() {
+        let state = sample_state();
+        let sealed = seal_checkpoint(0x5EED, &state).unwrap();
+        // A stale blob replayed under a newer barrier's restore — and the
+        // reverse — both fail: the per-barrier key schedule differs.
+        assert!(open_checkpoint(0x5EED, 1, 4, &sealed).is_err());
+        assert!(open_checkpoint(0x5EED, 1, 2, &sealed).is_err());
+        assert!(open_checkpoint(0x5EED, 2, 3, &sealed).is_err());
+        // And so does the wrong cluster seed entirely.
+        assert!(open_checkpoint(0xBAD, 1, 3, &sealed).is_err());
+    }
+
+    #[test]
+    fn tampered_blob_refuses_cleanly() {
+        let state = sample_state();
+        let sealed = seal_checkpoint(0x5EED, &state).unwrap();
+        for flip in [0, sealed.len() / 2, sealed.len() - 1] {
+            let mut bad = sealed.clone();
+            bad[flip] ^= 0x01;
+            assert!(open_checkpoint(0x5EED, 1, 3, &bad).is_err());
+        }
+        assert!(open_checkpoint(0x5EED, 1, 3, &sealed[..sealed.len() - 1]).is_err());
+        assert!(open_checkpoint(0x5EED, 1, 3, &[]).is_err());
+    }
+}

@@ -46,16 +46,22 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod checkpoint;
 pub mod error;
 pub mod frame;
 pub mod link;
 pub mod orchestrator;
 pub mod proto;
 pub(crate) mod pump;
+pub mod supervisor;
 pub mod transport;
 pub mod worker;
 
 pub use error::{NetError, NetResult};
 pub use orchestrator::{run_duplex, run_tcp_threads, serve_tcp, NetPipelineSpec, NetReport};
-pub use proto::PROTO_VERSION;
+pub use proto::{NetTuning, PROTO_VERSION};
+pub use supervisor::{
+    run_supervised_duplex, run_supervised_tcp_threads, serve_supervised_tcp, AdmissionQueue,
+    SupervisedOptions, SupervisedReport, SupervisionStats, Supervisor, WorkerHealth,
+};
 pub use worker::{run_worker, wire_retry_policy, WorkerConfig, WorkerLinks};

@@ -296,6 +296,15 @@ impl LinkTx {
     pub fn in_flight(&self) -> usize {
         self.unacked.len()
     }
+
+    /// Whether some outstanding frame already carries this payload — the
+    /// guard that keeps a duplicate input from queueing the same
+    /// `(iteration, micro_batch)` output twice.
+    pub fn has_payload(&self, iteration: u32, micro_batch: u32) -> bool {
+        self.unacked
+            .iter()
+            .any(|p| p.iteration == iteration && p.micro_batch == micro_batch)
+    }
 }
 
 /// A sender half that pump threads can swap out on reconnect: `None`

@@ -28,7 +28,7 @@ use crate::link::{
 };
 use crate::proto::{
     CounterReport, DataAck, DataFrame, EdgeCounterEntry, Msg, RekeyEdge, ShardManifest, Welcome,
-    HOST_NODE,
+    ACCEPT_POLL, DIAL_RETRY, HOST_NODE, OP_TIMEOUT, POLL_INTERVAL, QUIET_WINDOW, RESEND_AFTER,
 };
 use crate::pump::{Pump, PumpEvent};
 use crate::transport::{
@@ -62,6 +62,10 @@ pub struct NetPipelineSpec {
     /// Total fault rate injected at the net link of every sender; zero
     /// disables chaos entirely.
     pub net_fault_rate: f64,
+    /// Per-received-frame probability that a worker process abruptly dies
+    /// or hangs ([`pipellm_chaos::FaultSite::WorkerProcess`]); only a
+    /// supervised run survives a nonzero rate.
+    pub worker_fault_rate: f64,
     /// Seed of the fault plans (decorrelated per node).
     pub chaos_seed: u64,
     /// Wire-scale retry policy for reconnects and retransmits.
@@ -87,12 +91,13 @@ impl Default for NetPipelineSpec {
             activation_bytes: 4096,
             seed: 0x9e3779b9,
             net_fault_rate: 0.0,
+            worker_fault_rate: 0.0,
             chaos_seed: 0xC0A5,
             policy: wire_retry_policy(),
-            poll: Duration::from_millis(10),
-            op_timeout: Duration::from_secs(10),
-            quiet: Duration::from_millis(60),
-            resend_after: Duration::from_millis(300),
+            poll: POLL_INTERVAL,
+            op_timeout: OP_TIMEOUT,
+            quiet: QUIET_WINDOW,
+            resend_after: RESEND_AFTER,
         }
     }
 }
@@ -163,25 +168,31 @@ impl NetPipelineSpec {
     /// is zero. `node` is a stage index or [`HOST_NODE`]; each node rolls
     /// an independent deterministic stream.
     pub fn injector_for(&self, node: u32) -> Option<Arc<ChaosInjector>> {
-        if self.net_fault_rate <= 0.0 {
+        let worker_rate = if node == HOST_NODE {
+            0.0 // the orchestrator process is the trusted computing base here
+        } else {
+            self.worker_fault_rate
+        };
+        if self.net_fault_rate <= 0.0 && worker_rate <= 0.0 {
             return None;
         }
         let seed = derive_subseed(self.chaos_seed, u64::from(node));
         Some(Arc::new(ChaosInjector::new(
-            FaultPlan::new(seed).with_net_rate(self.net_fault_rate),
+            FaultPlan::new(seed)
+                .with_net_rate(self.net_fault_rate)
+                .with_stage_rate(worker_rate),
         )))
     }
 
-    fn worker_config(&self, stage: u32) -> WorkerConfig {
-        WorkerConfig {
-            stage,
-            policy: self.policy,
-            poll: self.poll,
-            op_timeout: self.op_timeout,
-            quiet: self.quiet,
-            resend_after: self.resend_after,
-            chaos: self.injector_for(stage),
-        }
+    pub(crate) fn worker_config(&self, stage: u32) -> WorkerConfig {
+        let mut config = WorkerConfig::new(stage);
+        config.policy = self.policy;
+        config.poll = self.poll;
+        config.op_timeout = self.op_timeout;
+        config.quiet = self.quiet;
+        config.resend_after = self.resend_after;
+        config.chaos = self.injector_for(stage);
+        config
     }
 }
 
@@ -243,25 +254,25 @@ pub struct OrchestratorLinks {
     pub data_reattach: Option<Box<dyn Reattach>>,
 }
 
-struct Orchestrator {
-    spec: NetPipelineSpec,
-    edges: BTreeMap<WireEdge, EdgeCrypto>,
+pub(crate) struct Orchestrator {
+    pub(crate) spec: NetPipelineSpec,
+    pub(crate) edges: BTreeMap<WireEdge, EdgeCrypto>,
     /// Authoritative epoch of every edge in the deployment.
-    edge_epochs: BTreeMap<WireEdge, u32>,
-    control_slots: Vec<SenderSlot>,
-    data_slots: Vec<SenderSlot>,
-    ingress_tx: LinkTx,
-    outputs: BTreeMap<(u32, u32), Vec<u8>>,
-    chaos: Option<Arc<ChaosInjector>>,
-    relayed: u64,
-    retransmits: u64,
-    sentinels: u64,
-    reconnects: u64,
-    rekeys: u64,
+    pub(crate) edge_epochs: BTreeMap<WireEdge, u32>,
+    pub(crate) control_slots: Vec<SenderSlot>,
+    pub(crate) data_slots: Vec<SenderSlot>,
+    pub(crate) ingress_tx: LinkTx,
+    pub(crate) outputs: BTreeMap<(u32, u32), Vec<u8>>,
+    pub(crate) chaos: Option<Arc<ChaosInjector>>,
+    pub(crate) relayed: u64,
+    pub(crate) retransmits: u64,
+    pub(crate) sentinels: u64,
+    pub(crate) reconnects: u64,
+    pub(crate) rekeys: u64,
 }
 
 impl Orchestrator {
-    fn new(
+    pub(crate) fn new(
         spec: &NetPipelineSpec,
         control_slots: Vec<SenderSlot>,
         data_slots: Vec<SenderSlot>,
@@ -297,15 +308,15 @@ impl Orchestrator {
         }
     }
 
-    fn ingress_edge(&self) -> WireEdge {
+    pub(crate) fn ingress_edge(&self) -> WireEdge {
         WireEdge::between(0, HOST_NODE)
     }
 
-    fn egress_edge(&self) -> WireEdge {
+    pub(crate) fn egress_edge(&self) -> WireEdge {
         WireEdge::between(self.spec.stages - 1, HOST_NODE)
     }
 
-    fn control_send(&self, stage: u32, msg: &Msg) -> NetResult<()> {
+    pub(crate) fn control_send(&self, stage: u32, msg: &Msg) -> NetResult<()> {
         send_on(
             &self.control_slots[stage as usize],
             &msg.encode()?,
@@ -314,7 +325,7 @@ impl Orchestrator {
     }
 
     /// Seals and sends one pending ingress frame to stage 0.
-    fn send_ingress(&mut self, seq: u64) -> NetResult<()> {
+    pub(crate) fn send_ingress(&mut self, seq: u64) -> NetResult<()> {
         let edge = self.ingress_edge();
         let crypto = self.edges.get_mut(&edge).ok_or(NetError::Protocol {
             detail: "ingress edge missing".to_string(),
@@ -338,7 +349,7 @@ impl Orchestrator {
     /// Level-triggered ingress retransmit, mirroring the workers' sweep:
     /// any ingress frame unacknowledged past the threshold is resealed at
     /// a fresh IV, recovering losses no NACK or rekey cycle reports.
-    fn sweep(&mut self, threshold: Duration) -> NetResult<()> {
+    pub(crate) fn sweep(&mut self, threshold: Duration) -> NetResult<()> {
         for seq in self.ingress_tx.stale(threshold) {
             self.retransmits += 1;
             self.send_ingress(seq)?;
@@ -348,7 +359,7 @@ impl Orchestrator {
 
     /// Handles a data frame arriving from worker `from`: opens egress
     /// frames, relays everything else toward its destination worker.
-    fn handle_data(&mut self, from: u32, frame: DataFrame) -> NetResult<()> {
+    pub(crate) fn handle_data(&mut self, from: u32, frame: DataFrame) -> NetResult<()> {
         if frame.src != from {
             return Err(NetError::Protocol {
                 detail: format!("stage {from} sent a frame claiming src {}", frame.src),
@@ -412,7 +423,7 @@ impl Orchestrator {
 
     /// Handles an ACK/NACK: consumes it if it targets a host-sent frame,
     /// relays it to the sending worker otherwise.
-    fn handle_ack(&mut self, ack: DataAck, negative: bool) -> NetResult<()> {
+    pub(crate) fn handle_ack(&mut self, ack: DataAck, negative: bool) -> NetResult<()> {
         if ack.src == HOST_NODE {
             if negative {
                 if self.ingress_tx.get_mut(ack.seq).is_some() {
@@ -441,7 +452,7 @@ impl Orchestrator {
     /// bump the authoritative epoch, broadcast `RekeyEdge` to the worker
     /// endpoints, rekey the host's own end of host edges, and retransmit
     /// host-sent frames that were in flight on them.
-    fn rekey_adjacent(&mut self, stage: u32) -> NetResult<()> {
+    pub(crate) fn rekey_adjacent(&mut self, stage: u32) -> NetResult<()> {
         let mut adjacent: Vec<WireEdge> = self
             .edge_epochs
             .keys()
@@ -461,9 +472,20 @@ impl Orchestrator {
                 b: edge.b,
                 epoch,
             });
-            self.control_send(edge.a, &rekey)?;
+            // A dead endpoint cannot hear the rekey right now; the
+            // authoritative epoch is already bumped, and that stage's own
+            // failover re-rekeys every adjacent edge once it is readmitted.
+            // Absorbing the loss keeps concurrent adjacent failovers from
+            // aborting this sweep mid-edge-list.
+            match self.control_send(edge.a, &rekey) {
+                Ok(()) | Err(NetError::ConnectionLost { .. }) => {}
+                Err(e) => return Err(e),
+            }
             if edge.b != HOST_NODE {
-                self.control_send(edge.b, &rekey)?;
+                match self.control_send(edge.b, &rekey) {
+                    Ok(()) | Err(NetError::ConnectionLost { .. }) => {}
+                    Err(e) => return Err(e),
+                }
             }
             if edge == self.ingress_edge() {
                 let seqs: Vec<u64> = self.ingress_tx.pending_mut().map(|p| p.seq).collect();
@@ -477,7 +499,11 @@ impl Orchestrator {
     }
 
     /// Handles one event during the serve or drain phases.
-    fn handle_event(&mut self, tag: u32, event: PumpEvent) -> NetResult<Option<CounterReport>> {
+    pub(crate) fn handle_event(
+        &mut self,
+        tag: u32,
+        event: PumpEvent,
+    ) -> NetResult<Option<CounterReport>> {
         let stage = tag / 2;
         match event {
             PumpEvent::Frame(msg) => match msg {
@@ -504,9 +530,16 @@ impl Orchestrator {
                     Ok(None)
                 }
                 Msg::Done(report) => Ok(Some(report)),
+                // Liveness beacons are echoed so the worker's monotone
+                // sequence is observable end to end; the supervised driver
+                // additionally feeds them to its deadline tracking.
+                Msg::Heartbeat(hb) => {
+                    self.control_send(stage, &Msg::HeartbeatAck(hb))?;
+                    Ok(None)
+                }
                 // Late handshake identification frames are harmless.
                 Msg::Hello(h) if h.stage == stage => Ok(None),
-                Msg::DataHello { stage: s } if s == stage => Ok(None),
+                Msg::DataHello { stage: s, .. } if s == stage => Ok(None),
                 other => Err(NetError::Protocol {
                     detail: format!("unexpected {other:?} from stage {stage}"),
                 }),
@@ -517,7 +550,7 @@ impl Orchestrator {
         }
     }
 
-    fn host_report(&self) -> CounterReport {
+    pub(crate) fn host_report(&self) -> CounterReport {
         CounterReport {
             stage: HOST_NODE,
             edges: self
@@ -543,7 +576,7 @@ impl Orchestrator {
 /// receive counter. This is the wire-level witness that no IV was ever
 /// reused or skipped asymmetrically — even across injected faults,
 /// retransmits, and connection drops.
-fn audit_lockstep(reports: &[CounterReport], host: &CounterReport) -> NetResult<()> {
+pub(crate) fn audit_lockstep(reports: &[CounterReport], host: &CounterReport) -> NetResult<()> {
     let mut by_edge: BTreeMap<(u32, u32), Vec<(u32, EdgeCounterEntry)>> = BTreeMap::new();
     for report in reports.iter().chain(std::iter::once(host)) {
         for entry in &report.edges {
@@ -581,7 +614,7 @@ fn audit_lockstep(reports: &[CounterReport], host: &CounterReport) -> NetResult<
     Ok(())
 }
 
-fn next_event(
+pub(crate) fn next_event(
     events: &mpsc::Receiver<(u32, PumpEvent)>,
     poll: Duration,
 ) -> NetResult<Option<(u32, PumpEvent)>> {
@@ -710,7 +743,8 @@ pub fn run_orchestrator(
                 acked[stage as usize] = true;
             }
             PumpEvent::Frame(Msg::Hello(h)) if h.stage == stage => {}
-            PumpEvent::Frame(Msg::DataHello { stage: s }) if s == stage => {}
+            PumpEvent::Frame(Msg::DataHello { stage: s, .. }) if s == stage => {}
+            PumpEvent::Frame(Msg::Heartbeat(_)) => {}
             PumpEvent::Frame(other) => {
                 return Err(NetError::Handshake {
                     detail: format!("unexpected {other:?} from stage {stage} during handshake"),
@@ -906,7 +940,7 @@ pub fn run_tcp_threads(spec: &NetPipelineSpec) -> NetResult<NetReport> {
     for stage in 0..spec.stages {
         let config = spec.worker_config(stage);
         handles.push(std::thread::spawn(move || {
-            let links = dial_worker_links(addr, stage, config.op_timeout)?;
+            let links = dial_worker_links(addr, stage, config.generation, config.op_timeout)?;
             run_worker(links, config)
         }));
     }
@@ -916,10 +950,13 @@ pub fn run_tcp_threads(spec: &NetPipelineSpec) -> NetResult<NetReport> {
 
 /// Dials the two connections of `stage` against `addr` and identifies them
 /// (`Hello` rides later in the worker's own handshake; the transport-level
-/// identification here is what the acceptor routes on).
+/// identification here is what the acceptor routes on). `generation` is
+/// the incarnation the connections identify as — a supervised acceptor
+/// rejects anything below the stage's current generation.
 pub fn dial_worker_links(
     addr: std::net::SocketAddr,
     stage: u32,
+    generation: u32,
     timeout: Duration,
 ) -> NetResult<WorkerLinks> {
     let deadline = Instant::now() + timeout;
@@ -927,12 +964,12 @@ pub fn dial_worker_links(
         match TcpTransport::connect(addr, format!("tcp-ctl{stage}")) {
             Ok(t) => break t,
             Err(_) if Instant::now() < deadline => {
-                std::thread::sleep(Duration::from_millis(5));
+                std::thread::sleep(DIAL_RETRY);
             }
             Err(e) => return Err(e),
         }
     };
-    let mut dial = TcpDial::new(addr, stage, format!("tcp{stage}"));
+    let mut dial = TcpDial::new(addr, stage, generation, format!("tcp{stage}"));
     let data = dial.reattach(deadline.saturating_duration_since(Instant::now()))?;
     Ok(WorkerLinks {
         control: Box::new(control),
@@ -979,7 +1016,7 @@ fn accept_and_run(
         let (stream, peer) = match listener.accept() {
             Ok(pair) => pair,
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
+                std::thread::sleep(ACCEPT_POLL);
                 continue;
             }
             Err(e) => return Err(NetError::io("accept", &e)),
@@ -991,7 +1028,7 @@ fn accept_and_run(
         // identification frame, not forever.
         let remaining = deadline
             .saturating_duration_since(Instant::now())
-            .max(Duration::from_millis(10));
+            .max(POLL_INTERVAL);
         stream
             .set_read_timeout(Some(remaining))
             .map_err(|e| NetError::io("set_read_timeout", &e))?;
@@ -1005,7 +1042,7 @@ fn accept_and_run(
             Msg::Hello(h) if (h.stage as usize) < stages => {
                 controls[h.stage as usize] = Some(transport);
             }
-            Msg::DataHello { stage } if (stage as usize) < stages => {
+            Msg::DataHello { stage, .. } if (stage as usize) < stages => {
                 datas[stage as usize] = Some(transport);
             }
             other => {
@@ -1036,7 +1073,14 @@ fn accept_and_run(
             continue;
         };
         match Msg::decode(&first) {
-            Ok(Msg::DataHello { stage }) if (stage as usize) < redial_txs.len() => {
+            // An unsupervised run has exactly one incarnation per stage, so
+            // any redial claiming a later generation is a protocol bug of
+            // the dialer; drop it rather than splice a wrong-incarnation
+            // connection into the slot. (The supervised acceptor in
+            // `crate::supervisor` does full generation bookkeeping.)
+            Ok(Msg::DataHello { stage, generation })
+                if (stage as usize) < redial_txs.len() && generation == 0 =>
+            {
                 if redial_txs[stage as usize].send(transport).is_err() {
                     return;
                 }
@@ -1085,7 +1129,7 @@ pub fn serve_tcp(spec: &NetPipelineSpec, listener: std::net::TcpListener) -> Net
     accept_and_run(spec, &listener)
 }
 
-fn join_workers(
+pub(crate) fn join_workers(
     handles: Vec<std::thread::JoinHandle<NetResult<CounterReport>>>,
     result: NetResult<NetReport>,
 ) -> NetResult<NetReport> {

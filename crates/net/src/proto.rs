@@ -31,12 +31,163 @@
 
 use crate::error::{NetError, NetResult};
 use crate::frame::{decode_frame, encode_frame, Reader, Writer};
+use std::time::Duration;
 
 /// Protocol version spoken by this build; carried in every frame header.
-pub const PROTO_VERSION: u8 = 1;
+///
+/// v2: [`Hello`] and [`Msg::DataHello`] carry the worker's admission
+/// generation, and the supervision messages ([`Msg::Heartbeat`],
+/// [`Msg::HeartbeatAck`], [`Msg::CheckpointReq`], [`Msg::CheckpointSave`],
+/// [`Msg::Restore`]) exist. v1 peers are rejected by the framing layer.
+pub const PROTO_VERSION: u8 = 2;
 
 /// Node id of the orchestrator/host in `src`/`dst` fields and edge ids.
 pub const HOST_NODE: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------------
+// Timing knobs.
+//
+// Every heartbeat, deadline, retry and sweep interval of the networked
+// deployment is defined here — and only here (pipellm-lint PL008 rejects
+// magic `Duration` literals in the orchestrator/worker/supervisor modules).
+// [`NetTuning`] carries the resolved values and supports env overrides.
+// ---------------------------------------------------------------------------
+
+/// Default interval between worker heartbeats on the control channel.
+pub const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Default silence after which the supervisor suspects a worker.
+pub const SUSPECT_AFTER: Duration = Duration::from_millis(250);
+
+/// Default silence after which the supervisor declares a worker dead and
+/// begins failover. Must exceed [`SUSPECT_AFTER`].
+pub const DEAD_AFTER: Duration = Duration::from_millis(600);
+
+/// Default age past which an unacked data frame is retransmitted by the
+/// level-triggered resend sweep.
+pub const RESEND_AFTER: Duration = Duration::from_millis(300);
+
+/// Default event-loop poll interval for orchestrator and workers.
+pub const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Default whole-operation deadline for handshake and drain phases.
+pub const OP_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default quiet window a worker waits after its last send before
+/// reporting `Done` — absorbs straggler retransmits.
+pub const QUIET_WINDOW: Duration = Duration::from_millis(60);
+
+/// Default number of completed outputs between sealed checkpoint barriers.
+pub const CHECKPOINT_EVERY: u32 = 4;
+
+/// Default reconnect attempts before a transport link is declared dead.
+pub const WIRE_MAX_RETRIES: u32 = 4;
+
+/// Default base backoff of the reconnect retry schedule.
+pub const WIRE_BACKOFF_BASE: Duration = Duration::from_millis(5);
+
+/// Default backoff cap of the reconnect retry schedule.
+pub const WIRE_BACKOFF_CAP: Duration = Duration::from_millis(100);
+
+/// Default per-attempt timeout of one reconnect operation.
+pub const WIRE_OP_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Sleep between connect attempts while dialing the orchestrator.
+pub const DIAL_RETRY: Duration = Duration::from_millis(5);
+
+/// Sleep between polls of a nonblocking accept loop.
+pub const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Every configurable timing knob of the networked deployment.
+///
+/// Defaults come from the module constants above; [`NetTuning::from_env`]
+/// overrides them from `PIPELLM_*` environment variables so a deployment
+/// can be retuned without a rebuild. [`NetTuning::from_lookup`] is the
+/// pure, testable core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetTuning {
+    /// Retransmit sweep threshold (`PIPELLM_RESEND_AFTER_MS`).
+    pub resend_after: Duration,
+    /// Worker heartbeat interval (`PIPELLM_HEARTBEAT_MS`).
+    pub heartbeat_interval: Duration,
+    /// Supervisor suspicion deadline (`PIPELLM_SUSPECT_AFTER_MS`).
+    pub suspect_after: Duration,
+    /// Supervisor death deadline (`PIPELLM_DEAD_AFTER_MS`).
+    pub dead_after: Duration,
+    /// Event-loop poll interval (`PIPELLM_POLL_MS`).
+    pub poll_interval: Duration,
+    /// Handshake/drain deadline (`PIPELLM_OP_TIMEOUT_MS`).
+    pub op_timeout: Duration,
+    /// Worker pre-`Done` quiet window (`PIPELLM_QUIET_MS`).
+    pub quiet_window: Duration,
+    /// Outputs per checkpoint barrier (`PIPELLM_CHECKPOINT_EVERY`).
+    pub checkpoint_every: u32,
+    /// Reconnect attempts per link (`PIPELLM_MAX_RETRIES`).
+    pub max_retries: u32,
+    /// Reconnect backoff base (`PIPELLM_BACKOFF_BASE_MS`).
+    pub backoff_base: Duration,
+    /// Reconnect backoff cap (`PIPELLM_BACKOFF_CAP_MS`).
+    pub backoff_cap: Duration,
+    /// Per-reconnect-attempt timeout (`PIPELLM_WIRE_OP_TIMEOUT_MS`).
+    pub wire_op_timeout: Duration,
+}
+
+impl Default for NetTuning {
+    fn default() -> Self {
+        NetTuning {
+            resend_after: RESEND_AFTER,
+            heartbeat_interval: HEARTBEAT_INTERVAL,
+            suspect_after: SUSPECT_AFTER,
+            dead_after: DEAD_AFTER,
+            poll_interval: POLL_INTERVAL,
+            op_timeout: OP_TIMEOUT,
+            quiet_window: QUIET_WINDOW,
+            checkpoint_every: CHECKPOINT_EVERY,
+            max_retries: WIRE_MAX_RETRIES,
+            backoff_base: WIRE_BACKOFF_BASE,
+            backoff_cap: WIRE_BACKOFF_CAP,
+            wire_op_timeout: WIRE_OP_TIMEOUT,
+        }
+    }
+}
+
+impl NetTuning {
+    /// Resolves the tuning from process environment variables.
+    pub fn from_env() -> Self {
+        Self::from_lookup(|key| std::env::var(key).ok())
+    }
+
+    /// Resolves the tuning from an arbitrary key lookup — the pure core
+    /// of [`NetTuning::from_env`], so tests need not mutate the process
+    /// environment. Unset or unparsable keys keep their defaults.
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Self {
+        let ms = |key: &str, default: Duration| -> Duration {
+            lookup(key)
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map(Duration::from_millis)
+                .unwrap_or(default)
+        };
+        let count = |key: &str, default: u32| -> u32 {
+            lookup(key)
+                .and_then(|v| v.trim().parse::<u32>().ok())
+                .unwrap_or(default)
+        };
+        NetTuning {
+            resend_after: ms("PIPELLM_RESEND_AFTER_MS", RESEND_AFTER),
+            heartbeat_interval: ms("PIPELLM_HEARTBEAT_MS", HEARTBEAT_INTERVAL),
+            suspect_after: ms("PIPELLM_SUSPECT_AFTER_MS", SUSPECT_AFTER),
+            dead_after: ms("PIPELLM_DEAD_AFTER_MS", DEAD_AFTER),
+            poll_interval: ms("PIPELLM_POLL_MS", POLL_INTERVAL),
+            op_timeout: ms("PIPELLM_OP_TIMEOUT_MS", OP_TIMEOUT),
+            quiet_window: ms("PIPELLM_QUIET_MS", QUIET_WINDOW),
+            checkpoint_every: count("PIPELLM_CHECKPOINT_EVERY", CHECKPOINT_EVERY).max(1),
+            max_retries: count("PIPELLM_MAX_RETRIES", WIRE_MAX_RETRIES),
+            backoff_base: ms("PIPELLM_BACKOFF_BASE_MS", WIRE_BACKOFF_BASE),
+            backoff_cap: ms("PIPELLM_BACKOFF_CAP_MS", WIRE_BACKOFF_CAP),
+            wire_op_timeout: ms("PIPELLM_WIRE_OP_TIMEOUT_MS", WIRE_OP_TIMEOUT),
+        }
+    }
+}
 
 /// Frame kind bytes.
 mod kind {
@@ -51,6 +202,11 @@ mod kind {
     pub const REKEY_EDGE: u8 = 0x13;
     pub const LINK_RESTORED: u8 = 0x14;
     pub const DATA_HELLO: u8 = 0x15;
+    pub const HEARTBEAT: u8 = 0x16;
+    pub const HEARTBEAT_ACK: u8 = 0x17;
+    pub const CHECKPOINT_REQ: u8 = 0x18;
+    pub const CHECKPOINT_SAVE: u8 = 0x19;
+    pub const RESTORE: u8 = 0x1A;
     pub const FINISH: u8 = 0x20;
     pub const DONE: u8 = 0x21;
     pub const SHUTDOWN: u8 = 0x22;
@@ -62,6 +218,12 @@ mod kind {
 pub struct Hello {
     /// The stage this worker serves.
     pub stage: u32,
+    /// Admission generation: 0 for the first incarnation of a stage,
+    /// bumped by the supervisor on every failover. The orchestrator's
+    /// acceptor rejects identification frames from a stale generation, so
+    /// a re-dial racing a replacement can never leave two live
+    /// connections for one stage.
+    pub generation: u32,
 }
 
 /// Orchestrator's reply to [`Hello`].
@@ -213,6 +375,68 @@ pub struct EdgeCounterEntry {
     pub rx_iv: u64,
 }
 
+/// A liveness beacon on the control channel, and its echo.
+///
+/// Workers send one every [`NetTuning::heartbeat_interval`]; the
+/// orchestrator echoes each as [`Msg::HeartbeatAck`]. Sequence numbers
+/// are monotone per worker incarnation, so a reordered or replayed
+/// beacon can never un-suspect a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// The beating stage.
+    pub stage: u32,
+    /// The worker's admission generation.
+    pub generation: u32,
+    /// Monotone beacon counter within this incarnation.
+    pub seq: u64,
+}
+
+/// Orchestrator-initiated checkpoint barrier.
+///
+/// Broadcast when the contiguous prefix of completed outputs crosses a
+/// multiple of [`NetTuning::checkpoint_every`]. Workers garbage-collect
+/// retained outputs below `prefix`, seal their recovery state, and reply
+/// with [`Msg::CheckpointSave`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointReq {
+    /// Monotone barrier number (1-based).
+    pub barrier: u64,
+    /// Count of globally complete outputs: every `(iteration,
+    /// micro_batch)` with global index below this is committed at the
+    /// orchestrator.
+    pub prefix: u64,
+}
+
+/// A worker's sealed recovery state for one barrier.
+///
+/// The payload is AEAD-sealed under a key derived from the cluster seed —
+/// which the orchestrator never holds — so the supervisor stores and
+/// relays it without being able to read (or forge) the enclosed epochs,
+/// IV positions, or retained activations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSave {
+    /// The checkpointing stage.
+    pub stage: u32,
+    /// The barrier this state belongs to.
+    pub barrier: u64,
+    /// Opaque sealed checkpoint (`ciphertext || tag`).
+    pub sealed: Vec<u8>,
+}
+
+/// Replays a stored checkpoint to a replacement worker during failover.
+///
+/// An empty `sealed` means "no checkpoint yet — start fresh". The
+/// replacement unseals and validates the state itself; anything stale,
+/// truncated, or tampered is refused and the worker starts fresh instead
+/// (recomputation is always correct, the checkpoint is an optimisation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Restore {
+    /// The barrier the sealed state claims to belong to.
+    pub barrier: u64,
+    /// Opaque sealed checkpoint, or empty for a fresh start.
+    pub sealed: Vec<u8>,
+}
+
 /// Worker's end-of-run report: per-edge counters plus resilience tallies.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CounterReport {
@@ -258,7 +482,19 @@ pub enum Msg {
     DataHello {
         /// The connecting stage.
         stage: u32,
+        /// The connecting worker's admission generation (see [`Hello`]).
+        generation: u32,
     },
+    /// Worker liveness beacon.
+    Heartbeat(Heartbeat),
+    /// Orchestrator's echo of a heartbeat.
+    HeartbeatAck(Heartbeat),
+    /// Checkpoint barrier announcement.
+    CheckpointReq(CheckpointReq),
+    /// A worker's sealed checkpoint for one barrier.
+    CheckpointSave(CheckpointSave),
+    /// Replay of a stored checkpoint to a replacement worker.
+    Restore(Restore),
     /// No more iterations; report counters.
     Finish,
     /// End-of-run counter report.
@@ -281,6 +517,11 @@ impl Msg {
             Msg::RekeyEdge(_) => kind::REKEY_EDGE,
             Msg::LinkRestored { .. } => kind::LINK_RESTORED,
             Msg::DataHello { .. } => kind::DATA_HELLO,
+            Msg::Heartbeat(_) => kind::HEARTBEAT,
+            Msg::HeartbeatAck(_) => kind::HEARTBEAT_ACK,
+            Msg::CheckpointReq(_) => kind::CHECKPOINT_REQ,
+            Msg::CheckpointSave(_) => kind::CHECKPOINT_SAVE,
+            Msg::Restore(_) => kind::RESTORE,
             Msg::Finish => kind::FINISH,
             Msg::Done(_) => kind::DONE,
             Msg::Shutdown => kind::SHUTDOWN,
@@ -295,7 +536,10 @@ impl Msg {
     pub fn encode(&self) -> NetResult<Vec<u8>> {
         let mut w = Writer::default();
         match self {
-            Msg::Hello(h) => w.u32(h.stage),
+            Msg::Hello(h) => {
+                w.u32(h.stage);
+                w.u32(h.generation);
+            }
             Msg::Welcome(wl) => w.u32(wl.stages),
             Msg::Manifest(m) => {
                 w.u32(m.stage);
@@ -333,7 +577,29 @@ impl Msg {
                 w.u32(r.b);
                 w.u32(r.epoch);
             }
-            Msg::LinkRestored { stage } | Msg::DataHello { stage } => w.u32(*stage),
+            Msg::LinkRestored { stage } => w.u32(*stage),
+            Msg::DataHello { stage, generation } => {
+                w.u32(*stage);
+                w.u32(*generation);
+            }
+            Msg::Heartbeat(h) | Msg::HeartbeatAck(h) => {
+                w.u32(h.stage);
+                w.u32(h.generation);
+                w.u64(h.seq);
+            }
+            Msg::CheckpointReq(c) => {
+                w.u64(c.barrier);
+                w.u64(c.prefix);
+            }
+            Msg::CheckpointSave(c) => {
+                w.u32(c.stage);
+                w.u64(c.barrier);
+                w.bytes(&c.sealed);
+            }
+            Msg::Restore(r) => {
+                w.u64(r.barrier);
+                w.bytes(&r.sealed);
+            }
             Msg::Done(d) => {
                 w.u32(d.stage);
                 w.u32(d.edges.len() as u32);
@@ -364,7 +630,10 @@ impl Msg {
         let (kind_byte, payload) = decode_frame(frame)?;
         let mut r = Reader::new(payload);
         let msg = match kind_byte {
-            kind::HELLO => Msg::Hello(Hello { stage: r.u32()? }),
+            kind::HELLO => Msg::Hello(Hello {
+                stage: r.u32()?,
+                generation: r.u32()?,
+            }),
             kind::WELCOME => {
                 let stages = r.u32()?;
                 if stages == 0 {
@@ -428,7 +697,33 @@ impl Msg {
                 Msg::RekeyEdge(e)
             }
             kind::LINK_RESTORED => Msg::LinkRestored { stage: r.u32()? },
-            kind::DATA_HELLO => Msg::DataHello { stage: r.u32()? },
+            kind::DATA_HELLO => Msg::DataHello {
+                stage: r.u32()?,
+                generation: r.u32()?,
+            },
+            kind::HEARTBEAT => Msg::Heartbeat(Heartbeat {
+                stage: r.u32()?,
+                generation: r.u32()?,
+                seq: r.u64()?,
+            }),
+            kind::HEARTBEAT_ACK => Msg::HeartbeatAck(Heartbeat {
+                stage: r.u32()?,
+                generation: r.u32()?,
+                seq: r.u64()?,
+            }),
+            kind::CHECKPOINT_REQ => Msg::CheckpointReq(CheckpointReq {
+                barrier: r.u64()?,
+                prefix: r.u64()?,
+            }),
+            kind::CHECKPOINT_SAVE => Msg::CheckpointSave(CheckpointSave {
+                stage: r.u32()?,
+                barrier: r.u64()?,
+                sealed: r.bytes()?.to_vec(),
+            }),
+            kind::RESTORE => Msg::Restore(Restore {
+                barrier: r.u64()?,
+                sealed: r.bytes()?.to_vec(),
+            }),
             kind::FINISH => Msg::Finish,
             kind::DONE => {
                 let stage = r.u32()?;
@@ -477,7 +772,10 @@ mod tests {
 
     #[test]
     fn all_message_kinds_roundtrip() {
-        roundtrip(Msg::Hello(Hello { stage: 3 }));
+        roundtrip(Msg::Hello(Hello {
+            stage: 3,
+            generation: 2,
+        }));
         roundtrip(Msg::Welcome(Welcome { stages: 4 }));
         roundtrip(Msg::Manifest(ShardManifest {
             stage: 1,
@@ -521,7 +819,33 @@ mod tests {
             epoch: 3,
         }));
         roundtrip(Msg::LinkRestored { stage: 2 });
-        roundtrip(Msg::DataHello { stage: 0 });
+        roundtrip(Msg::DataHello {
+            stage: 0,
+            generation: 1,
+        });
+        roundtrip(Msg::Heartbeat(Heartbeat {
+            stage: 1,
+            generation: 4,
+            seq: 77,
+        }));
+        roundtrip(Msg::HeartbeatAck(Heartbeat {
+            stage: 1,
+            generation: 4,
+            seq: 77,
+        }));
+        roundtrip(Msg::CheckpointReq(CheckpointReq {
+            barrier: 3,
+            prefix: 12,
+        }));
+        roundtrip(Msg::CheckpointSave(CheckpointSave {
+            stage: 2,
+            barrier: 3,
+            sealed: vec![0xCD; 64],
+        }));
+        roundtrip(Msg::Restore(Restore {
+            barrier: 3,
+            sealed: Vec::new(),
+        }));
         roundtrip(Msg::Finish);
         roundtrip(Msg::Done(CounterReport {
             stage: 2,
@@ -589,11 +913,40 @@ mod tests {
     #[test]
     fn long_payload_rejects() {
         let mut body = 5u32.to_le_bytes().to_vec();
+        body.extend_from_slice(&0u32.to_le_bytes());
         body.push(0xFF);
         let frame = crate::frame::encode_frame(kind::HELLO, &body).unwrap();
         assert!(matches!(
             Msg::decode(&frame),
             Err(NetError::TrailingBytes { extra: 1 })
         ));
+    }
+
+    #[test]
+    fn tuning_defaults_match_the_module_constants() {
+        let t = NetTuning::from_lookup(|_| None);
+        assert_eq!(t, NetTuning::default());
+        assert_eq!(t.resend_after, RESEND_AFTER);
+        assert_eq!(t.heartbeat_interval, HEARTBEAT_INTERVAL);
+        assert!(t.suspect_after < t.dead_after);
+    }
+
+    #[test]
+    fn tuning_lookup_overrides_and_ignores_garbage() {
+        let t = NetTuning::from_lookup(|key| match key {
+            "PIPELLM_RESEND_AFTER_MS" => Some("75".to_string()),
+            "PIPELLM_HEARTBEAT_MS" => Some(" 20 ".to_string()),
+            "PIPELLM_DEAD_AFTER_MS" => Some("not-a-number".to_string()),
+            "PIPELLM_CHECKPOINT_EVERY" => Some("0".to_string()),
+            "PIPELLM_MAX_RETRIES" => Some("9".to_string()),
+            _ => None,
+        });
+        assert_eq!(t.resend_after, Duration::from_millis(75));
+        assert_eq!(t.heartbeat_interval, Duration::from_millis(20));
+        // Unparsable values keep the default.
+        assert_eq!(t.dead_after, DEAD_AFTER);
+        // A zero barrier stride would never checkpoint; clamped to 1.
+        assert_eq!(t.checkpoint_every, 1);
+        assert_eq!(t.max_retries, 9);
     }
 }

@@ -19,7 +19,7 @@
 
 use crate::error::{NetError, NetResult};
 use crate::frame::{HEADER_LEN, MAGIC, MAX_FRAME_LEN};
-use crate::proto::{Msg, PROTO_VERSION};
+use crate::proto::{Msg, DIAL_RETRY, PROTO_VERSION};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -250,18 +250,26 @@ impl FrameReceiver for TcpReceiver {
 
 /// Worker-side reattach: re-dial the orchestrator and re-identify the data
 /// channel with a `DataHello`.
+///
+/// The provider is pinned to one worker incarnation: every re-dial
+/// identifies with that incarnation's admission generation, so a redial
+/// that races a supervisor failover presents a stale generation and is
+/// rejected at identification instead of hijacking the replacement's slot.
 pub struct TcpDial {
     addr: SocketAddr,
     stage: u32,
+    generation: u32,
     label: String,
 }
 
 impl TcpDial {
-    /// A provider that dials `addr` and identifies as `stage`'s data link.
-    pub fn new(addr: SocketAddr, stage: u32, label: impl Into<String>) -> Self {
+    /// A provider that dials `addr` and identifies as `stage`'s data link
+    /// at admission generation `generation`.
+    pub fn new(addr: SocketAddr, stage: u32, generation: u32, label: impl Into<String>) -> Self {
         TcpDial {
             addr,
             stage,
+            generation,
             label: label.into(),
         }
     }
@@ -273,14 +281,18 @@ impl Reattach for TcpDial {
         loop {
             match TcpTransport::connect(self.addr, self.label.clone()) {
                 Ok(mut t) => {
-                    let hello = Msg::DataHello { stage: self.stage }.encode()?;
+                    let hello = Msg::DataHello {
+                        stage: self.stage,
+                        generation: self.generation,
+                    }
+                    .encode()?;
                     t.stream
                         .write_all(&hello)
                         .map_err(|e| NetError::io("data_hello", &e))?;
                     return Ok(Box::new(t));
                 }
                 Err(_) if Instant::now() < deadline => {
-                    std::thread::sleep(Duration::from_millis(5));
+                    std::thread::sleep(DIAL_RETRY);
                 }
                 Err(e) => return Err(e),
             }
@@ -359,6 +371,22 @@ impl DuplexCore {
     /// analogue of a TCP reset.
     pub fn kill(&self) {
         let mut s = self.lock();
+        s.alive = false;
+        s.queues[0].clear();
+        s.queues[1].clear();
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Kills the link only if it is still at `generation` — the kill a
+    /// split half performs. A half whose generation was superseded by a
+    /// reset (a supervisor already admitted a replacement over this core)
+    /// must not be able to tear down the replacement's live link.
+    fn kill_generation(&self, generation: u64) {
+        let mut s = self.lock();
+        if s.generation != generation {
+            return;
+        }
         s.alive = false;
         s.queues[0].clear();
         s.queues[1].clear();
@@ -501,7 +529,7 @@ impl FrameSender for DuplexHalf {
     }
 
     fn kill(&mut self) {
-        self.core.kill();
+        self.core.kill_generation(self.generation);
     }
 }
 
@@ -539,6 +567,9 @@ pub struct DuplexActive {
     core: Arc<DuplexCore>,
     side: usize,
     label: String,
+    /// Admission guard pinning this provider to one worker incarnation;
+    /// returning `false` refuses the reattach without touching the core.
+    admitted: Option<Box<dyn Fn() -> bool + Send>>,
 }
 
 impl DuplexActive {
@@ -548,12 +579,41 @@ impl DuplexActive {
             core,
             side,
             label: label.into(),
+            admitted: None,
+        }
+    }
+
+    /// A provider pinned to one worker incarnation: `admitted` is checked
+    /// before every reset, and once it reports `false` (a supervisor moved
+    /// the stage's admission generation past this incarnation) the
+    /// reattach refuses instead of resetting the replacement's live link —
+    /// the duplex analogue of the TCP acceptor rejecting a stale
+    /// `DataHello`. Without it, a hung-then-woken incarnation's pump would
+    /// tug-of-war resets against the replacement that superseded it.
+    pub fn pinned(
+        core: Arc<DuplexCore>,
+        side: usize,
+        label: impl Into<String>,
+        admitted: Box<dyn Fn() -> bool + Send>,
+    ) -> Self {
+        DuplexActive {
+            core,
+            side,
+            label: label.into(),
+            admitted: Some(admitted),
         }
     }
 }
 
 impl Reattach for DuplexActive {
     fn reattach(&mut self, _timeout: Duration) -> NetResult<Box<dyn Transport>> {
+        if let Some(admitted) = &self.admitted {
+            if !admitted() {
+                return Err(NetError::ConnectionLost {
+                    link: format!("{} (stale generation)", self.label),
+                });
+            }
+        }
         let generation = self.core.reset();
         Ok(Box::new(DuplexTransport {
             core: Arc::clone(&self.core),
@@ -647,6 +707,22 @@ mod tests {
         assert_eq!(brx2.recv_frame(POLL).unwrap(), frame);
         // Old halves remain dead (stale generation).
         assert!(atx.send_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn stale_half_cannot_kill_a_reset_core() {
+        let (a, _b, core) = duplex_pair("t");
+        let (mut atx, _arx) = Box::new(a).split().unwrap();
+        core.kill();
+        core.reset();
+        // The superseded half's kill must be a no-op on the revived core:
+        // a hung worker waking up after its replacement was admitted must
+        // not tear the replacement's link down.
+        atx.kill();
+        let fresh = duplex_handle(&core, 0, "t-a2");
+        let (mut tx2, _rx2) = Box::new(fresh).split().unwrap();
+        let frame = encode_frame(1, b"x").unwrap();
+        tx2.send_frame(&frame).unwrap();
     }
 
     #[test]

@@ -26,19 +26,20 @@
 //! the orchestrator rekeys every adjacent edge — fresh keys, IV counters
 //! back to 1 — before unacked frames are retransmitted in order.
 
+use crate::checkpoint::{global_index, open_checkpoint, seal_checkpoint, CheckpointState};
 use crate::error::{NetError, NetResult};
 use crate::link::{
-    empty_slot, install_sender, open_data, role_at, seal_and_send, send_on, EdgeCrypto, LinkTx,
-    RxOutcome, SenderSlot, WireEdge,
+    empty_slot, install_sender, kill_slot, open_data, role_at, seal_and_send, send_on, EdgeCrypto,
+    LinkTx, RxOutcome, SenderSlot, WireEdge,
 };
 use crate::proto::{
-    CounterReport, DataAck, DataFrame, EdgeCounterEntry, Hello, ManifestAck, Msg, ShardManifest,
-    HOST_NODE,
+    CheckpointReq, CheckpointSave, CounterReport, DataAck, DataFrame, EdgeCounterEntry, Heartbeat,
+    Hello, ManifestAck, Msg, NetTuning, Restore, ShardManifest, HOST_NODE,
 };
 use crate::pump::{Pump, PumpEvent};
 use crate::transport::{Reattach, Transport};
 use pipellm::partition::{apply_stage, stage_weight_hash};
-use pipellm_chaos::{ChaosInjector, RetryPolicy};
+use pipellm_chaos::{ChaosInjector, FaultKind, RetryPolicy};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -48,16 +49,25 @@ const CONTROL: u32 = 0;
 /// Pump tag of the data link.
 const DATA: u32 = 1;
 
+/// Backoff jitter fraction of the wire retry policy.
+const WIRE_JITTER: f64 = 0.25;
+
 /// Wire-scale retry policy: the chaos crate's defaults are tuned for the
 /// microsecond-scale simulated pipeline; real sockets need milliseconds of
-/// backoff and seconds of per-operation patience.
+/// backoff and seconds of per-operation patience. Every knob comes from
+/// [`NetTuning`] (env-overridable); this is the default tuning's policy.
 pub fn wire_retry_policy() -> RetryPolicy {
+    wire_policy(&NetTuning::default())
+}
+
+/// The wire retry policy under an explicit tuning.
+pub fn wire_policy(tuning: &NetTuning) -> RetryPolicy {
     RetryPolicy {
-        max_retries: 4,
-        base_backoff: Duration::from_millis(5),
-        max_backoff: Duration::from_millis(100),
-        jitter: 0.25,
-        op_timeout: Duration::from_secs(2),
+        max_retries: tuning.max_retries,
+        base_backoff: tuning.backoff_base,
+        max_backoff: tuning.backoff_cap,
+        jitter: WIRE_JITTER,
+        op_timeout: tuning.wire_op_timeout,
     }
 }
 
@@ -66,6 +76,9 @@ pub fn wire_retry_policy() -> RetryPolicy {
 pub struct WorkerConfig {
     /// The stage this worker serves.
     pub stage: u32,
+    /// Admission generation of this incarnation (0 for the first; the
+    /// supervisor bumps it on every failover).
+    pub generation: u32,
     /// Wire-scale retry policy for reconnects and retransmit escalation.
     pub policy: RetryPolicy,
     /// Receive-poll granularity of the pumps and the event loop.
@@ -77,20 +90,37 @@ pub struct WorkerConfig {
     /// Age at which an unacknowledged frame is retransmitted by the
     /// level-triggered sweep (covers losses no NACK or rekey reports).
     pub resend_after: Duration,
-    /// Fault injector for the data send path ([`pipellm_chaos::FaultSite::NetLink`]).
+    /// Interval between control-channel heartbeats; `None` disables them
+    /// (scripted tests that assert exact control traffic).
+    pub heartbeat: Option<Duration>,
+    /// How long an injected [`FaultKind::StageHang`] wedges the worker
+    /// before it dies; sized past the supervisor's death deadline so a
+    /// hang is always detected as a death.
+    pub hang_for: Duration,
+    /// Fault injector for the data send path
+    /// ([`pipellm_chaos::FaultSite::NetLink`]) and the worker-process
+    /// kill/hang path ([`pipellm_chaos::FaultSite::WorkerProcess`]).
     pub chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl WorkerConfig {
-    /// Chaos-free defaults for `stage`.
+    /// Chaos-free defaults for `stage` under the default [`NetTuning`].
     pub fn new(stage: u32) -> Self {
+        Self::with_tuning(stage, &NetTuning::default())
+    }
+
+    /// Chaos-free defaults for `stage` under an explicit tuning.
+    pub fn with_tuning(stage: u32, tuning: &NetTuning) -> Self {
         WorkerConfig {
             stage,
-            policy: wire_retry_policy(),
-            poll: Duration::from_millis(10),
-            op_timeout: Duration::from_secs(10),
-            quiet: Duration::from_millis(60),
-            resend_after: Duration::from_millis(300),
+            generation: 0,
+            policy: wire_policy(tuning),
+            poll: tuning.poll_interval,
+            op_timeout: tuning.op_timeout,
+            quiet: tuning.quiet_window,
+            resend_after: tuning.resend_after,
+            heartbeat: Some(tuning.heartbeat_interval),
+            hang_for: tuning.dead_after * 2,
             chaos: None,
         }
     }
@@ -109,7 +139,10 @@ pub struct WorkerLinks {
 
 struct Worker {
     stage: u32,
+    generation: u32,
     layers: std::ops::Range<u32>,
+    micro_batches: u32,
+    cluster_seed: u64,
     in_peer: u32,
     out_peer: u32,
     in_edge: WireEdge,
@@ -117,10 +150,21 @@ struct Worker {
     edges: BTreeMap<WireEdge, EdgeCrypto>,
     out_tx: LinkTx,
     processed: BTreeSet<(u32, u32)>,
+    /// Computed outputs retained since the last committed checkpoint
+    /// barrier, keyed `(iteration, micro_batch)`. A duplicate of an
+    /// already-processed input re-forwards the retained output instead of
+    /// recomputing — the redelivery path a failover downstream relies on.
+    retained: BTreeMap<(u32, u32), Vec<u8>>,
+    /// Latest checkpoint barrier this incarnation has handled.
+    barrier: u64,
+    /// Restores refused (unseal failure / stale or mismatched state).
+    restores_refused: u64,
     control_slot: SenderSlot,
     data_slot: SenderSlot,
     policy: RetryPolicy,
     chaos: Option<Arc<ChaosInjector>>,
+    heartbeat_seq: u64,
+    last_heartbeat: Instant,
     retransmits: u64,
     sentinels: u64,
     reconnects: u64,
@@ -152,7 +196,10 @@ impl Worker {
         }
         Worker {
             stage,
+            generation: config.generation,
             layers: manifest.layer_start..manifest.layer_end,
+            micro_batches: manifest.micro_batches,
+            cluster_seed: manifest.cluster_seed,
             in_peer,
             out_peer,
             in_edge,
@@ -160,14 +207,110 @@ impl Worker {
             edges,
             out_tx: LinkTx::default(),
             processed: BTreeSet::new(),
+            retained: BTreeMap::new(),
+            barrier: 0,
+            restores_refused: 0,
             control_slot,
             data_slot,
             policy: config.policy,
             chaos: config.chaos.clone(),
+            heartbeat_seq: 0,
+            last_heartbeat: Instant::now(),
             retransmits: 0,
             sentinels: 0,
             reconnects: 0,
         }
+    }
+
+    /// Applies a relayed checkpoint to this (fresh) incarnation. Returns
+    /// whether the state was accepted; anything that does not unseal and
+    /// validate for exactly this stage and barrier is refused, and the
+    /// worker serves from scratch instead — recomputation is always
+    /// correct, the checkpoint only skips work.
+    fn apply_restore(&mut self, restore: &Restore) -> bool {
+        if restore.sealed.is_empty() {
+            return false;
+        }
+        let state = match open_checkpoint(
+            self.cluster_seed,
+            self.stage,
+            restore.barrier,
+            &restore.sealed,
+        ) {
+            Ok(state) => state,
+            Err(_) => {
+                self.restores_refused += 1;
+                return false;
+            }
+        };
+        self.barrier = state.barrier;
+        self.processed = state.processed.iter().copied().collect();
+        self.retained = state
+            .retained
+            .iter()
+            .map(|(it, mb, out)| ((*it, *mb), out.clone()))
+            .collect();
+        // Catch the edges up to their checkpointed epochs. IV positions
+        // inside an epoch are never resumed: the dead incarnation may
+        // have burned counters past the seal point, so the supervisor
+        // force-rekeys every adjacent edge (epoch + 1, IVs back to 1)
+        // right after this restore.
+        for entry in &state.edges {
+            let edge = WireEdge::between(entry.a.min(entry.b), entry.a.max(entry.b));
+            if let Some(crypto) = self.edges.get_mut(&edge) {
+                crypto.rekey_to(entry.epoch);
+            }
+        }
+        true
+    }
+
+    /// Handles a checkpoint barrier: garbage-collects retained outputs the
+    /// orchestrator has committed, seals the recovery state, and ships it
+    /// upstream as an opaque blob.
+    fn handle_checkpoint(&mut self, req: &CheckpointReq) -> NetResult<()> {
+        if req.barrier <= self.barrier {
+            return Ok(()); // duplicate or stale barrier announcement
+        }
+        self.barrier = req.barrier;
+        let micro_batches = self.micro_batches;
+        self.retained
+            .retain(|&(it, mb), _| global_index(it, mb, micro_batches) >= req.prefix);
+        let state = CheckpointState {
+            stage: self.stage,
+            generation: self.generation,
+            barrier: req.barrier,
+            processed: self.processed.iter().copied().collect(),
+            retained: self
+                .retained
+                .iter()
+                .map(|(&(it, mb), out)| (it, mb, out.clone()))
+                .collect(),
+            edges: self.report().edges,
+        };
+        let sealed = seal_checkpoint(self.cluster_seed, &state)?;
+        self.control_send(&Msg::CheckpointSave(CheckpointSave {
+            stage: self.stage,
+            barrier: req.barrier,
+            sealed,
+        }))
+    }
+
+    /// Sends a heartbeat if the interval elapsed. Sequence numbers are
+    /// monotone within this incarnation.
+    fn maybe_heartbeat(&mut self, interval: Option<Duration>) -> NetResult<()> {
+        let Some(interval) = interval else {
+            return Ok(());
+        };
+        if self.last_heartbeat.elapsed() < interval {
+            return Ok(());
+        }
+        self.heartbeat_seq += 1;
+        self.last_heartbeat = Instant::now();
+        self.control_send(&Msg::Heartbeat(Heartbeat {
+            stage: self.stage,
+            generation: self.generation,
+            seq: self.heartbeat_seq,
+        }))
     }
 
     fn control_send(&self, msg: &Msg) -> NetResult<()> {
@@ -222,10 +365,24 @@ impl Worker {
                     seq: frame.seq,
                 }))?;
                 // Retransmitted duplicates are acked but processed once.
-                if self.processed.insert((frame.iteration, frame.micro_batch)) {
+                let key = (frame.iteration, frame.micro_batch);
+                if self.processed.insert(key) {
                     apply_stage(self.layers.clone(), &mut bytes);
+                    self.retained.insert(key, bytes.clone());
                     let seq = self.out_tx.push(frame.iteration, frame.micro_batch, bytes);
                     self.send_pending(seq)?;
+                } else if !self.out_tx.has_payload(key.0, key.1) {
+                    // A duplicate with nothing in flight means someone
+                    // downstream lost our output (a failed-over stage
+                    // re-requesting work). Re-forward the retained copy;
+                    // if the barrier already garbage-collected it, the
+                    // output is committed at the orchestrator and the ack
+                    // alone settles the retransmit.
+                    if let Some(out) = self.retained.get(&key) {
+                        self.retransmits += 1;
+                        let seq = self.out_tx.push(key.0, key.1, out.clone());
+                        self.send_pending(seq)?;
+                    }
                 }
             }
             RxOutcome::Sentinel => {
@@ -299,9 +456,18 @@ impl Worker {
                     self.handle_rekey(r.a, r.b, r.epoch)?;
                     Ok(None)
                 }
+                Msg::CheckpointReq(req) => {
+                    self.handle_checkpoint(&req)?;
+                    Ok(None)
+                }
                 Msg::Finish | Msg::Shutdown => Ok(Some(msg)),
-                // Duplicated handshake traffic is idempotent noise.
-                Msg::Welcome(_) | Msg::Manifest(_) | Msg::Start => Ok(None),
+                // Duplicated handshake traffic is idempotent noise, as are
+                // heartbeat echoes and a late duplicate Restore.
+                Msg::Welcome(_)
+                | Msg::Manifest(_)
+                | Msg::Start
+                | Msg::HeartbeatAck(_)
+                | Msg::Restore(_) => Ok(None),
                 other => Err(NetError::Protocol {
                     detail: format!("stage {} got unexpected {:?}", self.stage, other),
                 }),
@@ -394,6 +560,7 @@ pub fn run_worker(links: WorkerLinks, config: WorkerConfig) -> NetResult<Counter
         &control_slot,
         &Msg::Hello(Hello {
             stage: config.stage,
+            generation: config.generation,
         })
         .encode()?,
         "control",
@@ -402,6 +569,7 @@ pub fn run_worker(links: WorkerLinks, config: WorkerConfig) -> NetResult<Counter
         &data_slot,
         &Msg::DataHello {
             stage: config.stage,
+            generation: config.generation,
         }
         .encode()?,
         "data",
@@ -411,6 +579,7 @@ pub fn run_worker(links: WorkerLinks, config: WorkerConfig) -> NetResult<Counter
     let deadline = Instant::now() + config.op_timeout;
     let mut stages = None;
     let mut manifest: Option<ShardManifest> = None;
+    let mut restore: Option<Restore> = None;
     // The control and data pumps feed one queue with no cross-link
     // ordering: the first sealed frame can overtake Start. Defer data-plane
     // traffic seen mid-handshake and replay it once serving begins.
@@ -434,6 +603,8 @@ pub fn run_worker(links: WorkerLinks, config: WorkerConfig) -> NetResult<Counter
         }
         match event {
             PumpEvent::Frame(Msg::Welcome(w)) => stages = Some(w.stages),
+            PumpEvent::Frame(Msg::Restore(r)) => restore = Some(r),
+            PumpEvent::Frame(Msg::HeartbeatAck(_)) => {}
             PumpEvent::Frame(Msg::Manifest(m)) => {
                 if m.stage != config.stage {
                     return Err(NetError::Handshake {
@@ -492,6 +663,9 @@ pub fn run_worker(links: WorkerLinks, config: WorkerConfig) -> NetResult<Counter
     })?;
 
     let mut worker = Worker::from_manifest(&manifest, &config, control_slot, data_slot);
+    if let Some(r) = restore {
+        worker.apply_restore(&r);
+    }
     for (tag, event) in deferred {
         worker.handle_event(tag, event)?;
     }
@@ -505,11 +679,51 @@ pub fn run_worker(links: WorkerLinks, config: WorkerConfig) -> NetResult<Counter
                 waited: config.op_timeout,
             });
         }
+        worker.maybe_heartbeat(config.heartbeat)?;
         worker.sweep(config.resend_after)?;
         let Some((tag, event)) = next_event(&events, config.poll)? else {
             continue;
         };
         last_activity = Instant::now();
+        // Worker-process chaos: a kill drops the whole process abruptly
+        // (connections die mid-protocol, no goodbye); a hang wedges past
+        // the supervisor's death deadline, then dies. Rolled once per
+        // received *fresh* data frame (the envelope keys are cleartext, so
+        // freshness is checkable pre-open), and only while serving —
+        // duplicates arriving during the drain cannot kill a worker, and
+        // recovery paths (the replacement incarnation) run with chaos
+        // disabled, the escalation contract every retry loop in this
+        // codebase follows.
+        let fresh_work = match &event {
+            PumpEvent::Frame(Msg::Data(f)) => {
+                !worker.processed.contains(&(f.iteration, f.micro_batch))
+            }
+            _ => false,
+        };
+        if fresh_work {
+            if let Some(fault) = worker.chaos.as_ref().and_then(|c| c.roll_worker()) {
+                if fault.kind == FaultKind::StageHang {
+                    std::thread::sleep(config.hang_for);
+                }
+                // Stop the pumps *before* killing the links: a pump that
+                // notices the dead connection afterward exits instead of
+                // entering its reattach path, so a dying incarnation never
+                // resets a link generation out from under the replacement
+                // the supervisor is about to admit.
+                control_pump.stop();
+                data_pump.stop();
+                kill_slot(&worker.control_slot);
+                kill_slot(&worker.data_slot);
+                return Err(NetError::Protocol {
+                    detail: format!(
+                        "stage {} gen {}: injected worker {}",
+                        config.stage,
+                        config.generation,
+                        fault.kind.label()
+                    ),
+                });
+            }
+        }
         match worker.handle_event(tag, event)? {
             Some(Msg::Finish) => break,
             Some(Msg::Shutdown) => {
@@ -535,9 +749,15 @@ pub fn run_worker(links: WorkerLinks, config: WorkerConfig) -> NetResult<Counter
                 waited: config.op_timeout,
             });
         }
+        worker.maybe_heartbeat(config.heartbeat)?;
         worker.sweep(config.resend_after)?;
         if let Some((tag, event)) = next_event(&events, config.poll)? {
-            last_event = Instant::now();
+            // Heartbeat acks are liveness beacons, not data-plane traffic:
+            // counting them as activity would keep the quiet window from
+            // ever elapsing whenever the beacon interval is shorter than it.
+            if !matches!(event, PumpEvent::Frame(Msg::HeartbeatAck(_))) {
+                last_event = Instant::now();
+            }
             worker.handle_event(tag, event)?;
         }
     }
@@ -549,6 +769,9 @@ pub fn run_worker(links: WorkerLinks, config: WorkerConfig) -> NetResult<Counter
     // a duplicate opened now still advances counters, so any event that
     // changes the report triggers an updated Done — the orchestrator
     // audits whatever it last heard once the deployment is quiet. -------
+    // No heartbeats past Done: the orchestrator may tear the deployment
+    // down the moment the last report lands, and a beacon racing that
+    // close would turn a clean exit into a spurious connection error.
     let bye_deadline = Instant::now() + config.op_timeout;
     loop {
         if Instant::now() > bye_deadline {
@@ -619,8 +842,10 @@ mod tests {
         let handle = std::thread::spawn(move || {
             let mut config = WorkerConfig::new(0);
             // The scripted peer acks at its own pace; a sweep retransmit
-            // would skew the exact IV counters this test asserts.
+            // would skew the exact IV counters this test asserts, and an
+            // interleaved heartbeat would break the exact control script.
             config.resend_after = Duration::from_secs(120);
+            config.heartbeat = None;
             run_worker(
                 WorkerLinks {
                     control: Box::new(ctl_worker),
@@ -645,12 +870,18 @@ mod tests {
 
         assert_eq!(
             recv_ctl(&mut ctl_rx, "hello"),
-            Msg::Hello(Hello { stage: 0 }),
+            Msg::Hello(Hello {
+                stage: 0,
+                generation: 0,
+            }),
             "control greeting"
         );
         assert_eq!(
             recv_ctl(&mut data_rx, "data hello"),
-            Msg::DataHello { stage: 0 }
+            Msg::DataHello {
+                stage: 0,
+                generation: 0,
+            }
         );
         ctl_tx
             .send_frame(&Msg::Welcome(Welcome { stages: 1 }).encode().unwrap())

@@ -1,0 +1,134 @@
+//! Property tests for the AEAD-sealed recovery checkpoints
+//! (`pipellm_net::checkpoint`): seal/open round-trip identity over
+//! arbitrary states, clean rejection (no panic, no plaintext escape) of
+//! truncated/bit-flipped/tampered blobs, and refusal of stale blobs —
+//! the per-`(stage, barrier)` one-shot key schedule means a checkpoint
+//! sealed at one barrier can never satisfy a restore claiming another.
+
+use pipellm_net::checkpoint::{open_checkpoint, seal_checkpoint, CheckpointState};
+use pipellm_net::proto::EdgeCounterEntry;
+use proptest::prelude::*;
+
+/// Splits a `u64` into four derived `u32` lanes, the same trick
+/// `proto_props` uses to stretch the vendored shim's 4-tuple cap.
+fn quarters(x: u64) -> [u32; 4] {
+    [
+        (x & 0xFFFF) as u32,
+        ((x >> 16) & 0xFFFF) as u32,
+        ((x >> 32) & 0xFFFF) as u32,
+        ((x >> 48) & 0xFFFF) as u32,
+    ]
+}
+
+fn state_from(a: u64, b: u64, payload: Vec<u8>) -> CheckpointState {
+    let [stage, generation, barrier, n] = quarters(a);
+    let [e_epoch, e_tx, e_rx, extra] = quarters(b);
+    let processed: Vec<(u32, u32)> = (0..(n % 8)).map(|i| (i / 3, i % 3)).collect();
+    let retained: Vec<(u32, u32, Vec<u8>)> = (0..(extra % 4))
+        .map(|i| (i, i + 1, payload.clone()))
+        .collect();
+    let edges = vec![EdgeCounterEntry {
+        a: stage % 8,
+        b: stage % 8 + 1,
+        epoch: e_epoch,
+        tx_iv: u64::from(e_tx),
+        rx_iv: u64::from(e_rx),
+    }];
+    CheckpointState {
+        stage: stage % 8,
+        generation: generation % 4,
+        barrier: u64::from(barrier % 64),
+        processed,
+        retained,
+        edges,
+    }
+}
+
+fn state_strategy() -> impl Strategy<Value = CheckpointState> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(a, b, payload)| state_from(a, b, payload))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Sealing then opening under the same seed/stage/barrier is the
+    /// identity on every reachable state.
+    #[test]
+    fn seal_open_roundtrips(state in state_strategy(), seed in any::<u64>()) {
+        let sealed = seal_checkpoint(seed, &state).expect("seal succeeds");
+        let opened = open_checkpoint(seed, state.stage, state.barrier, &sealed)
+            .expect("own blob opens");
+        prop_assert_eq!(opened, state);
+    }
+
+    /// Any truncation fails authentication cleanly — an error, never a
+    /// panic, never a partial state.
+    #[test]
+    fn truncation_rejects_cleanly(
+        state in state_strategy(),
+        seed in any::<u64>(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let sealed = seal_checkpoint(seed, &state).expect("seal succeeds");
+        let cut = cut.index(sealed.len());
+        prop_assert!(open_checkpoint(seed, state.stage, state.barrier, &sealed[..cut]).is_err());
+    }
+
+    /// Any single bit flip anywhere in the blob fails authentication.
+    #[test]
+    fn bit_flip_rejects_cleanly(
+        state in state_strategy(),
+        seed in any::<u64>(),
+        pos in any::<prop::sample::Index>(),
+        bit in 0u32..8,
+    ) {
+        let sealed = seal_checkpoint(seed, &state).expect("seal succeeds");
+        let mut bad = sealed.clone();
+        let pos = pos.index(bad.len());
+        bad[pos] ^= 1 << bit;
+        prop_assert!(open_checkpoint(seed, state.stage, state.barrier, &bad).is_err());
+    }
+
+    /// A failed open leaks nothing: the sealed blob never contains a
+    /// retained-output window in the clear, tampered or not.
+    #[test]
+    fn no_plaintext_escape(state in state_strategy(), seed in any::<u64>()) {
+        let sealed = seal_checkpoint(seed, &state).expect("seal succeeds");
+        for (_, _, out) in &state.retained {
+            if out.len() >= 16 {
+                prop_assert!(!sealed.windows(out.len()).any(|w| w == &out[..]));
+            }
+        }
+    }
+
+    /// Stale (or future) blobs are refused on restore: a checkpoint
+    /// sealed at barrier `b` never opens under a restore claiming any
+    /// other barrier, any other stage, or any other cluster seed.
+    #[test]
+    fn stale_checkpoint_refused(
+        state in state_strategy(),
+        seed in any::<u64>(),
+        skew in 1u64..16,
+    ) {
+        let sealed = seal_checkpoint(seed, &state).expect("seal succeeds");
+        prop_assert!(
+            open_checkpoint(seed, state.stage, state.barrier + skew, &sealed).is_err()
+        );
+        if state.barrier >= skew {
+            prop_assert!(
+                open_checkpoint(seed, state.stage, state.barrier - skew, &sealed).is_err()
+            );
+        }
+        prop_assert!(
+            open_checkpoint(seed, state.stage + skew as u32, state.barrier, &sealed).is_err()
+        );
+        prop_assert!(
+            open_checkpoint(seed ^ (skew << 32 | 1), state.stage, state.barrier, &sealed).is_err()
+        );
+    }
+}

@@ -10,8 +10,8 @@
 
 use pipellm_net::frame::{decode_frame, encode_frame, HEADER_LEN};
 use pipellm_net::proto::{
-    CounterReport, DataAck, DataFrame, EdgeCounterEntry, Hello, ManifestAck, Msg, RekeyEdge,
-    ShardManifest, Welcome,
+    CheckpointReq, CheckpointSave, CounterReport, DataAck, DataFrame, EdgeCounterEntry, Heartbeat,
+    Hello, ManifestAck, Msg, RekeyEdge, Restore, ShardManifest, Welcome,
 };
 use proptest::prelude::*;
 
@@ -50,8 +50,11 @@ fn manifest_from(a: u64, b: u64) -> ShardManifest {
 /// Derives one protocol message of an arbitrary variant from entropy.
 fn msg_from(pick: u64, a: u64, b: u64, sealed: Vec<u8>) -> Msg {
     let q = quarters(a);
-    match pick % 14 {
-        0 => Msg::Hello(Hello { stage: q[0] }),
+    match pick % 19 {
+        0 => Msg::Hello(Hello {
+            stage: q[0],
+            generation: q[2],
+        }),
         1 => Msg::Welcome(Welcome { stages: q[1] }),
         2 => Msg::Manifest(manifest_from(a, b)),
         3 => Msg::ManifestAck(ManifestAck {
@@ -84,7 +87,10 @@ fn msg_from(pick: u64, a: u64, b: u64, sealed: Vec<u8>) -> Msg {
             epoch: q[2],
         }),
         9 => Msg::LinkRestored { stage: q[0] },
-        10 => Msg::DataHello { stage: q[1] },
+        10 => Msg::DataHello {
+            stage: q[1],
+            generation: q[3],
+        },
         11 => Msg::Finish,
         12 => {
             let edges = (0..(b % 4))
@@ -107,6 +113,26 @@ fn msg_from(pick: u64, a: u64, b: u64, sealed: Vec<u8>) -> Msg {
                 reconnects: (a ^ b) % 1000,
             })
         }
+        13 => Msg::Heartbeat(Heartbeat {
+            stage: q[0],
+            generation: q[1],
+            seq: b,
+        }),
+        14 => Msg::HeartbeatAck(Heartbeat {
+            stage: q[0],
+            generation: q[1],
+            seq: b,
+        }),
+        15 => Msg::CheckpointReq(CheckpointReq {
+            barrier: a,
+            prefix: b,
+        }),
+        16 => Msg::CheckpointSave(CheckpointSave {
+            stage: q[0],
+            barrier: b,
+            sealed,
+        }),
+        17 => Msg::Restore(Restore { barrier: b, sealed }),
         _ => Msg::Shutdown,
     }
 }

@@ -46,6 +46,11 @@ pub struct TenantSpec {
     pub compute: Duration,
     /// Arrival-process seed.
     pub seed: u64,
+    /// Queue-age budget: a request still waiting for the dispatch thread
+    /// this long past its arrival is shed instead of served — the
+    /// serving-level mirror of the supervised deployment's deadline-aware
+    /// admission control. `None` never sheds.
+    pub deadline: Option<Duration>,
 }
 
 impl TenantSpec {
@@ -59,6 +64,7 @@ impl TenantSpec {
             chunks: 3,
             compute: Duration::from_millis(2),
             seed: 0x7e4a,
+            deadline: None,
         }
     }
 
@@ -86,6 +92,12 @@ impl TenantSpec {
         self.seed = seed;
         self
     }
+
+    /// Sets the queue-age budget past which a waiting request is shed.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 /// One tenant's live state inside the driver.
@@ -97,6 +109,7 @@ struct Tenant {
     chunks: Vec<HostRegion>,
     latencies: Samples,
     completed: u64,
+    shed: u64,
 }
 
 /// Per-tenant outcome of a run.
@@ -106,6 +119,8 @@ pub struct TenantReport {
     pub session: SessionId,
     /// Requests completed.
     pub completed: u64,
+    /// Requests shed by the queue-age deadline before being served.
+    pub shed: u64,
     /// Mean end-to-end request latency in seconds.
     pub mean_latency_s: f64,
     /// 99th-percentile request latency in seconds.
@@ -190,6 +205,7 @@ impl<R: SessionedRuntime> MultiTenantDriver<R> {
             chunks,
             latencies: Samples::new(),
             completed: 0,
+            shed: 0,
         });
         session
     }
@@ -240,6 +256,15 @@ impl<R: SessionedRuntime> MultiTenantDriver<R> {
         let mut finished = SimTime::ZERO;
         for (arrival, idx) in events {
             let start = arrival.max(cpu);
+            // Deadline-aware shedding: a request that already waited out
+            // its queue-age budget is refused, not served late — the
+            // dispatch thread moves straight to the next arrival.
+            if let Some(deadline) = self.tenants[idx].spec.deadline {
+                if start.saturating_since(arrival) > deadline {
+                    self.tenants[idx].shed += 1;
+                    continue;
+                }
+            }
             let end = self.serve_one(idx, start)?;
             let tenant = &mut self.tenants[idx];
             tenant
@@ -261,6 +286,7 @@ impl<R: SessionedRuntime> MultiTenantDriver<R> {
                 TenantReport {
                     session: t.session,
                     completed: t.completed,
+                    shed: t.shed,
                     mean_latency_s: t.latencies.mean(),
                     p99_latency_s: t.latencies.percentile(99.0),
                     norm_latency_s_per_chunk: t.latencies.mean() / t.spec.chunks as f64,
@@ -343,6 +369,44 @@ mod tests {
         report.verify_lockstep().unwrap();
         assert!(report.mean_norm_latency() > 0.0);
         assert_eq!(report.system, "CC");
+    }
+
+    #[test]
+    fn tight_deadline_sheds_overflow_but_keeps_lockstep() {
+        // One slow crypto worker and an aggressive arrival rate saturate
+        // the dispatch thread; a tight queue-age budget must shed the
+        // overflow while everything actually served stays in lockstep.
+        let rt = CcNativeRuntime::new(IoTimingModel::default(), 8 * GB, 1);
+        let mut driver = MultiTenantDriver::new(rt);
+        for i in 0..4 {
+            driver.add_tenant(
+                TenantSpec::new(2000.0)
+                    .requests(24)
+                    .seed(300 + i)
+                    .deadline(Duration::from_millis(5)),
+            );
+        }
+        let report = driver.run().unwrap();
+        let (served, shed): (u64, u64) = report
+            .tenants
+            .iter()
+            .fold((0, 0), |(c, s), t| (c + t.completed, s + t.shed));
+        assert_eq!(served + shed, 4 * 24, "every request served or shed");
+        assert!(shed > 0, "saturation with a 5ms budget must shed");
+        assert!(served > 0, "shedding must not starve the queue");
+        report.verify_lockstep().unwrap();
+        // Without a deadline the same load completes everything.
+        let rt = CcNativeRuntime::new(IoTimingModel::default(), 8 * GB, 1);
+        let mut driver = MultiTenantDriver::new(rt);
+        for i in 0..4 {
+            driver.add_tenant(TenantSpec::new(2000.0).requests(24).seed(300 + i));
+        }
+        let unbounded = driver.run().unwrap();
+        assert!(unbounded.tenants.iter().all(|t| t.shed == 0));
+        assert_eq!(
+            unbounded.tenants.iter().map(|t| t.completed).sum::<u64>(),
+            4 * 24
+        );
     }
 
     #[test]

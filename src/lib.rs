@@ -16,7 +16,9 @@
 //! - [`net`] — the networked multi-process deployment: orchestrator and
 //!   stage workers over encrypted, length-framed byte streams;
 //! - [`serving`] — vLLM/FlexGen/PEFT-like engines;
-//! - [`bench`] — the experiment harness regenerating the paper's figures.
+//! - [`bench`] — the experiment harness regenerating the paper's figures;
+//! - [`analysis`] — the `pipellm-lint` static analyzer and the exhaustive
+//!   interleaving checker (including the supervisor failover model).
 //!
 //! # Quickstart
 //!
@@ -41,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub use pipellm as runtime;
+pub use pipellm_analysis as analysis;
 pub use pipellm_bench as bench;
 pub use pipellm_chaos as chaos;
 pub use pipellm_crypto as crypto;
